@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the simulator's hot components: how much
+//! does one firmware window, one CPM read, one predictor call, or one
+//! scheduling quantum actually cost?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ags_core::{AdaptiveMappingScheduler, JobSpec, MipsFrequencyPredictor, QosSpec};
+use p7_control::GuardbandMode;
+use p7_sensors::CpmBank;
+use p7_sim::{Assignment, Experiment, ServerConfig, Simulation};
+use p7_types::{MegaHertz, Volts};
+use p7_workloads::{co_runner, Catalog, CoRunnerClass, WebSearch};
+
+fn bench_simulation_tick(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let raytrace = catalog.get("raytrace").unwrap().clone();
+    let assignment = Assignment::single_socket(&raytrace, 8).unwrap();
+    let mut sim = Simulation::new(
+        ServerConfig::power7plus(1),
+        assignment,
+        GuardbandMode::Undervolt,
+    )
+    .unwrap();
+    c.bench_function("simulation_tick_32ms_window", |b| {
+        b.iter(|| black_box(sim.tick()));
+    });
+}
+
+fn bench_cpm_bank_read(c: &mut Criterion) {
+    let bank = CpmBank::with_seed(7);
+    let margins = [Volts::from_millivolts(60.0); 8];
+    let freqs = [MegaHertz(4200.0); 8];
+    c.bench_function("cpm_bank_read_all_40", |b| {
+        b.iter(|| black_box(bank.read_all(black_box(&margins), black_box(&freqs))));
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let data: Vec<(f64, f64)> = (0..44)
+        .map(|i| {
+            let x = 10_000.0 + 1500.0 * f64::from(i);
+            (x, 4700.0 - 0.004 * x + f64::from(i % 5))
+        })
+        .collect();
+    c.bench_function("predictor_fit_44_points", |b| {
+        b.iter(|| black_box(MipsFrequencyPredictor::fit(black_box(&data)).unwrap()));
+    });
+    let model = MipsFrequencyPredictor::fit(&data).unwrap();
+    c.bench_function("predictor_predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(42_000.0))));
+    });
+}
+
+fn bench_websearch_window(c: &mut Criterion) {
+    let ws = WebSearch::power7plus();
+    c.bench_function("websearch_60_windows", |b| {
+        b.iter(|| black_box(ws.p90_windows(MegaHertz(4600.0), 60, 9)));
+    });
+}
+
+fn bench_scheduler_quantum(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let job = JobSpec::critical(
+        "search",
+        catalog.get("websearch").unwrap().clone(),
+        QosSpec::websearch(),
+    );
+    let predictor = MipsFrequencyPredictor::fit(&[
+        (10_000.0, 4600.0),
+        (40_000.0, 4520.0),
+        (70_000.0, 4440.0),
+    ])
+    .unwrap();
+    let mut scheduler = AdaptiveMappingScheduler::new(
+        Experiment::power7plus(1).with_ticks(10, 5),
+        predictor,
+        job,
+        WebSearch::power7plus(),
+        vec![co_runner(CoRunnerClass::Light), co_runner(CoRunnerClass::Heavy)],
+        1,
+        9,
+    )
+    .unwrap();
+    scheduler.set_windows_per_quantum(20);
+    c.bench_function("adaptive_mapping_quantum", |b| {
+        b.iter(|| black_box(scheduler.run_quantum().unwrap()));
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulation_tick,
+        bench_cpm_bank_read,
+        bench_predictor,
+        bench_websearch_window,
+        bench_scheduler_quantum
+);
+criterion_main!(components);

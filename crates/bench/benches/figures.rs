@@ -1,0 +1,176 @@
+//! One criterion benchmark per paper figure: times a reduced-size version
+//! of each figure's experiment pipeline, so regressions in any figure's
+//! end-to-end cost are caught. (The full-size regeneration binaries live
+//! in `src/bin/fig*.rs`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ags_core::{LoadlineBorrowing, MipsFrequencyPredictor};
+use p7_control::{GuardbandMode, VoltFreqCurve};
+use p7_sensors::CpmBank;
+use p7_sim::{Assignment, Experiment};
+use p7_types::{MegaHertz, Volts};
+use p7_workloads::{co_runner, Catalog, CoRunnerClass, WebSearch};
+
+/// A short-but-settled experiment runner shared by the figure benches.
+fn exp() -> Experiment {
+    Experiment::power7plus(1).with_ticks(10, 5)
+}
+
+fn fig03_core_scaling(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let w = catalog.get("raytrace").unwrap().clone();
+    c.bench_function("fig03_power_edp_one_point", |b| {
+        b.iter(|| {
+            let a = Assignment::single_socket(&w, 4).unwrap();
+            let st = exp().run(&a, GuardbandMode::StaticGuardband).unwrap();
+            let uv = exp().run(&a, GuardbandMode::Undervolt).unwrap();
+            black_box((st.edp, uv.edp))
+        });
+    });
+}
+
+fn fig04_overclock(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let w = catalog.get("lu_cb").unwrap().clone();
+    c.bench_function("fig04_boost_one_point", |b| {
+        b.iter(|| {
+            let a = Assignment::single_socket(&w, 4).unwrap();
+            black_box(exp().run(&a, GuardbandMode::Overclock).unwrap())
+        });
+    });
+}
+
+fn fig05_heterogeneity(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let workloads: Vec<_> = catalog
+        .core_scaling_set()
+        .into_iter()
+        .cloned()
+        .collect();
+    c.bench_function("fig05_five_workloads_one_count", |b| {
+        b.iter(|| {
+            for w in &workloads {
+                let a = Assignment::single_socket(w, 2).unwrap();
+                black_box(exp().run(&a, GuardbandMode::Undervolt).unwrap());
+            }
+        });
+    });
+}
+
+fn fig06_cpm_sweep(c: &mut Criterion) {
+    let bank = CpmBank::with_seed(1);
+    let curve = VoltFreqCurve::power7plus();
+    c.bench_function("fig06_cpm_voltage_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for mv in (940..=1220).step_by(20) {
+                let v = Volts::from_millivolts(f64::from(mv));
+                let f = MegaHertz(4200.0);
+                let margin = v - curve.v_circuit(f);
+                for r in bank.read_all(&[margin; 8], &[f; 8]) {
+                    acc += u32::from(r.value());
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn fig07_fig09_drop_decomposition(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let w = catalog.get("vips").unwrap().clone();
+    c.bench_function("fig07_09_drop_decomposition_one_point", |b| {
+        b.iter(|| {
+            let a = Assignment::single_socket(&w, 6).unwrap();
+            let run = exp().run(&a, GuardbandMode::StaticGuardband).unwrap();
+            black_box(run.summary.socket0().drop[0])
+        });
+    });
+}
+
+fn fig10_scatter_point(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let w = catalog.get("gcc").unwrap().clone();
+    c.bench_function("fig10_one_scatter_workload", |b| {
+        b.iter(|| {
+            let a = Assignment::single_socket(&w, 8).unwrap();
+            let st = exp().run(&a, GuardbandMode::StaticGuardband).unwrap();
+            let uv = exp().run(&a, GuardbandMode::Undervolt).unwrap();
+            black_box((
+                st.summary.socket0().core0_passive_drop(),
+                uv.summary.socket0().undervolt,
+            ))
+        });
+    });
+}
+
+fn fig12_13_14_borrowing(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let w = catalog.get("raytrace").unwrap().clone();
+    let lb = LoadlineBorrowing::new(exp());
+    c.bench_function("fig12_14_borrowing_evaluation", |b| {
+        b.iter(|| black_box(lb.evaluate(&w, 8).unwrap()));
+    });
+}
+
+fn fig15_colocation(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let cm = catalog.get("coremark").unwrap().clone();
+    let lu = catalog.get("lu_cb").unwrap().clone();
+    c.bench_function("fig15_colocation_frequency", |b| {
+        b.iter(|| {
+            let a = Assignment::colocated(&cm, &lu, 7).unwrap();
+            black_box(exp().run(&a, GuardbandMode::Overclock).unwrap())
+        });
+    });
+}
+
+fn fig16_predictor_training(c: &mut Criterion) {
+    let catalog = Catalog::power7plus();
+    let subset = ["mcf", "radix", "gcc", "raytrace", "swaptions", "povray"];
+    c.bench_function("fig16_predictor_training_subset", |b| {
+        b.iter(|| {
+            let runner = exp();
+            let mut data = Vec::new();
+            for name in subset {
+                let w = catalog.get(name).unwrap();
+                let (mips, freq) =
+                    ags_core::predictor::measure_point(&runner, w).unwrap();
+                data.push((mips, freq.0));
+            }
+            black_box(MipsFrequencyPredictor::fit(&data).unwrap())
+        });
+    });
+}
+
+fn fig17_qos(c: &mut Criterion) {
+    let ws = WebSearch::power7plus();
+    let catalog = Catalog::power7plus();
+    let profile = catalog.get("websearch").unwrap().clone();
+    let heavy = co_runner(CoRunnerClass::Heavy);
+    c.bench_function("fig17_qos_one_class", |b| {
+        b.iter(|| {
+            let a = Assignment::colocated(&profile, &heavy, 7).unwrap();
+            let o = exp().run(&a, GuardbandMode::Overclock).unwrap();
+            black_box(ws.p90_windows(o.summary.sockets[0].avg_core_freq[0], 30, 3))
+        });
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig03_core_scaling,
+        fig04_overclock,
+        fig05_heterogeneity,
+        fig06_cpm_sweep,
+        fig07_fig09_drop_decomposition,
+        fig10_scatter_point,
+        fig12_13_14_borrowing,
+        fig15_colocation,
+        fig16_predictor_training,
+        fig17_qos
+);
+criterion_main!(figures);

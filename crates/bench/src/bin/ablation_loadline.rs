@@ -1,0 +1,79 @@
+//! Ablation — sweep the VRM loadline resistance.
+//!
+//! The loadline is the root cause DESIGN.md calls out: a stiffer rail
+//! (smaller R) keeps adaptive guardbanding efficient at scale and shrinks
+//! loadline borrowing's win. Softer rails grow the win — until the rail is
+//! so soft that the undervolt budget saturates at full load under *either*
+//! schedule, at which point borrowing turns counterproductive (two live
+//! rails at high voltage beat one live rail plus one parked rail). The
+//! sweep exposes both regimes.
+
+use ags_bench::{compare, f, Table, FIGURE_SEED};
+use ags_core::LoadlineBorrowing;
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, Experiment, ServerConfig};
+use p7_types::Ohms;
+use p7_workloads::{Catalog, ExecutionModel};
+
+fn main() {
+    let catalog = Catalog::power7plus();
+    let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
+    let base = ServerConfig::power7plus(FIGURE_SEED).pdn.vrm_loadline.0;
+
+    let mut table = Table::new(
+        "Ablation — VRM loadline sweep (raytrace, 8 threads)",
+        &[
+            "loadline mΩ",
+            "AG saving 1-core %",
+            "AG saving 8-core %",
+            "borrowing saving %",
+        ],
+    );
+
+    let mut stiff_vs_soft = Vec::new();
+    for scale in [0.5, 1.0, 2.0, 3.0] {
+        let mut cfg = ServerConfig::power7plus(FIGURE_SEED);
+        cfg.pdn.vrm_loadline = Ohms(base * scale);
+        // The firmware's transient allowance tracks the physical rail.
+        cfg.policy.transient_reserve_ohms *= scale;
+        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(30, 15);
+
+        let saving = |cores: usize| {
+            let a = Assignment::single_socket(raytrace, cores).expect("valid assignment");
+            let st = exp
+                .run(&a, GuardbandMode::StaticGuardband)
+                .expect("static run");
+            let uv = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+            (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0
+        };
+        let s1 = saving(1);
+        let s8 = saving(8);
+        let lb = LoadlineBorrowing::new(exp);
+        let borrow = lb
+            .evaluate(raytrace, 8)
+            .expect("borrowing evaluation")
+            .power_saving_percent;
+        stiff_vs_soft.push(borrow);
+        table.row(&[
+            f(base * scale * 1000.0, 2),
+            f(s1, 1),
+            f(s8, 1),
+            f(borrow, 1),
+        ]);
+    }
+
+    table.print();
+    table.save_csv("ablation_loadline");
+    println!();
+    compare(
+        "borrowing's win vs rail softness",
+        "grows with R, then collapses when the budget saturates",
+        &format!(
+            "{} / {} / {} / {} % at 0.5× / 1× / 2× / 3× R",
+            f(stiff_vs_soft[0], 1),
+            f(stiff_vs_soft[1], 1),
+            f(stiff_vs_soft[2], 1),
+            f(stiff_vs_soft[3], 1)
+        ),
+    );
+}

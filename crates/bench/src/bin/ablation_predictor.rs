@@ -1,0 +1,98 @@
+//! Ablation — frequency-predictor design choices.
+//!
+//! The paper picks a MIPS-based linear predictor because MIPS is readable
+//! from existing performance counters and tracks power to first order
+//! (Sec. 5.2.1). This ablation compares it against (a) a power-based
+//! linear predictor — more accurate but needing power telemetry — and
+//! (b) a per-workload lookup oracle — exact on seen workloads, useless on
+//! unseen ones (evaluated leave-one-out).
+
+use ags_bench::{compare, f, mean, sweep_experiment, Table};
+use ags_core::MipsFrequencyPredictor;
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+
+    // Gather one observation per workload: chip MIPS, chip power, freq.
+    let mut mips = Vec::new();
+    let mut power = Vec::new();
+    let mut freq = Vec::new();
+    for w in catalog.scatter_set() {
+        let a = Assignment::single_socket(w, 8).expect("valid assignment");
+        let o = exp.run(&a, GuardbandMode::Overclock).expect("training run");
+        let ratio = o.summary.freq_ratio(exp.config().target_frequency);
+        mips.push(w.chip_mips(8, ratio));
+        power.push(o.chip_power().0);
+        freq.push(o.summary.avg_running_freq.0);
+    }
+    let n = freq.len();
+
+    // (1) MIPS-based linear model (the paper's choice).
+    let mips_data: Vec<(f64, f64)> = mips.iter().copied().zip(freq.iter().copied()).collect();
+    let mips_model = MipsFrequencyPredictor::fit(&mips_data).expect("mips fit");
+
+    // (2) Power-based linear model (same machinery, different counter).
+    let power_data: Vec<(f64, f64)> = power.iter().copied().zip(freq.iter().copied()).collect();
+    let power_model = MipsFrequencyPredictor::fit(&power_data).expect("power fit");
+
+    // (3) Leave-one-out lookup "oracle": predict each workload from the
+    // mean frequency of every *other* workload (what a lookup table does
+    // when it has never seen the job).
+    let lookup_rmse = {
+        let total: f64 = freq.iter().sum();
+        let sse: f64 = freq
+            .iter()
+            .map(|&fi| {
+                let others_mean = (total - fi) / (n as f64 - 1.0);
+                (fi - others_mean).powi(2)
+            })
+            .sum();
+        (sse / n as f64).sqrt() / mean(&freq) * 100.0
+    };
+
+    let mut table = Table::new(
+        "Ablation — predictor accuracy (RMSE % of mean frequency)",
+        &["predictor", "input counter", "RMSE %", "deployable?"],
+    );
+    table.row(&[
+        "linear (paper)".into(),
+        "chip MIPS".into(),
+        f(mips_model.rmse_percent(), 2),
+        "yes: existing counters".into(),
+    ]);
+    table.row(&[
+        "linear".into(),
+        "chip power".into(),
+        f(power_model.rmse_percent(), 2),
+        "needs power telemetry".into(),
+    ]);
+    table.row(&[
+        "lookup, unseen job".into(),
+        "workload identity".into(),
+        f(lookup_rmse, 2),
+        "fails on new workloads".into(),
+    ]);
+    table.print();
+    table.save_csv("ablation_predictor");
+    println!();
+
+    compare(
+        "MIPS predictor RMSE",
+        "0.3 % (cheap and sufficient)",
+        &format!("{} %", f(mips_model.rmse_percent(), 2)),
+    );
+    compare(
+        "power-based predictor RMSE",
+        "slightly better (power is the true cause)",
+        &format!("{} %", f(power_model.rmse_percent(), 2)),
+    );
+    compare(
+        "lookup table on unseen workloads",
+        "much worse — motivates a parametric model",
+        &format!("{} %", f(lookup_rmse, 2)),
+    );
+}

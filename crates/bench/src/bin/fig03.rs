@@ -1,0 +1,82 @@
+//! Figure 3 — adaptive guardbanding's power saving and EDP improvement as
+//! active cores scale (raytrace, undervolting mode).
+//!
+//! Paper: 13 % power saving at one active core falling to ~3 % at eight
+//! (Fig. 3a); ~20 % EDP improvement at one core, negligible additional
+//! benefit beyond four (Fig. 3b).
+
+use ags_bench::{compare, experiment, f, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
+
+    let mut table = Table::new(
+        "Fig. 3 — raytrace, undervolting vs static guardband",
+        &[
+            "cores",
+            "static W",
+            "adaptive W",
+            "saving %",
+            "static EDP kJs",
+            "adaptive EDP kJs",
+            "EDP gain %",
+        ],
+    );
+
+    let mut saving_1 = 0.0;
+    let mut saving_8 = 0.0;
+    let mut edp_gain_1 = 0.0;
+    let mut edp_gain_beyond4 = Vec::new();
+    for cores in 1..=8usize {
+        let assignment =
+            Assignment::single_socket(raytrace, cores).expect("valid single-socket assignment");
+        let static_run = exp
+            .run(&assignment, GuardbandMode::StaticGuardband)
+            .expect("static run");
+        let adaptive = exp
+            .run(&assignment, GuardbandMode::Undervolt)
+            .expect("undervolt run");
+
+        let saving =
+            (static_run.chip_power().0 - adaptive.chip_power().0) / static_run.chip_power().0
+                * 100.0;
+        let edp_gain = (static_run.edp - adaptive.edp) / static_run.edp * 100.0;
+        if cores == 1 {
+            saving_1 = saving;
+            edp_gain_1 = edp_gain;
+        }
+        if cores == 8 {
+            saving_8 = saving;
+        }
+        if cores > 4 {
+            edp_gain_beyond4.push(edp_gain);
+        }
+
+        table.row(&[
+            cores.to_string(),
+            f(static_run.chip_power().0, 1),
+            f(adaptive.chip_power().0, 1),
+            f(saving, 1),
+            f(static_run.edp / 1000.0, 2),
+            f(adaptive.edp / 1000.0, 2),
+            f(edp_gain, 1),
+        ]);
+    }
+
+    table.print();
+    table.save_csv("fig03");
+    println!();
+    compare("power saving, 1 active core", "13 %", &format!("{} %", f(saving_1, 1)));
+    compare("power saving, 8 active cores", "3 %", &format!("{} %", f(saving_8, 1)));
+    compare("EDP improvement, 1 active core", "~20 %", &format!("{} %", f(edp_gain_1, 1)));
+    compare(
+        "EDP improvement plateaus beyond 4 cores",
+        "negligible additional gain",
+        &format!("{} % at >4 cores", f(ags_bench::mean(&edp_gain_beyond4), 1)),
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 4 — frequency boost and execution-time speedup as active cores
+//! scale (lu_cb, overclocking mode).
+//!
+//! Paper: frequency gain of up to 10 % at one active core dropping to 4 %
+//! at eight (Fig. 4a); execution speedup 8 % → 3 % (Fig. 4b).
+
+use ags_bench::{compare, experiment, f, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let lu_cb = catalog.get("lu_cb").expect("lu_cb in catalog");
+
+    let mut table = Table::new(
+        "Fig. 4 — lu_cb, overclocking vs static guardband",
+        &[
+            "cores",
+            "static MHz",
+            "adaptive MHz",
+            "boost %",
+            "static s",
+            "adaptive s",
+            "speedup %",
+        ],
+    );
+
+    let mut boost = [0.0f64; 9];
+    let mut speedup = [0.0f64; 9];
+    for cores in 1..=8usize {
+        let assignment =
+            Assignment::single_socket(lu_cb, cores).expect("valid single-socket assignment");
+        let static_run = exp
+            .run(&assignment, GuardbandMode::StaticGuardband)
+            .expect("static run");
+        let adaptive = exp
+            .run(&assignment, GuardbandMode::Overclock)
+            .expect("overclock run");
+
+        boost[cores] = (adaptive.summary.avg_running_freq.0 - static_run.summary.avg_running_freq.0)
+            / static_run.summary.avg_running_freq.0
+            * 100.0;
+        speedup[cores] =
+            (static_run.exec_time.0 - adaptive.exec_time.0) / static_run.exec_time.0 * 100.0;
+
+        table.row(&[
+            cores.to_string(),
+            f(static_run.summary.avg_running_freq.0, 0),
+            f(adaptive.summary.avg_running_freq.0, 0),
+            f(boost[cores], 1),
+            f(static_run.exec_time.0, 1),
+            f(adaptive.exec_time.0, 1),
+            f(speedup[cores], 1),
+        ]);
+    }
+
+    table.print();
+    table.save_csv("fig04");
+    println!();
+    compare("frequency boost, 1 active core", "10 %", &format!("{} %", f(boost[1], 1)));
+    compare("frequency boost, 8 active cores", "4 %", &format!("{} %", f(boost[8], 1)));
+    compare("execution speedup, 1 active core", "8 %", &format!("{} %", f(speedup[1], 1)));
+    compare("execution speedup, 8 active cores", "3 %", &format!("{} %", f(speedup[8], 1)));
+}

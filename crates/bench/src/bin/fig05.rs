@@ -1,0 +1,121 @@
+//! Figure 5 — power and frequency improvement versus active cores for the
+//! five core-scaling benchmarks; workload variation magnifies with load.
+//!
+//! Paper: at one core power improvements cluster at 10.7–14.8 %; the
+//! average falls 13.3 % → 10 % → 6.4 % at 1/2/8 cores. radix barely
+//! degrades (15 % → 12 %) while swaptions collapses (13 % → 3 %). In
+//! frequency mode radix and ocean_cp hold ~9 % while lu_cb, swaptions and
+//! raytrace fall from ~10 % to ~4 %.
+
+use ags_bench::{compare, f, mean, sweep_experiment, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::catalog::CORE_SCALING_SET;
+use p7_workloads::Catalog;
+use std::collections::HashMap;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+
+    let mut power: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut freq: HashMap<&str, Vec<f64>> = HashMap::new();
+
+    for name in CORE_SCALING_SET {
+        let w = catalog.get(name).expect("core-scaling benchmark");
+        for cores in 1..=8usize {
+            let assignment = Assignment::single_socket(w, cores).expect("valid assignment");
+            let static_run = exp
+                .run(&assignment, GuardbandMode::StaticGuardband)
+                .expect("static run");
+            let undervolt = exp
+                .run(&assignment, GuardbandMode::Undervolt)
+                .expect("undervolt run");
+            let overclock = exp
+                .run(&assignment, GuardbandMode::Overclock)
+                .expect("overclock run");
+
+            power.entry(name).or_default().push(
+                (static_run.chip_power().0 - undervolt.chip_power().0)
+                    / static_run.chip_power().0
+                    * 100.0,
+            );
+            freq.entry(name).or_default().push(
+                (overclock.summary.avg_running_freq.0 - static_run.summary.avg_running_freq.0)
+                    / static_run.summary.avg_running_freq.0
+                    * 100.0,
+            );
+        }
+    }
+
+    for (title, csv, data) in [
+        ("Fig. 5a — power improvement % (undervolt mode)", "fig05a", &power),
+        ("Fig. 5b — frequency improvement % (overclock mode)", "fig05b", &freq),
+    ] {
+        let mut headers = vec!["cores"];
+        headers.extend(CORE_SCALING_SET);
+        let mut table = Table::new(title, &headers);
+        for cores in 1..=8usize {
+            let mut row = vec![cores.to_string()];
+            for name in CORE_SCALING_SET {
+                row.push(f(data[name][cores - 1], 1));
+            }
+            table.row(&row);
+        }
+        table.print();
+        table.save_csv(csv);
+        println!();
+    }
+
+    let at = |data: &HashMap<&str, Vec<f64>>, cores: usize| -> Vec<f64> {
+        CORE_SCALING_SET.iter().map(|n| data[n][cores - 1]).collect()
+    };
+    compare(
+        "avg power improvement at 1 / 2 / 8 cores",
+        "13.3 / 10 / 6.4 %",
+        &format!(
+            "{} / {} / {} %",
+            f(mean(&at(&power, 1)), 1),
+            f(mean(&at(&power, 2)), 1),
+            f(mean(&at(&power, 8)), 1)
+        ),
+    );
+    compare(
+        "radix power improvement 1 → 8 cores",
+        "15 → 12 %",
+        &format!("{} → {} %", f(power["radix"][0], 1), f(power["radix"][7], 1)),
+    );
+    compare(
+        "swaptions power improvement 1 → 8 cores",
+        "13 → 3 %",
+        &format!(
+            "{} → {} %",
+            f(power["swaptions"][0], 1),
+            f(power["swaptions"][7], 1)
+        ),
+    );
+    compare(
+        "radix / ocean_cp frequency at 8 cores",
+        "~9 % (nearly flat)",
+        &format!(
+            "{} / {} %",
+            f(freq["radix"][7], 1),
+            f(freq["ocean_cp"][7], 1)
+        ),
+    );
+    compare(
+        "lu_cb / swaptions / raytrace frequency 1 → 8",
+        "10 → 4 %",
+        &format!(
+            "{} → {} %",
+            f(
+                mean(&[freq["lu_cb"][0], freq["swaptions"][0], freq["raytrace"][0]]),
+                1
+            ),
+            f(
+                mean(&[freq["lu_cb"][7], freq["swaptions"][7], freq["raytrace"][7]]),
+                1
+            )
+        ),
+    );
+}

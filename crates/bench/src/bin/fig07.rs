@@ -1,0 +1,77 @@
+//! Figure 7 — per-core on-chip voltage drop versus number of active cores
+//! (static guardband, adaptive guardbanding disabled).
+//!
+//! Paper: drops grow from ~2 % to ~8 % of nominal as cores 0→7 activate in
+//! succession; the trend is chip-global (idle cores sag too) with a local
+//! jump of ~2 % the moment a core itself activates, and earlier-activated
+//! cores rise first then plateau.
+
+use ags_bench::{compare, f, sweep_experiment, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::catalog::CORE_SCALING_SET;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+    let nominal = exp.config().nominal_voltage();
+
+    // drops[workload][active_cores-1][core] = drop % of nominal.
+    let mut drops: Vec<(&str, Vec<[f64; 8]>)> = Vec::new();
+    for name in CORE_SCALING_SET {
+        let w = catalog.get(name).expect("benchmark in catalog");
+        let mut per_count = Vec::new();
+        for active in 1..=8usize {
+            let assignment = Assignment::single_socket(w, active).expect("valid assignment");
+            let run = exp
+                .run(&assignment, GuardbandMode::StaticGuardband)
+                .expect("static run");
+            let row: [f64; 8] = std::array::from_fn(|core| {
+                run.summary.socket0().core_drop_percent(core, nominal)
+            });
+            per_count.push(row);
+        }
+        drops.push((name, per_count));
+    }
+
+    for core in 0..8usize {
+        let mut headers = vec!["active".to_owned()];
+        headers.extend(CORE_SCALING_SET.iter().map(|n| (*n).to_owned()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("Fig. 7 — Core{core} voltage drop (% of nominal)"),
+            &header_refs,
+        );
+        for active in 1..=8usize {
+            let mut row = vec![active.to_string()];
+            for (_, per_count) in &drops {
+                row.push(f(per_count[active - 1][core], 2));
+            }
+            table.row(&row);
+        }
+        table.print();
+        table.save_csv(&format!("fig07_core{core}"));
+        println!();
+    }
+
+    // Headline checks on raytrace.
+    let raytrace = &drops.iter().find(|(n, _)| *n == "raytrace").expect("raytrace").1;
+    compare(
+        "core 0 drop, 1 → 8 active cores",
+        "~2 % → ~8 %",
+        &format!("{} % → {} %", f(raytrace[0][0], 1), f(raytrace[7][0], 1)),
+    );
+    compare(
+        "idle core 7 sags while the top row works (global effect)",
+        "clearly nonzero",
+        &format!("{} % at 4 active cores", f(raytrace[3][7], 1)),
+    );
+    let before = raytrace[6][7]; // 7 active: core 7 still idle
+    let after = raytrace[7][7]; // 8 active: core 7 now running
+    compare(
+        "core 7 local jump upon its own activation",
+        "~2 % of nominal",
+        &format!("{} %", f(after - before, 1)),
+    );
+}

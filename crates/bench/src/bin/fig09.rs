@@ -1,0 +1,79 @@
+//! Figure 9 — decomposition of the on-chip voltage drop into loadline, IR
+//! drop, typical-case di/dt, and worst-case di/dt, as cores activate.
+//!
+//! Paper: the passive component (loadline + IR) dominates and scales
+//! roughly linearly with active cores; typical-case di/dt noise *shrinks*
+//! as staggered cores smooth each other; worst-case droops grow slightly
+//! through alignment but occur rarely. Core 0 data shown, as in the paper.
+
+use ags_bench::{compare, f, sweep_experiment, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::catalog::DECOMPOSITION_SET;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+
+    let mut passive_share_8 = Vec::new();
+    let mut typical_trend = Vec::new();
+    let mut worst_trend = Vec::new();
+
+    for name in DECOMPOSITION_SET {
+        let w = catalog.get(name).expect("benchmark in catalog");
+        let mut table = Table::new(
+            &format!("Fig. 9 — {name}: core 0 drop components (mV)"),
+            &["active", "loadline", "IR drop", "typical di/dt", "worst di/dt", "total"],
+        );
+        for active in 1..=8usize {
+            let assignment = Assignment::single_socket(w, active).expect("valid assignment");
+            let run = exp
+                .run(&assignment, GuardbandMode::StaticGuardband)
+                .expect("static run");
+            let d = run.summary.socket0().drop[0];
+            table.row(&[
+                active.to_string(),
+                f(d.loadline.millivolts(), 1),
+                f(d.ir_drop.millivolts(), 1),
+                f(d.typical_didt.millivolts(), 1),
+                f(d.worst_didt.millivolts(), 1),
+                f(d.total().millivolts(), 1),
+            ]);
+            if active == 1 {
+                typical_trend.push((d.typical_didt.millivolts(), 0.0));
+                worst_trend.push((d.worst_didt.millivolts(), 0.0));
+            }
+            if active == 8 {
+                passive_share_8.push(d.passive().millivolts() / d.total().millivolts() * 100.0);
+                typical_trend.last_mut().expect("pushed at active=1").1 =
+                    d.typical_didt.millivolts();
+                worst_trend.last_mut().expect("pushed at active=1").1 = d.worst_didt.millivolts();
+            }
+        }
+        table.print();
+        table.save_csv(&format!("fig09_{name}"));
+        println!();
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    compare(
+        "passive (loadline+IR) share of total drop at 8 cores",
+        "dominant",
+        &format!("{} % on average", f(mean(&passive_share_8), 0)),
+    );
+    let typ_1: Vec<f64> = typical_trend.iter().map(|t| t.0).collect();
+    let typ_8: Vec<f64> = typical_trend.iter().map(|t| t.1).collect();
+    compare(
+        "typical-case di/dt, 1 → 8 cores",
+        "shrinks (noise smoothing)",
+        &format!("{} → {} mV", f(mean(&typ_1), 1), f(mean(&typ_8), 1)),
+    );
+    let worst_1: Vec<f64> = worst_trend.iter().map(|t| t.0).collect();
+    let worst_8: Vec<f64> = worst_trend.iter().map(|t| t.1).collect();
+    compare(
+        "worst-case di/dt, 1 → 8 cores",
+        "grows slightly (alignment)",
+        &format!("{} → {} mV", f(mean(&worst_1), 1), f(mean(&worst_8), 1)),
+    );
+}

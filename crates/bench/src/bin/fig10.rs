@@ -1,0 +1,111 @@
+//! Figure 10 — the causal chain from workload power to adaptive
+//! guardbanding's headroom, across 44+ workloads at eight active cores.
+//!
+//! Paper: (a) passive drop is linear in chip power; (b) larger passive
+//! drop leaves less room to undervolt, so the selected Vdd rises;
+//! (c) higher selected Vdd means smaller energy savings; (d) larger
+//! passive drop also caps the frequency boost.
+
+use ags_bench::{compare, f, pearson, sweep_experiment, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+
+    let mut table = Table::new(
+        "Fig. 10 — per-workload scatter at 8 active cores",
+        &[
+            "workload",
+            "power W",
+            "passive mV",
+            "undervolt mV",
+            "Vdd sel mV",
+            "energy save %",
+            "freq boost %",
+        ],
+    );
+
+    let mut power = Vec::new();
+    let mut passive = Vec::new();
+    let mut undervolt = Vec::new();
+    let mut vdd = Vec::new();
+    let mut energy_saving = Vec::new();
+    let mut boost = Vec::new();
+
+    for w in catalog.scatter_set() {
+        let assignment = Assignment::single_socket(w, 8).expect("valid assignment");
+        let st = exp
+            .run(&assignment, GuardbandMode::StaticGuardband)
+            .expect("static run");
+        let uv = exp
+            .run(&assignment, GuardbandMode::Undervolt)
+            .expect("undervolt run");
+        let oc = exp
+            .run(&assignment, GuardbandMode::Overclock)
+            .expect("overclock run");
+
+        // Passive drop as measured in the static (AG off) configuration.
+        let p_drop = st.summary.socket0().core0_passive_drop().millivolts();
+        let uv_mv = uv.summary.socket0().undervolt.millivolts();
+        let vdd_mv = uv.summary.socket0().avg_set_point.millivolts();
+        // Energy saving of undervolting at identical runtime (same clock).
+        let e_save = (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0;
+        let b = (oc.summary.avg_running_freq.0 - st.summary.avg_running_freq.0)
+            / st.summary.avg_running_freq.0
+            * 100.0;
+
+        table.row(&[
+            w.name().to_owned(),
+            f(st.chip_power().0, 1),
+            f(p_drop, 1),
+            f(uv_mv, 1),
+            f(vdd_mv, 0),
+            f(e_save, 1),
+            f(b, 1),
+        ]);
+        power.push(st.chip_power().0);
+        passive.push(p_drop);
+        undervolt.push(uv_mv);
+        vdd.push(vdd_mv);
+        energy_saving.push(e_save);
+        boost.push(b);
+    }
+
+    table.print();
+    table.save_csv("fig10");
+    println!();
+
+    compare(
+        "(a) passive drop vs chip power",
+        "strong positive linear",
+        &format!("r = {}", f(pearson(&power, &passive), 3)),
+    );
+    compare(
+        "(b) undervolt amount vs passive drop",
+        "strong negative (slope ≈ −1)",
+        &format!("r = {}", f(pearson(&passive, &undervolt), 3)),
+    );
+    compare(
+        "(b') selected Vdd vs passive drop",
+        "strong positive",
+        &format!("r = {}", f(pearson(&passive, &vdd), 3)),
+    );
+    compare(
+        "(c) energy saving vs selected Vdd",
+        "strong negative",
+        &format!("r = {}", f(pearson(&vdd, &energy_saving), 3)),
+    );
+    compare(
+        "(d) frequency boost vs passive drop",
+        "strong negative",
+        &format!("r = {}", f(pearson(&passive, &boost), 3)),
+    );
+    compare(
+        "population",
+        "44 workloads (17 PARSEC/SPLASH-2 + 27 SPECrate)",
+        &format!("{} workloads", power.len()),
+    );
+}

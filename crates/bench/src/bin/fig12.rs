@@ -1,0 +1,85 @@
+//! Figure 12 — loadline borrowing on raytrace: undervolt depth and chip
+//! power versus active cores, against the consolidated baseline.
+//!
+//! Paper: borrowing undervolts deeper at every core count (≈20 mV more at
+//! one core from reduced per-rail idle current, ≈40 mV more at eight from
+//! distributed dynamic power) and cuts total chip power by 1.6 %, 4.2 %
+//! and 8.5 % at two, four and eight cores.
+
+use ags_bench::{compare, experiment, f, Table};
+use ags_core::LoadlineBorrowing;
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
+    let lb = LoadlineBorrowing::new(exp.clone());
+
+    let mut table = Table::new(
+        "Fig. 12 — raytrace: consolidation vs loadline borrowing",
+        &[
+            "cores",
+            "static W",
+            "baseline W",
+            "borrow W",
+            "uv base mV",
+            "uv borrow mV",
+            "power saving %",
+        ],
+    );
+
+    let mut savings = [0.0f64; 9];
+    let mut uv_gain = [0.0f64; 9];
+    for cores in 1..=8usize {
+        let eval = lb.evaluate(raytrace, cores).expect("borrowing evaluation");
+        let static_run = exp
+            .run(
+                &Assignment::consolidated(raytrace, cores).expect("valid assignment"),
+                GuardbandMode::StaticGuardband,
+            )
+            .expect("static run");
+        let uv_base = eval.consolidated.summary.socket0().undervolt.millivolts();
+        // Borrowing's undervolt: mean of the two (loaded) rails.
+        let uv_borrow = (eval.borrowed.summary.sockets[0].undervolt.millivolts()
+            + eval.borrowed.summary.sockets[1].undervolt.millivolts())
+            / 2.0;
+        savings[cores] = eval.power_saving_percent;
+        uv_gain[cores] = uv_borrow - uv_base;
+        table.row(&[
+            cores.to_string(),
+            f(static_run.total_power().0, 1),
+            f(eval.consolidated.total_power().0, 1),
+            f(eval.borrowed.total_power().0, 1),
+            f(uv_base, 1),
+            f(uv_borrow, 1),
+            f(eval.power_saving_percent, 1),
+        ]);
+    }
+
+    table.print();
+    table.save_csv("fig12");
+    println!();
+    compare(
+        "extra undervolt from borrowing, 1 core",
+        "≈20 mV",
+        &format!("{} mV", f(uv_gain[1], 1)),
+    );
+    compare(
+        "extra undervolt from borrowing, 8 cores",
+        "≈40 mV",
+        &format!("{} mV", f(uv_gain[8], 1)),
+    );
+    compare(
+        "power saving at 2 / 4 / 8 cores",
+        "1.6 / 4.2 / 8.5 %",
+        &format!(
+            "{} / {} / {} %",
+            f(savings[2], 1),
+            f(savings[4], 1),
+            f(savings[8], 1)
+        ),
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 13 — adaptive guardbanding's power improvement over static
+//! guardbanding, consolidation vs loadline borrowing, for every PARSEC and
+//! SPLASH-2 workload across core counts.
+//!
+//! Paper: at eight active cores the consolidated schedules average 5.5 %
+//! improvement over static guardbanding while loadline borrowing averages
+//! 13.8 % — borrowing effectively doubles adaptive guardbanding's benefit
+//! and clusters the workloads back together.
+
+use ags_bench::{compare, f, mean, sweep_experiment, Table};
+use ags_core::LoadlineBorrowing;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+    let lb = LoadlineBorrowing::new(exp);
+
+    let workloads = catalog.parsec_splash();
+    let mut per_count_cons: Vec<Vec<f64>> = vec![Vec::new(); 9];
+    let mut per_count_borr: Vec<Vec<f64>> = vec![Vec::new(); 9];
+
+    let mut table = Table::new(
+        "Fig. 13 — improvement over static guardband (%), per workload",
+        &[
+            "workload", "mode", "1", "2", "3", "4", "5", "6", "7", "8",
+        ],
+    );
+
+    for w in &workloads {
+        let mut cons_row = vec![w.name().to_owned(), "consolidated".to_owned()];
+        let mut borr_row = vec![w.name().to_owned(), "borrowed".to_owned()];
+        for cores in 1..=8usize {
+            let (cons, borr) = lb
+                .improvement_vs_static(w, cores)
+                .expect("improvement runs");
+            per_count_cons[cores].push(cons);
+            per_count_borr[cores].push(borr);
+            cons_row.push(f(cons, 1));
+            borr_row.push(f(borr, 1));
+        }
+        table.row(&cons_row);
+        table.row(&borr_row);
+    }
+
+    table.print();
+    table.save_csv("fig13");
+    println!();
+
+    let mut avg_table = Table::new(
+        "Fig. 13 — suite-average improvement (%)",
+        &["cores", "consolidated", "borrowed"],
+    );
+    for cores in 1..=8usize {
+        avg_table.row(&[
+            cores.to_string(),
+            f(mean(&per_count_cons[cores]), 1),
+            f(mean(&per_count_borr[cores]), 1),
+        ]);
+    }
+    avg_table.print();
+    avg_table.save_csv("fig13_avg");
+    println!();
+
+    let cons8 = mean(&per_count_cons[8]);
+    let borr8 = mean(&per_count_borr[8]);
+    compare(
+        "average improvement at 8 cores, consolidated",
+        "5.5 %",
+        &format!("{} %", f(cons8, 1)),
+    );
+    compare(
+        "average improvement at 8 cores, borrowed",
+        "13.8 %",
+        &format!("{} %", f(borr8, 1)),
+    );
+    compare(
+        "borrowing multiplier over consolidation",
+        "~2.5×",
+        &format!("{}×", f(borr8 / cons8, 2)),
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 14 — loadline borrowing's power and energy improvement at eight
+//! active cores across all 42 workloads (PARSEC + SPLASH-2 + SPECrate).
+//!
+//! Paper: 6.2 % average power and 7.7 % average energy reduction.
+//! Communication-heavy codes on the left (lu_ncb, radiosity) lose >20 %
+//! performance when split and end up with *negative* energy improvement;
+//! bandwidth-starved codes on the right (radix, zeusmp, lbm, fft,
+//! GemsFDTD) gain 50–171 % energy from the second memory subsystem.
+
+use ags_bench::{compare, f, mean, sweep_experiment, Table};
+use ags_core::LoadlineBorrowing;
+use p7_workloads::catalog::FIG14_SET;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+    let lb = LoadlineBorrowing::new(exp);
+
+    let mut table = Table::new(
+        "Fig. 14 — loadline borrowing at 8 threads (paper's x-axis order)",
+        &[
+            "workload",
+            "baseline W",
+            "borrow W",
+            "power save %",
+            "time change %",
+            "energy gain %",
+        ],
+    );
+
+    let mut power_savings = Vec::new();
+    let mut energy_gains = Vec::new();
+    let mut by_name = std::collections::HashMap::new();
+    for name in FIG14_SET {
+        let w = catalog.get(name).expect("fig14 benchmark");
+        let eval = lb.evaluate(w, 8).expect("borrowing evaluation");
+        table.row(&[
+            name.to_owned(),
+            f(eval.consolidated.total_power().0, 1),
+            f(eval.borrowed.total_power().0, 1),
+            f(eval.power_saving_percent, 1),
+            f(eval.time_change_percent, 1),
+            f(eval.energy_improvement_percent, 1),
+        ]);
+        power_savings.push(eval.power_saving_percent);
+        energy_gains.push(eval.energy_improvement_percent);
+        by_name.insert(name, eval.energy_improvement_percent);
+    }
+
+    table.print();
+    table.save_csv("fig14");
+    println!();
+
+    compare(
+        "average power reduction",
+        "6.2 %",
+        &format!("{} %", f(mean(&power_savings), 1)),
+    );
+    compare(
+        "average energy reduction",
+        "7.7 %",
+        &format!("{} %", f(mean(&energy_gains), 1)),
+    );
+    compare(
+        "lu_ncb / radiosity energy (comm-heavy, left extreme)",
+        "negative (perf loss >20 %)",
+        &format!("{} / {} %", f(by_name["lu_ncb"], 1), f(by_name["radiosity"], 1)),
+    );
+    let right: Vec<f64> = ["radix", "zeusmp", "lbm", "fft", "GemsFDTD"]
+        .iter()
+        .map(|n| by_name[n])
+        .collect();
+    compare(
+        "radix/zeusmp/lbm/fft/GemsFDTD energy (bandwidth-bound)",
+        "50–171 %",
+        &format!(
+            "{}–{} %",
+            f(right.iter().cloned().fold(f64::MAX, f64::min), 0),
+            f(right.iter().cloned().fold(f64::MIN, f64::max), 0)
+        ),
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 15 — colocation changes the critical application's frequency.
+//!
+//! coremark (core-contained, so interference is purely through the shared
+//! voltage margin) is colocated with a varying number of lu_cb or mcf
+//! threads. Paper: adding lu_cb threads drags coremark's clock down by
+//! ~85 MHz at <1,7>, while mcf threads *raise* it; the spread between the
+//! two co-runners exceeds 100 MHz.
+
+use ags_bench::{compare, experiment, f, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let coremark = catalog.get("coremark").expect("coremark in catalog");
+    let lu_cb = catalog.get("lu_cb").expect("lu_cb in catalog");
+    let mcf = catalog.get("mcf").expect("mcf in catalog");
+
+    let mut table = Table::new(
+        "Fig. 15 — coremark frequency vs workload combination",
+        &["mix <#coremark,#other>", "co-runner", "coremark MHz"],
+    );
+
+    // coremark-only reference: all eight threads are coremark.
+    let only = exp
+        .run(
+            &Assignment::single_socket(coremark, 8).expect("valid assignment"),
+            GuardbandMode::Overclock,
+        )
+        .expect("coremark-only run");
+    let f_only = only.summary.sockets[0].avg_core_freq[0].0;
+
+    let freq_with = |other: &p7_workloads::WorkloadProfile, n: usize| -> f64 {
+        let a = Assignment::colocated(coremark, other, n).expect("valid colocation");
+        let o = exp.run(&a, GuardbandMode::Overclock).expect("colocated run");
+        o.summary.sockets[0].avg_core_freq[0].0
+    };
+
+    // Sweep from lu_cb-heavy mixes through coremark-only to mcf-heavy,
+    // mirroring the paper's x-axis.
+    let mut f_lu17 = 0.0;
+    let mut f_mcf17 = 0.0;
+    for n_other in (1..=7).rev() {
+        let freq = freq_with(lu_cb, n_other);
+        if n_other == 7 {
+            f_lu17 = freq;
+        }
+        table.row(&[
+            format!("<{},{}>", 8 - n_other, n_other),
+            "lu_cb".to_owned(),
+            f(freq, 0),
+        ]);
+    }
+    table.row(&["<8,0>".to_owned(), "(coremark only)".to_owned(), f(f_only, 0)]);
+    for n_other in 1..=7 {
+        let freq = freq_with(mcf, n_other);
+        if n_other == 7 {
+            f_mcf17 = freq;
+        }
+        table.row(&[
+            format!("<{},{}>", 8 - n_other, n_other),
+            "mcf".to_owned(),
+            f(freq, 0),
+        ]);
+    }
+
+    table.print();
+    table.save_csv("fig15");
+    println!();
+    compare(
+        "coremark-only chip frequency",
+        "4517 MHz",
+        &format!("{} MHz", f(f_only, 0)),
+    );
+    compare(
+        "frequency loss with 7 lu_cb co-runners",
+        "≈ −85 MHz (4433 MHz)",
+        &format!("{} MHz ({} MHz)", f(f_lu17 - f_only, 0), f(f_lu17, 0)),
+    );
+    compare(
+        "mcf co-runners raise coremark's frequency",
+        "positive shift",
+        &format!("{} MHz", f(f_mcf17 - f_only, 0)),
+    );
+    compare(
+        "lu_cb-heavy vs mcf-heavy spread",
+        "> 100 MHz",
+        &format!("{} MHz", f(f_mcf17 - f_lu17, 0)),
+    );
+}

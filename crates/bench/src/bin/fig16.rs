@@ -1,0 +1,63 @@
+//! Figure 16 — the MIPS-based frequency predictor.
+//!
+//! The paper stresses all eight cores with every SPEC CPU2006, PARSEC and
+//! SPLASH-2 workload, measures adaptive guardbanding's frequency choice,
+//! and fits one linear model from chip-total MIPS to frequency. Paper:
+//! root-mean-square error of only 0.3 %.
+
+use ags_bench::{compare, f, sweep_experiment, Table};
+use ags_core::predictor::{measure_point, MipsFrequencyPredictor};
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = sweep_experiment();
+    let catalog = Catalog::power7plus();
+
+    let mut table = Table::new(
+        "Fig. 16 — measured vs predicted frequency per workload",
+        &["workload", "chip MIPS", "measured MHz", "predicted MHz", "error %"],
+    );
+
+    let mut data = Vec::new();
+    let mut names = Vec::new();
+    for w in catalog.scatter_set() {
+        let (mips, freq) = measure_point(&exp, w).expect("training run");
+        data.push((mips, freq.0));
+        names.push(w.name().to_owned());
+    }
+    let model = MipsFrequencyPredictor::fit(&data).expect("fit over 40+ workloads");
+
+    for (name, (mips, freq)) in names.iter().zip(&data) {
+        let predicted = model.predict(*mips);
+        table.row(&[
+            name.clone(),
+            f(*mips, 0),
+            f(*freq, 0),
+            f(predicted.0, 0),
+            f((predicted.0 - freq) / freq * 100.0, 2),
+        ]);
+    }
+
+    table.print();
+    table.save_csv("fig16");
+    println!();
+    compare(
+        "model form",
+        "linear, negative slope",
+        &format!(
+            "f = {} {} MHz per kMIPS · MIPS",
+            f(model.predict(0.0).0, 0),
+            f(model.slope_mhz_per_mips() * 1000.0, 2)
+        ),
+    );
+    compare(
+        "fit RMSE",
+        "0.3 %",
+        &format!("{} % ({} MHz)", f(model.rmse_percent(), 2), f(model.rmse_mhz(), 1)),
+    );
+    compare(
+        "training population",
+        "SPEC + PARSEC + SPLASH-2, all cores stressed",
+        &format!("{} workloads", model.samples()),
+    );
+}

@@ -1,0 +1,88 @@
+//! Study — workload imbalance on a shared rail.
+//!
+//! Sec. 4.2: "the processor has a single off-chip VRM that will need to
+//! supply the highest voltage to match the most demanding core's voltage
+//! requirement. So, even if some cores are lightly active, the system may
+//! have to forgo their adaptive guardbanding benefits to support the
+//! activity of the busy core(s). In applications where workload imbalance
+//! exists, this can become a major efficiency impediment."
+//!
+//! We quantify that: eight light threads undervolt deeply; swapping just
+//! one of them for a power-hungry thread drags the whole rail up, taxing
+//! the seven innocent neighbours.
+
+use ags_bench::{compare, experiment, f, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Assignment;
+use p7_workloads::Catalog;
+
+fn main() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let light = catalog.get("mcf").expect("mcf in catalog");
+    let heavy = catalog.get("lu_cb").expect("lu_cb in catalog");
+
+    let mut table = Table::new(
+        "Workload imbalance: <#heavy lu_cb, #light mcf> on one rail (undervolt mode)",
+        &["mix", "undervolt mV", "chip W", "W per light thread"],
+    );
+
+    let mut uv_all_light = 0.0;
+    let mut uv_one_heavy = 0.0;
+    for heavy_threads in 0..=8usize {
+        let mix: Vec<_> = (0..8)
+            .map(|i| {
+                if i < heavy_threads {
+                    heavy.clone()
+                } else {
+                    light.clone()
+                }
+            })
+            .collect();
+        let assignment = Assignment::mixed_single_socket(&mix).expect("valid assignment");
+
+        let outcome = exp
+            .run(&assignment, GuardbandMode::Undervolt)
+            .expect("undervolt run");
+        let uv = outcome.summary.socket0().undervolt.millivolts();
+        if heavy_threads == 0 {
+            uv_all_light = uv;
+        }
+        if heavy_threads == 1 {
+            uv_one_heavy = uv;
+        }
+        let light_threads = 8 - heavy_threads;
+        let per_light = if light_threads > 0 {
+            f(
+                outcome.chip_power().0 / 8.0, // rail cost shared equally
+                2,
+            )
+        } else {
+            "-".to_owned()
+        };
+        table.row(&[
+            format!("<{heavy_threads},{light_threads}>"),
+            f(uv, 1),
+            f(outcome.chip_power().0, 1),
+            per_light,
+        ]);
+    }
+
+    table.print();
+    table.save_csv("study_imbalance");
+    println!();
+    compare(
+        "undervolt with 8 light threads",
+        "deep (low current, small drop)",
+        &format!("{} mV", f(uv_all_light, 1)),
+    );
+    compare(
+        "undervolt after adding ONE heavy thread",
+        "whole rail forgoes benefit (Sec. 4.2)",
+        &format!(
+            "{} mV (−{} mV for 7 innocent threads)",
+            f(uv_one_heavy, 1),
+            f(uv_all_light - uv_one_heavy, 1)
+        ),
+    );
+}

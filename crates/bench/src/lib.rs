@@ -1,0 +1,249 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin/`
+//! (`fig03` … `fig17`, plus `ablation_*`). Each binary:
+//!
+//! 1. runs the experiments on the simulated Power 720 server,
+//! 2. prints the same rows/series the paper's figure plots,
+//! 3. prints a `paper vs measured` footer for the figure's headline
+//!    numbers,
+//! 4. saves the raw series as CSV under `target/figures/`.
+//!
+//! Absolute values are not expected to match the authors' testbed — the
+//! substrate is a calibrated simulator — but the *shape* (who wins, by
+//! roughly what factor, where crossovers fall) is asserted in the
+//! integration tests and recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use p7_sim::Experiment;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// The master seed every figure binary uses, so results are reproducible.
+pub const FIGURE_SEED: u64 = 42;
+
+/// The standard experiment runner for figures (~2 s settle + ~2 s measure).
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment::power7plus(FIGURE_SEED)
+}
+
+/// A faster runner for wide sweeps (still past the firmware settle time).
+#[must_use]
+pub fn sweep_experiment() -> Experiment {
+    Experiment::power7plus(FIGURE_SEED).with_ticks(30, 15)
+}
+
+/// A simple aligned text table that can also serialize itself to CSV.
+///
+/// # Examples
+///
+/// ```
+/// use ags_bench::Table;
+///
+/// let mut t = Table::new("demo", &["cores", "saving %"]);
+/// t.row(&["1".into(), "13.0".into()]);
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("cores,saving %"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells beyond the header count are kept as-is).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Serializes to CSV (header row first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV under `target/figures/<name>.csv`; prints the path.
+    pub fn save_csv(&self, name: &str) {
+        let dir = figures_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match fs::write(&path, self.to_csv()) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Where figure CSVs land.
+#[must_use]
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("figures")
+}
+
+/// Prints one `paper vs measured` comparison line.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<52} paper: {paper:<18} measured: {measured}");
+}
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// # Examples
+///
+/// ```
+/// use ags_bench::pearson;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>().sqrt();
+    let sy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum::<f64>().sqrt();
+    if sx < 1e-12 || sy < 1e-12 {
+        return 0.0;
+    }
+    cov / (sx * sy)
+}
+
+/// Mean of a slice (0 when empty).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["100".into(), "2000".into()]);
+        let s = t.render();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("long-header"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_format_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,201 @@
+//! Circuit aging and how each guardbanding discipline pays for it.
+//!
+//! The paper's very first paragraph lists what the static margin insures
+//! against: "the loadline, aging effects, fast noise processes and
+//! calibration error". Aging (BTI/HCI threshold-voltage drift) slows the
+//! critical paths over years, i.e. `v_circuit(f)` creeps upward:
+//!
+//! * a **static** design must provision the *end-of-life* allowance on day
+//!   one — margin that is pure waste while the part is young;
+//! * an **adaptive** design measures the real margin through its CPMs
+//!   every cycle, so it pays only the aging that has actually happened —
+//!   the undervolt simply shrinks as the part ages.
+//!
+//! [`AgingModel`] provides the drift curve; `study_aging` in `ags-bench`
+//! quantifies the difference.
+
+use crate::error::ControlError;
+use crate::margin::VoltFreqCurve;
+use p7_types::Volts;
+use serde::{Deserialize, Serialize};
+
+/// A sublinear (power-law) threshold-drift model: the classic
+/// `ΔV ∝ t^n` shape of BTI aging, with `n ≈ 0.2`.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::AgingModel;
+///
+/// let aging = AgingModel::power7plus();
+/// let young = aging.drift_at_years(0.5);
+/// let old = aging.drift_at_years(5.0);
+/// assert!(old > young);
+/// assert!(old <= aging.end_of_life_allowance());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    /// Drift accumulated by the end of the design lifetime.
+    eol_drift: Volts,
+    /// Design lifetime in years.
+    lifetime_years: f64,
+    /// Power-law exponent of the drift curve.
+    exponent: f64,
+}
+
+impl AgingModel {
+    /// A server-class part: 25 mV of drift over a 10-year lifetime with
+    /// the classic `t^0.2` BTI shape.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        AgingModel {
+            eol_drift: Volts::from_millivolts(25.0),
+            lifetime_years: 10.0,
+            exponent: 0.2,
+        }
+    }
+
+    /// Creates a model from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] for non-positive
+    /// lifetime or exponent, or a negative end-of-life drift.
+    pub fn new(
+        eol_drift: Volts,
+        lifetime_years: f64,
+        exponent: f64,
+    ) -> Result<Self, ControlError> {
+        if !(eol_drift.0.is_finite() && eol_drift.0 >= 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "eol_drift",
+                value: eol_drift.0,
+            });
+        }
+        if !(lifetime_years.is_finite() && lifetime_years > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "lifetime_years",
+                value: lifetime_years,
+            });
+        }
+        if !(exponent.is_finite() && exponent > 0.0 && exponent <= 1.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "exponent",
+                value: exponent,
+            });
+        }
+        Ok(AgingModel {
+            eol_drift,
+            lifetime_years,
+            exponent,
+        })
+    }
+
+    /// The allowance a static design reserves on day one: the full
+    /// end-of-life drift.
+    #[must_use]
+    pub fn end_of_life_allowance(&self) -> Volts {
+        self.eol_drift
+    }
+
+    /// The drift that has actually accumulated after `years` in service
+    /// (clamped to the end-of-life value).
+    #[must_use]
+    pub fn drift_at_years(&self, years: f64) -> Volts {
+        if years <= 0.0 {
+            return Volts::ZERO;
+        }
+        let fraction = (years / self.lifetime_years).min(1.0).powf(self.exponent);
+        self.eol_drift * fraction
+    }
+
+    /// The margin a static design wastes at age `years`: allowance minus
+    /// actual drift. Adaptive guardbanding reclaims exactly this through
+    /// its CPMs.
+    #[must_use]
+    pub fn static_waste_at_years(&self, years: f64) -> Volts {
+        self.end_of_life_allowance() - self.drift_at_years(years)
+    }
+
+    /// An aged frequency–voltage curve: `v_circuit` shifted up by the
+    /// accumulated drift. Feed this to a simulation to run an aged part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ControlError::InvalidParameter`] from curve
+    /// construction (never happens for finite drifts).
+    pub fn aged_curve(&self, base: &VoltFreqCurve, years: f64) -> Result<VoltFreqCurve, ControlError> {
+        let drift = self.drift_at_years(years);
+        // Shifting the intercept shifts v_circuit uniformly.
+        let intercept = base.v_circuit(p7_types::MegaHertz(0.0)) + drift;
+        VoltFreqCurve::new(intercept, 1000.0 / base.mhz_per_volt())
+    }
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel::power7plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_types::MegaHertz;
+
+    #[test]
+    fn drift_is_monotone_and_clamped() {
+        let m = AgingModel::power7plus();
+        assert_eq!(m.drift_at_years(0.0), Volts::ZERO);
+        let mut last = Volts::ZERO;
+        for years in [0.1, 0.5, 1.0, 3.0, 10.0, 20.0] {
+            let d = m.drift_at_years(years);
+            assert!(d >= last, "drift must be monotone");
+            last = d;
+        }
+        assert_eq!(m.drift_at_years(20.0), m.end_of_life_allowance());
+    }
+
+    #[test]
+    fn bti_shape_front_loads_the_drift() {
+        // t^0.2: half the drift arrives in the first ~3 % of the lifetime.
+        let m = AgingModel::power7plus();
+        let early = m.drift_at_years(0.31); // ~3 % of 10 years
+        assert!(
+            early.millivolts() > 0.45 * m.end_of_life_allowance().millivolts(),
+            "early drift {early}"
+        );
+    }
+
+    #[test]
+    fn static_waste_shrinks_over_life() {
+        let m = AgingModel::power7plus();
+        let young = m.static_waste_at_years(0.1);
+        let old = m.static_waste_at_years(9.0);
+        assert!(young > old);
+        assert!(old.0 >= 0.0);
+    }
+
+    #[test]
+    fn aged_curve_shifts_v_circuit_uniformly() {
+        let m = AgingModel::power7plus();
+        let base = VoltFreqCurve::power7plus();
+        let aged = m.aged_curve(&base, 10.0).unwrap();
+        let drift = m.drift_at_years(10.0);
+        for mhz in [2800.0, 3600.0, 4200.0] {
+            let f = MegaHertz(mhz);
+            let delta = aged.v_circuit(f) - base.v_circuit(f);
+            assert!((delta - drift).abs() < Volts(1e-9));
+        }
+        // Same slope: an aged part is slower, not differently shaped.
+        assert!((aged.mhz_per_volt() - base.mhz_per_volt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AgingModel::new(Volts(-0.01), 10.0, 0.2).is_err());
+        assert!(AgingModel::new(Volts(0.02), 0.0, 0.2).is_err());
+        assert!(AgingModel::new(Volts(0.02), 10.0, 1.5).is_err());
+        assert!(AgingModel::new(Volts(0.02), 10.0, 0.2).is_ok());
+    }
+}

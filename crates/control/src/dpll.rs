@@ -1,0 +1,191 @@
+//! Per-core digital phase-locked loop (DPLL).
+//!
+//! Each POWER7+ core has its own DPLL that can slew the clock by 7 % in
+//! under 10 ns while the clock stays active (Sec. 2.2). Every cycle the
+//! worst CPM of the core is compared against the calibration point and the
+//! DPLL slews frequency to hold the margin there. At the simulator's 32 ms
+//! resolution the loop is quasi-instantaneous, but the slew limit still
+//! matters for the sub-window droop response, so it is modelled per step.
+
+use crate::error::ControlError;
+use crate::margin::VoltFreqCurve;
+use p7_types::{MegaHertz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// One core's DPLL.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::{Dpll, VoltFreqCurve};
+/// use p7_types::{MegaHertz, Volts};
+///
+/// let curve = VoltFreqCurve::power7plus();
+/// let mut dpll = Dpll::new(MegaHertz(4200.0), MegaHertz(2800.0), MegaHertz(4700.0)).unwrap();
+/// // Plenty of usable voltage: the DPLL overclocks.
+/// let usable = curve.v_circuit(MegaHertz(4200.0)) + Volts::from_millivolts(80.0);
+/// dpll.track(usable, &curve);
+/// assert!(dpll.frequency() > MegaHertz(4200.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dpll {
+    frequency: MegaHertz,
+    min: MegaHertz,
+    max: MegaHertz,
+    /// Maximum relative frequency change per `track` call (1.0 = unlimited).
+    slew_per_step: f64,
+}
+
+impl Dpll {
+    /// Creates a DPLL at `start`, clamped to `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] when the range is empty
+    /// or `start` lies outside it.
+    pub fn new(start: MegaHertz, min: MegaHertz, max: MegaHertz) -> Result<Self, ControlError> {
+        if !(min.0.is_finite() && max.0.is_finite() && min.0 > 0.0 && min <= max) {
+            return Err(ControlError::InvalidParameter {
+                name: "dpll_range",
+                value: max.0 - min.0,
+            });
+        }
+        if start < min || start > max {
+            return Err(ControlError::InvalidParameter {
+                name: "dpll_start",
+                value: start.0,
+            });
+        }
+        Ok(Dpll {
+            frequency: start,
+            min,
+            max,
+            slew_per_step: 1.0,
+        })
+    }
+
+    /// Limits how far the clock may move per `track` call (e.g. `0.07` for
+    /// the hardware's 7 %-per-10 ns behaviour when stepping at fine
+    /// timescales).
+    pub fn set_slew_per_step(&mut self, slew: f64) {
+        self.slew_per_step = slew.clamp(0.0, 1.0);
+    }
+
+    /// Current output frequency.
+    #[must_use]
+    pub fn frequency(&self) -> MegaHertz {
+        self.frequency
+    }
+
+    /// The upper clamp of this DPLL.
+    #[must_use]
+    pub fn max_frequency(&self) -> MegaHertz {
+        self.max
+    }
+
+    /// Forces the clock (used when entering static-guardband mode).
+    pub fn set_frequency(&mut self, f: MegaHertz) {
+        self.frequency = f.clamp(self.min, self.max);
+    }
+
+    /// Slews toward the fastest clock the given *usable* voltage allows.
+    ///
+    /// `usable_voltage` is the delivered core voltage minus the residual
+    /// guardband and ripple allowance. The closed CPM–DPLL loop's fixed
+    /// point is the frequency whose critical paths exactly close timing at
+    /// that voltage, `f_max(usable_voltage)`; the DPLL slews there within
+    /// its per-step limit. Returns the new frequency.
+    pub fn track(&mut self, usable_voltage: Volts, curve: &VoltFreqCurve) -> MegaHertz {
+        let target = curve.f_max(usable_voltage).clamp(self.min, self.max);
+        let max_step = MegaHertz(self.frequency.0 * self.slew_per_step);
+        let delta = (target - self.frequency).clamp(-max_step, max_step);
+        self.frequency = (self.frequency + delta).clamp(self.min, self.max);
+        self.frequency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dpll() -> Dpll {
+        Dpll::new(MegaHertz(4200.0), MegaHertz(2800.0), MegaHertz(4700.0)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_ranges() {
+        assert!(Dpll::new(MegaHertz(4200.0), MegaHertz(4700.0), MegaHertz(2800.0)).is_err());
+        assert!(Dpll::new(MegaHertz(5000.0), MegaHertz(2800.0), MegaHertz(4700.0)).is_err());
+        assert!(Dpll::new(MegaHertz(4000.0), MegaHertz(0.0), MegaHertz(4700.0)).is_err());
+    }
+
+    #[test]
+    fn positive_margin_overclocks() {
+        let curve = VoltFreqCurve::power7plus();
+        let mut d = dpll();
+        let v = curve.v_circuit(MegaHertz(4200.0)) + Volts::from_millivolts(58.0);
+        let f = d.track(v, &curve);
+        // 58 mV of usable margin at 5.8 MHz/mV ≈ +336 MHz.
+        assert!((f.0 - 4200.0 - 336.0).abs() < 5.0, "freq {f}");
+    }
+
+    #[test]
+    fn negative_margin_slows_down() {
+        let curve = VoltFreqCurve::power7plus();
+        let mut d = dpll();
+        let v = curve.v_circuit(MegaHertz(4200.0)) - Volts::from_millivolts(29.0);
+        let f = d.track(v, &curve);
+        assert!(f < MegaHertz(4200.0), "freq {f}");
+        assert!((f.0 - (4200.0 - 29.0 * 5.8)).abs() < 5.0);
+    }
+
+    #[test]
+    fn clamps_at_max() {
+        let curve = VoltFreqCurve::power7plus();
+        let mut d = dpll();
+        let f = d.track(Volts(2.0), &curve);
+        assert_eq!(f, MegaHertz(4700.0));
+    }
+
+    #[test]
+    fn clamps_at_min() {
+        let curve = VoltFreqCurve::power7plus();
+        let mut d = dpll();
+        let f = d.track(Volts(0.2), &curve);
+        assert_eq!(f, MegaHertz(2800.0));
+    }
+
+    #[test]
+    fn slew_limit_bounds_step() {
+        let curve = VoltFreqCurve::power7plus();
+        let mut d = dpll();
+        d.set_slew_per_step(0.02);
+        let before = d.frequency();
+        let after = d.track(Volts(2.0), &curve);
+        assert!((after.0 - before.0) / before.0 <= 0.02 + 1e-9);
+        // Repeated steps converge to the clamp.
+        for _ in 0..30 {
+            d.track(Volts(2.0), &curve);
+        }
+        assert_eq!(d.frequency(), MegaHertz(4700.0));
+    }
+
+    #[test]
+    fn tracking_is_idempotent_at_equilibrium() {
+        let curve = VoltFreqCurve::power7plus();
+        let mut d = dpll();
+        let m = curve.v_circuit(MegaHertz(4200.0)) + Volts::from_millivolts(40.0);
+        let f1 = d.track(m, &curve);
+        let f2 = d.track(m, &curve);
+        assert!((f1.0 - f2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_frequency_clamps() {
+        let mut d = dpll();
+        d.set_frequency(MegaHertz(9000.0));
+        assert_eq!(d.frequency(), MegaHertz(4700.0));
+        d.set_frequency(MegaHertz(100.0));
+        assert_eq!(d.frequency(), MegaHertz(2800.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error types of the control crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring the guardband control stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// A configuration parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending field.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InvalidParameter { name, value } => {
+                write!(f, "control parameter `{name}` is out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let err = ControlError::InvalidParameter {
+            name: "dpll_start",
+            value: -1.0,
+        };
+        assert!(format!("{err}").contains("dpll_start"));
+    }
+}

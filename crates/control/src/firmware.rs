@@ -1,0 +1,213 @@
+//! The 32 ms firmware voltage controller (undervolting mode).
+//!
+//! In undervolting mode "the firmware observes CPM-DPLL's frequency and
+//! over a longer term (32 ms) adjusts voltage to make clock frequency hit
+//! the target" (Sec. 2.2). This module implements that outer loop as a
+//! proportional controller on the frequency error, with a hard floor at
+//! the circuit-required voltage plus the residual guardband.
+
+use crate::error::ControlError;
+use crate::margin::{GuardbandPolicy, VoltFreqCurve};
+use p7_types::{MegaHertz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// The firmware's outer voltage loop.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::{FirmwareController, GuardbandPolicy, VoltFreqCurve};
+/// use p7_types::{MegaHertz, Volts};
+///
+/// let curve = VoltFreqCurve::power7plus();
+/// let policy = GuardbandPolicy::power7plus();
+/// let fw = FirmwareController::new(MegaHertz(4200.0), policy.clone())?;
+///
+/// // DPLL is running 200 MHz above target: plenty of slack, trim voltage.
+/// let v_nominal = policy.nominal_voltage(&curve, MegaHertz(4200.0));
+/// let next = fw.adjust_voltage(v_nominal, MegaHertz(4400.0), &curve);
+/// assert!(next < v_nominal);
+/// # Ok::<(), p7_control::ControlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirmwareController {
+    target: MegaHertz,
+    policy: GuardbandPolicy,
+    /// Fraction of the voltage error corrected per 32 ms tick.
+    gain: f64,
+    /// Largest set-point move per tick (slew protection).
+    max_step: Volts,
+}
+
+impl FirmwareController {
+    /// Creates a controller that servoes the DPLL frequency to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] when the target is not
+    /// positive or the policy fails validation.
+    pub fn new(target: MegaHertz, policy: GuardbandPolicy) -> Result<Self, ControlError> {
+        if !(target.0.is_finite() && target.0 > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "target_frequency",
+                value: target.0,
+            });
+        }
+        policy.validate()?;
+        Ok(FirmwareController {
+            target,
+            policy,
+            gain: 0.7,
+            max_step: Volts::from_millivolts(25.0),
+        })
+    }
+
+    /// The frequency target the loop servoes to.
+    #[must_use]
+    pub fn target(&self) -> MegaHertz {
+        self.target
+    }
+
+    /// The guardband policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &GuardbandPolicy {
+        &self.policy
+    }
+
+    /// Overrides the proportional gain (loop-tuning experiments).
+    pub fn set_gain(&mut self, gain: f64) {
+        self.gain = gain.clamp(0.0, 1.0);
+    }
+
+    /// One 32 ms control step: given the current rail set point and the
+    /// observed (slowest-core) DPLL frequency, returns the next set point.
+    ///
+    /// When the DPLL runs above target there is spare margin — the voltage
+    /// steps down; below target, the voltage steps back up. The set point
+    /// never goes below the residual-guardband floor at the target
+    /// frequency, and never above the static nominal (the baseline design
+    /// already guarantees reliability there).
+    #[must_use]
+    pub fn adjust_voltage(
+        &self,
+        current_set: Volts,
+        observed_freq: MegaHertz,
+        curve: &VoltFreqCurve,
+    ) -> Volts {
+        let freq_error = observed_freq - self.target;
+        // Convert the frequency surplus into the equivalent voltage surplus.
+        let v_error = Volts::from_millivolts(freq_error.0 / curve.mhz_per_volt() * 1000.0);
+        let step = (v_error * self.gain).clamp(-self.max_step, self.max_step);
+        let proposed = current_set - step;
+        let floor = self.voltage_floor(curve);
+        let ceiling = self.policy.nominal_voltage(curve, self.target);
+        proposed.clamp(floor, ceiling)
+    }
+
+    /// The lowest set point the firmware will ever select: circuit voltage
+    /// at the target frequency plus the residual guardband.
+    #[must_use]
+    pub fn voltage_floor(&self, curve: &VoltFreqCurve) -> Volts {
+        curve.v_circuit(self.target) + self.policy.residual_guardband
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FirmwareController, VoltFreqCurve, Volts) {
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let nominal = policy.nominal_voltage(&curve, MegaHertz(4200.0));
+        let fw = FirmwareController::new(MegaHertz(4200.0), policy).unwrap();
+        (fw, curve, nominal)
+    }
+
+    #[test]
+    fn surplus_frequency_lowers_voltage() {
+        let (fw, curve, nominal) = setup();
+        let next = fw.adjust_voltage(nominal, MegaHertz(4400.0), &curve);
+        assert!(next < nominal);
+    }
+
+    #[test]
+    fn deficit_frequency_raises_voltage() {
+        let (fw, curve, _) = setup();
+        let low = fw.voltage_floor(&curve);
+        let next = fw.adjust_voltage(low, MegaHertz(4100.0), &curve);
+        assert!(next > low);
+    }
+
+    #[test]
+    fn never_breaches_floor() {
+        let (fw, curve, _) = setup();
+        let mut v = fw.voltage_floor(&curve) + Volts::from_millivolts(5.0);
+        for _ in 0..100 {
+            v = fw.adjust_voltage(v, MegaHertz(4700.0), &curve);
+            assert!(v >= fw.voltage_floor(&curve) - Volts(1e-12));
+        }
+    }
+
+    #[test]
+    fn never_exceeds_nominal() {
+        let (fw, curve, nominal) = setup();
+        let mut v = nominal - Volts::from_millivolts(5.0);
+        for _ in 0..100 {
+            v = fw.adjust_voltage(v, MegaHertz(2800.0), &curve);
+            assert!(v <= nominal + Volts(1e-12));
+        }
+    }
+
+    #[test]
+    fn converges_when_plant_follows() {
+        // Close the loop with an idealized plant: the DPLL frequency is
+        // f_max of the delivered voltage minus a fixed drop and the
+        // residual reserve. The controller should settle near the point
+        // where that frequency equals the target.
+        let (fw, curve, nominal) = setup();
+        let drop = Volts::from_millivolts(40.0);
+        let reserve = fw.policy().residual_guardband;
+        let mut v = nominal;
+        for _ in 0..60 {
+            let delivered = v - drop;
+            let freq = curve.f_max(delivered - reserve);
+            v = fw.adjust_voltage(v, freq, &curve);
+        }
+        let settled_freq = curve.f_max(v - drop - reserve);
+        assert!(
+            (settled_freq.0 - 4200.0).abs() < 3.0,
+            "settled at {settled_freq}"
+        );
+        // The undervolt amount should be reclaimable-margin minus drop.
+        let undervolt = (nominal - v).millivolts();
+        let expected = fw.policy().reclaimable().millivolts() - 40.0;
+        assert!(
+            (undervolt - expected).abs() < 2.0,
+            "undervolt {undervolt} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn step_is_slew_limited() {
+        let (fw, curve, nominal) = setup();
+        let next = fw.adjust_voltage(nominal, MegaHertz(4700.0), &curve);
+        assert!((nominal - next).millivolts() <= 25.0 + 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        assert!(FirmwareController::new(MegaHertz(0.0), GuardbandPolicy::power7plus()).is_err());
+        assert!(
+            FirmwareController::new(MegaHertz(f64::NAN), GuardbandPolicy::power7plus()).is_err()
+        );
+    }
+
+    #[test]
+    fn zero_gain_freezes_voltage_within_bounds() {
+        let (mut fw, curve, nominal) = setup();
+        fw.set_gain(0.0);
+        let v = nominal - Volts::from_millivolts(30.0);
+        assert_eq!(fw.adjust_voltage(v, MegaHertz(4500.0), &curve), v);
+    }
+}

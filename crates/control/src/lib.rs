@@ -1,0 +1,38 @@
+//! Guardband control substrate: the frequency–voltage relationship, the
+//! per-core DPLLs, and the firmware voltage controller of the POWER7+
+//! adaptive-guardbanding loop (Sec. 2.2 of the paper).
+//!
+//! The control stack has three layers:
+//!
+//! 1. [`margin::VoltFreqCurve`] — how much voltage the circuits need at a
+//!    given clock frequency, plus the [`margin::GuardbandPolicy`] deciding
+//!    how much margin a static design reserves versus the residual an
+//!    adaptive design keeps for sensor nondeterminism,
+//! 2. [`dpll::Dpll`] — the per-core digital PLL that slews frequency within
+//!    nanoseconds to hold the worst CPM at its calibration point,
+//! 3. [`firmware::FirmwareController`] — the 32 ms firmware loop that, in
+//!    undervolting mode, trims the VRM set point until the DPLL frequency
+//!    sits at the target.
+//!
+//! Three [`GuardbandMode`]s reproduce the paper's experimental
+//! configurations: `StaticGuardband` (baseline), `Overclock`
+//! (frequency-boosting) and `Undervolt` (power-saving).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod dpll;
+pub mod error;
+pub mod firmware;
+pub mod margin;
+pub mod modes;
+pub mod pstate;
+
+pub use aging::AgingModel;
+pub use dpll::Dpll;
+pub use error::ControlError;
+pub use firmware::FirmwareController;
+pub use margin::{GuardbandPolicy, VoltFreqCurve};
+pub use modes::GuardbandMode;
+pub use pstate::{PState, PStateTable};

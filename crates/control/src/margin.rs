@@ -1,0 +1,288 @@
+//! The frequency–voltage relationship and guardband accounting.
+
+use crate::error::ControlError;
+use p7_types::{MegaHertz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Linear frequency–voltage curve of the 32 nm POWER7+ core logic.
+///
+/// `v_circuit(f)` is the minimum voltage at which the critical paths close
+/// timing at clock frequency `f`; its inverse `f_max(v)` is the fastest
+/// reliable clock at voltage `v`. The paper's Fig. 6a sweep (2.8–4.2 GHz
+/// over roughly 0.96–1.20 V at the DVFS operating points) fixes the slope
+/// at ≈5.8 MHz per mV.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::VoltFreqCurve;
+/// use p7_types::{MegaHertz, Volts};
+///
+/// let curve = VoltFreqCurve::power7plus();
+/// let v = curve.v_circuit(MegaHertz(4200.0));
+/// let f = curve.f_max(v);
+/// assert!((f.0 - 4200.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltFreqCurve {
+    /// Extrapolated voltage intercept at zero frequency.
+    v_intercept: Volts,
+    /// Voltage cost per MHz of clock frequency.
+    mv_per_mhz: f64,
+}
+
+impl VoltFreqCurve {
+    /// The calibrated POWER7+ curve (≈5.8 MHz per mV).
+    #[must_use]
+    pub fn power7plus() -> Self {
+        // v_circuit(4200 MHz) = 1.027 V with the static nominal at 1.2 V
+        // leaving the 173 mV static guardband of GuardbandPolicy.
+        VoltFreqCurve {
+            v_intercept: Volts(0.302_86),
+            mv_per_mhz: 1.0 / 5.8,
+        }
+    }
+
+    /// Creates a curve from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] when the slope is not
+    /// strictly positive and finite or the intercept is not finite.
+    pub fn new(v_intercept: Volts, mv_per_mhz: f64) -> Result<Self, ControlError> {
+        if !(mv_per_mhz.is_finite() && mv_per_mhz > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "mv_per_mhz",
+                value: mv_per_mhz,
+            });
+        }
+        if !v_intercept.is_finite() {
+            return Err(ControlError::InvalidParameter {
+                name: "v_intercept",
+                value: v_intercept.0,
+            });
+        }
+        Ok(VoltFreqCurve {
+            v_intercept,
+            mv_per_mhz,
+        })
+    }
+
+    /// Minimum circuit voltage for reliable operation at frequency `f`.
+    #[must_use]
+    pub fn v_circuit(&self, f: MegaHertz) -> Volts {
+        self.v_intercept + Volts::from_millivolts(f.0 * self.mv_per_mhz)
+    }
+
+    /// Fastest reliable clock frequency at voltage `v` (zero when `v` is
+    /// below the intercept).
+    #[must_use]
+    pub fn f_max(&self, v: Volts) -> MegaHertz {
+        MegaHertz(((v - self.v_intercept).millivolts() / self.mv_per_mhz).max(0.0))
+    }
+
+    /// The timing margin (in volts) available at voltage `v` and clock `f`.
+    #[must_use]
+    pub fn margin(&self, v: Volts, f: MegaHertz) -> Volts {
+        v - self.v_circuit(f)
+    }
+
+    /// Frequency gained per volt of extra margin (the curve's slope).
+    #[must_use]
+    pub fn mhz_per_volt(&self) -> f64 {
+        1000.0 / self.mv_per_mhz
+    }
+}
+
+impl Default for VoltFreqCurve {
+    fn default() -> Self {
+        VoltFreqCurve::power7plus()
+    }
+}
+
+/// How much voltage margin each guardbanding discipline reserves.
+///
+/// * A **static** design provisions `static_guardband` above `v_circuit` at
+///   the DVFS point, sized for worst-case load, droops, aging, and
+///   calibration error stacked together (the paper's Fig. 1a).
+/// * An **adaptive** design measures margin with CPMs and keeps only
+///   `residual_guardband` against the nondeterminism of the mechanism
+///   itself (Sec. 2.1: a precautionary remainder).
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::GuardbandPolicy;
+///
+/// let policy = GuardbandPolicy::power7plus();
+/// let reclaimable = policy.reclaimable();
+/// assert!(reclaimable.millivolts() > 90.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandPolicy {
+    /// Fixed margin a static design adds to `v_circuit` at the DVFS point.
+    pub static_guardband: Volts,
+    /// Margin an adaptive design keeps for CPM/DPLL nondeterminism.
+    pub residual_guardband: Volts,
+    /// Firmware's load-transient reserve per ampere of socket current.
+    ///
+    /// In undervolting mode the rail must survive the worst load
+    /// transient its socket can produce — a step of the full socket
+    /// current through the loadline — so the firmware refuses to spend
+    /// that much of the margin. The reserve is proportional to the
+    /// *per-socket* current, which is exactly what "loadline borrowing"
+    /// (Sec. 5.1) exploits: balancing threads across sockets halves each
+    /// rail's reserve and frees real undervolt room on both. The paper's
+    /// Fig. 12a (undervolt 20 mV consolidated vs. 60 mV borrowed at eight
+    /// cores) calibrates the value.
+    pub transient_reserve_ohms: f64,
+}
+
+impl GuardbandPolicy {
+    /// The calibrated POWER7+ policy.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        GuardbandPolicy {
+            static_guardband: Volts::from_millivolts(173.0),
+            residual_guardband: Volts::from_millivolts(30.0),
+            transient_reserve_ohms: 0.40e-3,
+        }
+    }
+
+    /// The voltage the firmware reserves against load transients on a
+    /// rail currently carrying `socket_current` amperes.
+    #[must_use]
+    pub fn transient_reserve(&self, socket_current: f64) -> Volts {
+        Volts(self.transient_reserve_ohms * socket_current.max(0.0))
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] when either guardband is
+    /// negative/non-finite or the residual exceeds the static guardband.
+    pub fn validate(&self) -> Result<(), ControlError> {
+        for (name, value) in [
+            ("static_guardband", self.static_guardband.0),
+            ("residual_guardband", self.residual_guardband.0),
+            ("transient_reserve_ohms", self.transient_reserve_ohms),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(ControlError::InvalidParameter { name, value });
+            }
+        }
+        if self.residual_guardband > self.static_guardband {
+            return Err(ControlError::InvalidParameter {
+                name: "residual_guardband",
+                value: self.residual_guardband.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// The margin adaptive guardbanding can hand back to the system when no
+    /// drop consumes it: static minus residual.
+    #[must_use]
+    pub fn reclaimable(&self) -> Volts {
+        self.static_guardband - self.residual_guardband
+    }
+
+    /// The static-design nominal supply voltage for a DVFS target `f`.
+    #[must_use]
+    pub fn nominal_voltage(&self, curve: &VoltFreqCurve, f: MegaHertz) -> Volts {
+        curve.v_circuit(f) + self.static_guardband
+    }
+}
+
+impl Default for GuardbandPolicy {
+    fn default() -> Self {
+        GuardbandPolicy::power7plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_round_trips() {
+        let curve = VoltFreqCurve::power7plus();
+        for mhz in [2800.0, 3500.0, 4200.0] {
+            let v = curve.v_circuit(MegaHertz(mhz));
+            assert!((curve.f_max(v).0 - mhz).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nominal_point_matches_power7plus() {
+        // Static design: 4.2 GHz at 1.2 V nominal.
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let v_nom = policy.nominal_voltage(&curve, MegaHertz(4200.0));
+        assert!(
+            (v_nom.millivolts() - 1200.0).abs() < 2.0,
+            "nominal {v_nom}"
+        );
+    }
+
+    #[test]
+    fn dvfs_low_point_matches_fig6a() {
+        // Fig. 6a: the 2.8 GHz DVFS operating point sits near 960 mV.
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let v = policy.nominal_voltage(&curve, MegaHertz(2800.0));
+        assert!((v.millivolts() - 960.0).abs() < 10.0, "2.8 GHz point {v}");
+    }
+
+    #[test]
+    fn margin_sign_convention() {
+        let curve = VoltFreqCurve::power7plus();
+        let f = MegaHertz(4200.0);
+        let tight = curve.v_circuit(f);
+        assert!(curve.margin(tight, f).abs() < Volts(1e-12));
+        assert!(curve.margin(tight + Volts(0.05), f) > Volts::ZERO);
+        assert!(curve.margin(tight - Volts(0.05), f) < Volts::ZERO);
+    }
+
+    #[test]
+    fn f_max_clamps_below_intercept() {
+        let curve = VoltFreqCurve::power7plus();
+        assert_eq!(curve.f_max(Volts(0.1)), MegaHertz(0.0));
+    }
+
+    #[test]
+    fn ten_percent_boost_fits_reclaimable_margin() {
+        // With ~100 mV reclaimable and 5.8 MHz/mV, a lightly loaded chip
+        // can boost ~580 MHz; the paper reports up to 10 % (420 MHz), the
+        // difference being consumed by drops and ripple.
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let boost_mhz = policy.reclaimable().millivolts() * curve.mhz_per_volt() / 1000.0;
+        assert!((600.0..1000.0).contains(&boost_mhz), "boost {boost_mhz} MHz");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(VoltFreqCurve::new(Volts(0.3), 0.0).is_err());
+        assert!(VoltFreqCurve::new(Volts(f64::NAN), 0.2).is_err());
+        let bad = GuardbandPolicy {
+            static_guardband: Volts(0.02),
+            residual_guardband: Volts(0.05),
+            transient_reserve_ohms: 0.40e-3,
+        };
+        assert!(bad.validate().is_err());
+        let negative_reserve = GuardbandPolicy {
+            transient_reserve_ohms: -1.0,
+            ..GuardbandPolicy::power7plus()
+        };
+        assert!(negative_reserve.validate().is_err());
+        GuardbandPolicy::power7plus().validate().unwrap();
+    }
+
+    #[test]
+    fn mhz_per_volt_is_inverse_slope() {
+        let curve = VoltFreqCurve::power7plus();
+        assert!((curve.mhz_per_volt() - 5800.0).abs() < 1.0);
+    }
+}

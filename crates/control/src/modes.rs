@@ -1,0 +1,83 @@
+//! The guardbanding operating modes the paper characterizes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which guardbanding discipline the chip runs under.
+///
+/// The paper's firmware hooks "let us place the system in either operating
+/// mode" (Sec. 3.1); the static mode is the measurement baseline.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::GuardbandMode;
+///
+/// assert!(GuardbandMode::Undervolt.is_adaptive());
+/// assert!(!GuardbandMode::StaticGuardband.is_adaptive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GuardbandMode {
+    /// Fixed nominal voltage and fixed DVFS frequency (baseline).
+    StaticGuardband,
+    /// Fixed nominal voltage; DPLLs convert spare margin into clock
+    /// frequency (performance-boosting mode).
+    Overclock,
+    /// Fixed target frequency; firmware converts spare margin into a lower
+    /// VRM set point (power-saving mode).
+    Undervolt,
+}
+
+impl GuardbandMode {
+    /// True for the two adaptive modes.
+    #[must_use]
+    pub fn is_adaptive(self) -> bool {
+        !matches!(self, GuardbandMode::StaticGuardband)
+    }
+
+    /// All modes, baseline first.
+    #[must_use]
+    pub fn all() -> [GuardbandMode; 3] {
+        [
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Overclock,
+            GuardbandMode::Undervolt,
+        ]
+    }
+}
+
+impl fmt::Display for GuardbandMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GuardbandMode::StaticGuardband => "static-guardband",
+            GuardbandMode::Overclock => "overclock",
+            GuardbandMode::Undervolt => "undervolt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptivity_flags() {
+        assert!(GuardbandMode::Overclock.is_adaptive());
+        assert!(GuardbandMode::Undervolt.is_adaptive());
+        assert!(!GuardbandMode::StaticGuardband.is_adaptive());
+    }
+
+    #[test]
+    fn all_lists_three_distinct_modes() {
+        let all = GuardbandMode::all();
+        assert_eq!(all.len(), 3);
+        assert_ne!(all[0], all[1]);
+        assert_ne!(all[1], all[2]);
+    }
+
+    #[test]
+    fn display_is_kebab_case() {
+        assert_eq!(format!("{}", GuardbandMode::StaticGuardband), "static-guardband");
+    }
+}

@@ -1,0 +1,223 @@
+//! The DVFS operating-point ladder (p-states).
+//!
+//! Fig. 6a of the paper sweeps "all possible clock frequencies" from
+//! 2.8 GHz upward in 28 MHz increments to the 4.2 GHz peak, and marks the
+//! system-default voltage at each DVFS operating point. Under a static
+//! guardband each p-state pairs a frequency with `v_circuit(f)` plus the
+//! full static margin; adaptive guardbanding treats the p-state voltage
+//! as the ceiling it undervolts from.
+
+use crate::error::ControlError;
+use crate::margin::{GuardbandPolicy, VoltFreqCurve};
+use p7_types::{MegaHertz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Ladder index, 0 = slowest.
+    pub index: usize,
+    /// Clock frequency of this operating point.
+    pub frequency: MegaHertz,
+    /// Static-guardband supply voltage of this operating point.
+    pub voltage: Volts,
+}
+
+/// The full ladder of operating points.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::{GuardbandPolicy, PStateTable, VoltFreqCurve};
+/// use p7_types::MegaHertz;
+///
+/// let table = PStateTable::power7plus(
+///     &VoltFreqCurve::power7plus(),
+///     &GuardbandPolicy::power7plus(),
+/// )?;
+/// assert_eq!(table.len(), 51);
+/// let peak = table.peak();
+/// assert_eq!(peak.frequency, MegaHertz(4200.0));
+/// # Ok::<(), p7_control::ControlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateTable {
+    states: Vec<PState>,
+}
+
+impl PStateTable {
+    /// The POWER7+ ladder: 2.8 → 4.2 GHz in 28 MHz steps (51 points, the
+    /// diagonal lines of Fig. 6a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] when the policy fails
+    /// validation.
+    pub fn power7plus(
+        curve: &VoltFreqCurve,
+        policy: &GuardbandPolicy,
+    ) -> Result<Self, ControlError> {
+        PStateTable::new(curve, policy, MegaHertz(2800.0), MegaHertz(4200.0), MegaHertz(28.0))
+    }
+
+    /// Builds a ladder from `min` to `max` in `step` increments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] for an empty or inverted
+    /// range, a non-positive step, or an invalid policy.
+    pub fn new(
+        curve: &VoltFreqCurve,
+        policy: &GuardbandPolicy,
+        min: MegaHertz,
+        max: MegaHertz,
+        step: MegaHertz,
+    ) -> Result<Self, ControlError> {
+        policy.validate()?;
+        if !(step.0.is_finite() && step.0 > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "pstate_step",
+                value: step.0,
+            });
+        }
+        if !(min.0 > 0.0 && min <= max) {
+            return Err(ControlError::InvalidParameter {
+                name: "pstate_range",
+                value: max.0 - min.0,
+            });
+        }
+        let mut states = Vec::new();
+        let mut f = min;
+        let mut index = 0;
+        while f.0 <= max.0 + 1e-9 {
+            states.push(PState {
+                index,
+                frequency: f,
+                voltage: policy.nominal_voltage(curve, f),
+            });
+            index += 1;
+            f += step;
+        }
+        Ok(PStateTable { states })
+    }
+
+    /// Number of operating points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the ladder is empty (never for valid construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Iterates slowest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &PState> {
+        self.states.iter()
+    }
+
+    /// The fastest operating point.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for tables built through the constructors (they always
+    /// contain at least one state).
+    #[must_use]
+    pub fn peak(&self) -> PState {
+        *self.states.last().expect("ladder is non-empty")
+    }
+
+    /// The slowest operating point.
+    #[must_use]
+    pub fn floor(&self) -> PState {
+        *self.states.first().expect("ladder is non-empty")
+    }
+
+    /// The fastest p-state at or below `freq` (the governor's selection),
+    /// or the floor when `freq` is below the ladder.
+    #[must_use]
+    pub fn for_frequency(&self, freq: MegaHertz) -> PState {
+        let mut chosen = self.floor();
+        for s in &self.states {
+            if s.frequency.0 <= freq.0 + 1e-9 {
+                chosen = *s;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+
+    /// The slowest p-state whose static voltage fits under `budget` (a
+    /// power-capping governor's selection), if any.
+    #[must_use]
+    pub fn fastest_under_voltage(&self, budget: Volts) -> Option<PState> {
+        self.states
+            .iter()
+            .rev()
+            .find(|s| s.voltage <= budget)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PStateTable {
+        PStateTable::power7plus(&VoltFreqCurve::power7plus(), &GuardbandPolicy::power7plus())
+            .unwrap()
+    }
+
+    #[test]
+    fn power7plus_ladder_matches_fig6a() {
+        let t = table();
+        assert_eq!(t.len(), 51, "2.8→4.2 GHz in 28 MHz steps");
+        assert_eq!(t.floor().frequency, MegaHertz(2800.0));
+        assert_eq!(t.peak().frequency, MegaHertz(4200.0));
+        // Fig. 6a endpoints: ~960 mV at 2.8 GHz, 1.2 V at 4.2 GHz.
+        assert!((t.floor().voltage.millivolts() - 958.6).abs() < 5.0);
+        assert!((t.peak().voltage.millivolts() - 1200.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let t = table();
+        for pair in t.iter().collect::<Vec<_>>().windows(2) {
+            assert!(pair[1].frequency > pair[0].frequency);
+            assert!(pair[1].voltage > pair[0].voltage);
+            assert_eq!(pair[1].index, pair[0].index + 1);
+        }
+    }
+
+    #[test]
+    fn frequency_selection_rounds_down() {
+        let t = table();
+        let s = t.for_frequency(MegaHertz(3000.0));
+        assert!(s.frequency.0 <= 3000.0);
+        assert!(s.frequency.0 > 3000.0 - 28.0);
+        assert_eq!(t.for_frequency(MegaHertz(9999.0)), t.peak());
+        assert_eq!(t.for_frequency(MegaHertz(100.0)), t.floor());
+    }
+
+    #[test]
+    fn voltage_budget_selection() {
+        let t = table();
+        let s = t.fastest_under_voltage(Volts(1.1)).unwrap();
+        assert!(s.voltage <= Volts(1.1));
+        // The next-faster state must exceed the budget.
+        let next = t.iter().find(|x| x.index == s.index + 1).unwrap();
+        assert!(next.voltage > Volts(1.1));
+        assert!(t.fastest_under_voltage(Volts(0.5)).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_ranges() {
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        assert!(PStateTable::new(&curve, &policy, MegaHertz(4000.0), MegaHertz(3000.0), MegaHertz(28.0)).is_err());
+        assert!(PStateTable::new(&curve, &policy, MegaHertz(3000.0), MegaHertz(4000.0), MegaHertz(0.0)).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the guardband control stack.
+
+use p7_control::{Dpll, FirmwareController, GuardbandPolicy, PStateTable, VoltFreqCurve};
+use p7_types::{MegaHertz, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn curve_inverse_round_trips(
+        mhz in 1000.0f64..5000.0,
+    ) {
+        let curve = VoltFreqCurve::power7plus();
+        let v = curve.v_circuit(MegaHertz(mhz));
+        prop_assert!((curve.f_max(v).0 - mhz).abs() < 1e-6);
+    }
+
+    #[test]
+    fn margin_is_antisymmetric_in_voltage_and_frequency(
+        v_mv in 900.0f64..1250.0,
+        mhz in 2800.0f64..4700.0,
+        dv in 0.0f64..0.05,
+    ) {
+        let curve = VoltFreqCurve::power7plus();
+        let v = Volts::from_millivolts(v_mv);
+        let f = MegaHertz(mhz);
+        // More voltage → more margin; more frequency → less margin.
+        prop_assert!(curve.margin(v + Volts(dv), f) >= curve.margin(v, f));
+        let df = MegaHertz(dv * curve.mhz_per_volt());
+        prop_assert!(curve.margin(v, f + df) <= curve.margin(v, f) + Volts(1e-12));
+    }
+
+    #[test]
+    fn dpll_always_lands_inside_its_clamps(
+        usable_mv in 0.0f64..2500.0,
+        slew in 0.01f64..1.0,
+        steps in 1usize..30,
+    ) {
+        let curve = VoltFreqCurve::power7plus();
+        let mut dpll = Dpll::new(MegaHertz(4200.0), MegaHertz(2800.0), MegaHertz(4700.0)).unwrap();
+        dpll.set_slew_per_step(slew);
+        for _ in 0..steps {
+            let f = dpll.track(Volts::from_millivolts(usable_mv), &curve);
+            prop_assert!(f >= MegaHertz(2800.0) && f <= MegaHertz(4700.0));
+        }
+    }
+
+    #[test]
+    fn dpll_converges_to_the_same_point_regardless_of_slew(
+        usable_mv in 800.0f64..1300.0,
+        slew in 0.02f64..0.5,
+    ) {
+        let curve = VoltFreqCurve::power7plus();
+        let usable = Volts::from_millivolts(usable_mv);
+        let mut fast = Dpll::new(MegaHertz(4200.0), MegaHertz(2800.0), MegaHertz(4700.0)).unwrap();
+        let mut slow = Dpll::new(MegaHertz(4200.0), MegaHertz(2800.0), MegaHertz(4700.0)).unwrap();
+        slow.set_slew_per_step(slew);
+        let target = fast.track(usable, &curve);
+        for _ in 0..200 {
+            slow.track(usable, &curve);
+        }
+        prop_assert!((slow.frequency().0 - target.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn firmware_fixed_point_matches_the_margin_algebra(
+        drop_mv in 0.0f64..100.0,
+    ) {
+        // Closed loop with an idealized plant: the settled undervolt must
+        // equal reclaimable margin minus the drop (clamped at the floor).
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let fw = FirmwareController::new(MegaHertz(4200.0), policy.clone()).unwrap();
+        let nominal = policy.nominal_voltage(&curve, MegaHertz(4200.0));
+        let drop = Volts::from_millivolts(drop_mv);
+        let mut v = nominal;
+        for _ in 0..80 {
+            let freq = curve.f_max(v - drop - policy.residual_guardband);
+            v = fw.adjust_voltage(v, freq, &curve);
+        }
+        let undervolt = (nominal - v).millivolts();
+        let expected = (policy.reclaimable().millivolts() - drop_mv).max(0.0);
+        prop_assert!(
+            (undervolt - expected).abs() < 2.0,
+            "undervolt {undervolt} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn pstate_tables_are_monotone_for_any_range(
+        min in 2000.0f64..3000.0,
+        span in 200.0f64..1500.0,
+        step in 20.0f64..200.0,
+    ) {
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let table = PStateTable::new(
+            &curve,
+            &policy,
+            MegaHertz(min),
+            MegaHertz(min + span),
+            MegaHertz(step),
+        )
+        .unwrap();
+        prop_assert!(!table.is_empty());
+        let states: Vec<_> = table.iter().collect();
+        for pair in states.windows(2) {
+            prop_assert!(pair[1].frequency > pair[0].frequency);
+            prop_assert!(pair[1].voltage > pair[0].voltage);
+        }
+        // Selection always returns a member at or below the request.
+        let pick = table.for_frequency(MegaHertz(min + span / 2.0));
+        prop_assert!(pick.frequency.0 <= min + span / 2.0 + 1e-9);
+    }
+}

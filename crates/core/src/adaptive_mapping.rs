@@ -1,0 +1,415 @@
+//! Adaptive mapping (Sec. 5.2): guarantee QoS on a chip whose frequency
+//! depends on the neighbours.
+//!
+//! Every scheduling quantum the scheduler (Fig. 18):
+//!
+//! 1. measures the chip frequency the current colocation produces (on
+//!    hardware: reads counters; here: runs the simulator),
+//! 2. runs the critical application's traffic and logs per-window p90
+//!    latency into the [`QosMonitor`] and the [`FreqQosModel`],
+//! 3. when the violation rate crosses the SLA threshold and the model
+//!    says latency is frequency-sensitive, computes the frequency the
+//!    target needs, converts it into an admissible co-runner MIPS budget
+//!    via the [`MipsFrequencyPredictor`], and swaps the malicious
+//!    co-runner for the heaviest candidate that fits the budget (falling
+//!    back to the lightest candidate while the models are still cold).
+
+use crate::error::AgsError;
+use crate::freq_qos::FreqQosModel;
+use crate::jobs::JobSpec;
+use crate::predictor::MipsFrequencyPredictor;
+use crate::qos::QosMonitor;
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, Experiment};
+use p7_types::{seed_for, MegaHertz};
+use p7_workloads::{WebSearch, WorkloadMix, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Number of co-runner threads sharing the chip with the critical job.
+pub const CO_RUNNER_THREADS: usize = 7;
+
+/// What happened during one scheduling quantum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantumReport {
+    /// Quantum index (0-based).
+    pub quantum: usize,
+    /// Co-runner that ran during this quantum.
+    pub co_runner: String,
+    /// Chip frequency the critical core got.
+    pub chip_frequency: MegaHertz,
+    /// Per-window p90 latencies (seconds) of the critical app.
+    pub p90s: Vec<f64>,
+    /// Violation rate of this quantum alone.
+    pub violation_rate: f64,
+    /// The co-runner the scheduler swapped to, when it acted.
+    pub swapped_to: Option<String>,
+}
+
+/// The feedback-driven colocation scheduler of Fig. 18.
+///
+/// See `examples/adaptive_mapping.rs` at the repository root for a
+/// complete end-to-end run against the simulated server.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMappingScheduler {
+    experiment: Experiment,
+    predictor: MipsFrequencyPredictor,
+    job: JobSpec,
+    service: WebSearch,
+    monitor: QosMonitor,
+    freq_qos: FreqQosModel,
+    pool: Vec<WorkloadProfile>,
+    current: usize,
+    quantum: usize,
+    windows_per_quantum: usize,
+    seed: u64,
+}
+
+impl AdaptiveMappingScheduler {
+    /// Creates the scheduler.
+    ///
+    /// `pool` is the set of admissible co-runners; `initial` indexes the
+    /// one running when the scheduler takes over (the paper starts
+    /// blindly colocated with the heavy co-runner).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::NoFeasibleCoRunner`] for an empty pool or an
+    /// out-of-range initial index, and [`AgsError::ModelNotFitted`] when
+    /// the job carries no QoS spec (nothing to schedule for).
+    pub fn new(
+        experiment: Experiment,
+        predictor: MipsFrequencyPredictor,
+        job: JobSpec,
+        service: WebSearch,
+        pool: Vec<WorkloadProfile>,
+        initial: usize,
+        seed: u64,
+    ) -> Result<Self, AgsError> {
+        if pool.is_empty() || initial >= pool.len() {
+            return Err(AgsError::NoFeasibleCoRunner { required_mhz: 0.0 });
+        }
+        let Some(qos) = job.qos().copied() else {
+            return Err(AgsError::ModelNotFitted {
+                model: "job has no QoS spec",
+            });
+        };
+        Ok(AdaptiveMappingScheduler {
+            experiment,
+            predictor,
+            job,
+            service,
+            monitor: QosMonitor::new(qos, 8),
+            freq_qos: FreqQosModel::new(),
+            pool,
+            current: initial,
+            quantum: 0,
+            windows_per_quantum: 60,
+            seed,
+        })
+    }
+
+    /// Overrides the number of 1 s traffic windows per quantum.
+    pub fn set_windows_per_quantum(&mut self, windows: usize) {
+        self.windows_per_quantum = windows.max(1);
+    }
+
+    /// The co-runner currently sharing the chip.
+    #[must_use]
+    pub fn current_co_runner(&self) -> &WorkloadProfile {
+        &self.pool[self.current]
+    }
+
+    /// The QoS monitor (for inspection).
+    #[must_use]
+    pub fn monitor(&self) -> &QosMonitor {
+        &self.monitor
+    }
+
+    /// The learned frequency–QoS model (for inspection).
+    #[must_use]
+    pub fn freq_qos(&self) -> &FreqQosModel {
+        &self.freq_qos
+    }
+
+    /// Measures the chip frequency the critical core gets under the
+    /// current colocation (frequency-boosting mode, per-core DPLL).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when the run fails.
+    pub fn measure_frequency(&self) -> Result<MegaHertz, AgsError> {
+        let assignment = Assignment::colocated(
+            self.job.workload(),
+            &self.pool[self.current],
+            CO_RUNNER_THREADS,
+        )?;
+        let outcome = self.experiment.run(&assignment, GuardbandMode::Overclock)?;
+        // The critical job is pinned to socket 0, core 0.
+        Ok(outcome.summary.sockets[0].avg_core_freq[0])
+    }
+
+    /// Executes one scheduling quantum and returns what happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when the measurement run fails.
+    pub fn run_quantum(&mut self) -> Result<QuantumReport, AgsError> {
+        let ran_co_runner = self.pool[self.current].name().to_owned();
+        let freq = self.measure_frequency()?;
+        let window_seed = seed_for(self.seed, &format!("quantum{}", self.quantum));
+        let p90s = self
+            .service
+            .p90_windows(freq, self.windows_per_quantum, window_seed);
+        let violations = p90s
+            .iter()
+            .filter(|&&p| self.monitor.spec().violated_by(p))
+            .count();
+        let violation_rate = if p90s.is_empty() {
+            0.0
+        } else {
+            violations as f64 / p90s.len() as f64
+        };
+        for &p in &p90s {
+            self.monitor.observe(p);
+        }
+        // Feed the frequency–QoS model with this quantum's median p90.
+        if let Some(median) = median(&p90s) {
+            self.freq_qos.observe(freq, median);
+        }
+
+        // Act on this quantum's own violation rate (the paper's "QoS
+        // violates more than 25 % of the time"); the sliding monitor adds
+        // hysteresis for borderline quanta.
+        let mut swapped_to = None;
+        if violation_rate > self.monitor.spec().violation_threshold || self.monitor.needs_action()
+        {
+            let choice = self.choose_co_runner(freq);
+            if choice != self.current {
+                self.current = choice;
+                swapped_to = Some(self.pool[choice].name().to_owned());
+                self.monitor.reset_window();
+            }
+        }
+
+        let report = QuantumReport {
+            quantum: self.quantum,
+            co_runner: ran_co_runner,
+            chip_frequency: freq,
+            p90s,
+            violation_rate,
+            swapped_to,
+        };
+        self.quantum += 1;
+        Ok(report)
+    }
+
+    /// Scores the whole colocation space without running anything: for
+    /// every `(co-runner, thread-count)` candidate around the pinned
+    /// critical job, the mix's aggregate MIPS goes through the frequency
+    /// predictor. This is the paper's "explore the workload-combination
+    /// space during runtime, every quantum" (Sec. 5.2.1).
+    #[must_use]
+    pub fn explore(&self) -> Vec<(WorkloadMix, MegaHertz)> {
+        WorkloadMix::colocation_space(self.job.workload(), &self.pool)
+            .into_iter()
+            .map(|mix| {
+                let predicted = self.predictor.predict(mix.chip_mips(1.0));
+                (mix, predicted)
+            })
+            .collect()
+    }
+
+    /// Picks the pool index to run next: the heaviest co-runner whose
+    /// predicted chip frequency still meets the QoS-derived requirement,
+    /// or the lightest when nothing fits / the model is cold.
+    fn choose_co_runner(&self, _current_freq: MegaHertz) -> usize {
+        let lightest = self.lightest_index();
+        let Ok(required) = self
+            .freq_qos
+            .frequency_for(self.monitor.spec().p90_target)
+        else {
+            // Cold or insensitive model: the paper's fallback is the
+            // lowest-MIPS co-runner.
+            return lightest;
+        };
+        // Keep headroom below the exact crossing point.
+        let required = MegaHertz(required.0 + 10.0);
+        let budget = self.predictor.mips_budget_for(required);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, w) in self.pool.iter().enumerate() {
+            let mut mix = WorkloadMix::new();
+            mix.push(self.job.workload().clone(), 1)
+                .expect("primary fits");
+            mix.push(w.clone(), CO_RUNNER_THREADS)
+                .expect("1 + 7 threads fit the socket");
+            let mix_mips = mix.chip_mips(1.0);
+            if mix_mips <= budget {
+                let heavier = best.is_none_or(|(_, m)| mix_mips > m);
+                if heavier {
+                    best = Some((i, mix_mips));
+                }
+            }
+        }
+        best.map_or(lightest, |(i, _)| i)
+    }
+
+    fn lightest_index(&self) -> usize {
+        self.pool
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.mips_per_core()
+                    .partial_cmp(&b.mips_per_core())
+                    .expect("mips are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("pool is non-empty")
+    }
+}
+
+/// Median of a latency slice; `None` when empty.
+fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Some(sorted[sorted.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosSpec;
+    use p7_workloads::{co_runner, Catalog, CoRunnerClass};
+
+    fn scheduler(initial: CoRunnerClass) -> AdaptiveMappingScheduler {
+        let cat = Catalog::power7plus();
+        let ws = cat.get("websearch").unwrap().clone();
+        let job = JobSpec::critical("search", ws, QosSpec::websearch());
+        let pool = vec![
+            co_runner(CoRunnerClass::Light),
+            co_runner(CoRunnerClass::Medium),
+            co_runner(CoRunnerClass::Heavy),
+        ];
+        let initial = match initial {
+            CoRunnerClass::Light => 0,
+            CoRunnerClass::Medium => 1,
+            CoRunnerClass::Heavy => 2,
+        };
+        // A synthetic predictor with the right shape keeps the test fast.
+        let predictor = MipsFrequencyPredictor::fit(&[
+            (10_000.0, 4580.0),
+            (40_000.0, 4500.0),
+            (70_000.0, 4420.0),
+        ])
+        .unwrap();
+        AdaptiveMappingScheduler::new(
+            Experiment::power7plus(42).with_ticks(15, 10),
+            predictor,
+            job,
+            WebSearch::power7plus(),
+            pool,
+            initial,
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_pool() {
+        let cat = Catalog::power7plus();
+        let ws = cat.get("websearch").unwrap().clone();
+        let job = JobSpec::critical("search", ws, QosSpec::websearch());
+        let predictor =
+            MipsFrequencyPredictor::fit(&[(0.0, 4600.0), (1.0, 4599.0), (2.0, 4598.0)]).unwrap();
+        let err = AdaptiveMappingScheduler::new(
+            Experiment::power7plus(1),
+            predictor,
+            job,
+            WebSearch::power7plus(),
+            vec![],
+            0,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AgsError::NoFeasibleCoRunner { .. }));
+    }
+
+    #[test]
+    fn rejects_jobs_without_sla() {
+        let cat = Catalog::power7plus();
+        let job = JobSpec::batch("batch", cat.get("radix").unwrap().clone());
+        let predictor =
+            MipsFrequencyPredictor::fit(&[(0.0, 4600.0), (1.0, 4599.0), (2.0, 4598.0)]).unwrap();
+        let err = AdaptiveMappingScheduler::new(
+            Experiment::power7plus(1),
+            predictor,
+            job,
+            WebSearch::power7plus(),
+            vec![co_runner(CoRunnerClass::Light)],
+            0,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AgsError::ModelNotFitted { .. }));
+    }
+
+    #[test]
+    fn heavy_corunner_costs_frequency() {
+        let light = scheduler(CoRunnerClass::Light).measure_frequency().unwrap();
+        let heavy = scheduler(CoRunnerClass::Heavy).measure_frequency().unwrap();
+        assert!(
+            light.0 > heavy.0 + 20.0,
+            "light {light} should beat heavy {heavy}"
+        );
+    }
+
+    #[test]
+    fn scheduler_escapes_heavy_colocation() {
+        // The paper's scenario: blindly start with the heavy co-runner;
+        // the violation rate forces a swap within a few quanta.
+        let mut s = scheduler(CoRunnerClass::Heavy);
+        s.set_windows_per_quantum(40);
+        let mut swapped = false;
+        for _ in 0..6 {
+            let report = s.run_quantum().unwrap();
+            if report.swapped_to.is_some() {
+                swapped = true;
+                break;
+            }
+        }
+        assert!(swapped, "scheduler never acted on QoS violations");
+        assert_ne!(s.current_co_runner().name(), co_runner(CoRunnerClass::Heavy).name());
+    }
+
+    #[test]
+    fn light_colocation_is_left_alone() {
+        let mut s = scheduler(CoRunnerClass::Light);
+        s.set_windows_per_quantum(40);
+        for _ in 0..4 {
+            let report = s.run_quantum().unwrap();
+            assert!(report.swapped_to.is_none(), "needless swap at light load");
+        }
+    }
+
+    #[test]
+    fn explore_scores_the_whole_combination_space() {
+        let s = scheduler(CoRunnerClass::Light);
+        let space = s.explore();
+        // 3 pool entries × 7 thread counts.
+        assert_eq!(space.len(), 21);
+        // Heavier mixes must predict slower clocks (negative slope).
+        for pair in space.windows(2) {
+            if pair[1].0.chip_mips(1.0) > pair[0].0.chip_mips(1.0) {
+                assert!(pair[1].1 <= pair[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+}

@@ -1,0 +1,318 @@
+//! Cluster-level scheduling — the paper's future-work extension.
+//!
+//! Sec. 5.1.1 ends: "When workloads are consolidated across multiple
+//! servers, the idle power reduction from turning off the unused memory
+//! and hard drive outweighs adaptive guardbanding's processor power
+//! savings. In this case, the scheduler will consolidate workloads onto
+//! fewer servers first, then on each server loadline borrowing can be
+//! used to further improve cluster power consumption."
+//!
+//! [`ClusterScheduler`] implements exactly that two-level policy and a
+//! naive thread-spreading baseline to compare against: platform power
+//! (memory, disks, NICs) dominates across servers, so consolidate at the
+//! server level; the loadline dominates within a server, so borrow at the
+//! socket level.
+
+use crate::error::AgsError;
+use crate::scheduler::AgsScheduler;
+use p7_sim::Experiment;
+use p7_types::Watts;
+use p7_workloads::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// Cores available per server (two 8-core sockets).
+pub const CORES_PER_SERVER: usize = 16;
+
+/// The cluster's fixed parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of identical two-socket servers.
+    pub servers: usize,
+    /// Non-CPU platform power of a powered-on server (memory, storage,
+    /// network, fans).
+    pub platform_power: Watts,
+    /// Standby power of a suspended server.
+    pub standby_power: Watts,
+}
+
+impl ClusterConfig {
+    /// A small rack of Power 720-class machines.
+    #[must_use]
+    pub fn rack(servers: usize) -> Self {
+        ClusterConfig {
+            servers,
+            platform_power: Watts(120.0),
+            standby_power: Watts(6.0),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::InsufficientData`] when the cluster has no
+    /// servers (nothing to schedule onto).
+    pub fn validate(&self) -> Result<(), AgsError> {
+        if self.servers == 0 {
+            return Err(AgsError::InsufficientData {
+                points: 0,
+                required: 1,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One server's share of a cluster plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerShare {
+    /// Threads placed on this server.
+    pub threads: usize,
+    /// Whether the in-server placement borrowed the second socket.
+    pub borrowed: bool,
+    /// CPU (both chips) power of this server.
+    pub cpu_power: Watts,
+    /// Platform power of this server (full if on, standby if off).
+    pub platform_power: Watts,
+}
+
+impl ServerShare {
+    /// Total power of this server.
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        self.cpu_power + self.platform_power
+    }
+}
+
+/// A complete cluster placement and its predicted power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPlan {
+    /// Per-server shares, index = server id.
+    pub servers: Vec<ServerShare>,
+    /// Servers that carry at least one thread.
+    pub active_servers: usize,
+    /// Total cluster power.
+    pub total_power: Watts,
+}
+
+/// The hierarchical cluster scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::cluster::{ClusterConfig, ClusterScheduler};
+/// use p7_sim::Experiment;
+/// use p7_workloads::Catalog;
+///
+/// let scheduler = ClusterScheduler::new(
+///     Experiment::power7plus(42).with_ticks(15, 10),
+///     ClusterConfig::rack(4),
+/// )?;
+/// let radix = Catalog::power7plus().get("radix").unwrap().clone();
+/// let plan = scheduler.schedule(&radix, 8)?;
+/// assert_eq!(plan.active_servers, 1); // consolidate across servers first
+/// # Ok::<(), ags_core::AgsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterScheduler {
+    inner: AgsScheduler,
+    config: ClusterConfig,
+}
+
+impl ClusterScheduler {
+    /// Creates the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::InsufficientData`] for an empty cluster.
+    pub fn new(experiment: Experiment, config: ClusterConfig) -> Result<Self, AgsError> {
+        config.validate()?;
+        Ok(ClusterScheduler {
+            inner: AgsScheduler::new(experiment),
+            config,
+        })
+    }
+
+    /// The cluster parameters.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The paper's two-level policy: fill as few servers as possible,
+    /// then let AGS pick the in-server placement on each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::NoFeasibleCoRunner`] when `total_threads`
+    /// exceeds the cluster's capacity, or [`AgsError::Sim`] when an
+    /// in-server evaluation fails.
+    pub fn schedule(
+        &self,
+        workload: &WorkloadProfile,
+        total_threads: usize,
+    ) -> Result<ClusterPlan, AgsError> {
+        let capacity = self.config.servers * CORES_PER_SERVER;
+        if total_threads > capacity {
+            return Err(AgsError::NoFeasibleCoRunner {
+                required_mhz: total_threads as f64,
+            });
+        }
+        let mut remaining = total_threads;
+        let mut counts = Vec::with_capacity(self.config.servers);
+        for _ in 0..self.config.servers {
+            let here = remaining.min(CORES_PER_SERVER);
+            counts.push(here);
+            remaining -= here;
+        }
+        self.plan_from_counts(workload, &counts)
+    }
+
+    /// The naive baseline: spread threads evenly across every server.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusterScheduler::schedule`].
+    pub fn naive_spread(
+        &self,
+        workload: &WorkloadProfile,
+        total_threads: usize,
+    ) -> Result<ClusterPlan, AgsError> {
+        let capacity = self.config.servers * CORES_PER_SERVER;
+        if total_threads > capacity {
+            return Err(AgsError::NoFeasibleCoRunner {
+                required_mhz: total_threads as f64,
+            });
+        }
+        let base = total_threads / self.config.servers;
+        let extra = total_threads % self.config.servers;
+        let counts: Vec<usize> = (0..self.config.servers)
+            .map(|i| base + usize::from(i < extra))
+            .collect();
+        self.plan_from_counts(workload, &counts)
+    }
+
+    fn plan_from_counts(
+        &self,
+        workload: &WorkloadProfile,
+        counts: &[usize],
+    ) -> Result<ClusterPlan, AgsError> {
+        let mut servers = Vec::with_capacity(counts.len());
+        let mut total = Watts::ZERO;
+        let mut active = 0usize;
+        for &threads in counts {
+            let share = if threads == 0 {
+                ServerShare {
+                    threads: 0,
+                    borrowed: false,
+                    cpu_power: Watts::ZERO,
+                    platform_power: self.config.standby_power,
+                }
+            } else {
+                active += 1;
+                // Up to one chip's worth of threads, AGS decides whether
+                // the second socket helps; beyond that, both sockets are
+                // needed and the balanced full-server placement applies.
+                let (assignment, borrowed) = if threads <= 8 {
+                    let decision = self.inner.place(workload, threads)?;
+                    (decision.assignment, decision.borrowed)
+                } else {
+                    (
+                        p7_sim::Assignment::balanced_server(workload, threads)?,
+                        true,
+                    )
+                };
+                let outcome = self
+                    .inner
+                    .experiment()
+                    .run(&assignment, p7_control::GuardbandMode::Undervolt)?;
+                ServerShare {
+                    threads,
+                    borrowed,
+                    cpu_power: outcome.total_power(),
+                    platform_power: self.config.platform_power,
+                }
+            };
+            total += share.total_power();
+            servers.push(share);
+        }
+        Ok(ClusterPlan {
+            servers,
+            active_servers: active,
+            total_power: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_workloads::Catalog;
+
+    fn scheduler(servers: usize) -> ClusterScheduler {
+        ClusterScheduler::new(
+            Experiment::power7plus(42).with_ticks(15, 10),
+            ClusterConfig::rack(servers),
+        )
+        .unwrap()
+    }
+
+    fn workload(name: &str) -> WorkloadProfile {
+        Catalog::power7plus().get(name).unwrap().clone()
+    }
+
+    #[test]
+    fn rejects_empty_cluster_and_overflow() {
+        assert!(ClusterScheduler::new(
+            Experiment::power7plus(1),
+            ClusterConfig::rack(0)
+        )
+        .is_err());
+        let s = scheduler(2);
+        assert!(s.schedule(&workload("radix"), 33).is_err());
+    }
+
+    #[test]
+    fn light_load_uses_one_server() {
+        let s = scheduler(4);
+        let plan = s.schedule(&workload("raytrace"), 6).unwrap();
+        assert_eq!(plan.active_servers, 1);
+        assert_eq!(plan.servers[0].threads, 6);
+        assert_eq!(plan.servers[1].threads, 0);
+        // Standby servers cost only standby power.
+        assert_eq!(plan.servers[3].platform_power, Watts(6.0));
+    }
+
+    #[test]
+    fn consolidation_first_beats_naive_spreading() {
+        // The paper's claim: across servers, platform power dominates, so
+        // consolidate there even though borrowing wins within a server.
+        let s = scheduler(4);
+        let hierarchical = s.schedule(&workload("raytrace"), 8).unwrap();
+        let naive = s.naive_spread(&workload("raytrace"), 8).unwrap();
+        assert_eq!(naive.active_servers, 4);
+        assert!(
+            hierarchical.total_power.0 + 50.0 < naive.total_power.0,
+            "hierarchical {} W vs naive {} W",
+            hierarchical.total_power.0,
+            naive.total_power.0
+        );
+    }
+
+    #[test]
+    fn in_server_borrowing_still_applies() {
+        // Bandwidth-bound work should be borrowed inside its server.
+        let s = scheduler(2);
+        let plan = s.schedule(&workload("radix"), 8).unwrap();
+        assert!(plan.servers[0].borrowed, "radix should borrow in-server");
+    }
+
+    #[test]
+    fn plan_power_is_sum_of_shares() {
+        let s = scheduler(3);
+        let plan = s.schedule(&workload("ocean_cp"), 10).unwrap();
+        let sum: f64 = plan.servers.iter().map(|x| x.total_power().0).sum();
+        assert!((plan.total_power.0 - sum).abs() < 1e-9);
+        assert_eq!(plan.active_servers, 1);
+    }
+}

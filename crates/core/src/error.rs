@@ -1,0 +1,82 @@
+//! Error types of the AGS crate.
+
+use p7_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the AGS schedulers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AgsError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// A model was used before it was fitted.
+    ModelNotFitted {
+        /// Which model.
+        model: &'static str,
+    },
+    /// Not enough data points to fit a model.
+    InsufficientData {
+        /// How many points were supplied.
+        points: usize,
+        /// How many are required.
+        required: usize,
+    },
+    /// No co-runner in the pool satisfies the constraint.
+    NoFeasibleCoRunner {
+        /// The frequency the QoS target requires, in MHz.
+        required_mhz: f64,
+    },
+}
+
+impl fmt::Display for AgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgsError::Sim(e) => write!(f, "simulation: {e}"),
+            AgsError::ModelNotFitted { model } => {
+                write!(f, "model `{model}` used before fitting")
+            }
+            AgsError::InsufficientData { points, required } => {
+                write!(f, "need {required} data points to fit, got {points}")
+            }
+            AgsError::NoFeasibleCoRunner { required_mhz } => {
+                write!(f, "no co-runner keeps chip frequency above {required_mhz} MHz")
+            }
+        }
+    }
+}
+
+impl Error for AgsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AgsError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for AgsError {
+    fn from(e: SimError) -> Self {
+        AgsError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = AgsError::InsufficientData {
+            points: 1,
+            required: 2,
+        };
+        assert!(format!("{err}").contains("need 2"));
+    }
+
+    #[test]
+    fn sim_errors_keep_source() {
+        let err: AgsError = SimError::InvalidConfig { reason: "x" }.into();
+        assert!(err.source().is_some());
+    }
+}

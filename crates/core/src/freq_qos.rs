@@ -1,0 +1,187 @@
+//! The learned frequency–QoS model (the upper shaded box of Fig. 18).
+//!
+//! The scheduler logs `(chip frequency, p90 latency)` pairs for the
+//! critical application and fits a linear relation, then inverts it to
+//! answer "what frequency do I need for my latency target?". Combined
+//! with the MIPS-based frequency predictor this closes the loop: QoS
+//! target → required frequency → admissible co-runner MIPS budget.
+
+use crate::error::AgsError;
+use p7_types::{MegaHertz, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// An online-fitted linear `p90 = a + b · frequency` model (b < 0: faster
+/// clocks mean shorter tails).
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::FreqQosModel;
+/// use p7_types::{MegaHertz, Seconds};
+///
+/// let mut model = FreqQosModel::new();
+/// model.observe(MegaHertz(4450.0), 0.52);
+/// model.observe(MegaHertz(4500.0), 0.42);
+/// model.observe(MegaHertz(4550.0), 0.33);
+/// let needed = model.frequency_for(Seconds(0.45))?;
+/// assert!(needed.0 > 4450.0 && needed.0 < 4550.0);
+/// # Ok::<(), ags_core::AgsError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FreqQosModel {
+    points: Vec<(f64, f64)>,
+}
+
+impl FreqQosModel {
+    /// Minimum observations before the model can be inverted.
+    pub const MIN_POINTS: usize = 3;
+
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        FreqQosModel::default()
+    }
+
+    /// Appends one observation of the critical app's p90 latency at a
+    /// chip frequency.
+    pub fn observe(&mut self, freq: MegaHertz, p90_seconds: f64) {
+        self.points.push((freq.0, p90_seconds));
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn observations(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Least-squares fit of `(slope, intercept)` for `p90 = a + b·f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::InsufficientData`] below
+    /// [`FreqQosModel::MIN_POINTS`] and [`AgsError::ModelNotFitted`] when
+    /// the frequencies are degenerate.
+    pub fn fit(&self) -> Result<(f64, f64), AgsError> {
+        if self.points.len() < Self::MIN_POINTS {
+            return Err(AgsError::InsufficientData {
+                points: self.points.len(),
+                required: Self::MIN_POINTS,
+            });
+        }
+        let n = self.points.len() as f64;
+        let mx = self.points.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let my = self.points.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = self.points.iter().map(|(x, _)| (x - mx).powi(2)).sum();
+        if sxx < 1e-9 {
+            return Err(AgsError::ModelNotFitted {
+                model: "frequency-qos (degenerate frequencies)",
+            });
+        }
+        let sxy: f64 = self.points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx;
+        Ok((slope, my - slope * mx))
+    }
+
+    /// Predicted p90 latency at a chip frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn predict_p90(&self, freq: MegaHertz) -> Result<Seconds, AgsError> {
+        let (slope, intercept) = self.fit()?;
+        Ok(Seconds(intercept + slope * freq.0))
+    }
+
+    /// The chip frequency needed to bring the predicted p90 down to
+    /// `target` (clamped below by zero slope protection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::ModelNotFitted`] when latency does not improve
+    /// with frequency in the data (non-negative slope), plus fitting
+    /// errors.
+    pub fn frequency_for(&self, target: Seconds) -> Result<MegaHertz, AgsError> {
+        let (slope, intercept) = self.fit()?;
+        if slope >= 0.0 {
+            return Err(AgsError::ModelNotFitted {
+                model: "frequency-qos (latency not frequency-sensitive)",
+            });
+        }
+        Ok(MegaHertz((target.0 - intercept) / slope))
+    }
+
+    /// True when the fitted model shows meaningful frequency sensitivity
+    /// (the "QoS sensitive to frequency?" decision diamond of Fig. 18).
+    #[must_use]
+    pub fn is_frequency_sensitive(&self) -> bool {
+        match self.fit() {
+            // More than 0.1 ms of p90 per 10 MHz is actionable.
+            Ok((slope, _)) => slope < -1e-5,
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> FreqQosModel {
+        let mut m = FreqQosModel::new();
+        for (f, p) in [(4440.0, 0.55), (4480.0, 0.46), (4520.0, 0.38), (4560.0, 0.29)] {
+            m.observe(MegaHertz(f), p);
+        }
+        m
+    }
+
+    #[test]
+    fn fit_and_invert_round_trip() {
+        let m = seeded();
+        let f = m.frequency_for(Seconds(0.4)).unwrap();
+        let p = m.predict_p90(f).unwrap();
+        assert!((p.0 - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_detection() {
+        let m = seeded();
+        assert!(m.is_frequency_sensitive());
+
+        let mut flat = FreqQosModel::new();
+        for f in [4440.0, 4480.0, 4520.0] {
+            flat.observe(MegaHertz(f), 0.4);
+        }
+        assert!(!flat.is_frequency_sensitive());
+    }
+
+    #[test]
+    fn insufficient_data_is_typed() {
+        let mut m = FreqQosModel::new();
+        m.observe(MegaHertz(4500.0), 0.4);
+        assert!(matches!(
+            m.predict_p90(MegaHertz(4500.0)),
+            Err(AgsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn inverted_slope_is_rejected() {
+        let mut m = FreqQosModel::new();
+        for (f, p) in [(4440.0, 0.3), (4480.0, 0.4), (4520.0, 0.5)] {
+            m.observe(MegaHertz(f), p);
+        }
+        assert!(matches!(
+            m.frequency_for(Seconds(0.4)),
+            Err(AgsError::ModelNotFitted { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_frequencies_rejected() {
+        let mut m = FreqQosModel::new();
+        for p in [0.3, 0.4, 0.5] {
+            m.observe(MegaHertz(4500.0), p);
+        }
+        assert!(m.fit().is_err());
+    }
+}

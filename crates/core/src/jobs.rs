@@ -1,0 +1,95 @@
+//! Job descriptors for the AGS scheduler.
+
+use crate::qos::QosSpec;
+use p7_workloads::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// One schedulable job or VM, as the Fig. 18 flow reads it from "its job
+/// description file".
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::{JobSpec, QosSpec};
+/// use p7_workloads::Catalog;
+///
+/// let ws = Catalog::power7plus().get("websearch").unwrap().clone();
+/// let job = JobSpec::critical("search-frontend", ws, QosSpec::websearch());
+/// assert!(job.is_critical());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    name: String,
+    workload: WorkloadProfile,
+    qos: Option<QosSpec>,
+}
+
+impl JobSpec {
+    /// A best-effort (batch) job with no latency SLA.
+    #[must_use]
+    pub fn batch(name: &str, workload: WorkloadProfile) -> Self {
+        JobSpec {
+            name: name.to_owned(),
+            workload,
+            qos: None,
+        }
+    }
+
+    /// A latency-critical job with an SLA.
+    #[must_use]
+    pub fn critical(name: &str, workload: WorkloadProfile, qos: QosSpec) -> Self {
+        JobSpec {
+            name: name.to_owned(),
+            workload,
+            qos: Some(qos),
+        }
+    }
+
+    /// The job's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload footprint driving the simulation.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadProfile {
+        &self.workload
+    }
+
+    /// The SLA, if any.
+    #[must_use]
+    pub fn qos(&self) -> Option<&QosSpec> {
+        self.qos.as_ref()
+    }
+
+    /// True for latency-critical jobs (the first decision diamond of
+    /// Fig. 18).
+    #[must_use]
+    pub fn is_critical(&self) -> bool {
+        self.qos.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_workloads::Catalog;
+
+    #[test]
+    fn batch_jobs_have_no_sla() {
+        let w = Catalog::power7plus().get("radix").unwrap().clone();
+        let job = JobSpec::batch("sorter", w);
+        assert!(!job.is_critical());
+        assert!(job.qos().is_none());
+        assert_eq!(job.name(), "sorter");
+    }
+
+    #[test]
+    fn critical_jobs_carry_their_spec() {
+        let w = Catalog::power7plus().get("websearch").unwrap().clone();
+        let job = JobSpec::critical("search", w, QosSpec::websearch());
+        assert!(job.is_critical());
+        assert_eq!(job.qos().unwrap().p90_target.0, 0.5);
+    }
+}

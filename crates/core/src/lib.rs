@@ -1,0 +1,48 @@
+//! Adaptive Guardband Scheduling (AGS) — the primary contribution of
+//! "Adaptive Guardband Scheduling to Improve System-Level Efficiency of
+//! the POWER7+" (MICRO-48, 2015), reimplemented over the `p7-sim`
+//! full-system simulator.
+//!
+//! AGS compensates at the system level for the way VRM loadline and PDN IR
+//! drop erode adaptive guardbanding's benefit as load grows. It has two
+//! policies, matched to the two enterprise scenarios of Sec. 5:
+//!
+//! * **Loadline borrowing** ([`loadline_borrowing`]) — when the server has
+//!   idle capacity, balance threads across sockets instead of
+//!   consolidating them. Each rail then carries less current, its
+//!   loadline/transient budget shrinks, and *both* sockets undervolt
+//!   deeper: up to 12 % power savings versus consolidation, roughly
+//!   doubling adaptive guardbanding's benefit at high core counts.
+//! * **Adaptive mapping** ([`adaptive_mapping`]) — when a latency-critical
+//!   workload shares the chip with co-runners, the chip frequency (and
+//!   therefore the tail latency) depends on what the co-runners do to the
+//!   shared voltage margin. A lightweight MIPS-based frequency predictor
+//!   ([`predictor`]) plus a learned frequency–QoS model ([`freq_qos`])
+//!   lets the scheduler detect QoS violations and swap malicious
+//!   co-runners for benign ones.
+//!
+//! See the `ags-bench` crate for the harnesses regenerating every figure
+//! of the paper, and the repository examples for end-to-end usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive_mapping;
+pub mod cluster;
+pub mod error;
+pub mod freq_qos;
+pub mod jobs;
+pub mod loadline_borrowing;
+pub mod predictor;
+pub mod qos;
+pub mod scheduler;
+
+pub use adaptive_mapping::{AdaptiveMappingScheduler, QuantumReport};
+pub use cluster::{ClusterConfig, ClusterPlan, ClusterScheduler};
+pub use error::AgsError;
+pub use freq_qos::FreqQosModel;
+pub use jobs::JobSpec;
+pub use loadline_borrowing::{BorrowingEvaluation, LoadlineBorrowing};
+pub use predictor::MipsFrequencyPredictor;
+pub use qos::{QosMonitor, QosSpec};
+pub use scheduler::AgsScheduler;

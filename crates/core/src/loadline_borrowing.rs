@@ -1,0 +1,237 @@
+//! Loadline borrowing (Sec. 5.1): balance instead of consolidate.
+//!
+//! Conventional wisdom consolidates work onto one socket so the other can
+//! sleep. On an adaptive-guardband server with per-core power gating that
+//! is backwards: consolidation funnels all current through one loadline,
+//! consuming that rail's undervolt budget, while the idle rail's budget
+//! goes unused. *Borrowing* the idle socket's loadline — splitting the
+//! threads and power-gating unused cores on both sockets — lets both rails
+//! undervolt deeper and lowers total chip power by up to ~12 %.
+
+use crate::error::AgsError;
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, Experiment, Outcome};
+use p7_workloads::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// The side-by-side result of consolidation versus borrowing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BorrowingEvaluation {
+    /// Threads used.
+    pub threads: usize,
+    /// Consolidated schedule under adaptive guardbanding.
+    pub consolidated: Outcome,
+    /// Loadline-borrowing schedule under adaptive guardbanding.
+    pub borrowed: Outcome,
+    /// Power saving of borrowing over consolidation, percent.
+    pub power_saving_percent: f64,
+    /// Energy improvement `E_cons / E_borr − 1`, percent — the paper's
+    /// Fig. 14 metric (can exceed 100 % for bandwidth-starved workloads).
+    pub energy_improvement_percent: f64,
+    /// Execution-time change of borrowing, percent (negative = faster).
+    pub time_change_percent: f64,
+}
+
+/// Evaluator comparing the two schedules on the simulated server.
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::LoadlineBorrowing;
+/// use p7_sim::Experiment;
+/// use p7_workloads::Catalog;
+///
+/// let lb = LoadlineBorrowing::new(Experiment::power7plus(42));
+/// let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+/// let eval = lb.evaluate(&w, 8)?;
+/// assert!(eval.power_saving_percent > 0.0);
+/// # Ok::<(), ags_core::AgsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadlineBorrowing {
+    experiment: Experiment,
+}
+
+impl LoadlineBorrowing {
+    /// Creates an evaluator over the given experiment runner.
+    #[must_use]
+    pub fn new(experiment: Experiment) -> Self {
+        LoadlineBorrowing { experiment }
+    }
+
+    /// The experiment runner in use.
+    #[must_use]
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// Compares consolidation against borrowing for `threads` threads of
+    /// `workload`, both under undervolting adaptive guardbanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when a run fails (e.g. `threads > 8`).
+    pub fn evaluate(
+        &self,
+        workload: &WorkloadProfile,
+        threads: usize,
+    ) -> Result<BorrowingEvaluation, AgsError> {
+        let consolidated = self.experiment.run(
+            &Assignment::consolidated(workload, threads)?,
+            GuardbandMode::Undervolt,
+        )?;
+        let borrowed = self.experiment.run(
+            &Assignment::borrowed(workload, threads)?,
+            GuardbandMode::Undervolt,
+        )?;
+        Ok(Self::summarize(threads, consolidated, borrowed))
+    }
+
+    /// Like [`LoadlineBorrowing::evaluate`] but with the static-guardband
+    /// consolidated schedule as the reference, the comparison of the
+    /// paper's Fig. 13.
+    ///
+    /// Returns `(consolidated_ag_improvement, borrowed_ag_improvement)`
+    /// in percent of the static baseline's power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when a run fails.
+    pub fn improvement_vs_static(
+        &self,
+        workload: &WorkloadProfile,
+        threads: usize,
+    ) -> Result<(f64, f64), AgsError> {
+        let static_baseline = self.experiment.run(
+            &Assignment::consolidated(workload, threads)?,
+            GuardbandMode::StaticGuardband,
+        )?;
+        let eval = self.evaluate(workload, threads)?;
+        let base = static_baseline.total_power().0;
+        let cons = (base - eval.consolidated.total_power().0) / base * 100.0;
+        let borr = (base - eval.borrowed.total_power().0) / base * 100.0;
+        Ok((cons, borr))
+    }
+
+    /// Sweeps thread counts 1..=8 (the paper's Fig. 12 / Fig. 13 x-axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when any run fails.
+    pub fn sweep_cores(
+        &self,
+        workload: &WorkloadProfile,
+    ) -> Result<Vec<BorrowingEvaluation>, AgsError> {
+        (1..=8).map(|k| self.evaluate(workload, k)).collect()
+    }
+
+    fn summarize(threads: usize, consolidated: Outcome, borrowed: Outcome) -> BorrowingEvaluation {
+        let power_saving_percent = (consolidated.total_power().0 - borrowed.total_power().0)
+            / consolidated.total_power().0
+            * 100.0;
+        let energy_improvement_percent =
+            (consolidated.energy.0 / borrowed.energy.0 - 1.0) * 100.0;
+        let time_change_percent =
+            (borrowed.exec_time.0 / consolidated.exec_time.0 - 1.0) * 100.0;
+        BorrowingEvaluation {
+            threads,
+            consolidated,
+            borrowed,
+            power_saving_percent,
+            energy_improvement_percent,
+            time_change_percent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_workloads::Catalog;
+
+    fn evaluator() -> LoadlineBorrowing {
+        LoadlineBorrowing::new(Experiment::power7plus(42).with_ticks(30, 15))
+    }
+
+    fn workload(name: &str) -> WorkloadProfile {
+        Catalog::power7plus().get(name).unwrap().clone()
+    }
+
+    #[test]
+    fn borrowing_saves_power_at_full_load() {
+        let eval = evaluator().evaluate(&workload("raytrace"), 8).unwrap();
+        // Fig. 12b: clear saving at eight cores.
+        assert!(
+            eval.power_saving_percent > 2.0,
+            "saving {}%",
+            eval.power_saving_percent
+        );
+    }
+
+    #[test]
+    fn borrowing_undervolts_deeper_on_both_rails() {
+        let eval = evaluator().evaluate(&workload("raytrace"), 8).unwrap();
+        let cons_uv = eval.consolidated.summary.socket0().undervolt;
+        for socket in &eval.borrowed.summary.sockets {
+            assert!(
+                socket.undervolt > cons_uv,
+                "borrowed rail {} <= consolidated {}",
+                socket.undervolt,
+                cons_uv
+            );
+        }
+    }
+
+    #[test]
+    fn saving_grows_with_thread_count() {
+        // Fig. 12b: 1.6 % / 4.2 % / 8.5 % at 2 / 4 / 8 cores.
+        let lb = evaluator();
+        let w = workload("raytrace");
+        let two = lb.evaluate(&w, 2).unwrap().power_saving_percent;
+        let eight = lb.evaluate(&w, 8).unwrap().power_saving_percent;
+        assert!(eight > two, "2-core {two}% vs 8-core {eight}%");
+    }
+
+    #[test]
+    fn improvement_vs_static_roughly_doubles() {
+        // Fig. 13: borrowing lifts AG's improvement well above the
+        // consolidated baseline at eight cores.
+        let (cons, borr) = evaluator()
+            .improvement_vs_static(&workload("raytrace"), 8)
+            .unwrap();
+        assert!(borr > cons * 1.3, "cons {cons}% borr {borr}%");
+    }
+
+    #[test]
+    fn comm_heavy_workloads_lose_energy() {
+        // Fig. 14 left: lu_ncb pays interchip communication and ends up
+        // worse in energy despite the power saving.
+        let eval = evaluator().evaluate(&workload("lu_ncb"), 8).unwrap();
+        assert!(eval.time_change_percent > 10.0);
+        assert!(
+            eval.energy_improvement_percent < 0.0,
+            "lu_ncb energy improvement {}%",
+            eval.energy_improvement_percent
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_workloads_gain_big() {
+        // Fig. 14 right: radix-class workloads gain 50 %+ energy.
+        let eval = evaluator().evaluate(&workload("radix"), 8).unwrap();
+        assert!(
+            eval.energy_improvement_percent > 40.0,
+            "radix energy improvement {}%",
+            eval.energy_improvement_percent
+        );
+        assert!(eval.time_change_percent < -20.0);
+    }
+
+    #[test]
+    fn sweep_covers_all_counts() {
+        let sweep = evaluator().sweep_cores(&workload("ocean_cp")).unwrap();
+        assert_eq!(sweep.len(), 8);
+        assert_eq!(sweep[0].threads, 1);
+        assert_eq!(sweep[7].threads, 8);
+    }
+}

@@ -1,0 +1,235 @@
+//! The MIPS-based frequency predictor (Sec. 5.2.1, Fig. 16).
+//!
+//! Chip power tracks aggregate instruction throughput to first order, and
+//! adaptive guardbanding's frequency choice tracks chip power through the
+//! passive drop (Fig. 10). Composing the two, a *linear* model from chip
+//! total MIPS to chip frequency predicts what frequency any hypothetical
+//! workload combination will get — fast enough to explore the combination
+//! space every scheduling quantum, and deployable from existing hardware
+//! performance counters. The paper reports a root-mean-square error of
+//! only 0.3 %.
+
+use crate::error::AgsError;
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, Experiment};
+use p7_types::MegaHertz;
+use p7_workloads::{Catalog, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// A fitted `frequency = intercept + slope · MIPS` model.
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::MipsFrequencyPredictor;
+///
+/// let data = [
+///     (10_000.0, 4590.0),
+///     (30_000.0, 4520.0),
+///     (50_000.0, 4470.0),
+///     (70_000.0, 4400.0),
+/// ];
+/// let model = MipsFrequencyPredictor::fit(&data)?;
+/// assert!(model.slope_mhz_per_mips() < 0.0);
+/// let f = model.predict(40_000.0);
+/// assert!(f.0 > 4400.0 && f.0 < 4590.0);
+/// # Ok::<(), ags_core::AgsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MipsFrequencyPredictor {
+    intercept: f64,
+    slope: f64,
+    rmse_mhz: f64,
+    rmse_percent: f64,
+    samples: usize,
+}
+
+impl MipsFrequencyPredictor {
+    /// Fits the model by ordinary least squares on `(chip_mips, freq_mhz)`
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::InsufficientData`] with fewer than three
+    /// points, and [`AgsError::ModelNotFitted`] when the MIPS values are
+    /// degenerate (zero variance).
+    pub fn fit(data: &[(f64, f64)]) -> Result<Self, AgsError> {
+        if data.len() < 3 {
+            return Err(AgsError::InsufficientData {
+                points: data.len(),
+                required: 3,
+            });
+        }
+        let n = data.len() as f64;
+        let mean_x = data.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = data.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = data.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+        if sxx < 1e-9 {
+            return Err(AgsError::ModelNotFitted {
+                model: "mips-frequency (degenerate inputs)",
+            });
+        }
+        let sxy: f64 = data
+            .iter()
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let sse: f64 = data
+            .iter()
+            .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+            .sum();
+        let rmse_mhz = (sse / n).sqrt();
+        Ok(MipsFrequencyPredictor {
+            intercept,
+            slope,
+            rmse_mhz,
+            rmse_percent: rmse_mhz / mean_y * 100.0,
+            samples: data.len(),
+        })
+    }
+
+    /// Trains the predictor the way the paper does: measure adaptive
+    /// guardbanding's frequency choice with all eight cores stressed by
+    /// every PARSEC, SPLASH-2 and SPECrate workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when a training run fails.
+    pub fn train_on_catalog(
+        experiment: &Experiment,
+        catalog: &Catalog,
+    ) -> Result<Self, AgsError> {
+        let mut data = Vec::new();
+        for w in catalog.scatter_set() {
+            let (mips, freq) = measure_point(experiment, w)?;
+            data.push((mips, freq.0));
+        }
+        MipsFrequencyPredictor::fit(&data)
+    }
+
+    /// Predicted chip frequency for a chip-total MIPS value.
+    #[must_use]
+    pub fn predict(&self, chip_mips: f64) -> MegaHertz {
+        MegaHertz(self.intercept + self.slope * chip_mips)
+    }
+
+    /// The fitted slope (MHz per MIPS); negative on a loadline-limited
+    /// system.
+    #[must_use]
+    pub fn slope_mhz_per_mips(&self) -> f64 {
+        self.slope
+    }
+
+    /// Root-mean-square error of the fit in MHz.
+    #[must_use]
+    pub fn rmse_mhz(&self) -> f64 {
+        self.rmse_mhz
+    }
+
+    /// Root-mean-square error as a percentage of the mean frequency —
+    /// the paper's reported 0.3 % metric.
+    #[must_use]
+    pub fn rmse_percent(&self) -> f64 {
+        self.rmse_percent
+    }
+
+    /// Number of training samples.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The largest chip MIPS that still predicts at least `freq` — the
+    /// budget the scheduler can hand to co-runners.
+    #[must_use]
+    pub fn mips_budget_for(&self, freq: MegaHertz) -> f64 {
+        if self.slope.abs() < 1e-12 {
+            return f64::INFINITY;
+        }
+        (freq.0 - self.intercept) / self.slope
+    }
+}
+
+/// Measures one training point: all eight cores stressed by `workload` in
+/// frequency-boosting mode.
+///
+/// # Errors
+///
+/// Returns [`AgsError::Sim`] when the run fails.
+pub fn measure_point(
+    experiment: &Experiment,
+    workload: &WorkloadProfile,
+) -> Result<(f64, MegaHertz), AgsError> {
+    let assignment = Assignment::single_socket(workload, 8)?;
+    let outcome = experiment.run(&assignment, GuardbandMode::Overclock)?;
+    let freq = outcome.summary.avg_running_freq;
+    let ratio = outcome
+        .summary
+        .freq_ratio(experiment.config().target_frequency);
+    let mips = workload.chip_mips(8, ratio);
+    Ok((mips, freq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let data: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = 1000.0 * f64::from(i);
+                (x, 4600.0 - 0.002 * x)
+            })
+            .collect();
+        let m = MipsFrequencyPredictor::fit(&data).unwrap();
+        assert!((m.slope_mhz_per_mips() + 0.002).abs() < 1e-9);
+        assert!(m.rmse_mhz() < 1e-6);
+        assert!((m.predict(5000.0).0 - 4590.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_tiny_datasets() {
+        assert!(matches!(
+            MipsFrequencyPredictor::fit(&[(1.0, 2.0)]),
+            Err(AgsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let data = [(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)];
+        assert!(matches!(
+            MipsFrequencyPredictor::fit(&data),
+            Err(AgsError::ModelNotFitted { .. })
+        ));
+    }
+
+    #[test]
+    fn mips_budget_inverts_prediction() {
+        let data = [(0.0, 4600.0), (10_000.0, 4550.0), (20_000.0, 4500.0)];
+        let m = MipsFrequencyPredictor::fit(&data).unwrap();
+        let budget = m.mips_budget_for(MegaHertz(4525.0));
+        assert!((budget - 15_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trained_model_matches_paper_shape() {
+        // Training over the whole catalog is the fig16 harness's job; a
+        // small subset keeps this unit test quick while still checking
+        // slope sign and error scale.
+        let exp = Experiment::power7plus(42).with_ticks(20, 10);
+        let cat = Catalog::power7plus();
+        let mut data = Vec::new();
+        for name in ["mcf", "radix", "gcc", "raytrace", "swaptions", "povray"] {
+            let (mips, f) = measure_point(&exp, cat.get(name).unwrap()).unwrap();
+            data.push((mips, f.0));
+        }
+        let m = MipsFrequencyPredictor::fit(&data).unwrap();
+        assert!(m.slope_mhz_per_mips() < 0.0, "higher MIPS must predict lower frequency");
+        assert!(m.rmse_percent() < 1.0, "rmse {}%", m.rmse_percent());
+        // Light workloads should be predicted faster than heavy ones.
+        assert!(m.predict(13_000.0) > m.predict(70_000.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Quality-of-service specifications and monitoring.
+
+use p7_types::Seconds;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The service-level target of a latency-critical job.
+///
+/// The paper's WebSearch scenario targets a 0.5 s 90th-percentile latency
+/// and reacts when more than 25 % of windows violate it (Sec. 5.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::QosSpec;
+///
+/// let qos = QosSpec::websearch();
+/// assert!(qos.violated_by(0.6));
+/// assert!(!qos.violated_by(0.4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// The p90 latency target.
+    pub p90_target: Seconds,
+    /// Fraction of violating windows that triggers scheduler action.
+    pub violation_threshold: f64,
+}
+
+impl QosSpec {
+    /// The paper's WebSearch SLA: p90 ≤ 0.5 s, act above 25 % violations.
+    #[must_use]
+    pub fn websearch() -> Self {
+        QosSpec {
+            p90_target: Seconds(0.5),
+            violation_threshold: 0.25,
+        }
+    }
+
+    /// True when a window's p90 (seconds) misses the target.
+    #[must_use]
+    pub fn violated_by(&self, p90_seconds: f64) -> bool {
+        p90_seconds > self.p90_target.0
+    }
+}
+
+/// Sliding-window violation-rate monitor.
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::{QosMonitor, QosSpec};
+///
+/// let mut monitor = QosMonitor::new(QosSpec::websearch(), 4);
+/// for p90 in [0.3, 0.6, 0.7, 0.2] {
+///     monitor.observe(p90);
+/// }
+/// assert!((monitor.violation_rate() - 0.5).abs() < 1e-12);
+/// assert!(monitor.needs_action());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosMonitor {
+    spec: QosSpec,
+    capacity: usize,
+    window: VecDeque<bool>,
+    total_observed: usize,
+    total_violations: usize,
+}
+
+impl QosMonitor {
+    /// Creates a monitor remembering the last `capacity` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(spec: QosSpec, capacity: usize) -> Self {
+        assert!(capacity > 0, "monitor window must be non-empty");
+        QosMonitor {
+            spec,
+            capacity,
+            window: VecDeque::with_capacity(capacity),
+            total_observed: 0,
+            total_violations: 0,
+        }
+    }
+
+    /// The SLA this monitor enforces.
+    #[must_use]
+    pub fn spec(&self) -> &QosSpec {
+        &self.spec
+    }
+
+    /// Records one window's p90 latency (seconds).
+    pub fn observe(&mut self, p90_seconds: f64) {
+        let violated = self.spec.violated_by(p90_seconds);
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(violated);
+        self.total_observed += 1;
+        if violated {
+            self.total_violations += 1;
+        }
+    }
+
+    /// Violation rate over the sliding window (0 when empty).
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&v| v).count() as f64 / self.window.len() as f64
+    }
+
+    /// Lifetime violation rate across everything observed.
+    #[must_use]
+    pub fn lifetime_violation_rate(&self) -> f64 {
+        if self.total_observed == 0 {
+            return 0.0;
+        }
+        self.total_violations as f64 / self.total_observed as f64
+    }
+
+    /// True when the sliding-window rate exceeds the SLA threshold.
+    #[must_use]
+    pub fn needs_action(&self) -> bool {
+        self.violation_rate() > self.spec.violation_threshold
+    }
+
+    /// Clears the sliding window (after a scheduling action, so stale
+    /// violations don't trigger again).
+    pub fn reset_window(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_threshold_logic() {
+        let spec = QosSpec::websearch();
+        let mut m = QosMonitor::new(spec, 10);
+        assert!(!m.needs_action());
+        for _ in 0..7 {
+            m.observe(0.3);
+        }
+        for _ in 0..3 {
+            m.observe(0.8);
+        }
+        assert!((m.violation_rate() - 0.3).abs() < 1e-12);
+        assert!(m.needs_action());
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut m = QosMonitor::new(QosSpec::websearch(), 2);
+        m.observe(0.9);
+        m.observe(0.9);
+        assert!((m.violation_rate() - 1.0).abs() < 1e-12);
+        m.observe(0.1);
+        m.observe(0.1);
+        assert!((m.violation_rate() - 0.0).abs() < 1e-12);
+        // Lifetime rate still remembers everything.
+        assert!((m.lifetime_violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_only_window() {
+        let mut m = QosMonitor::new(QosSpec::websearch(), 4);
+        m.observe(0.9);
+        m.reset_window();
+        assert_eq!(m.violation_rate(), 0.0);
+        assert!((m.lifetime_violation_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_capacity_panics() {
+        let _ = QosMonitor::new(QosSpec::websearch(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The umbrella AGS scheduler: pick the right policy for the scenario.
+//!
+//! Sec. 5 frames AGS around two enterprise scenarios:
+//!
+//! * **under-utilized server** → loadline borrowing decides *where*
+//!   threads go (balance vs. consolidate),
+//! * **highly utilized server with a critical job** → adaptive mapping
+//!   decides *who* shares the chip with the critical job.
+//!
+//! [`AgsScheduler`] exposes both decisions behind one facade.
+
+use crate::adaptive_mapping::AdaptiveMappingScheduler;
+use crate::error::AgsError;
+use crate::jobs::JobSpec;
+use crate::loadline_borrowing::LoadlineBorrowing;
+use crate::predictor::MipsFrequencyPredictor;
+use p7_sim::{Assignment, Experiment, Outcome};
+use p7_workloads::{WebSearch, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Which placement the scheduler chose and why.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    /// The chosen assignment.
+    pub assignment: Assignment,
+    /// True when loadline borrowing won over consolidation.
+    pub borrowed: bool,
+    /// Predicted energy of the chosen schedule, joules.
+    pub energy_joules: f64,
+    /// Energy advantage over the rejected schedule, percent.
+    pub advantage_percent: f64,
+}
+
+/// The system-level adaptive guardband scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use ags_core::AgsScheduler;
+/// use p7_sim::Experiment;
+/// use p7_workloads::Catalog;
+///
+/// let ags = AgsScheduler::new(Experiment::power7plus(42).with_ticks(20, 10));
+/// let radix = Catalog::power7plus().get("radix").unwrap().clone();
+/// // Bandwidth-starved workload on a half-empty server: borrowing wins.
+/// let decision = ags.place(&radix, 8)?;
+/// assert!(decision.borrowed);
+/// # Ok::<(), ags_core::AgsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgsScheduler {
+    experiment: Experiment,
+}
+
+impl AgsScheduler {
+    /// Creates a scheduler over the given experiment runner.
+    #[must_use]
+    pub fn new(experiment: Experiment) -> Self {
+        AgsScheduler { experiment }
+    }
+
+    /// The experiment runner in use.
+    #[must_use]
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// Decides where `threads` threads of `workload` should run on the
+    /// two-socket server by evaluating consolidation against loadline
+    /// borrowing and picking the lower-energy schedule.
+    ///
+    /// Energy (rather than power) is the criterion so communication-heavy
+    /// workloads, which slow down when split, are correctly consolidated
+    /// (the paper's Fig. 14 left side) while everything else is borrowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError::Sim`] when a run fails.
+    pub fn place(
+        &self,
+        workload: &WorkloadProfile,
+        threads: usize,
+    ) -> Result<PlacementDecision, AgsError> {
+        let lb = LoadlineBorrowing::new(self.experiment.clone());
+        let eval = lb.evaluate(workload, threads)?;
+        let pick_borrowed = eval.borrowed.energy.0 < eval.consolidated.energy.0;
+        let (chosen, rejected, assignment): (&Outcome, &Outcome, Assignment) = if pick_borrowed {
+            (
+                &eval.borrowed,
+                &eval.consolidated,
+                Assignment::borrowed(workload, threads)?,
+            )
+        } else {
+            (
+                &eval.consolidated,
+                &eval.borrowed,
+                Assignment::consolidated(workload, threads)?,
+            )
+        };
+        Ok(PlacementDecision {
+            assignment,
+            borrowed: pick_borrowed,
+            energy_joules: chosen.energy.0,
+            advantage_percent: (rejected.energy.0 / chosen.energy.0 - 1.0) * 100.0,
+        })
+    }
+
+    /// Builds the adaptive-mapping colocation scheduler for a critical
+    /// job, training the MIPS frequency predictor first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgsError`] when training fails or the job has no SLA.
+    pub fn colocation_scheduler(
+        &self,
+        job: JobSpec,
+        service: WebSearch,
+        pool: Vec<WorkloadProfile>,
+        initial: usize,
+        training: &[(f64, f64)],
+        seed: u64,
+    ) -> Result<AdaptiveMappingScheduler, AgsError> {
+        let predictor = MipsFrequencyPredictor::fit(training)?;
+        AdaptiveMappingScheduler::new(
+            self.experiment.clone(),
+            predictor,
+            job,
+            service,
+            pool,
+            initial,
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_workloads::Catalog;
+
+    fn ags() -> AgsScheduler {
+        AgsScheduler::new(Experiment::power7plus(42).with_ticks(20, 10))
+    }
+
+    #[test]
+    fn bandwidth_bound_workloads_are_borrowed() {
+        let radix = Catalog::power7plus().get("radix").unwrap().clone();
+        let d = ags().place(&radix, 8).unwrap();
+        assert!(d.borrowed);
+        assert!(d.advantage_percent > 10.0, "advantage {}%", d.advantage_percent);
+    }
+
+    #[test]
+    fn comm_heavy_workloads_are_consolidated() {
+        let lu_ncb = Catalog::power7plus().get("lu_ncb").unwrap().clone();
+        let d = ags().place(&lu_ncb, 8).unwrap();
+        assert!(!d.borrowed, "lu_ncb should stay consolidated");
+    }
+
+    #[test]
+    fn decision_carries_the_right_assignment() {
+        let radix = Catalog::power7plus().get("radix").unwrap().clone();
+        let d = ags().place(&radix, 6).unwrap();
+        if d.borrowed {
+            assert_eq!(d.assignment.placement_shape().threads_per_socket(), [3, 3]);
+        } else {
+            assert_eq!(d.assignment.placement_shape().threads_per_socket(), [6, 0]);
+        }
+    }
+}

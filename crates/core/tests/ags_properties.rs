@@ -1,0 +1,87 @@
+//! Property-based tests of the AGS schedulers and models.
+
+use ags_core::{FreqQosModel, MipsFrequencyPredictor, QosMonitor, QosSpec};
+use p7_types::{MegaHertz, Seconds};
+use proptest::prelude::*;
+
+fn arb_line() -> impl Strategy<Value = (f64, f64)> {
+    // intercept (MHz), negative slope (MHz per MIPS)
+    (4400.0f64..4800.0, -0.01f64..-0.0001)
+}
+
+proptest! {
+    #[test]
+    fn predictor_recovers_any_line_exactly(
+        (intercept, slope) in arb_line(),
+        xs in prop::collection::vec(1000.0f64..90_000.0, 3..30),
+    ) {
+        // Degenerate inputs (all x equal) are rejected; skip them.
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1.0);
+        let data: Vec<(f64, f64)> = xs.iter().map(|&x| (x, intercept + slope * x)).collect();
+        let model = MipsFrequencyPredictor::fit(&data).unwrap();
+        prop_assert!((model.slope_mhz_per_mips() - slope).abs() < 1e-9);
+        prop_assert!(model.rmse_mhz() < 1e-6);
+        // Budget inversion round-trips.
+        let f = MegaHertz(intercept + slope * 40_000.0);
+        prop_assert!((model.mips_budget_for(f) - 40_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predictor_rmse_is_nonnegative_and_scale_free(
+        (intercept, slope) in arb_line(),
+        noise in prop::collection::vec(-20.0f64..20.0, 5..20),
+    ) {
+        let data: Vec<(f64, f64)> = noise
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let x = 5000.0 + 4000.0 * i as f64;
+                (x, intercept + slope * x + n)
+            })
+            .collect();
+        let model = MipsFrequencyPredictor::fit(&data).unwrap();
+        prop_assert!(model.rmse_mhz() >= 0.0);
+        prop_assert!(model.rmse_percent() >= 0.0);
+        // OLS residual RMSE can never exceed the largest noise magnitude.
+        let max_noise = noise.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        prop_assert!(model.rmse_mhz() <= max_noise + 1e-9);
+    }
+
+    #[test]
+    fn qos_monitor_rate_matches_the_observations(
+        p90s in prop::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        let spec = QosSpec::websearch();
+        let mut monitor = QosMonitor::new(spec, 100);
+        for &p in &p90s {
+            monitor.observe(p);
+        }
+        let expected =
+            p90s.iter().filter(|&&p| p > 0.5).count() as f64 / p90s.len() as f64;
+        prop_assert!((monitor.violation_rate() - expected).abs() < 1e-12);
+        prop_assert!((monitor.lifetime_violation_rate() - expected).abs() < 1e-12);
+        prop_assert_eq!(monitor.needs_action(), expected > spec.violation_threshold);
+    }
+
+    #[test]
+    fn freq_qos_inversion_always_lands_on_target(
+        base in 0.2f64..0.6,
+        slope_per_100mhz in 0.02f64..0.2,
+        target in 0.25f64..0.55,
+    ) {
+        let mut model = FreqQosModel::new();
+        for i in 0..6 {
+            let f = 4400.0 + 50.0 * f64::from(i);
+            let p90 = base - slope_per_100mhz * (f - 4400.0) / 100.0;
+            model.observe(MegaHertz(f), p90);
+        }
+        let Ok(needed) = model.frequency_for(Seconds(target)) else {
+            // A flat-enough line may be judged insensitive; that is fine.
+            return Ok(());
+        };
+        let predicted = model.predict_p90(needed).unwrap();
+        prop_assert!((predicted.0 - target).abs() < 1e-9);
+    }
+}

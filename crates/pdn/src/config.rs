@@ -1,0 +1,168 @@
+//! Configuration of the power-delivery network.
+
+use crate::error::PdnError;
+use p7_types::{Ohms, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Resistive and noise parameters of the server's power delivery network.
+///
+/// The defaults ([`PdnConfig::power7plus`]) are calibrated against the
+/// paper's measurements:
+///
+/// * Fig. 10a shows the passive drop (loadline + IR) rising from ~40 mV at
+///   80 W to ~80 mV at 140 W — an effective large-signal resistance of
+///   roughly 0.6–0.8 mΩ at 1.2 V,
+/// * Fig. 7 shows each core's drop jumping ~2 % of Vdd (≈24 mV) the moment
+///   that core itself becomes active, which sets the local grid resistance,
+/// * neighbouring cores on the 2×4 floorplan couple weakly, giving the
+///   "earlier cores rise first, then plateau" shape of Fig. 7.
+///
+/// # Examples
+///
+/// ```
+/// use p7_pdn::PdnConfig;
+///
+/// let cfg = PdnConfig::power7plus();
+/// cfg.validate().unwrap();
+/// assert!(cfg.vrm_loadline.0 > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdnConfig {
+    /// VRM + board loadline resistance per socket rail.
+    pub vrm_loadline: Ohms,
+    /// Global on-chip grid resistance seen by the whole chip current.
+    pub ir_global: Ohms,
+    /// Local grid segment resistance seen by one core's own current.
+    pub ir_local: Ohms,
+    /// Coupling resistance to the currents of floorplan-adjacent cores.
+    pub ir_neighbor: Ohms,
+    /// Nominal supply voltage used to express drops as percentages.
+    pub nominal_vdd: Volts,
+}
+
+impl PdnConfig {
+    /// The calibrated POWER7+ / Power 720 parameter set.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        PdnConfig {
+            vrm_loadline: Ohms(0.45e-3),
+            ir_global: Ohms(0.32e-3),
+            ir_local: Ohms(1.2e-3),
+            ir_neighbor: Ohms(0.25e-3),
+            nominal_vdd: Volts(1.2),
+        }
+    }
+
+    /// Checks that every parameter is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::NonPositiveParameter`] when a resistance or the
+    /// nominal voltage is zero, negative, or non-finite. The neighbour
+    /// coupling may be zero (uncoupled cores) but not negative.
+    pub fn validate(&self) -> Result<(), PdnError> {
+        let strictly_positive = [
+            ("vrm_loadline", self.vrm_loadline.0),
+            ("ir_global", self.ir_global.0),
+            ("ir_local", self.ir_local.0),
+            ("nominal_vdd", self.nominal_vdd.0),
+        ];
+        for (name, value) in strictly_positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(PdnError::NonPositiveParameter { name, value });
+            }
+        }
+        if !(self.ir_neighbor.0.is_finite() && self.ir_neighbor.0 >= 0.0) {
+            return Err(PdnError::NonPositiveParameter {
+                name: "ir_neighbor",
+                value: self.ir_neighbor.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Effective chip-level passive resistance: loadline plus global IR.
+    ///
+    /// This is the slope of the paper's Fig. 10a (passive drop vs. chip
+    /// power at fixed voltage).
+    #[must_use]
+    pub fn passive_resistance(&self) -> Ohms {
+        Ohms(self.vrm_loadline.0 + self.ir_global.0)
+    }
+}
+
+impl Default for PdnConfig {
+    fn default() -> Self {
+        PdnConfig::power7plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        PdnConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_loadline() {
+        let cfg = PdnConfig {
+            vrm_loadline: Ohms(0.0),
+            ..PdnConfig::power7plus()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            PdnError::NonPositiveParameter { name: "vrm_loadline", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_neighbor_coupling() {
+        let cfg = PdnConfig {
+            ir_neighbor: Ohms(-1e-4),
+            ..PdnConfig::power7plus()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn allows_zero_neighbor_coupling() {
+        let cfg = PdnConfig {
+            ir_neighbor: Ohms(0.0),
+            ..PdnConfig::power7plus()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let cfg = PdnConfig {
+            ir_global: Ohms(f64::NAN),
+            ..PdnConfig::power7plus()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn passive_resistance_is_sum() {
+        let cfg = PdnConfig::power7plus();
+        let r = cfg.passive_resistance();
+        assert!((r.0 - (cfg.vrm_loadline.0 + cfg.ir_global.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn calibration_matches_fig10a_scale() {
+        // Fig. 10a: ~60 W of extra chip power (≈50 A at 1.2 V) adds ~40 mV
+        // of passive drop — so R_passive·50 A should land near 40 mV within
+        // a loose factor.
+        let cfg = PdnConfig::power7plus();
+        let drop_mv = cfg.passive_resistance().0 * 50.0 * 1000.0;
+        assert!(
+            (20.0..50.0).contains(&drop_mv),
+            "passive drop for 50 A was {drop_mv} mV"
+        );
+    }
+}

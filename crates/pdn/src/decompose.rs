@@ -1,0 +1,151 @@
+//! Voltage-drop decomposition record (the paper's Fig. 8 / Fig. 9).
+//!
+//! The paper attributes the gap between the VRM set point and the voltage
+//! the transistors actually need to four components. [`DropBreakdown`]
+//! carries one such decomposition; the simulator produces one per core per
+//! observation window, and the `fig09` harness plots their stack.
+
+use p7_types::Volts;
+use serde::{Deserialize, Serialize};
+
+/// One decomposed on-chip voltage drop.
+///
+/// # Examples
+///
+/// ```
+/// use p7_pdn::DropBreakdown;
+/// use p7_types::Volts;
+///
+/// let b = DropBreakdown {
+///     loadline: Volts::from_millivolts(30.0),
+///     ir_drop: Volts::from_millivolts(25.0),
+///     typical_didt: Volts::from_millivolts(8.0),
+///     worst_didt: Volts::from_millivolts(14.0),
+/// };
+/// assert!((b.passive().millivolts() - 55.0).abs() < 1e-9);
+/// assert!((b.total().millivolts() - 77.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DropBreakdown {
+    /// VRM loadline component (`R_LL · I_socket`).
+    pub loadline: Volts,
+    /// Resistive drop across the board/package/on-chip grid.
+    pub ir_drop: Volts,
+    /// Typical-case di/dt ripple amplitude.
+    pub typical_didt: Volts,
+    /// Worst-case di/dt droop *beyond* the typical ripple.
+    pub worst_didt: Volts,
+}
+
+impl DropBreakdown {
+    /// The passive component: loadline plus IR drop.
+    ///
+    /// Sec. 4.3 identifies this as the component that erodes adaptive
+    /// guardbanding's efficiency, because it is always present (unlike the
+    /// rare worst-case droops, which the DPLL rides out).
+    #[must_use]
+    pub fn passive(&self) -> Volts {
+        self.loadline + self.ir_drop
+    }
+
+    /// The total drop including the worst observed droop.
+    #[must_use]
+    pub fn total(&self) -> Volts {
+        self.passive() + self.typical_didt + self.worst_didt
+    }
+
+    /// The steady drop an averaging (sample-mode) observer sees: passive
+    /// plus typical ripple, without worst-case events.
+    #[must_use]
+    pub fn steady(&self) -> Volts {
+        self.passive() + self.typical_didt
+    }
+
+    /// Expresses the total drop as a percentage of `nominal`.
+    #[must_use]
+    pub fn total_percent_of(&self, nominal: Volts) -> f64 {
+        self.total() / nominal * 100.0
+    }
+
+    /// Element-wise mean of a set of breakdowns; `None` when empty.
+    #[must_use]
+    pub fn mean_of(items: &[DropBreakdown]) -> Option<DropBreakdown> {
+        if items.is_empty() {
+            return None;
+        }
+        let n = items.len() as f64;
+        let mut acc = DropBreakdown::default();
+        for b in items {
+            acc.loadline += b.loadline;
+            acc.ir_drop += b.ir_drop;
+            acc.typical_didt += b.typical_didt;
+            acc.worst_didt += b.worst_didt;
+        }
+        Some(DropBreakdown {
+            loadline: acc.loadline / n,
+            ir_drop: acc.ir_drop / n,
+            typical_didt: acc.typical_didt / n,
+            worst_didt: acc.worst_didt / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DropBreakdown {
+        DropBreakdown {
+            loadline: Volts::from_millivolts(30.0),
+            ir_drop: Volts::from_millivolts(20.0),
+            typical_didt: Volts::from_millivolts(10.0),
+            worst_didt: Volts::from_millivolts(15.0),
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = sample();
+        assert!((b.passive().millivolts() - 50.0).abs() < 1e-9);
+        assert!((b.steady().millivolts() - 60.0).abs() < 1e-9);
+        assert!((b.total().millivolts() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_of_nominal() {
+        let b = sample();
+        let pct = b.total_percent_of(Volts(1.2));
+        assert!((pct - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert!(DropBreakdown::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_of_identical_is_identity() {
+        let b = sample();
+        let mean = DropBreakdown::mean_of(&[b, b, b]).unwrap();
+        assert!((mean.total() - b.total()).abs() < Volts(1e-12));
+    }
+
+    #[test]
+    fn mean_averages_components() {
+        let a = DropBreakdown {
+            loadline: Volts(0.02),
+            ..DropBreakdown::default()
+        };
+        let b = DropBreakdown {
+            loadline: Volts(0.04),
+            ..DropBreakdown::default()
+        };
+        let mean = DropBreakdown::mean_of(&[a, b]).unwrap();
+        assert!((mean.loadline.0 - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(DropBreakdown::default().total(), Volts::ZERO);
+    }
+}

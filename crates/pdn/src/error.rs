@@ -1,0 +1,59 @@
+//! Error types of the PDN crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or operating the power delivery model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PdnError {
+    /// A configuration parameter was zero, negative, or non-finite.
+    NonPositiveParameter {
+        /// Name of the offending field.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A current outside the model's physical envelope was supplied.
+    CurrentOutOfRange {
+        /// The rejected current in amperes.
+        amps: f64,
+    },
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::NonPositiveParameter { name, value } => {
+                write!(f, "pdn parameter `{name}` must be positive and finite, got {value}")
+            }
+            PdnError::CurrentOutOfRange { amps } => {
+                write!(f, "current {amps} A is outside the model envelope")
+            }
+        }
+    }
+}
+
+impl Error for PdnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let err = PdnError::NonPositiveParameter {
+            name: "ir_local",
+            value: -1.0,
+        };
+        let msg = format!("{err}");
+        assert!(msg.contains("ir_local"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(PdnError::CurrentOutOfRange { amps: -3.0 });
+    }
+}

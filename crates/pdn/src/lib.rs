@@ -1,0 +1,58 @@
+//! Power-delivery-network substrate for the POWER7+ adaptive-guardband
+//! simulator.
+//!
+//! The paper ("Adaptive Guardband Scheduling to Improve System-Level
+//! Efficiency of the POWER7+", MICRO-48 2015) decomposes the on-chip voltage
+//! drop into four components (its Fig. 8):
+//!
+//! * **VRM loadline** — the regulator output sags linearly with load current,
+//! * **IR drop** — resistive drop across the board/package/on-chip grid,
+//! * **typical-case di/dt** — steady current ripple from regular activity,
+//! * **worst-case di/dt** — rare inductive droops from aligned current surges.
+//!
+//! This crate models each component:
+//!
+//! * [`vrm`] — the shared voltage regulator module with one rail (loadline)
+//!   per socket and a current sensor per rail,
+//! * [`ir_drop`] — the on-chip power grid over the 2×4 core floorplan with
+//!   global, local, and neighbour-coupled resistive components,
+//! * [`didt`] — a stochastic model of typical ripple (which smooths as more
+//!   cores stagger their activity) and worst-case droops (which grow with
+//!   core count through alignment),
+//! * [`decompose`] — the [`DropBreakdown`] record the paper's Fig. 9 plots.
+//!
+//! # Examples
+//!
+//! ```
+//! use p7_pdn::{PdnConfig, PdnGrid, Rail};
+//! use p7_types::{Amps, Volts};
+//!
+//! let cfg = PdnConfig::power7plus();
+//! let rail = Rail::new(Volts(1.2), cfg.vrm_loadline);
+//! let grid = PdnGrid::new(&cfg);
+//!
+//! // One busy core drawing 12 A plus 20 A of uncore current.
+//! let mut core_currents = [Amps(0.0); 8];
+//! core_currents[0] = Amps(12.0);
+//! let chip_in = rail.output(Amps(32.0));
+//! let v = grid.core_voltages(chip_in, &core_currents, Amps(20.0));
+//! assert!(v[0] < chip_in); // the active core sees the deepest drop
+//! assert!(v[0] < v[7]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod decompose;
+pub mod didt;
+pub mod error;
+pub mod ir_drop;
+pub mod vrm;
+
+pub use config::PdnConfig;
+pub use decompose::DropBreakdown;
+pub use didt::{DidtConfig, DidtModel, DidtSample};
+pub use error::PdnError;
+pub use ir_drop::PdnGrid;
+pub use vrm::{Rail, Vrm};

@@ -1,0 +1,214 @@
+//! Voltage regulator module (VRM) model.
+//!
+//! The Power 720 server places both POWER7+ sockets on a common VRM chip
+//! that generates an independent Vdd level per socket (the paper's Fig. 11).
+//! Each rail sags linearly with its load current — the *loadline effect* —
+//! and exposes a current sensor that the firmware (and our drop
+//! decomposition, Sec. 4.3) reads.
+
+use crate::error::PdnError;
+use p7_types::{Amps, Ohms, SocketId, Volts, NUM_SOCKETS};
+use serde::{Deserialize, Serialize};
+
+/// One VRM output rail feeding a single socket.
+///
+/// # Examples
+///
+/// ```
+/// use p7_pdn::Rail;
+/// use p7_types::{Amps, Ohms, Volts};
+///
+/// let rail = Rail::new(Volts(1.2), Ohms(0.5e-3));
+/// let out = rail.output(Amps(100.0));
+/// assert!((out.millivolts() - 1150.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rail {
+    set_point: Volts,
+    loadline: Ohms,
+    /// Additive current-sensor error used for failure injection.
+    sensor_bias: Amps,
+}
+
+impl Rail {
+    /// Creates a rail with the given set point and loadline resistance.
+    #[must_use]
+    pub fn new(set_point: Volts, loadline: Ohms) -> Self {
+        Rail {
+            set_point,
+            loadline,
+            sensor_bias: Amps::ZERO,
+        }
+    }
+
+    /// The programmed (no-load) output voltage.
+    #[must_use]
+    pub fn set_point(&self) -> Volts {
+        self.set_point
+    }
+
+    /// Reprograms the rail set point (the firmware's undervolting knob).
+    pub fn set_set_point(&mut self, v: Volts) {
+        self.set_point = v;
+    }
+
+    /// The loadline resistance of this rail.
+    #[must_use]
+    pub fn loadline(&self) -> Ohms {
+        self.loadline
+    }
+
+    /// Voltage delivered at the socket input for a given load current.
+    ///
+    /// This is the loadline equation `V = V_set − R_LL · I`.
+    #[must_use]
+    pub fn output(&self, load: Amps) -> Volts {
+        self.set_point - self.loadline * load
+    }
+
+    /// The loadline component of the drop alone.
+    #[must_use]
+    pub fn loadline_drop(&self, load: Amps) -> Volts {
+        self.loadline * load
+    }
+
+    /// Reads the rail current sensor (true current plus injected bias).
+    ///
+    /// The paper reads these sensors to quantify passive drop (Sec. 4.3);
+    /// [`Rail::inject_sensor_bias`] lets tests exercise a miscalibrated
+    /// sensor.
+    #[must_use]
+    pub fn sensed_current(&self, true_current: Amps) -> Amps {
+        (true_current + self.sensor_bias).max(Amps::ZERO)
+    }
+
+    /// Injects an additive current-sensor error (failure injection).
+    pub fn inject_sensor_bias(&mut self, bias: Amps) {
+        self.sensor_bias = bias;
+    }
+}
+
+/// The shared VRM chip: one [`Rail`] per socket.
+///
+/// # Examples
+///
+/// ```
+/// use p7_pdn::Vrm;
+/// use p7_types::{Amps, Ohms, SocketId, Volts};
+///
+/// let mut vrm = Vrm::uniform(Volts(1.2), Ohms(0.4e-3)).unwrap();
+/// let s1 = SocketId::new(1).unwrap();
+/// vrm.rail_mut(s1).set_set_point(Volts(1.1));
+/// assert!(vrm.rail(s1).output(Amps(50.0)) < Volts(1.1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vrm {
+    rails: Vec<Rail>,
+}
+
+impl Vrm {
+    /// Creates a VRM whose rails all share a set point and loadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::NonPositiveParameter`] when the loadline is not
+    /// strictly positive or the set point is not positive and finite.
+    pub fn uniform(set_point: Volts, loadline: Ohms) -> Result<Self, PdnError> {
+        if !(loadline.0.is_finite() && loadline.0 > 0.0) {
+            return Err(PdnError::NonPositiveParameter {
+                name: "loadline",
+                value: loadline.0,
+            });
+        }
+        if !(set_point.0.is_finite() && set_point.0 > 0.0) {
+            return Err(PdnError::NonPositiveParameter {
+                name: "set_point",
+                value: set_point.0,
+            });
+        }
+        Ok(Vrm {
+            rails: (0..NUM_SOCKETS).map(|_| Rail::new(set_point, loadline)).collect(),
+        })
+    }
+
+    /// Borrows the rail feeding `socket`.
+    #[must_use]
+    pub fn rail(&self, socket: SocketId) -> &Rail {
+        &self.rails[socket.index()]
+    }
+
+    /// Mutably borrows the rail feeding `socket`.
+    pub fn rail_mut(&mut self, socket: SocketId) -> &mut Rail {
+        &mut self.rails[socket.index()]
+    }
+
+    /// Iterates over `(socket, rail)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SocketId, &Rail)> {
+        SocketId::all().zip(self.rails.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loadline_sags_linearly() {
+        let rail = Rail::new(Volts(1.2), Ohms(0.5e-3));
+        assert_eq!(rail.output(Amps(0.0)), Volts(1.2));
+        let v50 = rail.output(Amps(50.0));
+        let v100 = rail.output(Amps(100.0));
+        // Equal current increments produce equal voltage decrements.
+        assert!(((Volts(1.2) - v50).0 - (v50 - v100).0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loadline_drop_matches_output() {
+        let rail = Rail::new(Volts(1.15), Ohms(0.4e-3));
+        let i = Amps(80.0);
+        let expect = rail.set_point() - rail.loadline_drop(i);
+        assert_eq!(rail.output(i), expect);
+    }
+
+    #[test]
+    fn set_point_is_reprogrammable() {
+        let mut rail = Rail::new(Volts(1.2), Ohms(0.4e-3));
+        rail.set_set_point(Volts(1.1));
+        assert_eq!(rail.set_point(), Volts(1.1));
+        assert_eq!(rail.output(Amps(0.0)), Volts(1.1));
+    }
+
+    #[test]
+    fn sensor_bias_injection() {
+        let mut rail = Rail::new(Volts(1.2), Ohms(0.4e-3));
+        assert_eq!(rail.sensed_current(Amps(50.0)), Amps(50.0));
+        rail.inject_sensor_bias(Amps(5.0));
+        assert_eq!(rail.sensed_current(Amps(50.0)), Amps(55.0));
+        rail.inject_sensor_bias(Amps(-100.0));
+        // A broken sensor never reports negative current.
+        assert_eq!(rail.sensed_current(Amps(50.0)), Amps(0.0));
+    }
+
+    #[test]
+    fn vrm_rails_are_independent() {
+        let mut vrm = Vrm::uniform(Volts(1.2), Ohms(0.4e-3)).unwrap();
+        let s0 = SocketId::new(0).unwrap();
+        let s1 = SocketId::new(1).unwrap();
+        vrm.rail_mut(s0).set_set_point(Volts(1.05));
+        assert_eq!(vrm.rail(s0).set_point(), Volts(1.05));
+        assert_eq!(vrm.rail(s1).set_point(), Volts(1.2));
+    }
+
+    #[test]
+    fn vrm_rejects_bad_parameters() {
+        assert!(Vrm::uniform(Volts(1.2), Ohms(0.0)).is_err());
+        assert!(Vrm::uniform(Volts(-1.0), Ohms(0.4e-3)).is_err());
+        assert!(Vrm::uniform(Volts(f64::INFINITY), Ohms(0.4e-3)).is_err());
+    }
+
+    #[test]
+    fn vrm_iter_covers_all_sockets() {
+        let vrm = Vrm::uniform(Volts(1.2), Ohms(0.4e-3)).unwrap();
+        assert_eq!(vrm.iter().count(), NUM_SOCKETS);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the power-delivery substrate.
+
+use p7_pdn::{DidtConfig, DidtModel, DropBreakdown, PdnConfig, PdnGrid, Rail, Vrm};
+use p7_types::{Amps, CoreId, Ohms, Seconds, SocketId, Volts};
+use proptest::prelude::*;
+
+fn arb_currents() -> impl Strategy<Value = [f64; 8]> {
+    prop::array::uniform8(0.0f64..20.0)
+}
+
+proptest! {
+    #[test]
+    fn superposition_of_core_currents(
+        currents in arb_currents(),
+        uncore in 0.0f64..40.0,
+    ) {
+        // Voltage drop decomposes: global (total current) plus local (own
+        // and neighbour current). Doubling every current doubles every
+        // drop — the grid is linear.
+        let grid = PdnGrid::new(&PdnConfig::power7plus());
+        let input = Volts(1.2);
+        let amps: [Amps; 8] = std::array::from_fn(|i| Amps(currents[i]));
+        let doubled: [Amps; 8] = std::array::from_fn(|i| Amps(currents[i] * 2.0));
+        let v1 = grid.core_voltages(input, &amps, Amps(uncore));
+        let v2 = grid.core_voltages(input, &doubled, Amps(uncore * 2.0));
+        for i in 0..8 {
+            let d1 = (input - v1[i]).0;
+            let d2 = (input - v2[i]).0;
+            prop_assert!((d2 - 2.0 * d1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn only_neighbours_feel_local_current(
+        bump in 1.0f64..15.0,
+    ) {
+        let grid = PdnGrid::new(&PdnConfig::power7plus());
+        let input = Volts(1.2);
+        let base = grid.core_voltages(input, &[Amps(5.0); 8], Amps(20.0));
+        let mut bumped = [Amps(5.0); 8];
+        bumped[0] = Amps(5.0 + bump);
+        let after = grid.core_voltages(input, &bumped, Amps(20.0));
+        let c0 = CoreId::new(0).unwrap();
+        for core in CoreId::all() {
+            let delta_global = grid.global_drop(Amps(bump)).0;
+            let extra = (base[core.index()] - after[core.index()]).0 - delta_global;
+            if core == c0 {
+                prop_assert!(extra > 1e-6, "own core must feel its current");
+            } else if core.is_adjacent(c0) {
+                prop_assert!(extra > 1e-9, "neighbour must feel coupling");
+            } else {
+                prop_assert!(extra.abs() < 1e-12, "distant core must only see global");
+            }
+        }
+    }
+
+    #[test]
+    fn vrm_rails_are_isolated(
+        set_a in 1.0f64..1.25,
+        set_b in 1.0f64..1.25,
+        load in 0.0f64..120.0,
+    ) {
+        let mut vrm = Vrm::uniform(Volts(1.2), Ohms(0.45e-3)).unwrap();
+        let s0 = SocketId::new(0).unwrap();
+        let s1 = SocketId::new(1).unwrap();
+        vrm.rail_mut(s0).set_set_point(Volts(set_a));
+        vrm.rail_mut(s1).set_set_point(Volts(set_b));
+        // Loading one rail never changes the other's output.
+        let before = vrm.rail(s1).output(Amps(10.0));
+        let _ = vrm.rail(s0).output(Amps(load));
+        prop_assert_eq!(vrm.rail(s1).output(Amps(10.0)), before);
+    }
+
+    #[test]
+    fn didt_sample_is_bounded_and_ordered(
+        seed in 0u64..300,
+        active in 1usize..=8,
+        variability in 0.1f64..2.0,
+    ) {
+        let mut model = DidtModel::new(DidtConfig::power7plus(), seed);
+        for _ in 0..20 {
+            let s = model.sample_window(active, variability, Seconds::from_millis(32.0));
+            prop_assert!(s.typical.0 >= 0.0);
+            prop_assert!(s.worst >= s.typical);
+            // Bounded by a generous physical envelope (< 100 mV).
+            prop_assert!(s.worst < Volts::from_millivolts(100.0));
+        }
+    }
+
+    #[test]
+    fn breakdown_mean_preserves_totals(
+        loadline in 0.0f64..0.08,
+        ir in 0.0f64..0.06,
+        typ in 0.0f64..0.02,
+        worst in 0.0f64..0.03,
+        n in 1usize..12,
+    ) {
+        let b = DropBreakdown {
+            loadline: Volts(loadline),
+            ir_drop: Volts(ir),
+            typical_didt: Volts(typ),
+            worst_didt: Volts(worst),
+        };
+        let mean = DropBreakdown::mean_of(&vec![b; n]).unwrap();
+        prop_assert!((mean.total() - b.total()).abs() < Volts(1e-12));
+        prop_assert!((mean.passive() - b.passive()).abs() < Volts(1e-12));
+    }
+
+    #[test]
+    fn rail_sensor_bias_is_additive_until_clamped(
+        load in 0.0f64..100.0,
+        bias in -50.0f64..50.0,
+    ) {
+        let mut rail = Rail::new(Volts(1.2), Ohms(0.45e-3));
+        rail.inject_sensor_bias(Amps(bias));
+        let sensed = rail.sensed_current(Amps(load));
+        prop_assert!((sensed.0 - (load + bias).max(0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Chip-level power aggregation.
+
+use crate::config::PowerConfig;
+use crate::dynamic::dynamic_power;
+use crate::error::PowerError;
+use crate::gating::CorePowerState;
+use crate::leakage::{core_leakage, gated_leakage};
+use p7_types::{Celsius, MegaHertz, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Dynamic/leakage split of one core's power.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorePowerBreakdown {
+    /// Switching power.
+    pub dynamic: Watts,
+    /// Leakage power.
+    pub leakage: Watts,
+}
+
+impl CorePowerBreakdown {
+    /// Total core power.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.dynamic + self.leakage
+    }
+}
+
+/// The POWER7+ Vdd-rail power model.
+///
+/// # Examples
+///
+/// ```
+/// use p7_power::{ChipPowerModel, CorePowerState, PowerConfig};
+/// use p7_types::{Celsius, MegaHertz, Volts};
+///
+/// let model = ChipPowerModel::new(PowerConfig::power7plus())?;
+/// let p = model.core_power(
+///     CorePowerState::Running, 1.6, 0.9,
+///     Volts(1.2), MegaHertz(4200.0), Celsius(40.0),
+/// );
+/// assert!(p.total().0 > 5.0);
+/// # Ok::<(), p7_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipPowerModel {
+    config: PowerConfig,
+}
+
+impl ChipPowerModel {
+    /// Builds the model after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when the configuration is
+    /// out of range.
+    pub fn new(config: PowerConfig) -> Result<Self, PowerError> {
+        config.validate()?;
+        Ok(ChipPowerModel { config })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PowerConfig {
+        &self.config
+    }
+
+    /// Power of one core in the given state.
+    ///
+    /// `ceff_nf` and `activity` describe the running workload; they are
+    /// ignored for idle and gated cores (an idle core still burns its clock
+    /// grid, modelled by `idle_core_ceff_nf`).
+    #[must_use]
+    pub fn core_power(
+        &self,
+        state: CorePowerState,
+        ceff_nf: f64,
+        activity: f64,
+        v: Volts,
+        f: MegaHertz,
+        t: Celsius,
+    ) -> CorePowerBreakdown {
+        match state {
+            CorePowerState::Running => CorePowerBreakdown {
+                // The clock grid always switches at full rate; the
+                // workload's switched capacitance adds on top, scaled by
+                // its activity factor.
+                dynamic: dynamic_power(self.config.idle_core_ceff_nf, v, f, 1.0)
+                    + dynamic_power(ceff_nf, v, f, clamp_activity(activity)),
+                leakage: core_leakage(&self.config, v, t),
+            },
+            CorePowerState::IdleOn => CorePowerBreakdown {
+                dynamic: dynamic_power(self.config.idle_core_ceff_nf, v, f, 1.0),
+                leakage: core_leakage(&self.config, v, t),
+            },
+            CorePowerState::Gated => CorePowerBreakdown {
+                dynamic: Watts::ZERO,
+                leakage: gated_leakage(&self.config, v, t),
+            },
+        }
+    }
+
+    /// Uncore (nest, L3, memory controller) power at chip voltage `v`.
+    ///
+    /// Scales quadratically with voltage like any switching logic.
+    #[must_use]
+    pub fn uncore_power(&self, v: Volts) -> Watts {
+        let r = v / self.config.uncore_v_ref;
+        self.config.uncore_base * (r * r)
+    }
+}
+
+/// Workload activity is clamped to a physical envelope.
+fn clamp_activity(activity: f64) -> f64 {
+    activity.clamp(0.0, 1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ChipPowerModel {
+        ChipPowerModel::new(PowerConfig::power7plus()).unwrap()
+    }
+
+    #[test]
+    fn running_exceeds_idle_exceeds_gated() {
+        let m = model();
+        let args = (Volts(1.2), MegaHertz(4200.0), Celsius(45.0));
+        let run = m.core_power(CorePowerState::Running, 1.6, 1.0, args.0, args.1, args.2);
+        let idle = m.core_power(CorePowerState::IdleOn, 1.6, 1.0, args.0, args.1, args.2);
+        let gated = m.core_power(CorePowerState::Gated, 1.6, 1.0, args.0, args.1, args.2);
+        assert!(run.total() > idle.total());
+        assert!(idle.total() > gated.total());
+    }
+
+    #[test]
+    fn gated_core_has_no_dynamic_power() {
+        let m = model();
+        let p = m.core_power(
+            CorePowerState::Gated,
+            2.0,
+            1.0,
+            Volts(1.2),
+            MegaHertz(4200.0),
+            Celsius(45.0),
+        );
+        assert_eq!(p.dynamic, Watts::ZERO);
+        assert!(p.leakage.0 > 0.0);
+    }
+
+    #[test]
+    fn chip_power_range_matches_paper() {
+        // Full chip, power-hungry workload at nominal: should land in the
+        // upper portion of the paper's 60–140 W band.
+        let m = model();
+        let core = m.core_power(
+            CorePowerState::Running,
+            2.0,
+            1.0,
+            Volts(1.2),
+            MegaHertz(4200.0),
+            Celsius(45.0),
+        );
+        let chip = core.total().0 * 8.0 + m.uncore_power(Volts(1.2)).0;
+        assert!((100.0..160.0).contains(&chip), "busy chip {chip} W");
+
+        // One light core + seven idle: lower portion of the band.
+        let light = m.core_power(
+            CorePowerState::Running,
+            1.1,
+            0.8,
+            Volts(1.2),
+            MegaHertz(4200.0),
+            Celsius(35.0),
+        );
+        let idle = m.core_power(
+            CorePowerState::IdleOn,
+            0.0,
+            0.0,
+            Volts(1.2),
+            MegaHertz(4200.0),
+            Celsius(35.0),
+        );
+        let chip1 = light.total().0 + idle.total().0 * 7.0 + m.uncore_power(Volts(1.2)).0;
+        assert!((55.0..100.0).contains(&chip1), "light chip {chip1} W");
+    }
+
+    #[test]
+    fn uncore_scales_quadratically() {
+        let m = model();
+        let full = m.uncore_power(Volts(1.2));
+        let low = m.uncore_power(Volts(0.6));
+        assert!((full.0 / low.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undervolting_saves_double_digit_percent() {
+        // A ~75 mV undervolt at one active core should save on the order of
+        // 10–15 % of chip power — the paper's headline 13 % (Fig. 3a).
+        let m = model();
+        let chip = |v: Volts| {
+            let run = m.core_power(
+                CorePowerState::Running,
+                1.5,
+                1.0,
+                v,
+                MegaHertz(4200.0),
+                Celsius(40.0),
+            );
+            let idle = m.core_power(
+                CorePowerState::IdleOn,
+                0.0,
+                0.0,
+                v,
+                MegaHertz(4200.0),
+                Celsius(40.0),
+            );
+            run.total().0 + 7.0 * idle.total().0 + m.uncore_power(v).0
+        };
+        let nominal = chip(Volts(1.2));
+        let undervolted = chip(Volts(1.125));
+        let saving = (nominal - undervolted) / nominal * 100.0;
+        assert!((8.0..18.0).contains(&saving), "saving {saving}%");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let bad = PowerConfig {
+            uncore_base: Watts(0.0),
+            ..PowerConfig::power7plus()
+        };
+        assert!(ChipPowerModel::new(bad).is_err());
+    }
+
+    #[test]
+    fn activity_is_clamped() {
+        let m = model();
+        let huge = m.core_power(
+            CorePowerState::Running,
+            1.5,
+            99.0,
+            Volts(1.2),
+            MegaHertz(4200.0),
+            Celsius(45.0),
+        );
+        let capped = m.core_power(
+            CorePowerState::Running,
+            1.5,
+            1.5,
+            Volts(1.2),
+            MegaHertz(4200.0),
+            Celsius(45.0),
+        );
+        assert_eq!(huge, capped);
+    }
+}

@@ -1,0 +1,142 @@
+//! Configuration of the chip power model.
+
+use crate::error::PowerError;
+use p7_types::{Celsius, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the POWER7+ Vdd-rail power model.
+///
+/// Calibrated so that the simulated chip spans the paper's measured range:
+/// roughly 60 W (few cores active, undervolted) to 140 W (all cores running
+/// a power-hungry workload at nominal voltage) — the x-axis of Fig. 10a and
+/// the y-axes of Figs. 3a and 12b.
+///
+/// # Examples
+///
+/// ```
+/// use p7_power::PowerConfig;
+///
+/// let cfg = PowerConfig::power7plus();
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Per-core leakage at the reference voltage/temperature.
+    pub core_leakage_ref: Watts,
+    /// Reference voltage of the leakage model.
+    pub leakage_v_ref: Volts,
+    /// Exponential voltage sensitivity of leakage (per volt).
+    pub leakage_v_sensitivity: f64,
+    /// Reference temperature of the leakage model.
+    pub leakage_t_ref: Celsius,
+    /// Exponential temperature sensitivity of leakage (per °C).
+    pub leakage_t_sensitivity: f64,
+    /// Fraction of leakage that survives power gating (header losses).
+    pub gated_residual: f64,
+    /// Clock-grid and idle-pipeline power of a powered-on but idle core, at
+    /// the reference voltage (scales with `V²·f`).
+    pub idle_core_ceff_nf: f64,
+    /// Uncore (nest, L3, memory controllers) dynamic power at the reference
+    /// voltage (scales with `V²`).
+    pub uncore_base: Watts,
+    /// Reference voltage for the uncore scaling.
+    pub uncore_v_ref: Volts,
+}
+
+impl PowerConfig {
+    /// The calibrated POWER7+ parameter set.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        PowerConfig {
+            core_leakage_ref: Watts(3.4),
+            leakage_v_ref: Volts(1.2),
+            leakage_v_sensitivity: 2.6,
+            leakage_t_ref: Celsius(45.0),
+            leakage_t_sensitivity: 0.012,
+            gated_residual: 0.03,
+            idle_core_ceff_nf: 0.30,
+            uncore_base: Watts(21.0),
+            uncore_v_ref: Volts(1.2),
+        }
+    }
+
+    /// Checks that every parameter is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when a power, voltage, or
+    /// sensitivity is out of range (`gated_residual` must lie in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), PowerError> {
+        let positive = [
+            ("core_leakage_ref", self.core_leakage_ref.0),
+            ("leakage_v_ref", self.leakage_v_ref.0),
+            ("uncore_base", self.uncore_base.0),
+            ("uncore_v_ref", self.uncore_v_ref.0),
+        ];
+        for (name, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(PowerError::InvalidParameter { name, value });
+            }
+        }
+        let non_negative = [
+            ("leakage_v_sensitivity", self.leakage_v_sensitivity),
+            ("leakage_t_sensitivity", self.leakage_t_sensitivity),
+            ("idle_core_ceff_nf", self.idle_core_ceff_nf),
+        ];
+        for (name, value) in non_negative {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(PowerError::InvalidParameter { name, value });
+            }
+        }
+        if !(self.gated_residual.is_finite() && (0.0..=1.0).contains(&self.gated_residual)) {
+            return Err(PowerError::InvalidParameter {
+                name: "gated_residual",
+                value: self.gated_residual,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig::power7plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        PowerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_negative_leakage() {
+        let cfg = PowerConfig {
+            core_leakage_ref: Watts(-1.0),
+            ..PowerConfig::power7plus()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_residual_above_one() {
+        let cfg = PowerConfig {
+            gated_residual: 1.5,
+            ..PowerConfig::power7plus()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nan_sensitivity() {
+        let cfg = PowerConfig {
+            leakage_v_sensitivity: f64::NAN,
+            ..PowerConfig::power7plus()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Dynamic (switching) power.
+//!
+//! The classic CMOS switching-power law: `P = C_eff · V² · f · a`, where
+//! `C_eff` is the workload's effective switched capacitance, `V` the core's
+//! on-chip voltage, `f` the clock frequency and `a` the activity factor.
+//! The quadratic voltage dependence is why the paper's undervolting mode
+//! saves more power than the overclocking mode gains performance (Sec. 3.3,
+//! first conclusion).
+
+use p7_types::{MegaHertz, Volts, Watts};
+
+/// Switching power for one core.
+///
+/// `ceff_nf` is the effective capacitance in nanofarads; with volts and
+/// gigahertz this yields watts directly (`nF · V² · GHz = W`).
+///
+/// # Examples
+///
+/// ```
+/// use p7_power::dynamic::dynamic_power;
+/// use p7_types::{MegaHertz, Volts, Watts};
+///
+/// let p = dynamic_power(1.65, Volts(1.2), MegaHertz(4200.0), 1.0);
+/// assert!((p.0 - 1.65 * 1.44 * 4.2).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn dynamic_power(ceff_nf: f64, v: Volts, f: MegaHertz, activity: f64) -> Watts {
+    debug_assert!(ceff_nf >= 0.0, "negative capacitance {ceff_nf}");
+    Watts(ceff_nf * v.0 * v.0 * f.gigahertz() * activity.max(0.0))
+}
+
+/// Relative dynamic-power change from scaling voltage `v0 → v1` at fixed
+/// frequency and activity.
+///
+/// Returns the ratio `P(v1)/P(v0)`; undervolting by 5 % returns ≈0.9025.
+///
+/// # Examples
+///
+/// ```
+/// use p7_power::dynamic::voltage_scaling_ratio;
+/// use p7_types::Volts;
+///
+/// let ratio = voltage_scaling_ratio(Volts(1.2), Volts(1.14));
+/// assert!((ratio - 0.9025).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn voltage_scaling_ratio(v0: Volts, v1: Volts) -> f64 {
+    let r = v1 / v0;
+    r * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_in_voltage() {
+        let p_full = dynamic_power(1.5, Volts(1.2), MegaHertz(4000.0), 1.0);
+        let p_half = dynamic_power(1.5, Volts(0.6), MegaHertz(4000.0), 1.0);
+        assert!((p_full.0 / p_half.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_in_frequency_and_activity() {
+        let base = dynamic_power(1.5, Volts(1.2), MegaHertz(2000.0), 0.5);
+        let double_f = dynamic_power(1.5, Volts(1.2), MegaHertz(4000.0), 0.5);
+        let double_a = dynamic_power(1.5, Volts(1.2), MegaHertz(2000.0), 1.0);
+        assert!((double_f.0 / base.0 - 2.0).abs() < 1e-9);
+        assert!((double_a.0 / base.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_activity_is_zero_power() {
+        assert_eq!(
+            dynamic_power(2.0, Volts(1.2), MegaHertz(4200.0), 0.0),
+            Watts(0.0)
+        );
+    }
+
+    #[test]
+    fn negative_activity_clamps_to_zero() {
+        assert_eq!(
+            dynamic_power(2.0, Volts(1.2), MegaHertz(4200.0), -0.5),
+            Watts(0.0)
+        );
+    }
+
+    #[test]
+    fn typical_core_lands_in_expected_band() {
+        // A PARSEC-class core at nominal conditions draws roughly 6–13 W.
+        for ceff in [1.0, 1.5, 2.0] {
+            let p = dynamic_power(ceff, Volts(1.2), MegaHertz(4200.0), 1.0);
+            assert!((5.0..14.0).contains(&p.0), "ceff {ceff} -> {p}");
+        }
+    }
+
+    #[test]
+    fn scaling_ratio_matches_direct_computation() {
+        let v0 = Volts(1.2);
+        let v1 = Volts(1.1);
+        let direct = dynamic_power(1.5, v1, MegaHertz(4200.0), 1.0).0
+            / dynamic_power(1.5, v0, MegaHertz(4200.0), 1.0).0;
+        assert!((voltage_scaling_ratio(v0, v1) - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error types of the power crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring the power model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A configuration parameter was out of its physical range.
+    InvalidParameter {
+        /// Name of the offending field.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidParameter { name, value } => {
+                write!(f, "power parameter `{name}` is out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field() {
+        let err = PowerError::InvalidParameter {
+            name: "uncore_base",
+            value: -2.0,
+        };
+        assert!(format!("{err}").contains("uncore_base"));
+    }
+}

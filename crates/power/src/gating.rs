@@ -1,0 +1,78 @@
+//! Per-core power states.
+//!
+//! The loadline-borrowing evaluation (Sec. 5.1.2) distinguishes three core
+//! states: running a thread, *turned on but idle* (clocked, ready to accept
+//! work within a scheduling quantum), and *power gated* (deep sleep, woken
+//! only on longer timescales).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The power state of one core.
+///
+/// # Examples
+///
+/// ```
+/// use p7_power::CorePowerState;
+///
+/// assert!(CorePowerState::Running.is_on());
+/// assert!(CorePowerState::IdleOn.is_on());
+/// assert!(!CorePowerState::Gated.is_on());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorePowerState {
+    /// Actively executing a thread.
+    Running,
+    /// Powered and clocked but idle (can accept work instantly).
+    IdleOn,
+    /// Power gated (deep sleep; negligible leakage, long wake latency).
+    Gated,
+}
+
+impl CorePowerState {
+    /// True when the core is powered (running or idle-on).
+    #[must_use]
+    pub fn is_on(self) -> bool {
+        !matches!(self, CorePowerState::Gated)
+    }
+
+    /// True when the core is executing a thread.
+    #[must_use]
+    pub fn is_running(self) -> bool {
+        matches!(self, CorePowerState::Running)
+    }
+}
+
+impl fmt::Display for CorePowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorePowerState::Running => "running",
+            CorePowerState::IdleOn => "idle-on",
+            CorePowerState::Gated => "gated",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(CorePowerState::Running.is_running());
+        assert!(!CorePowerState::IdleOn.is_running());
+        assert!(!CorePowerState::Gated.is_on());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for s in [
+            CorePowerState::Running,
+            CorePowerState::IdleOn,
+            CorePowerState::Gated,
+        ] {
+            assert!(!format!("{s}").is_empty());
+        }
+    }
+}

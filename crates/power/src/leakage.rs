@@ -1,0 +1,91 @@
+//! Leakage power with voltage/temperature dependence and power gating.
+//!
+//! Leakage rises roughly exponentially with supply voltage and temperature.
+//! POWER7+ supports per-core power gating ("coarse-grained power
+//! management", Sec. 2.1), which the loadline-borrowing evaluation relies
+//! on: gated cores keep only a small residual (header-switch) leakage.
+
+use crate::config::PowerConfig;
+use p7_types::{Celsius, Volts, Watts};
+
+/// Leakage of one powered-on core at voltage `v` and temperature `t`.
+///
+/// # Examples
+///
+/// ```
+/// use p7_power::{leakage::core_leakage, PowerConfig};
+/// use p7_types::{Celsius, Volts};
+///
+/// let cfg = PowerConfig::power7plus();
+/// let nominal = core_leakage(&cfg, Volts(1.2), Celsius(45.0));
+/// let undervolted = core_leakage(&cfg, Volts(1.1), Celsius(45.0));
+/// assert!(undervolted < nominal);
+/// ```
+#[must_use]
+pub fn core_leakage(cfg: &PowerConfig, v: Volts, t: Celsius) -> Watts {
+    let v_term = ((v - cfg.leakage_v_ref).0 * cfg.leakage_v_sensitivity).exp();
+    let t_term = ((t - cfg.leakage_t_ref).0 * cfg.leakage_t_sensitivity).exp();
+    cfg.core_leakage_ref * v_term * t_term
+}
+
+/// Leakage of one power-gated core (residual through the header switches).
+#[must_use]
+pub fn gated_leakage(cfg: &PowerConfig, v: Volts, t: Celsius) -> Watts {
+    core_leakage(cfg, v, t) * cfg.gated_residual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PowerConfig {
+        PowerConfig::power7plus()
+    }
+
+    #[test]
+    fn reference_point_matches_config() {
+        let cfg = cfg();
+        let p = core_leakage(&cfg, cfg.leakage_v_ref, cfg.leakage_t_ref);
+        assert!((p.0 - cfg.core_leakage_ref.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_voltage() {
+        let cfg = cfg();
+        let mut last = Watts(0.0);
+        for mv in [1000.0, 1050.0, 1100.0, 1150.0, 1200.0] {
+            let p = core_leakage(&cfg, Volts::from_millivolts(mv), Celsius(45.0));
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        let cfg = cfg();
+        let cool = core_leakage(&cfg, Volts(1.2), Celsius(27.0));
+        let warm = core_leakage(&cfg, Volts(1.2), Celsius(38.0));
+        assert!(warm > cool);
+        // The paper's 27–38 °C range changes leakage only mildly (<20 %).
+        assert!(warm.0 / cool.0 < 1.2);
+    }
+
+    #[test]
+    fn gating_removes_almost_all_leakage() {
+        let cfg = cfg();
+        let on = core_leakage(&cfg, Volts(1.2), Celsius(45.0));
+        let off = gated_leakage(&cfg, Volts(1.2), Celsius(45.0));
+        assert!(off.0 < 0.05 * on.0);
+        assert!(off.0 > 0.0);
+    }
+
+    #[test]
+    fn eight_idle_cores_cost_tens_of_watts() {
+        // Idle-power scale check: eight powered-on cores' leakage should be
+        // a couple dozen watts, which is what loadline borrowing reclaims
+        // by gating them.
+        let cfg = cfg();
+        let total = core_leakage(&cfg, Volts(1.2), Celsius(45.0)).0 * 8.0;
+        assert!((15.0..45.0).contains(&total), "8-core leakage {total} W");
+    }
+}

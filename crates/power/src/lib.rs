@@ -1,0 +1,55 @@
+//! Power-model substrate for the POWER7+ adaptive-guardband simulator.
+//!
+//! Models the chip's Vdd-rail power consumption, which is what the paper
+//! measures ("we measure the microprocessor Vdd rail power by reading
+//! physical sensors", Sec. 3.2):
+//!
+//! * [`dynamic`] — switching power `P = C_eff · V² · f · activity` per core,
+//! * [`leakage`] — voltage- and temperature-dependent leakage with per-core
+//!   power gating ([`gating`]),
+//! * [`thermal`] — a first-order RC thermal model (the paper reports
+//!   27–38 °C die temperatures; leakage feedback is mild but modelled),
+//! * [`chip`] — aggregation of core and uncore power into the chip total.
+//!
+//! # Examples
+//!
+//! ```
+//! use p7_power::{ChipPowerModel, CorePowerState, PowerConfig};
+//! use p7_types::{Celsius, MegaHertz, Volts};
+//!
+//! let model = ChipPowerModel::new(PowerConfig::power7plus()).unwrap();
+//! let busy = model.core_power(
+//!     CorePowerState::Running,
+//!     1.6,                      // effective capacitance, nF
+//!     1.0,                      // activity factor
+//!     Volts(1.2),
+//!     MegaHertz(4200.0),
+//!     Celsius(45.0),
+//! );
+//! let gated = model.core_power(
+//!     CorePowerState::Gated,
+//!     1.6,
+//!     0.0,
+//!     Volts(1.2),
+//!     MegaHertz(4200.0),
+//!     Celsius(45.0),
+//! );
+//! assert!(busy.total().0 > gated.total().0 * 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod config;
+pub mod dynamic;
+pub mod error;
+pub mod gating;
+pub mod leakage;
+pub mod thermal;
+
+pub use chip::{ChipPowerModel, CorePowerBreakdown};
+pub use config::PowerConfig;
+pub use error::PowerError;
+pub use gating::CorePowerState;
+pub use thermal::ThermalModel;

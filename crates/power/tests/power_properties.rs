@@ -1,0 +1,91 @@
+//! Property-based tests of the power substrate.
+
+use p7_power::{dynamic::dynamic_power, ChipPowerModel, CorePowerState, PowerConfig, ThermalModel};
+use p7_types::{Celsius, MegaHertz, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dynamic_power_is_monotone_in_all_factors(
+        ceff in 0.1f64..3.0,
+        v in 0.8f64..1.3,
+        f in 2000.0f64..4800.0,
+        a in 0.0f64..1.0,
+        dv in 0.001f64..0.1,
+        df in 1.0f64..500.0,
+        da in 0.001f64..0.3,
+    ) {
+        let base = dynamic_power(ceff, Volts(v), MegaHertz(f), a);
+        prop_assert!(dynamic_power(ceff, Volts(v + dv), MegaHertz(f), a) > base);
+        prop_assert!(dynamic_power(ceff, Volts(v), MegaHertz(f + df), a) > base || a == 0.0);
+        prop_assert!(dynamic_power(ceff, Volts(v), MegaHertz(f), a + da) > base);
+    }
+
+    #[test]
+    fn core_power_ordering_holds_everywhere(
+        ceff in 0.5f64..2.5,
+        activity in 0.1f64..1.0,
+        v in 0.95f64..1.25,
+        t in 25.0f64..70.0,
+    ) {
+        let model = ChipPowerModel::new(PowerConfig::power7plus()).unwrap();
+        let args = (Volts(v), MegaHertz(4200.0), Celsius(t));
+        let run = model.core_power(CorePowerState::Running, ceff, activity, args.0, args.1, args.2);
+        let idle = model.core_power(CorePowerState::IdleOn, ceff, activity, args.0, args.1, args.2);
+        let gated = model.core_power(CorePowerState::Gated, ceff, activity, args.0, args.1, args.2);
+        prop_assert!(run.total() >= idle.total());
+        prop_assert!(idle.total() > gated.total());
+        prop_assert!(gated.dynamic == Watts::ZERO);
+        prop_assert!(run.total().0.is_finite() && run.total().0 > 0.0);
+    }
+
+    #[test]
+    fn undervolting_always_saves_core_power(
+        ceff in 0.5f64..2.5,
+        activity in 0.1f64..1.0,
+        v in 1.0f64..1.2,
+        dv_mv in 5.0f64..80.0,
+    ) {
+        let model = ChipPowerModel::new(PowerConfig::power7plus()).unwrap();
+        let f = MegaHertz(4200.0);
+        let t = Celsius(45.0);
+        let hi = model.core_power(CorePowerState::Running, ceff, activity, Volts(v), f, t);
+        let lo = model.core_power(
+            CorePowerState::Running,
+            ceff,
+            activity,
+            Volts(v) - Volts::from_millivolts(dv_mv),
+            f,
+            t,
+        );
+        prop_assert!(lo.total() < hi.total());
+        prop_assert!(lo.leakage < hi.leakage, "leakage must also fall with voltage");
+    }
+
+    #[test]
+    fn thermal_node_is_stable_and_bounded(
+        power in 0.0f64..200.0,
+        dt_ms in 1.0f64..5000.0,
+        steps in 1usize..200,
+    ) {
+        let mut node = ThermalModel::power7plus();
+        let steady = node.steady_state(Watts(power));
+        for _ in 0..steps {
+            node.step(Watts(power), Seconds::from_millis(dt_ms));
+            // Never overshoots: always between ambient and steady state.
+            prop_assert!(node.temperature() >= Celsius(22.0) - Celsius(1e-9));
+            prop_assert!(node.temperature() <= steady + Celsius(1e-9));
+        }
+    }
+
+    #[test]
+    fn uncore_power_is_quadratic_in_voltage(
+        v in 0.8f64..1.3,
+        scale in 1.01f64..1.4,
+    ) {
+        let model = ChipPowerModel::new(PowerConfig::power7plus()).unwrap();
+        let p1 = model.uncore_power(Volts(v));
+        let p2 = model.uncore_power(Volts(v * scale));
+        prop_assert!((p2.0 / p1.0 - scale * scale).abs() < 1e-9);
+    }
+}

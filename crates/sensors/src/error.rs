@@ -1,0 +1,67 @@
+//! Error types of the sensors crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CPM and telemetry models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SensorError {
+    /// Calibration could not bring every monitor to the target value.
+    CalibrationFailed {
+        /// Largest post-calibration deviation in taps.
+        worst_error_taps: u8,
+        /// Number of monitors off target.
+        miscalibrated: usize,
+    },
+    /// Telemetry was requested faster than the service processor allows.
+    SamplingTooFast {
+        /// The attempted interval in milliseconds.
+        interval_ms: f64,
+    },
+    /// A telemetry window was structurally invalid.
+    MalformedWindow {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::CalibrationFailed {
+                worst_error_taps,
+                miscalibrated,
+            } => write!(
+                f,
+                "cpm calibration failed: {miscalibrated} monitors off target, worst {worst_error_taps} taps"
+            ),
+            SensorError::SamplingTooFast { interval_ms } => write!(
+                f,
+                "sampling interval {interval_ms:.1} ms is below the 32 ms service-processor minimum"
+            ),
+            SensorError::MalformedWindow { reason } => {
+                write!(f, "malformed telemetry window: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_interval() {
+        let err = SensorError::SamplingTooFast { interval_ms: 10.0 };
+        assert!(format!("{err}").contains("10.0 ms"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync>(_: E) {}
+        assert_error(SensorError::MalformedWindow { reason: "x" });
+    }
+}

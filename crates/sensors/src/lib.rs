@@ -1,0 +1,33 @@
+//! Critical-path-monitor (CPM) and telemetry substrate for the POWER7+
+//! adaptive-guardband simulator.
+//!
+//! POWER7+ distributes 40 CPMs across the chip (5 per core). Each CPM
+//! launches a signal down synthetic paths into a 12-position edge detector
+//! every cycle; the tap the edge reaches is the CPM output (0..=11), a
+//! direct measurement of the remaining timing margin (Sec. 2.2 of the
+//! paper). Sec. 4.1 shows the output maps near-linearly to on-chip voltage
+//! at ≈21 mV per tap at peak frequency, with per-CPM and per-core spread
+//! from process variation and calibration error (Fig. 6).
+//!
+//! * [`cpm`] — the transfer function of a single monitor,
+//! * [`bank`] — the chip's 40-CPM array with seeded process variation,
+//! * [`calibration`] — setting the taps so a target margin reads a target
+//!   value (the calibrated point adaptive guardbanding servoes to),
+//! * [`amester`] — a facade modelled on IBM's AMESTER tool: 32 ms sampling
+//!   of every CPM in *sample* (instantaneous) and *sticky* (worst-case
+//!   latched) modes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amester;
+pub mod bank;
+pub mod calibration;
+pub mod cpm;
+pub mod error;
+
+pub use amester::{Amester, CpmWindow};
+pub use bank::CpmBank;
+pub use calibration::CalibrationReport;
+pub use cpm::{CpmReading, CriticalPathMonitor};
+pub use error::SensorError;

@@ -1,0 +1,394 @@
+//! Thread-to-core assignments and core power states.
+
+use crate::error::SimError;
+use p7_power::CorePowerState;
+use p7_types::{CoreId, SocketId, CORES_PER_SOCKET, NUM_SOCKETS};
+use p7_workloads::{PlacementShape, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// One software thread pinned to one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Thread {
+    /// The workload this thread executes.
+    pub workload: WorkloadProfile,
+    /// The socket it is pinned to.
+    pub socket: SocketId,
+    /// The core it is pinned to.
+    pub core: CoreId,
+}
+
+/// A complete placement: pinned threads plus per-socket powered-on core
+/// counts (cores are powered on in index order 0 → 7, matching the paper's
+/// activation order).
+///
+/// # Examples
+///
+/// ```
+/// use p7_sim::Assignment;
+/// use p7_workloads::Catalog;
+///
+/// let c = Catalog::power7plus();
+/// let raytrace = c.get("raytrace").unwrap();
+///
+/// // The Sec. 3 configuration: k threads on socket 0, everything powered.
+/// let a = Assignment::single_socket(raytrace, 4).unwrap();
+/// assert_eq!(a.running_on(p7_types::SocketId::new(0).unwrap()), 4);
+///
+/// // The Sec. 5.1 loadline-borrowing schedule: 8-of-16 cores on, split.
+/// let b = Assignment::borrowed(raytrace, 6).unwrap();
+/// assert_eq!(b.on_cores(), [4, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    threads: Vec<Thread>,
+    on_cores: [usize; NUM_SOCKETS],
+}
+
+impl Assignment {
+    /// Builds an assignment from explicit threads and on-core counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when two threads share a
+    /// core, a thread sits on a powered-off core, or an on-core count
+    /// exceeds eight.
+    pub fn new(threads: Vec<Thread>, on_cores: [usize; NUM_SOCKETS]) -> Result<Self, SimError> {
+        if on_cores.iter().any(|&n| n > CORES_PER_SOCKET) {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("on-core counts {on_cores:?} exceed the 8 cores per socket"),
+            });
+        }
+        let mut seen = [[false; CORES_PER_SOCKET]; NUM_SOCKETS];
+        for t in &threads {
+            let s = t.socket.index();
+            let c = t.core.index();
+            if seen[s][c] {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!("two threads pinned to {} {}", t.socket, t.core),
+                });
+            }
+            seen[s][c] = true;
+            if c >= on_cores[s] {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!(
+                        "thread pinned to powered-off {} {} (only {} cores on)",
+                        t.socket, t.core, on_cores[s]
+                    ),
+                });
+            }
+        }
+        Ok(Assignment { threads, on_cores })
+    }
+
+    /// The Sec. 3 measurement configuration: `k` threads of `workload` on
+    /// socket 0's cores 0..k; all cores of both sockets stay powered on
+    /// (the second processor idles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when `k > 8`.
+    pub fn single_socket(workload: &WorkloadProfile, k: usize) -> Result<Self, SimError> {
+        let socket = SocketId::new(0).expect("socket 0 exists");
+        let threads = Self::pin_in_order(workload, socket, k)?;
+        Assignment::new(threads, [CORES_PER_SOCKET, CORES_PER_SOCKET])
+    }
+
+    /// The Sec. 5.1 baseline: workload consolidation. Eight of the sixteen
+    /// cores stay powered (all on socket 0); socket 1 is fully power
+    /// gated. `k` threads run on socket 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when `k > 8`.
+    pub fn consolidated(workload: &WorkloadProfile, k: usize) -> Result<Self, SimError> {
+        let socket = SocketId::new(0).expect("socket 0 exists");
+        let threads = Self::pin_in_order(workload, socket, k)?;
+        Assignment::new(threads, [CORES_PER_SOCKET, 0])
+    }
+
+    /// The Sec. 5.1 loadline-borrowing schedule: four cores powered on per
+    /// socket (eight of sixteen total), threads split as evenly as
+    /// possible (socket 0 gets the remainder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when `k > 8`.
+    pub fn borrowed(workload: &WorkloadProfile, k: usize) -> Result<Self, SimError> {
+        let shape = PlacementShape::balanced(k);
+        let [k0, k1] = shape.threads_per_socket();
+        let s0 = SocketId::new(0).expect("socket 0 exists");
+        let s1 = SocketId::new(1).expect("socket 1 exists");
+        let mut threads = Self::pin_in_order(workload, s0, k0)?;
+        threads.extend(Self::pin_in_order(workload, s1, k1)?);
+        Assignment::new(threads, [CORES_PER_SOCKET / 2, CORES_PER_SOCKET / 2])
+    }
+
+    /// A heterogeneous mix on socket 0: one workload per core, pinned in
+    /// order; all cores of both sockets stay powered (the imbalance
+    /// studies of Sec. 4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when more than eight
+    /// workloads are supplied.
+    pub fn mixed_single_socket(workloads: &[WorkloadProfile]) -> Result<Self, SimError> {
+        if workloads.len() > CORES_PER_SOCKET {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("{} workloads exceed the 8 cores of P0", workloads.len()),
+            });
+        }
+        let socket = SocketId::new(0).expect("socket 0 exists");
+        let threads = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Thread {
+                workload: w.clone(),
+                socket,
+                core: CoreId::new(i as u8).expect("core in range"),
+            })
+            .collect();
+        Assignment::new(threads, [CORES_PER_SOCKET, CORES_PER_SOCKET])
+    }
+
+    /// A full-server balanced placement for up to 16 threads: threads
+    /// split as evenly as possible across both sockets, powered-on cores
+    /// tracking the thread count on each socket (the natural extension of
+    /// loadline borrowing to loads beyond one chip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when `k > 16`.
+    pub fn balanced_server(workload: &WorkloadProfile, k: usize) -> Result<Self, SimError> {
+        if k > CORES_PER_SOCKET * NUM_SOCKETS {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("{k} threads exceed the server's 16 cores"),
+            });
+        }
+        let k1 = k / 2;
+        let k0 = k - k1;
+        let s0 = SocketId::new(0).expect("socket 0 exists");
+        let s1 = SocketId::new(1).expect("socket 1 exists");
+        let mut threads = Self::pin_in_order(workload, s0, k0)?;
+        threads.extend(Self::pin_in_order(workload, s1, k1)?);
+        Assignment::new(threads, [k0, k1])
+    }
+
+    /// A colocation mix on socket 0 (the Sec. 5.2 experiments): `primary`
+    /// on core 0 and `co_runner` threads on cores 1..=n; all cores on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when the mix exceeds eight
+    /// threads.
+    pub fn colocated(
+        primary: &WorkloadProfile,
+        co_runner: &WorkloadProfile,
+        co_runner_threads: usize,
+    ) -> Result<Self, SimError> {
+        let socket = SocketId::new(0).expect("socket 0 exists");
+        if co_runner_threads + 1 > CORES_PER_SOCKET {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("1 + {co_runner_threads} threads exceed 8 cores"),
+            });
+        }
+        let mut threads = vec![Thread {
+            workload: primary.clone(),
+            socket,
+            core: CoreId::new(0).expect("core 0 exists"),
+        }];
+        for i in 0..co_runner_threads {
+            threads.push(Thread {
+                workload: co_runner.clone(),
+                socket,
+                core: CoreId::new(i as u8 + 1).expect("core in range"),
+            });
+        }
+        Assignment::new(threads, [CORES_PER_SOCKET, CORES_PER_SOCKET])
+    }
+
+    fn pin_in_order(
+        workload: &WorkloadProfile,
+        socket: SocketId,
+        k: usize,
+    ) -> Result<Vec<Thread>, SimError> {
+        if k > CORES_PER_SOCKET {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("{k} threads exceed the 8 cores of {socket}"),
+            });
+        }
+        Ok((0..k)
+            .map(|i| Thread {
+                workload: workload.clone(),
+                socket,
+                core: CoreId::new(i as u8).expect("core in range"),
+            })
+            .collect())
+    }
+
+    /// The pinned threads.
+    #[must_use]
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// Powered-on core counts per socket.
+    #[must_use]
+    pub fn on_cores(&self) -> [usize; NUM_SOCKETS] {
+        self.on_cores
+    }
+
+    /// Number of running threads on `socket`.
+    #[must_use]
+    pub fn running_on(&self, socket: SocketId) -> usize {
+        self.threads.iter().filter(|t| t.socket == socket).count()
+    }
+
+    /// Total running threads.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The thread pinned to `(socket, core)`, if any.
+    #[must_use]
+    pub fn thread_at(&self, socket: SocketId, core: CoreId) -> Option<&Thread> {
+        self.threads.iter().find(|t| t.socket == socket && t.core == core)
+    }
+
+    /// The power state of `(socket, core)` under this assignment.
+    #[must_use]
+    pub fn core_state(&self, socket: SocketId, core: CoreId) -> CorePowerState {
+        if self.thread_at(socket, core).is_some() {
+            CorePowerState::Running
+        } else if core.index() < self.on_cores[socket.index()] {
+            CorePowerState::IdleOn
+        } else {
+            CorePowerState::Gated
+        }
+    }
+
+    /// The placement shape (thread counts per socket) for the execution
+    /// model.
+    #[must_use]
+    pub fn placement_shape(&self) -> PlacementShape {
+        let counts = [
+            self.running_on(SocketId::new(0).expect("socket 0 exists")),
+            self.running_on(SocketId::new(1).expect("socket 1 exists")),
+        ];
+        PlacementShape::explicit(counts).expect("thread counts are within socket capacity")
+    }
+
+    /// The dominant (most frequent) workload of this assignment, used for
+    /// execution-time modelling of homogeneous runs.
+    #[must_use]
+    pub fn primary_workload(&self) -> Option<&WorkloadProfile> {
+        self.threads.first().map(|t| &t.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_workloads::Catalog;
+
+    fn raytrace() -> WorkloadProfile {
+        Catalog::power7plus().get("raytrace").unwrap().clone()
+    }
+
+    #[test]
+    fn single_socket_powers_everything() {
+        let a = Assignment::single_socket(&raytrace(), 3).unwrap();
+        assert_eq!(a.on_cores(), [8, 8]);
+        assert_eq!(a.total_threads(), 3);
+        let s0 = SocketId::new(0).unwrap();
+        assert_eq!(a.core_state(s0, CoreId::new(0).unwrap()), CorePowerState::Running);
+        assert_eq!(a.core_state(s0, CoreId::new(5).unwrap()), CorePowerState::IdleOn);
+        let s1 = SocketId::new(1).unwrap();
+        assert_eq!(a.core_state(s1, CoreId::new(0).unwrap()), CorePowerState::IdleOn);
+    }
+
+    #[test]
+    fn consolidated_gates_the_second_socket() {
+        let a = Assignment::consolidated(&raytrace(), 5).unwrap();
+        assert_eq!(a.on_cores(), [8, 0]);
+        let s1 = SocketId::new(1).unwrap();
+        for core in CoreId::all() {
+            assert_eq!(a.core_state(s1, core), CorePowerState::Gated);
+        }
+    }
+
+    #[test]
+    fn borrowed_splits_threads_and_cores() {
+        let a = Assignment::borrowed(&raytrace(), 5).unwrap();
+        assert_eq!(a.on_cores(), [4, 4]);
+        assert_eq!(a.running_on(SocketId::new(0).unwrap()), 3);
+        assert_eq!(a.running_on(SocketId::new(1).unwrap()), 2);
+        assert_eq!(a.placement_shape().threads_per_socket(), [3, 2]);
+    }
+
+    #[test]
+    fn colocated_mixes_workloads() {
+        let c = Catalog::power7plus();
+        let cm = c.get("coremark").unwrap();
+        let lu = c.get("lu_cb").unwrap();
+        let a = Assignment::colocated(cm, lu, 7).unwrap();
+        assert_eq!(a.total_threads(), 8);
+        let s0 = SocketId::new(0).unwrap();
+        assert_eq!(a.thread_at(s0, CoreId::new(0).unwrap()).unwrap().workload.name(), "coremark");
+        assert_eq!(a.thread_at(s0, CoreId::new(3).unwrap()).unwrap().workload.name(), "lu_cb");
+        assert!(Assignment::colocated(cm, lu, 8).is_err());
+    }
+
+    #[test]
+    fn mixed_single_socket_pins_in_order() {
+        let c = Catalog::power7plus();
+        let mix = vec![
+            c.get("lu_cb").unwrap().clone(),
+            c.get("mcf").unwrap().clone(),
+            c.get("mcf").unwrap().clone(),
+        ];
+        let a = Assignment::mixed_single_socket(&mix).unwrap();
+        assert_eq!(a.total_threads(), 3);
+        let s0 = SocketId::new(0).unwrap();
+        assert_eq!(a.thread_at(s0, CoreId::new(0).unwrap()).unwrap().workload.name(), "lu_cb");
+        assert_eq!(a.thread_at(s0, CoreId::new(2).unwrap()).unwrap().workload.name(), "mcf");
+        assert_eq!(a.on_cores(), [8, 8]);
+        let too_many = vec![c.get("mcf").unwrap().clone(); 9];
+        assert!(Assignment::mixed_single_socket(&too_many).is_err());
+    }
+
+    #[test]
+    fn balanced_server_splits_threads_and_power() {
+        let a = Assignment::balanced_server(&raytrace(), 12).unwrap();
+        assert_eq!(a.running_on(SocketId::new(0).unwrap()), 6);
+        assert_eq!(a.running_on(SocketId::new(1).unwrap()), 6);
+        assert_eq!(a.on_cores(), [6, 6]);
+        assert!(Assignment::balanced_server(&raytrace(), 17).is_err());
+    }
+
+    #[test]
+    fn rejects_double_pinning() {
+        let t = |core: u8| Thread {
+            workload: raytrace(),
+            socket: SocketId::new(0).unwrap(),
+            core: CoreId::new(core).unwrap(),
+        };
+        let err = Assignment::new(vec![t(2), t(2)], [8, 8]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidAssignment { .. }));
+    }
+
+    #[test]
+    fn rejects_thread_on_gated_core() {
+        let t = Thread {
+            workload: raytrace(),
+            socket: SocketId::new(0).unwrap(),
+            core: CoreId::new(6).unwrap(),
+        };
+        assert!(Assignment::new(vec![t], [4, 4]).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_threads() {
+        assert!(Assignment::single_socket(&raytrace(), 9).is_err());
+    }
+}

@@ -1,0 +1,492 @@
+//! Per-socket chip model: the electrical solve and the control step.
+
+use crate::assignment::Assignment;
+use crate::config::ServerConfig;
+use crate::error::SimError;
+use p7_control::{Dpll, GuardbandMode, VoltFreqCurve};
+use p7_pdn::{DidtModel, DropBreakdown, PdnGrid, Rail};
+use p7_power::{ChipPowerModel, CorePowerState, ThermalModel};
+use p7_sensors::{calibration, CpmBank, CpmReading};
+use p7_types::{
+    seed_for, Amps, CoreId, MegaHertz, Seconds, SocketId, Volts, Watts, CORES_PER_SOCKET,
+};
+use p7_workloads::{ActivityTrace, WorkloadProfile};
+
+/// Everything observed on one socket during one 32 ms window.
+#[derive(Debug, Clone)]
+pub struct SocketTick {
+    /// Vdd rail power as the server's VRM sensors report it: rail set
+    /// point times load current, i.e. silicon consumption plus the
+    /// resistive delivery loss across the loadline and grid. This is the
+    /// paper's "chip power" observable.
+    pub power: Watts,
+    /// Power consumed by the silicon alone, at delivered voltages.
+    pub consumed_power: Watts,
+    /// Voltage each core saw.
+    pub core_voltages: [Volts; CORES_PER_SOCKET],
+    /// Clock frequency of each core at the end of the window.
+    pub core_freqs: [MegaHertz; CORES_PER_SOCKET],
+    /// Decomposed voltage drop per core.
+    pub breakdown: [DropBreakdown; CORES_PER_SOCKET],
+    /// Slowest clock among powered-on cores (the firmware's input).
+    pub min_on_freq: Option<MegaHertz>,
+    /// Worst instantaneous clock the window could have produced: the
+    /// frequency the slowest core would dip to under the deepest droop
+    /// plus the firmware's load-transient reserve. The undervolting
+    /// firmware servoes this conservative value to the target so the chip
+    /// never misses timing mid-window.
+    pub sticky_min_freq: Option<MegaHertz>,
+    /// Sample-mode CPM readings (40, flat-indexed).
+    pub cpm_sample: Vec<CpmReading>,
+    /// Sticky-mode CPM readings (40, flat-indexed).
+    pub cpm_sticky: Vec<CpmReading>,
+    /// Total current drawn from the rail.
+    pub current: Amps,
+    /// The rail set point during this window.
+    pub set_point: Volts,
+}
+
+/// One POWER7+ chip in the simulation.
+#[derive(Debug, Clone)]
+pub struct ChipSim {
+    socket: SocketId,
+    power_model: ChipPowerModel,
+    grid: PdnGrid,
+    didt: DidtModel,
+    bank: CpmBank,
+    dplls: Vec<Dpll>,
+    thermal: ThermalModel,
+    states: [CorePowerState; CORES_PER_SOCKET],
+    core_workloads: Vec<Option<WorkloadProfile>>,
+    traces: Vec<Option<ActivityTrace>>,
+    curve: VoltFreqCurve,
+    residual_guardband: Volts,
+    transient_reserve_ohms: f64,
+    target: MegaHertz,
+}
+
+/// Fixed-point iterations of the voltage↔power solve per tick. The loop
+/// contracts quickly (the drop is a few percent of Vdd), so four rounds
+/// put the residual far below a millivolt.
+const SOLVE_ITERATIONS: usize = 4;
+
+impl ChipSim {
+    /// Builds one socket's chip from the server config and the assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when any substrate rejects its configuration.
+    pub fn new(
+        config: &ServerConfig,
+        assignment: &Assignment,
+        socket: SocketId,
+    ) -> Result<Self, SimError> {
+        let power_model = ChipPowerModel::new(config.power.clone())?;
+        let grid = PdnGrid::new(&config.pdn);
+        let chip_seed = seed_for(config.seed, &format!("chip{}", socket.index()));
+        let didt = DidtModel::new(config.didt.clone(), chip_seed);
+        let mut bank = CpmBank::with_seed(chip_seed);
+        calibration::calibrate_bank(
+            &mut bank,
+            config.policy.residual_guardband,
+            config.target_frequency,
+        )?;
+
+        let mut states = [CorePowerState::Gated; CORES_PER_SOCKET];
+        let mut core_workloads: Vec<Option<WorkloadProfile>> = vec![None; CORES_PER_SOCKET];
+        let mut traces: Vec<Option<ActivityTrace>> = vec![None; CORES_PER_SOCKET];
+        for core in CoreId::all() {
+            states[core.index()] = assignment.core_state(socket, core);
+            if let Some(thread) = assignment.thread_at(socket, core) {
+                let thread_seed =
+                    seed_for(chip_seed, &format!("trace{}", core.index()));
+                traces[core.index()] = Some(ActivityTrace::new(&thread.workload, thread_seed));
+                core_workloads[core.index()] = Some(thread.workload.clone());
+            }
+        }
+
+        let dplls = (0..CORES_PER_SOCKET)
+            .map(|_| Dpll::new(config.target_frequency, config.dpll_min, config.dpll_max))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ChipSim {
+            socket,
+            power_model,
+            grid,
+            didt,
+            bank,
+            dplls,
+            thermal: ThermalModel::new(config.ambient, 0.115, Seconds(20.0)),
+            states,
+            core_workloads,
+            traces,
+            curve: config.curve.clone(),
+            residual_guardband: config.policy.residual_guardband,
+            transient_reserve_ohms: config.policy.transient_reserve_ohms,
+            target: config.target_frequency,
+        })
+    }
+
+    /// The socket this chip sits in.
+    #[must_use]
+    pub fn socket(&self) -> SocketId {
+        self.socket
+    }
+
+    /// Number of powered-on cores.
+    #[must_use]
+    pub fn on_core_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_on()).count()
+    }
+
+    /// Number of running cores.
+    #[must_use]
+    pub fn running_core_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_running()).count()
+    }
+
+    /// Mutable access to the CPM bank (fault injection, recalibration).
+    pub fn bank_mut(&mut self) -> &mut CpmBank {
+        &mut self.bank
+    }
+
+    /// The CPM bank.
+    #[must_use]
+    pub fn bank(&self) -> &CpmBank {
+        &self.bank
+    }
+
+    /// Advances this chip by one 32 ms window under the given rail and
+    /// mode, returning everything observed.
+    pub fn tick(&mut self, rail: &Rail, mode: GuardbandMode, window: Seconds) -> SocketTick {
+        // 1. Workload activity for this window.
+        let mut activities = [0.0f64; CORES_PER_SOCKET];
+        let mut ceffs = [0.0f64; CORES_PER_SOCKET];
+        for i in 0..CORES_PER_SOCKET {
+            if let Some(trace) = self.traces[i].as_mut() {
+                activities[i] = trace.next_window();
+            }
+            if let Some(w) = self.core_workloads[i].as_ref() {
+                ceffs[i] = w.ceff_nf();
+            }
+        }
+
+        // 2. In static mode the clocks are pinned at the DVFS target.
+        if mode == GuardbandMode::StaticGuardband {
+            for d in &mut self.dplls {
+                d.set_frequency(self.target);
+            }
+        }
+        let freqs: Vec<MegaHertz> = self.dplls.iter().map(Dpll::frequency).collect();
+
+        // 3. Fixed-point electrical solve: power ↔ current ↔ voltage.
+        let temp = self.thermal.temperature();
+        let mut core_voltages = [rail.set_point(); CORES_PER_SOCKET];
+        let mut chip_input = rail.set_point();
+        let mut core_currents = [Amps::ZERO; CORES_PER_SOCKET];
+        let mut uncore_current = Amps::ZERO;
+        let mut total_power = Watts::ZERO;
+        for _ in 0..SOLVE_ITERATIONS {
+            total_power = Watts::ZERO;
+            for i in 0..CORES_PER_SOCKET {
+                let p = self.power_model.core_power(
+                    self.states[i],
+                    ceffs[i],
+                    activities[i],
+                    core_voltages[i],
+                    freqs[i],
+                    temp,
+                );
+                core_currents[i] = p.total() / core_voltages[i].max(Volts(0.1));
+                total_power += p.total();
+            }
+            let uncore = self.power_model.uncore_power(chip_input);
+            uncore_current = uncore / chip_input.max(Volts(0.1));
+            total_power += uncore;
+            let total_current = self.grid.total_current(&core_currents, uncore_current);
+            chip_input = rail.output(total_current);
+            core_voltages = self
+                .grid
+                .core_voltages(chip_input, &core_currents, uncore_current);
+        }
+        let total_current = self.grid.total_current(&core_currents, uncore_current);
+
+        // 4. di/dt noise for this window.
+        let running = self.running_core_count();
+        let variability = self.mean_variability();
+        let noise = self.didt.sample_window(running, variability, window);
+
+        // 5. CPM readings at the pre-control frequencies.
+        let freq_arr: [MegaHertz; CORES_PER_SOCKET] = std::array::from_fn(|i| freqs[i]);
+        let sample_margins: [Volts; CORES_PER_SOCKET] = std::array::from_fn(|i| {
+            core_voltages[i] - noise.typical - self.curve.v_circuit(freqs[i])
+        });
+        let sticky_margins: [Volts; CORES_PER_SOCKET] = std::array::from_fn(|i| {
+            sample_margins[i] - (noise.worst - noise.typical)
+        });
+        let cpm_sample = self.bank.read_all(&sample_margins, &freq_arr);
+        let cpm_sticky = self.bank.read_all(&sticky_margins, &freq_arr);
+        // The per-core control input is the worst CPM of the core. A core
+        // whose worst monitor reads zero reports *no measurable margin* —
+        // the hardware's fail-safe is to slow that core down and let the
+        // firmware raise the rail, whatever the analytic margin says.
+        let core_min_cpm = self.bank.core_min_readings(&sample_margins, &freq_arr);
+        let cpm_fail_safe =
+            |i: usize| core_min_cpm[i] == CpmReading::MIN && self.states[i].is_on();
+
+        // 6. Control: adaptive modes let each DPLL chase its usable margin.
+        // In undervolting mode the clock is capped at the DVFS target — the
+        // spare margin is for the firmware to convert into voltage, not for
+        // overclocking.
+        if mode.is_adaptive() {
+            #[allow(clippy::needless_range_loop)] // i co-indexes voltages and DPLLs
+            for i in 0..CORES_PER_SOCKET {
+                if self.states[i].is_on() {
+                    let usable = if cpm_fail_safe(i) {
+                        // No measurable margin: retreat toward the slowest
+                        // safe clock until the firmware restores voltage.
+                        self.curve.v_circuit(self.target) - self.residual_guardband
+                    } else {
+                        core_voltages[i] - noise.typical - self.residual_guardband
+                    };
+                    let f = self.dplls[i].track(usable, &self.curve);
+                    if mode == GuardbandMode::Undervolt && f > self.target {
+                        self.dplls[i].set_frequency(self.target);
+                    }
+                }
+            }
+        }
+
+        // The worst momentary clock of the window: deepest droop plus the
+        // firmware's load-transient allowance for this rail's current.
+        let transient_reserve =
+            Volts(self.transient_reserve_ohms * total_current.0.max(0.0));
+        let worst_case_reserve = (noise.worst).max(transient_reserve);
+        let sticky_min_freq = (0..CORES_PER_SOCKET)
+            .filter(|&i| self.states[i].is_on())
+            .map(|i| {
+                if cpm_fail_safe(i) {
+                    return MegaHertz(0.0);
+                }
+                let usable = core_voltages[i] - worst_case_reserve - self.residual_guardband;
+                self.curve.f_max(usable)
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("frequencies are finite"));
+
+        // 7. Drop decomposition per core.
+        let loadline = rail.loadline_drop(total_current);
+        let global = self.grid.global_drop(total_current);
+        let breakdown: [DropBreakdown; CORES_PER_SOCKET] = std::array::from_fn(|i| {
+            let core = CoreId::new(i as u8).expect("core in range");
+            DropBreakdown {
+                loadline,
+                ir_drop: global + self.grid.local_drop(core, &core_currents),
+                typical_didt: noise.typical,
+                worst_didt: noise.worst - noise.typical,
+            }
+        });
+
+        // 8. Thermal integration.
+        self.thermal.step(total_power, window);
+
+        let min_on_freq = (0..CORES_PER_SOCKET)
+            .filter(|&i| self.states[i].is_on())
+            .map(|i| self.dplls[i].frequency())
+            .min_by(|a, b| a.partial_cmp(b).expect("frequencies are finite"));
+
+        // What the VRM power sensor reports: set point × load current.
+        let rail_power = rail.set_point() * total_current;
+
+        SocketTick {
+            power: rail_power,
+            consumed_power: total_power,
+            core_voltages,
+            core_freqs: std::array::from_fn(|i| self.dplls[i].frequency()),
+            breakdown,
+            min_on_freq,
+            sticky_min_freq,
+            cpm_sample,
+            cpm_sticky,
+            current: total_current,
+            set_point: rail.set_point(),
+        }
+    }
+
+    /// Mean di/dt variability across running threads (1.0 when idle).
+    fn mean_variability(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .core_workloads
+            .iter()
+            .flatten()
+            .map(WorkloadProfile::variability)
+            .collect();
+        if vals.is_empty() {
+            1.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_types::Ohms;
+    use p7_workloads::Catalog;
+
+    fn setup(k: usize, mode: GuardbandMode) -> (ChipSim, Rail, GuardbandMode) {
+        let cfg = ServerConfig::power7plus(7);
+        let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+        let a = Assignment::single_socket(&w, k).unwrap();
+        let chip = ChipSim::new(&cfg, &a, SocketId::new(0).unwrap()).unwrap();
+        let rail = Rail::new(cfg.nominal_voltage(), cfg.pdn.vrm_loadline);
+        (chip, rail, mode)
+    }
+
+    fn window() -> Seconds {
+        Seconds::from_millis(32.0)
+    }
+
+    #[test]
+    fn static_mode_pins_frequency() {
+        let (mut chip, rail, mode) = setup(4, GuardbandMode::StaticGuardband);
+        for _ in 0..5 {
+            let t = chip.tick(&rail, mode, window());
+            for f in t.core_freqs {
+                assert_eq!(f, MegaHertz(4200.0));
+            }
+        }
+    }
+
+    #[test]
+    fn overclock_mode_boosts_above_target() {
+        let (mut chip, rail, mode) = setup(1, GuardbandMode::Overclock);
+        let mut last = None;
+        for _ in 0..10 {
+            last = Some(chip.tick(&rail, mode, window()));
+        }
+        let t = last.unwrap();
+        // Fig. 4a: light load boosts ~8–11 % above 4.2 GHz.
+        let boost = (t.core_freqs[0].0 - 4200.0) / 4200.0 * 100.0;
+        assert!((5.0..13.0).contains(&boost), "boost {boost}%");
+    }
+
+    #[test]
+    fn more_active_cores_mean_less_boost() {
+        let boost_at = |k: usize| {
+            let (mut chip, rail, mode) = setup(k, GuardbandMode::Overclock);
+            let mut f = 0.0;
+            for _ in 0..10 {
+                f = chip.tick(&rail, mode, window()).core_freqs[0].0;
+            }
+            f
+        };
+        let one = boost_at(1);
+        let eight = boost_at(8);
+        assert!(one > eight + 50.0, "1-core {one} vs 8-core {eight}");
+    }
+
+    #[test]
+    fn power_grows_with_active_cores() {
+        let power_at = |k: usize| {
+            let (mut chip, rail, mode) = setup(k, GuardbandMode::StaticGuardband);
+            let mut p = Watts::ZERO;
+            for _ in 0..10 {
+                p = chip.tick(&rail, mode, window()).power;
+            }
+            p.0
+        };
+        let p1 = power_at(1);
+        let p8 = power_at(8);
+        assert!(p8 > p1 + 30.0, "1-core {p1} W vs 8-core {p8} W");
+        assert!((55.0..110.0).contains(&p1), "1-core power {p1} W");
+        assert!((100.0..160.0).contains(&p8), "8-core power {p8} W");
+    }
+
+    #[test]
+    fn active_core_sees_lowest_voltage() {
+        let (mut chip, rail, mode) = setup(1, GuardbandMode::StaticGuardband);
+        let t = chip.tick(&rail, mode, window());
+        for i in 1..8 {
+            assert!(t.core_voltages[0] < t.core_voltages[i]);
+        }
+    }
+
+    #[test]
+    fn breakdown_total_matches_voltage_gap() {
+        let (mut chip, rail, mode) = setup(4, GuardbandMode::StaticGuardband);
+        let t = chip.tick(&rail, mode, window());
+        for i in 0..8 {
+            let passive_gap = (t.set_point - t.core_voltages[i]).millivolts();
+            let passive = t.breakdown[i].passive().millivolts();
+            assert!(
+                (passive - passive_gap).abs() < 0.5,
+                "core {i}: breakdown {passive} vs gap {passive_gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpm_hovers_near_calibration_in_adaptive_mode() {
+        // Sec. 4.1: "CPMs typically hover around an output value of 2 when
+        // adaptive guardbanding is active".
+        let (mut chip, rail, mode) = setup(4, GuardbandMode::Overclock);
+        let mut t = chip.tick(&rail, mode, window());
+        for _ in 0..10 {
+            t = chip.tick(&rail, mode, window());
+        }
+        let mean: f64 = t.cpm_sample.iter().map(|r| f64::from(r.value())).sum::<f64>() / 40.0;
+        assert!((1.0..4.0).contains(&mean), "mean CPM {mean}");
+    }
+
+    #[test]
+    fn sticky_readings_never_exceed_sample() {
+        let (mut chip, rail, mode) = setup(6, GuardbandMode::StaticGuardband);
+        for _ in 0..20 {
+            let t = chip.tick(&rail, mode, window());
+            for (st, sa) in t.cpm_sticky.iter().zip(&t.cpm_sample) {
+                assert!(st <= sa);
+            }
+        }
+    }
+
+    #[test]
+    fn gated_socket_draws_little_power() {
+        let cfg = ServerConfig::power7plus(7);
+        let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+        let a = Assignment::consolidated(&w, 4).unwrap();
+        let mut chip = ChipSim::new(&cfg, &a, SocketId::new(1).unwrap()).unwrap();
+        let rail = Rail::new(cfg.nominal_voltage(), cfg.pdn.vrm_loadline);
+        let t = chip.tick(&rail, GuardbandMode::StaticGuardband, window());
+        assert_eq!(chip.on_core_count(), 0);
+        // Only uncore plus gated leakage.
+        assert!(t.power.0 < 30.0, "gated chip drew {} W", t.power.0);
+        assert!(t.min_on_freq.is_none());
+    }
+
+    #[test]
+    fn solve_converges_even_with_huge_loadline() {
+        let cfg = ServerConfig::power7plus(7);
+        let w = Catalog::power7plus().get("lu_cb").unwrap().clone();
+        let a = Assignment::single_socket(&w, 8).unwrap();
+        let mut chip = ChipSim::new(&cfg, &a, SocketId::new(0).unwrap()).unwrap();
+        let rail = Rail::new(cfg.nominal_voltage(), Ohms(3.0e-3));
+        let t = chip.tick(&rail, GuardbandMode::StaticGuardband, window());
+        assert!(t.power.is_finite());
+        for v in t.core_voltages {
+            assert!(v.is_finite() && v > Volts(0.5));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut a, rail, mode) = setup(4, GuardbandMode::Undervolt);
+        let (mut b, rail2, _) = setup(4, GuardbandMode::Undervolt);
+        for _ in 0..10 {
+            let ta = a.tick(&rail, mode, window());
+            let tb = b.tick(&rail2, mode, window());
+            assert_eq!(ta.power.0, tb.power.0);
+            assert_eq!(ta.cpm_sample, tb.cpm_sample);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Server-level configuration.
+
+use crate::error::SimError;
+use p7_control::{GuardbandPolicy, VoltFreqCurve};
+use p7_pdn::{DidtConfig, PdnConfig};
+use p7_power::PowerConfig;
+use p7_types::{Celsius, MegaHertz};
+use serde::{Deserialize, Serialize};
+
+/// Complete configuration of the simulated Power 720 server.
+///
+/// # Examples
+///
+/// ```
+/// use p7_sim::ServerConfig;
+///
+/// let cfg = ServerConfig::power7plus(42);
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.target_frequency.0, 4200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Power-delivery parameters (loadline, IR grid).
+    pub pdn: PdnConfig,
+    /// di/dt noise parameters.
+    pub didt: DidtConfig,
+    /// Chip power-model parameters.
+    pub power: PowerConfig,
+    /// Frequency–voltage curve of the core logic.
+    pub curve: VoltFreqCurve,
+    /// Guardband sizing (static vs. residual).
+    pub policy: GuardbandPolicy,
+    /// The DVFS target frequency (static mode runs here; undervolt mode
+    /// servoes the DPLLs to it).
+    pub target_frequency: MegaHertz,
+    /// Lower DPLL clamp.
+    pub dpll_min: MegaHertz,
+    /// Upper DPLL clamp (overclock ceiling).
+    pub dpll_max: MegaHertz,
+    /// Ambient (inlet) temperature the thermal model relaxes toward.
+    pub ambient: Celsius,
+    /// Master seed for every stochastic component.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// The calibrated POWER7+ configuration with the given master seed.
+    #[must_use]
+    pub fn power7plus(seed: u64) -> Self {
+        ServerConfig {
+            pdn: PdnConfig::power7plus(),
+            didt: DidtConfig::power7plus(),
+            power: PowerConfig::power7plus(),
+            curve: VoltFreqCurve::power7plus(),
+            policy: GuardbandPolicy::power7plus(),
+            target_frequency: MegaHertz(4200.0),
+            dpll_min: MegaHertz(2800.0),
+            dpll_max: MegaHertz(4700.0),
+            ambient: Celsius(22.0),
+            seed,
+        }
+    }
+
+    /// Validates every sub-configuration and the frequency ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] wrapping the first failing substrate, or
+    /// [`SimError::InvalidConfig`] for inconsistent frequency clamps.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.pdn.validate()?;
+        self.didt.validate()?;
+        self.power.validate()?;
+        self.policy.validate()?;
+        if !(self.ambient.0.is_finite() && (-20.0..=60.0).contains(&self.ambient.0)) {
+            return Err(SimError::InvalidConfig {
+                reason: "ambient temperature must be finite and within -20..=60 °C",
+            });
+        }
+        if !(self.dpll_min.0 > 0.0
+            && self.dpll_min <= self.target_frequency
+            && self.target_frequency <= self.dpll_max)
+        {
+            return Err(SimError::InvalidConfig {
+                reason: "frequency clamps must satisfy min <= target <= max",
+            });
+        }
+        Ok(())
+    }
+
+    /// The static-guardband nominal voltage at the target frequency.
+    #[must_use]
+    pub fn nominal_voltage(&self) -> p7_types::Volts {
+        self.policy.nominal_voltage(&self.curve, self.target_frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        ServerConfig::power7plus(1).validate().unwrap();
+    }
+
+    #[test]
+    fn nominal_voltage_near_1200mv() {
+        let v = ServerConfig::power7plus(1).nominal_voltage();
+        assert!((v.millivolts() - 1200.0).abs() < 3.0, "nominal {v}");
+    }
+
+    #[test]
+    fn low_dvfs_point_runs_too() {
+        // The 2.8 GHz DVFS operating point of Fig. 6a is a valid target.
+        let mut cfg = ServerConfig::power7plus(1);
+        cfg.target_frequency = MegaHertz(2800.0);
+        cfg.validate().unwrap();
+        assert!((cfg.nominal_voltage().millivolts() - 958.6).abs() < 5.0);
+    }
+
+    #[test]
+    fn rejects_inverted_clamps() {
+        let mut cfg = ServerConfig::power7plus(1);
+        cfg.dpll_max = MegaHertz(4000.0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_substrate() {
+        let mut cfg = ServerConfig::power7plus(1);
+        cfg.pdn.ir_local = p7_types::Ohms(-1.0);
+        assert!(matches!(cfg.validate(), Err(SimError::Pdn(_))));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types of the simulator crate.
+
+use p7_control::ControlError;
+use p7_pdn::PdnError;
+use p7_power::PowerError;
+use p7_sensors::SensorError;
+use p7_workloads::WorkloadError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A power-delivery configuration problem.
+    Pdn(PdnError),
+    /// A power-model configuration problem.
+    Power(PowerError),
+    /// A sensor/telemetry problem.
+    Sensor(SensorError),
+    /// A control-stack configuration problem.
+    Control(ControlError),
+    /// A workload definition problem.
+    Workload(WorkloadError),
+    /// An inconsistent server configuration.
+    InvalidConfig {
+        /// What was inconsistent.
+        reason: &'static str,
+    },
+    /// An assignment placed threads illegally.
+    InvalidAssignment {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Pdn(e) => write!(f, "pdn: {e}"),
+            SimError::Power(e) => write!(f, "power: {e}"),
+            SimError::Sensor(e) => write!(f, "sensor: {e}"),
+            SimError::Control(e) => write!(f, "control: {e}"),
+            SimError::Workload(e) => write!(f, "workload: {e}"),
+            SimError::InvalidConfig { reason } => write!(f, "invalid server config: {reason}"),
+            SimError::InvalidAssignment { reason } => write!(f, "invalid assignment: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Pdn(e) => Some(e),
+            SimError::Power(e) => Some(e),
+            SimError::Sensor(e) => Some(e),
+            SimError::Control(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PdnError> for SimError {
+    fn from(e: PdnError) -> Self {
+        SimError::Pdn(e)
+    }
+}
+
+impl From<PowerError> for SimError {
+    fn from(e: PowerError) -> Self {
+        SimError::Power(e)
+    }
+}
+
+impl From<SensorError> for SimError {
+    fn from(e: SensorError) -> Self {
+        SimError::Sensor(e)
+    }
+}
+
+impl From<ControlError> for SimError {
+    fn from(e: ControlError) -> Self {
+        SimError::Control(e)
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors_with_source() {
+        let err: SimError = PdnError::CurrentOutOfRange { amps: -1.0 }.into();
+        assert!(err.source().is_some());
+        assert!(format!("{err}").starts_with("pdn:"));
+    }
+
+    #[test]
+    fn config_errors_have_no_source() {
+        let err = SimError::InvalidConfig { reason: "x" };
+        assert!(err.source().is_none());
+    }
+}

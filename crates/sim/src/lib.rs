@@ -1,0 +1,51 @@
+//! Full-system simulator of a two-socket POWER7+ server with adaptive
+//! guardbanding.
+//!
+//! This crate wires the substrates together into the feedback loop of the
+//! paper's Fig. 2a:
+//!
+//! ```text
+//!  workload activity ──► per-core power ──► currents ──► VRM loadline,
+//!       ▲                                                IR drop, di/dt
+//!       │                                                     │
+//!  DPLL frequency ◄── CPM margin sensing ◄── on-chip voltage ◄┘
+//!       │
+//!       └──► firmware (32 ms): undervolt the rail until the DPLL
+//!            frequency sits at the target
+//! ```
+//!
+//! Each simulation tick is one 32 ms AMESTER/firmware window. Within a
+//! tick the electrical state (voltage ↔ power ↔ current) is solved to a
+//! fixed point, di/dt noise is sampled, CPMs are read, the DPLLs track
+//! their margins, and in undervolting mode the firmware trims each
+//! socket's rail. Execution time is derived from the settled frequency via
+//! the workload's execution model, mirroring how the paper combines power
+//! telemetry with wall-clock runs.
+//!
+//! Entry points:
+//!
+//! * [`Assignment`] — which threads run where, which cores are powered,
+//! * [`Simulation`] — the tick engine over a [`config::ServerConfig`],
+//! * [`Experiment`] — one-call wrapper producing an [`Outcome`] with
+//!   power, frequency, undervolt, drop decomposition, execution time,
+//!   energy and EDP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod chip;
+pub mod config;
+pub mod error;
+pub mod experiment;
+pub mod history;
+pub mod measure;
+pub mod server;
+
+pub use assignment::{Assignment, Thread};
+pub use config::ServerConfig;
+pub use error::SimError;
+pub use experiment::{Experiment, Outcome};
+pub use history::{History, TickRecord};
+pub use measure::{RunSummary, SocketMetrics};
+pub use server::Simulation;

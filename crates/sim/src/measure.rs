@@ -1,0 +1,276 @@
+//! Measurement accumulation over simulation windows.
+
+use crate::chip::SocketTick;
+use p7_pdn::DropBreakdown;
+use p7_types::{MegaHertz, Volts, Watts, CORES_PER_SOCKET, NUM_SOCKETS};
+use serde::{Deserialize, Serialize};
+
+/// Averaged observations for one socket over the measured windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocketMetrics {
+    /// Mean chip Vdd power.
+    pub avg_power: Watts,
+    /// Mean rail set point.
+    pub avg_set_point: Volts,
+    /// Undervolt relative to the static nominal (positive = saving).
+    pub undervolt: Volts,
+    /// Mean delivered voltage per core.
+    pub avg_core_voltage: [Volts; CORES_PER_SOCKET],
+    /// Mean clock frequency per core.
+    pub avg_core_freq: [MegaHertz; CORES_PER_SOCKET],
+    /// Mean decomposed drop per core.
+    pub drop: [DropBreakdown; CORES_PER_SOCKET],
+    /// Mean total current.
+    pub avg_current: p7_types::Amps,
+}
+
+impl SocketMetrics {
+    /// Mean passive drop (loadline + IR) of core 0, the paper's
+    /// presentation core for the Fig. 9 decomposition.
+    #[must_use]
+    pub fn core0_passive_drop(&self) -> Volts {
+        self.drop[0].passive()
+    }
+
+    /// Mean drop of one core as a percentage of `nominal` (Fig. 7's
+    /// y-axis), using the steady component the sample-mode CPMs see.
+    #[must_use]
+    pub fn core_drop_percent(&self, core: usize, nominal: Volts) -> f64 {
+        self.drop[core].steady() / nominal * 100.0
+    }
+}
+
+/// The result of a measured simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Per-socket averages.
+    pub sockets: Vec<SocketMetrics>,
+    /// Mean total server Vdd power (both chips).
+    pub total_power: Watts,
+    /// Mean clock over all *running* cores, server-wide.
+    pub avg_running_freq: MegaHertz,
+    /// Slowest mean clock among running cores.
+    pub min_running_freq: MegaHertz,
+    /// Number of measured windows (after warm-up).
+    pub ticks_measured: usize,
+}
+
+impl RunSummary {
+    /// Socket 0's metrics — the measured processor of the Sec. 3 studies.
+    #[must_use]
+    pub fn socket0(&self) -> &SocketMetrics {
+        &self.sockets[0]
+    }
+
+    /// The mean frequency ratio relative to `target` (for the execution
+    /// model).
+    #[must_use]
+    pub fn freq_ratio(&self, target: MegaHertz) -> f64 {
+        self.avg_running_freq / target
+    }
+}
+
+/// Accumulates per-tick observations into a [`RunSummary`].
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    nominal: Volts,
+    running_mask: [[bool; CORES_PER_SOCKET]; NUM_SOCKETS],
+    ticks: usize,
+    power: [f64; NUM_SOCKETS],
+    set_point: [f64; NUM_SOCKETS],
+    current: [f64; NUM_SOCKETS],
+    core_v: [[f64; CORES_PER_SOCKET]; NUM_SOCKETS],
+    core_f: [[f64; CORES_PER_SOCKET]; NUM_SOCKETS],
+    drop: [[DropBreakdown; CORES_PER_SOCKET]; NUM_SOCKETS],
+}
+
+impl Accumulator {
+    /// Creates an accumulator; `running_mask[s][c]` marks running cores.
+    #[must_use]
+    pub fn new(nominal: Volts, running_mask: [[bool; CORES_PER_SOCKET]; NUM_SOCKETS]) -> Self {
+        Accumulator {
+            nominal,
+            running_mask,
+            ticks: 0,
+            power: [0.0; NUM_SOCKETS],
+            set_point: [0.0; NUM_SOCKETS],
+            current: [0.0; NUM_SOCKETS],
+            core_v: [[0.0; CORES_PER_SOCKET]; NUM_SOCKETS],
+            core_f: [[0.0; CORES_PER_SOCKET]; NUM_SOCKETS],
+            drop: [[DropBreakdown::default(); CORES_PER_SOCKET]; NUM_SOCKETS],
+        }
+    }
+
+    /// Folds in one window's per-socket ticks.
+    pub fn add(&mut self, ticks: &[SocketTick]) {
+        debug_assert_eq!(ticks.len(), NUM_SOCKETS);
+        self.ticks += 1;
+        for (s, t) in ticks.iter().enumerate() {
+            self.power[s] += t.power.0;
+            self.set_point[s] += t.set_point.0;
+            self.current[s] += t.current.0;
+            for c in 0..CORES_PER_SOCKET {
+                self.core_v[s][c] += t.core_voltages[c].0;
+                self.core_f[s][c] += t.core_freqs[c].0;
+                let d = &mut self.drop[s][c];
+                d.loadline += t.breakdown[c].loadline;
+                d.ir_drop += t.breakdown[c].ir_drop;
+                d.typical_didt += t.breakdown[c].typical_didt;
+                d.worst_didt += t.breakdown[c].worst_didt;
+            }
+        }
+    }
+
+    /// Number of windows folded in so far.
+    #[must_use]
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Produces the summary; `None` when no windows were measured.
+    #[must_use]
+    pub fn finish(self) -> Option<RunSummary> {
+        if self.ticks == 0 {
+            return None;
+        }
+        let n = self.ticks as f64;
+        let mut sockets = Vec::with_capacity(NUM_SOCKETS);
+        let mut freq_sum = 0.0;
+        let mut freq_count = 0usize;
+        let mut min_freq = f64::MAX;
+        for s in 0..NUM_SOCKETS {
+            let avg_core_voltage: [Volts; CORES_PER_SOCKET] =
+                std::array::from_fn(|c| Volts(self.core_v[s][c] / n));
+            let avg_core_freq: [MegaHertz; CORES_PER_SOCKET] =
+                std::array::from_fn(|c| MegaHertz(self.core_f[s][c] / n));
+            let drop: [DropBreakdown; CORES_PER_SOCKET] = std::array::from_fn(|c| {
+                let d = self.drop[s][c];
+                DropBreakdown {
+                    loadline: d.loadline / n,
+                    ir_drop: d.ir_drop / n,
+                    typical_didt: d.typical_didt / n,
+                    worst_didt: d.worst_didt / n,
+                }
+            });
+            #[allow(clippy::needless_range_loop)] // c co-indexes mask and freqs
+            for c in 0..CORES_PER_SOCKET {
+                if self.running_mask[s][c] {
+                    freq_sum += avg_core_freq[c].0;
+                    freq_count += 1;
+                    min_freq = min_freq.min(avg_core_freq[c].0);
+                }
+            }
+            let avg_set_point = Volts(self.set_point[s] / n);
+            sockets.push(SocketMetrics {
+                avg_power: Watts(self.power[s] / n),
+                avg_set_point,
+                undervolt: self.nominal - avg_set_point,
+                avg_core_voltage,
+                avg_core_freq,
+                drop,
+                avg_current: p7_types::Amps(self.current[s] / n),
+            });
+        }
+        let total_power = Watts(sockets.iter().map(|s| s.avg_power.0).sum());
+        let avg_running_freq = if freq_count > 0 {
+            MegaHertz(freq_sum / freq_count as f64)
+        } else {
+            MegaHertz(0.0)
+        };
+        let min_running_freq = if freq_count > 0 {
+            MegaHertz(min_freq)
+        } else {
+            MegaHertz(0.0)
+        };
+        Some(RunSummary {
+            sockets,
+            total_power,
+            avg_running_freq,
+            min_running_freq,
+            ticks_measured: self.ticks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_types::Amps;
+
+    fn fake_tick(power: f64, freq: f64) -> SocketTick {
+        SocketTick {
+            power: Watts(power),
+            consumed_power: Watts(power),
+            core_voltages: [Volts(1.15); 8],
+            core_freqs: [MegaHertz(freq); 8],
+            breakdown: [DropBreakdown {
+                loadline: Volts(0.03),
+                ir_drop: Volts(0.02),
+                typical_didt: Volts(0.008),
+                worst_didt: Volts(0.012),
+            }; 8],
+            min_on_freq: Some(MegaHertz(freq)),
+            sticky_min_freq: Some(MegaHertz(freq)),
+            cpm_sample: vec![],
+            cpm_sticky: vec![],
+            current: Amps(80.0),
+            set_point: Volts(1.2),
+        }
+    }
+
+    fn mask_first_k(k: usize) -> [[bool; 8]; 2] {
+        let mut m = [[false; 8]; 2];
+        for flag in m[0].iter_mut().take(k) {
+            *flag = true;
+        }
+        m
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_none() {
+        let acc = Accumulator::new(Volts(1.2), mask_first_k(1));
+        assert!(acc.finish().is_none());
+    }
+
+    #[test]
+    fn averages_are_exact_for_constant_input() {
+        let mut acc = Accumulator::new(Volts(1.2), mask_first_k(2));
+        for _ in 0..10 {
+            acc.add(&[fake_tick(100.0, 4300.0), fake_tick(20.0, 4200.0)]);
+        }
+        let s = acc.finish().unwrap();
+        assert_eq!(s.ticks_measured, 10);
+        assert!((s.sockets[0].avg_power.0 - 100.0).abs() < 1e-9);
+        assert!((s.total_power.0 - 120.0).abs() < 1e-9);
+        assert!((s.avg_running_freq.0 - 4300.0).abs() < 1e-9);
+        assert!((s.socket0().undervolt.millivolts() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_ticks_average_linearly() {
+        let mut acc = Accumulator::new(Volts(1.2), mask_first_k(1));
+        acc.add(&[fake_tick(90.0, 4200.0), fake_tick(20.0, 4200.0)]);
+        acc.add(&[fake_tick(110.0, 4400.0), fake_tick(20.0, 4200.0)]);
+        let s = acc.finish().unwrap();
+        assert!((s.sockets[0].avg_power.0 - 100.0).abs() < 1e-9);
+        assert!((s.avg_running_freq.0 - 4300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_percent_uses_steady_component() {
+        let mut acc = Accumulator::new(Volts(1.2), mask_first_k(1));
+        acc.add(&[fake_tick(90.0, 4200.0), fake_tick(20.0, 4200.0)]);
+        let s = acc.finish().unwrap();
+        // steady = 30 + 20 + 8 = 58 mV of 1200 mV ≈ 4.83 %.
+        let pct = s.socket0().core_drop_percent(0, Volts(1.2));
+        assert!((pct - 4.8333).abs() < 0.01, "pct {pct}");
+    }
+
+    #[test]
+    fn freq_ratio_relative_to_target() {
+        let mut acc = Accumulator::new(Volts(1.2), mask_first_k(1));
+        acc.add(&[fake_tick(90.0, 4410.0), fake_tick(20.0, 4200.0)]);
+        let s = acc.finish().unwrap();
+        assert!((s.freq_ratio(MegaHertz(4200.0)) - 1.05).abs() < 1e-9);
+    }
+}

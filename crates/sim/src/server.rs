@@ -1,0 +1,318 @@
+//! The two-socket server and the simulation engine.
+
+use crate::assignment::Assignment;
+use crate::chip::{ChipSim, SocketTick};
+use crate::config::ServerConfig;
+use crate::error::SimError;
+use crate::history::History;
+use crate::measure::{Accumulator, RunSummary};
+use p7_control::{FirmwareController, GuardbandMode};
+use p7_pdn::Vrm;
+use p7_sensors::{Amester, CpmReading};
+use p7_types::{Amps, CoreId, CpmId, Seconds, SocketId, CORES_PER_SOCKET, NUM_SOCKETS};
+
+/// The firmware/telemetry window length: 32 ms.
+pub const WINDOW: Seconds = Seconds(0.032);
+
+/// A running simulation of the Power 720 server.
+///
+/// # Examples
+///
+/// ```
+/// use p7_control::GuardbandMode;
+/// use p7_sim::{Assignment, ServerConfig, Simulation};
+/// use p7_workloads::Catalog;
+///
+/// let cfg = ServerConfig::power7plus(42);
+/// let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+/// let a = Assignment::single_socket(&w, 2)?;
+/// let mut sim = Simulation::new(cfg, a, GuardbandMode::Undervolt)?;
+/// let summary = sim.run(40, 15);
+/// assert!(summary.socket0().undervolt.millivolts() > 0.0);
+/// # Ok::<(), p7_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: ServerConfig,
+    assignment: Assignment,
+    mode: GuardbandMode,
+    vrm: Vrm,
+    chips: Vec<ChipSim>,
+    firmware: FirmwareController,
+    amesters: Vec<Amester>,
+    time: Seconds,
+}
+
+impl Simulation {
+    /// Builds a simulation; rails start at the static nominal voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the configuration or assignment is
+    /// invalid.
+    pub fn new(
+        config: ServerConfig,
+        assignment: Assignment,
+        mode: GuardbandMode,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let vrm = Vrm::uniform(config.nominal_voltage(), config.pdn.vrm_loadline)?;
+        let chips = SocketId::all()
+            .map(|s| ChipSim::new(&config, &assignment, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let firmware = FirmwareController::new(config.target_frequency, config.policy.clone())?;
+        Ok(Simulation {
+            config,
+            assignment,
+            mode,
+            vrm,
+            chips,
+            firmware,
+            amesters: (0..NUM_SOCKETS).map(|_| Amester::new()).collect(),
+            time: Seconds(0.0),
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The operating mode.
+    #[must_use]
+    pub fn mode(&self) -> GuardbandMode {
+        self.mode
+    }
+
+    /// The assignment being executed.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The telemetry recorder of one socket.
+    #[must_use]
+    pub fn amester(&self, socket: SocketId) -> &Amester {
+        &self.amesters[socket.index()]
+    }
+
+    /// Injects a stuck-at fault into one CPM (failure-injection tests).
+    pub fn inject_cpm_fault(&mut self, socket: SocketId, cpm: CpmId, reading: Option<CpmReading>) {
+        self.chips[socket.index()]
+            .bank_mut()
+            .monitor_mut(cpm)
+            .set_stuck_at(reading);
+    }
+
+    /// Biases one rail's current sensor (failure-injection tests).
+    pub fn inject_rail_sensor_bias(&mut self, socket: SocketId, bias: Amps) {
+        self.vrm.rail_mut(socket).inject_sensor_bias(bias);
+    }
+
+    /// Advances the server by one 32 ms window and returns each socket's
+    /// observations.
+    pub fn tick(&mut self) -> Vec<SocketTick> {
+        let mut ticks = Vec::with_capacity(NUM_SOCKETS);
+        for socket in SocketId::all() {
+            let rail = self.vrm.rail(socket).clone();
+            let t = self.chips[socket.index()].tick(&rail, self.mode, WINDOW);
+            // Telemetry mirrors what AMESTER would record.
+            self.amesters[socket.index()]
+                .record(self.time, t.cpm_sample.clone(), t.cpm_sticky.clone())
+                .expect("window cadence respects the 32 ms limit");
+            ticks.push(t);
+        }
+
+        // Firmware: in undervolting mode each socket's rail chases its
+        // slowest powered-on core; rails of fully gated sockets park at
+        // the floor.
+        if self.mode == GuardbandMode::Undervolt {
+            for socket in SocketId::all() {
+                let current_set = self.vrm.rail(socket).set_point();
+                // The firmware is conservative: it servoes the worst
+                // momentary frequency of the window (droops plus the
+                // rail's load-transient reserve) to the target.
+                let next = match ticks[socket.index()].sticky_min_freq {
+                    Some(freq) => self.firmware.adjust_voltage(current_set, freq, &self.config.curve),
+                    None => self.firmware.voltage_floor(&self.config.curve),
+                };
+                self.vrm.rail_mut(socket).set_set_point(next);
+            }
+        }
+
+        self.time += WINDOW;
+        ticks
+    }
+
+    /// Like [`Simulation::run`] but also records the full per-window time
+    /// series (warm-up included), for transient studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure` is zero.
+    pub fn run_with_history(&mut self, measure: usize, warmup: usize) -> (RunSummary, History) {
+        assert!(measure > 0, "must measure at least one window");
+        let mut history = History::new();
+        let mut tick_index = 0usize;
+        for _ in 0..warmup {
+            let time = self.time;
+            let ticks = self.tick();
+            history.push(tick_index, time, &ticks);
+            tick_index += 1;
+        }
+        let mut acc = Accumulator::new(self.config.nominal_voltage(), self.running_mask());
+        for _ in 0..measure {
+            let time = self.time;
+            let ticks = self.tick();
+            history.push(tick_index, time, &ticks);
+            tick_index += 1;
+            acc.add(&ticks);
+        }
+        (
+            acc.finish().expect("measure > 0 windows were accumulated"),
+            history,
+        )
+    }
+
+    fn running_mask(&self) -> [[bool; CORES_PER_SOCKET]; NUM_SOCKETS] {
+        let mut mask = [[false; CORES_PER_SOCKET]; NUM_SOCKETS];
+        for socket in SocketId::all() {
+            for core in CoreId::all() {
+                mask[socket.index()][core.index()] =
+                    self.assignment.thread_at(socket, core).is_some();
+            }
+        }
+        mask
+    }
+
+    /// Runs `warmup + measure` windows, discarding the warm-up, and
+    /// returns the averaged summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure` is zero.
+    pub fn run(&mut self, measure: usize, warmup: usize) -> RunSummary {
+        assert!(measure > 0, "must measure at least one window");
+        for _ in 0..warmup {
+            self.tick();
+        }
+        let mut acc = Accumulator::new(self.config.nominal_voltage(), self.running_mask());
+        for _ in 0..measure {
+            let ticks = self.tick();
+            acc.add(&ticks);
+        }
+        acc.finish().expect("measure > 0 windows were accumulated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_types::Volts;
+    use p7_workloads::Catalog;
+
+    fn workload(name: &str) -> p7_workloads::WorkloadProfile {
+        Catalog::power7plus().get(name).unwrap().clone()
+    }
+
+    fn run(
+        name: &str,
+        k: usize,
+        mode: GuardbandMode,
+        build: fn(&p7_workloads::WorkloadProfile, usize) -> Result<Assignment, SimError>,
+    ) -> RunSummary {
+        let cfg = ServerConfig::power7plus(42);
+        let a = build(&workload(name), k).unwrap();
+        let mut sim = Simulation::new(cfg, a, mode).unwrap();
+        sim.run(40, 20)
+    }
+
+    #[test]
+    fn undervolt_saves_power_vs_static() {
+        let static_run = run("raytrace", 1, GuardbandMode::StaticGuardband, Assignment::single_socket);
+        let uv_run = run("raytrace", 1, GuardbandMode::Undervolt, Assignment::single_socket);
+        let saving = (static_run.socket0().avg_power.0 - uv_run.socket0().avg_power.0)
+            / static_run.socket0().avg_power.0
+            * 100.0;
+        // Fig. 3a: ~13 % at one active core.
+        assert!((8.0..18.0).contains(&saving), "1-core saving {saving}%");
+    }
+
+    #[test]
+    fn undervolt_benefit_shrinks_with_core_count() {
+        let saving_at = |k: usize| {
+            let s = run("raytrace", k, GuardbandMode::StaticGuardband, Assignment::single_socket);
+            let u = run("raytrace", k, GuardbandMode::Undervolt, Assignment::single_socket);
+            (s.socket0().avg_power.0 - u.socket0().avg_power.0) / s.socket0().avg_power.0 * 100.0
+        };
+        let one = saving_at(1);
+        let eight = saving_at(8);
+        assert!(one > eight + 3.0, "1-core {one}% vs 8-core {eight}%");
+        assert!(eight > 0.5, "8-core saving should stay positive: {eight}%");
+    }
+
+    #[test]
+    fn overclock_boost_shrinks_with_core_count() {
+        let boost_at = |k: usize| {
+            let o = run("lu_cb", k, GuardbandMode::Overclock, Assignment::single_socket);
+            (o.avg_running_freq.0 - 4200.0) / 4200.0 * 100.0
+        };
+        let one = boost_at(1);
+        let eight = boost_at(8);
+        // Fig. 4a: ~10 % at one core, ~4 % at eight.
+        assert!((6.0..13.0).contains(&one), "1-core boost {one}%");
+        assert!((1.0..7.0).contains(&eight), "8-core boost {eight}%");
+        assert!(one > eight);
+    }
+
+    #[test]
+    fn undervolt_floor_is_never_breached() {
+        let cfg = ServerConfig::power7plus(3);
+        let a = Assignment::single_socket(&workload("mcf"), 1).unwrap();
+        let fw = FirmwareController::new(cfg.target_frequency, cfg.policy.clone()).unwrap();
+        let floor = fw.voltage_floor(&cfg.curve);
+        let mut sim = Simulation::new(cfg, a, GuardbandMode::Undervolt).unwrap();
+        let s = sim.run(40, 20);
+        assert!(s.socket0().avg_set_point >= floor - Volts(1e-9));
+    }
+
+    #[test]
+    fn borrowing_beats_consolidation_at_high_load() {
+        // Fig. 12b: distributing raytrace saves total power at 8 threads.
+        let cons = run("raytrace", 8, GuardbandMode::Undervolt, Assignment::consolidated);
+        let borr = run("raytrace", 8, GuardbandMode::Undervolt, Assignment::borrowed);
+        let saving = (cons.total_power.0 - borr.total_power.0) / cons.total_power.0 * 100.0;
+        assert!(saving > 2.0, "borrowing saving {saving}%");
+    }
+
+    #[test]
+    fn telemetry_is_recorded_each_window() {
+        let cfg = ServerConfig::power7plus(42);
+        let a = Assignment::single_socket(&workload("vips"), 2).unwrap();
+        let mut sim = Simulation::new(cfg, a, GuardbandMode::Overclock).unwrap();
+        sim.run(10, 5);
+        let s0 = SocketId::new(0).unwrap();
+        assert_eq!(sim.amester(s0).windows().len(), 15);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run("swaptions", 4, GuardbandMode::Undervolt, Assignment::single_socket);
+        let b = run("swaptions", 4, GuardbandMode::Undervolt, Assignment::single_socket);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cpm_fault_injection_reaches_telemetry() {
+        let cfg = ServerConfig::power7plus(42);
+        let a = Assignment::single_socket(&workload("vips"), 2).unwrap();
+        let mut sim = Simulation::new(cfg, a, GuardbandMode::StaticGuardband).unwrap();
+        let s0 = SocketId::new(0).unwrap();
+        let cpm = CpmId::new(CoreId::new(3).unwrap(), 2).unwrap();
+        sim.inject_cpm_fault(s0, cpm, CpmReading::new(0));
+        sim.run(5, 0);
+        let latest = sim.amester(s0).latest().unwrap();
+        assert_eq!(latest.sample_of(cpm).value(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the simulator crate (low case counts — each
+//! case runs a full simulation).
+
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, Experiment, ServerConfig, Simulation};
+use p7_types::{SocketId, Volts};
+use p7_workloads::{Catalog, ExecutionModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chip_power_grows_with_thread_count(
+        idx in 0usize..17,
+        k in 1usize..8,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let exp = Experiment::power7plus(1).with_ticks(10, 5);
+        let less = exp
+            .run(&Assignment::single_socket(&w, k).unwrap(), GuardbandMode::StaticGuardband)
+            .unwrap();
+        let more = exp
+            .run(&Assignment::single_socket(&w, k + 1).unwrap(), GuardbandMode::StaticGuardband)
+            .unwrap();
+        prop_assert!(more.chip_power() > less.chip_power());
+    }
+
+    #[test]
+    fn undervolt_depth_shrinks_with_thread_count(
+        idx in 0usize..17,
+        k in 1usize..8,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let exp = Experiment::power7plus(1).with_ticks(15, 10);
+        let uv = |threads: usize| {
+            exp.run(&Assignment::single_socket(&w, threads).unwrap(), GuardbandMode::Undervolt)
+                .unwrap()
+                .summary
+                .socket0()
+                .undervolt
+        };
+        // Allow a couple of mV of window-sampling noise.
+        prop_assert!(uv(k + 1) <= uv(k) + Volts::from_millivolts(3.0));
+    }
+
+    #[test]
+    fn delivered_voltage_never_exceeds_the_set_point(
+        idx in 0usize..17,
+        k in 1usize..=8,
+        seed in 0u64..50,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let mut sim = Simulation::new(
+            ServerConfig::power7plus(seed),
+            Assignment::single_socket(&w, k).unwrap(),
+            GuardbandMode::Undervolt,
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let ticks = sim.tick();
+            for t in &ticks {
+                for v in t.core_voltages {
+                    prop_assert!(v <= t.set_point);
+                    prop_assert!(v > Volts(0.8), "voltage collapsed: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gated_sockets_report_no_running_frequency(
+        idx in 0usize..17,
+        k in 1usize..=8,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let mut sim = Simulation::new(
+            ServerConfig::power7plus(2),
+            Assignment::consolidated(&w, k).unwrap(),
+            GuardbandMode::Undervolt,
+        )
+        .unwrap();
+        let ticks = sim.tick();
+        let gated = &ticks[SocketId::new(1).unwrap().index()];
+        prop_assert!(gated.min_on_freq.is_none());
+        prop_assert!(gated.sticky_min_freq.is_none());
+    }
+
+    #[test]
+    fn borrowed_and_consolidated_run_the_same_thread_count(
+        idx in 0usize..17,
+        k in 1usize..=8,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let cons = Assignment::consolidated(&w, k).unwrap();
+        let borr = Assignment::borrowed(&w, k).unwrap();
+        prop_assert_eq!(cons.total_threads(), k);
+        prop_assert_eq!(borr.total_threads(), k);
+        prop_assert_eq!(
+            cons.on_cores().iter().sum::<usize>(),
+            borr.on_cores().iter().sum::<usize>(),
+            "both schedules keep eight cores powered"
+        );
+    }
+
+    #[test]
+    fn experiment_outcome_fields_are_consistent(
+        idx in 0usize..17,
+        k in 1usize..=8,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let exp = Experiment::with_config(
+            ServerConfig::power7plus(3),
+            ExecutionModel::power7plus(),
+        )
+        .with_ticks(10, 5);
+        let o = exp
+            .run(&Assignment::single_socket(&w, k).unwrap(), GuardbandMode::Overclock)
+            .unwrap();
+        prop_assert!(o.exec_time.0 > 0.0);
+        prop_assert!((o.energy.0 - o.total_power().0 * o.exec_time.0).abs() < 1e-9);
+        prop_assert!((o.edp - o.energy.0 * o.exec_time.0).abs() < 1e-9);
+        prop_assert!(o.summary.min_running_freq <= o.summary.avg_running_freq);
+    }
+}

@@ -1,0 +1,355 @@
+//! Newtype wrappers for the physical quantities used throughout the
+//! simulator.
+//!
+//! All wrappers are thin `f64` newtypes with the arithmetic that is
+//! physically meaningful: same-unit addition/subtraction, scalar
+//! multiplication, and the cross-unit products that occur in the power
+//! delivery model (`Ohms * Amps = Volts`, `Volts * Amps = Watts`,
+//! `Watts * Seconds = Joules`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared boilerplate for one scalar unit newtype.
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Clamps to the inclusive range `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True when the inner value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electrical current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Clock frequency in megahertz.
+    MegaHertz,
+    "MHz"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+
+impl Volts {
+    /// Builds a voltage from a millivolt value.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Volts(mv / 1000.0)
+    }
+
+    /// Returns the value in millivolts.
+    #[must_use]
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl MegaHertz {
+    /// Builds a frequency from a gigahertz value.
+    #[must_use]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        MegaHertz(ghz * 1000.0)
+    }
+
+    /// Returns the value in gigahertz.
+    #[must_use]
+    pub fn gigahertz(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Seconds {
+    /// Builds a time span from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds(ms / 1000.0)
+    }
+
+    /// Returns the value in milliseconds.
+    #[must_use]
+    pub fn millis(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+    fn mul(self, rhs: Amps) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, rhs: Volts) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let r = Ohms(0.5e-3);
+        let i = Amps(120.0);
+        let v = r * i;
+        assert!((v.0 - 0.06).abs() < 1e-12);
+        assert!(((v / i).0 - r.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_energy_identities() {
+        let p = Volts(1.2) * Amps(100.0);
+        assert_eq!(p, Watts(120.0));
+        let e = p * Seconds(10.0);
+        assert_eq!(e, Joules(1200.0));
+        assert_eq!(e / Seconds(10.0), p);
+        assert_eq!(p / Volts(1.2), Amps(100.0));
+    }
+
+    #[test]
+    fn millivolt_round_trip() {
+        let v = Volts::from_millivolts(1150.0);
+        assert!((v.0 - 1.15).abs() < 1e-12);
+        assert!((v.millivolts() - 1150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gigahertz_round_trip() {
+        let f = MegaHertz::from_gigahertz(4.2);
+        assert_eq!(f, MegaHertz(4200.0));
+        assert!((f.gigahertz() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimensionless_ratio() {
+        assert!((Volts(0.6) / Volts(1.2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_currents() {
+        let total: Amps = [Amps(1.0), Amps(2.5), Amps(3.5)].into_iter().sum();
+        assert_eq!(total, Amps(7.0));
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        assert_eq!(Volts(1.5).clamp(Volts(0.9), Volts(1.3)), Volts(1.3));
+        assert_eq!(Volts(1.0).max(Volts(1.1)), Volts(1.1));
+        assert_eq!(Volts(1.0).min(Volts(1.1)), Volts(1.0));
+    }
+
+    #[test]
+    fn display_contains_suffix() {
+        assert!(format!("{}", Volts(1.2)).contains('V'));
+        assert!(format!("{}", MegaHertz(4200.0)).contains("MHz"));
+        assert!(format!("{}", Celsius(38.0)).contains("°C"));
+    }
+
+    #[test]
+    fn negation_and_assign_ops() {
+        let mut v = Volts(1.0);
+        v += Volts(0.2);
+        v -= Volts(0.1);
+        assert!((v.0 - 1.1).abs() < 1e-12);
+        assert!(((-v).0 + 1.1).abs() < 1e-12);
+        assert_eq!((-Volts(2.0)).abs(), Volts(2.0));
+    }
+}

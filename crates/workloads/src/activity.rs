@@ -1,0 +1,132 @@
+//! Per-window activity traces.
+//!
+//! Real benchmarks are not flat: activity wanders through phases and
+//! carries short-term jitter, which is what feeds current swings into the
+//! di/dt noise model and window-to-window variation into telemetry. The
+//! trace is a seeded combination of a slow sinusoidal phase and white
+//! jitter around the profile's mean activity.
+
+use crate::profile::WorkloadProfile;
+use p7_types::{seed_for, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic per-window activity generator for one thread.
+///
+/// # Examples
+///
+/// ```
+/// use p7_workloads::{ActivityTrace, Catalog};
+///
+/// let c = Catalog::power7plus();
+/// let mut trace = ActivityTrace::new(c.get("raytrace").unwrap(), 42);
+/// let a = trace.next_window();
+/// assert!((0.0..=1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    base: f64,
+    jitter: f64,
+    phase_amplitude: f64,
+    phase_period_windows: f64,
+    window: u64,
+    rng: SplitMix64,
+}
+
+impl ActivityTrace {
+    /// Relative white jitter per window.
+    const JITTER: f64 = 0.03;
+    /// Relative amplitude of the slow phase swing.
+    const PHASE_AMPLITUDE: f64 = 0.06;
+    /// Period of the phase swing, in 32 ms windows (~4 s).
+    const PHASE_PERIOD: f64 = 125.0;
+
+    /// Creates a trace for one thread of `profile`, seeded by `seed` (vary
+    /// the seed per thread so threads stagger rather than align).
+    #[must_use]
+    pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed_for(seed, profile.name()));
+        // Random initial phase so threads with different seeds stagger.
+        let window = (rng.next_f64() * Self::PHASE_PERIOD) as u64;
+        ActivityTrace {
+            base: profile.activity(),
+            jitter: Self::JITTER * profile.variability(),
+            phase_amplitude: Self::PHASE_AMPLITUDE * profile.variability(),
+            phase_period_windows: Self::PHASE_PERIOD,
+            window,
+            rng,
+        }
+    }
+
+    /// The profile-mean activity this trace wanders around.
+    #[must_use]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Produces the activity factor for the next 32 ms window, in `[0, 1]`.
+    pub fn next_window(&mut self) -> f64 {
+        let phase = (self.window as f64 / self.phase_period_windows) * std::f64::consts::TAU;
+        self.window += 1;
+        let swing = self.phase_amplitude * phase.sin();
+        let noise = self.jitter * self.rng.normal();
+        (self.base * (1.0 + swing + noise)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn trace(name: &str, seed: u64) -> ActivityTrace {
+        let c = Catalog::power7plus();
+        ActivityTrace::new(c.get(name).unwrap(), seed)
+    }
+
+    #[test]
+    fn stays_in_unit_range() {
+        let mut t = trace("vips", 1);
+        for _ in 0..10_000 {
+            let a = t.next_window();
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn mean_tracks_profile_activity() {
+        let mut t = trace("raytrace", 2);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| t.next_window()).sum::<f64>() / f64::from(n);
+        assert!((mean - t.base()).abs() < 0.01, "mean {mean} vs {}", t.base());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = trace("lu_cb", 7);
+        let mut b = trace("lu_cb", 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_window(), b.next_window());
+        }
+    }
+
+    #[test]
+    fn different_seeds_stagger() {
+        let mut a = trace("raytrace", 1);
+        let mut b = trace("raytrace", 2);
+        let same = (0..100).filter(|_| a.next_window() == b.next_window()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn high_variability_swings_more() {
+        let spread = |name: &str| {
+            let mut t = trace(name, 3);
+            let vals: Vec<f64> = (0..2000).map(|_| t.next_window()).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+                / mean
+        };
+        // bodytrack (variability 1.3) vs blackscholes (0.7).
+        assert!(spread("bodytrack") > spread("blackscholes"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The calibrated benchmark library.
+//!
+//! One [`WorkloadProfile`] per benchmark the paper's figures name, with
+//! footprints chosen so each benchmark lands where the paper's measurements
+//! put it:
+//!
+//! * `swaptions`, `lu_cb`, `povray`, `namd` — power-hungry compute-bound
+//!   codes whose adaptive-guardband benefit collapses at eight cores
+//!   (Fig. 5a: swaptions 13 % → 3 %),
+//! * `radix`, `ocean_cp`, `mcf`, `lbm`, `GemsFDTD` — memory-bound codes
+//!   with modest chip power whose benefit survives core scaling (radix
+//!   stays ≈12 %) and which gain most from loadline borrowing's contention
+//!   relief (Fig. 14 right side, 50–171 % energy improvement),
+//! * `lu_ncb`, `radiosity` — communication-heavy codes that lose >20 %
+//!   performance when split across sockets (Fig. 14 left side),
+//! * `coremark` — core-contained (negligible memory traffic), used for the
+//!   QoS studies because it isolates frequency effects (Sec. 5.2),
+//! * `websearch` — the latency-critical application of Fig. 17.
+
+use crate::error::WorkloadError;
+use crate::profile::WorkloadProfile;
+use crate::suites::Suite;
+
+/// The calibrated registry of every benchmark used by the paper.
+///
+/// # Examples
+///
+/// ```
+/// use p7_workloads::Catalog;
+///
+/// let c = Catalog::power7plus();
+/// let lu_cb = c.get("lu_cb").unwrap();
+/// assert!(lu_cb.ceff_nf() > c.get("radix").unwrap().ceff_nf());
+/// assert_eq!(c.core_scaling_set().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    profiles: Vec<WorkloadProfile>,
+}
+
+/// One calibration row: short-hand tuple for the table below.
+type Row = (
+    &'static str, // name
+    Suite,
+    f64, // ceff_nf
+    f64, // activity
+    f64, // mips_per_core
+    f64, // memory_intensity
+    f64, // comm_intensity
+    f64, // membw_intensity
+    f64, // variability
+    f64, // serial_fraction
+    f64, // t1_seconds
+);
+
+#[rustfmt::skip]
+const CALIBRATION: &[Row] = &[
+    // ---- PARSEC -------------------------------------------------------
+    ("blackscholes",    Suite::Parsec,      1.30, 0.90, 7200.0, 0.10, 0.05, 0.08, 0.70, 0.01,  90.0),
+    ("bodytrack",       Suite::Parsec,      1.40, 0.85, 5800.0, 0.30, 0.30, 0.30, 1.30, 0.04, 110.0),
+    ("ferret",          Suite::Parsec,      1.35, 0.82, 5200.0, 0.38, 0.10, 0.42, 1.00, 0.03, 105.0),
+    ("freqmine",        Suite::Parsec,      1.45, 0.88, 5600.0, 0.28, 0.35, 0.25, 0.90, 0.05, 120.0),
+    ("raytrace",        Suite::Parsec,      1.55, 0.92, 6400.0, 0.22, 0.08, 0.18, 1.00, 0.02, 100.0),
+    ("swaptions",       Suite::Parsec,      1.80, 0.97, 8200.0, 0.06, 0.04, 0.03, 0.80, 0.01,  95.0),
+    ("vips",            Suite::Parsec,      1.50, 0.88, 6100.0, 0.30, 0.06, 0.38, 1.25, 0.02, 100.0),
+    // ---- SPLASH-2 -----------------------------------------------------
+    ("barnes",          Suite::Splash2,     1.42, 0.88, 6000.0, 0.22, 0.25, 0.20, 1.10, 0.03, 100.0),
+    ("fft",             Suite::Splash2,     1.25, 0.72, 4300.0, 0.55, 0.20, 0.80, 1.00, 0.02,  80.0),
+    ("lu_cb",           Suite::Splash2,     1.90, 1.00, 7000.0, 0.15, 0.08, 0.22, 1.00, 0.01, 110.0),
+    ("lu_ncb",          Suite::Splash2,     1.60, 0.90, 6200.0, 0.25, 0.85, 0.08, 1.00, 0.02, 115.0),
+    ("ocean_cp",        Suite::Splash2,     1.25, 0.75, 4600.0, 0.55, 0.22, 0.65, 0.90, 0.02,  90.0),
+    ("ocean_ncp",       Suite::Splash2,     1.30, 0.76, 4500.0, 0.55, 0.45, 0.62, 0.90, 0.02,  95.0),
+    ("radiosity",       Suite::Splash2,     1.55, 0.88, 5900.0, 0.25, 0.80, 0.06, 1.00, 0.03, 105.0),
+    ("radix",           Suite::Splash2,     1.10, 0.70, 4200.0, 0.60, 0.10, 0.85, 0.85, 0.01,  70.0),
+    ("water_nsquared",  Suite::Splash2,     1.45, 0.90, 6300.0, 0.15, 0.08, 0.12, 1.30, 0.02, 100.0),
+    ("water_spatial",   Suite::Splash2,     1.40, 0.89, 6200.0, 0.16, 0.07, 0.12, 1.00, 0.02, 100.0),
+    // ---- SPEC CPU2006 (SPECrate copies) -------------------------------
+    ("perl",            Suite::SpecCpu2006, 1.45, 0.90, 6800.0, 0.18, 0.0, 0.15, 0.90, 0.0,  95.0),
+    ("bzip2",           Suite::SpecCpu2006, 1.40, 0.88, 6200.0, 0.25, 0.0, 0.22, 0.90, 0.0,  90.0),
+    ("gcc",             Suite::SpecCpu2006, 1.35, 0.80, 5200.0, 0.42, 0.0, 0.50, 1.00, 0.0, 100.0),
+    ("mcf",             Suite::SpecCpu2006, 0.95, 0.55, 1600.0, 0.78, 0.0, 0.72, 0.70, 0.0, 130.0),
+    ("gobmk",           Suite::SpecCpu2006, 1.45, 0.89, 6400.0, 0.20, 0.0, 0.12, 0.95, 0.0, 100.0),
+    ("hmmer",           Suite::SpecCpu2006, 1.55, 0.95, 7800.0, 0.08, 0.0, 0.10, 0.80, 0.0,  85.0),
+    ("sjeng",           Suite::SpecCpu2006, 1.45, 0.90, 6500.0, 0.15, 0.0, 0.10, 0.90, 0.0,  95.0),
+    ("h264ref",         Suite::SpecCpu2006, 1.60, 0.94, 7500.0, 0.12, 0.0, 0.15, 0.85, 0.0,  90.0),
+    ("omnetpp",         Suite::SpecCpu2006, 1.15, 0.65, 3200.0, 0.60, 0.0, 0.55, 0.90, 0.0, 110.0),
+    ("astar",           Suite::SpecCpu2006, 1.20, 0.70, 3800.0, 0.52, 0.0, 0.45, 0.90, 0.0, 105.0),
+    ("xalancbmk",       Suite::SpecCpu2006, 1.25, 0.72, 4200.0, 0.50, 0.0, 0.52, 1.00, 0.0, 100.0),
+    ("bwaves",          Suite::SpecCpu2006, 1.35, 0.75, 4200.0, 0.58, 0.0, 0.68, 1.00, 0.0, 110.0),
+    ("gamess",          Suite::SpecCpu2006, 1.60, 0.95, 7600.0, 0.08, 0.0, 0.08, 0.80, 0.0, 100.0),
+    ("milc",            Suite::SpecCpu2006, 1.25, 0.70, 3800.0, 0.62, 0.0, 0.70, 1.00, 0.0,  95.0),
+    ("zeusmp",          Suite::SpecCpu2006, 1.40, 0.78, 4600.0, 0.55, 0.0, 0.80, 1.05, 0.0, 100.0),
+    ("gromacs",         Suite::SpecCpu2006, 1.60, 0.93, 7200.0, 0.12, 0.0, 0.15, 0.85, 0.0,  95.0),
+    ("cactusADM",       Suite::SpecCpu2006, 1.35, 0.74, 4000.0, 0.60, 0.0, 0.72, 1.00, 0.0, 110.0),
+    ("leslie3d",        Suite::SpecCpu2006, 1.35, 0.74, 4200.0, 0.58, 0.0, 0.74, 1.00, 0.0, 105.0),
+    ("namd",            Suite::SpecCpu2006, 1.65, 0.95, 7400.0, 0.10, 0.0, 0.10, 0.80, 0.0, 100.0),
+    ("dealII",          Suite::SpecCpu2006, 1.50, 0.90, 6600.0, 0.20, 0.0, 0.22, 0.90, 0.0, 100.0),
+    ("soplex",          Suite::SpecCpu2006, 1.25, 0.72, 4000.0, 0.55, 0.0, 0.58, 1.00, 0.0, 100.0),
+    ("povray",          Suite::SpecCpu2006, 1.65, 0.96, 7900.0, 0.05, 0.0, 0.05, 0.85, 0.0, 100.0),
+    ("calculix",        Suite::SpecCpu2006, 1.55, 0.92, 7000.0, 0.15, 0.0, 0.18, 0.90, 0.0, 100.0),
+    ("GemsFDTD",        Suite::SpecCpu2006, 1.30, 0.72, 3900.0, 0.62, 0.0, 0.90, 1.05, 0.0, 110.0),
+    ("tonto",           Suite::SpecCpu2006, 1.55, 0.92, 6900.0, 0.15, 0.0, 0.15, 0.90, 0.0, 100.0),
+    ("sphinx3",         Suite::SpecCpu2006, 1.30, 0.75, 4400.0, 0.50, 0.0, 0.55, 1.00, 0.0, 100.0),
+    ("wrf",             Suite::SpecCpu2006, 1.40, 0.80, 4900.0, 0.45, 0.0, 0.52, 1.00, 0.0, 105.0),
+    ("lbm",             Suite::SpecCpu2006, 1.45, 0.78, 4400.0, 0.60, 0.0, 0.95, 1.10, 0.0,  90.0),
+    // ---- microbenchmarks / datacenter ----------------------------------
+    ("coremark",        Suite::Micro,       1.35, 1.00, 8750.0, 0.02, 0.0, 0.02, 0.70, 0.0,  60.0),
+    ("websearch",       Suite::Micro,       1.25, 0.80, 5200.0, 0.45, 0.0, 0.35, 1.00, 0.0, 100.0),
+];
+
+/// The five benchmarks of the paper's core-scaling figures (Figs. 5 and 7).
+pub const CORE_SCALING_SET: [&str; 5] = ["lu_cb", "raytrace", "swaptions", "radix", "ocean_cp"];
+
+/// The ten benchmarks decomposed in the paper's Fig. 9.
+pub const DECOMPOSITION_SET: [&str; 10] = [
+    "raytrace",
+    "barnes",
+    "blackscholes",
+    "bodytrack",
+    "ferret",
+    "lu_ncb",
+    "ocean_cp",
+    "swaptions",
+    "vips",
+    "water_nsquared",
+];
+
+/// The 42 benchmarks of the paper's Fig. 14, in the figure's x-axis order.
+pub const FIG14_SET: [&str; 42] = [
+    "lu_ncb",
+    "radiosity",
+    "dealII",
+    "bodytrack",
+    "freqmine",
+    "povray",
+    "ocean_ncp",
+    "barnes",
+    "raytrace",
+    "lu_cb",
+    "vips",
+    "gromacs",
+    "namd",
+    "blackscholes",
+    "hmmer",
+    "bzip2",
+    "ferret",
+    "h264ref",
+    "swaptions",
+    "water_nsquared",
+    "gobmk",
+    "perl",
+    "calculix",
+    "water_spatial",
+    "astar",
+    "xalancbmk",
+    "ocean_cp",
+    "sjeng",
+    "sphinx3",
+    "omnetpp",
+    "wrf",
+    "soplex",
+    "gcc",
+    "bwaves",
+    "mcf",
+    "leslie3d",
+    "cactusADM",
+    "radix",
+    "zeusmp",
+    "lbm",
+    "fft",
+    "GemsFDTD",
+];
+
+impl Catalog {
+    /// Builds the calibrated catalog.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the shipped calibration table: every row is
+    /// validated by a unit test.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        let profiles = CALIBRATION
+            .iter()
+            .map(|row| {
+                WorkloadProfile::builder(row.0, row.1)
+                    .ceff_nf(row.2)
+                    .activity(row.3)
+                    .mips_per_core(row.4)
+                    .memory_intensity(row.5)
+                    .comm_intensity(row.6)
+                    .membw_intensity(row.7)
+                    .variability(row.8)
+                    .serial_fraction(row.9)
+                    .t1_seconds(row.10)
+                    .build()
+                    .expect("calibration table is valid")
+            })
+            .collect();
+        Catalog { profiles }
+    }
+
+    /// Looks a benchmark up by its paper name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&WorkloadProfile> {
+        self.profiles.iter().find(|p| p.name() == name)
+    }
+
+    /// Like [`Catalog::get`] but with a typed error for missing names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::UnknownWorkload`] when no benchmark has
+    /// that name.
+    pub fn require(&self, name: &str) -> Result<&WorkloadProfile, WorkloadError> {
+        self.get(name).ok_or_else(|| WorkloadError::UnknownWorkload {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Iterates over every profile.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkloadProfile> {
+        self.profiles.iter()
+    }
+
+    /// All profiles of one suite.
+    pub fn by_suite(&self, suite: Suite) -> impl Iterator<Item = &WorkloadProfile> {
+        self.profiles.iter().filter(move |p| p.suite() == suite)
+    }
+
+    /// The 17 PARSEC + SPLASH-2 workloads the scaling studies use.
+    #[must_use]
+    pub fn parsec_splash(&self) -> Vec<&WorkloadProfile> {
+        self.profiles
+            .iter()
+            .filter(|p| p.suite().is_multithreaded())
+            .collect()
+    }
+
+    /// The five benchmarks of Figs. 5 and 7.
+    #[must_use]
+    pub fn core_scaling_set(&self) -> Vec<&WorkloadProfile> {
+        CORE_SCALING_SET
+            .iter()
+            .map(|n| self.get(n).expect("core-scaling benchmark present"))
+            .collect()
+    }
+
+    /// The ten benchmarks of Fig. 9.
+    #[must_use]
+    pub fn decomposition_set(&self) -> Vec<&WorkloadProfile> {
+        DECOMPOSITION_SET
+            .iter()
+            .map(|n| self.get(n).expect("decomposition benchmark present"))
+            .collect()
+    }
+
+    /// The 42 benchmarks of Fig. 14, in x-axis order.
+    #[must_use]
+    pub fn fig14_set(&self) -> Vec<&WorkloadProfile> {
+        FIG14_SET
+            .iter()
+            .map(|n| self.get(n).expect("fig14 benchmark present"))
+            .collect()
+    }
+
+    /// The workload population for the Fig. 10 / Fig. 16 scatter studies:
+    /// all PARSEC, SPLASH-2 and SPEC CPU2006 profiles.
+    #[must_use]
+    pub fn scatter_set(&self) -> Vec<&WorkloadProfile> {
+        self.profiles
+            .iter()
+            .filter(|p| p.suite() != Suite::Micro)
+            .collect()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::power7plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_validates() {
+        let c = Catalog::power7plus();
+        for p in c.iter() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = Catalog::power7plus();
+        let mut names: Vec<&str> = c.iter().map(|p| p.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn suite_counts_match_paper() {
+        let c = Catalog::power7plus();
+        assert_eq!(c.by_suite(Suite::Parsec).count(), 7);
+        assert_eq!(c.by_suite(Suite::Splash2).count(), 10);
+        assert_eq!(c.parsec_splash().len(), 17, "Sec. 4.3: 17 PARSEC+SPLASH-2");
+        assert!(
+            c.by_suite(Suite::SpecCpu2006).count() >= 27,
+            "Sec. 4.3: 27 SPECrate workloads"
+        );
+    }
+
+    #[test]
+    fn named_sets_resolve() {
+        let c = Catalog::power7plus();
+        assert_eq!(c.core_scaling_set().len(), 5);
+        assert_eq!(c.decomposition_set().len(), 10);
+        assert_eq!(c.fig14_set().len(), 42);
+        assert!(c.scatter_set().len() >= 44);
+    }
+
+    #[test]
+    fn unknown_name_is_typed_error() {
+        let c = Catalog::power7plus();
+        let err = c.require("doom3").unwrap_err();
+        assert!(matches!(err, WorkloadError::UnknownWorkload { .. }));
+        assert!(c.require("lu_cb").is_ok());
+    }
+
+    #[test]
+    fn power_ordering_matches_paper_roles() {
+        let c = Catalog::power7plus();
+        // Power-hungry compute codes vs. memory-bound codes: per-core
+        // switched power factor ceff·activity.
+        let power = |n: &str| {
+            let p = c.get(n).unwrap();
+            p.ceff_nf() * p.activity()
+        };
+        assert!(power("swaptions") > power("raytrace"));
+        assert!(power("lu_cb") > power("raytrace"));
+        assert!(power("raytrace") > power("radix"));
+        assert!(power("ocean_cp") < power("raytrace"));
+        assert!(power("mcf") < power("radix"));
+    }
+
+    #[test]
+    fn comm_and_membw_extremes_match_fig14() {
+        let c = Catalog::power7plus();
+        // Left extreme: communication-heavy multithreaded codes.
+        assert!(c.get("lu_ncb").unwrap().comm_intensity() > 0.7);
+        assert!(c.get("radiosity").unwrap().comm_intensity() > 0.7);
+        // Right extreme: bandwidth-starved codes.
+        for n in ["radix", "zeusmp", "lbm", "fft", "GemsFDTD"] {
+            assert!(
+                c.get(n).unwrap().membw_intensity() >= 0.8,
+                "{n} should be bandwidth-bound"
+            );
+        }
+    }
+
+    #[test]
+    fn coremark_is_core_contained() {
+        let c = Catalog::power7plus();
+        let cm = c.get("coremark").unwrap();
+        assert!(cm.memory_intensity() < 0.05);
+        assert!(cm.membw_intensity() < 0.05);
+    }
+
+    #[test]
+    fn mips_span_covers_fig16_range() {
+        // Fig. 16's x-axis spans ~13k to ~80k chip MIPS for 8 threads.
+        let c = Catalog::power7plus();
+        let mips: Vec<f64> = c.scatter_set().iter().map(|p| p.chip_mips(8, 1.0)).collect();
+        let min = mips.iter().cloned().fold(f64::MAX, f64::min);
+        let max = mips.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min < 15_000.0, "min chip MIPS {min}");
+        assert!(max > 60_000.0, "max chip MIPS {max}");
+    }
+}

@@ -1,0 +1,168 @@
+//! coremark and its throttled co-runner variants.
+//!
+//! The paper uses coremark for the colocation studies "because its
+//! footprint is core-contained, so it isolates interference from the memory
+//! subsystem and shows frequency changes due only to adaptive guardbanding"
+//! (Sec. 5.2). The light/medium/heavy co-runners of the WebSearch QoS study
+//! are built "from coremark threads by constraining the issue rate of the
+//! other seven cores" with chip MIPS of about 13 000, 28 000 and 70 000
+//! (Sec. 5.2.2).
+
+use crate::catalog::Catalog;
+use crate::error::WorkloadError;
+use crate::profile::WorkloadProfile;
+use crate::suites::Suite;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three co-runner intensity classes of the paper's Fig. 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoRunnerClass {
+    /// ~13 000 chip MIPS across seven cores.
+    Light,
+    /// ~28 000 chip MIPS across seven cores.
+    Medium,
+    /// ~70 000 chip MIPS across seven cores (unconstrained issue).
+    Heavy,
+}
+
+impl CoRunnerClass {
+    /// The issue-rate fraction that produces this class's MIPS level.
+    #[must_use]
+    pub fn issue_fraction(self) -> f64 {
+        match self {
+            CoRunnerClass::Light => 0.21,
+            CoRunnerClass::Medium => 0.46,
+            CoRunnerClass::Heavy => 1.0,
+        }
+    }
+
+    /// The paper's approximate chip MIPS for this class (seven threads).
+    #[must_use]
+    pub fn paper_chip_mips(self) -> f64 {
+        match self {
+            CoRunnerClass::Light => 13_000.0,
+            CoRunnerClass::Medium => 28_000.0,
+            CoRunnerClass::Heavy => 70_000.0,
+        }
+    }
+
+    /// All classes, lightest first.
+    #[must_use]
+    pub fn all() -> [CoRunnerClass; 3] {
+        [CoRunnerClass::Light, CoRunnerClass::Medium, CoRunnerClass::Heavy]
+    }
+}
+
+impl fmt::Display for CoRunnerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoRunnerClass::Light => "light",
+            CoRunnerClass::Medium => "medium",
+            CoRunnerClass::Heavy => "heavy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The unconstrained coremark profile from the catalog.
+///
+/// # Examples
+///
+/// ```
+/// use p7_workloads::coremark;
+///
+/// let cm = coremark();
+/// assert!(cm.memory_intensity() < 0.05);
+/// ```
+#[must_use]
+pub fn coremark() -> WorkloadProfile {
+    Catalog::power7plus()
+        .get("coremark")
+        .expect("coremark is in the catalog")
+        .clone()
+}
+
+/// A coremark variant with its issue rate constrained to `fraction` of
+/// full rate (the paper's co-runner construction).
+///
+/// Throughput scales with the issue rate; switching activity scales
+/// sublinearly because the front end and clock grid stay busy.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidProfile`] when `fraction` is outside
+/// `(0, 1]`.
+pub fn throttled_coremark(fraction: f64) -> Result<WorkloadProfile, WorkloadError> {
+    if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+        return Err(WorkloadError::InvalidProfile {
+            name: "coremark-throttled".to_owned(),
+            field: "issue_fraction",
+            value: fraction,
+        });
+    }
+    let base = coremark();
+    let name = format!("coremark@{:.0}%", fraction * 100.0);
+    WorkloadProfile::builder(&name, Suite::Micro)
+        .ceff_nf(base.ceff_nf())
+        .activity((0.12 + 0.88 * fraction) * base.activity())
+        .mips_per_core(base.mips_per_core() * fraction)
+        .memory_intensity(base.memory_intensity())
+        .comm_intensity(base.comm_intensity())
+        .membw_intensity(base.membw_intensity())
+        .variability(base.variability())
+        .serial_fraction(base.serial_fraction())
+        .t1_seconds(base.t1_seconds())
+        .build()
+}
+
+/// The co-runner profile for one intensity class.
+#[must_use]
+pub fn co_runner(class: CoRunnerClass) -> WorkloadProfile {
+    throttled_coremark(class.issue_fraction()).expect("class fractions are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_ordered_by_mips() {
+        let mips = |c: CoRunnerClass| co_runner(c).chip_mips(7, 1.0);
+        assert!(mips(CoRunnerClass::Light) < mips(CoRunnerClass::Medium));
+        assert!(mips(CoRunnerClass::Medium) < mips(CoRunnerClass::Heavy));
+    }
+
+    #[test]
+    fn class_mips_land_near_paper_values() {
+        for class in CoRunnerClass::all() {
+            let got = co_runner(class).chip_mips(7, 1.0);
+            let want = class.paper_chip_mips();
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.15, "{class}: {got} vs paper {want}");
+        }
+    }
+
+    #[test]
+    fn throttling_reduces_power_footprint() {
+        let light = co_runner(CoRunnerClass::Light);
+        let heavy = co_runner(CoRunnerClass::Heavy);
+        assert!(light.activity() < heavy.activity());
+        assert_eq!(light.ceff_nf(), heavy.ceff_nf());
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        assert!(throttled_coremark(0.0).is_err());
+        assert!(throttled_coremark(1.5).is_err());
+        assert!(throttled_coremark(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn full_throttle_matches_base() {
+        let full = throttled_coremark(1.0).unwrap();
+        let base = coremark();
+        assert!((full.mips_per_core() - base.mips_per_core()).abs() < 1e-9);
+        assert!((full.activity() - base.activity()).abs() < 1e-9);
+    }
+}

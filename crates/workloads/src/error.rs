@@ -1,0 +1,66 @@
+//! Error types of the workloads crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or resolving workload profiles.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A profile field was out of its valid range.
+    InvalidProfile {
+        /// Benchmark name.
+        name: String,
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A benchmark name is not in the catalog.
+    UnknownWorkload {
+        /// The requested name.
+        name: String,
+    },
+    /// A thread placement exceeds the server's core resources.
+    InvalidPlacement {
+        /// The total requested thread count.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidProfile { name, field, value } => {
+                write!(f, "workload `{name}` field `{field}` is out of range: {value}")
+            }
+            WorkloadError::UnknownWorkload { name } => {
+                write!(f, "unknown workload `{name}`")
+            }
+            WorkloadError::InvalidPlacement { requested } => {
+                write!(f, "placement of {requested} threads exceeds socket capacity")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_workload() {
+        let err = WorkloadError::UnknownWorkload {
+            name: "quake".to_owned(),
+        };
+        assert!(format!("{err}").contains("quake"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>(_: E) {}
+        check(WorkloadError::InvalidPlacement { requested: 99 });
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic workload substrate for the POWER7+ adaptive-guardband
+//! simulator.
+//!
+//! The paper drives its measurements with PARSEC, SPLASH-2, SPEC CPU2006
+//! (as SPECrate), coremark, and CloudSuite WebSearch. We cannot run those
+//! binaries inside an analytic simulator, but the paper's results depend
+//! only on each workload's *footprint*: per-core power (effective switched
+//! capacitance × activity), instruction throughput (MIPS), memory-bandwidth
+//! demand, cross-thread communication intensity, current variability (for
+//! di/dt noise), and parallel scaling. [`profile::WorkloadProfile`]
+//! captures exactly those parameters and [`catalog`] provides a calibrated
+//! entry for every benchmark the paper's figures name.
+//!
+//! * [`profile`] — the workload descriptor and its validation,
+//! * [`suites`] — PARSEC / SPLASH-2 / SPEC CPU2006 / microbenchmark
+//!   groupings and the registry,
+//! * [`catalog`] — the ~44 calibrated benchmark profiles,
+//! * [`scaling`] — execution-time model: Amdahl scaling, memory-bandwidth
+//!   contention per socket, cross-socket communication penalty,
+//! * [`activity`] — per-window activity/MIPS traces with seeded jitter,
+//! * [`mod@coremark`] — coremark and its issue-rate-throttled co-runner
+//!   variants (the paper's light/medium/heavy co-runners, Sec. 5.2.2),
+//! * [`websearch`] — the latency-critical WebSearch application: Poisson
+//!   query arrivals into a frequency-sensitive service queue with
+//!   90th-percentile latency tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod catalog;
+pub mod coremark;
+pub mod error;
+pub mod mix;
+pub mod profile;
+pub mod scaling;
+pub mod suites;
+pub mod websearch;
+
+pub use activity::ActivityTrace;
+pub use catalog::Catalog;
+pub use coremark::{co_runner, coremark, throttled_coremark, CoRunnerClass};
+pub use error::WorkloadError;
+pub use mix::WorkloadMix;
+pub use profile::WorkloadProfile;
+pub use scaling::{ExecutionModel, PlacementShape};
+pub use suites::Suite;
+pub use websearch::{LatencyStats, WebSearch};

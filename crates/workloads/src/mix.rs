@@ -1,0 +1,220 @@
+//! Workload mixes: aggregate footprints of hypothetical colocations.
+//!
+//! The adaptive-mapping scheduler "is exploring the workload-combination
+//! space during runtime, every quantum" (Sec. 5.2.1) — it must score
+//! candidate colocations *without running them*. [`WorkloadMix`] carries
+//! one candidate combination and exposes the aggregate quantities the
+//! MIPS-based frequency predictor consumes.
+
+use crate::error::WorkloadError;
+use crate::profile::WorkloadProfile;
+use p7_types::CORES_PER_SOCKET;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One candidate colocation: workloads with thread counts, on one socket.
+///
+/// # Examples
+///
+/// ```
+/// use p7_workloads::{Catalog, WorkloadMix};
+///
+/// let c = Catalog::power7plus();
+/// let mut mix = WorkloadMix::new();
+/// mix.push(c.get("websearch").unwrap().clone(), 1)?;
+/// mix.push(c.get("coremark").unwrap().clone(), 7)?;
+/// assert_eq!(mix.threads(), 8);
+/// assert!(mix.chip_mips(1.0) > 60_000.0);
+/// # Ok::<(), p7_workloads::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    entries: Vec<(WorkloadProfile, usize)>,
+}
+
+impl WorkloadMix {
+    /// Creates an empty mix.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkloadMix::default()
+    }
+
+    /// Adds `threads` copies of `workload` to the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidPlacement`] when the mix would
+    /// exceed the socket's eight cores.
+    pub fn push(&mut self, workload: WorkloadProfile, threads: usize) -> Result<(), WorkloadError> {
+        let total = self.threads() + threads;
+        if total > CORES_PER_SOCKET {
+            return Err(WorkloadError::InvalidPlacement { requested: total });
+        }
+        self.entries.push((workload, threads));
+        Ok(())
+    }
+
+    /// The `(workload, threads)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(WorkloadProfile, usize)] {
+        &self.entries
+    }
+
+    /// Total thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.entries.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Aggregate chip MIPS at a relative clock — the predictor's input.
+    #[must_use]
+    pub fn chip_mips(&self, freq_ratio: f64) -> f64 {
+        self.entries
+            .iter()
+            .map(|(w, n)| w.chip_mips(*n, freq_ratio))
+            .sum()
+    }
+
+    /// Thread-weighted mean di/dt variability (1.0 when empty).
+    #[must_use]
+    pub fn mean_variability(&self) -> f64 {
+        let threads = self.threads();
+        if threads == 0 {
+            return 1.0;
+        }
+        self.entries
+            .iter()
+            .map(|(w, n)| w.variability() * *n as f64)
+            .sum::<f64>()
+            / threads as f64
+    }
+
+    /// A dimensionless power index: total `ceff · activity` across the
+    /// mix. Proportional to the mix's switching power at fixed voltage
+    /// and frequency, hence to the passive drop it will induce.
+    #[must_use]
+    pub fn power_index(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(w, n)| w.ceff_nf() * w.activity() * *n as f64)
+            .sum()
+    }
+
+    /// Enumerates every `(primary, co-runner × count)` combination that a
+    /// scheduler with `pool` candidates can build around a pinned primary
+    /// job, filling the remaining `CORES_PER_SOCKET − 1` cores with 1..=7
+    /// co-runner threads. This is exactly the space Fig. 18's frequency
+    /// predictor scores every quantum.
+    #[must_use]
+    pub fn colocation_space(
+        primary: &WorkloadProfile,
+        pool: &[WorkloadProfile],
+    ) -> Vec<WorkloadMix> {
+        let mut out = Vec::new();
+        for co_runner in pool {
+            for n in 1..CORES_PER_SOCKET {
+                let mut mix = WorkloadMix::new();
+                mix.push(primary.clone(), 1).expect("1 <= 8");
+                mix.push(co_runner.clone(), n).expect("1 + n <= 8");
+                out.push(mix);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for WorkloadMix {
+    /// Shows the paper's `<a,b>` mix notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(w, n)| format!("{}×{}", n, w.name()))
+            .collect();
+        write!(f, "<{}>", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn catalog() -> Catalog {
+        Catalog::power7plus()
+    }
+
+    #[test]
+    fn push_enforces_socket_capacity() {
+        let c = catalog();
+        let mut mix = WorkloadMix::new();
+        mix.push(c.get("coremark").unwrap().clone(), 8).unwrap();
+        let err = mix.push(c.get("mcf").unwrap().clone(), 1).unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidPlacement { requested: 9 }));
+    }
+
+    #[test]
+    fn aggregates_sum_over_entries() {
+        let c = catalog();
+        let cm = c.get("coremark").unwrap().clone();
+        let mcf = c.get("mcf").unwrap().clone();
+        let mut mix = WorkloadMix::new();
+        mix.push(cm.clone(), 2).unwrap();
+        mix.push(mcf.clone(), 3).unwrap();
+        assert_eq!(mix.threads(), 5);
+        let expect = cm.chip_mips(2, 1.0) + mcf.chip_mips(3, 1.0);
+        assert!((mix.chip_mips(1.0) - expect).abs() < 1e-9);
+        let expect_power = cm.ceff_nf() * cm.activity() * 2.0 + mcf.ceff_nf() * mcf.activity() * 3.0;
+        assert!((mix.power_index() - expect_power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_is_thread_weighted() {
+        let c = catalog();
+        let bt = c.get("bodytrack").unwrap().clone(); // variability 1.3
+        let bs = c.get("blackscholes").unwrap().clone(); // variability 0.7
+        let mut mix = WorkloadMix::new();
+        mix.push(bt, 1).unwrap();
+        mix.push(bs, 3).unwrap();
+        let expect = (1.3 + 3.0 * 0.7) / 4.0;
+        assert!((mix.mean_variability() - expect).abs() < 1e-12);
+        assert_eq!(WorkloadMix::new().mean_variability(), 1.0);
+    }
+
+    #[test]
+    fn colocation_space_covers_pool_times_counts() {
+        let c = catalog();
+        let primary = c.get("websearch").unwrap().clone();
+        let pool = vec![
+            c.get("coremark").unwrap().clone(),
+            c.get("mcf").unwrap().clone(),
+        ];
+        let space = WorkloadMix::colocation_space(&primary, &pool);
+        assert_eq!(space.len(), 2 * 7);
+        for mix in &space {
+            assert!(mix.threads() >= 2 && mix.threads() <= 8);
+            assert_eq!(mix.entries()[0].0.name(), "websearch");
+        }
+    }
+
+    #[test]
+    fn heavier_mixes_have_higher_mips_and_power() {
+        let c = catalog();
+        let primary = c.get("websearch").unwrap().clone();
+        let pool = vec![c.get("coremark").unwrap().clone()];
+        let space = WorkloadMix::colocation_space(&primary, &pool);
+        for pair in space.windows(2) {
+            assert!(pair[1].chip_mips(1.0) > pair[0].chip_mips(1.0));
+            assert!(pair[1].power_index() > pair[0].power_index());
+        }
+    }
+
+    #[test]
+    fn display_uses_mix_notation() {
+        let c = catalog();
+        let mut mix = WorkloadMix::new();
+        mix.push(c.get("coremark").unwrap().clone(), 1).unwrap();
+        mix.push(c.get("lu_cb").unwrap().clone(), 7).unwrap();
+        assert_eq!(format!("{mix}"), "<1×coremark, 7×lu_cb>");
+    }
+}

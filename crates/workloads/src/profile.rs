@@ -1,0 +1,340 @@
+//! The workload descriptor.
+
+use crate::error::WorkloadError;
+use crate::suites::Suite;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The footprint of one benchmark, sufficient to reproduce its behaviour in
+/// every figure of the paper.
+///
+/// Instances are built with [`WorkloadProfile::builder`]; the calibrated
+/// library lives in [`crate::catalog`].
+///
+/// # Examples
+///
+/// ```
+/// use p7_workloads::{Suite, WorkloadProfile};
+///
+/// let w = WorkloadProfile::builder("toy", Suite::Micro)
+///     .ceff_nf(1.4)
+///     .activity(0.9)
+///     .mips_per_core(6000.0)
+///     .build()?;
+/// assert_eq!(w.name(), "toy");
+/// assert!(w.chip_mips(8, 1.0) > w.chip_mips(1, 1.0));
+/// # Ok::<(), p7_workloads::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    name: String,
+    suite: Suite,
+    ceff_nf: f64,
+    activity: f64,
+    mips_per_core: f64,
+    memory_intensity: f64,
+    comm_intensity: f64,
+    membw_intensity: f64,
+    variability: f64,
+    serial_fraction: f64,
+    t1_seconds: f64,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile with neutral defaults.
+    #[must_use]
+    pub fn builder(name: &str, suite: Suite) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.to_owned(),
+                suite,
+                ceff_nf: 1.4,
+                activity: 0.9,
+                mips_per_core: 5000.0,
+                memory_intensity: 0.3,
+                comm_intensity: 0.1,
+                membw_intensity: 0.3,
+                variability: 1.0,
+                serial_fraction: 0.02,
+                t1_seconds: 100.0,
+            },
+        }
+    }
+
+    /// Benchmark name as the paper spells it (e.g. `lu_cb`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite this benchmark belongs to.
+    #[must_use]
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Effective switched capacitance per core at full activity, in nF.
+    #[must_use]
+    pub fn ceff_nf(&self) -> f64 {
+        self.ceff_nf
+    }
+
+    /// Mean activity factor while running (0–1).
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Instructions per second per core (in millions) at the 4.2 GHz
+    /// reference clock.
+    #[must_use]
+    pub fn mips_per_core(&self) -> f64 {
+        self.mips_per_core
+    }
+
+    /// How memory-latency-bound the workload is (0 = pure compute,
+    /// 1 = fully memory bound). Governs how performance responds to clock
+    /// frequency.
+    #[must_use]
+    pub fn memory_intensity(&self) -> f64 {
+        self.memory_intensity
+    }
+
+    /// Cross-thread communication intensity (0–1): the cost of splitting
+    /// the thread group across sockets.
+    #[must_use]
+    pub fn comm_intensity(&self) -> f64 {
+        self.comm_intensity
+    }
+
+    /// Memory-bandwidth demand (0–1): contention among threads sharing one
+    /// socket's memory controllers.
+    #[must_use]
+    pub fn membw_intensity(&self) -> f64 {
+        self.membw_intensity
+    }
+
+    /// Relative current-swing intensity feeding the di/dt noise model
+    /// (1.0 = suite average).
+    #[must_use]
+    pub fn variability(&self) -> f64 {
+        self.variability
+    }
+
+    /// Amdahl serial fraction of the parallel region.
+    #[must_use]
+    pub fn serial_fraction(&self) -> f64 {
+        self.serial_fraction
+    }
+
+    /// Single-core execution time at the reference clock, seconds.
+    #[must_use]
+    pub fn t1_seconds(&self) -> f64 {
+        self.t1_seconds
+    }
+
+    /// Performance speedup for a relative clock change, attenuated by
+    /// memory intensity: a fully memory-bound workload gains nothing from
+    /// a faster clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p7_workloads::Catalog;
+    ///
+    /// let c = Catalog::power7plus();
+    /// let mcf = c.get("mcf").unwrap();
+    /// let swaptions = c.get("swaptions").unwrap();
+    /// // A 10% overclock helps the compute-bound workload far more.
+    /// assert!(swaptions.frequency_speedup(1.10) > mcf.frequency_speedup(1.10));
+    /// ```
+    #[must_use]
+    pub fn frequency_speedup(&self, freq_ratio: f64) -> f64 {
+        1.0 + (freq_ratio - 1.0) * (1.0 - self.memory_intensity)
+    }
+
+    /// Aggregate MIPS of `threads` copies/threads at a relative clock
+    /// `freq_ratio` (1.0 = the 4.2 GHz reference).
+    #[must_use]
+    pub fn chip_mips(&self, threads: usize, freq_ratio: f64) -> f64 {
+        self.mips_per_core * threads as f64 * self.frequency_speedup(freq_ratio)
+    }
+
+    /// Validates all invariants; used by the builder and by serde
+    /// consumers that deserialize profiles from configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidProfile`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let checks = [
+            ("ceff_nf", self.ceff_nf, 0.05, 5.0),
+            ("activity", self.activity, 0.0, 1.0),
+            ("mips_per_core", self.mips_per_core, 1.0, 100_000.0),
+            ("memory_intensity", self.memory_intensity, 0.0, 1.0),
+            ("comm_intensity", self.comm_intensity, 0.0, 1.0),
+            ("membw_intensity", self.membw_intensity, 0.0, 1.0),
+            ("variability", self.variability, 0.05, 3.0),
+            ("serial_fraction", self.serial_fraction, 0.0, 0.9),
+            ("t1_seconds", self.t1_seconds, 0.001, 1.0e6),
+        ];
+        for (field, value, lo, hi) in checks {
+            if !(value.is_finite() && (lo..=hi).contains(&value)) {
+                return Err(WorkloadError::InvalidProfile {
+                    name: self.name.clone(),
+                    field,
+                    value,
+                });
+            }
+        }
+        if self.name.is_empty() {
+            return Err(WorkloadError::InvalidProfile {
+                name: self.name.clone(),
+                field: "name",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.suite)
+    }
+}
+
+/// Builder for [`WorkloadProfile`].
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta])* $field:ident) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $field(mut self, value: f64) -> Self {
+            self.profile.$field = value;
+            self
+        }
+    };
+}
+
+impl WorkloadProfileBuilder {
+    builder_setter!(
+        /// Sets the effective switched capacitance per core (nF).
+        ceff_nf
+    );
+    builder_setter!(
+        /// Sets the mean activity factor (0–1).
+        activity
+    );
+    builder_setter!(
+        /// Sets per-core MIPS at the 4.2 GHz reference.
+        mips_per_core
+    );
+    builder_setter!(
+        /// Sets memory-latency-boundedness (0–1).
+        memory_intensity
+    );
+    builder_setter!(
+        /// Sets cross-socket communication intensity (0–1).
+        comm_intensity
+    );
+    builder_setter!(
+        /// Sets memory-bandwidth demand (0–1).
+        membw_intensity
+    );
+    builder_setter!(
+        /// Sets di/dt current variability (suite average = 1.0).
+        variability
+    );
+    builder_setter!(
+        /// Sets the Amdahl serial fraction.
+        serial_fraction
+    );
+    builder_setter!(
+        /// Sets single-core execution time (seconds).
+        t1_seconds
+    );
+
+    /// Finishes the build, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidProfile`] when any field is out of
+    /// range.
+    pub fn build(self) -> Result<WorkloadProfile, WorkloadError> {
+        self.profile.validate()?;
+        Ok(self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_profile() {
+        let w = WorkloadProfile::builder("x", Suite::Parsec)
+            .ceff_nf(1.8)
+            .activity(0.95)
+            .build()
+            .unwrap();
+        assert_eq!(w.ceff_nf(), 1.8);
+        assert_eq!(w.suite(), Suite::Parsec);
+    }
+
+    #[test]
+    fn rejects_out_of_range_activity() {
+        let err = WorkloadProfile::builder("x", Suite::Parsec)
+            .activity(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidProfile { field: "activity", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(WorkloadProfile::builder("x", Suite::Micro)
+            .ceff_nf(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn memory_bound_ignores_frequency() {
+        let mem = WorkloadProfile::builder("m", Suite::SpecCpu2006)
+            .memory_intensity(1.0)
+            .build()
+            .unwrap();
+        assert!((mem.frequency_speedup(1.10) - 1.0).abs() < 1e-12);
+        let cpu = WorkloadProfile::builder("c", Suite::SpecCpu2006)
+            .memory_intensity(0.0)
+            .build()
+            .unwrap();
+        assert!((cpu.frequency_speedup(1.10) - 1.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_mips_scales_with_threads() {
+        let w = WorkloadProfile::builder("x", Suite::Splash2)
+            .mips_per_core(4000.0)
+            .memory_intensity(0.0)
+            .build()
+            .unwrap();
+        assert!((w.chip_mips(8, 1.0) - 32_000.0).abs() < 1e-9);
+        assert!(w.chip_mips(8, 1.05) > w.chip_mips(8, 1.0));
+    }
+
+    #[test]
+    fn display_includes_suite() {
+        let w = WorkloadProfile::builder("lu_cb", Suite::Splash2).build().unwrap();
+        assert_eq!(format!("{w}"), "lu_cb (SPLASH-2)");
+    }
+}

@@ -1,0 +1,68 @@
+//! Benchmark suites used by the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The suite a benchmark belongs to.
+///
+/// The paper uses PARSEC and SPLASH-2 for the core-scaling studies (they
+/// let parallelism be controlled thread-by-thread, Sec. 3.1), SPEC CPU2006
+/// as SPECrate copies for the throughput studies (Sec. 5.1.2), and
+/// microbenchmarks (coremark, WebSearch) for the QoS studies (Sec. 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// PARSEC multithreaded benchmarks.
+    Parsec,
+    /// SPLASH-2 multithreaded benchmarks.
+    Splash2,
+    /// SPEC CPU2006 run as SPECrate (independent copies).
+    SpecCpu2006,
+    /// Microbenchmarks and datacenter applications.
+    Micro,
+}
+
+impl Suite {
+    /// True for suites whose threads cooperate (and therefore pay
+    /// cross-socket communication costs when split).
+    #[must_use]
+    pub fn is_multithreaded(self) -> bool {
+        matches!(self, Suite::Parsec | Suite::Splash2)
+    }
+
+    /// All suites.
+    #[must_use]
+    pub fn all() -> [Suite; 4] {
+        [Suite::Parsec, Suite::Splash2, Suite::SpecCpu2006, Suite::Micro]
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Parsec => "PARSEC",
+            Suite::Splash2 => "SPLASH-2",
+            Suite::SpecCpu2006 => "SPEC CPU2006",
+            Suite::Micro => "micro",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multithreading_flags() {
+        assert!(Suite::Parsec.is_multithreaded());
+        assert!(Suite::Splash2.is_multithreaded());
+        assert!(!Suite::SpecCpu2006.is_multithreaded());
+        assert!(!Suite::Micro.is_multithreaded());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Suite::Splash2), "SPLASH-2");
+        assert_eq!(Suite::all().len(), 4);
+    }
+}

@@ -1,0 +1,293 @@
+//! The latency-critical WebSearch application (the paper's Fig. 17).
+//!
+//! WebSearch runs on one core and must keep its 90th-percentile query
+//! latency under a 0.5 s service-level target. Queries arrive as a Poisson
+//! process into a FCFS service queue whose service rate scales with the
+//! core's clock frequency — which on an adaptive-guardband chip depends on
+//! what the co-runners do to the shared voltage margin. Operating close to
+//! saturation, a ~2 % frequency loss inflates the tail nonlinearly; that is
+//! what makes the colocation choice matter.
+
+use p7_types::{seed_for, MegaHertz, Seconds, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// Latency percentiles of one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median sojourn time, seconds.
+    pub p50: Seconds,
+    /// 90th-percentile sojourn time, seconds — the paper's QoS metric.
+    pub p90: Seconds,
+    /// 99th-percentile sojourn time, seconds.
+    pub p99: Seconds,
+    /// Number of completed queries in the window.
+    pub completed: usize,
+}
+
+/// The WebSearch service model.
+///
+/// # Examples
+///
+/// ```
+/// use p7_workloads::WebSearch;
+/// use p7_types::MegaHertz;
+///
+/// let ws = WebSearch::power7plus();
+/// let slow = ws.p90_windows(MegaHertz(4500.0), 60, 99);
+/// let fast = ws.p90_windows(MegaHertz(4670.0), 60, 99);
+/// let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+/// assert!(mean(&slow) > mean(&fast));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebSearch {
+    /// Mean query arrival rate, queries per second.
+    pub arrival_qps: f64,
+    /// Mean service time at the reference frequency, seconds.
+    pub mean_service: Seconds,
+    /// Coefficient of variation of service times (log-normal).
+    pub service_cv: f64,
+    /// Reference frequency for `mean_service`.
+    pub ref_frequency: MegaHertz,
+    /// Effective elasticity of service time to clock frequency. Larger
+    /// than 1 because near saturation a small clock loss compounds through
+    /// the whole query pipeline; calibrated so the simulated co-runner
+    /// frequency spread (~4500–4675 MHz) produces Fig. 17's violation-rate
+    /// ordering (heavy > 25 %, light < 7 %).
+    pub freq_sensitivity: f64,
+}
+
+impl WebSearch {
+    /// The calibrated model: ~80 % utilized at the reference frequency so
+    /// the 0.5 s p90 target is met when running alone (~4660 MHz on the
+    /// simulated chip), while a heavy co-runner's ~160 MHz frequency loss
+    /// pushes more than a quarter of the windows over the target.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        WebSearch {
+            arrival_qps: 50.0,
+            mean_service: Seconds(0.0158),
+            service_cv: 1.2,
+            ref_frequency: MegaHertz(4690.0),
+            freq_sensitivity: 4.0,
+        }
+    }
+
+    /// Mean service time at clock frequency `f`.
+    #[must_use]
+    pub fn service_time_at(&self, f: MegaHertz) -> Seconds {
+        let ratio = f.0 / self.ref_frequency.0;
+        let speedup = 1.0 + self.freq_sensitivity * (ratio - 1.0);
+        Seconds(self.mean_service.0 / speedup.max(0.05))
+    }
+
+    /// Offered utilization (`ρ = λ·E[S]`) at frequency `f`.
+    #[must_use]
+    pub fn utilization_at(&self, f: MegaHertz) -> f64 {
+        self.arrival_qps * self.service_time_at(f).0
+    }
+
+    /// Simulates the queue at frequency `f` for `windows` one-second
+    /// windows and returns each window's p90 sojourn time in seconds.
+    ///
+    /// The queue is FCFS with a single server; state carries across
+    /// windows so busy periods span window boundaries like on real
+    /// hardware. Windows with no completions are skipped.
+    #[must_use]
+    pub fn p90_windows(&self, f: MegaHertz, windows: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed_for(seed, "websearch"));
+        let mean_s = self.service_time_at(f).0;
+        // Log-normal service times with the configured CV.
+        let sigma2 = (1.0 + self.service_cv * self.service_cv).ln();
+        let mu = mean_s.ln() - sigma2 / 2.0;
+        let sigma = sigma2.sqrt();
+
+        let horizon = windows as f64;
+        let mut arrivals: Vec<f64> = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(self.arrival_qps);
+            if t >= horizon {
+                break;
+            }
+            arrivals.push(t);
+        }
+
+        let mut per_window: Vec<Vec<f64>> = vec![Vec::new(); windows];
+        let mut server_free_at = 0.0f64;
+        for &arrival in &arrivals {
+            let start = server_free_at.max(arrival);
+            let service = (mu + sigma * rng.normal()).exp();
+            let completion = start + service;
+            server_free_at = completion;
+            let sojourn = completion - arrival;
+            let w = completion as usize;
+            if w < windows {
+                per_window[w].push(sojourn);
+            }
+        }
+
+        per_window
+            .into_iter()
+            .filter(|w| !w.is_empty())
+            .map(|mut w| {
+                w.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+                percentile_sorted(&w, 0.90)
+            })
+            .collect()
+    }
+
+    /// Full latency statistics over a single long run at frequency `f`.
+    #[must_use]
+    pub fn latency_stats(&self, f: MegaHertz, duration: Seconds, seed: u64) -> LatencyStats {
+        let windows = duration.0.ceil() as usize;
+        let mut rng = SplitMix64::new(seed_for(seed, "websearch-stats"));
+        let mean_s = self.service_time_at(f).0;
+        let sigma2 = (1.0 + self.service_cv * self.service_cv).ln();
+        let mu = mean_s.ln() - sigma2 / 2.0;
+        let sigma = sigma2.sqrt();
+
+        let mut sojourns: Vec<f64> = Vec::new();
+        let mut t = 0.0;
+        let mut server_free_at = 0.0f64;
+        loop {
+            t += rng.exponential(self.arrival_qps);
+            if t >= windows as f64 {
+                break;
+            }
+            let start = server_free_at.max(t);
+            let service = (mu + sigma * rng.normal()).exp();
+            server_free_at = start + service;
+            sojourns.push(server_free_at - t);
+        }
+        sojourns.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let completed = sojourns.len();
+        if completed == 0 {
+            return LatencyStats {
+                p50: Seconds(0.0),
+                p90: Seconds(0.0),
+                p99: Seconds(0.0),
+                completed,
+            };
+        }
+        LatencyStats {
+            p50: Seconds(percentile_sorted(&sojourns, 0.50)),
+            p90: Seconds(percentile_sorted(&sojourns, 0.90)),
+            p99: Seconds(percentile_sorted(&sojourns, 0.99)),
+            completed,
+        }
+    }
+
+    /// Fraction of windows whose p90 exceeds `target` at frequency `f`.
+    #[must_use]
+    pub fn violation_rate(
+        &self,
+        f: MegaHertz,
+        target: Seconds,
+        windows: usize,
+        seed: u64,
+    ) -> f64 {
+        let p90s = self.p90_windows(f, windows, seed);
+        if p90s.is_empty() {
+            return 0.0;
+        }
+        p90s.iter().filter(|&&p| p > target.0).count() as f64 / p90s.len() as f64
+    }
+}
+
+impl Default for WebSearch {
+    fn default() -> Self {
+        WebSearch::power7plus()
+    }
+}
+
+/// Interpolated percentile of a sorted slice.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QOS: Seconds = Seconds(0.5);
+
+    #[test]
+    fn utilization_is_subcritical_at_reference() {
+        let ws = WebSearch::power7plus();
+        let rho = ws.utilization_at(ws.ref_frequency);
+        assert!((0.70..0.90).contains(&rho), "rho {rho}");
+    }
+
+    #[test]
+    fn service_time_shrinks_with_frequency() {
+        let ws = WebSearch::power7plus();
+        assert!(ws.service_time_at(MegaHertz(4600.0)) < ws.service_time_at(MegaHertz(4400.0)));
+    }
+
+    #[test]
+    fn p90_grows_as_frequency_drops() {
+        let ws = WebSearch::power7plus();
+        let mean = |v: Vec<f64>| {
+            let n = v.len() as f64;
+            v.into_iter().sum::<f64>() / n
+        };
+        let fast = mean(ws.p90_windows(MegaHertz(4670.0), 120, 1));
+        let slow = mean(ws.p90_windows(MegaHertz(4500.0), 120, 1));
+        assert!(slow > fast, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn solo_run_meets_qos() {
+        // "its 90th percentile latency meets the 0.5-second target 100% of
+        // time when it runs by itself" — allow a little sampling slack.
+        let ws = WebSearch::power7plus();
+        let rate = ws.violation_rate(MegaHertz(4660.0), QOS, 300, 7);
+        assert!(rate < 0.05, "solo violation rate {rate}");
+    }
+
+    #[test]
+    fn violation_rates_are_monotone_in_frequency() {
+        let ws = WebSearch::power7plus();
+        let heavy = ws.violation_rate(MegaHertz(4500.0), QOS, 300, 7);
+        let medium = ws.violation_rate(MegaHertz(4610.0), QOS, 300, 7);
+        let light = ws.violation_rate(MegaHertz(4670.0), QOS, 300, 7);
+        assert!(heavy > medium, "heavy {heavy} medium {medium}");
+        assert!(medium > light, "medium {medium} light {light}");
+        assert!(heavy > 0.15, "heavy co-runner should violate often: {heavy}");
+        assert!(light < 0.10, "light co-runner should mostly meet QoS: {light}");
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let ws = WebSearch::power7plus();
+        let s = ws.latency_stats(MegaHertz(4600.0), Seconds(120.0), 3);
+        assert!(s.completed > 4000);
+        assert!(s.p50 <= s.p90);
+        assert!(s.p90 <= s.p99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ws = WebSearch::power7plus();
+        let a = ws.p90_windows(MegaHertz(4600.0), 50, 11);
+        let b = ws.p90_windows(MegaHertz(4600.0), 50, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile_sorted(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile_sorted(&v, 1.0) - 4.0).abs() < 1e-12);
+        assert!((percentile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+}

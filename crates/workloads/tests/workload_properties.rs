@@ -1,0 +1,107 @@
+//! Property-based tests of the workload substrate.
+
+use p7_types::MegaHertz;
+use p7_workloads::{
+    throttled_coremark, ActivityTrace, Catalog, ExecutionModel, PlacementShape, Suite, WebSearch,
+    WorkloadProfile,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn profile_builder_accepts_exactly_the_documented_ranges(
+        ceff in 0.05f64..=5.0,
+        activity in 0.0f64..=1.0,
+        mips in 1.0f64..=100_000.0,
+        mem in 0.0f64..=1.0,
+        comm in 0.0f64..=1.0,
+        membw in 0.0f64..=1.0,
+    ) {
+        let w = WorkloadProfile::builder("prop", Suite::Parsec)
+            .ceff_nf(ceff)
+            .activity(activity)
+            .mips_per_core(mips)
+            .memory_intensity(mem)
+            .comm_intensity(comm)
+            .membw_intensity(membw)
+            .build();
+        prop_assert!(w.is_ok());
+    }
+
+    #[test]
+    fn out_of_range_fields_are_rejected(
+        bad_activity in prop_oneof![(-10.0f64..-0.001), (1.001f64..10.0)],
+    ) {
+        let w = WorkloadProfile::builder("prop", Suite::Parsec)
+            .activity(bad_activity)
+            .build();
+        prop_assert!(w.is_err());
+    }
+
+    #[test]
+    fn execution_time_is_monotone_in_contention(
+        idx in 0usize..17,
+        threads in 2usize..=8,
+    ) {
+        // With everything else equal, the consolidated schedule can never
+        // be *less* contended than the balanced one.
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx];
+        let m = ExecutionModel::power7plus();
+        let cons = m.contention_factor(w, PlacementShape::consolidated(threads).max_on_one_socket());
+        let bal = m.contention_factor(w, PlacementShape::balanced(threads).max_on_one_socket());
+        prop_assert!(bal <= cons + 1e-12);
+    }
+
+    #[test]
+    fn throttled_coremark_scales_monotonically(
+        f1 in 0.05f64..1.0,
+        f2 in 0.05f64..1.0,
+    ) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let a = throttled_coremark(lo).unwrap();
+        let b = throttled_coremark(hi).unwrap();
+        prop_assert!(a.mips_per_core() <= b.mips_per_core());
+        prop_assert!(a.activity() <= b.activity());
+    }
+
+    #[test]
+    fn activity_traces_stay_in_unit_range_for_every_workload(
+        idx in 0usize..47,
+        seed in 0u64..50,
+    ) {
+        let catalog = Catalog::power7plus();
+        let all: Vec<&WorkloadProfile> = catalog.iter().collect();
+        let mut trace = ActivityTrace::new(all[idx % all.len()], seed);
+        for _ in 0..200 {
+            let a = trace.next_window();
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn websearch_violations_monotone_in_frequency(
+        f_lo in 4440.0f64..4540.0,
+        delta in 60.0f64..200.0,
+    ) {
+        let ws = WebSearch::power7plus();
+        let target = p7_types::Seconds(0.5);
+        let slow = ws.violation_rate(MegaHertz(f_lo), target, 120, 5);
+        let fast = ws.violation_rate(MegaHertz(f_lo + delta), target, 120, 5);
+        // Allow equality (both may saturate at 0), never inversion beyond
+        // sampling noise.
+        prop_assert!(fast <= slow + 0.05, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn frequency_speedup_is_bounded_by_clock_gain(
+        idx in 0usize..17,
+        ratio in 1.0f64..1.15,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx];
+        let s = w.frequency_speedup(ratio);
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!(s <= ratio + 1e-12, "speedup cannot exceed the clock gain");
+    }
+}

@@ -1,0 +1,61 @@
+//! Loadline borrowing: let the AGS scheduler decide where threads go.
+//!
+//! ```sh
+//! cargo run --example loadline_borrowing
+//! ```
+//!
+//! Evaluates consolidation against loadline borrowing for three workload
+//! personalities — a bandwidth-starved sorter, a communication-heavy
+//! solver, and an ordinary parallel renderer — and shows the scheduler
+//! picking the right schedule for each (the paper's Sec. 5.1 plus the
+//! Fig. 14 extremes).
+
+use ags::scheduling::{AgsScheduler, LoadlineBorrowing};
+use ags::sim::Experiment;
+use ags::workloads::Catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let experiment = Experiment::power7plus(42);
+    let catalog = Catalog::power7plus();
+    let evaluator = LoadlineBorrowing::new(experiment.clone());
+    let scheduler = AgsScheduler::new(experiment);
+
+    println!("Loadline borrowing vs workload consolidation (8 threads)\n");
+    for name in ["radix", "lu_ncb", "raytrace"] {
+        let workload = catalog.require(name)?;
+        let eval = evaluator.evaluate(workload, 8)?;
+        let decision = scheduler.place(workload, 8)?;
+
+        println!("{name}:");
+        println!(
+            "  consolidated : {:6.1} W, {:6.1} s, {:8.1} J",
+            eval.consolidated.total_power().0,
+            eval.consolidated.exec_time.0,
+            eval.consolidated.energy.0
+        );
+        println!(
+            "  borrowed     : {:6.1} W, {:6.1} s, {:8.1} J",
+            eval.borrowed.total_power().0,
+            eval.borrowed.exec_time.0,
+            eval.borrowed.energy.0
+        );
+        println!(
+            "  borrowing    : {:+.1} % power, {:+.1} % time, {:+.1} % energy",
+            -eval.power_saving_percent,
+            eval.time_change_percent,
+            eval.energy_improvement_percent
+        );
+        println!(
+            "  AGS decision : {} (advantage {:.1} %)\n",
+            if decision.borrowed {
+                "balance across both sockets"
+            } else {
+                "keep consolidated on one socket"
+            },
+            decision.advantage_percent
+        );
+    }
+    println!("Bandwidth-bound work gains a second memory subsystem; communication-");
+    println!("heavy work pays interchip latency and is left consolidated.");
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Argument parsing and option resolution for the `ags` command-line
+//! front end (kept in the library so it is unit-testable; `main.rs` only
+//! dispatches).
+
+use crate::control::GuardbandMode;
+use crate::workloads::{Catalog, WorkloadProfile};
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+pub type Flags = HashMap<String, String>;
+
+/// Parses a `--flag value --flag value …` tail.
+///
+/// # Errors
+///
+/// Returns a human-readable message for a positional argument or a flag
+/// without a value.
+///
+/// # Examples
+///
+/// ```
+/// let flags = ags::cli::parse_flags(&[
+///     "--workload".into(), "radix".into(),
+///     "--threads".into(), "8".into(),
+/// ]).unwrap();
+/// assert_eq!(flags["workload"], "radix");
+/// assert!(ags::cli::parse_flags(&["radix".into()]).is_err());
+/// ```
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+/// Reads an integer flag with a default.
+///
+/// # Errors
+///
+/// Returns a message when the value does not parse.
+pub fn flag_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+    }
+}
+
+/// Reads the `--seed` flag (default 42).
+///
+/// # Errors
+///
+/// Returns a message when the value does not parse.
+pub fn flag_seed(flags: &Flags) -> Result<u64, String> {
+    match flags.get("seed") {
+        None => Ok(42),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--seed expects an integer, got `{v}`")),
+    }
+}
+
+/// Reads the `--mode` flag (default undervolt).
+///
+/// # Errors
+///
+/// Returns a message for an unknown mode name.
+pub fn flag_mode(flags: &Flags) -> Result<GuardbandMode, String> {
+    match flags.get("mode").map(String::as_str) {
+        None | Some("undervolt") => Ok(GuardbandMode::Undervolt),
+        Some("overclock") => Ok(GuardbandMode::Overclock),
+        Some("static") => Ok(GuardbandMode::StaticGuardband),
+        Some(other) => Err(format!(
+            "--mode must be static, overclock or undervolt, got `{other}`"
+        )),
+    }
+}
+
+/// Resolves the required `--workload` flag against the catalog.
+///
+/// # Errors
+///
+/// Returns a message when the flag is missing or names an unknown
+/// benchmark.
+pub fn required_workload<'a>(
+    catalog: &'a Catalog,
+    flags: &Flags,
+) -> Result<&'a WorkloadProfile, String> {
+    let name = flags
+        .get("workload")
+        .ok_or("missing --workload <name> (see `ags list`)")?;
+    catalog.require(name).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_happy_path() {
+        let f = parse_flags(&[
+            "--workload".into(),
+            "radix".into(),
+            "--mode".into(),
+            "static".into(),
+        ])
+        .unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f["mode"], "static");
+    }
+
+    #[test]
+    fn parse_flags_rejects_positional_and_dangling() {
+        assert!(parse_flags(&["radix".into()]).is_err());
+        assert!(parse_flags(&["--workload".into()]).is_err());
+    }
+
+    #[test]
+    fn numeric_flags_parse_with_defaults() {
+        let f = flags(&[("threads", "6")]);
+        assert_eq!(flag_usize(&f, "threads", 4).unwrap(), 6);
+        assert_eq!(flag_usize(&f, "servers", 3).unwrap(), 3);
+        assert!(flag_usize(&flags(&[("threads", "lots")]), "threads", 4).is_err());
+        assert_eq!(flag_seed(&Flags::new()).unwrap(), 42);
+        assert!(flag_seed(&flags(&[("seed", "x")])).is_err());
+    }
+
+    #[test]
+    fn mode_flag_covers_all_modes() {
+        assert_eq!(flag_mode(&Flags::new()).unwrap(), GuardbandMode::Undervolt);
+        assert_eq!(
+            flag_mode(&flags(&[("mode", "overclock")])).unwrap(),
+            GuardbandMode::Overclock
+        );
+        assert_eq!(
+            flag_mode(&flags(&[("mode", "static")])).unwrap(),
+            GuardbandMode::StaticGuardband
+        );
+        assert!(flag_mode(&flags(&[("mode", "turbo")])).is_err());
+    }
+
+    #[test]
+    fn workload_resolution() {
+        let catalog = Catalog::power7plus();
+        assert!(required_workload(&catalog, &Flags::new()).is_err());
+        assert!(required_workload(&catalog, &flags(&[("workload", "nope")])).is_err());
+        let w = required_workload(&catalog, &flags(&[("workload", "lu_cb")])).unwrap();
+        assert_eq!(w.name(), "lu_cb");
+    }
+}

@@ -1,0 +1,17 @@
+//! Adaptive guardband scheduling for POWER7+-class multicores.
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use ags_core as scheduling;
+pub use p7_control as control;
+pub use p7_pdn as pdn;
+pub use p7_power as power;
+pub use p7_sensors as sensors;
+pub use p7_sim as sim;
+pub use p7_types as types;
+pub use p7_workloads as workloads;

@@ -1,0 +1,234 @@
+//! `ags` — command-line front end to the POWER7+ adaptive-guardband
+//! simulator and the AGS schedulers.
+//!
+//! ```text
+//! ags list
+//! ags run --workload raytrace --threads 4 --mode undervolt
+//! ags sweep --workload lu_cb --mode overclock
+//! ags borrow --workload radix --threads 8
+//! ags cluster --workload raytrace --threads 12 --servers 4
+//! ```
+
+use ags::cli::{flag_mode, flag_seed, flag_usize, parse_flags, required_workload, Flags};
+use ags::control::GuardbandMode;
+use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
+use ags::sim::{Assignment, Experiment};
+use ags::workloads::Catalog;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(flags) => flags,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "list" => cmd_list(),
+        "run" => cmd_run(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "borrow" => cmd_borrow(&flags),
+        "cluster" => cmd_cluster(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `ags help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ags — POWER7+ adaptive guardband scheduling simulator
+
+USAGE:
+  ags list
+      List every calibrated workload and its footprint.
+  ags run --workload <name> [--threads N] [--mode M] [--placement P] [--seed S]
+      Run one experiment. M: static|overclock|undervolt (default undervolt).
+      P: single|consolidated|borrowed (default single). N: 1..8 (default 4).
+  ags sweep --workload <name> [--mode M] [--seed S]
+      Sweep 1..8 active cores and print improvement over static guardband.
+  ags borrow --workload <name> [--threads N] [--seed S]
+      Compare workload consolidation against loadline borrowing.
+  ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
+      Two-level scheduling: consolidate across servers, borrow within."
+    );
+}
+
+
+
+
+
+
+fn cmd_list() -> Result<(), String> {
+    let catalog = Catalog::power7plus();
+    println!(
+        "{:<16} {:<13} {:>5} {:>5} {:>7} {:>5} {:>5} {:>6}",
+        "workload", "suite", "ceff", "act", "MIPS/c", "mem", "comm", "membw"
+    );
+    for w in catalog.iter() {
+        println!(
+            "{:<16} {:<13} {:>5.2} {:>5.2} {:>7.0} {:>5.2} {:>5.2} {:>6.2}",
+            w.name(),
+            w.suite().to_string(),
+            w.ceff_nf(),
+            w.activity(),
+            w.mips_per_core(),
+            w.memory_intensity(),
+            w.comm_intensity(),
+            w.membw_intensity()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let catalog = Catalog::power7plus();
+    let workload = required_workload(&catalog, flags)?;
+    let threads = flag_usize(flags, "threads", 4)?;
+    let mode = flag_mode(flags)?;
+    let exp = Experiment::power7plus(flag_seed(flags)?);
+    let assignment = match flags.get("placement").map(String::as_str) {
+        None | Some("single") => Assignment::single_socket(workload, threads),
+        Some("consolidated") => Assignment::consolidated(workload, threads),
+        Some("borrowed") => Assignment::borrowed(workload, threads),
+        Some(other) => {
+            return Err(format!(
+                "--placement must be single, consolidated or borrowed, got `{other}`"
+            ))
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    let outcome = exp.run(&assignment, mode).map_err(|e| e.to_string())?;
+    println!("{} × {threads} threads, {mode}:", workload.name());
+    println!("  chip power (socket 0) : {:8.1} W", outcome.chip_power().0);
+    println!("  server power          : {:8.1} W", outcome.total_power().0);
+    println!(
+        "  clock (running cores) : {:8.0} MHz",
+        outcome.summary.avg_running_freq.0
+    );
+    println!(
+        "  undervolt (socket 0)  : {:8.1} mV",
+        outcome.summary.socket0().undervolt.millivolts()
+    );
+    println!("  execution time        : {:8.1} s", outcome.exec_time.0);
+    println!("  energy                : {:8.1} J", outcome.energy.0);
+    Ok(())
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    let catalog = Catalog::power7plus();
+    let workload = required_workload(&catalog, flags)?;
+    let mode = flag_mode(flags)?;
+    let exp = Experiment::power7plus(flag_seed(flags)?);
+    println!(
+        "{} under {mode} vs static guardband:",
+        workload.name()
+    );
+    println!("cores  static W  adaptive W  saving %  adaptive MHz");
+    for threads in 1..=8 {
+        let a = Assignment::single_socket(workload, threads).map_err(|e| e.to_string())?;
+        let st = exp
+            .run(&a, GuardbandMode::StaticGuardband)
+            .map_err(|e| e.to_string())?;
+        let ad = exp.run(&a, mode).map_err(|e| e.to_string())?;
+        let saving = (st.chip_power().0 - ad.chip_power().0) / st.chip_power().0 * 100.0;
+        println!(
+            "{threads:>5}  {:>8.1}  {:>10.1}  {:>8.1}  {:>12.0}",
+            st.chip_power().0,
+            ad.chip_power().0,
+            saving,
+            ad.summary.avg_running_freq.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_borrow(flags: &Flags) -> Result<(), String> {
+    let catalog = Catalog::power7plus();
+    let workload = required_workload(&catalog, flags)?;
+    let threads = flag_usize(flags, "threads", 8)?;
+    let lb = LoadlineBorrowing::new(Experiment::power7plus(flag_seed(flags)?));
+    let eval = lb.evaluate(workload, threads).map_err(|e| e.to_string())?;
+    println!("{} × {threads} threads:", workload.name());
+    println!(
+        "  consolidated : {:7.1} W, {:7.1} s, {:9.1} J  (undervolt {:.0} mV)",
+        eval.consolidated.total_power().0,
+        eval.consolidated.exec_time.0,
+        eval.consolidated.energy.0,
+        eval.consolidated.summary.socket0().undervolt.millivolts()
+    );
+    println!(
+        "  borrowed     : {:7.1} W, {:7.1} s, {:9.1} J  (undervolt {:.0} mV)",
+        eval.borrowed.total_power().0,
+        eval.borrowed.exec_time.0,
+        eval.borrowed.energy.0,
+        eval.borrowed.summary.sockets[0].undervolt.millivolts()
+    );
+    println!(
+        "  borrowing    : {:+.1} % power, {:+.1} % time, {:+.1} % energy",
+        -eval.power_saving_percent,
+        eval.time_change_percent,
+        eval.energy_improvement_percent
+    );
+    Ok(())
+}
+
+fn cmd_cluster(flags: &Flags) -> Result<(), String> {
+    let catalog = Catalog::power7plus();
+    let workload = required_workload(&catalog, flags)?;
+    let threads = flag_usize(flags, "threads", 12)?;
+    let servers = flag_usize(flags, "servers", 4)?;
+    let scheduler = ClusterScheduler::new(
+        Experiment::power7plus(flag_seed(flags)?).with_ticks(30, 15),
+        ClusterConfig::rack(servers),
+    )
+    .map_err(|e| e.to_string())?;
+    let plan = scheduler
+        .schedule(workload, threads)
+        .map_err(|e| e.to_string())?;
+    let naive = scheduler
+        .naive_spread(workload, threads)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} × {threads} threads on {servers} servers:",
+        workload.name()
+    );
+    for (i, share) in plan.servers.iter().enumerate() {
+        println!(
+            "  server {i}: {} threads, {} — {:.1} W",
+            share.threads,
+            if share.threads == 0 {
+                "standby"
+            } else if share.borrowed {
+                "borrowed placement"
+            } else {
+                "consolidated placement"
+            },
+            share.total_power().0
+        );
+    }
+    println!(
+        "  hierarchical total : {:.1} W ({} active servers)",
+        plan.total_power.0, plan.active_servers
+    );
+    println!(
+        "  naive spread total : {:.1} W ({} active servers)",
+        naive.total_power.0, naive.active_servers
+    );
+    Ok(())
+}

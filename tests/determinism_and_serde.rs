@@ -1,0 +1,71 @@
+//! Reproducibility and serializability of the whole pipeline.
+
+use ags::control::GuardbandMode;
+use ags::sim::{Assignment, Experiment, Outcome, RunSummary, ServerConfig};
+use ags::workloads::Catalog;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn outcome(seed: u64, name: &str) -> Outcome {
+    let exp = Experiment::power7plus(seed).with_ticks(20, 10);
+    let w = Catalog::power7plus().get(name).unwrap().clone();
+    let a = Assignment::single_socket(&w, 4).unwrap();
+    exp.run(&a, GuardbandMode::Undervolt).unwrap()
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_outcomes() {
+    let a = outcome(7, "vips");
+    let b = outcome(7, "vips");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_vary_only_through_noise() {
+    let a = outcome(7, "vips");
+    let b = outcome(8, "vips");
+    // Different noise streams → not bit-identical…
+    assert_ne!(a, b);
+    // …but the physics dominates: power stays within a few percent (the
+    // residual spread is activity-phase sampling over the short window).
+    let rel = (a.chip_power().0 - b.chip_power().0).abs() / a.chip_power().0;
+    assert!(rel < 0.04, "seed changed power by {}%", rel * 100.0);
+}
+
+#[test]
+fn every_mode_is_deterministic() {
+    let catalog = Catalog::power7plus();
+    let w = catalog.get("radix").unwrap().clone();
+    for mode in GuardbandMode::all() {
+        let run = |_| {
+            let exp = Experiment::power7plus(3).with_ticks(15, 5);
+            let a = Assignment::borrowed(&w, 6).unwrap();
+            exp.run(&a, mode).unwrap()
+        };
+        assert_eq!(run(0), run(1), "mode {mode} must be deterministic");
+    }
+}
+
+/// Compile-time check that the public result and config types are serde
+/// round-trippable (the workspace deliberately ships no format crate, so
+/// this validates the derive bounds rather than bytes).
+#[test]
+fn public_types_are_serializable() {
+    fn assert_serde<T: Serialize + DeserializeOwned>() {}
+    assert_serde::<ServerConfig>();
+    assert_serde::<RunSummary>();
+    assert_serde::<Outcome>();
+    assert_serde::<ags::workloads::WorkloadProfile>();
+    assert_serde::<ags::scheduling::MipsFrequencyPredictor>();
+    assert_serde::<ags::scheduling::QuantumReport>();
+    assert_serde::<ags::pdn::DropBreakdown>();
+    assert_serde::<ags::control::GuardbandPolicy>();
+}
+
+#[test]
+fn config_round_trips_through_validation() {
+    let cfg = ServerConfig::power7plus(1);
+    cfg.validate().unwrap();
+    let cloned = cfg.clone();
+    assert_eq!(cfg, cloned);
+}

@@ -1,0 +1,151 @@
+//! Integration tests of the extension features: DVFS p-states, the aging
+//! model, the cluster scheduler, the time-series recorder, and the
+//! combination-space explorer.
+
+use ags::control::{
+    AgingModel, GuardbandMode, GuardbandPolicy, PStateTable, VoltFreqCurve,
+};
+use ags::scheduling::cluster::{ClusterConfig, ClusterScheduler};
+use ags::scheduling::{AdaptiveMappingScheduler, JobSpec, MipsFrequencyPredictor, QosSpec};
+use ags::sim::{Assignment, Experiment, ServerConfig, Simulation};
+use ags::types::{MegaHertz, Volts};
+use ags::workloads::{co_runner, Catalog, CoRunnerClass, ExecutionModel, WebSearch};
+
+#[test]
+fn every_pstate_is_a_runnable_static_configuration() {
+    // Each DVFS operating point of the Fig. 6a ladder must be a valid
+    // static configuration of the server.
+    let curve = VoltFreqCurve::power7plus();
+    let policy = GuardbandPolicy::power7plus();
+    let table = PStateTable::power7plus(&curve, &policy).unwrap();
+    let w = Catalog::power7plus().get("radix").unwrap().clone();
+    for state in table.iter().step_by(10) {
+        let mut cfg = ServerConfig::power7plus(1);
+        cfg.target_frequency = state.frequency;
+        cfg.dpll_min = MegaHertz(state.frequency.0 * 0.6);
+        cfg.validate().unwrap();
+        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(10, 5);
+        let a = Assignment::single_socket(&w, 2).unwrap();
+        let run = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+        assert!(
+            (run.summary.avg_running_freq.0 - state.frequency.0).abs() < 1.0,
+            "static run must sit at the p-state clock"
+        );
+    }
+}
+
+#[test]
+fn aged_parts_keep_less_benefit_but_stay_safe() {
+    let aging = AgingModel::power7plus();
+    let base = VoltFreqCurve::power7plus();
+    let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+    let saving_at = |years: f64| {
+        let mut cfg = ServerConfig::power7plus(1);
+        cfg.curve = aging.aged_curve(&base, years).unwrap();
+        cfg.policy.static_guardband -= aging.drift_at_years(years);
+        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(20, 10);
+        let a = Assignment::single_socket(&w, 2).unwrap();
+        let st = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+        let uv = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0
+    };
+    let young = saving_at(0.0);
+    let old = saving_at(10.0);
+    assert!(young > old, "aging must consume margin: {young}% vs {old}%");
+    assert!(old > 0.0, "an aged part still benefits: {old}%");
+}
+
+#[test]
+fn cluster_hierarchy_dominates_every_naive_spread() {
+    let scheduler = ClusterScheduler::new(
+        Experiment::power7plus(42).with_ticks(10, 5),
+        ClusterConfig::rack(3),
+    )
+    .unwrap();
+    let w = Catalog::power7plus().get("ocean_cp").unwrap().clone();
+    for threads in [3usize, 8, 12] {
+        let plan = scheduler.schedule(&w, threads).unwrap();
+        let naive = scheduler.naive_spread(&w, threads).unwrap();
+        assert!(
+            plan.total_power.0 <= naive.total_power.0 + 1e-9,
+            "{threads} threads: hierarchy {} W vs naive {} W",
+            plan.total_power.0,
+            naive.total_power.0
+        );
+        assert!(plan.active_servers <= naive.active_servers);
+    }
+}
+
+#[test]
+fn history_settles_where_the_summary_says() {
+    let w = Catalog::power7plus().get("swaptions").unwrap().clone();
+    let mut sim = Simulation::new(
+        ServerConfig::power7plus(5),
+        Assignment::single_socket(&w, 4).unwrap(),
+        GuardbandMode::Undervolt,
+    )
+    .unwrap();
+    let (summary, history) = sim.run_with_history(30, 15);
+    let last = history.records().last().unwrap().sockets[0].set_point;
+    // The time series' final set point matches the measured average
+    // within the noise band.
+    assert!(
+        (last - summary.socket0().avg_set_point).abs() < Volts::from_millivolts(3.0),
+        "history end {last} vs summary {}",
+        summary.socket0().avg_set_point
+    );
+}
+
+#[test]
+fn explorer_ranks_candidates_consistently_with_measurement() {
+    // The predictor-based exploration must order candidate colocations
+    // the same way actually simulating them does.
+    let catalog = Catalog::power7plus();
+    let exp = Experiment::power7plus(42).with_ticks(15, 10);
+    let job = JobSpec::critical(
+        "search",
+        catalog.get("websearch").unwrap().clone(),
+        QosSpec::websearch(),
+    );
+    let predictor = MipsFrequencyPredictor::fit(&[
+        (10_000.0, 4580.0),
+        (40_000.0, 4500.0),
+        (70_000.0, 4420.0),
+    ])
+    .unwrap();
+    let pool = vec![co_runner(CoRunnerClass::Light), co_runner(CoRunnerClass::Heavy)];
+    let scheduler = AdaptiveMappingScheduler::new(
+        exp.clone(),
+        predictor,
+        job.clone(),
+        WebSearch::power7plus(),
+        pool.clone(),
+        0,
+        3,
+    )
+    .unwrap();
+    let space = scheduler.explore();
+    // Predicted: full light pool beats full heavy pool.
+    let predicted_light = space
+        .iter()
+        .find(|(m, _)| m.entries()[1].0.name() == pool[0].name() && m.threads() == 8)
+        .unwrap()
+        .1;
+    let predicted_heavy = space
+        .iter()
+        .find(|(m, _)| m.entries()[1].0.name() == pool[1].name() && m.threads() == 8)
+        .unwrap()
+        .1;
+    assert!(predicted_light > predicted_heavy);
+
+    // Measured ordering agrees.
+    let measure = |runner: &ags::workloads::WorkloadProfile| {
+        let a = Assignment::colocated(job.workload(), runner, 7).unwrap();
+        exp.run(&a, GuardbandMode::Overclock)
+            .unwrap()
+            .summary
+            .sockets[0]
+            .avg_core_freq[0]
+    };
+    assert!(measure(&pool[0]) > measure(&pool[1]));
+}

@@ -1,0 +1,232 @@
+//! End-to-end integration tests: the paper's headline trends must hold on
+//! the simulated server. These are the "shape" assertions EXPERIMENTS.md
+//! documents — who wins, by roughly what factor, where crossovers fall.
+
+use ags::control::GuardbandMode;
+use ags::scheduling::predictor::measure_point;
+use ags::scheduling::{LoadlineBorrowing, MipsFrequencyPredictor};
+use ags::sim::{Assignment, Experiment};
+use ags::workloads::{co_runner, Catalog, CoRunnerClass, WebSearch};
+use ags::types::Seconds;
+
+fn experiment() -> Experiment {
+    Experiment::power7plus(42).with_ticks(30, 15)
+}
+
+fn undervolt_saving(name: &str, cores: usize) -> f64 {
+    let exp = experiment();
+    let w = Catalog::power7plus().get(name).unwrap().clone();
+    let a = Assignment::single_socket(&w, cores).unwrap();
+    let st = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+    let uv = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+    (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0
+}
+
+fn frequency_boost(name: &str, cores: usize) -> f64 {
+    let exp = experiment();
+    let w = Catalog::power7plus().get(name).unwrap().clone();
+    let a = Assignment::single_socket(&w, cores).unwrap();
+    let st = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+    let oc = exp.run(&a, GuardbandMode::Overclock).unwrap();
+    (oc.summary.avg_running_freq.0 - st.summary.avg_running_freq.0)
+        / st.summary.avg_running_freq.0
+        * 100.0
+}
+
+#[test]
+fn fig3_power_saving_diminishes_with_core_count() {
+    let one = undervolt_saving("raytrace", 1);
+    let four = undervolt_saving("raytrace", 4);
+    let eight = undervolt_saving("raytrace", 8);
+    assert!((10.0..16.0).contains(&one), "1-core saving {one}% (paper 13%)");
+    assert!((1.0..7.0).contains(&eight), "8-core saving {eight}% (paper 3%)");
+    assert!(one > four && four > eight, "saving must fall monotonically");
+}
+
+#[test]
+fn fig4_frequency_boost_diminishes_with_core_count() {
+    let one = frequency_boost("lu_cb", 1);
+    let eight = frequency_boost("lu_cb", 8);
+    assert!((7.0..13.0).contains(&one), "1-core boost {one}% (paper 10%)");
+    assert!((2.0..7.0).contains(&eight), "8-core boost {eight}% (paper 4%)");
+    assert!(one > eight + 3.0, "boost must erode substantially");
+}
+
+#[test]
+fn fig5_workload_heterogeneity_magnifies_at_full_load() {
+    // radix (memory-bound, low power) holds its benefit; swaptions
+    // (power-hungry compute) collapses.
+    let radix_1 = undervolt_saving("radix", 1);
+    let radix_8 = undervolt_saving("radix", 8);
+    let swaptions_1 = undervolt_saving("swaptions", 1);
+    let swaptions_8 = undervolt_saving("swaptions", 8);
+    assert!(
+        radix_8 > swaptions_8 + 4.0,
+        "8-core spread: radix {radix_8}% vs swaptions {swaptions_8}%"
+    );
+    let spread_1 = radix_1 - swaptions_1;
+    let spread_8 = radix_8 - swaptions_8;
+    assert!(
+        spread_8 > spread_1,
+        "variation must magnify: {spread_1} → {spread_8}"
+    );
+}
+
+#[test]
+fn fig7_voltage_drop_grows_and_is_global() {
+    let exp = experiment();
+    let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+    let nominal = exp.config().nominal_voltage();
+    let drop_at = |cores: usize, core: usize| {
+        let a = Assignment::single_socket(&w, cores).unwrap();
+        let run = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+        run.summary.socket0().core_drop_percent(core, nominal)
+    };
+    // Grows toward ~8 % at eight cores for the active core.
+    let full = drop_at(8, 0);
+    assert!((6.0..10.0).contains(&full), "8-core drop {full}% (paper ~8%)");
+    // Global: core 7 sags even while idle.
+    let idle7 = drop_at(4, 7);
+    assert!(idle7 > 2.0, "idle core must sag too (global effect): {idle7}%");
+    // Local: activating core 7 adds a visible jump.
+    let jump = drop_at(8, 7) - drop_at(7, 7);
+    assert!((0.4..3.0).contains(&jump), "local activation jump {jump}%");
+}
+
+#[test]
+fn fig10_causal_chain_holds_across_workloads() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let mut powers = Vec::new();
+    let mut passives = Vec::new();
+    let mut undervolts = Vec::new();
+    for name in ["mcf", "radix", "gcc", "raytrace", "swaptions", "povray"] {
+        let w = catalog.get(name).unwrap();
+        let a = Assignment::single_socket(w, 8).unwrap();
+        let st = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+        let uv = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        powers.push(st.chip_power().0);
+        passives.push(st.summary.socket0().core0_passive_drop().millivolts());
+        undervolts.push(uv.summary.socket0().undervolt.millivolts());
+    }
+    // Higher power → more passive drop → less undervolt, pairwise.
+    for i in 0..powers.len() {
+        for j in 0..powers.len() {
+            if powers[i] > powers[j] + 10.0 {
+                assert!(
+                    passives[i] > passives[j],
+                    "passive drop must track power: {} vs {}",
+                    passives[i],
+                    passives[j]
+                );
+                assert!(
+                    undervolts[i] < undervolts[j],
+                    "undervolt must shrink with drop: {} vs {}",
+                    undervolts[i],
+                    undervolts[j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig12_borrowing_undervolts_deeper_and_saves_power() {
+    let lb = LoadlineBorrowing::new(experiment());
+    let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+    let eval = lb.evaluate(&w, 8).unwrap();
+    let uv_cons = eval.consolidated.summary.socket0().undervolt.millivolts();
+    let uv_borr = eval.borrowed.summary.sockets[0].undervolt.millivolts();
+    // Paper Fig. 12a: ~20 mV consolidated vs ~60 mV borrowed at 8 cores.
+    assert!((10.0..35.0).contains(&uv_cons), "consolidated UV {uv_cons} mV");
+    assert!((45.0..85.0).contains(&uv_borr), "borrowed UV {uv_borr} mV");
+    assert!(eval.power_saving_percent > 1.5, "saving {}%", eval.power_saving_percent);
+}
+
+#[test]
+fn fig13_borrowing_multiplies_adaptive_guardbandings_benefit() {
+    let lb = LoadlineBorrowing::new(experiment());
+    let catalog = Catalog::power7plus();
+    let mut cons_sum = 0.0;
+    let mut borr_sum = 0.0;
+    for name in ["raytrace", "lu_cb", "swaptions", "ocean_cp"] {
+        let w = catalog.get(name).unwrap();
+        let (cons, borr) = lb.improvement_vs_static(w, 8).unwrap();
+        cons_sum += cons;
+        borr_sum += borr;
+    }
+    assert!(
+        borr_sum > cons_sum * 1.3,
+        "borrowing must clearly multiply the benefit: {cons_sum} vs {borr_sum}"
+    );
+}
+
+#[test]
+fn fig14_extremes_match_the_paper() {
+    let lb = LoadlineBorrowing::new(experiment());
+    let catalog = Catalog::power7plus();
+    // Left extreme: communication-heavy workloads lose energy.
+    let lu_ncb = lb.evaluate(catalog.get("lu_ncb").unwrap(), 8).unwrap();
+    assert!(lu_ncb.energy_improvement_percent < -5.0);
+    assert!(lu_ncb.time_change_percent > 15.0);
+    // Right extreme: bandwidth-starved workloads gain massively.
+    let lbm = lb.evaluate(catalog.get("lbm").unwrap(), 8).unwrap();
+    assert!(lbm.energy_improvement_percent > 40.0);
+}
+
+#[test]
+fn fig15_colocation_moves_the_critical_apps_frequency() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let cm = catalog.get("coremark").unwrap();
+    let freq_with = |other: &str, n: usize| {
+        let a = Assignment::colocated(cm, catalog.get(other).unwrap(), n).unwrap();
+        let o = exp.run(&a, GuardbandMode::Overclock).unwrap();
+        o.summary.sockets[0].avg_core_freq[0].0
+    };
+    let with_lu = freq_with("lu_cb", 7);
+    let with_mcf = freq_with("mcf", 7);
+    assert!(
+        with_mcf > with_lu + 100.0,
+        "paper: >100 MHz spread; got {} vs {}",
+        with_mcf,
+        with_lu
+    );
+}
+
+#[test]
+fn fig16_mips_predictor_is_accurate_and_negative_sloped() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let mut data = Vec::new();
+    for name in ["mcf", "omnetpp", "gcc", "wrf", "raytrace", "dealII", "swaptions", "povray"] {
+        let (mips, freq) = measure_point(&exp, catalog.get(name).unwrap()).unwrap();
+        data.push((mips, freq.0));
+    }
+    let model = MipsFrequencyPredictor::fit(&data).unwrap();
+    assert!(model.slope_mhz_per_mips() < 0.0);
+    assert!(model.rmse_percent() < 1.0, "rmse {}%", model.rmse_percent());
+}
+
+#[test]
+fn fig17_heavy_corunner_violates_light_meets_qos() {
+    let exp = experiment();
+    let catalog = Catalog::power7plus();
+    let ws_profile = catalog.get("websearch").unwrap();
+    let service = WebSearch::power7plus();
+    let rate = |class: CoRunnerClass| {
+        let a = Assignment::colocated(ws_profile, &co_runner(class), 7).unwrap();
+        let o = exp.run(&a, GuardbandMode::Overclock).unwrap();
+        service.violation_rate(
+            o.summary.sockets[0].avg_core_freq[0],
+            Seconds(0.5),
+            200,
+            7,
+        )
+    };
+    let heavy = rate(CoRunnerClass::Heavy);
+    let light = rate(CoRunnerClass::Light);
+    assert!(heavy > 0.15, "heavy violation rate {heavy} (paper >25%)");
+    assert!(light < 0.07, "light violation rate {light} (paper <7%)");
+    assert!(heavy > light * 3.0);
+}

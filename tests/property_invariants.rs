@@ -1,0 +1,216 @@
+//! Property-based tests of the core invariants, across randomized
+//! configurations and workloads.
+
+use ags::control::{FirmwareController, GuardbandMode, GuardbandPolicy, VoltFreqCurve};
+use ags::pdn::{DidtConfig, DidtModel, PdnConfig, PdnGrid, Rail};
+use ags::sensors::CpmBank;
+use ags::sim::{Assignment, Experiment, ServerConfig};
+use ags::types::{Amps, MegaHertz, Ohms, Seconds, Volts};
+use ags::workloads::{Catalog, ExecutionModel, PlacementShape, Suite, WorkloadProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rail_output_is_monotone_in_current(
+        set_mv in 900.0f64..1250.0,
+        r_uohm in 100.0f64..2000.0,
+        i1 in 0.0f64..150.0,
+        i2 in 0.0f64..150.0,
+    ) {
+        let rail = Rail::new(Volts::from_millivolts(set_mv), Ohms(r_uohm * 1e-6));
+        let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        prop_assert!(rail.output(Amps(hi)) <= rail.output(Amps(lo)));
+    }
+
+    #[test]
+    fn grid_voltages_never_exceed_input_and_fall_with_load(
+        load_a in 0.0f64..20.0,
+        uncore_a in 0.0f64..40.0,
+        extra in 0.1f64..10.0,
+    ) {
+        let grid = PdnGrid::new(&PdnConfig::power7plus());
+        let input = Volts(1.2);
+        let base = grid.core_voltages(input, &[Amps(load_a); 8], Amps(uncore_a));
+        let more = grid.core_voltages(input, &[Amps(load_a + extra); 8], Amps(uncore_a));
+        for i in 0..8 {
+            prop_assert!(base[i] <= input);
+            prop_assert!(more[i] < base[i]);
+        }
+    }
+
+    #[test]
+    fn didt_typical_shrinks_and_worst_grows_with_cores(
+        seed in 0u64..1000,
+        variability in 0.3f64..1.5,
+    ) {
+        let model = DidtModel::new(DidtConfig::power7plus(), seed);
+        for n in 1..8usize {
+            prop_assert!(
+                model.typical_ripple(n + 1, variability) < model.typical_ripple(n, variability)
+            );
+            prop_assert!(
+                model.worst_droop_magnitude(n + 1, variability)
+                    > model.worst_droop_magnitude(n, variability)
+            );
+        }
+    }
+
+    #[test]
+    fn cpm_readings_are_monotone_in_margin(
+        seed in 0u64..500,
+        m1 in -50.0f64..250.0,
+        m2 in -50.0f64..250.0,
+    ) {
+        let bank = CpmBank::with_seed(seed);
+        let f = [MegaHertz(4200.0); 8];
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let low = bank.core_min_readings(&[Volts::from_millivolts(lo); 8], &f);
+        let high = bank.core_min_readings(&[Volts::from_millivolts(hi); 8], &f);
+        for i in 0..8 {
+            prop_assert!(low[i] <= high[i]);
+        }
+    }
+
+    #[test]
+    fn firmware_stays_between_floor_and_nominal(
+        observed_mhz in 2000.0f64..5000.0,
+        start_offset_mv in -50.0f64..250.0,
+    ) {
+        let curve = VoltFreqCurve::power7plus();
+        let policy = GuardbandPolicy::power7plus();
+        let fw = FirmwareController::new(MegaHertz(4200.0), policy.clone()).unwrap();
+        let nominal = policy.nominal_voltage(&curve, MegaHertz(4200.0));
+        let mut v = nominal - Volts::from_millivolts(start_offset_mv);
+        for _ in 0..50 {
+            v = fw.adjust_voltage(v, MegaHertz(observed_mhz), &curve);
+            prop_assert!(v >= fw.voltage_floor(&curve) - Volts(1e-9));
+            prop_assert!(v <= nominal + Volts(1e-9));
+        }
+    }
+
+    #[test]
+    fn execution_time_is_positive_and_frequency_helps(
+        ceff in 0.8f64..2.0,
+        mem in 0.0f64..0.95,
+        membw in 0.0f64..0.95,
+        comm in 0.0f64..0.9,
+        threads in 1usize..=8,
+    ) {
+        let w = WorkloadProfile::builder("prop", Suite::Splash2)
+            .ceff_nf(ceff)
+            .memory_intensity(mem)
+            .membw_intensity(membw)
+            .comm_intensity(comm)
+            .build()
+            .unwrap();
+        let model = ExecutionModel::power7plus();
+        let p = PlacementShape::balanced(threads);
+        let slow = model.execution_time(&w, &p, 1.0);
+        let fast = model.execution_time(&w, &p, 1.1);
+        prop_assert!(slow.0 > 0.0);
+        prop_assert!(fast <= slow, "a faster clock can never hurt");
+    }
+
+    #[test]
+    fn chip_mips_scales_linearly_in_threads(
+        mips in 1000.0f64..10_000.0,
+        threads in 1usize..=8,
+    ) {
+        let w = WorkloadProfile::builder("prop", Suite::SpecCpu2006)
+            .mips_per_core(mips)
+            .build()
+            .unwrap();
+        let total = w.chip_mips(threads, 1.0);
+        prop_assert!((total - mips * threads as f64).abs() < 1e-6);
+    }
+}
+
+// Whole-simulation properties are expensive; keep the case count low.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn undervolt_never_breaches_the_floor_for_any_workload(
+        idx in 0usize..17,
+        threads in 1usize..=8,
+        seed in 0u64..100,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let cfg = ServerConfig::power7plus(seed);
+        let fw = FirmwareController::new(cfg.target_frequency, cfg.policy.clone()).unwrap();
+        let floor = fw.voltage_floor(&cfg.curve);
+        let nominal = cfg.nominal_voltage();
+        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(15, 10);
+        let a = Assignment::single_socket(&w, threads).unwrap();
+        let run = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        let set = run.summary.socket0().avg_set_point;
+        prop_assert!(set >= floor - Volts(1e-9), "below floor: {set}");
+        prop_assert!(set <= nominal + Volts(1e-9), "above nominal: {set}");
+    }
+
+    #[test]
+    fn adaptive_modes_never_lose_to_static(
+        idx in 0usize..17,
+        threads in 1usize..=8,
+    ) {
+        // The paper's first conclusion: adaptive guardbanding consistently
+        // yields improvement, regardless of mode and workload.
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let exp = Experiment::power7plus(42).with_ticks(15, 10);
+        let a = Assignment::single_socket(&w, threads).unwrap();
+        let st = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
+        let uv = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        let oc = exp.run(&a, GuardbandMode::Overclock).unwrap();
+        prop_assert!(uv.chip_power().0 <= st.chip_power().0 + 0.3);
+        prop_assert!(
+            oc.summary.avg_running_freq.0 >= st.summary.avg_running_freq.0 - 1.0
+        );
+    }
+
+    #[test]
+    fn borrowing_reduces_per_socket_passive_drop(
+        idx in 0usize..17,
+        threads in 2usize..=8,
+    ) {
+        let catalog = Catalog::power7plus();
+        let w = catalog.parsec_splash()[idx].clone();
+        let exp = Experiment::power7plus(42).with_ticks(15, 10);
+        let cons = exp
+            .run(&Assignment::consolidated(&w, threads).unwrap(), GuardbandMode::Undervolt)
+            .unwrap();
+        let borr = exp
+            .run(&Assignment::borrowed(&w, threads).unwrap(), GuardbandMode::Undervolt)
+            .unwrap();
+        let cons_drop = cons.summary.socket0().core0_passive_drop();
+        for socket in &borr.summary.sockets {
+            prop_assert!(
+                socket.drop[0].passive() < cons_drop + Volts(1e-6),
+                "borrowing must not deepen any rail's passive drop"
+            );
+        }
+    }
+}
+
+#[test]
+fn placement_shapes_conserve_threads() {
+    for n in 0..=8usize {
+        assert_eq!(PlacementShape::consolidated(n).total(), n);
+        assert_eq!(PlacementShape::balanced(n).total(), n);
+    }
+}
+
+#[test]
+fn didt_window_sampling_respects_expectations() {
+    let mut model = DidtModel::new(DidtConfig::power7plus(), 3);
+    let mut worst_sum = 0.0;
+    let mut typ_sum = 0.0;
+    for _ in 0..300 {
+        let s = model.sample_window(4, 1.0, Seconds::from_millis(32.0));
+        assert!(s.worst >= s.typical);
+        worst_sum += s.worst.millivolts();
+        typ_sum += s.typical.millivolts();
+    }
+    assert!(worst_sum > typ_sum);
+}
