@@ -66,18 +66,18 @@ fn bench_scheduler_quantum(c: &mut Criterion) {
         catalog.get("websearch").unwrap().clone(),
         QosSpec::websearch(),
     );
-    let predictor = MipsFrequencyPredictor::fit(&[
-        (10_000.0, 4600.0),
-        (40_000.0, 4520.0),
-        (70_000.0, 4440.0),
-    ])
-    .unwrap();
+    let predictor =
+        MipsFrequencyPredictor::fit(&[(10_000.0, 4600.0), (40_000.0, 4520.0), (70_000.0, 4440.0)])
+            .unwrap();
     let mut scheduler = AdaptiveMappingScheduler::new(
         Experiment::power7plus(1).with_ticks(10, 5),
         predictor,
         job,
         WebSearch::power7plus(),
-        vec![co_runner(CoRunnerClass::Light), co_runner(CoRunnerClass::Heavy)],
+        vec![
+            co_runner(CoRunnerClass::Light),
+            co_runner(CoRunnerClass::Heavy),
+        ],
         1,
         9,
     )

@@ -44,11 +44,7 @@ fn fig04_overclock(c: &mut Criterion) {
 
 fn fig05_heterogeneity(c: &mut Criterion) {
     let catalog = Catalog::power7plus();
-    let workloads: Vec<_> = catalog
-        .core_scaling_set()
-        .into_iter()
-        .cloned()
-        .collect();
+    let workloads: Vec<_> = catalog.core_scaling_set().into_iter().cloned().collect();
     c.bench_function("fig05_five_workloads_one_count", |b| {
         b.iter(|| {
             for w in &workloads {
@@ -136,8 +132,7 @@ fn fig16_predictor_training(c: &mut Criterion) {
             let mut data = Vec::new();
             for name in subset {
                 let w = catalog.get(name).unwrap();
-                let (mips, freq) =
-                    ags_core::predictor::measure_point(&runner, w).unwrap();
+                let (mips, freq) = ags_core::predictor::measure_point(&runner, w).unwrap();
                 data.push((mips, freq.0));
             }
             black_box(MipsFrequencyPredictor::fit(&data).unwrap())

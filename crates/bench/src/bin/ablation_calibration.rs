@@ -31,7 +31,9 @@ fn main() {
         let st = exp
             .run(&a, GuardbandMode::StaticGuardband)
             .expect("static run");
-        let uv = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+        let uv = exp
+            .run(&a, GuardbandMode::Undervolt)
+            .expect("undervolt run");
         let saving = (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0;
         savings.push(saving);
         table.row(&[

@@ -23,7 +23,9 @@ fn saving_curve(config: ServerConfig) -> Vec<f64> {
             let st = exp
                 .run(&a, GuardbandMode::StaticGuardband)
                 .expect("static run");
-            let uv = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+            let uv = exp
+                .run(&a, GuardbandMode::Undervolt)
+                .expect("undervolt run");
             (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0
         })
         .collect()

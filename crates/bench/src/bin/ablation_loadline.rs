@@ -43,7 +43,9 @@ fn main() {
             let st = exp
                 .run(&a, GuardbandMode::StaticGuardband)
                 .expect("static run");
-            let uv = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+            let uv = exp
+                .run(&a, GuardbandMode::Undervolt)
+                .expect("undervolt run");
             (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0
         };
         let s1 = saving(1);

@@ -5,15 +5,20 @@
 //! (Fig. 3a); ~20 % EDP improvement at one core, negligible additional
 //! benefit beyond four (Fig. 3b).
 
-use ags_bench::{compare, experiment, f, Table};
+use ags_bench::{compare, engine, f, figure_spec, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
-use p7_workloads::Catalog;
+use p7_sim::Placement;
+
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
 fn main() {
-    let exp = experiment();
-    let catalog = Catalog::power7plus();
-    let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
+    let spec = figure_spec(&["raytrace"], &CORES)
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+        ])
+        .with_ticks(60, 30);
+    let report = engine().run(&spec).expect("fig03 sweep");
 
     let mut table = Table::new(
         "Fig. 3 — raytrace, undervolting vs static guardband",
@@ -32,19 +37,18 @@ fn main() {
     let mut saving_8 = 0.0;
     let mut edp_gain_1 = 0.0;
     let mut edp_gain_beyond4 = Vec::new();
-    for cores in 1..=8usize {
-        let assignment =
-            Assignment::single_socket(raytrace, cores).expect("valid single-socket assignment");
-        let static_run = exp
-            .run(&assignment, GuardbandMode::StaticGuardband)
-            .expect("static run");
-        let adaptive = exp
-            .run(&assignment, GuardbandMode::Undervolt)
-            .expect("undervolt run");
+    for cores in CORES {
+        let place = Placement::SingleSocket;
+        let static_run = report
+            .outcome("raytrace", cores, place, GuardbandMode::StaticGuardband)
+            .expect("static point in grid");
+        let adaptive = report
+            .outcome("raytrace", cores, place, GuardbandMode::Undervolt)
+            .expect("undervolt point in grid");
 
-        let saving =
-            (static_run.chip_power().0 - adaptive.chip_power().0) / static_run.chip_power().0
-                * 100.0;
+        let saving = report
+            .power_saving_percent("raytrace", cores, place, GuardbandMode::Undervolt)
+            .expect("both points in grid");
         let edp_gain = (static_run.edp - adaptive.edp) / static_run.edp * 100.0;
         if cores == 1 {
             saving_1 = saving;
@@ -71,12 +75,25 @@ fn main() {
     table.print();
     table.save_csv("fig03");
     println!();
-    compare("power saving, 1 active core", "13 %", &format!("{} %", f(saving_1, 1)));
-    compare("power saving, 8 active cores", "3 %", &format!("{} %", f(saving_8, 1)));
-    compare("EDP improvement, 1 active core", "~20 %", &format!("{} %", f(edp_gain_1, 1)));
+    compare(
+        "power saving, 1 active core",
+        "13 %",
+        &format!("{} %", f(saving_1, 1)),
+    );
+    compare(
+        "power saving, 8 active cores",
+        "3 %",
+        &format!("{} %", f(saving_8, 1)),
+    );
+    compare(
+        "EDP improvement, 1 active core",
+        "~20 %",
+        &format!("{} %", f(edp_gain_1, 1)),
+    );
     compare(
         "EDP improvement plateaus beyond 4 cores",
         "negligible additional gain",
         &format!("{} % at >4 cores", f(ags_bench::mean(&edp_gain_beyond4), 1)),
     );
+    print_sweep_stats(&report.stats);
 }

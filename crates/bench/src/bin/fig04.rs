@@ -4,15 +4,20 @@
 //! Paper: frequency gain of up to 10 % at one active core dropping to 4 %
 //! at eight (Fig. 4a); execution speedup 8 % → 3 % (Fig. 4b).
 
-use ags_bench::{compare, experiment, f, Table};
+use ags_bench::{compare, engine, f, figure_spec, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
-use p7_workloads::Catalog;
+use p7_sim::Placement;
+
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
 fn main() {
-    let exp = experiment();
-    let catalog = Catalog::power7plus();
-    let lu_cb = catalog.get("lu_cb").expect("lu_cb in catalog");
+    let spec = figure_spec(&["lu_cb"], &CORES)
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Overclock,
+        ])
+        .with_ticks(60, 30);
+    let report = engine().run(&spec).expect("fig04 sweep");
 
     let mut table = Table::new(
         "Fig. 4 — lu_cb, overclocking vs static guardband",
@@ -29,19 +34,18 @@ fn main() {
 
     let mut boost = [0.0f64; 9];
     let mut speedup = [0.0f64; 9];
-    for cores in 1..=8usize {
-        let assignment =
-            Assignment::single_socket(lu_cb, cores).expect("valid single-socket assignment");
-        let static_run = exp
-            .run(&assignment, GuardbandMode::StaticGuardband)
-            .expect("static run");
-        let adaptive = exp
-            .run(&assignment, GuardbandMode::Overclock)
-            .expect("overclock run");
+    for cores in CORES {
+        let place = Placement::SingleSocket;
+        let static_run = report
+            .outcome("lu_cb", cores, place, GuardbandMode::StaticGuardband)
+            .expect("static point in grid");
+        let adaptive = report
+            .outcome("lu_cb", cores, place, GuardbandMode::Overclock)
+            .expect("overclock point in grid");
 
-        boost[cores] = (adaptive.summary.avg_running_freq.0 - static_run.summary.avg_running_freq.0)
-            / static_run.summary.avg_running_freq.0
-            * 100.0;
+        boost[cores] = report
+            .frequency_boost_percent("lu_cb", cores, place, GuardbandMode::Overclock)
+            .expect("both points in grid");
         speedup[cores] =
             (static_run.exec_time.0 - adaptive.exec_time.0) / static_run.exec_time.0 * 100.0;
 
@@ -59,8 +63,25 @@ fn main() {
     table.print();
     table.save_csv("fig04");
     println!();
-    compare("frequency boost, 1 active core", "10 %", &format!("{} %", f(boost[1], 1)));
-    compare("frequency boost, 8 active cores", "4 %", &format!("{} %", f(boost[8], 1)));
-    compare("execution speedup, 1 active core", "8 %", &format!("{} %", f(speedup[1], 1)));
-    compare("execution speedup, 8 active cores", "3 %", &format!("{} %", f(speedup[8], 1)));
+    compare(
+        "frequency boost, 1 active core",
+        "10 %",
+        &format!("{} %", f(boost[1], 1)),
+    );
+    compare(
+        "frequency boost, 8 active cores",
+        "4 %",
+        &format!("{} %", f(boost[8], 1)),
+    );
+    compare(
+        "execution speedup, 1 active core",
+        "8 %",
+        &format!("{} %", f(speedup[1], 1)),
+    );
+    compare(
+        "execution speedup, 8 active cores",
+        "3 %",
+        &format!("{} %", f(speedup[8], 1)),
+    );
+    print_sweep_stats(&report.stats);
 }

@@ -7,55 +7,52 @@
 //! frequency mode radix and ocean_cp hold ~9 % while lu_cb, swaptions and
 //! raytrace fall from ~10 % to ~4 %.
 
-use ags_bench::{compare, f, mean, sweep_experiment, Table};
+use ags_bench::{compare, engine, f, figure_spec, mean, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
+use p7_sim::Placement;
 use p7_workloads::catalog::CORE_SCALING_SET;
-use p7_workloads::Catalog;
 use std::collections::HashMap;
 
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
 fn main() {
-    let exp = sweep_experiment();
-    let catalog = Catalog::power7plus();
+    let spec = figure_spec(&CORE_SCALING_SET, &CORES);
+    let report = engine().run(&spec).expect("fig05 sweep");
 
     let mut power: HashMap<&str, Vec<f64>> = HashMap::new();
     let mut freq: HashMap<&str, Vec<f64>> = HashMap::new();
-
     for name in CORE_SCALING_SET {
-        let w = catalog.get(name).expect("core-scaling benchmark");
-        for cores in 1..=8usize {
-            let assignment = Assignment::single_socket(w, cores).expect("valid assignment");
-            let static_run = exp
-                .run(&assignment, GuardbandMode::StaticGuardband)
-                .expect("static run");
-            let undervolt = exp
-                .run(&assignment, GuardbandMode::Undervolt)
-                .expect("undervolt run");
-            let overclock = exp
-                .run(&assignment, GuardbandMode::Overclock)
-                .expect("overclock run");
-
+        for cores in CORES {
+            let place = Placement::SingleSocket;
             power.entry(name).or_default().push(
-                (static_run.chip_power().0 - undervolt.chip_power().0)
-                    / static_run.chip_power().0
-                    * 100.0,
+                report
+                    .power_saving_percent(name, cores, place, GuardbandMode::Undervolt)
+                    .expect("undervolt point in grid"),
             );
             freq.entry(name).or_default().push(
-                (overclock.summary.avg_running_freq.0 - static_run.summary.avg_running_freq.0)
-                    / static_run.summary.avg_running_freq.0
-                    * 100.0,
+                report
+                    .frequency_boost_percent(name, cores, place, GuardbandMode::Overclock)
+                    .expect("overclock point in grid"),
             );
         }
     }
 
     for (title, csv, data) in [
-        ("Fig. 5a — power improvement % (undervolt mode)", "fig05a", &power),
-        ("Fig. 5b — frequency improvement % (overclock mode)", "fig05b", &freq),
+        (
+            "Fig. 5a — power improvement % (undervolt mode)",
+            "fig05a",
+            &power,
+        ),
+        (
+            "Fig. 5b — frequency improvement % (overclock mode)",
+            "fig05b",
+            &freq,
+        ),
     ] {
         let mut headers = vec!["cores"];
         headers.extend(CORE_SCALING_SET);
         let mut table = Table::new(title, &headers);
-        for cores in 1..=8usize {
+        for cores in CORES {
             let mut row = vec![cores.to_string()];
             for name in CORE_SCALING_SET {
                 row.push(f(data[name][cores - 1], 1));
@@ -68,7 +65,10 @@ fn main() {
     }
 
     let at = |data: &HashMap<&str, Vec<f64>>, cores: usize| -> Vec<f64> {
-        CORE_SCALING_SET.iter().map(|n| data[n][cores - 1]).collect()
+        CORE_SCALING_SET
+            .iter()
+            .map(|n| data[n][cores - 1])
+            .collect()
     };
     compare(
         "avg power improvement at 1 / 2 / 8 cores",
@@ -83,7 +83,11 @@ fn main() {
     compare(
         "radix power improvement 1 → 8 cores",
         "15 → 12 %",
-        &format!("{} → {} %", f(power["radix"][0], 1), f(power["radix"][7], 1)),
+        &format!(
+            "{} → {} %",
+            f(power["radix"][0], 1),
+            f(power["radix"][7], 1)
+        ),
     );
     compare(
         "swaptions power improvement 1 → 8 cores",
@@ -118,4 +122,5 @@ fn main() {
             )
         ),
     );
+    print_sweep_stats(&report.stats);
 }

@@ -6,30 +6,34 @@
 //! jump of ~2 % the moment a core itself activates, and earlier-activated
 //! cores rise first then plateau.
 
-use ags_bench::{compare, f, sweep_experiment, Table};
+use ags_bench::{compare, engine, f, figure_spec, print_sweep_stats, Table, FIGURE_SEED};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
+use p7_sim::{Placement, ServerConfig};
 use p7_workloads::catalog::CORE_SCALING_SET;
-use p7_workloads::Catalog;
+
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
 fn main() {
-    let exp = sweep_experiment();
-    let catalog = Catalog::power7plus();
-    let nominal = exp.config().nominal_voltage();
+    let spec =
+        figure_spec(&CORE_SCALING_SET, &CORES).with_modes(vec![GuardbandMode::StaticGuardband]);
+    let report = engine().run(&spec).expect("fig07 sweep");
+    let nominal = ServerConfig::power7plus(FIGURE_SEED).nominal_voltage();
 
     // drops[workload][active_cores-1][core] = drop % of nominal.
     let mut drops: Vec<(&str, Vec<[f64; 8]>)> = Vec::new();
     for name in CORE_SCALING_SET {
-        let w = catalog.get(name).expect("benchmark in catalog");
         let mut per_count = Vec::new();
-        for active in 1..=8usize {
-            let assignment = Assignment::single_socket(w, active).expect("valid assignment");
-            let run = exp
-                .run(&assignment, GuardbandMode::StaticGuardband)
-                .expect("static run");
-            let row: [f64; 8] = std::array::from_fn(|core| {
-                run.summary.socket0().core_drop_percent(core, nominal)
-            });
+        for active in CORES {
+            let run = report
+                .outcome(
+                    name,
+                    active,
+                    Placement::SingleSocket,
+                    GuardbandMode::StaticGuardband,
+                )
+                .expect("static point in grid");
+            let row: [f64; 8] =
+                std::array::from_fn(|core| run.summary.socket0().core_drop_percent(core, nominal));
             per_count.push(row);
         }
         drops.push((name, per_count));
@@ -43,7 +47,7 @@ fn main() {
             &format!("Fig. 7 — Core{core} voltage drop (% of nominal)"),
             &header_refs,
         );
-        for active in 1..=8usize {
+        for active in CORES {
             let mut row = vec![active.to_string()];
             for (_, per_count) in &drops {
                 row.push(f(per_count[active - 1][core], 2));
@@ -56,7 +60,11 @@ fn main() {
     }
 
     // Headline checks on raytrace.
-    let raytrace = &drops.iter().find(|(n, _)| *n == "raytrace").expect("raytrace").1;
+    let raytrace = &drops
+        .iter()
+        .find(|(n, _)| *n == "raytrace")
+        .expect("raytrace")
+        .1;
     compare(
         "core 0 drop, 1 → 8 active cores",
         "~2 % → ~8 %",
@@ -74,4 +82,5 @@ fn main() {
         "~2 % of nominal",
         &format!("{} %", f(after - before, 1)),
     );
+    print_sweep_stats(&report.stats);
 }

@@ -6,31 +6,43 @@
 //! as staggered cores smooth each other; worst-case droops grow slightly
 //! through alignment but occur rarely. Core 0 data shown, as in the paper.
 
-use ags_bench::{compare, f, sweep_experiment, Table};
+use ags_bench::{compare, engine, f, figure_spec, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
+use p7_sim::Placement;
 use p7_workloads::catalog::DECOMPOSITION_SET;
-use p7_workloads::Catalog;
+
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
 fn main() {
-    let exp = sweep_experiment();
-    let catalog = Catalog::power7plus();
+    let spec =
+        figure_spec(&DECOMPOSITION_SET, &CORES).with_modes(vec![GuardbandMode::StaticGuardband]);
+    let report = engine().run(&spec).expect("fig09 sweep");
 
     let mut passive_share_8 = Vec::new();
     let mut typical_trend = Vec::new();
     let mut worst_trend = Vec::new();
 
     for name in DECOMPOSITION_SET {
-        let w = catalog.get(name).expect("benchmark in catalog");
         let mut table = Table::new(
             &format!("Fig. 9 — {name}: core 0 drop components (mV)"),
-            &["active", "loadline", "IR drop", "typical di/dt", "worst di/dt", "total"],
+            &[
+                "active",
+                "loadline",
+                "IR drop",
+                "typical di/dt",
+                "worst di/dt",
+                "total",
+            ],
         );
-        for active in 1..=8usize {
-            let assignment = Assignment::single_socket(w, active).expect("valid assignment");
-            let run = exp
-                .run(&assignment, GuardbandMode::StaticGuardband)
-                .expect("static run");
+        for active in CORES {
+            let run = report
+                .outcome(
+                    name,
+                    active,
+                    Placement::SingleSocket,
+                    GuardbandMode::StaticGuardband,
+                )
+                .expect("static point in grid");
             let d = run.summary.socket0().drop[0];
             table.row(&[
                 active.to_string(),
@@ -76,4 +88,5 @@ fn main() {
         "grows slightly (alignment)",
         &format!("{} → {} mV", f(mean(&worst_1), 1), f(mean(&worst_8), 1)),
     );
+    print_sweep_stats(&report.stats);
 }

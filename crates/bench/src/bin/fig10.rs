@@ -6,14 +6,13 @@
 //! (c) higher selected Vdd means smaller energy savings; (d) larger
 //! passive drop also caps the frequency boost.
 
-use ags_bench::{compare, f, pearson, sweep_experiment, Table};
+use ags_bench::{compare, engine, f, pearson, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
-use p7_workloads::Catalog;
+use p7_sim::{Placement, SweepSpec};
 
 fn main() {
-    let exp = sweep_experiment();
-    let catalog = Catalog::power7plus();
+    let spec = SweepSpec::fig10_grid();
+    let report = engine().run(&spec).expect("fig10 sweep");
 
     let mut table = Table::new(
         "Fig. 10 — per-workload scatter at 8 active cores",
@@ -35,30 +34,29 @@ fn main() {
     let mut energy_saving = Vec::new();
     let mut boost = Vec::new();
 
-    for w in catalog.scatter_set() {
-        let assignment = Assignment::single_socket(w, 8).expect("valid assignment");
-        let st = exp
-            .run(&assignment, GuardbandMode::StaticGuardband)
-            .expect("static run");
-        let uv = exp
-            .run(&assignment, GuardbandMode::Undervolt)
-            .expect("undervolt run");
-        let oc = exp
-            .run(&assignment, GuardbandMode::Overclock)
-            .expect("overclock run");
+    for name in &spec.workloads {
+        let place = Placement::SingleSocket;
+        let st = report
+            .outcome(name, 8, place, GuardbandMode::StaticGuardband)
+            .expect("static point in grid");
+        let uv = report
+            .outcome(name, 8, place, GuardbandMode::Undervolt)
+            .expect("undervolt point in grid");
 
         // Passive drop as measured in the static (AG off) configuration.
         let p_drop = st.summary.socket0().core0_passive_drop().millivolts();
         let uv_mv = uv.summary.socket0().undervolt.millivolts();
         let vdd_mv = uv.summary.socket0().avg_set_point.millivolts();
         // Energy saving of undervolting at identical runtime (same clock).
-        let e_save = (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0;
-        let b = (oc.summary.avg_running_freq.0 - st.summary.avg_running_freq.0)
-            / st.summary.avg_running_freq.0
-            * 100.0;
+        let e_save = report
+            .power_saving_percent(name, 8, place, GuardbandMode::Undervolt)
+            .expect("both points in grid");
+        let b = report
+            .frequency_boost_percent(name, 8, place, GuardbandMode::Overclock)
+            .expect("overclock point in grid");
 
         table.row(&[
-            w.name().to_owned(),
+            name.clone(),
             f(st.chip_power().0, 1),
             f(p_drop, 1),
             f(uv_mv, 1),
@@ -108,4 +106,5 @@ fn main() {
         "44 workloads (17 PARSEC/SPLASH-2 + 27 SPECrate)",
         &format!("{} workloads", power.len()),
     );
+    print_sweep_stats(&report.stats);
 }

@@ -6,17 +6,21 @@
 //! distributed dynamic power) and cuts total chip power by 1.6 %, 4.2 %
 //! and 8.5 % at two, four and eight cores.
 
-use ags_bench::{compare, experiment, f, Table};
-use ags_core::LoadlineBorrowing;
+use ags_bench::{compare, engine, f, figure_spec, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
-use p7_workloads::Catalog;
+use p7_sim::Placement;
+
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
 fn main() {
-    let exp = experiment();
-    let catalog = Catalog::power7plus();
-    let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
-    let lb = LoadlineBorrowing::new(exp.clone());
+    let spec = figure_spec(&["raytrace"], &CORES)
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+        ])
+        .with_placements(vec![Placement::Consolidated, Placement::Borrowed])
+        .with_ticks(60, 30);
+    let report = engine().run(&spec).expect("fig12 sweep");
 
     let mut table = Table::new(
         "Fig. 12 — raytrace: consolidation vs loadline borrowing",
@@ -33,29 +37,48 @@ fn main() {
 
     let mut savings = [0.0f64; 9];
     let mut uv_gain = [0.0f64; 9];
-    for cores in 1..=8usize {
-        let eval = lb.evaluate(raytrace, cores).expect("borrowing evaluation");
-        let static_run = exp
-            .run(
-                &Assignment::consolidated(raytrace, cores).expect("valid assignment"),
+    for cores in CORES {
+        let static_run = report
+            .outcome(
+                "raytrace",
+                cores,
+                Placement::Consolidated,
                 GuardbandMode::StaticGuardband,
             )
-            .expect("static run");
-        let uv_base = eval.consolidated.summary.socket0().undervolt.millivolts();
+            .expect("static consolidated point in grid");
+        let consolidated = report
+            .outcome(
+                "raytrace",
+                cores,
+                Placement::Consolidated,
+                GuardbandMode::Undervolt,
+            )
+            .expect("consolidated undervolt point in grid");
+        let borrowed = report
+            .outcome(
+                "raytrace",
+                cores,
+                Placement::Borrowed,
+                GuardbandMode::Undervolt,
+            )
+            .expect("borrowed undervolt point in grid");
+        let uv_base = consolidated.summary.socket0().undervolt.millivolts();
         // Borrowing's undervolt: mean of the two (loaded) rails.
-        let uv_borrow = (eval.borrowed.summary.sockets[0].undervolt.millivolts()
-            + eval.borrowed.summary.sockets[1].undervolt.millivolts())
+        let uv_borrow = (borrowed.summary.sockets[0].undervolt.millivolts()
+            + borrowed.summary.sockets[1].undervolt.millivolts())
             / 2.0;
-        savings[cores] = eval.power_saving_percent;
+        savings[cores] = (consolidated.total_power().0 - borrowed.total_power().0)
+            / consolidated.total_power().0
+            * 100.0;
         uv_gain[cores] = uv_borrow - uv_base;
         table.row(&[
             cores.to_string(),
             f(static_run.total_power().0, 1),
-            f(eval.consolidated.total_power().0, 1),
-            f(eval.borrowed.total_power().0, 1),
+            f(consolidated.total_power().0, 1),
+            f(borrowed.total_power().0, 1),
             f(uv_base, 1),
             f(uv_borrow, 1),
-            f(eval.power_saving_percent, 1),
+            f(savings[cores], 1),
         ]);
     }
 
@@ -82,4 +105,5 @@ fn main() {
             f(savings[8], 1)
         ),
     );
+    print_sweep_stats(&report.stats);
 }

@@ -7,33 +7,65 @@
 //! 13.8 % — borrowing effectively doubles adaptive guardbanding's benefit
 //! and clusters the workloads back together.
 
-use ags_bench::{compare, f, mean, sweep_experiment, Table};
-use ags_core::LoadlineBorrowing;
+use ags_bench::{compare, engine, f, figure_spec, mean, print_sweep_stats, Table};
+use p7_control::GuardbandMode;
+use p7_sim::Placement;
 use p7_workloads::Catalog;
 
-fn main() {
-    let exp = sweep_experiment();
-    let catalog = Catalog::power7plus();
-    let lb = LoadlineBorrowing::new(exp);
+const CORES: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
-    let workloads = catalog.parsec_splash();
+fn main() {
+    let catalog = Catalog::power7plus();
+    let names: Vec<&str> = catalog.parsec_splash().iter().map(|w| w.name()).collect();
+    let spec = figure_spec(&names, &CORES)
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+        ])
+        .with_placements(vec![Placement::Consolidated, Placement::Borrowed]);
+    let report = engine().run(&spec).expect("fig13 sweep");
+
     let mut per_count_cons: Vec<Vec<f64>> = vec![Vec::new(); 9];
     let mut per_count_borr: Vec<Vec<f64>> = vec![Vec::new(); 9];
 
     let mut table = Table::new(
         "Fig. 13 — improvement over static guardband (%), per workload",
-        &[
-            "workload", "mode", "1", "2", "3", "4", "5", "6", "7", "8",
-        ],
+        &["workload", "mode", "1", "2", "3", "4", "5", "6", "7", "8"],
     );
 
-    for w in &workloads {
-        let mut cons_row = vec![w.name().to_owned(), "consolidated".to_owned()];
-        let mut borr_row = vec![w.name().to_owned(), "borrowed".to_owned()];
-        for cores in 1..=8usize {
-            let (cons, borr) = lb
-                .improvement_vs_static(w, cores)
-                .expect("improvement runs");
+    for name in &names {
+        let mut cons_row = vec![(*name).to_owned(), "consolidated".to_owned()];
+        let mut borr_row = vec![(*name).to_owned(), "borrowed".to_owned()];
+        for cores in CORES {
+            // The paper's Fig. 13 reference: the static-guardband
+            // *consolidated* schedule, for both placements.
+            let base = report
+                .outcome(
+                    name,
+                    cores,
+                    Placement::Consolidated,
+                    GuardbandMode::StaticGuardband,
+                )
+                .expect("static consolidated point in grid")
+                .total_power()
+                .0;
+            let cons_uv = report
+                .outcome(
+                    name,
+                    cores,
+                    Placement::Consolidated,
+                    GuardbandMode::Undervolt,
+                )
+                .expect("consolidated undervolt point in grid")
+                .total_power()
+                .0;
+            let borr_uv = report
+                .outcome(name, cores, Placement::Borrowed, GuardbandMode::Undervolt)
+                .expect("borrowed undervolt point in grid")
+                .total_power()
+                .0;
+            let cons = (base - cons_uv) / base * 100.0;
+            let borr = (base - borr_uv) / base * 100.0;
             per_count_cons[cores].push(cons);
             per_count_borr[cores].push(borr);
             cons_row.push(f(cons, 1));
@@ -51,7 +83,7 @@ fn main() {
         "Fig. 13 — suite-average improvement (%)",
         &["cores", "consolidated", "borrowed"],
     );
-    for cores in 1..=8usize {
+    for cores in CORES {
         avg_table.row(&[
             cores.to_string(),
             f(mean(&per_count_cons[cores]), 1),
@@ -79,4 +111,5 @@ fn main() {
         "~2.5×",
         &format!("{}×", f(borr8 / cons8, 2)),
     );
+    print_sweep_stats(&report.stats);
 }

@@ -65,7 +65,11 @@ fn main() {
     compare(
         "lu_ncb / radiosity energy (comm-heavy, left extreme)",
         "negative (perf loss >20 %)",
-        &format!("{} / {} %", f(by_name["lu_ncb"], 1), f(by_name["radiosity"], 1)),
+        &format!(
+            "{} / {} %",
+            f(by_name["lu_ncb"], 1),
+            f(by_name["radiosity"], 1)
+        ),
     );
     let right: Vec<f64> = ["radix", "zeusmp", "lbm", "fft", "GemsFDTD"]
         .iter()

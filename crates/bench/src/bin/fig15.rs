@@ -34,7 +34,9 @@ fn main() {
 
     let freq_with = |other: &p7_workloads::WorkloadProfile, n: usize| -> f64 {
         let a = Assignment::colocated(coremark, other, n).expect("valid colocation");
-        let o = exp.run(&a, GuardbandMode::Overclock).expect("colocated run");
+        let o = exp
+            .run(&a, GuardbandMode::Overclock)
+            .expect("colocated run");
         o.summary.sockets[0].avg_core_freq[0].0
     };
 
@@ -53,7 +55,11 @@ fn main() {
             f(freq, 0),
         ]);
     }
-    table.row(&["<8,0>".to_owned(), "(coremark only)".to_owned(), f(f_only, 0)]);
+    table.row(&[
+        "<8,0>".to_owned(),
+        "(coremark only)".to_owned(),
+        f(f_only, 0),
+    ]);
     for n_other in 1..=7 {
         let freq = freq_with(mcf, n_other);
         if n_other == 7 {

@@ -15,7 +15,13 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 16 — measured vs predicted frequency per workload",
-        &["workload", "chip MIPS", "measured MHz", "predicted MHz", "error %"],
+        &[
+            "workload",
+            "chip MIPS",
+            "measured MHz",
+            "predicted MHz",
+            "error %",
+        ],
     );
 
     let mut data = Vec::new();
@@ -53,7 +59,11 @@ fn main() {
     compare(
         "fit RMSE",
         "0.3 %",
-        &format!("{} % ({} MHz)", f(model.rmse_percent(), 2), f(model.rmse_mhz(), 1)),
+        &format!(
+            "{} % ({} MHz)",
+            f(model.rmse_percent(), 2),
+            f(model.rmse_mhz(), 1)
+        ),
     );
     compare(
         "training population",

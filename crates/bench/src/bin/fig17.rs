@@ -24,13 +24,21 @@ fn main() {
     // ---- Static CDF data: violation rate per co-runner class -----------
     let mut table = Table::new(
         "Fig. 17 — WebSearch p90 vs co-runner class (0.5 s QoS target)",
-        &["co-runner", "chip MIPS", "freq MHz", "violation %", "p90 median s"],
+        &[
+            "co-runner",
+            "chip MIPS",
+            "freq MHz",
+            "violation %",
+            "p90 median s",
+        ],
     );
     let mut rates = std::collections::HashMap::new();
     for class in CoRunnerClass::all() {
         let runner = co_runner(class);
         let a = Assignment::colocated(websearch_profile, &runner, 7).expect("valid colocation");
-        let o = exp.run(&a, GuardbandMode::Overclock).expect("colocated run");
+        let o = exp
+            .run(&a, GuardbandMode::Overclock)
+            .expect("colocated run");
         let freq = o.summary.sockets[0].avg_core_freq[0];
         let mut p90s = service.p90_windows(freq, 300, FIGURE_SEED);
         p90s.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
@@ -54,8 +62,7 @@ fn main() {
     let predictor = {
         let mut data = Vec::new();
         for w in catalog.scatter_set() {
-            let (mips, freq) =
-                ags_core::predictor::measure_point(&exp, w).expect("training run");
+            let (mips, freq) = ags_core::predictor::measure_point(&exp, w).expect("training run");
             data.push((mips, freq.0));
         }
         MipsFrequencyPredictor::fit(&data).expect("trained predictor")

@@ -6,10 +6,13 @@
 //! only as drift really accumulates. This study runs the same experiment
 //! on a part at several ages by shifting the frequency–voltage curve.
 
-use ags_bench::{compare, f, Table, FIGURE_SEED};
+use ags_bench::{compare, f, jobs_from_args, Table, FIGURE_SEED};
 use p7_control::{AgingModel, GuardbandMode};
-use p7_sim::{Assignment, Experiment, ServerConfig};
+use p7_sim::sweep::run_indexed;
+use p7_sim::{Assignment, CachedExperiment, Experiment, ServerConfig};
 use p7_workloads::{Catalog, ExecutionModel};
+
+const AGES: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
 fn main() {
     let catalog = Catalog::power7plus();
@@ -28,21 +31,31 @@ fn main() {
         ],
     );
 
-    let mut savings = Vec::new();
-    for years in [0.0, 1.0, 5.0, 10.0] {
+    let a = Assignment::single_socket(raytrace, 2).expect("valid assignment");
+    let runs = run_indexed(jobs_from_args(), AGES.len(), |i| {
+        let years = AGES[i];
         let mut cfg = ServerConfig::power7plus(FIGURE_SEED);
         // Age the silicon. The static design's nominal voltage stays where
         // day-one worst-case sizing put it: the shifted curve consumes
         // guardband from below, exactly like a slow voltage drop.
-        cfg.curve = aging.aged_curve(&base_curve, years).expect("valid aged curve");
+        cfg.curve = aging
+            .aged_curve(&base_curve, years)
+            .expect("valid aged curve");
         cfg.policy.static_guardband -= aging.drift_at_years(years);
-        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(30, 15);
-
-        let a = Assignment::single_socket(raytrace, 2).expect("valid assignment");
+        let exp = CachedExperiment::new(
+            Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(30, 15),
+        );
         let st = exp
             .run(&a, GuardbandMode::StaticGuardband)
             .expect("static run");
-        let uv = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+        let uv = exp
+            .run(&a, GuardbandMode::Undervolt)
+            .expect("undervolt run");
+        (st, uv)
+    });
+
+    let mut savings = Vec::new();
+    for (years, (st, uv)) in AGES.iter().copied().zip(&runs) {
         let saving = (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0;
         savings.push(saving);
         table.row(&[

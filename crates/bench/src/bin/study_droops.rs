@@ -6,13 +6,22 @@
 //! core count we histogram 3 000 telemetry windows of droop activity and
 //! report how often deep droops actually occur — the reason adaptive
 //! guardbanding can ride them out with the DPLL instead of provisioning
-//! voltage for them.
+//! voltage for them. The eight per-core-count histograms are independent
+//! (each reseeds its own noise model), so they fan out across workers.
 
-use ags_bench::{compare, f, Table, FIGURE_SEED};
+use ags_bench::{compare, f, jobs_from_args, Table, FIGURE_SEED};
 use p7_pdn::{DidtConfig, DidtModel};
+use p7_sim::sweep::run_indexed;
 use p7_types::Seconds;
 
 const WINDOWS: usize = 3000;
+
+struct DroopStats {
+    events_per_sec: f64,
+    mean_worst: f64,
+    p99_worst: f64,
+    deep_percent: f64,
+}
 
 fn main() {
     let mut table = Table::new(
@@ -27,9 +36,8 @@ fn main() {
     );
 
     let window = Seconds::from_millis(32.0);
-    let mut mean_worst = Vec::new();
-    let mut deep_fraction = Vec::new();
-    for active in 1..=8usize {
+    let stats = run_indexed(jobs_from_args(), 8, |i| {
+        let active = i + 1;
         let mut model = DidtModel::new(DidtConfig::power7plus(), FIGURE_SEED);
         let mut worsts = Vec::with_capacity(WINDOWS);
         let mut events = 0u64;
@@ -46,14 +54,21 @@ fn main() {
         let deep_threshold = 1.7 * DidtConfig::power7plus().worst_base.millivolts();
         let deep =
             worsts.iter().filter(|&&w| w > deep_threshold).count() as f64 / WINDOWS as f64 * 100.0;
-        mean_worst.push(mean);
-        deep_fraction.push(deep);
+        DroopStats {
+            events_per_sec: events as f64 / (WINDOWS as f64 * window.0),
+            mean_worst: mean,
+            p99_worst: p99,
+            deep_percent: deep,
+        }
+    });
+
+    for (i, s) in stats.iter().enumerate() {
         table.row(&[
-            active.to_string(),
-            f(events as f64 / (WINDOWS as f64 * window.0), 1),
-            f(mean, 1),
-            f(p99, 1),
-            f(deep, 2),
+            (i + 1).to_string(),
+            f(s.events_per_sec, 1),
+            f(s.mean_worst, 1),
+            f(s.p99_worst, 1),
+            f(s.deep_percent, 2),
         ]);
     }
 
@@ -65,13 +80,13 @@ fn main() {
         "slight growth via alignment (Sec. 4.3)",
         &format!(
             "{} → {} mV mean",
-            f(mean_worst[0], 1),
-            f(mean_worst[7], 1)
+            f(stats[0].mean_worst, 1),
+            f(stats[7].mean_worst, 1)
         ),
     );
     compare(
         "deep droops are rare even at full load",
         "infrequent (paper's unshown analysis)",
-        &format!("{} % of windows at 8 cores", f(deep_fraction[7], 2)),
+        &format!("{} % of windows at 8 cores", f(stats[7].deep_percent, 2)),
     );
 }

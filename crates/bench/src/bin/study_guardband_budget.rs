@@ -8,18 +8,22 @@
 //! what undervolting *reclaims*. This study prints the ledger as load
 //! grows, making the efficiency collapse of Figs. 3–5 arithmetic.
 
-use ags_bench::{compare, experiment, f, Table};
+use ags_bench::{compare, engine, experiment, f, figure_spec, print_sweep_stats, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
-use p7_workloads::Catalog;
+use p7_sim::Placement;
+
+const CORES: [usize; 5] = [1, 2, 4, 6, 8];
 
 fn main() {
-    let exp = experiment();
-    let catalog = Catalog::power7plus();
-    let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
-    let policy = &exp.config().policy;
+    let policy_cfg = experiment();
+    let policy = &policy_cfg.config().policy;
     let static_mv = policy.static_guardband.millivolts();
     let residual_mv = policy.residual_guardband.millivolts();
+
+    let spec = figure_spec(&["raytrace"], &CORES)
+        .with_modes(vec![GuardbandMode::Undervolt])
+        .with_ticks(60, 30);
+    let report = engine().run(&spec).expect("guardband budget sweep");
 
     let mut table = Table::new(
         &format!("Guardband ledger — raytrace, {static_mv:.0} mV static budget"),
@@ -35,9 +39,15 @@ fn main() {
     );
 
     let mut reclaimed = Vec::new();
-    for cores in [1usize, 2, 4, 6, 8] {
-        let a = Assignment::single_socket(raytrace, cores).expect("valid assignment");
-        let run = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+    for cores in CORES {
+        let run = report
+            .outcome(
+                "raytrace",
+                cores,
+                Placement::SingleSocket,
+                GuardbandMode::Undervolt,
+            )
+            .expect("undervolt point in grid");
         let s0 = run.summary.socket0();
         let drop = s0.drop[0];
         let undervolt = s0.undervolt.millivolts();
@@ -45,8 +55,7 @@ fn main() {
         let typical = drop.typical_didt.millivolts();
         // The firmware's effective worst-case reserve: whatever of the
         // budget is neither reclaimed nor spent on steady drop/ripple.
-        let worst_reserve =
-            (static_mv - undervolt - passive - typical - residual_mv).max(0.0);
+        let worst_reserve = (static_mv - undervolt - passive - typical - residual_mv).max(0.0);
         let accounted = undervolt + passive + typical + worst_reserve + residual_mv;
         reclaimed.push(undervolt);
         table.row(&[
@@ -77,4 +86,5 @@ fn main() {
             f(reclaimed[reclaimed.len() - 1], 1)
         ),
     );
+    print_sweep_stats(&report.stats);
 }

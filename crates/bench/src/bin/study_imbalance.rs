@@ -9,15 +9,17 @@
 //!
 //! We quantify that: eight light threads undervolt deeply; swapping just
 //! one of them for a power-hungry thread drags the whole rail up, taxing
-//! the seven innocent neighbours.
+//! the seven innocent neighbours. The nine mixes run in parallel on the
+//! sweep engine's low-level fan-out, through the shared solve cache.
 
-use ags_bench::{compare, experiment, f, Table};
+use ags_bench::{compare, experiment, f, jobs_from_args, Table};
 use p7_control::GuardbandMode;
-use p7_sim::Assignment;
+use p7_sim::sweep::run_indexed;
+use p7_sim::{Assignment, CachedExperiment};
 use p7_workloads::Catalog;
 
 fn main() {
-    let exp = experiment();
+    let exp = CachedExperiment::new(experiment());
     let catalog = Catalog::power7plus();
     let light = catalog.get("mcf").expect("mcf in catalog");
     let heavy = catalog.get("lu_cb").expect("lu_cb in catalog");
@@ -27,9 +29,7 @@ fn main() {
         &["mix", "undervolt mV", "chip W", "W per light thread"],
     );
 
-    let mut uv_all_light = 0.0;
-    let mut uv_one_heavy = 0.0;
-    for heavy_threads in 0..=8usize {
+    let outcomes = run_indexed(jobs_from_args(), 9, |heavy_threads| {
         let mix: Vec<_> = (0..8)
             .map(|i| {
                 if i < heavy_threads {
@@ -40,10 +40,13 @@ fn main() {
             })
             .collect();
         let assignment = Assignment::mixed_single_socket(&mix).expect("valid assignment");
+        exp.run(&assignment, GuardbandMode::Undervolt)
+            .expect("undervolt run")
+    });
 
-        let outcome = exp
-            .run(&assignment, GuardbandMode::Undervolt)
-            .expect("undervolt run");
+    let mut uv_all_light = 0.0;
+    let mut uv_one_heavy = 0.0;
+    for (heavy_threads, outcome) in outcomes.iter().enumerate() {
         let uv = outcome.summary.socket0().undervolt.millivolts();
         if heavy_threads == 0 {
             uv_all_light = uv;

@@ -9,12 +9,15 @@
 //! observables barely move — confirming the paper was right to treat its
 //! measurements as temperature-insensitive.
 
-use ags_bench::{compare, f, Table, FIGURE_SEED};
+use ags_bench::{compare, f, jobs_from_args, Table, FIGURE_SEED};
 use p7_control::GuardbandMode;
 use p7_power::ThermalModel;
-use p7_sim::{Assignment, Experiment, ServerConfig};
+use p7_sim::sweep::run_indexed;
+use p7_sim::{Assignment, CachedExperiment, Experiment, ServerConfig};
 use p7_types::{Celsius, Watts};
 use p7_workloads::{Catalog, ExecutionModel};
+
+const AMBIENTS: [f64; 4] = [15.0, 22.0, 30.0, 40.0];
 
 fn main() {
     let catalog = Catalog::power7plus();
@@ -27,23 +30,37 @@ fn main() {
 
     let mut table = Table::new(
         "Ambient sweep (raytrace, 4 threads, undervolt mode)",
-        &["ambient °C", "static W", "undervolt mV", "adaptive W", "saving %"],
+        &[
+            "ambient °C",
+            "static W",
+            "undervolt mV",
+            "adaptive W",
+            "saving %",
+        ],
     );
 
-    let mut savings = Vec::new();
-    for ambient in [15.0, 22.0, 30.0, 40.0] {
+    let a = Assignment::single_socket(raytrace, 4).expect("valid assignment");
+    let runs = run_indexed(jobs_from_args(), AMBIENTS.len(), |i| {
         let mut cfg = ServerConfig::power7plus(FIGURE_SEED);
-        cfg.ambient = Celsius(ambient);
-        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(30, 15);
-        let a = Assignment::single_socket(raytrace, 4).expect("valid assignment");
+        cfg.ambient = Celsius(AMBIENTS[i]);
+        let exp = CachedExperiment::new(
+            Experiment::with_config(cfg, ExecutionModel::power7plus()).with_ticks(30, 15),
+        );
         let st = exp
             .run(&a, GuardbandMode::StaticGuardband)
             .expect("static run");
-        let uv = exp.run(&a, GuardbandMode::Undervolt).expect("undervolt run");
+        let uv = exp
+            .run(&a, GuardbandMode::Undervolt)
+            .expect("undervolt run");
+        (st, uv)
+    });
+
+    let mut savings = Vec::new();
+    for (ambient, (st, uv)) in AMBIENTS.iter().zip(&runs) {
         let saving = (st.chip_power().0 - uv.chip_power().0) / st.chip_power().0 * 100.0;
         savings.push(saving);
         table.row(&[
-            f(ambient, 0),
+            f(*ambient, 0),
             f(st.chip_power().0, 1),
             f(uv.summary.socket0().undervolt.millivolts(), 1),
             f(uv.chip_power().0, 1),
@@ -64,6 +81,9 @@ fn main() {
     compare(
         "temperature influence on the AG benefit",
         "not significant (Sec. 4.1)",
-        &format!("{} points of saving across a 25 °C ambient sweep", f(spread, 2)),
+        &format!(
+            "{} points of saving across a 25 °C ambient sweep",
+            f(spread, 2)
+        ),
     );
 }

@@ -9,29 +9,40 @@
 //! 2. how quickly does it retreat when the load steps up mid-run (we
 //!    emulate the step by switching the assignment between two runs and
 //!    splicing the histories).
+//!
+//! The two time-series runs are independent, so they fan out on the sweep
+//! engine's worker primitive.
 
-use ags_bench::{compare, f, Table, FIGURE_SEED};
+use ags_bench::{compare, f, jobs_from_args, Table, FIGURE_SEED};
 use p7_control::GuardbandMode;
+use p7_sim::sweep::run_indexed;
 use p7_sim::{Assignment, ServerConfig, Simulation};
 use p7_types::Volts;
 use p7_workloads::Catalog;
 
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
 fn main() {
     let catalog = Catalog::power7plus();
     let raytrace = catalog.get("raytrace").expect("raytrace in catalog");
+
+    let mut runs = run_indexed(jobs_from_args(), THREAD_COUNTS.len(), |i| {
+        let mut sim = Simulation::new(
+            ServerConfig::power7plus(FIGURE_SEED),
+            Assignment::single_socket(raytrace, THREAD_COUNTS[i]).expect("valid assignment"),
+            GuardbandMode::Undervolt,
+        )
+        .expect("simulation");
+        sim.run_with_history(30, 0)
+    });
+    let (heavy, heavy_history) = runs.pop().expect("heavy run present");
+    let (_, history) = runs.pop().expect("light run present");
 
     // ---- 1. walk-down from nominal -------------------------------------
     let mut table = Table::new(
         "Undervolt walk-down (raytrace, 2 threads): rail set point per window",
         &["window", "set point mV", "min core mV", "power W"],
     );
-    let mut sim = Simulation::new(
-        ServerConfig::power7plus(FIGURE_SEED),
-        Assignment::single_socket(raytrace, 2).expect("valid assignment"),
-        GuardbandMode::Undervolt,
-    )
-    .expect("simulation");
-    let (_, history) = sim.run_with_history(30, 0);
     for r in history.records().iter().take(12) {
         let s = &r.sockets[0];
         table.row(&[
@@ -55,23 +66,11 @@ fn main() {
     );
 
     // ---- 2. load step: 2 busy cores → 8 busy cores ----------------------
-    // The rail must rise when the load grows; we emulate the step by
-    // starting an 8-thread run from the 2-thread equilibrium voltage is
-    // not directly supported, so we compare the two equilibria and the
-    // retreat distance the firmware must cover.
-    let mut heavy_sim = Simulation::new(
-        ServerConfig::power7plus(FIGURE_SEED),
-        Assignment::single_socket(raytrace, 8).expect("valid assignment"),
-        GuardbandMode::Undervolt,
-    )
-    .expect("simulation");
-    let (heavy, heavy_history) = heavy_sim.run_with_history(30, 0);
-    let light_equilibrium = history
-        .records()
-        .last()
-        .expect("non-empty")
-        .sockets[0]
-        .set_point;
+    // The rail must rise when the load grows; starting an 8-thread run
+    // from the 2-thread equilibrium voltage is not directly supported, so
+    // we compare the two equilibria and the retreat distance the firmware
+    // must cover.
+    let light_equilibrium = history.records().last().expect("non-empty").sockets[0].set_point;
     let heavy_equilibrium = heavy.socket0().avg_set_point;
     let retreat = (heavy_equilibrium - light_equilibrium).millivolts();
     let heavy_settled = heavy_history

@@ -17,7 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use p7_sim::Experiment;
+use p7_sim::sweep::SweepStats;
+use p7_sim::{Experiment, SweepEngine, SweepSpec};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -35,6 +36,54 @@ pub fn experiment() -> Experiment {
 #[must_use]
 pub fn sweep_experiment() -> Experiment {
     Experiment::power7plus(FIGURE_SEED).with_ticks(30, 15)
+}
+
+/// The `--jobs N` value from the process arguments (0 = auto-detect),
+/// shared by every figure binary.
+#[must_use]
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    0
+}
+
+/// The shared sweep engine every figure binary fans out on: `--jobs N`
+/// workers (default: available parallelism), process-wide solve cache.
+#[must_use]
+pub fn engine() -> SweepEngine {
+    SweepEngine::new(jobs_from_args())
+}
+
+/// A spec over `workloads × cores` with the figure defaults (seed 42,
+/// sweep ticks 30/15, single-socket, all three modes).
+#[must_use]
+pub fn figure_spec(workloads: &[&str], cores: &[usize]) -> SweepSpec {
+    SweepSpec::new(
+        workloads.iter().map(|s| (*s).to_owned()).collect(),
+        cores.to_vec(),
+    )
+    .with_seed(FIGURE_SEED)
+}
+
+/// Prints a sweep's throughput/cache footer to stderr (stderr so stdout
+/// stays byte-identical across worker counts and cache temperatures).
+pub fn print_sweep_stats(stats: &SweepStats) {
+    eprintln!(
+        "[sweep: {} points in {:.2} s with {} jobs — {:.1} points/s, cache {} hits / {} misses ({:.0} % hit rate)]",
+        stats.points,
+        stats.elapsed_secs,
+        stats.jobs,
+        stats.points_per_sec(),
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0
+    );
 }
 
 /// A simple aligned text table that can also serialize itself to CSV.

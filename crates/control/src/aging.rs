@@ -61,11 +61,7 @@ impl AgingModel {
     ///
     /// Returns [`ControlError::InvalidParameter`] for non-positive
     /// lifetime or exponent, or a negative end-of-life drift.
-    pub fn new(
-        eol_drift: Volts,
-        lifetime_years: f64,
-        exponent: f64,
-    ) -> Result<Self, ControlError> {
+    pub fn new(eol_drift: Volts, lifetime_years: f64, exponent: f64) -> Result<Self, ControlError> {
         if !(eol_drift.0.is_finite() && eol_drift.0 >= 0.0) {
             return Err(ControlError::InvalidParameter {
                 name: "eol_drift",
@@ -124,7 +120,11 @@ impl AgingModel {
     ///
     /// Propagates [`ControlError::InvalidParameter`] from curve
     /// construction (never happens for finite drifts).
-    pub fn aged_curve(&self, base: &VoltFreqCurve, years: f64) -> Result<VoltFreqCurve, ControlError> {
+    pub fn aged_curve(
+        &self,
+        base: &VoltFreqCurve,
+        years: f64,
+    ) -> Result<VoltFreqCurve, ControlError> {
         let drift = self.drift_at_years(years);
         // Shifting the intercept shifts v_circuit uniformly.
         let intercept = base.v_circuit(p7_types::MegaHertz(0.0)) + drift;

@@ -220,10 +220,7 @@ mod tests {
         let curve = VoltFreqCurve::power7plus();
         let policy = GuardbandPolicy::power7plus();
         let v_nom = policy.nominal_voltage(&curve, MegaHertz(4200.0));
-        assert!(
-            (v_nom.millivolts() - 1200.0).abs() < 2.0,
-            "nominal {v_nom}"
-        );
+        assert!((v_nom.millivolts() - 1200.0).abs() < 2.0, "nominal {v_nom}");
     }
 
     #[test]
@@ -259,7 +256,10 @@ mod tests {
         let curve = VoltFreqCurve::power7plus();
         let policy = GuardbandPolicy::power7plus();
         let boost_mhz = policy.reclaimable().millivolts() * curve.mhz_per_volt() / 1000.0;
-        assert!((600.0..1000.0).contains(&boost_mhz), "boost {boost_mhz} MHz");
+        assert!(
+            (600.0..1000.0).contains(&boost_mhz),
+            "boost {boost_mhz} MHz"
+        );
     }
 
     #[test]

@@ -78,6 +78,9 @@ mod tests {
 
     #[test]
     fn display_is_kebab_case() {
-        assert_eq!(format!("{}", GuardbandMode::StaticGuardband), "static-guardband");
+        assert_eq!(
+            format!("{}", GuardbandMode::StaticGuardband),
+            "static-guardband"
+        );
     }
 }

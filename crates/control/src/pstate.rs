@@ -57,7 +57,13 @@ impl PStateTable {
         curve: &VoltFreqCurve,
         policy: &GuardbandPolicy,
     ) -> Result<Self, ControlError> {
-        PStateTable::new(curve, policy, MegaHertz(2800.0), MegaHertz(4200.0), MegaHertz(28.0))
+        PStateTable::new(
+            curve,
+            policy,
+            MegaHertz(2800.0),
+            MegaHertz(4200.0),
+            MegaHertz(28.0),
+        )
     }
 
     /// Builds a ladder from `min` to `max` in `step` increments.
@@ -217,7 +223,21 @@ mod tests {
     fn rejects_bad_ranges() {
         let curve = VoltFreqCurve::power7plus();
         let policy = GuardbandPolicy::power7plus();
-        assert!(PStateTable::new(&curve, &policy, MegaHertz(4000.0), MegaHertz(3000.0), MegaHertz(28.0)).is_err());
-        assert!(PStateTable::new(&curve, &policy, MegaHertz(3000.0), MegaHertz(4000.0), MegaHertz(0.0)).is_err());
+        assert!(PStateTable::new(
+            &curve,
+            &policy,
+            MegaHertz(4000.0),
+            MegaHertz(3000.0),
+            MegaHertz(28.0)
+        )
+        .is_err());
+        assert!(PStateTable::new(
+            &curve,
+            &policy,
+            MegaHertz(3000.0),
+            MegaHertz(4000.0),
+            MegaHertz(0.0)
+        )
+        .is_err());
     }
 }

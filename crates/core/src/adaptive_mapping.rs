@@ -181,8 +181,7 @@ impl AdaptiveMappingScheduler {
         // violates more than 25 % of the time"); the sliding monitor adds
         // hysteresis for borderline quanta.
         let mut swapped_to = None;
-        if violation_rate > self.monitor.spec().violation_threshold || self.monitor.needs_action()
-        {
+        if violation_rate > self.monitor.spec().violation_threshold || self.monitor.needs_action() {
             let choice = self.choose_co_runner(freq);
             if choice != self.current {
                 self.current = choice;
@@ -224,10 +223,7 @@ impl AdaptiveMappingScheduler {
     /// or the lightest when nothing fits / the model is cold.
     fn choose_co_runner(&self, _current_freq: MegaHertz) -> usize {
         let lightest = self.lightest_index();
-        let Ok(required) = self
-            .freq_qos
-            .frequency_for(self.monitor.spec().p90_target)
-        else {
+        let Ok(required) = self.freq_qos.frequency_for(self.monitor.spec().p90_target) else {
             // Cold or insensitive model: the paper's fallback is the
             // lowest-MIPS co-runner.
             return lightest;
@@ -380,7 +376,10 @@ mod tests {
             }
         }
         assert!(swapped, "scheduler never acted on QoS violations");
-        assert_ne!(s.current_co_runner().name(), co_runner(CoRunnerClass::Heavy).name());
+        assert_ne!(
+            s.current_co_runner().name(),
+            co_runner(CoRunnerClass::Heavy).name()
+        );
     }
 
     #[test]

@@ -263,11 +263,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_cluster_and_overflow() {
-        assert!(ClusterScheduler::new(
-            Experiment::power7plus(1),
-            ClusterConfig::rack(0)
-        )
-        .is_err());
+        assert!(ClusterScheduler::new(Experiment::power7plus(1), ClusterConfig::rack(0)).is_err());
         let s = scheduler(2);
         assert!(s.schedule(&workload("radix"), 33).is_err());
     }

@@ -40,7 +40,10 @@ impl fmt::Display for AgsError {
                 write!(f, "need {required} data points to fit, got {points}")
             }
             AgsError::NoFeasibleCoRunner { required_mhz } => {
-                write!(f, "no co-runner keeps chip frequency above {required_mhz} MHz")
+                write!(
+                    f,
+                    "no co-runner keeps chip frequency above {required_mhz} MHz"
+                )
             }
         }
     }

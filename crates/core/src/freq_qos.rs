@@ -128,7 +128,12 @@ mod tests {
 
     fn seeded() -> FreqQosModel {
         let mut m = FreqQosModel::new();
-        for (f, p) in [(4440.0, 0.55), (4480.0, 0.46), (4520.0, 0.38), (4560.0, 0.29)] {
+        for (f, p) in [
+            (4440.0, 0.55),
+            (4480.0, 0.46),
+            (4520.0, 0.38),
+            (4560.0, 0.29),
+        ] {
             m.observe(MegaHertz(f), p);
         }
         m

@@ -129,10 +129,8 @@ impl LoadlineBorrowing {
         let power_saving_percent = (consolidated.total_power().0 - borrowed.total_power().0)
             / consolidated.total_power().0
             * 100.0;
-        let energy_improvement_percent =
-            (consolidated.energy.0 / borrowed.energy.0 - 1.0) * 100.0;
-        let time_change_percent =
-            (borrowed.exec_time.0 / consolidated.exec_time.0 - 1.0) * 100.0;
+        let energy_improvement_percent = (consolidated.energy.0 / borrowed.energy.0 - 1.0) * 100.0;
+        let time_change_percent = (borrowed.exec_time.0 / consolidated.exec_time.0 - 1.0) * 100.0;
         BorrowingEvaluation {
             threads,
             consolidated,

@@ -69,10 +69,7 @@ impl MipsFrequencyPredictor {
                 model: "mips-frequency (degenerate inputs)",
             });
         }
-        let sxy: f64 = data
-            .iter()
-            .map(|(x, y)| (x - mean_x) * (y - mean_y))
-            .sum();
+        let sxy: f64 = data.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
         let sse: f64 = data
@@ -96,10 +93,7 @@ impl MipsFrequencyPredictor {
     /// # Errors
     ///
     /// Returns [`AgsError::Sim`] when a training run fails.
-    pub fn train_on_catalog(
-        experiment: &Experiment,
-        catalog: &Catalog,
-    ) -> Result<Self, AgsError> {
+    pub fn train_on_catalog(experiment: &Experiment, catalog: &Catalog) -> Result<Self, AgsError> {
         let mut data = Vec::new();
         for w in catalog.scatter_set() {
             let (mips, freq) = measure_point(experiment, w)?;
@@ -227,7 +221,10 @@ mod tests {
             data.push((mips, f.0));
         }
         let m = MipsFrequencyPredictor::fit(&data).unwrap();
-        assert!(m.slope_mhz_per_mips() < 0.0, "higher MIPS must predict lower frequency");
+        assert!(
+            m.slope_mhz_per_mips() < 0.0,
+            "higher MIPS must predict lower frequency"
+        );
         assert!(m.rmse_percent() < 1.0, "rmse {}%", m.rmse_percent());
         // Light workloads should be predicted faster than heavy ones.
         assert!(m.predict(13_000.0) > m.predict(70_000.0));

@@ -147,7 +147,11 @@ mod tests {
         let radix = Catalog::power7plus().get("radix").unwrap().clone();
         let d = ags().place(&radix, 8).unwrap();
         assert!(d.borrowed);
-        assert!(d.advantage_percent > 10.0, "advantage {}%", d.advantage_percent);
+        assert!(
+            d.advantage_percent > 10.0,
+            "advantage {}%",
+            d.advantage_percent
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
         let err = cfg.validate().unwrap_err();
         assert!(matches!(
             err,
-            PdnError::NonPositiveParameter { name: "vrm_loadline", .. }
+            PdnError::NonPositiveParameter {
+                name: "vrm_loadline",
+                ..
+            }
         ));
     }
 

@@ -193,8 +193,7 @@ impl DidtModel {
         }
         let typical_mean = self.typical_ripple(active, variability);
         // Small window-to-window wander of the ripple amplitude.
-        let typical =
-            Volts((typical_mean.0 * (1.0 + 0.05 * self.rng.normal())).max(0.0));
+        let typical = Volts((typical_mean.0 * (1.0 + 0.05 * self.rng.normal())).max(0.0));
 
         // Poisson droop arrivals over the window.
         let expected_events = self.config.droop_rate_hz * window.0;
@@ -202,8 +201,8 @@ impl DidtModel {
         let magnitude_mean = self.worst_droop_magnitude(active, variability);
         let mut worst = typical * 1.4; // ~peak of the regular ripple
         for _ in 0..events {
-            let m = magnitude_mean.0
-                * (1.0 + self.config.droop_jitter * self.rng.normal()).max(0.2);
+            let m =
+                magnitude_mean.0 * (1.0 + self.config.droop_jitter * self.rng.normal()).max(0.2);
             worst = worst.max(Volts(m));
         }
         DidtSample {
@@ -337,7 +336,10 @@ mod tests {
         let windows = 3000;
         let mut events = 0u64;
         for _ in 0..windows {
-            events += u64::from(m.sample_window(2, 1.0, Seconds::from_millis(32.0)).droop_events);
+            events += u64::from(
+                m.sample_window(2, 1.0, Seconds::from_millis(32.0))
+                    .droop_events,
+            );
         }
         let mean = events as f64 / windows as f64;
         let expected = 60.0 * 0.032;

@@ -25,7 +25,10 @@ impl fmt::Display for PdnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PdnError::NonPositiveParameter { name, value } => {
-                write!(f, "pdn parameter `{name}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "pdn parameter `{name}` must be positive and finite, got {value}"
+                )
             }
             PdnError::CurrentOutOfRange { amps } => {
                 write!(f, "current {amps} A is outside the model envelope")

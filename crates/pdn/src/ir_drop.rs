@@ -80,11 +80,7 @@ impl PdnGrid {
 
     /// Total chip current for a per-core current map plus uncore.
     #[must_use]
-    pub fn total_current(
-        &self,
-        core_currents: &[Amps; CORES_PER_SOCKET],
-        uncore: Amps,
-    ) -> Amps {
+    pub fn total_current(&self, core_currents: &[Amps; CORES_PER_SOCKET], uncore: Amps) -> Amps {
         core_currents.iter().copied().sum::<Amps>() + uncore
     }
 
@@ -97,11 +93,7 @@ impl PdnGrid {
     /// The local component of one core's IR drop (own plus neighbour
     /// current), excluding the global term.
     #[must_use]
-    pub fn local_drop(
-        &self,
-        core: CoreId,
-        core_currents: &[Amps; CORES_PER_SOCKET],
-    ) -> Volts {
+    pub fn local_drop(&self, core: CoreId, core_currents: &[Amps; CORES_PER_SOCKET]) -> Volts {
         let own = self.config.ir_local * core_currents[core.index()];
         let neighbor: Amps = CoreId::all()
             .filter(|other| core.is_adjacent(*other))
@@ -205,9 +197,8 @@ mod tests {
         let uncore = Amps(22.0);
         let v = g.core_voltages(Volts(1.2), &cc, uncore);
         for core in CoreId::all() {
-            let rebuilt = Volts(1.2)
-                - g.global_drop(g.total_current(&cc, uncore))
-                - g.local_drop(core, &cc);
+            let rebuilt =
+                Volts(1.2) - g.global_drop(g.total_current(&cc, uncore)) - g.local_drop(core, &cc);
             assert!((v[core.index()] - rebuilt).abs() < Volts(1e-12));
         }
     }

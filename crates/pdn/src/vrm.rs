@@ -127,7 +127,9 @@ impl Vrm {
             });
         }
         Ok(Vrm {
-            rails: (0..NUM_SOCKETS).map(|_| Rail::new(set_point, loadline)).collect(),
+            rails: (0..NUM_SOCKETS)
+                .map(|_| Rail::new(set_point, loadline))
+                .collect(),
         })
     }
 

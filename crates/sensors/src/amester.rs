@@ -15,7 +15,7 @@
 
 use crate::cpm::CpmReading;
 use crate::error::SensorError;
-use p7_types::{Seconds, CpmId};
+use p7_types::{CpmId, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// The service-processor minimum sampling interval.
@@ -195,7 +195,9 @@ mod tests {
     #[test]
     fn rejects_sticky_above_sample() {
         let mut a = Amester::new();
-        let err = a.record(Seconds(0.0), readings(3), readings(5)).unwrap_err();
+        let err = a
+            .record(Seconds(0.0), readings(3), readings(5))
+            .unwrap_err();
         assert!(matches!(err, SensorError::MalformedWindow { .. }));
     }
 

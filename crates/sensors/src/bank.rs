@@ -150,7 +150,10 @@ mod tests {
     fn variation_exists_but_is_bounded() {
         let bank = CpmBank::with_seed(7);
         let f = MegaHertz(4200.0);
-        let sens: Vec<f64> = bank.iter().map(|m| m.sensitivity_at(f).millivolts()).collect();
+        let sens: Vec<f64> = bank
+            .iter()
+            .map(|m| m.sensitivity_at(f).millivolts())
+            .collect();
         let min = sens.iter().cloned().fold(f64::MAX, f64::min);
         let max = sens.iter().cloned().fold(f64::MIN, f64::max);
         assert!(min < max, "no variation present");

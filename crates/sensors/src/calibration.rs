@@ -109,8 +109,8 @@ mod tests {
         let mut bank = CpmBank::with_seed(22);
         let id = CpmId::new(CoreId::new(2).unwrap(), 3).unwrap();
         bank.monitor_mut(id).set_stuck_at(CpmReading::new(9));
-        let err = calibrate_bank(&mut bank, Volts::from_millivolts(80.0), MegaHertz(4200.0))
-            .unwrap_err();
+        let err =
+            calibrate_bank(&mut bank, Volts::from_millivolts(80.0), MegaHertz(4200.0)).unwrap_err();
         match err {
             SensorError::CalibrationFailed {
                 worst_error_taps,

@@ -22,9 +22,7 @@ pub const CPM_TAPS: u8 = 12;
 /// assert!(CpmReading::new(12).is_none());
 /// assert!(CpmReading::new(0).unwrap() < r);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CpmReading(u8);
 

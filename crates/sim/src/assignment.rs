@@ -252,7 +252,9 @@ impl Assignment {
     /// The thread pinned to `(socket, core)`, if any.
     #[must_use]
     pub fn thread_at(&self, socket: SocketId, core: CoreId) -> Option<&Thread> {
-        self.threads.iter().find(|t| t.socket == socket && t.core == core)
+        self.threads
+            .iter()
+            .find(|t| t.socket == socket && t.core == core)
     }
 
     /// The power state of `(socket, core)` under this assignment.
@@ -301,10 +303,19 @@ mod tests {
         assert_eq!(a.on_cores(), [8, 8]);
         assert_eq!(a.total_threads(), 3);
         let s0 = SocketId::new(0).unwrap();
-        assert_eq!(a.core_state(s0, CoreId::new(0).unwrap()), CorePowerState::Running);
-        assert_eq!(a.core_state(s0, CoreId::new(5).unwrap()), CorePowerState::IdleOn);
+        assert_eq!(
+            a.core_state(s0, CoreId::new(0).unwrap()),
+            CorePowerState::Running
+        );
+        assert_eq!(
+            a.core_state(s0, CoreId::new(5).unwrap()),
+            CorePowerState::IdleOn
+        );
         let s1 = SocketId::new(1).unwrap();
-        assert_eq!(a.core_state(s1, CoreId::new(0).unwrap()), CorePowerState::IdleOn);
+        assert_eq!(
+            a.core_state(s1, CoreId::new(0).unwrap()),
+            CorePowerState::IdleOn
+        );
     }
 
     #[test]
@@ -334,8 +345,20 @@ mod tests {
         let a = Assignment::colocated(cm, lu, 7).unwrap();
         assert_eq!(a.total_threads(), 8);
         let s0 = SocketId::new(0).unwrap();
-        assert_eq!(a.thread_at(s0, CoreId::new(0).unwrap()).unwrap().workload.name(), "coremark");
-        assert_eq!(a.thread_at(s0, CoreId::new(3).unwrap()).unwrap().workload.name(), "lu_cb");
+        assert_eq!(
+            a.thread_at(s0, CoreId::new(0).unwrap())
+                .unwrap()
+                .workload
+                .name(),
+            "coremark"
+        );
+        assert_eq!(
+            a.thread_at(s0, CoreId::new(3).unwrap())
+                .unwrap()
+                .workload
+                .name(),
+            "lu_cb"
+        );
         assert!(Assignment::colocated(cm, lu, 8).is_err());
     }
 
@@ -350,8 +373,20 @@ mod tests {
         let a = Assignment::mixed_single_socket(&mix).unwrap();
         assert_eq!(a.total_threads(), 3);
         let s0 = SocketId::new(0).unwrap();
-        assert_eq!(a.thread_at(s0, CoreId::new(0).unwrap()).unwrap().workload.name(), "lu_cb");
-        assert_eq!(a.thread_at(s0, CoreId::new(2).unwrap()).unwrap().workload.name(), "mcf");
+        assert_eq!(
+            a.thread_at(s0, CoreId::new(0).unwrap())
+                .unwrap()
+                .workload
+                .name(),
+            "lu_cb"
+        );
+        assert_eq!(
+            a.thread_at(s0, CoreId::new(2).unwrap())
+                .unwrap()
+                .workload
+                .name(),
+            "mcf"
+        );
         assert_eq!(a.on_cores(), [8, 8]);
         let too_many = vec![c.get("mcf").unwrap().clone(); 9];
         assert!(Assignment::mixed_single_socket(&too_many).is_err());

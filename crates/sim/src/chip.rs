@@ -98,8 +98,7 @@ impl ChipSim {
         for core in CoreId::all() {
             states[core.index()] = assignment.core_state(socket, core);
             if let Some(thread) = assignment.thread_at(socket, core) {
-                let thread_seed =
-                    seed_for(chip_seed, &format!("trace{}", core.index()));
+                let thread_seed = seed_for(chip_seed, &format!("trace{}", core.index()));
                 traces[core.index()] = Some(ActivityTrace::new(&thread.workload, thread_seed));
                 core_workloads[core.index()] = Some(thread.workload.clone());
             }
@@ -221,9 +220,8 @@ impl ChipSim {
         let sample_margins: [Volts; CORES_PER_SOCKET] = std::array::from_fn(|i| {
             core_voltages[i] - noise.typical - self.curve.v_circuit(freqs[i])
         });
-        let sticky_margins: [Volts; CORES_PER_SOCKET] = std::array::from_fn(|i| {
-            sample_margins[i] - (noise.worst - noise.typical)
-        });
+        let sticky_margins: [Volts; CORES_PER_SOCKET] =
+            std::array::from_fn(|i| sample_margins[i] - (noise.worst - noise.typical));
         let cpm_sample = self.bank.read_all(&sample_margins, &freq_arr);
         let cpm_sticky = self.bank.read_all(&sticky_margins, &freq_arr);
         // The per-core control input is the worst CPM of the core. A core
@@ -231,8 +229,7 @@ impl ChipSim {
         // the hardware's fail-safe is to slow that core down and let the
         // firmware raise the rail, whatever the analytic margin says.
         let core_min_cpm = self.bank.core_min_readings(&sample_margins, &freq_arr);
-        let cpm_fail_safe =
-            |i: usize| core_min_cpm[i] == CpmReading::MIN && self.states[i].is_on();
+        let cpm_fail_safe = |i: usize| core_min_cpm[i] == CpmReading::MIN && self.states[i].is_on();
 
         // 6. Control: adaptive modes let each DPLL chase its usable margin.
         // In undervolting mode the clock is capped at the DVFS target — the
@@ -259,8 +256,7 @@ impl ChipSim {
 
         // The worst momentary clock of the window: deepest droop plus the
         // firmware's load-transient allowance for this rail's current.
-        let transient_reserve =
-            Volts(self.transient_reserve_ohms * total_current.0.max(0.0));
+        let transient_reserve = Volts(self.transient_reserve_ohms * total_current.0.max(0.0));
         let worst_case_reserve = (noise.worst).max(transient_reserve);
         let sticky_min_freq = (0..CORES_PER_SOCKET)
             .filter(|&i| self.states[i].is_on())
@@ -435,7 +431,12 @@ mod tests {
         for _ in 0..10 {
             t = chip.tick(&rail, mode, window());
         }
-        let mean: f64 = t.cpm_sample.iter().map(|r| f64::from(r.value())).sum::<f64>() / 40.0;
+        let mean: f64 = t
+            .cpm_sample
+            .iter()
+            .map(|r| f64::from(r.value()))
+            .sum::<f64>()
+            / 40.0;
         assert!((1.0..4.0).contains(&mean), "mean CPM {mean}");
     }
 

@@ -91,7 +91,8 @@ impl ServerConfig {
     /// The static-guardband nominal voltage at the target frequency.
     #[must_use]
     pub fn nominal_voltage(&self) -> p7_types::Volts {
-        self.policy.nominal_voltage(&self.curve, self.target_frequency)
+        self.policy
+            .nominal_voltage(&self.curve, self.target_frequency)
     }
 }
 

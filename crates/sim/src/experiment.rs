@@ -116,6 +116,18 @@ impl Experiment {
         &self.exec_model
     }
 
+    /// How many telemetry windows are measured per run.
+    #[must_use]
+    pub fn measure_ticks(&self) -> usize {
+        self.measure_ticks
+    }
+
+    /// How many warm-up windows are discarded before measuring.
+    #[must_use]
+    pub fn warmup_ticks(&self) -> usize {
+        self.warmup_ticks
+    }
+
     /// Runs one experiment to steady state and derives time/energy/EDP.
     ///
     /// # Errors
@@ -131,10 +143,9 @@ impl Experiment {
             1.0
         };
         let exec_time = match assignment.primary_workload() {
-            Some(w) => {
-                self.exec_model
-                    .execution_time(w, &assignment.placement_shape(), freq_ratio)
-            }
+            Some(w) => self
+                .exec_model
+                .execution_time(w, &assignment.placement_shape(), freq_ratio),
             None => Seconds(0.0),
         };
         let energy = summary.total_power * exec_time;
@@ -160,11 +171,9 @@ impl Experiment {
     ) -> Result<(f64, f64), SimError> {
         let baseline = self.run(assignment, GuardbandMode::StaticGuardband)?;
         let adaptive = self.run(assignment, mode)?;
-        let power_saving = (baseline.chip_power().0 - adaptive.chip_power().0)
-            / baseline.chip_power().0
-            * 100.0;
-        let speedup =
-            (baseline.exec_time.0 - adaptive.exec_time.0) / baseline.exec_time.0 * 100.0;
+        let power_saving =
+            (baseline.chip_power().0 - adaptive.chip_power().0) / baseline.chip_power().0 * 100.0;
+        let speedup = (baseline.exec_time.0 - adaptive.exec_time.0) / baseline.exec_time.0 * 100.0;
         Ok((power_saving, speedup))
     }
 }

@@ -41,11 +41,16 @@ pub mod experiment;
 pub mod history;
 pub mod measure;
 pub mod server;
+pub mod sweep;
 
 pub use assignment::{Assignment, Thread};
 pub use config::ServerConfig;
 pub use error::SimError;
-pub use experiment::{Experiment, Outcome};
+pub use experiment::{Experiment, Outcome, DEFAULT_MEASURE_TICKS, DEFAULT_WARMUP_TICKS};
 pub use history::{History, TickRecord};
 pub use measure::{RunSummary, SocketMetrics};
 pub use server::Simulation;
+pub use sweep::{
+    CachedExperiment, GridPoint, Placement, PointResult, SolveCache, SweepEngine, SweepReport,
+    SweepSpec,
+};

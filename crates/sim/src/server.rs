@@ -134,7 +134,10 @@ impl Simulation {
                 // momentary frequency of the window (droops plus the
                 // rail's load-transient reserve) to the target.
                 let next = match ticks[socket.index()].sticky_min_freq {
-                    Some(freq) => self.firmware.adjust_voltage(current_set, freq, &self.config.curve),
+                    Some(freq) => {
+                        self.firmware
+                            .adjust_voltage(current_set, freq, &self.config.curve)
+                    }
                     None => self.firmware.voltage_floor(&self.config.curve),
                 };
                 self.vrm.rail_mut(socket).set_set_point(next);
@@ -230,8 +233,18 @@ mod tests {
 
     #[test]
     fn undervolt_saves_power_vs_static() {
-        let static_run = run("raytrace", 1, GuardbandMode::StaticGuardband, Assignment::single_socket);
-        let uv_run = run("raytrace", 1, GuardbandMode::Undervolt, Assignment::single_socket);
+        let static_run = run(
+            "raytrace",
+            1,
+            GuardbandMode::StaticGuardband,
+            Assignment::single_socket,
+        );
+        let uv_run = run(
+            "raytrace",
+            1,
+            GuardbandMode::Undervolt,
+            Assignment::single_socket,
+        );
         let saving = (static_run.socket0().avg_power.0 - uv_run.socket0().avg_power.0)
             / static_run.socket0().avg_power.0
             * 100.0;
@@ -242,8 +255,18 @@ mod tests {
     #[test]
     fn undervolt_benefit_shrinks_with_core_count() {
         let saving_at = |k: usize| {
-            let s = run("raytrace", k, GuardbandMode::StaticGuardband, Assignment::single_socket);
-            let u = run("raytrace", k, GuardbandMode::Undervolt, Assignment::single_socket);
+            let s = run(
+                "raytrace",
+                k,
+                GuardbandMode::StaticGuardband,
+                Assignment::single_socket,
+            );
+            let u = run(
+                "raytrace",
+                k,
+                GuardbandMode::Undervolt,
+                Assignment::single_socket,
+            );
             (s.socket0().avg_power.0 - u.socket0().avg_power.0) / s.socket0().avg_power.0 * 100.0
         };
         let one = saving_at(1);
@@ -255,7 +278,12 @@ mod tests {
     #[test]
     fn overclock_boost_shrinks_with_core_count() {
         let boost_at = |k: usize| {
-            let o = run("lu_cb", k, GuardbandMode::Overclock, Assignment::single_socket);
+            let o = run(
+                "lu_cb",
+                k,
+                GuardbandMode::Overclock,
+                Assignment::single_socket,
+            );
             (o.avg_running_freq.0 - 4200.0) / 4200.0 * 100.0
         };
         let one = boost_at(1);
@@ -280,8 +308,18 @@ mod tests {
     #[test]
     fn borrowing_beats_consolidation_at_high_load() {
         // Fig. 12b: distributing raytrace saves total power at 8 threads.
-        let cons = run("raytrace", 8, GuardbandMode::Undervolt, Assignment::consolidated);
-        let borr = run("raytrace", 8, GuardbandMode::Undervolt, Assignment::borrowed);
+        let cons = run(
+            "raytrace",
+            8,
+            GuardbandMode::Undervolt,
+            Assignment::consolidated,
+        );
+        let borr = run(
+            "raytrace",
+            8,
+            GuardbandMode::Undervolt,
+            Assignment::borrowed,
+        );
         let saving = (cons.total_power.0 - borr.total_power.0) / cons.total_power.0 * 100.0;
         assert!(saving > 2.0, "borrowing saving {saving}%");
     }
@@ -298,8 +336,18 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run("swaptions", 4, GuardbandMode::Undervolt, Assignment::single_socket);
-        let b = run("swaptions", 4, GuardbandMode::Undervolt, Assignment::single_socket);
+        let a = run(
+            "swaptions",
+            4,
+            GuardbandMode::Undervolt,
+            Assignment::single_socket,
+        );
+        let b = run(
+            "swaptions",
+            4,
+            GuardbandMode::Undervolt,
+            Assignment::single_socket,
+        );
         assert_eq!(a, b);
     }
 

@@ -1,0 +1,987 @@
+//! Parallel sweep engine with memoized steady-state solves.
+//!
+//! The paper's evaluation is a large grid — 44 workloads × 1–8 active
+//! cores × {static, undervolt, overclock} × placements — and every figure
+//! binary used to walk its slice of that grid serially and from scratch.
+//! This module factors the walk into one engine:
+//!
+//! * [`SweepSpec`] — a serde-serializable description of the grid
+//!   (workload names × core counts × guardband modes × placements plus
+//!   the master seed and tick counts),
+//! * [`SweepEngine`] — expands the spec into [`GridPoint`]s, fans them
+//!   out across `std::thread::scope` workers and merges the results by
+//!   grid index, so the output order never depends on scheduling,
+//! * [`SolveCache`] — a memoization table keyed by the electrically
+//!   relevant state (configuration fingerprint, assignment fingerprint,
+//!   mode, tick counts) so repeated steady-state solves are computed
+//!   once, with hit/miss counters reported at sweep end.
+//!
+//! Determinism: each grid point derives its own seed from the spec's
+//! master seed and the point's coordinates (workload, core count,
+//! placement — deliberately *not* the mode, so all modes of one
+//! assignment share their cached static solve). A point's result is a
+//! pure function of the spec, so a sweep is bitwise identical at any
+//! worker count.
+
+use crate::assignment::Assignment;
+use crate::error::SimError;
+use crate::experiment::{Experiment, Outcome};
+use p7_control::GuardbandMode;
+use p7_workloads::{Catalog, ExecutionModel, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// How threads are placed on the two sockets for one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Sec. 3: k threads on socket 0, all 16 cores powered on.
+    SingleSocket,
+    /// Sec. 5.1 baseline: socket 0 powered, socket 1 fully gated.
+    Consolidated,
+    /// Sec. 5.1 loadline borrowing: 4 cores on per socket, threads split.
+    Borrowed,
+}
+
+impl Placement {
+    /// Every placement, in grid order.
+    #[must_use]
+    pub fn all() -> [Placement; 3] {
+        [
+            Placement::SingleSocket,
+            Placement::Consolidated,
+            Placement::Borrowed,
+        ]
+    }
+
+    /// Builds the concrete assignment for `cores` threads of `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAssignment`] when `cores` exceeds the
+    /// placement's capacity.
+    pub fn assignment(
+        self,
+        workload: &WorkloadProfile,
+        cores: usize,
+    ) -> Result<Assignment, SimError> {
+        match self {
+            Placement::SingleSocket => Assignment::single_socket(workload, cores),
+            Placement::Consolidated => Assignment::consolidated(workload, cores),
+            Placement::Borrowed => Assignment::borrowed(workload, cores),
+        }
+    }
+
+    /// Short lowercase name (CLI `--placement` values).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::SingleSocket => "single",
+            Placement::Consolidated => "consolidated",
+            Placement::Borrowed => "borrowed",
+        }
+    }
+
+    /// Parses a CLI placement name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Placement> {
+        Placement::all().into_iter().find(|p| p.label() == name)
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            Placement::SingleSocket => 1,
+            Placement::Consolidated => 2,
+            Placement::Borrowed => 3,
+        }
+    }
+}
+
+/// A serializable description of one sweep grid.
+///
+/// The grid is the cartesian product `workloads × cores × placements ×
+/// modes`, expanded in exactly that nesting order (workload-major).
+///
+/// # Examples
+///
+/// ```
+/// use p7_sim::sweep::{SweepEngine, SweepSpec};
+/// use p7_control::GuardbandMode;
+///
+/// let spec = SweepSpec::new(vec!["raytrace".into()], vec![1, 8])
+///     .with_modes(vec![GuardbandMode::StaticGuardband, GuardbandMode::Undervolt])
+///     .with_ticks(5, 2);
+/// let report = SweepEngine::new(2).run(&spec)?;
+/// assert_eq!(report.results.len(), 4);
+/// # Ok::<(), p7_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Catalog names of the workloads to sweep.
+    pub workloads: Vec<String>,
+    /// Active-core (thread) counts.
+    pub cores: Vec<usize>,
+    /// Guardband modes to run at each assignment.
+    pub modes: Vec<GuardbandMode>,
+    /// Thread placements to evaluate.
+    pub placements: Vec<Placement>,
+    /// Master seed; every grid point derives its own seed from it.
+    pub seed: u64,
+    /// Measured telemetry windows per run.
+    pub measure_ticks: usize,
+    /// Warm-up windows discarded before measuring.
+    pub warmup_ticks: usize,
+}
+
+/// The default sweep seed (the figure binaries' master seed).
+pub const DEFAULT_SWEEP_SEED: u64 = 42;
+
+impl SweepSpec {
+    /// A spec over `workloads × cores` with the defaults the figure
+    /// binaries use: all three modes, single-socket placement, seed 42,
+    /// fast sweep ticks (30 measured / 15 warm-up).
+    #[must_use]
+    pub fn new(workloads: Vec<String>, cores: Vec<usize>) -> Self {
+        SweepSpec {
+            workloads,
+            cores,
+            modes: GuardbandMode::all().to_vec(),
+            placements: vec![Placement::SingleSocket],
+            seed: DEFAULT_SWEEP_SEED,
+            measure_ticks: 30,
+            warmup_ticks: 15,
+        }
+    }
+
+    /// Replaces the mode list.
+    #[must_use]
+    pub fn with_modes(mut self, modes: Vec<GuardbandMode>) -> Self {
+        self.modes = modes;
+        self
+    }
+
+    /// Replaces the placement list.
+    #[must_use]
+    pub fn with_placements(mut self, placements: Vec<Placement>) -> Self {
+        self.placements = placements;
+        self
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the measured/warm-up tick counts.
+    #[must_use]
+    pub fn with_ticks(mut self, measure: usize, warmup: usize) -> Self {
+        self.measure_ticks = measure.max(1);
+        self.warmup_ticks = warmup;
+        self
+    }
+
+    /// The paper's Fig. 10 grid: every non-micro catalog workload at
+    /// eight active cores, all three modes, single-socket placement.
+    #[must_use]
+    pub fn fig10_grid() -> Self {
+        let names = Catalog::power7plus()
+            .scatter_set()
+            .iter()
+            .map(|w| w.name().to_owned())
+            .collect();
+        SweepSpec::new(names, vec![8])
+    }
+
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.cores.len() * self.placements.len() * self.modes.len()
+    }
+
+    /// True when any dimension is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the spec into grid points, workload-major.
+    #[must_use]
+    pub fn grid_points(&self) -> Vec<GridPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for &cores in &self.cores {
+                for &placement in &self.placements {
+                    for &mode in &self.modes {
+                        points.push(GridPoint {
+                            index: points.len(),
+                            workload: workload.clone(),
+                            cores,
+                            placement,
+                            mode,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// The seed a grid point runs under: a pure function of the master
+    /// seed and the point's *assignment* coordinates. The mode is
+    /// deliberately excluded so every mode of one assignment shares its
+    /// cached static-baseline solve.
+    #[must_use]
+    pub fn point_seed(&self, point: &GridPoint) -> u64 {
+        let mut h = splitmix(self.seed ^ fnv64(point.workload.as_bytes()));
+        h = splitmix(h ^ point.cores as u64);
+        splitmix(h ^ point.placement.tag())
+    }
+
+    /// Serializes the spec to its canonical JSON form (the on-disk format
+    /// `ags sweep --spec <file>` reads).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parses a spec from the JSON form produced by [`SweepSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the text is not valid JSON
+    /// or does not describe a sweep spec.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::json::from_str(text).map_err(|e| format!("invalid sweep spec: {e}"))
+    }
+
+    /// Checks that every dimension is non-empty, every workload exists
+    /// in the catalog and every core count fits a socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] describing the first violation.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), SimError> {
+        if self.is_empty() {
+            return Err(SimError::InvalidConfig {
+                reason: "sweep spec has an empty dimension",
+            });
+        }
+        for name in &self.workloads {
+            catalog.require(name)?;
+        }
+        for &cores in &self.cores {
+            if !(1..=8).contains(&cores) {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!("sweep core count {cores} outside 1..=8"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One cell of the expanded grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Position in the deterministic expansion order.
+    pub index: usize,
+    /// Catalog name of the workload.
+    pub workload: String,
+    /// Active-core (thread) count.
+    pub cores: usize,
+    /// Thread placement.
+    pub placement: Placement,
+    /// Guardband mode.
+    pub mode: GuardbandMode,
+}
+
+/// One solved grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// The grid cell this result belongs to.
+    pub point: GridPoint,
+    /// The steady-state outcome of the run.
+    pub outcome: Outcome,
+}
+
+/// Hit/miss counters of a [`SolveCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Solves answered from the cache.
+    pub hits: u64,
+    /// Solves that had to run the simulator.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of solves answered from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SolveKey {
+    config_fingerprint: u64,
+    assignment_fingerprint: u64,
+    mode: GuardbandMode,
+    measure_ticks: usize,
+    warmup_ticks: usize,
+}
+
+/// Memoization table for steady-state solves, shared across threads.
+///
+/// The key fingerprints everything a solve depends on: the full server
+/// configuration (rails, curves, policy, seed), the assignment (workload
+/// profiles, active-core set), the guardband mode and the tick counts.
+/// Two racing workers may both miss on the same key; the solve is
+/// deterministic, so whichever insert lands last stores the same bytes.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    map: Mutex<HashMap<SolveKey, Arc<Outcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// The process-wide shared cache. Figure binaries, the CLI and the
+    /// integration tests all default to this instance, so identical
+    /// solves are shared across every consumer in the process.
+    #[must_use]
+    pub fn global() -> Arc<SolveCache> {
+        static GLOBAL: OnceLock<Arc<SolveCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(SolveCache::new())).clone()
+    }
+
+    /// Runs `experiment.run(assignment, mode)`, answering from the cache
+    /// when an identical solve was already computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the underlying run fails.
+    pub fn solve(
+        &self,
+        experiment: &Experiment,
+        assignment: &Assignment,
+        mode: GuardbandMode,
+    ) -> Result<Arc<Outcome>, SimError> {
+        self.solve_fingerprinted(
+            experiment_fingerprint(experiment),
+            experiment,
+            assignment,
+            mode,
+        )
+    }
+
+    /// [`SolveCache::solve`] with the experiment's fingerprint already
+    /// computed — callers that reuse one experiment (or one execution
+    /// model) across many solves hoist the serialization out of the
+    /// loop. `experiment_fp` MUST be [`experiment_fingerprint`] of
+    /// `experiment`, or equivalent solves will not share entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the underlying run fails.
+    pub fn solve_fingerprinted(
+        &self,
+        experiment_fp: u64,
+        experiment: &Experiment,
+        assignment: &Assignment,
+        mode: GuardbandMode,
+    ) -> Result<Arc<Outcome>, SimError> {
+        let key = SolveKey {
+            config_fingerprint: experiment_fp,
+            assignment_fingerprint: fingerprint(assignment),
+            mode,
+            measure_ticks: experiment.measure_ticks(),
+            warmup_ticks: experiment.warmup_ticks(),
+        };
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(experiment.run(assignment, mode)?);
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert(key, outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len(),
+        }
+    }
+}
+
+/// An [`Experiment`] that routes every run through a [`SolveCache`].
+///
+/// Drop-in replacement for the copy-pasted `exp.run(...)` loops of the
+/// figure binaries: same `run` / `improvement_vs_static` surface, but
+/// repeated solves cost one lookup.
+#[derive(Debug, Clone)]
+pub struct CachedExperiment {
+    experiment: Experiment,
+    experiment_fp: u64,
+    cache: Arc<SolveCache>,
+}
+
+impl CachedExperiment {
+    /// Wraps an experiment with the process-wide global cache.
+    #[must_use]
+    pub fn new(experiment: Experiment) -> Self {
+        CachedExperiment::with_cache(experiment, SolveCache::global())
+    }
+
+    /// Wraps an experiment with an explicit cache.
+    #[must_use]
+    pub fn with_cache(experiment: Experiment, cache: Arc<SolveCache>) -> Self {
+        let experiment_fp = experiment_fingerprint(&experiment);
+        CachedExperiment {
+            experiment,
+            experiment_fp,
+            cache,
+        }
+    }
+
+    /// The wrapped experiment.
+    #[must_use]
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The cache in use.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<SolveCache> {
+        &self.cache
+    }
+
+    /// Memoized [`Experiment::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the underlying run fails.
+    pub fn run(
+        &self,
+        assignment: &Assignment,
+        mode: GuardbandMode,
+    ) -> Result<Arc<Outcome>, SimError> {
+        self.cache
+            .solve_fingerprinted(self.experiment_fp, &self.experiment, assignment, mode)
+    }
+
+    /// Memoized [`Experiment::improvement_vs_static`]: returns
+    /// `(power_saving_percent, speedup_percent)` of `mode` over the
+    /// static baseline on the same assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when either run fails.
+    pub fn improvement_vs_static(
+        &self,
+        assignment: &Assignment,
+        mode: GuardbandMode,
+    ) -> Result<(f64, f64), SimError> {
+        let baseline = self.run(assignment, GuardbandMode::StaticGuardband)?;
+        let adaptive = self.run(assignment, mode)?;
+        let power_saving =
+            (baseline.chip_power().0 - adaptive.chip_power().0) / baseline.chip_power().0 * 100.0;
+        let speedup = (baseline.exec_time.0 - adaptive.exec_time.0) / baseline.exec_time.0 * 100.0;
+        Ok((power_saving, speedup))
+    }
+}
+
+/// Throughput numbers of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Grid points solved.
+    pub points: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock duration of the sweep in seconds.
+    pub elapsed_secs: f64,
+    /// Cache counters over the sweep's cache.
+    pub cache: CacheStats,
+}
+
+impl SweepStats {
+    /// Grid points per wall-clock second.
+    #[must_use]
+    pub fn points_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.points as f64 / self.elapsed_secs
+        }
+    }
+}
+
+/// The merged, index-ordered output of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The spec that was run.
+    pub spec: SweepSpec,
+    /// One result per grid point, ordered by grid index.
+    pub results: Vec<PointResult>,
+    /// Throughput and cache counters (not part of the deterministic
+    /// payload — see [`SweepReport::results_json`]).
+    pub stats: SweepStats,
+}
+
+impl SweepReport {
+    /// The result of one grid cell, if it was part of the spec.
+    #[must_use]
+    pub fn get(
+        &self,
+        workload: &str,
+        cores: usize,
+        placement: Placement,
+        mode: GuardbandMode,
+    ) -> Option<&PointResult> {
+        self.results.iter().find(|r| {
+            r.point.workload == workload
+                && r.point.cores == cores
+                && r.point.placement == placement
+                && r.point.mode == mode
+        })
+    }
+
+    /// The outcome of one grid cell.
+    #[must_use]
+    pub fn outcome(
+        &self,
+        workload: &str,
+        cores: usize,
+        placement: Placement,
+        mode: GuardbandMode,
+    ) -> Option<&Outcome> {
+        self.get(workload, cores, placement, mode)
+            .map(|r| &r.outcome)
+    }
+
+    /// Socket-0 power saving of `mode` over the static point on the same
+    /// assignment, percent. Requires both points in the grid.
+    #[must_use]
+    pub fn power_saving_percent(
+        &self,
+        workload: &str,
+        cores: usize,
+        placement: Placement,
+        mode: GuardbandMode,
+    ) -> Option<f64> {
+        let st = self.outcome(workload, cores, placement, GuardbandMode::StaticGuardband)?;
+        let ad = self.outcome(workload, cores, placement, mode)?;
+        Some((st.chip_power().0 - ad.chip_power().0) / st.chip_power().0 * 100.0)
+    }
+
+    /// Frequency boost of `mode` over the static point on the same
+    /// assignment, percent.
+    #[must_use]
+    pub fn frequency_boost_percent(
+        &self,
+        workload: &str,
+        cores: usize,
+        placement: Placement,
+        mode: GuardbandMode,
+    ) -> Option<f64> {
+        let st = self.outcome(workload, cores, placement, GuardbandMode::StaticGuardband)?;
+        let ad = self.outcome(workload, cores, placement, mode)?;
+        Some(
+            (ad.summary.avg_running_freq.0 - st.summary.avg_running_freq.0)
+                / st.summary.avg_running_freq.0
+                * 100.0,
+        )
+    }
+
+    /// The deterministic payload: the results serialized as JSON. Two
+    /// sweeps of the same spec produce byte-identical strings regardless
+    /// of worker count or cache temperature.
+    #[must_use]
+    pub fn results_json(&self) -> String {
+        serde::json::to_string(&self.results)
+    }
+}
+
+/// The parallel sweep runner.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    jobs: usize,
+    cache: Arc<SolveCache>,
+}
+
+impl SweepEngine {
+    /// An engine with `jobs` workers (0 = available parallelism), using
+    /// the process-wide global cache.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        SweepEngine::with_cache(jobs, SolveCache::global())
+    }
+
+    /// An engine with an explicit cache (e.g. a cold one in tests).
+    #[must_use]
+    pub fn with_cache(jobs: usize, cache: Arc<SolveCache>) -> Self {
+        SweepEngine {
+            jobs: resolve_jobs(jobs),
+            cache,
+        }
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The cache in use.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<SolveCache> {
+        &self.cache
+    }
+
+    /// Runs the spec's full grid and merges the results by grid index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the spec is invalid (unknown workload,
+    /// empty dimension, impossible core count) or a solve fails; with
+    /// several failures the lowest-indexed one is reported, so errors
+    /// are deterministic too.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, SimError> {
+        let catalog = Catalog::power7plus();
+        spec.validate(&catalog)?;
+        let profiles: Vec<WorkloadProfile> = spec
+            .workloads
+            .iter()
+            .map(|name| catalog.require(name).cloned())
+            .collect::<Result<_, _>>()?;
+        let points = spec.grid_points();
+        // Points are expanded workload-major, so a point's profile is
+        // found by integer division with the per-workload block size.
+        let block = spec.cores.len() * spec.placements.len() * spec.modes.len();
+
+        // Every point shares the execution model; only the per-point
+        // config (seed) varies. Fingerprint the model once, not per solve.
+        let exec_fp = fingerprint(&ExecutionModel::power7plus()).rotate_left(17);
+
+        let started = Instant::now();
+        let solved = run_indexed(self.jobs, points.len(), |idx| {
+            let point = &points[idx];
+            let profile = &profiles[idx / block];
+            self.solve_point(spec, point, profile, exec_fp)
+        });
+
+        let mut results = Vec::with_capacity(solved.len());
+        for solved_point in solved {
+            results.push(solved_point?);
+        }
+        Ok(SweepReport {
+            spec: spec.clone(),
+            results,
+            stats: SweepStats {
+                points: points.len(),
+                jobs: self.jobs,
+                elapsed_secs: started.elapsed().as_secs_f64(),
+                cache: self.cache.stats(),
+            },
+        })
+    }
+
+    fn solve_point(
+        &self,
+        spec: &SweepSpec,
+        point: &GridPoint,
+        profile: &WorkloadProfile,
+        exec_fp: u64,
+    ) -> Result<PointResult, SimError> {
+        let experiment = Experiment::power7plus(spec.point_seed(point))
+            .with_ticks(spec.measure_ticks, spec.warmup_ticks);
+        let experiment_fp = fingerprint(experiment.config()) ^ exec_fp;
+        let assignment = point.placement.assignment(profile, point.cores)?;
+        let outcome =
+            self.cache
+                .solve_fingerprinted(experiment_fp, &experiment, &assignment, point.mode)?;
+        Ok(PointResult {
+            point: point.clone(),
+            outcome: (*outcome).clone(),
+        })
+    }
+}
+
+/// Resolves a `--jobs` value: 0 means available parallelism.
+#[must_use]
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        return jobs;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0..n)` across `jobs` scoped worker threads and returns the
+/// results in index order, regardless of which worker computed what.
+///
+/// This is the engine's low-level primitive; the studies with bespoke
+/// per-point configurations (ambient sweeps, aged silicon) use it
+/// directly instead of going through [`SweepSpec`].
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            return local;
+                        }
+                        local.push((idx, f(idx)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in &mut chunks {
+        for (idx, value) in chunk.drain(..) {
+            slots[idx] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every grid index solved"))
+        .collect()
+}
+
+/// The solve-cache fingerprint of an experiment: its full server config
+/// (rails, curves, policy, seed) mixed with its execution model.
+#[must_use]
+pub fn experiment_fingerprint(experiment: &Experiment) -> u64 {
+    fingerprint(experiment.config()) ^ fingerprint(experiment.exec_model()).rotate_left(17)
+}
+
+fn fingerprint<T: Serialize + ?Sized>(value: &T) -> u64 {
+    fnv64(serde::json::to_string(value).as_bytes())
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new(vec!["raytrace".into(), "radix".into()], vec![1, 4])
+            .with_modes(vec![
+                GuardbandMode::StaticGuardband,
+                GuardbandMode::Undervolt,
+            ])
+            .with_ticks(4, 2)
+    }
+
+    #[test]
+    fn grid_expansion_is_workload_major_and_indexed() {
+        let spec = tiny_spec();
+        let points = spec.grid_points();
+        assert_eq!(points.len(), spec.len());
+        assert_eq!(points[0].workload, "raytrace");
+        assert_eq!(points[0].cores, 1);
+        assert_eq!(points[0].mode, GuardbandMode::StaticGuardband);
+        assert_eq!(points[1].mode, GuardbandMode::Undervolt);
+        assert_eq!(points[4].workload, "radix");
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn point_seed_ignores_mode_but_not_assignment() {
+        let spec = tiny_spec();
+        let points = spec.grid_points();
+        // points 0/1: same assignment, different mode → same seed.
+        assert_eq!(spec.point_seed(&points[0]), spec.point_seed(&points[1]));
+        // different cores → different seed.
+        assert_ne!(spec.point_seed(&points[0]), spec.point_seed(&points[2]));
+        // different master seed → different point seed.
+        let reseeded = tiny_spec().with_seed(7);
+        assert_ne!(spec.point_seed(&points[0]), reseeded.point_seed(&points[0]));
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let catalog = Catalog::power7plus();
+        assert!(tiny_spec().validate(&catalog).is_ok());
+        let unknown = SweepSpec::new(vec!["nope".into()], vec![1]);
+        assert!(matches!(
+            unknown.validate(&catalog),
+            Err(SimError::Workload(_))
+        ));
+        let empty = SweepSpec::new(vec![], vec![1]);
+        assert!(matches!(
+            empty.validate(&catalog),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let too_wide = SweepSpec::new(vec!["radix".into()], vec![9]);
+        assert!(matches!(
+            too_wide.validate(&catalog),
+            Err(SimError::InvalidAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = tiny_spec().with_placements(vec![Placement::SingleSocket, Placement::Borrowed]);
+        let json = serde::json::to_string(&spec);
+        let back: SweepSpec = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_at_any_worker_count() {
+        let serial = run_indexed(1, 17, |i| i * i);
+        let parallel = run_indexed(8, 17, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[16], 256);
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sweep_is_identical_across_worker_counts() {
+        let spec = tiny_spec();
+        let cold = SweepEngine::with_cache(1, Arc::new(SolveCache::new()));
+        let wide = SweepEngine::with_cache(8, Arc::new(SolveCache::new()));
+        let a = cold.run(&spec).unwrap();
+        let b = wide.run(&spec).unwrap();
+        assert_eq!(a.results_json(), b.results_json());
+    }
+
+    #[test]
+    fn cache_answers_repeat_solves() {
+        let cache = Arc::new(SolveCache::new());
+        let engine = SweepEngine::with_cache(2, cache.clone());
+        let spec = tiny_spec();
+        let first = engine.run(&spec).unwrap();
+        let after_cold = cache.stats();
+        // Every grid cell is a distinct (assignment, mode) key, so the
+        // cold sweep misses once per point…
+        assert_eq!(after_cold.misses as usize, first.results.len());
+        let second = engine.run(&spec).unwrap();
+        let after_warm = cache.stats();
+        // …and the warm sweep answers every point from the cache.
+        assert_eq!(after_warm.misses, after_cold.misses, "warm run re-solved");
+        assert_eq!(after_warm.hits, after_cold.hits + spec.len() as u64);
+        assert_eq!(first.results_json(), second.results_json());
+    }
+
+    #[test]
+    fn report_lookups_and_derived_metrics() {
+        let engine = SweepEngine::with_cache(0, Arc::new(SolveCache::new()));
+        let report = engine.run(&tiny_spec()).unwrap();
+        let saving = report
+            .power_saving_percent(
+                "raytrace",
+                1,
+                Placement::SingleSocket,
+                GuardbandMode::Undervolt,
+            )
+            .unwrap();
+        assert!(saving > 0.0, "undervolting must save power: {saving}%");
+        assert!(report
+            .outcome(
+                "raytrace",
+                2,
+                Placement::SingleSocket,
+                GuardbandMode::Undervolt
+            )
+            .is_none());
+        assert_eq!(report.stats.points, report.results.len());
+        assert!(report.stats.points_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn fig10_grid_covers_the_scatter_set() {
+        let spec = SweepSpec::fig10_grid();
+        assert_eq!(spec.cores, vec![8]);
+        assert!(
+            spec.workloads.len() >= 40,
+            "scatter set has {} workloads",
+            spec.workloads.len()
+        );
+        spec.validate(&Catalog::power7plus()).unwrap();
+    }
+
+    #[test]
+    fn cached_experiment_matches_plain_runs() {
+        let exp = Experiment::power7plus(42).with_ticks(4, 2);
+        let cached = CachedExperiment::with_cache(exp.clone(), Arc::new(SolveCache::new()));
+        let w = Catalog::power7plus().get("radix").unwrap().clone();
+        let a = Assignment::single_socket(&w, 2).unwrap();
+        let plain = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        let memo = cached.run(&a, GuardbandMode::Undervolt).unwrap();
+        assert_eq!(*memo, plain);
+        let again = cached.run(&a, GuardbandMode::Undervolt).unwrap();
+        assert_eq!(cached.cache().stats().hits, 1);
+        assert_eq!(*again, plain);
+    }
+
+    #[test]
+    fn placement_labels_round_trip() {
+        for p in Placement::all() {
+            assert_eq!(Placement::parse(p.label()), Some(p));
+        }
+        assert_eq!(Placement::parse("turbo"), None);
+    }
+}

@@ -231,7 +231,8 @@ impl CpmId {
 
     /// Iterates over all 40 CPMs of a chip, core-major.
     pub fn all() -> impl Iterator<Item = CpmId> {
-        CoreId::all().flat_map(|core| (0..CPMS_PER_CORE as u8).map(move |slot| CpmId { core, slot }))
+        CoreId::all()
+            .flat_map(|core| (0..CPMS_PER_CORE as u8).map(move |slot| CpmId { core, slot }))
     }
 }
 

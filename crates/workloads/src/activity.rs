@@ -97,7 +97,11 @@ mod tests {
         let mut t = trace("raytrace", 2);
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| t.next_window()).sum::<f64>() / f64::from(n);
-        assert!((mean - t.base()).abs() < 0.01, "mean {mean} vs {}", t.base());
+        assert!(
+            (mean - t.base()).abs() < 0.01,
+            "mean {mean} vs {}",
+            t.base()
+        );
     }
 
     #[test]
@@ -113,7 +117,9 @@ mod tests {
     fn different_seeds_stagger() {
         let mut a = trace("raytrace", 1);
         let mut b = trace("raytrace", 2);
-        let same = (0..100).filter(|_| a.next_window() == b.next_window()).count();
+        let same = (0..100)
+            .filter(|_| a.next_window() == b.next_window())
+            .count();
         assert!(same < 5);
     }
 
@@ -123,8 +129,7 @@ mod tests {
             let mut t = trace(name, 3);
             let vals: Vec<f64> = (0..2000).map(|_| t.next_window()).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
-                / mean
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt() / mean
         };
         // bodytrack (variability 1.3) vs blackscholes (0.7).
         assert!(spread("bodytrack") > spread("blackscholes"));

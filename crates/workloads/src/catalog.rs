@@ -213,9 +213,10 @@ impl Catalog {
     /// Returns [`WorkloadError::UnknownWorkload`] when no benchmark has
     /// that name.
     pub fn require(&self, name: &str) -> Result<&WorkloadProfile, WorkloadError> {
-        self.get(name).ok_or_else(|| WorkloadError::UnknownWorkload {
-            name: name.to_owned(),
-        })
+        self.get(name)
+            .ok_or_else(|| WorkloadError::UnknownWorkload {
+                name: name.to_owned(),
+            })
     }
 
     /// Iterates over every profile.
@@ -375,7 +376,11 @@ mod tests {
     fn mips_span_covers_fig16_range() {
         // Fig. 16's x-axis spans ~13k to ~80k chip MIPS for 8 threads.
         let c = Catalog::power7plus();
-        let mips: Vec<f64> = c.scatter_set().iter().map(|p| p.chip_mips(8, 1.0)).collect();
+        let mips: Vec<f64> = c
+            .scatter_set()
+            .iter()
+            .map(|p| p.chip_mips(8, 1.0))
+            .collect();
         let min = mips.iter().cloned().fold(f64::MAX, f64::min);
         let max = mips.iter().cloned().fold(f64::MIN, f64::max);
         assert!(min < 15_000.0, "min chip MIPS {min}");

@@ -50,7 +50,11 @@ impl CoRunnerClass {
     /// All classes, lightest first.
     #[must_use]
     pub fn all() -> [CoRunnerClass; 3] {
-        [CoRunnerClass::Light, CoRunnerClass::Medium, CoRunnerClass::Heavy]
+        [
+            CoRunnerClass::Light,
+            CoRunnerClass::Medium,
+            CoRunnerClass::Heavy,
+        ]
     }
 }
 

@@ -32,13 +32,19 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::InvalidProfile { name, field, value } => {
-                write!(f, "workload `{name}` field `{field}` is out of range: {value}")
+                write!(
+                    f,
+                    "workload `{name}` field `{field}` is out of range: {value}"
+                )
             }
             WorkloadError::UnknownWorkload { name } => {
                 write!(f, "unknown workload `{name}`")
             }
             WorkloadError::InvalidPlacement { requested } => {
-                write!(f, "placement of {requested} threads exceeds socket capacity")
+                write!(
+                    f,
+                    "placement of {requested} threads exceeds socket capacity"
+                )
             }
         }
     }

@@ -150,7 +150,10 @@ mod tests {
         let mut mix = WorkloadMix::new();
         mix.push(c.get("coremark").unwrap().clone(), 8).unwrap();
         let err = mix.push(c.get("mcf").unwrap().clone(), 1).unwrap_err();
-        assert!(matches!(err, WorkloadError::InvalidPlacement { requested: 9 }));
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidPlacement { requested: 9 }
+        ));
     }
 
     #[test]
@@ -164,7 +167,8 @@ mod tests {
         assert_eq!(mix.threads(), 5);
         let expect = cm.chip_mips(2, 1.0) + mcf.chip_mips(3, 1.0);
         assert!((mix.chip_mips(1.0) - expect).abs() < 1e-9);
-        let expect_power = cm.ceff_nf() * cm.activity() * 2.0 + mcf.ceff_nf() * mcf.activity() * 3.0;
+        let expect_power =
+            cm.ceff_nf() * cm.activity() * 2.0 + mcf.ceff_nf() * mcf.activity() * 3.0;
         assert!((mix.power_index() - expect_power).abs() < 1e-12);
     }
 

@@ -295,7 +295,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            WorkloadError::InvalidProfile { field: "activity", .. }
+            WorkloadError::InvalidProfile {
+                field: "activity",
+                ..
+            }
         ));
     }
 
@@ -334,7 +337,9 @@ mod tests {
 
     #[test]
     fn display_includes_suite() {
-        let w = WorkloadProfile::builder("lu_cb", Suite::Splash2).build().unwrap();
+        let w = WorkloadProfile::builder("lu_cb", Suite::Splash2)
+            .build()
+            .unwrap();
         assert_eq!(format!("{w}"), "lu_cb (SPLASH-2)");
     }
 }

@@ -32,7 +32,12 @@ impl Suite {
     /// All suites.
     #[must_use]
     pub fn all() -> [Suite; 4] {
-        [Suite::Parsec, Suite::Splash2, Suite::SpecCpu2006, Suite::Micro]
+        [
+            Suite::Parsec,
+            Suite::Splash2,
+            Suite::SpecCpu2006,
+            Suite::Micro,
+        ]
     }
 }
 

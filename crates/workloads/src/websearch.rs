@@ -179,13 +179,7 @@ impl WebSearch {
 
     /// Fraction of windows whose p90 exceeds `target` at frequency `f`.
     #[must_use]
-    pub fn violation_rate(
-        &self,
-        f: MegaHertz,
-        target: Seconds,
-        windows: usize,
-        seed: u64,
-    ) -> f64 {
+    pub fn violation_rate(&self, f: MegaHertz, target: Seconds, windows: usize, seed: u64) -> f64 {
         let p90s = self.p90_windows(f, windows, seed);
         if p90s.is_empty() {
             return 0.0;
@@ -262,8 +256,14 @@ mod tests {
         let light = ws.violation_rate(MegaHertz(4670.0), QOS, 300, 7);
         assert!(heavy > medium, "heavy {heavy} medium {medium}");
         assert!(medium > light, "medium {medium} light {light}");
-        assert!(heavy > 0.15, "heavy co-runner should violate often: {heavy}");
-        assert!(light < 0.10, "light co-runner should mostly meet QoS: {light}");
+        assert!(
+            heavy > 0.15,
+            "heavy co-runner should violate often: {heavy}"
+        );
+        assert!(
+            light < 0.10,
+            "light co-runner should mostly meet QoS: {light}"
+        );
     }
 
     #[test]

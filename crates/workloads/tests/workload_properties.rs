@@ -30,7 +30,7 @@ proptest! {
 
     #[test]
     fn out_of_range_fields_are_rejected(
-        bad_activity in prop_oneof![(-10.0f64..-0.001), (1.001f64..10.0)],
+        bad_activity in prop_oneof![-10.0f64..-0.001, 1.001f64..10.0],
     ) {
         let w = WorkloadProfile::builder("prop", Suite::Parsec)
             .activity(bad_activity)

@@ -22,7 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cores with a spread of workloads and fit chip MIPS → frequency.
     println!("training MIPS→frequency predictor on the benchmark catalog…");
     let mut training = Vec::new();
-    for name in ["mcf", "radix", "gcc", "sphinx3", "raytrace", "dealII", "swaptions", "povray"] {
+    for name in [
+        "mcf",
+        "radix",
+        "gcc",
+        "sphinx3",
+        "raytrace",
+        "dealII",
+        "swaptions",
+        "povray",
+    ] {
         let w = catalog.require(name)?;
         let (mips, freq) = ags::scheduling::predictor::measure_point(&experiment, w)?;
         training.push((mips, freq.0));

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let socket0 = SocketId::new(0).expect("socket 0 exists");
     let amester = sim.amester(socket0);
-    println!("AMESTER recorded {} windows of 40 CPMs\n", amester.windows().len());
+    println!(
+        "AMESTER recorded {} windows of 40 CPMs\n",
+        amester.windows().len()
+    );
 
     // Calibrated significance: ~21 mV per tap at the 4.2 GHz target.
     let mv_per_tap = CriticalPathMonitor::NOMINAL_SENSITIVITY_MV;
@@ -42,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .worst_sticky(cpm0)
             .map_or(0.0, |r| f64::from(r.value()));
         let droop_mv = (mean_sample - worst_sticky).max(0.0) * mv_per_tap;
-        println!(
-            "{core}   {mean_sample:>10.2}  {worst_sticky:>12.0}  {droop_mv:>13.0} mV"
-        );
+        println!("{core}   {mean_sample:>10.2}  {worst_sticky:>12.0}  {droop_mv:>13.0} mV");
     }
     println!();
     println!("Sample mode shows the steady margin each core has left; the gap to");

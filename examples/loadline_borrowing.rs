@@ -41,9 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "  borrowing    : {:+.1} % power, {:+.1} % time, {:+.1} % energy",
-            -eval.power_saving_percent,
-            eval.time_change_percent,
-            eval.energy_improvement_percent
+            -eval.power_saving_percent, eval.time_change_percent, eval.energy_improvement_percent
         );
         println!(
             "  AGS decision : {} (advantage {:.1} %)\n",

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let saving = (static_run.chip_power().0 - undervolt.chip_power().0)
             / static_run.chip_power().0
             * 100.0;
-        let boost = (overclock.summary.avg_running_freq.0
-            - static_run.summary.avg_running_freq.0)
+        let boost = (overclock.summary.avg_running_freq.0 - static_run.summary.avg_running_freq.0)
             / static_run.summary.avg_running_freq.0
             * 100.0;
 

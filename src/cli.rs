@@ -3,6 +3,7 @@
 //! dispatches).
 
 use crate::control::GuardbandMode;
+use crate::sim::Placement;
 use crate::workloads::{Catalog, WorkloadProfile};
 use std::collections::HashMap;
 
@@ -66,6 +67,29 @@ pub fn flag_seed(flags: &Flags) -> Result<u64, String> {
         Some(v) => v
             .parse()
             .map_err(|_| format!("--seed expects an integer, got `{v}`")),
+    }
+}
+
+/// Reads the `--jobs` flag (default 0 = one worker per available core).
+///
+/// # Errors
+///
+/// Returns a message when the value does not parse.
+pub fn flag_jobs(flags: &Flags) -> Result<usize, String> {
+    flag_usize(flags, "jobs", 0)
+}
+
+/// Reads the `--placement` flag (default single).
+///
+/// # Errors
+///
+/// Returns a message for an unknown placement name.
+pub fn flag_placement(flags: &Flags) -> Result<Placement, String> {
+    match flags.get("placement") {
+        None => Ok(Placement::SingleSocket),
+        Some(name) => Placement::parse(name).ok_or_else(|| {
+            format!("--placement must be single, consolidated or borrowed, got `{name}`")
+        }),
     }
 }
 
@@ -153,6 +177,22 @@ mod tests {
             GuardbandMode::StaticGuardband
         );
         assert!(flag_mode(&flags(&[("mode", "turbo")])).is_err());
+    }
+
+    #[test]
+    fn jobs_and_placement_flags() {
+        assert_eq!(flag_jobs(&Flags::new()).unwrap(), 0);
+        assert_eq!(flag_jobs(&flags(&[("jobs", "8")])).unwrap(), 8);
+        assert!(flag_jobs(&flags(&[("jobs", "many")])).is_err());
+        assert_eq!(
+            flag_placement(&Flags::new()).unwrap(),
+            Placement::SingleSocket
+        );
+        assert_eq!(
+            flag_placement(&flags(&[("placement", "borrowed")])).unwrap(),
+            Placement::Borrowed
+        );
+        assert!(flag_placement(&flags(&[("placement", "spread")])).is_err());
     }
 
     #[test]

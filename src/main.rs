@@ -9,10 +9,13 @@
 //! ags cluster --workload raytrace --threads 12 --servers 4
 //! ```
 
-use ags::cli::{flag_mode, flag_seed, flag_usize, parse_flags, required_workload, Flags};
+use ags::cli::{
+    flag_jobs, flag_mode, flag_placement, flag_seed, flag_usize, parse_flags, required_workload,
+    Flags,
+};
 use ags::control::GuardbandMode;
 use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
-use ags::sim::{Assignment, Experiment};
+use ags::sim::{CachedExperiment, Experiment, SweepEngine, SweepReport, SweepSpec};
 use ags::workloads::Catalog;
 use std::process::ExitCode;
 
@@ -60,19 +63,18 @@ USAGE:
   ags run --workload <name> [--threads N] [--mode M] [--placement P] [--seed S]
       Run one experiment. M: static|overclock|undervolt (default undervolt).
       P: single|consolidated|borrowed (default single). N: 1..8 (default 4).
-  ags sweep --workload <name> [--mode M] [--seed S]
+  ags sweep --workload <name> [--mode M] [--seed S] [--jobs N]
       Sweep 1..8 active cores and print improvement over static guardband.
+  ags sweep --spec <file|fig10> [--jobs N] [--seed S]
+      Run a full sweep grid from a JSON spec (or the built-in fig10 grid)
+      on N parallel workers. Results are identical at any worker count;
+      throughput/cache stats go to stderr.
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
       Two-level scheduling: consolidate across servers, borrow within."
     );
 }
-
-
-
-
-
 
 fn cmd_list() -> Result<(), String> {
     let catalog = Catalog::power7plus();
@@ -101,22 +103,19 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     let workload = required_workload(&catalog, flags)?;
     let threads = flag_usize(flags, "threads", 4)?;
     let mode = flag_mode(flags)?;
-    let exp = Experiment::power7plus(flag_seed(flags)?);
-    let assignment = match flags.get("placement").map(String::as_str) {
-        None | Some("single") => Assignment::single_socket(workload, threads),
-        Some("consolidated") => Assignment::consolidated(workload, threads),
-        Some("borrowed") => Assignment::borrowed(workload, threads),
-        Some(other) => {
-            return Err(format!(
-                "--placement must be single, consolidated or borrowed, got `{other}`"
-            ))
-        }
-    }
-    .map_err(|e| e.to_string())?;
+    let placement = flag_placement(flags)?;
+    // Memoized: a repeated `run` in the same process is a cache hit.
+    let exp = CachedExperiment::new(Experiment::power7plus(flag_seed(flags)?));
+    let assignment = placement
+        .assignment(workload, threads)
+        .map_err(|e| e.to_string())?;
     let outcome = exp.run(&assignment, mode).map_err(|e| e.to_string())?;
     println!("{} × {threads} threads, {mode}:", workload.name());
     println!("  chip power (socket 0) : {:8.1} W", outcome.chip_power().0);
-    println!("  server power          : {:8.1} W", outcome.total_power().0);
+    println!(
+        "  server power          : {:8.1} W",
+        outcome.total_power().0
+    );
     println!(
         "  clock (running cores) : {:8.0} MHz",
         outcome.summary.avg_running_freq.0
@@ -131,21 +130,46 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    let engine = SweepEngine::new(flag_jobs(flags)?);
+    if let Some(spec_arg) = flags.get("spec") {
+        let spec = load_spec(spec_arg)?.with_seed(flag_seed(flags)?);
+        let report = engine.run(&spec).map_err(|e| e.to_string())?;
+        print_report(&report);
+        print_stats(&report);
+        return Ok(());
+    }
+
+    // Legacy single-workload sweep: 1..8 cores, adaptive mode vs static.
     let catalog = Catalog::power7plus();
     let workload = required_workload(&catalog, flags)?;
     let mode = flag_mode(flags)?;
-    let exp = Experiment::power7plus(flag_seed(flags)?);
-    println!(
-        "{} under {mode} vs static guardband:",
-        workload.name()
-    );
+    let mut modes = vec![GuardbandMode::StaticGuardband];
+    if mode != GuardbandMode::StaticGuardband {
+        modes.push(mode);
+    }
+    let spec = SweepSpec::new(vec![workload.name().to_owned()], (1..=8).collect())
+        .with_modes(modes)
+        .with_seed(flag_seed(flags)?)
+        .with_ticks(
+            ags::sim::DEFAULT_MEASURE_TICKS,
+            ags::sim::DEFAULT_WARMUP_TICKS,
+        );
+    let report = engine.run(&spec).map_err(|e| e.to_string())?;
+    println!("{} under {mode} vs static guardband:", workload.name());
     println!("cores  static W  adaptive W  saving %  adaptive MHz");
-    for threads in 1..=8 {
-        let a = Assignment::single_socket(workload, threads).map_err(|e| e.to_string())?;
-        let st = exp
-            .run(&a, GuardbandMode::StaticGuardband)
-            .map_err(|e| e.to_string())?;
-        let ad = exp.run(&a, mode).map_err(|e| e.to_string())?;
+    for &threads in &spec.cores {
+        let place = ags::sim::Placement::SingleSocket;
+        let st = report
+            .outcome(
+                workload.name(),
+                threads,
+                place,
+                GuardbandMode::StaticGuardband,
+            )
+            .ok_or("static point missing from grid")?;
+        let ad = report
+            .outcome(workload.name(), threads, place, mode)
+            .ok_or("adaptive point missing from grid")?;
         let saving = (st.chip_power().0 - ad.chip_power().0) / st.chip_power().0 * 100.0;
         println!(
             "{threads:>5}  {:>8.1}  {:>10.1}  {:>8.1}  {:>12.0}",
@@ -155,7 +179,57 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
             ad.summary.avg_running_freq.0
         );
     }
+    print_stats(&report);
     Ok(())
+}
+
+/// Resolves the `--spec` argument: the literal `fig10` selects the
+/// built-in Fig. 10 grid, anything else is read as a JSON spec file.
+fn load_spec(arg: &str) -> Result<SweepSpec, String> {
+    if arg == "fig10" {
+        return Ok(SweepSpec::fig10_grid());
+    }
+    let text =
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read sweep spec `{arg}`: {e}"))?;
+    SweepSpec::from_json(&text)
+}
+
+/// Prints every grid point of a sweep report, in grid order (stdout is
+/// byte-identical at any `--jobs` count).
+fn print_report(report: &SweepReport) {
+    println!(
+        "{:>5}  {:<16} {:>5}  {:<12} {:<10} {:>8} {:>9} {:>8} {:>8}",
+        "point", "workload", "cores", "placement", "mode", "chip W", "total W", "MHz", "UV mV"
+    );
+    for r in &report.results {
+        println!(
+            "{:>5}  {:<16} {:>5}  {:<12} {:<10} {:>8.1} {:>9.1} {:>8.0} {:>8.1}",
+            r.point.index,
+            r.point.workload,
+            r.point.cores,
+            r.point.placement.label(),
+            r.point.mode.to_string(),
+            r.outcome.chip_power().0,
+            r.outcome.total_power().0,
+            r.outcome.summary.avg_running_freq.0,
+            r.outcome.summary.socket0().undervolt.millivolts()
+        );
+    }
+}
+
+/// Prints the throughput/cache footer to stderr, keeping stdout
+/// reproducible across worker counts and cache temperatures.
+fn print_stats(report: &SweepReport) {
+    let s = &report.stats;
+    eprintln!(
+        "[sweep: {} points in {:.2} s with {} jobs — {:.1} points/s, cache {} hits / {} misses]",
+        s.points,
+        s.elapsed_secs,
+        s.jobs,
+        s.points_per_sec(),
+        s.cache.hits,
+        s.cache.misses
+    );
 }
 
 fn cmd_borrow(flags: &Flags) -> Result<(), String> {
@@ -181,9 +255,7 @@ fn cmd_borrow(flags: &Flags) -> Result<(), String> {
     );
     println!(
         "  borrowing    : {:+.1} % power, {:+.1} % time, {:+.1} % energy",
-        -eval.power_saving_percent,
-        eval.time_change_percent,
-        eval.energy_improvement_percent
+        -eval.power_saving_percent, eval.time_change_percent, eval.energy_improvement_percent
     );
     Ok(())
 }

@@ -2,9 +2,7 @@
 //! model, the cluster scheduler, the time-series recorder, and the
 //! combination-space explorer.
 
-use ags::control::{
-    AgingModel, GuardbandMode, GuardbandPolicy, PStateTable, VoltFreqCurve,
-};
+use ags::control::{AgingModel, GuardbandMode, GuardbandPolicy, PStateTable, VoltFreqCurve};
 use ags::scheduling::cluster::{ClusterConfig, ClusterScheduler};
 use ags::scheduling::{AdaptiveMappingScheduler, JobSpec, MipsFrequencyPredictor, QosSpec};
 use ags::sim::{Assignment, Experiment, ServerConfig, Simulation};
@@ -107,13 +105,13 @@ fn explorer_ranks_candidates_consistently_with_measurement() {
         catalog.get("websearch").unwrap().clone(),
         QosSpec::websearch(),
     );
-    let predictor = MipsFrequencyPredictor::fit(&[
-        (10_000.0, 4580.0),
-        (40_000.0, 4500.0),
-        (70_000.0, 4420.0),
-    ])
-    .unwrap();
-    let pool = vec![co_runner(CoRunnerClass::Light), co_runner(CoRunnerClass::Heavy)];
+    let predictor =
+        MipsFrequencyPredictor::fit(&[(10_000.0, 4580.0), (40_000.0, 4500.0), (70_000.0, 4420.0)])
+            .unwrap();
+    let pool = vec![
+        co_runner(CoRunnerClass::Light),
+        co_runner(CoRunnerClass::Heavy),
+    ];
     let scheduler = AdaptiveMappingScheduler::new(
         exp.clone(),
         predictor,

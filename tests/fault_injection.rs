@@ -16,7 +16,8 @@ fn assignment(threads: usize) -> Assignment {
 #[test]
 fn stuck_low_cpm_forces_the_rail_back_to_safety() {
     let cfg = ServerConfig::power7plus(5);
-    let mut healthy = Simulation::new(cfg.clone(), assignment(2), GuardbandMode::Undervolt).unwrap();
+    let mut healthy =
+        Simulation::new(cfg.clone(), assignment(2), GuardbandMode::Undervolt).unwrap();
     let healthy_run = healthy.run(30, 15);
     assert!(healthy_run.socket0().undervolt.millivolts() > 20.0);
 
@@ -37,11 +38,8 @@ fn stuck_low_cpm_forces_the_rail_back_to_safety() {
 fn stuck_high_cpm_does_not_trick_the_rail_below_the_floor() {
     let cfg = ServerConfig::power7plus(5);
     let floor = {
-        let fw = ags::control::FirmwareController::new(
-            cfg.target_frequency,
-            cfg.policy.clone(),
-        )
-        .unwrap();
+        let fw = ags::control::FirmwareController::new(cfg.target_frequency, cfg.policy.clone())
+            .unwrap();
         fw.voltage_floor(&cfg.curve)
     };
     let mut sim = Simulation::new(cfg, assignment(2), GuardbandMode::Undervolt).unwrap();
@@ -82,12 +80,17 @@ fn droop_storm_shrinks_but_never_inverts_the_guardband() {
         ..DidtConfig::power7plus()
     };
     let exp = Experiment::with_config(cfg.clone(), ExecutionModel::power7plus()).with_ticks(30, 15);
-    let st = exp.run(&assignment(4), GuardbandMode::StaticGuardband).unwrap();
+    let st = exp
+        .run(&assignment(4), GuardbandMode::StaticGuardband)
+        .unwrap();
     let uv = exp.run(&assignment(4), GuardbandMode::Undervolt).unwrap();
     // Undervolting may gain almost nothing under the storm, but must never
     // push the set point above nominal or below the floor.
     let undervolt = uv.summary.socket0().undervolt.millivolts();
-    assert!(undervolt >= -1e-9, "set point above nominal: {undervolt} mV");
+    assert!(
+        undervolt >= -1e-9,
+        "set point above nominal: {undervolt} mV"
+    );
     assert!(uv.chip_power().0 <= st.chip_power().0 + 0.5);
 }
 

@@ -5,9 +5,9 @@
 use ags::control::GuardbandMode;
 use ags::scheduling::predictor::measure_point;
 use ags::scheduling::{LoadlineBorrowing, MipsFrequencyPredictor};
-use ags::sim::{Assignment, Experiment};
-use ags::workloads::{co_runner, Catalog, CoRunnerClass, WebSearch};
+use ags::sim::{Assignment, Experiment, Placement, SweepEngine, SweepSpec};
 use ags::types::Seconds;
+use ags::workloads::{co_runner, Catalog, CoRunnerClass, WebSearch};
 
 fn experiment() -> Experiment {
     Experiment::power7plus(42).with_ticks(30, 15)
@@ -28,8 +28,7 @@ fn frequency_boost(name: &str, cores: usize) -> f64 {
     let a = Assignment::single_socket(&w, cores).unwrap();
     let st = exp.run(&a, GuardbandMode::StaticGuardband).unwrap();
     let oc = exp.run(&a, GuardbandMode::Overclock).unwrap();
-    (oc.summary.avg_running_freq.0 - st.summary.avg_running_freq.0)
-        / st.summary.avg_running_freq.0
+    (oc.summary.avg_running_freq.0 - st.summary.avg_running_freq.0) / st.summary.avg_running_freq.0
         * 100.0
 }
 
@@ -38,8 +37,14 @@ fn fig3_power_saving_diminishes_with_core_count() {
     let one = undervolt_saving("raytrace", 1);
     let four = undervolt_saving("raytrace", 4);
     let eight = undervolt_saving("raytrace", 8);
-    assert!((10.0..16.0).contains(&one), "1-core saving {one}% (paper 13%)");
-    assert!((1.0..7.0).contains(&eight), "8-core saving {eight}% (paper 3%)");
+    assert!(
+        (10.0..16.0).contains(&one),
+        "1-core saving {one}% (paper 13%)"
+    );
+    assert!(
+        (1.0..7.0).contains(&eight),
+        "8-core saving {eight}% (paper 3%)"
+    );
     assert!(one > four && four > eight, "saving must fall monotonically");
 }
 
@@ -47,8 +52,14 @@ fn fig3_power_saving_diminishes_with_core_count() {
 fn fig4_frequency_boost_diminishes_with_core_count() {
     let one = frequency_boost("lu_cb", 1);
     let eight = frequency_boost("lu_cb", 8);
-    assert!((7.0..13.0).contains(&one), "1-core boost {one}% (paper 10%)");
-    assert!((2.0..7.0).contains(&eight), "8-core boost {eight}% (paper 4%)");
+    assert!(
+        (7.0..13.0).contains(&one),
+        "1-core boost {one}% (paper 10%)"
+    );
+    assert!(
+        (2.0..7.0).contains(&eight),
+        "8-core boost {eight}% (paper 4%)"
+    );
     assert!(one > eight + 3.0, "boost must erode substantially");
 }
 
@@ -84,10 +95,16 @@ fn fig7_voltage_drop_grows_and_is_global() {
     };
     // Grows toward ~8 % at eight cores for the active core.
     let full = drop_at(8, 0);
-    assert!((6.0..10.0).contains(&full), "8-core drop {full}% (paper ~8%)");
+    assert!(
+        (6.0..10.0).contains(&full),
+        "8-core drop {full}% (paper ~8%)"
+    );
     // Global: core 7 sags even while idle.
     let idle7 = drop_at(4, 7);
-    assert!(idle7 > 2.0, "idle core must sag too (global effect): {idle7}%");
+    assert!(
+        idle7 > 2.0,
+        "idle core must sag too (global effect): {idle7}%"
+    );
     // Local: activating core 7 adds a visible jump.
     let jump = drop_at(8, 7) - drop_at(7, 7);
     assert!((0.4..3.0).contains(&jump), "local activation jump {jump}%");
@@ -138,9 +155,16 @@ fn fig12_borrowing_undervolts_deeper_and_saves_power() {
     let uv_cons = eval.consolidated.summary.socket0().undervolt.millivolts();
     let uv_borr = eval.borrowed.summary.sockets[0].undervolt.millivolts();
     // Paper Fig. 12a: ~20 mV consolidated vs ~60 mV borrowed at 8 cores.
-    assert!((10.0..35.0).contains(&uv_cons), "consolidated UV {uv_cons} mV");
+    assert!(
+        (10.0..35.0).contains(&uv_cons),
+        "consolidated UV {uv_cons} mV"
+    );
     assert!((45.0..85.0).contains(&uv_borr), "borrowed UV {uv_borr} mV");
-    assert!(eval.power_saving_percent > 1.5, "saving {}%", eval.power_saving_percent);
+    assert!(
+        eval.power_saving_percent > 1.5,
+        "saving {}%",
+        eval.power_saving_percent
+    );
 }
 
 #[test]
@@ -199,7 +223,16 @@ fn fig16_mips_predictor_is_accurate_and_negative_sloped() {
     let exp = experiment();
     let catalog = Catalog::power7plus();
     let mut data = Vec::new();
-    for name in ["mcf", "omnetpp", "gcc", "wrf", "raytrace", "dealII", "swaptions", "povray"] {
+    for name in [
+        "mcf",
+        "omnetpp",
+        "gcc",
+        "wrf",
+        "raytrace",
+        "dealII",
+        "swaptions",
+        "povray",
+    ] {
         let (mips, freq) = measure_point(&exp, catalog.get(name).unwrap()).unwrap();
         data.push((mips, freq.0));
     }
@@ -217,16 +250,138 @@ fn fig17_heavy_corunner_violates_light_meets_qos() {
     let rate = |class: CoRunnerClass| {
         let a = Assignment::colocated(ws_profile, &co_runner(class), 7).unwrap();
         let o = exp.run(&a, GuardbandMode::Overclock).unwrap();
-        service.violation_rate(
-            o.summary.sockets[0].avg_core_freq[0],
-            Seconds(0.5),
-            200,
-            7,
-        )
+        service.violation_rate(o.summary.sockets[0].avg_core_freq[0], Seconds(0.5), 200, 7)
     };
     let heavy = rate(CoRunnerClass::Heavy);
     let light = rate(CoRunnerClass::Light);
     assert!(heavy > 0.15, "heavy violation rate {heavy} (paper >25%)");
     assert!(light < 0.07, "light violation rate {light} (paper <7%)");
     assert!(heavy > light * 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Golden trends through the parallel sweep engine. The figure binaries
+// now all run on this path, so the paper's headline shapes must survive
+// the engine's per-point seed derivation and memoized solves — bounds on
+// shape and ordering, never exact floats.
+// ---------------------------------------------------------------------
+
+/// A two-worker engine on the process-wide solve cache, exactly like the
+/// figure binaries.
+fn sweep_engine() -> SweepEngine {
+    SweepEngine::new(2)
+}
+
+#[test]
+fn sweep_fig3_undervolt_saving_erodes_from_13_to_3_percent() {
+    let spec = SweepSpec::new(vec!["raytrace".into()], (1..=8).collect()).with_modes(vec![
+        GuardbandMode::StaticGuardband,
+        GuardbandMode::Undervolt,
+    ]);
+    let report = sweep_engine().run(&spec).unwrap();
+    let saving = |cores: usize| {
+        report
+            .power_saving_percent(
+                "raytrace",
+                cores,
+                Placement::SingleSocket,
+                GuardbandMode::Undervolt,
+            )
+            .unwrap()
+    };
+    let one = saving(1);
+    let eight = saving(8);
+    assert!(
+        (10.0..16.0).contains(&one),
+        "1-core saving {one}% (paper 13%)"
+    );
+    assert!(
+        (1.0..7.0).contains(&eight),
+        "8-core saving {eight}% (paper 3%)"
+    );
+    for cores in 1..8 {
+        assert!(
+            saving(cores) > saving(cores + 1),
+            "saving must fall monotonically at {cores}→{} cores",
+            cores + 1
+        );
+    }
+}
+
+#[test]
+fn sweep_fig5_saving_erodes_for_every_core_scaling_workload() {
+    let names = ags::workloads::catalog::CORE_SCALING_SET;
+    let spec =
+        SweepSpec::new(names.iter().map(|s| (*s).to_owned()).collect(), vec![1, 8]).with_modes(
+            vec![GuardbandMode::StaticGuardband, GuardbandMode::Undervolt],
+        );
+    let report = sweep_engine().run(&spec).unwrap();
+    let saving = |name: &str, cores: usize| {
+        report
+            .power_saving_percent(
+                name,
+                cores,
+                Placement::SingleSocket,
+                GuardbandMode::Undervolt,
+            )
+            .unwrap()
+    };
+    for name in names {
+        assert!(
+            saving(name, 1) > saving(name, 8) + 2.0,
+            "{name}: saving must erode from 1 to 8 cores"
+        );
+    }
+    // Heterogeneity: the memory-bound workload keeps clearly more of its
+    // benefit at full load than the compute-heavy one (Fig. 5's spread).
+    assert!(
+        saving("radix", 8) > saving("swaptions", 8) + 4.0,
+        "8-core spread must stay wide"
+    );
+}
+
+#[test]
+fn sweep_fig13_borrowing_roughly_doubles_the_8_core_benefit() {
+    let names = ["raytrace", "lu_cb", "swaptions", "ocean_cp"];
+    let spec = SweepSpec::new(names.iter().map(|s| (*s).to_owned()).collect(), vec![8])
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+        ])
+        .with_placements(vec![Placement::Consolidated, Placement::Borrowed]);
+    let report = sweep_engine().run(&spec).unwrap();
+    let mut cons_sum = 0.0;
+    let mut borr_sum = 0.0;
+    for name in names {
+        let base = report
+            .outcome(
+                name,
+                8,
+                Placement::Consolidated,
+                GuardbandMode::StaticGuardband,
+            )
+            .unwrap()
+            .total_power()
+            .0;
+        let cons = report
+            .outcome(name, 8, Placement::Consolidated, GuardbandMode::Undervolt)
+            .unwrap()
+            .total_power()
+            .0;
+        let borr = report
+            .outcome(name, 8, Placement::Borrowed, GuardbandMode::Undervolt)
+            .unwrap()
+            .total_power()
+            .0;
+        cons_sum += (base - cons) / base * 100.0;
+        borr_sum += (base - borr) / base * 100.0;
+    }
+    assert!(
+        borr_sum > cons_sum * 1.3,
+        "borrowing must clearly multiply the benefit: {cons_sum} vs {borr_sum}"
+    );
+    assert!(
+        borr_sum < cons_sum * 5.0,
+        "multiplier should stay in a plausible band: {cons_sum} vs {borr_sum}"
+    );
 }

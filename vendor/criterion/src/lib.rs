@@ -1,0 +1,186 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`criterion_group!`],
+//! [`criterion_main!`] and a re-exported [`black_box`] — backed by a
+//! simple wall-clock timer instead of criterion's statistical engine.
+//!
+//! Run modes (decided from the process arguments):
+//!
+//! * `--bench` (what `cargo bench` passes): timed runs — each
+//!   benchmark is warmed up, then sampled `sample_size` times, and the
+//!   median per-iteration time is printed.
+//! * anything else (e.g. `cargo test` smoke-running a
+//!   `harness = false` target): each benchmark body executes exactly
+//!   once, so the target stays a fast compile-and-smoke check.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    timed: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            timed: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configures measurement time; accepted for API compatibility.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            timed: self.timed,
+        };
+        if self.timed {
+            for _ in 0..self.sample_size {
+                routine(&mut bencher);
+            }
+            bencher.samples.sort_unstable();
+            let median = bencher.samples[bencher.samples.len() / 2];
+            println!(
+                "bench: {name:<44} median {:>12} / iter ({} samples)",
+                format_ns(median),
+                bencher.samples.len()
+            );
+        } else {
+            routine(&mut bencher);
+            println!("bench: {name:<44} smoke-tested (pass --bench to time)");
+        }
+        self
+    }
+}
+
+/// Times closures inside one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<u128>,
+    timed: bool,
+}
+
+impl Bencher {
+    /// Runs the routine and records its per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.timed {
+            // One un-timed warm-up, then a timed batch.
+            black_box(routine());
+            let iters = 3u32;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() / u128::from(iters));
+        } else {
+            black_box(routine());
+        }
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let s = ns as f64 / 1e9;
+        format!("{s:.3} s")
+    } else if ns >= 1_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let ms = ns as f64 / 1e6;
+        format!("{ms:.3} ms")
+    } else if ns >= 1_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let us = ns as f64 / 1e3;
+        format!("{us:.3} µs")
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 5,
+            timed: false,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 4,
+            timed: true,
+        };
+        let mut runs = 0u64;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        // 4 samples × (1 warm-up + 3 timed iterations).
+        assert_eq!(runs, 16);
+    }
+
+    #[test]
+    fn nanosecond_formatting_scales() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.500 µs");
+        assert_eq!(format_ns(2_500_000), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline vendored mini-proptest.
+//!
+//! The build environment has no crates.io access, so the real
+//! `proptest` cannot be fetched. This crate reimplements the subset of
+//! its API the workspace uses, with the same macro surface:
+//!
+//! * [`proptest!`] with `pattern in strategy` parameters and an
+//!   optional `#![proptest_config(..)]` header,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
+//! * range strategies over the primitive numeric types, tuples of
+//!   strategies, `prop::collection::vec`, `prop::array::uniform8`,
+//!   [`strategy::Just`] and `.prop_map(..)`,
+//! * failing-case persistence to `proptest-regressions/` (seeds are
+//!   replayed before fresh cases on the next run).
+//!
+//! Differences from the real crate: generation is deterministic by
+//! default (override with `PROPTEST_RNG_SEED`), there is no shrinking —
+//! the failing input and its seed are reported verbatim — and the
+//! default case count is 64 (override with `PROPTEST_CASES` or
+//! `ProptestConfig::with_cases`).
+
+#![forbid(unsafe_code)]
+
+pub mod prop;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::ProptestConfig;
+pub use strategy::{Just, Strategy};
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each function runs its body across many
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat_param in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::runner::run(
+                    &config,
+                    ::std::env!("CARGO_MANIFEST_DIR"),
+                    ::std::file!(),
+                    ::std::stringify!($name),
+                    &strategy,
+                    // Bodies may `return Ok(())` to accept a case early
+                    // (real-proptest idiom), so each runs in a closure
+                    // returning `Result`; an explicit `Err` fails the case.
+                    |($($pat,)+)| {
+                        let outcome = (move || -> ::std::result::Result<
+                            (),
+                            ::std::boxed::Box<dyn ::std::fmt::Debug>,
+                        > {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                        if let ::std::result::Result::Err(e) = outcome {
+                            panic!("proptest case returned Err: {e:?}");
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic!(
+                "prop_assert failed: {} ({}:{})",
+                ::std::stringify!($cond), ::std::file!(), ::std::line!()
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            ::std::panic!(
+                "prop_assert failed: {} ({}:{})",
+                ::std::format!($($fmt)+), ::std::file!(), ::std::line!()
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{l:?} != {r:?}");
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{l:?} != {r:?}: {}", ::std::format!($($fmt)+));
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{l:?} == {r:?}");
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::runner::Rejected);
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}

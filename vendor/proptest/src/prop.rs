@@ -1,0 +1,91 @@
+//! The `prop::` namespace (`prop::collection`, `prop::array`),
+//! mirroring the real crate's module layout.
+
+/// Collection strategies.
+pub mod collection {
+    use crate::runner::TestRng;
+    use crate::Strategy;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Generates `Vec`s with a length drawn from `len` and elements
+    /// from `element`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::runner::TestRng;
+    use crate::Strategy;
+    use std::fmt::Debug;
+
+    /// Generates `[T; 8]` arrays from one element strategy.
+    #[must_use]
+    pub fn uniform8<S: Strategy>(element: S) -> Uniform<S, 8> {
+        Uniform { element }
+    }
+
+    /// The strategy returned by [`uniform8`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for Uniform<S, N>
+    where
+        S::Value: Debug,
+    {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::TestRng;
+    use crate::Strategy;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = TestRng::new(5);
+        let s = super::collection::vec(0.0f64..1.0, 3..30);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((3..30).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn uniform8_fills_all_slots() {
+        let mut rng = TestRng::new(5);
+        let arr = super::array::uniform8(1.0f64..2.0).generate(&mut rng);
+        assert_eq!(arr.len(), 8);
+        assert!(arr.iter().all(|x| (1.0..2.0).contains(x)));
+    }
+}

@@ -1,0 +1,297 @@
+//! The case runner: deterministic seeds, rejection handling, and
+//! regression persistence.
+
+use crate::Strategy;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated cases each test runs.
+    pub cases: u32,
+    /// How many `prop_assume!` rejections are tolerated before the test
+    /// errors out as too narrow.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// The panic payload `prop_assume!` throws to reject a case.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// A small, fast, deterministic RNG (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A float in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let mantissa = (self.next_u64() >> 11) as f64;
+        mantissa / (1u64 << 53) as f64
+    }
+
+    /// A usize in `range` (empty ranges yield the start).
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        let span = range.end.saturating_sub(range.start);
+        if span == 0 {
+            return range.start;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let offset = (self.next_u64() % span as u64) as usize;
+        range.start + offset
+    }
+}
+
+fn fnv64(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Default base seed; every (file, test) pair derives its own stream
+/// from it, so runs are reproducible without a regressions file.
+const DEFAULT_RNG_SEED: u64 = 0x5eed_0000_0000_0042;
+
+fn base_seed(file: &str, test_name: &str) -> u64 {
+    let env = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_RNG_SEED);
+    env ^ fnv64(file) ^ fnv64(test_name).rotate_left(17)
+}
+
+/// Runs one property test: replays persisted regression seeds first,
+/// then `config.cases` fresh cases.
+///
+/// # Panics
+///
+/// Panics (like a failed `assert!`) when a case fails; the failing
+/// seed is persisted under `proptest-regressions/` for replay.
+pub fn run<S, F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    file: &str,
+    test_name: &str,
+    strategy: &S,
+    mut test: F,
+) where
+    S: Strategy,
+    F: FnMut(S::Value),
+{
+    let regression_path = regression_file(manifest_dir, file);
+    let base = base_seed(file, test_name);
+    let mut rejects = 0u32;
+
+    for seed in load_regression_seeds(&regression_path, test_name) {
+        run_case(
+            strategy,
+            &mut test,
+            seed,
+            "regression",
+            test_name,
+            &regression_path,
+            &mut rejects,
+        );
+    }
+
+    let mut case = 0u32;
+    let mut stream = 0u64;
+    while case < config.cases {
+        let seed = TestRng::new(base.wrapping_add(stream)).next_u64();
+        stream += 1;
+        let accepted = run_case(
+            strategy,
+            &mut test,
+            seed,
+            "generated",
+            test_name,
+            &regression_path,
+            &mut rejects,
+        );
+        if accepted {
+            case += 1;
+        } else {
+            assert!(
+                rejects <= config.max_global_rejects,
+                "proptest: too many prop_assume! rejections in {test_name} \
+                 ({rejects}; the precondition is too narrow)"
+            );
+        }
+    }
+}
+
+/// Runs one case; returns false when `prop_assume!` rejected it.
+fn run_case<S, F>(
+    strategy: &S,
+    test: &mut F,
+    seed: u64,
+    kind: &str,
+    test_name: &str,
+    regression_path: &Path,
+    rejects: &mut u32,
+) -> bool
+where
+    S: Strategy,
+    F: FnMut(S::Value),
+{
+    let value = strategy.generate(&mut TestRng::new(seed));
+    let result = catch_unwind(AssertUnwindSafe(|| test(value)));
+    match result {
+        Ok(()) => true,
+        Err(payload) if payload.is::<Rejected>() => {
+            *rejects += 1;
+            false
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            let shown = strategy.generate(&mut TestRng::new(seed));
+            persist_seed(regression_path, test_name, seed);
+            eprintln!(
+                "proptest: {test_name} failed on {kind} case (seed {seed:#018x})\n\
+                 \x20 input: {shown:?}\n\
+                 \x20 panic: {message}\n\
+                 \x20 persisted to {}",
+                regression_path.display()
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn regression_file(manifest_dir: &str, file: &str) -> PathBuf {
+    let stem = Path::new(file).file_stem().map_or_else(
+        || "unknown".to_owned(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+fn load_regression_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("cc"), Some(name), Some(seed)) if name == test_name => {
+                    let digits = seed.trim_start_matches("0x");
+                    u64::from_str_radix(digits, 16).ok()
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn persist_seed(path: &Path, test_name: &str, seed: u64) {
+    let line = format!("cc {test_name} {seed:#018x}");
+    let existing = fs::read_to_string(path).unwrap_or_default();
+    if existing.lines().any(|l| l == line) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let header = if existing.is_empty() {
+        "# Seeds for failing cases persisted by the vendored mini-proptest.\n\
+         # Format: `cc <test-name> <hex seed>`; replayed before fresh cases.\n"
+    } else {
+        ""
+    };
+    let _ = fs::write(path, format!("{existing}{header}{line}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..1000 {
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn base_seeds_differ_per_test() {
+        assert_ne!(base_seed("a.rs", "t1"), base_seed("a.rs", "t2"));
+        assert_ne!(base_seed("a.rs", "t1"), base_seed("b.rs", "t1"));
+    }
+
+    #[test]
+    fn regression_lines_round_trip() {
+        let dir = std::env::temp_dir().join("mini-proptest-test");
+        let path = dir.join("example.txt");
+        let _ = fs::remove_file(&path);
+        persist_seed(&path, "my_test", 0xdead_beef);
+        persist_seed(&path, "my_test", 0xdead_beef);
+        persist_seed(&path, "other_test", 0x1234);
+        assert_eq!(load_regression_seeds(&path, "my_test"), vec![0xdead_beef]);
+        assert_eq!(load_regression_seeds(&path, "other_test"), vec![0x1234]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,232 @@
+//! Value-generation strategies.
+
+use crate::runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree or shrinking: a
+/// strategy maps an RNG state straight to a value, and failing cases
+/// are reported (and persisted) by seed.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy for heterogeneous collections
+    /// (see [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The strategy built by [`crate::prop_oneof!`]: uniform choice among
+/// alternatives.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union of alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                #[allow(clippy::cast_possible_truncation)]
+                { (self.start as i128 + offset) as $t }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                #[allow(clippy::cast_possible_truncation)]
+                { (*self.start() as i128 + offset) as $t }
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                #[allow(clippy::cast_possible_truncation)]
+                let unit = rng.unit_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                #[allow(clippy::cast_possible_truncation)]
+                let unit = rng.unit_f64() as $t;
+                self.start() + unit * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+
+float_ranges!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (1usize..=8).generate(&mut rng);
+            assert!((1..=8).contains(&y));
+            let f = (-2.0f64..-0.5).generate(&mut rng);
+            assert!((-2.0..-0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn negative_int_ranges_work() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let x = (-50i64..-10).generate(&mut rng);
+            assert!((-50..-10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::new(11);
+        let u = Union::new(vec![(0usize..3).boxed(), (10usize..13).boxed()]);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..100 {
+            let x = u.generate(&mut rng);
+            assert!((0..3).contains(&x) || (10..13).contains(&x));
+            low |= x < 3;
+            high |= x >= 10;
+        }
+        assert!(low && high, "both branches of the union must be taken");
+        let mapped = (0usize..5).prop_map(|x| x * 2);
+        assert_eq!(mapped.generate(&mut rng) % 2, 0);
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(Just(41usize).generate(&mut rng), 41);
+    }
+}

@@ -1,0 +1,47 @@
+//! Deserialization support types (mirrors `serde::de` for the subset
+//! the workspace uses).
+
+use std::fmt;
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(message: String) -> Self {
+        Error { message }
+    }
+
+    /// The error text.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Prefixes the message with the context of an enclosing field,
+    /// so nested failures read like a path.
+    #[must_use]
+    pub fn in_context(self, context: &str) -> Self {
+        Error {
+            message: format!("{context}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type deserializable without borrowing from the input — with this
+/// crate's owned [`crate::Value`] model, simply every [`crate::Deserialize`].
+pub trait DeserializeOwned: crate::Deserialize {}
+
+impl<T: crate::Deserialize> DeserializeOwned for T {}

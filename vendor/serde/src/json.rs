@@ -1,0 +1,45 @@
+//! Built-in JSON text format.
+//!
+//! The real ecosystem splits this into `serde_json`; the workspace
+//! deliberately ships no separate format crate, so the offline facade
+//! hosts the one text format everything uses. Output is compact and
+//! deterministic (map entries keep derive declaration order, floats use
+//! Rust's shortest round-trip form).
+
+use crate::de::Error;
+use crate::{Deserialize, Serialize, Value};
+
+/// Serializes a value to compact JSON text.
+#[must_use]
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json()
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the text is malformed or does not match the
+/// target type's shape.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse_json(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![(1usize, 2.5f64), (3, 4.75)];
+        let text = to_string(&xs);
+        let back: Vec<(usize, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let xs = [0.1f64, 0.2, 0.30000000000000004];
+        assert_eq!(to_string(&xs), to_string(&xs));
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline vendored stand-in for the `serde` facade.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the real `serde` cannot be fetched. This crate provides the small
+//! slice of the serde surface the workspace actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the sibling
+//!   `serde_derive` proc-macro crate, re-exported under the `derive`
+//!   feature exactly like the real facade),
+//! * the `Serialize` / `Deserialize` traits and
+//!   `de::DeserializeOwned`, usable as generic bounds,
+//! * implementations for the primitive, tuple, array, `Vec`, `Option`
+//!   and `String` types that appear in derived structs.
+//!
+//! Unlike real serde the data model is a concrete self-describing
+//! [`Value`] tree rather than a visitor pipeline, and — because the
+//! workspace deliberately ships no separate format crate — a built-in
+//! JSON text round-trip lives in [`json`]. The derive output and the
+//! trait shapes are deterministic: serializing the same value twice
+//! yields byte-identical text, which the sweep determinism suite relies
+//! on.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod json;
+mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be represented as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the self-describing value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::Error`] when the tree does not match the expected
+    /// shape.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(clippy::cast_lossless, clippy::cast_possible_wrap)]
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_int()?;
+                <$t>::try_from(n).map_err(|_| de::Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                #[allow(clippy::cast_possible_truncation)]
+                v.as_float().map(|f| f as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::new(format!("expected one char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v.as_seq()?;
+        if items.len() != N {
+            return Err(de::Error::new(format!(
+                "expected array of {N}, got {} items",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| de::Error::new("array length changed during parse".to_owned()))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let items = v.as_seq()?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(de::Error::new(format!(
+                        "expected tuple of {expected}, got {} items", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => other.to_json(),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::from_value(&42u8.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_owned().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+        let arr = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::from_value(&arr.to_value()).unwrap(), arr);
+        let pair = (1usize, "x".to_owned());
+        assert_eq!(
+            <(usize, String)>::from_value(&pair.to_value()).unwrap(),
+            pair
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&Some(3u8).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(<[f64; 2]>::from_value(&Value::Seq(vec![Value::Float(1.0)])).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! The self-describing value tree all (de)serialization goes through.
+
+use crate::de::Error;
+use std::fmt::Write as _;
+
+/// A dynamically-typed serialized value.
+///
+/// Maps preserve insertion order (derive emits fields in declaration
+/// order), which keeps the JSON text deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (both signed and unsigned fit in `i128`).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The integer content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value is not an integer (floats with
+    /// an exact integral value are accepted, as JSON does not keep the
+    /// distinction).
+    pub fn as_int(&self) -> Result<i128, Error> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            #[allow(clippy::cast_possible_truncation)]
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9e18 => Ok(*f as i128),
+            other => Err(Error::new(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The float content (integers widen losslessly where possible).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value is not numeric.
+    pub fn as_float(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            #[allow(clippy::cast_precision_loss)]
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// The sequence content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value is not a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::new(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The map content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value is not a map.
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::new(format!("expected map, got {}", other.kind()))),
+        }
+    }
+
+    /// Looks up a map entry by key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value is not a map or the key is
+    /// absent.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::new(format!("missing field `{name}`")))
+    }
+
+    /// Renders compact JSON text. Deterministic: equal values produce
+    /// byte-identical output.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float form.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no literals for these; a tagged string
+                    // keeps the round-trip lossless.
+                    let _ = write!(out, "{{\"$float\":\"{f}\"}}");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed input or trailing garbage.
+    pub fn parse_json(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::new(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("expected , or ] at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(Error::new(format!("expected , or }} at byte {}", self.pos))),
+            }
+        }
+        // The tagged non-finite float encoding round-trips back into a
+        // float value.
+        if let [(key, Value::Str(s))] = entries.as_slice() {
+            if key == "$float" {
+                let f = match s.as_str() {
+                    "inf" => f64::INFINITY,
+                    "-inf" => f64::NEG_INFINITY,
+                    _ => f64::NAN,
+                };
+                return Ok(Value::Float(f));
+            }
+        }
+        Ok(Value::Map(entries))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8 in string".to_owned()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("dangling escape".to_owned()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape".to_owned()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape".to_owned()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u escape".to_owned()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string".to_owned())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number".to_owned()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid float `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error::new(format!("invalid integer `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("ray\"trace".into())),
+            ("cores".into(), Value::Int(8)),
+            ("power".into(), Value::Float(61.25)),
+            (
+                "flags".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let text = v.to_json();
+        assert_eq!(Value::parse_json(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_text_is_shortest_round_trip() {
+        let v = Value::Float(0.1 + 0.2);
+        let text = v.to_json();
+        assert_eq!(Value::parse_json(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for f in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Value::Float(f).to_json();
+            assert_eq!(Value::parse_json(&text).unwrap(), Value::Float(f));
+        }
+        let nan = Value::Float(f64::NAN).to_json();
+        match Value::parse_json(&nan).unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Value::parse_json("{").is_err());
+        assert!(Value::parse_json("[1,]").is_err());
+        assert!(Value::parse_json("1 2").is_err());
+        assert!(Value::parse_json("nul").is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the
+//! vendored `serde` facade.
+//!
+//! Implemented directly on `proc_macro` token streams (the build
+//! environment has no crates.io access, so `syn`/`quote` are
+//! unavailable). Supports the item shapes this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently, the
+//!   same default the real serde applies to newtype structs),
+//! * unit structs,
+//! * enums with unit and tuple variants.
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored (the only
+//! one the workspace uses is `transparent` on newtypes, which is
+//! already the default behaviour here). Generic items are rejected with
+//! a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        name = item.name,
+                        v = v.name
+                    ),
+                    arity => {
+                        let binds: Vec<String> = (0..arity).map(|i| format!("f{i}")).collect();
+                        let fields: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let payload = if arity == 1 {
+                            fields[0].clone()
+                        } else {
+                            format!("::serde::Value::Seq(::std::vec![{}])", fields.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {payload})]),",
+                            name = item.name,
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)\
+                         .map_err(|e| e.in_context(\"field `{f}`\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", "),
+                name = item.name
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))",
+            name = item.name
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_seq()?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::new(\
+                 ::std::format!(\"expected {n} items, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                name = item.name,
+                inits = inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})", name = item.name),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        name = item.name,
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    if v.arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(payload)?)),",
+                            name = item.name,
+                            v = v.name
+                        )
+                    } else {
+                        let parts: Vec<String> = (0..v.arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ let items = payload.as_seq()?; \
+                             if items.len() != {arity} {{ \
+                             return ::std::result::Result::Err(::serde::de::Error::new(\
+                             ::std::string::String::from(\"wrong tuple arity for {v}\"))); }} \
+                             ::std::result::Result::Ok({name}::{v}({parts})) }},",
+                            name = item.name,
+                            v = v.name,
+                            arity = v.arity,
+                            parts = parts.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::new(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::new(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::new(\
+                 ::std::format!(\"expected enum {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+                name = item.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("::core::compile_error!({message:?});")
+        .parse()
+        .expect("compile_error! parses")
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0;
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let keyword = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+        };
+        pos += 1;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected item name, got {other:?}")),
+        };
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "vendored serde_derive does not support generic items (`{name}`)"
+            ));
+        }
+        match keyword.as_str() {
+            "struct" => match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                    name,
+                    shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+                }),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                    name,
+                    shape: Shape::TupleStruct(count_top_level_fields(g.stream())),
+                }),
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                    name,
+                    shape: Shape::UnitStruct,
+                }),
+                other => Err(format!("unsupported struct body: {other:?}")),
+            },
+            "enum" => match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                    name,
+                    shape: Shape::Enum(parse_variants(g.stream())?),
+                }),
+                other => Err(format!("unsupported enum body: {other:?}")),
+            },
+            other => Err(format!("cannot derive for `{other}` items")),
+        }
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `{ attrs vis name: Type, ... }` field lists into names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket
+/// depth aware; bracketed/parenthesized types arrive as single groups).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+/// Parses enum variants (unit, tuple, or explicit-discriminant).
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let mut arity = 0;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_fields(g.stream());
+                pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "vendored serde_derive does not support struct variants (`{name}`)"
+                ));
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            // Skip the discriminant expression up to the next comma.
+            skip_type(&tokens, &mut pos);
+        }
+        variants.push(Variant { name, arity });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(variants)
+}
