@@ -150,6 +150,13 @@ impl DidtModel {
         &self.config
     }
 
+    /// Rewinds the noise stream to its construction state for `seed`,
+    /// so a reused model replays exactly the sequence a fresh
+    /// `DidtModel::new(config, seed)` would produce.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = SplitMix64::new(p7_types::seed_for(seed, "didt"));
+    }
+
     /// Expected typical-case ripple for `active` cores at a given workload
     /// current variability (deterministic mean, no sampling noise).
     #[must_use]
@@ -327,6 +334,18 @@ mod tests {
             let sa = a.sample_window(6, 1.0, Seconds::from_millis(32.0));
             let sb = b.sample_window(6, 1.0, Seconds::from_millis(32.0));
             assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_stream() {
+        let mut m = DidtModel::new(DidtConfig::power7plus(), 31);
+        let first: Vec<DidtSample> = (0..10)
+            .map(|_| m.sample_window(4, 1.0, Seconds::from_millis(32.0)))
+            .collect();
+        m.reset(31);
+        for s in first {
+            assert_eq!(s, m.sample_window(4, 1.0, Seconds::from_millis(32.0)));
         }
     }
 

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let out = rail.output(Amps(100.0));
 /// assert!((out.millivolts() - 1150.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Rail {
     set_point: Volts,
     loadline: Ohms,

@@ -15,21 +15,24 @@
 
 use crate::cpm::CpmReading;
 use crate::error::SensorError;
-use p7_types::{CpmId, Seconds};
+use p7_types::{CpmId, Seconds, CPMS_PER_SOCKET};
 use serde::{Deserialize, Serialize};
 
 /// The service-processor minimum sampling interval.
 pub const MIN_SAMPLE_INTERVAL: Seconds = Seconds(0.032);
 
 /// One 32 ms telemetry window: both readout modes for all 40 CPMs.
+///
+/// Readings are fixed-size arrays so recording a window never allocates
+/// (beyond the recorder's own reserved backing storage).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CpmWindow {
     /// Window start time since experiment begin.
     pub timestamp: Seconds,
     /// Sample-mode (instantaneous) reading per CPM, flat-indexed.
-    pub sample: Vec<CpmReading>,
+    pub sample: [CpmReading; CPMS_PER_SOCKET],
     /// Sticky-mode (worst in window) reading per CPM, flat-indexed.
-    pub sticky: Vec<CpmReading>,
+    pub sticky: [CpmReading; CPMS_PER_SOCKET],
 }
 
 impl CpmWindow {
@@ -57,8 +60,8 @@ impl CpmWindow {
 /// let mut amester = Amester::new();
 /// amester.record(
 ///     Seconds(0.0),
-///     vec![CpmReading::new(5).unwrap(); 40],
-///     vec![CpmReading::new(3).unwrap(); 40],
+///     [CpmReading::new(5).unwrap(); 40],
+///     [CpmReading::new(3).unwrap(); 40],
 /// ).unwrap();
 /// assert_eq!(amester.windows().len(), 1);
 /// ```
@@ -74,26 +77,37 @@ impl Amester {
         Amester::default()
     }
 
+    /// Creates an empty recorder with room for `windows` windows.
+    #[must_use]
+    pub fn with_capacity(windows: usize) -> Self {
+        Amester {
+            windows: Vec::with_capacity(windows),
+        }
+    }
+
+    /// Ensures room for `additional` more windows without reallocating.
+    ///
+    /// Simulation drivers call this once per run so the per-tick
+    /// [`Amester::record`] path never grows the backing storage.
+    pub fn reserve(&mut self, additional: usize) {
+        self.windows.reserve(additional);
+    }
+
     /// Records one window of telemetry.
     ///
     /// # Errors
     ///
     /// Returns [`SensorError::SamplingTooFast`] when the window starts less
     /// than 32 ms after the previous one (the service-processor limit), and
-    /// [`SensorError::MalformedWindow`] when either vector is not 40 long
-    /// or a sticky value exceeds its sample value (a worst-case reading can
-    /// never be larger than the instantaneous one).
+    /// [`SensorError::MalformedWindow`] when a sticky value exceeds its
+    /// sample value (a worst-case reading can never be larger than the
+    /// instantaneous one).
     pub fn record(
         &mut self,
         timestamp: Seconds,
-        sample: Vec<CpmReading>,
-        sticky: Vec<CpmReading>,
+        sample: [CpmReading; CPMS_PER_SOCKET],
+        sticky: [CpmReading; CPMS_PER_SOCKET],
     ) -> Result<(), SensorError> {
-        if sample.len() != 40 || sticky.len() != 40 {
-            return Err(SensorError::MalformedWindow {
-                reason: "expected 40 sample and 40 sticky readings",
-            });
-        }
         if sticky.iter().zip(&sample).any(|(st, sa)| st > sa) {
             return Err(SensorError::MalformedWindow {
                 reason: "sticky reading above sample reading",
@@ -147,6 +161,9 @@ impl Amester {
     }
 
     /// Clears the recording (e.g. between experiment phases).
+    ///
+    /// Keeps the reserved backing storage so a reset recorder can be
+    /// refilled without reallocating.
     pub fn clear(&mut self) {
         self.windows.clear();
     }
@@ -157,8 +174,8 @@ mod tests {
     use super::*;
     use p7_types::CoreId;
 
-    fn readings(v: u8) -> Vec<CpmReading> {
-        vec![CpmReading::new(v).unwrap(); 40]
+    fn readings(v: u8) -> [CpmReading; CPMS_PER_SOCKET] {
+        [CpmReading::new(v).unwrap(); CPMS_PER_SOCKET]
     }
 
     #[test]
@@ -181,15 +198,6 @@ mod tests {
             .record(Seconds(0.010), readings(5), readings(5))
             .unwrap_err();
         assert!(matches!(err, SensorError::SamplingTooFast { .. }));
-    }
-
-    #[test]
-    fn rejects_wrong_length() {
-        let mut a = Amester::new();
-        let err = a
-            .record(Seconds(0.0), vec![CpmReading::MIN; 39], readings(5))
-            .unwrap_err();
-        assert!(matches!(err, SensorError::MalformedWindow { .. }));
     }
 
     #[test]
@@ -217,6 +225,14 @@ mod tests {
         a.clear();
         // After clear, an earlier timestamp is acceptable again.
         a.record(Seconds(0.0), readings(5), readings(5)).unwrap();
+        assert_eq!(a.windows().len(), 1);
+    }
+
+    #[test]
+    fn reserve_does_not_change_contents() {
+        let mut a = Amester::with_capacity(4);
+        a.record(Seconds(0.0), readings(5), readings(5)).unwrap();
+        a.reserve(100);
         assert_eq!(a.windows().len(), 1);
     }
 }

@@ -1,7 +1,9 @@
 //! The chip-wide array of 40 CPMs with seeded process variation.
 
 use crate::cpm::{CpmReading, CriticalPathMonitor};
-use p7_types::{seed_for, CoreId, CpmId, MegaHertz, SplitMix64, Volts, CPMS_PER_CORE};
+use p7_types::{
+    seed_for, CoreId, CpmId, MegaHertz, SplitMix64, Volts, CPMS_PER_CORE, CPMS_PER_SOCKET,
+};
 use serde::{Deserialize, Serialize};
 
 /// All 40 CPMs of one chip.
@@ -77,19 +79,21 @@ impl CpmBank {
     }
 
     /// Reads every monitor given each core's margin and frequency.
+    ///
+    /// Returns a fixed array (flat-index order) so the per-tick sampling
+    /// path never touches the heap.
     #[must_use]
     pub fn read_all(
         &self,
         core_margins: &[Volts; 8],
         core_freqs: &[MegaHertz; 8],
-    ) -> Vec<CpmReading> {
-        self.monitors
-            .iter()
-            .map(|m| {
-                let c = m.id().core().index();
-                m.read(core_margins[c], core_freqs[c])
-            })
-            .collect()
+    ) -> [CpmReading; CPMS_PER_SOCKET] {
+        let mut out = [CpmReading::MAX; CPMS_PER_SOCKET];
+        for (slot, m) in out.iter_mut().zip(&self.monitors) {
+            let c = m.id().core().index();
+            *slot = m.read(core_margins[c], core_freqs[c]);
+        }
+        out
     }
 
     /// The worst (lowest) reading in each core — the value the per-core
@@ -109,6 +113,13 @@ impl CpmBank {
             }
         }
         out
+    }
+
+    /// Clears any injected stuck-at faults, restoring healthy monitors.
+    pub fn clear_stuck_faults(&mut self) {
+        for m in &mut self.monitors {
+            m.set_stuck_at(None);
+        }
     }
 
     /// Calibrates every monitor so that margin `margin` reads `target` at

@@ -61,8 +61,8 @@ proptest! {
     ) {
         let mut amester = Amester::new();
         for (i, &v) in samples.iter().enumerate() {
-            let sample = vec![CpmReading::new(v).unwrap(); 40];
-            let sticky = vec![CpmReading::new(v.saturating_sub(1)).unwrap(); 40];
+            let sample = [CpmReading::new(v).unwrap(); 40];
+            let sticky = [CpmReading::new(v.saturating_sub(1)).unwrap(); 40];
             amester
                 .record(Seconds(i as f64 * 0.032), sample, sticky)
                 .unwrap();

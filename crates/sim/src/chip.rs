@@ -8,11 +8,15 @@ use p7_pdn::{DidtModel, DropBreakdown, PdnGrid, Rail};
 use p7_power::{ChipPowerModel, CorePowerState, ThermalModel};
 use p7_sensors::{calibration, CpmBank, CpmReading};
 use p7_types::{
-    seed_for, Amps, CoreId, MegaHertz, Seconds, SocketId, Volts, Watts, CORES_PER_SOCKET,
+    seed_for_indexed, Amps, CoreId, MegaHertz, Seconds, SocketId, Volts, Watts, CORES_PER_SOCKET,
+    CPMS_PER_SOCKET,
 };
-use p7_workloads::{ActivityTrace, WorkloadProfile};
+use p7_workloads::ActivityTrace;
 
 /// Everything observed on one socket during one 32 ms window.
+///
+/// Entirely stack-allocated: the CPM readouts are fixed arrays, so building
+/// a `SocketTick` never touches the heap.
 #[derive(Debug, Clone)]
 pub struct SocketTick {
     /// Vdd rail power as the server's VRM sensors report it: rail set
@@ -37,13 +41,22 @@ pub struct SocketTick {
     /// never misses timing mid-window.
     pub sticky_min_freq: Option<MegaHertz>,
     /// Sample-mode CPM readings (40, flat-indexed).
-    pub cpm_sample: Vec<CpmReading>,
+    pub cpm_sample: [CpmReading; CPMS_PER_SOCKET],
     /// Sticky-mode CPM readings (40, flat-indexed).
-    pub cpm_sticky: Vec<CpmReading>,
+    pub cpm_sticky: [CpmReading; CPMS_PER_SOCKET],
     /// Total current drawn from the rail.
     pub current: Amps,
     /// The rail set point during this window.
     pub set_point: Volts,
+}
+
+/// Converged state of the previous window's fixed-point solve, used to
+/// warm-start the next one. Voltages move by at most a few millivolts
+/// between 32 ms windows, so the previous solution is an excellent seed.
+#[derive(Debug, Clone, Copy)]
+struct SolveSeed {
+    chip_input: Volts,
+    core_voltages: [Volts; CORES_PER_SOCKET],
 }
 
 /// One POWER7+ chip in the simulation.
@@ -54,21 +67,34 @@ pub struct ChipSim {
     grid: PdnGrid,
     didt: DidtModel,
     bank: CpmBank,
-    dplls: Vec<Dpll>,
+    dplls: [Dpll; CORES_PER_SOCKET],
     thermal: ThermalModel,
     states: [CorePowerState; CORES_PER_SOCKET],
-    core_workloads: Vec<Option<WorkloadProfile>>,
-    traces: Vec<Option<ActivityTrace>>,
+    traces: [Option<ActivityTrace>; CORES_PER_SOCKET],
+    /// Per-core effective switched capacitance (nF), hoisted out of the
+    /// tick loop — it depends only on the assignment.
+    ceffs: [f64; CORES_PER_SOCKET],
+    /// Mean di/dt variability across running threads (1.0 when idle),
+    /// hoisted out of the tick loop for the same reason.
+    variability_mean: f64,
     curve: VoltFreqCurve,
     residual_guardband: Volts,
     transient_reserve_ohms: f64,
     target: MegaHertz,
+    chip_seed: u64,
+    solve_seed: Option<SolveSeed>,
 }
 
-/// Fixed-point iterations of the voltage↔power solve per tick. The loop
-/// contracts quickly (the drop is a few percent of Vdd), so four rounds
-/// put the residual far below a millivolt.
-const SOLVE_ITERATIONS: usize = 4;
+/// Convergence tolerance of the fixed-point voltage↔power solve: iteration
+/// stops once no voltage moved by 0.05 mV, far below every physical effect
+/// in the model.
+const SOLVE_TOLERANCE: Volts = Volts(5.0e-5);
+
+/// Safety cap on solve iterations. The loop contracts quickly (the drop is
+/// a few percent of Vdd), so a cold start converges in a handful of rounds
+/// and a warm start usually in one or two; the cap only guards pathological
+/// configurations such as extreme loadlines.
+const MAX_SOLVE_ITERATIONS: usize = 16;
 
 impl ChipSim {
     /// Builds one socket's chip from the server config and the assignment.
@@ -83,7 +109,7 @@ impl ChipSim {
     ) -> Result<Self, SimError> {
         let power_model = ChipPowerModel::new(config.power.clone())?;
         let grid = PdnGrid::new(&config.pdn);
-        let chip_seed = seed_for(config.seed, &format!("chip{}", socket.index()));
+        let chip_seed = seed_for_indexed(config.seed, "chip", socket.index());
         let didt = DidtModel::new(config.didt.clone(), chip_seed);
         let mut bank = CpmBank::with_seed(chip_seed);
         calibration::calibrate_bank(
@@ -93,20 +119,19 @@ impl ChipSim {
         )?;
 
         let mut states = [CorePowerState::Gated; CORES_PER_SOCKET];
-        let mut core_workloads: Vec<Option<WorkloadProfile>> = vec![None; CORES_PER_SOCKET];
-        let mut traces: Vec<Option<ActivityTrace>> = vec![None; CORES_PER_SOCKET];
+        let mut traces: [Option<ActivityTrace>; CORES_PER_SOCKET] = std::array::from_fn(|_| None);
+        let mut ceffs = [0.0f64; CORES_PER_SOCKET];
         for core in CoreId::all() {
             states[core.index()] = assignment.core_state(socket, core);
             if let Some(thread) = assignment.thread_at(socket, core) {
-                let thread_seed = seed_for(chip_seed, &format!("trace{}", core.index()));
+                let thread_seed = seed_for_indexed(chip_seed, "trace", core.index());
                 traces[core.index()] = Some(ActivityTrace::new(&thread.workload, thread_seed));
-                core_workloads[core.index()] = Some(thread.workload.clone());
+                ceffs[core.index()] = thread.workload.ceff_nf();
             }
         }
 
-        let dplls = (0..CORES_PER_SOCKET)
-            .map(|_| Dpll::new(config.target_frequency, config.dpll_min, config.dpll_max))
-            .collect::<Result<Vec<_>, _>>()?;
+        let dpll = Dpll::new(config.target_frequency, config.dpll_min, config.dpll_max)?;
+        let dplls = std::array::from_fn(|_| dpll.clone());
 
         Ok(ChipSim {
             socket,
@@ -117,13 +142,68 @@ impl ChipSim {
             dplls,
             thermal: ThermalModel::new(config.ambient, 0.115, Seconds(20.0)),
             states,
-            core_workloads,
             traces,
+            ceffs,
+            variability_mean: Self::assignment_variability(assignment, socket),
             curve: config.curve.clone(),
             residual_guardband: config.policy.residual_guardband,
             transient_reserve_ohms: config.policy.transient_reserve_ohms,
             target: config.target_frequency,
+            chip_seed,
+            solve_seed: None,
         })
+    }
+
+    /// Rewinds this chip to its exactly-as-constructed state so one
+    /// construction can serve many runs.
+    ///
+    /// `config` and `assignment` must be the ones the chip was built from
+    /// (the immutable substrates — power model, PDN grid, V/F curve — are
+    /// kept, not rebuilt). Everything mutable is re-derived: the di/dt
+    /// noise stream, CPM calibration and injected stuck-at faults, the
+    /// activity traces, DPLL clocks, thermal state and the warm-solve seed.
+    /// A reset chip produces bitwise-identical results to a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when recalibration fails (it cannot for a
+    /// config that already built this chip).
+    pub fn reset(
+        &mut self,
+        config: &ServerConfig,
+        assignment: &Assignment,
+    ) -> Result<(), SimError> {
+        self.didt.reset(self.chip_seed);
+        self.bank.clear_stuck_faults();
+        calibration::calibrate_bank(
+            &mut self.bank,
+            config.policy.residual_guardband,
+            config.target_frequency,
+        )?;
+        for core in CoreId::all() {
+            let i = core.index();
+            self.states[i] = assignment.core_state(self.socket, core);
+            self.traces[i] = None;
+            self.ceffs[i] = 0.0;
+            if let Some(thread) = assignment.thread_at(self.socket, core) {
+                let thread_seed = seed_for_indexed(self.chip_seed, "trace", i);
+                self.traces[i] = Some(ActivityTrace::new(&thread.workload, thread_seed));
+                self.ceffs[i] = thread.workload.ceff_nf();
+            }
+        }
+        self.variability_mean = Self::assignment_variability(assignment, self.socket);
+        for d in &mut self.dplls {
+            d.set_frequency(config.target_frequency);
+        }
+        self.thermal.reset();
+        self.solve_seed = None;
+        Ok(())
+    }
+
+    /// Drops the warm-start seed so the next tick's solve starts cold from
+    /// the rail set point, exactly as a freshly built chip would.
+    pub fn clear_solve_state(&mut self) {
+        self.solve_seed = None;
     }
 
     /// The socket this chip sits in.
@@ -157,16 +237,16 @@ impl ChipSim {
 
     /// Advances this chip by one 32 ms window under the given rail and
     /// mode, returning everything observed.
+    ///
+    /// This is the simulator's hot path: after the first tick it performs
+    /// no heap allocation (all working sets are fixed arrays, and the
+    /// voltage solve warm-starts from the previous window's solution).
     pub fn tick(&mut self, rail: &Rail, mode: GuardbandMode, window: Seconds) -> SocketTick {
         // 1. Workload activity for this window.
         let mut activities = [0.0f64; CORES_PER_SOCKET];
-        let mut ceffs = [0.0f64; CORES_PER_SOCKET];
-        for i in 0..CORES_PER_SOCKET {
-            if let Some(trace) = self.traces[i].as_mut() {
+        for (i, trace) in self.traces.iter_mut().enumerate() {
+            if let Some(trace) = trace.as_mut() {
                 activities[i] = trace.next_window();
-            }
-            if let Some(w) = self.core_workloads[i].as_ref() {
-                ceffs[i] = w.ceff_nf();
             }
         }
 
@@ -176,21 +256,26 @@ impl ChipSim {
                 d.set_frequency(self.target);
             }
         }
-        let freqs: Vec<MegaHertz> = self.dplls.iter().map(Dpll::frequency).collect();
+        let freqs: [MegaHertz; CORES_PER_SOCKET] =
+            std::array::from_fn(|i| self.dplls[i].frequency());
 
         // 3. Fixed-point electrical solve: power ↔ current ↔ voltage.
+        // Seeded from the previous window's converged voltages when
+        // available; iterates until no voltage moves by SOLVE_TOLERANCE.
         let temp = self.thermal.temperature();
-        let mut core_voltages = [rail.set_point(); CORES_PER_SOCKET];
-        let mut chip_input = rail.set_point();
+        let (mut chip_input, mut core_voltages) = match self.solve_seed {
+            Some(seed) => (seed.chip_input, seed.core_voltages),
+            None => (rail.set_point(), [rail.set_point(); CORES_PER_SOCKET]),
+        };
         let mut core_currents = [Amps::ZERO; CORES_PER_SOCKET];
         let mut uncore_current = Amps::ZERO;
         let mut total_power = Watts::ZERO;
-        for _ in 0..SOLVE_ITERATIONS {
+        for _ in 0..MAX_SOLVE_ITERATIONS {
             total_power = Watts::ZERO;
             for i in 0..CORES_PER_SOCKET {
                 let p = self.power_model.core_power(
                     self.states[i],
-                    ceffs[i],
+                    self.ceffs[i],
                     activities[i],
                     core_voltages[i],
                     freqs[i],
@@ -203,32 +288,45 @@ impl ChipSim {
             uncore_current = uncore / chip_input.max(Volts(0.1));
             total_power += uncore;
             let total_current = self.grid.total_current(&core_currents, uncore_current);
-            chip_input = rail.output(total_current);
-            core_voltages = self
+            let next_input = rail.output(total_current);
+            let next_voltages = self
                 .grid
-                .core_voltages(chip_input, &core_currents, uncore_current);
+                .core_voltages(next_input, &core_currents, uncore_current);
+            let mut residual = (next_input - chip_input).0.abs();
+            for i in 0..CORES_PER_SOCKET {
+                residual = residual.max((next_voltages[i] - core_voltages[i]).0.abs());
+            }
+            chip_input = next_input;
+            core_voltages = next_voltages;
+            if residual < SOLVE_TOLERANCE.0 {
+                break;
+            }
         }
+        self.solve_seed = Some(SolveSeed {
+            chip_input,
+            core_voltages,
+        });
         let total_current = self.grid.total_current(&core_currents, uncore_current);
 
         // 4. di/dt noise for this window.
         let running = self.running_core_count();
-        let variability = self.mean_variability();
-        let noise = self.didt.sample_window(running, variability, window);
+        let noise = self
+            .didt
+            .sample_window(running, self.variability_mean, window);
 
         // 5. CPM readings at the pre-control frequencies.
-        let freq_arr: [MegaHertz; CORES_PER_SOCKET] = std::array::from_fn(|i| freqs[i]);
         let sample_margins: [Volts; CORES_PER_SOCKET] = std::array::from_fn(|i| {
             core_voltages[i] - noise.typical - self.curve.v_circuit(freqs[i])
         });
         let sticky_margins: [Volts; CORES_PER_SOCKET] =
             std::array::from_fn(|i| sample_margins[i] - (noise.worst - noise.typical));
-        let cpm_sample = self.bank.read_all(&sample_margins, &freq_arr);
-        let cpm_sticky = self.bank.read_all(&sticky_margins, &freq_arr);
+        let cpm_sample = self.bank.read_all(&sample_margins, &freqs);
+        let cpm_sticky = self.bank.read_all(&sticky_margins, &freqs);
         // The per-core control input is the worst CPM of the core. A core
         // whose worst monitor reads zero reports *no measurable margin* —
         // the hardware's fail-safe is to slow that core down and let the
         // firmware raise the rail, whatever the analytic margin says.
-        let core_min_cpm = self.bank.core_min_readings(&sample_margins, &freq_arr);
+        let core_min_cpm = self.bank.core_min_readings(&sample_margins, &freqs);
         let cpm_fail_safe = |i: usize| core_min_cpm[i] == CpmReading::MIN && self.states[i].is_on();
 
         // 6. Control: adaptive modes let each DPLL chase its usable margin.
@@ -308,18 +406,21 @@ impl ChipSim {
         }
     }
 
-    /// Mean di/dt variability across running threads (1.0 when idle).
-    fn mean_variability(&self) -> f64 {
-        let vals: Vec<f64> = self
-            .core_workloads
-            .iter()
-            .flatten()
-            .map(WorkloadProfile::variability)
-            .collect();
-        if vals.is_empty() {
+    /// Mean di/dt variability across this socket's running threads (1.0
+    /// when the socket is idle).
+    fn assignment_variability(assignment: &Assignment, socket: SocketId) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for core in CoreId::all() {
+            if let Some(thread) = assignment.thread_at(socket, core) {
+                sum += thread.workload.variability();
+                count += 1;
+            }
+        }
+        if count == 0 {
             1.0
         } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
+            sum / count as f64
         }
     }
 }
@@ -488,6 +589,60 @@ mod tests {
             let tb = b.tick(&rail2, mode, window());
             assert_eq!(ta.power.0, tb.power.0);
             assert_eq!(ta.cpm_sample, tb.cpm_sample);
+        }
+    }
+
+    #[test]
+    fn warm_solve_stays_within_tolerance_of_cold() {
+        // Two identical chips diverge only in the solve's starting point:
+        // one keeps its warm seed, the other is forced cold every window.
+        // Both converge to within SOLVE_TOLERANCE of the same fixed point,
+        // so their delivered voltages must agree to a few hundredths of a
+        // millivolt.
+        let (mut warm, rail, mode) = setup(4, GuardbandMode::Undervolt);
+        let (mut cold, rail2, _) = setup(4, GuardbandMode::Undervolt);
+        for tick in 0..20 {
+            cold.clear_solve_state();
+            let tw = warm.tick(&rail, mode, window());
+            let tc = cold.tick(&rail2, mode, window());
+            for i in 0..CORES_PER_SOCKET {
+                let gap = (tw.core_voltages[i] - tc.core_voltages[i]).0.abs();
+                assert!(
+                    gap < 4.0 * SOLVE_TOLERANCE.0,
+                    "tick {tick} core {i}: warm-cold gap {} mV",
+                    gap * 1e3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_chip_bitwise() {
+        let cfg = ServerConfig::power7plus(7);
+        let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+        let a = Assignment::single_socket(&w, 3).unwrap();
+        let rail = Rail::new(cfg.nominal_voltage(), cfg.pdn.vrm_loadline);
+
+        let mut reused = ChipSim::new(&cfg, &a, SocketId::new(0).unwrap()).unwrap();
+        // Dirty every piece of mutable state, including a stuck-at fault.
+        for _ in 0..7 {
+            reused.tick(&rail, GuardbandMode::Overclock, window());
+        }
+        let cpm = p7_types::CpmId::new(CoreId::new(1).unwrap(), 0).unwrap();
+        reused
+            .bank_mut()
+            .monitor_mut(cpm)
+            .set_stuck_at(CpmReading::new(0));
+        reused.reset(&cfg, &a).unwrap();
+
+        let mut fresh = ChipSim::new(&cfg, &a, SocketId::new(0).unwrap()).unwrap();
+        for tick in 0..10 {
+            let tr = reused.tick(&rail, GuardbandMode::Undervolt, window());
+            let tf = fresh.tick(&rail, GuardbandMode::Undervolt, window());
+            assert_eq!(tr.power.0, tf.power.0, "tick {tick}");
+            assert_eq!(tr.core_voltages, tf.core_voltages, "tick {tick}");
+            assert_eq!(tr.cpm_sample, tf.cpm_sample, "tick {tick}");
+            assert_eq!(tr.cpm_sticky, tf.cpm_sticky, "tick {tick}");
         }
     }
 }

@@ -135,8 +135,39 @@ impl Experiment {
     /// Returns [`SimError`] when the configuration or assignment is
     /// invalid.
     pub fn run(&self, assignment: &Assignment, mode: GuardbandMode) -> Result<Outcome, SimError> {
-        let mut sim = Simulation::new(self.config.clone(), assignment.clone(), mode)?;
+        let mut sim = self.build_simulation(assignment, mode)?;
+        self.run_with(&mut sim, mode)
+    }
+
+    /// Builds a reusable [`Simulation`] for `assignment`; pair with
+    /// [`Experiment::run_with`] to amortize construction across modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the configuration or assignment is
+    /// invalid.
+    pub fn build_simulation(
+        &self,
+        assignment: &Assignment,
+        mode: GuardbandMode,
+    ) -> Result<Simulation, SimError> {
+        Simulation::new(self.config.clone(), assignment.clone(), mode)
+    }
+
+    /// Runs one experiment on an already-built simulation, resetting it to
+    /// its initial state under `mode` first. Because [`Simulation::reset`]
+    /// reproduces fresh construction bitwise, this returns exactly what
+    /// [`Experiment::run`] would for the simulation's assignment — without
+    /// re-deriving the chips. This is how sweep workers run the three
+    /// guardband modes of one assignment on a single construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the simulation cannot be reset.
+    pub fn run_with(&self, sim: &mut Simulation, mode: GuardbandMode) -> Result<Outcome, SimError> {
+        sim.reset(mode)?;
         let summary = sim.run(self.measure_ticks, self.warmup_ticks);
+        let assignment = sim.assignment();
         let freq_ratio = if assignment.total_threads() > 0 {
             summary.freq_ratio(self.config.target_frequency)
         } else {
@@ -235,6 +266,24 @@ mod tests {
             radix > swaptions + 2.0,
             "radix {radix}% vs swaptions {swaptions}%"
         );
+    }
+
+    #[test]
+    fn run_with_reuses_one_simulation_across_modes() {
+        let exp = Experiment::power7plus(9).with_ticks(10, 5);
+        let a = Assignment::single_socket(&workload("vips"), 3).unwrap();
+        let mut sim = exp
+            .build_simulation(&a, GuardbandMode::StaticGuardband)
+            .unwrap();
+        for mode in [
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+            GuardbandMode::Overclock,
+        ] {
+            let reused = exp.run_with(&mut sim, mode).unwrap();
+            let fresh = exp.run(&a, mode).unwrap();
+            assert_eq!(reused, fresh, "mode {mode:?}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! records one [`TickRecord`] per 32 ms window and serializes to CSV.
 
 use crate::chip::SocketTick;
-use p7_types::{Amps, MegaHertz, Seconds, Volts, Watts, CORES_PER_SOCKET};
+use p7_types::{Amps, MegaHertz, Seconds, Volts, Watts, CORES_PER_SOCKET, NUM_SOCKETS};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -51,7 +51,7 @@ pub struct TickRecord {
     /// Window start time.
     pub time: Seconds,
     /// Per-socket samples.
-    pub sockets: Vec<SocketSample>,
+    pub sockets: [SocketSample; NUM_SOCKETS],
 }
 
 /// The recorded time series.
@@ -86,12 +86,26 @@ impl History {
         History::default()
     }
 
+    /// Creates an empty history with room for `windows` windows, so the
+    /// per-tick [`History::push`] path never reallocates.
+    #[must_use]
+    pub fn with_capacity(windows: usize) -> Self {
+        History {
+            records: Vec::with_capacity(windows),
+        }
+    }
+
+    /// Ensures room for `additional` more windows without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
     /// Appends one window.
-    pub fn push(&mut self, tick: usize, time: Seconds, sockets: &[SocketTick]) {
+    pub fn push(&mut self, tick: usize, time: Seconds, sockets: &[SocketTick; NUM_SOCKETS]) {
         self.records.push(TickRecord {
             tick,
             time,
-            sockets: sockets.iter().map(SocketSample::from).collect(),
+            sockets: std::array::from_fn(|i| SocketSample::from(&sockets[i])),
         });
     }
 
@@ -127,9 +141,11 @@ impl History {
     /// Serializes to CSV, one row per (window, socket).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "tick,time_s,socket,power_w,set_point_mv,min_core_mv,avg_freq_mhz,current_a\n",
-        );
+        const HEADER: &str =
+            "tick,time_s,socket,power_w,set_point_mv,min_core_mv,avg_freq_mhz,current_a\n";
+        // A row is ~50 bytes; 72 leaves slack so the buffer never regrows.
+        let mut out = String::with_capacity(HEADER.len() + self.records.len() * NUM_SOCKETS * 72);
+        out.push_str(HEADER);
         for r in &self.records {
             for (s, sample) in r.sockets.iter().enumerate() {
                 let _ = writeln!(
@@ -210,5 +226,25 @@ mod tests {
         // Header plus 30 windows × 2 sockets.
         assert_eq!(csv.lines().count(), 1 + 30 * 2);
         assert!(csv.lines().nth(1).unwrap().starts_with("0,0.000,0,"));
+    }
+
+    #[test]
+    fn csv_row_count_tracks_history_len() {
+        let empty = History::new();
+        assert_eq!(empty.to_csv().lines().count(), 1, "header only");
+
+        let h = run_history(GuardbandMode::Undervolt);
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 1 + h.len() * NUM_SOCKETS);
+        assert!(csv.starts_with("tick,time_s,socket,"));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = History::with_capacity(64);
+        let b = History::new();
+        assert_eq!(a, b);
+        a.reserve(128);
+        assert!(a.is_empty());
     }
 }

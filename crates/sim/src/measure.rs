@@ -195,6 +195,7 @@ impl Accumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p7_sensors::CpmReading;
     use p7_types::Amps;
 
     fn fake_tick(power: f64, freq: f64) -> SocketTick {
@@ -211,8 +212,8 @@ mod tests {
             }; 8],
             min_on_freq: Some(MegaHertz(freq)),
             sticky_min_freq: Some(MegaHertz(freq)),
-            cpm_sample: vec![],
-            cpm_sticky: vec![],
+            cpm_sample: [CpmReading::MAX; 40],
+            cpm_sticky: [CpmReading::MIN; 40],
             current: Amps(80.0),
             set_point: Volts(1.2),
         }

@@ -73,6 +73,49 @@ impl Simulation {
         })
     }
 
+    /// Rewinds the simulation to its exactly-as-constructed state under a
+    /// (possibly different) guardband mode, without rebuilding the chips.
+    ///
+    /// Rails return to the static nominal set point with sensor biases
+    /// cleared, chips re-derive all mutable state (noise streams, CPM
+    /// calibration, stuck-at faults, traces, clocks, thermal and warm-solve
+    /// state), telemetry is cleared (capacity kept) and time restarts at
+    /// zero. A reset simulation produces bitwise-identical results to a
+    /// freshly built one, which is what lets sweep workers reuse one
+    /// construction across the three guardband modes of an assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when chip re-derivation fails (it cannot for a
+    /// config that already built this simulation).
+    pub fn reset(&mut self, mode: GuardbandMode) -> Result<(), SimError> {
+        self.mode = mode;
+        let nominal = self.config.nominal_voltage();
+        for socket in SocketId::all() {
+            let rail = self.vrm.rail_mut(socket);
+            rail.set_set_point(nominal);
+            rail.inject_sensor_bias(Amps::ZERO);
+        }
+        let config = &self.config;
+        let assignment = &self.assignment;
+        for chip in &mut self.chips {
+            chip.reset(config, assignment)?;
+        }
+        for amester in &mut self.amesters {
+            amester.clear();
+        }
+        self.time = Seconds(0.0);
+        Ok(())
+    }
+
+    /// Reserves telemetry capacity for `windows` upcoming windows so the
+    /// per-tick record path never reallocates.
+    pub fn reserve_telemetry(&mut self, windows: usize) {
+        for amester in &mut self.amesters {
+            amester.reserve(windows);
+        }
+    }
+
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
@@ -112,17 +155,25 @@ impl Simulation {
 
     /// Advances the server by one 32 ms window and returns each socket's
     /// observations.
-    pub fn tick(&mut self) -> Vec<SocketTick> {
-        let mut ticks = Vec::with_capacity(NUM_SOCKETS);
-        for socket in SocketId::all() {
-            let rail = self.vrm.rail(socket).clone();
-            let t = self.chips[socket.index()].tick(&rail, self.mode, WINDOW);
+    ///
+    /// This is the warm hot path: after telemetry capacity has been
+    /// reserved (see [`Simulation::reserve_telemetry`], done automatically
+    /// by [`Simulation::run`]), a tick performs zero heap allocations —
+    /// the returned ticks, the CPM readouts and the rail snapshot are all
+    /// fixed-size values.
+    pub fn tick(&mut self) -> [SocketTick; NUM_SOCKETS] {
+        let ticks: [SocketTick; NUM_SOCKETS] = std::array::from_fn(|i| {
+            let socket = SocketId::new(i as u8).expect("socket in range");
+            // Rail is a small Copy value: snapshot it instead of cloning
+            // through an allocation-visible path.
+            let rail = *self.vrm.rail(socket);
+            let t = self.chips[i].tick(&rail, self.mode, WINDOW);
             // Telemetry mirrors what AMESTER would record.
-            self.amesters[socket.index()]
-                .record(self.time, t.cpm_sample.clone(), t.cpm_sticky.clone())
+            self.amesters[i]
+                .record(self.time, t.cpm_sample, t.cpm_sticky)
                 .expect("window cadence respects the 32 ms limit");
-            ticks.push(t);
-        }
+            t
+        });
 
         // Firmware: in undervolting mode each socket's rail chases its
         // slowest powered-on core; rails of fully gated sockets park at
@@ -156,7 +207,8 @@ impl Simulation {
     /// Panics if `measure` is zero.
     pub fn run_with_history(&mut self, measure: usize, warmup: usize) -> (RunSummary, History) {
         assert!(measure > 0, "must measure at least one window");
-        let mut history = History::new();
+        self.reserve_telemetry(measure + warmup);
+        let mut history = History::with_capacity(measure + warmup);
         let mut tick_index = 0usize;
         for _ in 0..warmup {
             let time = self.time;
@@ -197,6 +249,7 @@ impl Simulation {
     /// Panics if `measure` is zero.
     pub fn run(&mut self, measure: usize, warmup: usize) -> RunSummary {
         assert!(measure > 0, "must measure at least one window");
+        self.reserve_telemetry(measure + warmup);
         for _ in 0..warmup {
             self.tick();
         }
@@ -349,6 +402,34 @@ mod tests {
             Assignment::single_socket,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_matches_fresh_simulation_bitwise() {
+        let cfg = ServerConfig::power7plus(42);
+        let a = Assignment::single_socket(&workload("raytrace"), 4).unwrap();
+        let mut reused =
+            Simulation::new(cfg.clone(), a.clone(), GuardbandMode::StaticGuardband).unwrap();
+        // Dirty everything a run can touch, including injected faults.
+        let _ = reused.run(12, 6);
+        let s0 = SocketId::new(0).unwrap();
+        reused.inject_cpm_fault(
+            s0,
+            CpmId::new(CoreId::new(2).unwrap(), 1).unwrap(),
+            CpmReading::new(0),
+        );
+        reused.inject_rail_sensor_bias(s0, Amps(7.5));
+
+        for mode in [
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+            GuardbandMode::Overclock,
+        ] {
+            reused.reset(mode).unwrap();
+            let summary = reused.run(12, 6);
+            let mut fresh = Simulation::new(cfg.clone(), a.clone(), mode).unwrap();
+            assert_eq!(summary, fresh.run(12, 6), "mode {mode:?}");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::assignment::Assignment;
 use crate::error::SimError;
 use crate::experiment::{Experiment, Outcome};
+use crate::server::Simulation;
 use p7_control::GuardbandMode;
 use p7_workloads::{Catalog, ExecutionModel, WorkloadProfile};
 use serde::{Deserialize, Serialize};
@@ -409,19 +410,51 @@ impl SolveCache {
         assignment: &Assignment,
         mode: GuardbandMode,
     ) -> Result<Arc<Outcome>, SimError> {
+        self.solve_with(
+            experiment_fp,
+            fingerprint(assignment),
+            mode,
+            experiment.measure_ticks(),
+            experiment.warmup_ticks(),
+            || experiment.run(assignment, mode),
+        )
+    }
+
+    /// The core memoized solve: the caller supplies both fingerprints and
+    /// a closure that computes the outcome on a miss. This is the warm
+    /// fast path — a hit is one hash lookup, no serialization at all.
+    /// `assignment_fp` MUST be the [`fingerprint`]-style hash of the
+    /// assignment the closure runs, or equivalent solves will not share
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the miss closure fails.
+    pub fn solve_with<F>(
+        &self,
+        experiment_fp: u64,
+        assignment_fp: u64,
+        mode: GuardbandMode,
+        measure_ticks: usize,
+        warmup_ticks: usize,
+        solve: F,
+    ) -> Result<Arc<Outcome>, SimError>
+    where
+        F: FnOnce() -> Result<Outcome, SimError>,
+    {
         let key = SolveKey {
             config_fingerprint: experiment_fp,
-            assignment_fingerprint: fingerprint(assignment),
+            assignment_fingerprint: assignment_fp,
             mode,
-            measure_ticks: experiment.measure_ticks(),
-            warmup_ticks: experiment.warmup_ticks(),
+            measure_ticks,
+            warmup_ticks,
         };
         if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = Arc::new(experiment.run(assignment, mode)?);
+        let outcome = Arc::new(solve()?);
         self.map
             .lock()
             .expect("cache lock")
@@ -692,11 +725,44 @@ impl SweepEngine {
         let exec_fp = fingerprint(&ExecutionModel::power7plus()).rotate_left(17);
 
         let started = Instant::now();
-        let solved = run_indexed(self.jobs, points.len(), |idx| {
-            let point = &points[idx];
-            let profile = &profiles[idx / block];
-            self.solve_point(spec, point, profile, exec_fp)
-        });
+
+        // Modes are the innermost grid dimension, so every run of
+        // `modes.len()` consecutive points shares one (workload, cores,
+        // placement) assignment and one seed. Build the experiment, the
+        // assignment and both cache fingerprints once per such block: on
+        // a warm cache each point is then a pure hash lookup, and on a
+        // cold cache the workers reuse one simulation per block.
+        let modes_per_block = spec.modes.len();
+        let mut blocks = Vec::with_capacity(points.len() / modes_per_block.max(1));
+        for chunk in points.chunks(modes_per_block.max(1)) {
+            let point = &chunk[0];
+            let profile = &profiles[point.index / block];
+            let experiment = Experiment::power7plus(spec.point_seed(point))
+                .with_ticks(spec.measure_ticks, spec.warmup_ticks);
+            let experiment_fp = fingerprint(experiment.config()) ^ exec_fp;
+            let assignment = point.placement.assignment(profile, point.cores)?;
+            let assignment_fp = fingerprint(&assignment);
+            blocks.push(BlockContext {
+                experiment,
+                experiment_fp,
+                assignment,
+                assignment_fp,
+            });
+        }
+
+        // Chunked claiming hands all modes of one assignment block to the
+        // same worker, so its scratch simulation is reset — not rebuilt —
+        // between modes.
+        let solved = run_indexed_with(
+            self.jobs,
+            points.len(),
+            modes_per_block,
+            || None,
+            |scratch, idx| {
+                let block_idx = idx / modes_per_block.max(1);
+                self.solve_point(&blocks[block_idx], &points[idx], block_idx, scratch)
+            },
+        );
 
         let mut results = Vec::with_capacity(solved.len());
         for solved_point in solved {
@@ -716,23 +782,48 @@ impl SweepEngine {
 
     fn solve_point(
         &self,
-        spec: &SweepSpec,
+        ctx: &BlockContext,
         point: &GridPoint,
-        profile: &WorkloadProfile,
-        exec_fp: u64,
+        block_idx: usize,
+        scratch: &mut Option<(usize, Simulation)>,
     ) -> Result<PointResult, SimError> {
-        let experiment = Experiment::power7plus(spec.point_seed(point))
-            .with_ticks(spec.measure_ticks, spec.warmup_ticks);
-        let experiment_fp = fingerprint(experiment.config()) ^ exec_fp;
-        let assignment = point.placement.assignment(profile, point.cores)?;
-        let outcome =
-            self.cache
-                .solve_fingerprinted(experiment_fp, &experiment, &assignment, point.mode)?;
+        let outcome = self.cache.solve_with(
+            ctx.experiment_fp,
+            ctx.assignment_fp,
+            point.mode,
+            ctx.experiment.measure_ticks(),
+            ctx.experiment.warmup_ticks(),
+            || {
+                // Build the worker's scratch simulation only when it was
+                // last used for a different assignment block; `run_with`
+                // resets it bitwise before every run.
+                let stale = !matches!(scratch, Some((idx, _)) if *idx == block_idx);
+                if stale {
+                    let sim = ctx
+                        .experiment
+                        .build_simulation(&ctx.assignment, point.mode)?;
+                    *scratch = Some((block_idx, sim));
+                }
+                let (_, sim) = scratch.as_mut().expect("scratch populated above");
+                ctx.experiment.run_with(sim, point.mode)
+            },
+        )?;
         Ok(PointResult {
             point: point.clone(),
             outcome: (*outcome).clone(),
         })
     }
+}
+
+/// One (workload, cores, placement) grid block's precomputed solve
+/// context: the seeded experiment, the assignment, and both cache
+/// fingerprints. Shared by the block's `modes.len()` points.
+#[derive(Debug, Clone)]
+struct BlockContext {
+    experiment: Experiment,
+    experiment_fp: u64,
+    assignment: Assignment,
+    assignment_fp: u64,
 }
 
 /// Resolves a `--jobs` value: 0 means available parallelism.
@@ -755,22 +846,45 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(jobs, n, 1, || (), |(), idx| f(idx))
+}
+
+/// Like [`run_indexed`], but each worker carries mutable state created by
+/// `init`, and claims `chunk` consecutive indices at a time. The sweep
+/// engine uses the state for a scratch [`Simulation`] and sets `chunk` to
+/// the number of guardband modes, so every mode of one assignment lands
+/// on the worker that already built that assignment's simulation.
+///
+/// Results are returned in index order regardless of which worker
+/// computed what, and `chunk` never changes the values — only the
+/// work-to-worker mapping.
+pub fn run_indexed_with<S, T, I, F>(jobs: usize, n: usize, chunk: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let chunk = chunk.max(1);
     let jobs = resolve_jobs(jobs).min(n.max(1));
     if jobs <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|idx| f(&mut state, idx)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
                             return local;
                         }
-                        local.push((idx, f(idx)));
+                        for idx in start..(start + chunk).min(n) {
+                            local.push((idx, f(&mut state, idx)));
+                        }
                     }
                 })
             })
@@ -896,6 +1010,63 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(serial[16], 256);
         assert!(run_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_with_preserves_order_for_any_chunk() {
+        let serial = run_indexed_with(1, 17, 3, || (), |(), i| i * i);
+        for jobs in [2, 8] {
+            for chunk in [1, 2, 3, 5, 17, 100] {
+                let chunked = run_indexed_with(jobs, 17, chunk, || (), |(), i| i * i);
+                assert_eq!(serial, chunked, "jobs {jobs} chunk {chunk}");
+            }
+        }
+        assert!(run_indexed_with(4, 0, 2, || (), |(), i| i).is_empty());
+        // chunk 0 is treated as 1 rather than looping forever.
+        assert_eq!(run_indexed_with(2, 3, 0, || (), |(), i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_indexed_with_hands_chunks_to_one_worker() {
+        // Each worker tags results with its own state; consecutive
+        // indices within a chunk must share a tag.
+        let counter = AtomicUsize::new(0);
+        let tagged = run_indexed_with(
+            4,
+            12,
+            3,
+            || counter.fetch_add(1, Ordering::Relaxed),
+            |worker, idx| (idx, *worker),
+        );
+        for chunk in tagged.chunks(3) {
+            assert!(
+                chunk.iter().all(|(_, w)| *w == chunk[0].1),
+                "chunk split across workers: {chunk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_direct_runs() {
+        // The engine's reused-and-reset scratch simulations must produce
+        // bitwise the same outcomes as a fresh Experiment::run per point.
+        let spec = tiny_spec();
+        let engine = SweepEngine::with_cache(1, Arc::new(SolveCache::new()));
+        let report = engine.run(&spec).unwrap();
+        let catalog = Catalog::power7plus();
+        for r in &report.results {
+            let profile = catalog.require(&r.point.workload).unwrap();
+            let assignment = r
+                .point
+                .placement
+                .assignment(profile, r.point.cores)
+                .unwrap();
+            let direct = Experiment::power7plus(spec.point_seed(&r.point))
+                .with_ticks(spec.measure_ticks, spec.warmup_ticks)
+                .run(&assignment, r.point.mode)
+                .unwrap();
+            assert_eq!(r.outcome, direct, "point {}", r.point.index);
+        }
     }
 
     #[test]

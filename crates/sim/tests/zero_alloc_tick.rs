@@ -1,0 +1,81 @@
+//! Proves the warm tick path performs zero heap allocations.
+//!
+//! A counting wrapper around the system allocator is installed as the
+//! global allocator, armed only around the measured ticks. The file holds
+//! exactly one test so no sibling test thread can allocate while the
+//! counter is armed.
+
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, ServerConfig, Simulation};
+use p7_workloads::Catalog;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_ticks_allocate_nothing() {
+    let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+    let mut sim = Simulation::new(
+        ServerConfig::power7plus(42),
+        Assignment::single_socket(&w, 4).unwrap(),
+        GuardbandMode::Undervolt,
+    )
+    .unwrap();
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 32;
+    // Telemetry rings grow only up front; reserve what this run records.
+    sim.reserve_telemetry(WARMUP + MEASURED);
+    for _ in 0..WARMUP {
+        std::hint::black_box(sim.tick());
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..MEASURED {
+        std::hint::black_box(sim.tick());
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let reallocs = REALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        (allocs, reallocs),
+        (0, 0),
+        "warm tick path must not touch the heap: {allocs} allocs, {reallocs} reallocs \
+         over {MEASURED} windows"
+    );
+}

@@ -13,6 +13,9 @@ pub const CORES_PER_SOCKET: usize = 8;
 /// Number of critical path monitors placed in each core.
 pub const CPMS_PER_CORE: usize = 5;
 
+/// Number of critical path monitors on one chip (40 on POWER7+).
+pub const CPMS_PER_SOCKET: usize = CORES_PER_SOCKET * CPMS_PER_CORE;
+
 /// Number of processor sockets in the modelled Power 720 server.
 pub const NUM_SOCKETS: usize = 2;
 

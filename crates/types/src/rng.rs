@@ -116,14 +116,59 @@ pub fn seed_for(master: u64, label: &str) -> u64 {
     mixer.next_u64()
 }
 
+/// Derives a deterministic seed from a master seed, a domain label and an
+/// element index, without allocating.
+///
+/// Byte-for-byte equivalent to `seed_for(master, &format!("{label}{index}"))`
+/// — the index is hashed as its decimal digits — so call sites that used to
+/// build the label with `format!` keep their exact streams (and therefore
+/// their golden values) when switching to this allocation-free form.
+///
+/// # Examples
+///
+/// ```
+/// use p7_types::{seed_for, seed_for_indexed};
+///
+/// assert_eq!(seed_for_indexed(7, "chip", 1), seed_for(7, "chip1"));
+/// assert_ne!(seed_for_indexed(7, "chip", 0), seed_for_indexed(7, "chip", 1));
+/// ```
+#[must_use]
+pub fn seed_for_indexed(master: u64, label: &str, index: usize) -> u64 {
+    let hash = fnv1a_digits(fnv1a(label.as_bytes()), index);
+    let mut mixer = SplitMix64::new(master ^ hash);
+    mixer.next_u64()
+}
+
 /// FNV-1a 64-bit hash of a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a hash over more bytes.
+fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
     hash
+}
+
+/// Continues an FNV-1a hash over the decimal digits of `index`, exactly as
+/// if the number had been formatted into the hashed string.
+fn fnv1a_digits(hash: u64, index: usize) -> u64 {
+    // usize fits in 20 decimal digits; fill the buffer back to front.
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut rest = index;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    fnv1a_continue(hash, &digits[i..])
 }
 
 #[cfg(test)]
@@ -195,6 +240,41 @@ mod tests {
     fn seed_for_is_label_sensitive() {
         assert_ne!(seed_for(0, "a"), seed_for(0, "b"));
         assert_eq!(seed_for(99, "pdn"), seed_for(99, "pdn"));
+    }
+
+    #[test]
+    fn seed_for_indexed_matches_formatted_label() {
+        // The allocation-free path must reproduce the exact streams the
+        // old `format!("{label}{index}")` call sites produced.
+        for master in [0u64, 7, 42, u64::MAX] {
+            for index in [0usize, 1, 7, 9, 10, 39, 123, 9_999_999] {
+                assert_eq!(
+                    seed_for_indexed(master, "chip", index),
+                    seed_for(master, &format!("chip{index}")),
+                    "master {master}, index {index}"
+                );
+                assert_eq!(
+                    seed_for_indexed(master, "trace", index),
+                    seed_for(master, &format!("trace{index}")),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seed_for_indexed_is_index_sensitive() {
+        assert_ne!(
+            seed_for_indexed(1, "chip", 0),
+            seed_for_indexed(1, "chip", 1)
+        );
+        assert_ne!(
+            seed_for_indexed(1, "chip", 0),
+            seed_for_indexed(2, "chip", 0)
+        );
+        assert_ne!(
+            seed_for_indexed(1, "chip", 0),
+            seed_for_indexed(1, "trace", 0)
+        );
     }
 
     #[test]

@@ -69,6 +69,28 @@ fn warm_cache_reproduces_cold_results_exactly() {
 }
 
 #[test]
+fn mode_subsets_reproduce_full_grid_points() {
+    // Workers reuse one scratch simulation across all modes of an
+    // assignment block (chunk = modes.len()). A single-mode spec makes
+    // every block one point — scratch rebuilt per assignment — while the
+    // full spec resets the same simulation between modes. Both paths
+    // must produce identical outcomes point for point.
+    let full = SweepSpec::new(vec!["raytrace".into(), "radix".into()], vec![2, 5]).with_ticks(5, 2);
+    let full_report = engine(4).run(&full).expect("full sweep");
+    for mode in MODES {
+        let sub = full.clone().with_modes(vec![mode]);
+        let sub_report = engine(3).run(&sub).expect("single-mode sweep");
+        assert_eq!(sub_report.results.len(), 4);
+        for r in &sub_report.results {
+            let matching = full_report
+                .outcome(&r.point.workload, r.point.cores, r.point.placement, mode)
+                .expect("full grid covers the subset");
+            assert_eq!(&r.outcome, matching, "point {:?}", r.point);
+        }
+    }
+}
+
+#[test]
 fn results_are_ordered_by_grid_index() {
     let spec = SweepSpec::new(vec!["vips".into(), "radix".into()], vec![1, 2, 3]).with_ticks(4, 2);
     let report = engine(8).run(&spec).expect("sweep");
