@@ -28,6 +28,7 @@ pub mod firmware;
 pub mod margin;
 pub mod modes;
 pub mod pstate;
+pub mod supervisor;
 
 pub use aging::AgingModel;
 pub use dpll::Dpll;
@@ -36,3 +37,6 @@ pub use firmware::FirmwareController;
 pub use margin::{GuardbandPolicy, VoltFreqCurve};
 pub use modes::GuardbandMode;
 pub use pstate::{PState, PStateTable};
+pub use supervisor::{
+    HealthIssue, SafetySupervisor, SupervisorConfig, SupervisorEvent, WindowObservation,
+};

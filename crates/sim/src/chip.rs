@@ -235,6 +235,12 @@ impl ChipSim {
         &self.bank
     }
 
+    /// Whether a core is powered on this window.
+    #[must_use]
+    pub fn core_is_on(&self, core: usize) -> bool {
+        self.states[core].is_on()
+    }
+
     /// Advances this chip by one 32 ms window under the given rail and
     /// mode, returning everything observed.
     ///
@@ -242,6 +248,21 @@ impl ChipSim {
     /// no heap allocation (all working sets are fixed arrays, and the
     /// voltage solve warm-starts from the previous window's solution).
     pub fn tick(&mut self, rail: &Rail, mode: GuardbandMode, window: Seconds) -> SocketTick {
+        self.tick_scaled(rail, mode, window, None)
+    }
+
+    /// Like [`ChipSim::tick`] but with an injected di/dt droop storm:
+    /// `droop_scale` multiplies the window's (typical, worst) droops
+    /// after the noise stream is sampled, so the underlying random
+    /// sequence — and therefore every fault-free statistic — is
+    /// untouched. `None` is bitwise-identical to a plain tick.
+    pub fn tick_scaled(
+        &mut self,
+        rail: &Rail,
+        mode: GuardbandMode,
+        window: Seconds,
+        droop_scale: Option<(f64, f64)>,
+    ) -> SocketTick {
         // 1. Workload activity for this window.
         let mut activities = [0.0f64; CORES_PER_SOCKET];
         for (i, trace) in self.traces.iter_mut().enumerate() {
@@ -310,9 +331,13 @@ impl ChipSim {
 
         // 4. di/dt noise for this window.
         let running = self.running_core_count();
-        let noise = self
+        let mut noise = self
             .didt
             .sample_window(running, self.variability_mean, window);
+        if let Some((typical_scale, worst_scale)) = droop_scale {
+            noise.typical = Volts(noise.typical.0 * typical_scale);
+            noise.worst = Volts((noise.worst.0 * worst_scale).max(noise.typical.0));
+        }
 
         // 5. CPM readings at the pre-control frequencies.
         let sample_margins: [Volts; CORES_PER_SOCKET] = std::array::from_fn(|i| {

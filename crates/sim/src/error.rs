@@ -32,6 +32,11 @@ pub enum SimError {
         /// What was wrong.
         reason: String,
     },
+    /// An invalid fault plan or safety-supervisor configuration.
+    Resilience {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +49,7 @@ impl fmt::Display for SimError {
             SimError::Workload(e) => write!(f, "workload: {e}"),
             SimError::InvalidConfig { reason } => write!(f, "invalid server config: {reason}"),
             SimError::InvalidAssignment { reason } => write!(f, "invalid assignment: {reason}"),
+            SimError::Resilience { reason } => write!(f, "resilience: {reason}"),
         }
     }
 }

@@ -7,6 +7,7 @@ use crate::error::SimError;
 use crate::measure::RunSummary;
 use crate::server::Simulation;
 use p7_control::GuardbandMode;
+use p7_faults::FaultPlan;
 use p7_types::{Joules, Seconds, Watts};
 use p7_workloads::ExecutionModel;
 use serde::{Deserialize, Serialize};
@@ -71,6 +72,7 @@ pub struct Experiment {
     exec_model: ExecutionModel,
     measure_ticks: usize,
     warmup_ticks: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl Experiment {
@@ -82,6 +84,7 @@ impl Experiment {
             exec_model: ExecutionModel::power7plus(),
             measure_ticks: DEFAULT_MEASURE_TICKS,
             warmup_ticks: DEFAULT_WARMUP_TICKS,
+            faults: None,
         }
     }
 
@@ -93,6 +96,7 @@ impl Experiment {
             exec_model,
             measure_ticks: DEFAULT_MEASURE_TICKS,
             warmup_ticks: DEFAULT_WARMUP_TICKS,
+            faults: None,
         }
     }
 
@@ -102,6 +106,26 @@ impl Experiment {
         self.measure_ticks = measure.max(1);
         self.warmup_ticks = warmup;
         self
+    }
+
+    /// Injects a fault plan into every simulation this runner builds.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault plan runs are subjected to, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Fingerprint of the installed fault plan (0 when fault-free), the
+    /// component that keeps faulted and healthy solves apart in caches.
+    #[must_use]
+    pub fn fault_fingerprint(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultPlan::fingerprint)
     }
 
     /// The server configuration.
@@ -151,7 +175,11 @@ impl Experiment {
         assignment: &Assignment,
         mode: GuardbandMode,
     ) -> Result<Simulation, SimError> {
-        Simulation::new(self.config.clone(), assignment.clone(), mode)
+        let mut sim = Simulation::new(self.config.clone(), assignment.clone(), mode)?;
+        if let Some(plan) = &self.faults {
+            sim.set_fault_plan(plan.clone())?;
+        }
+        Ok(sim)
     }
 
     /// Runs one experiment on an already-built simulation, resetting it to

@@ -43,6 +43,33 @@ impl From<&SocketTick> for SocketSample {
     }
 }
 
+/// A discrete occurrence worth explaining a run with: a planned fault
+/// starting or clearing, or the safety supervisor degrading/re-arming
+/// a socket's guardband mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Window index the event occurred in.
+    pub tick: usize,
+    /// Affected socket.
+    pub socket: usize,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// The kinds of [`SimEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEventKind {
+    /// A planned fault became active (payload: fault label).
+    FaultStarted(String),
+    /// A planned fault cleared (payload: fault label).
+    FaultEnded(String),
+    /// The supervisor degraded the socket to the static guardband
+    /// (payload: the health issue that tripped).
+    Degraded(String),
+    /// The supervisor re-armed adaptive operation.
+    Rearmed,
+}
+
 /// One simulation window across the whole server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TickRecord {
@@ -77,6 +104,7 @@ pub struct TickRecord {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct History {
     records: Vec<TickRecord>,
+    events: Vec<SimEvent>,
 }
 
 impl History {
@@ -92,6 +120,7 @@ impl History {
     pub fn with_capacity(windows: usize) -> Self {
         History {
             records: Vec::with_capacity(windows),
+            events: Vec::new(),
         }
     }
 
@@ -125,6 +154,17 @@ impl History {
     #[must_use]
     pub fn records(&self) -> &[TickRecord] {
         &self.records
+    }
+
+    /// Appends a fault/supervisor event to the run's explanation log.
+    pub fn push_event(&mut self, event: SimEvent) {
+        self.events.push(event);
+    }
+
+    /// Fault and supervisor events, in occurrence order.
+    #[must_use]
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
     }
 
     /// The window in which the rail set point of `socket` first settled

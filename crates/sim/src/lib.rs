@@ -40,6 +40,7 @@ pub mod error;
 pub mod experiment;
 pub mod history;
 pub mod measure;
+pub mod resilience;
 pub mod server;
 pub mod sweep;
 
@@ -47,8 +48,9 @@ pub use assignment::{Assignment, Thread};
 pub use config::ServerConfig;
 pub use error::SimError;
 pub use experiment::{Experiment, Outcome, DEFAULT_MEASURE_TICKS, DEFAULT_WARMUP_TICKS};
-pub use history::{History, TickRecord};
+pub use history::{History, SimEvent, SimEventKind, TickRecord};
 pub use measure::{RunSummary, SocketMetrics};
+pub use resilience::{ResilienceReport, ResilienceSpec, ScenarioResult};
 pub use server::Simulation;
 pub use sweep::{
     CachedExperiment, GridPoint, Placement, PointResult, SolveCache, SweepEngine, SweepReport,

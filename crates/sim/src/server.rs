@@ -4,12 +4,19 @@ use crate::assignment::Assignment;
 use crate::chip::{ChipSim, SocketTick};
 use crate::config::ServerConfig;
 use crate::error::SimError;
-use crate::history::History;
+use crate::history::{History, SimEvent, SimEventKind};
 use crate::measure::{Accumulator, RunSummary};
-use p7_control::{FirmwareController, GuardbandMode};
+use p7_control::{
+    FirmwareController, GuardbandMode, SafetySupervisor, SupervisorConfig, SupervisorEvent,
+    WindowObservation,
+};
+use p7_faults::{DeadCpm, FaultKind, FaultPlan, SensorBias, SocketWindow, StuckCpm, FOREVER};
 use p7_pdn::Vrm;
 use p7_sensors::{Amester, CpmReading};
-use p7_types::{Amps, CoreId, CpmId, Seconds, SocketId, CORES_PER_SOCKET, NUM_SOCKETS};
+use p7_types::{
+    Amps, CoreId, CpmId, Seconds, SocketId, Volts, CORES_PER_SOCKET, CPMS_PER_CORE,
+    CPMS_PER_SOCKET, NUM_SOCKETS,
+};
 
 /// The firmware/telemetry window length: 32 ms.
 pub const WINDOW: Seconds = Seconds(0.032);
@@ -41,6 +48,20 @@ pub struct Simulation {
     firmware: FirmwareController,
     amesters: Vec<Amester>,
     time: Seconds,
+    /// Window counter driving the fault plan; replays from 0 on reset.
+    tick_index: usize,
+    /// Installed fault plan, if any. Survives [`Simulation::reset`] so a
+    /// reused scratch simulation replays the same faulted trajectory.
+    faults: Option<FaultPlan>,
+    /// Per-socket CPMs currently forced by the plan (bit = flat index),
+    /// so releases clear exactly what the plan set and nothing else.
+    plan_cpm_masks: [u64; NUM_SOCKETS],
+    /// Per-socket safety supervisors, when enabled.
+    supervisors: Option<Vec<SafetySupervisor>>,
+    /// Margin violations observed while monitoring is active.
+    margin_violations: u64,
+    /// Fault/supervisor events not yet drained into a [`History`].
+    pending_events: Vec<SimEvent>,
 }
 
 impl Simulation {
@@ -70,6 +91,12 @@ impl Simulation {
             firmware,
             amesters: (0..NUM_SOCKETS).map(|_| Amester::new()).collect(),
             time: Seconds(0.0),
+            tick_index: 0,
+            faults: None,
+            plan_cpm_masks: [0; NUM_SOCKETS],
+            supervisors: None,
+            margin_violations: 0,
+            pending_events: Vec::new(),
         })
     }
 
@@ -104,7 +131,16 @@ impl Simulation {
         for amester in &mut self.amesters {
             amester.clear();
         }
+        if let Some(sups) = &mut self.supervisors {
+            for sup in sups {
+                sup.reset();
+            }
+        }
         self.time = Seconds(0.0);
+        self.tick_index = 0;
+        self.plan_cpm_masks = [0; NUM_SOCKETS];
+        self.margin_violations = 0;
+        self.pending_events.clear();
         Ok(())
     }
 
@@ -140,17 +176,262 @@ impl Simulation {
         &self.amesters[socket.index()]
     }
 
-    /// Injects a stuck-at fault into one CPM (failure-injection tests).
+    /// Injects a permanent fault into one CPM: `Some(reading)` sticks
+    /// the monitor at that tap, `None` kills it outright (a dead sensor
+    /// reads tap 0, which engages the hardware fail-safe).
+    ///
+    /// Routed through the same [`FaultPlan`] effect path as planned
+    /// campaigns, so ad-hoc and planned injection share one code path.
     pub fn inject_cpm_fault(&mut self, socket: SocketId, cpm: CpmId, reading: Option<CpmReading>) {
-        self.chips[socket.index()]
-            .bank_mut()
-            .monitor_mut(cpm)
-            .set_stuck_at(reading);
+        let core = cpm.core().index();
+        let slot = cpm.flat_index() % CPMS_PER_CORE;
+        let kind = match reading {
+            Some(r) => FaultKind::StuckCpm(StuckCpm {
+                socket: socket.index(),
+                core,
+                slot,
+                reading: r.value(),
+            }),
+            None => FaultKind::DeadCpm(DeadCpm {
+                socket: socket.index(),
+                core,
+                slot,
+            }),
+        };
+        self.inject_now(kind);
     }
 
     /// Biases one rail's current sensor (failure-injection tests).
     pub fn inject_rail_sensor_bias(&mut self, socket: SocketId, bias: Amps) {
-        self.vrm.rail_mut(socket).inject_sensor_bias(bias);
+        self.inject_now(FaultKind::SensorBias(SensorBias {
+            socket: socket.index(),
+            amps: bias.0,
+        }));
+    }
+
+    /// Applies an ad-hoc fault immediately and permanently by resolving
+    /// it through the plan machinery — the single application path.
+    fn inject_now(&mut self, kind: FaultKind) {
+        let socket = kind.socket();
+        let plan = FaultPlan::new("adhoc", 0).event(0, FOREVER, kind);
+        let window = plan.socket_window(0, socket);
+        Self::apply_socket_window(&mut self.chips, &mut self.vrm, socket, &window, 0);
+    }
+
+    /// Clears every injected sensor fault: all banks' stuck-at faults
+    /// (delegating to `CpmBank::clear_stuck_faults`), rail current-sensor
+    /// biases, and any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        for chip in &mut self.chips {
+            chip.bank_mut().clear_stuck_faults();
+        }
+        for socket in SocketId::all() {
+            self.vrm.rail_mut(socket).inject_sensor_bias(Amps::ZERO);
+        }
+        self.faults = None;
+        self.plan_cpm_masks = [0; NUM_SOCKETS];
+    }
+
+    /// Installs a fault plan. Effects replay from window 0 of the next
+    /// run: the plan survives [`Simulation::reset`], so reused scratch
+    /// simulations reproduce the faulted trajectory bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Resilience`] when the plan fails validation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        plan.validate()
+            .map_err(|reason| SimError::Resilience { reason })?;
+        self.faults = Some(plan);
+        Ok(())
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Enables the per-socket safety supervisors. Also turns on margin
+    /// violation monitoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Resilience`] when the thresholds are invalid.
+    pub fn enable_supervisor(&mut self, config: SupervisorConfig) -> Result<(), SimError> {
+        config
+            .validate()
+            .map_err(|reason| SimError::Resilience { reason })?;
+        self.supervisors = Some(
+            (0..NUM_SOCKETS)
+                .map(|_| SafetySupervisor::new(config))
+                .collect(),
+        );
+        Ok(())
+    }
+
+    /// One socket's safety supervisor, when enabled.
+    #[must_use]
+    pub fn supervisor(&self, socket: SocketId) -> Option<&SafetySupervisor> {
+        self.supervisors.as_ref().map(|s| &s[socket.index()])
+    }
+
+    /// Margin violations observed so far: windows in which a powered-on
+    /// core's voltage, less the window's worst droop, fell below the
+    /// critical-path requirement at its clock. Counted only while a
+    /// fault plan or supervisor is active (the plain hot path stays
+    /// check-free).
+    #[must_use]
+    pub fn margin_violations(&self) -> u64 {
+        self.margin_violations
+    }
+
+    /// Drains the fault/supervisor events accumulated since the last
+    /// drain (or reset), in occurrence order.
+    pub fn take_events(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    /// The guardband mode socket `i` actually runs this window, after
+    /// any supervisor degradation.
+    fn effective_mode(&self, socket: usize) -> GuardbandMode {
+        match &self.supervisors {
+            Some(sups) => sups[socket].effective_mode(self.mode),
+            None => self.mode,
+        }
+    }
+
+    /// Applies one socket's fault-window effects to the live hardware.
+    /// `prev_mask` holds the CPMs forced by the previous application;
+    /// monitors the window released are cleared, monitors it still
+    /// forces are re-stuck, and everything else (ad-hoc injections
+    /// included) is left alone. Returns the new mask.
+    fn apply_socket_window(
+        chips: &mut [ChipSim],
+        vrm: &mut Vrm,
+        socket: usize,
+        window: &SocketWindow,
+        prev_mask: u64,
+    ) -> u64 {
+        let mask = window.cpm_mask();
+        let released = prev_mask & !mask;
+        if mask != 0 || released != 0 {
+            let bank = chips[socket].bank_mut();
+            for flat in 0..CPMS_PER_SOCKET {
+                let bit = 1u64 << flat;
+                if bit & (mask | released) == 0 {
+                    continue;
+                }
+                let core = CoreId::new((flat / CPMS_PER_CORE) as u8).expect("core in range");
+                let cpm = CpmId::new(core, (flat % CPMS_PER_CORE) as u8).expect("slot in range");
+                if bit & mask != 0 {
+                    let tap = window.cpm[flat].expect("mask bit implies an override");
+                    let reading = CpmReading::new(tap).expect("plans are validated");
+                    bank.monitor_mut(cpm).set_stuck_at(Some(reading));
+                } else {
+                    bank.monitor_mut(cpm).set_stuck_at(None);
+                }
+            }
+        }
+        if window.rail_sensor_touched {
+            let id = SocketId::new(socket as u8).expect("socket in range");
+            vrm.rail_mut(id)
+                .inject_sensor_bias(Amps(window.sensor_error_amps));
+        }
+        mask
+    }
+
+    /// Applies the plan's effects for window `tick` and records timeline
+    /// transitions.
+    fn apply_fault_windows(&mut self, tick: usize, windows: &[SocketWindow; NUM_SOCKETS]) {
+        for (socket, window) in windows.iter().enumerate() {
+            self.plan_cpm_masks[socket] = Self::apply_socket_window(
+                &mut self.chips,
+                &mut self.vrm,
+                socket,
+                window,
+                self.plan_cpm_masks[socket],
+            );
+        }
+        if let Some(plan) = &self.faults {
+            for event in &plan.events {
+                if tick == event.onset {
+                    self.pending_events.push(SimEvent {
+                        tick,
+                        socket: event.kind.socket(),
+                        kind: SimEventKind::FaultStarted(event.kind.label().to_string()),
+                    });
+                } else if event.ends_at(tick) {
+                    self.pending_events.push(SimEvent {
+                        tick,
+                        socket: event.kind.socket(),
+                        kind: SimEventKind::FaultEnded(event.kind.label().to_string()),
+                    });
+                }
+            }
+        }
+    }
+
+    /// End-of-window monitoring: counts margin violations and feeds the
+    /// supervisors, applying degradation (static mode, rail snapped to
+    /// nominal) from the next window on.
+    fn monitor_window(
+        &mut self,
+        tick: usize,
+        ticks: &[SocketTick; NUM_SOCKETS],
+        telemetry_lost: [bool; NUM_SOCKETS],
+    ) {
+        for i in 0..NUM_SOCKETS {
+            let t = &ticks[i];
+            let mut violations = 0u64;
+            for c in 0..CORES_PER_SOCKET {
+                if !self.chips[i].core_is_on(c) {
+                    continue;
+                }
+                let worst = t.breakdown[c].typical_didt + t.breakdown[c].worst_didt;
+                let required = self.config.curve.v_circuit(t.core_freqs[c]);
+                if t.core_voltages[c] - worst < required - Volts(1e-9) {
+                    violations += 1;
+                }
+            }
+            self.margin_violations += violations;
+
+            let Some(sups) = self.supervisors.as_mut() else {
+                continue;
+            };
+            let sup = &mut sups[i];
+            sup.note_margin_violations(violations);
+            let ran_adaptive = sup.allows_adaptive() && self.mode.is_adaptive();
+            let observation = WindowObservation {
+                sample: std::array::from_fn(|k| t.cpm_sample[k].value()),
+                sticky: std::array::from_fn(|k| t.cpm_sticky[k].value()),
+                core_on: std::array::from_fn(|c| self.chips[i].core_is_on(c)),
+                telemetry_fresh: !telemetry_lost[i],
+                ran_adaptive,
+            };
+            match sup.observe(&observation) {
+                Some(SupervisorEvent::Degraded(issue)) => {
+                    // Emergency exit from the shaved guardband: the full
+                    // static margin at the nominal set point.
+                    let id = SocketId::new(i as u8).expect("socket in range");
+                    let nominal = self.config.nominal_voltage();
+                    self.vrm.rail_mut(id).set_set_point(nominal);
+                    self.pending_events.push(SimEvent {
+                        tick,
+                        socket: i,
+                        kind: SimEventKind::Degraded(format!("{issue:?}")),
+                    });
+                }
+                Some(SupervisorEvent::Rearmed) => {
+                    self.pending_events.push(SimEvent {
+                        tick,
+                        socket: i,
+                        kind: SimEventKind::Rearmed,
+                    });
+                }
+                None => {}
+            }
+        }
     }
 
     /// Advances the server by one 32 ms window and returns each socket's
@@ -162,40 +443,76 @@ impl Simulation {
     /// the returned ticks, the CPM readouts and the rail snapshot are all
     /// fixed-size values.
     pub fn tick(&mut self) -> [SocketTick; NUM_SOCKETS] {
+        let tick_index = self.tick_index;
+        // Fault effects for this window, resolved purely from the plan
+        // and the window index so resets and reruns replay them bitwise.
+        let fault_windows: Option<[SocketWindow; NUM_SOCKETS]> = self
+            .faults
+            .as_ref()
+            .map(|plan| std::array::from_fn(|i| plan.socket_window(tick_index, i)));
+        if let Some(windows) = &fault_windows {
+            self.apply_fault_windows(tick_index, windows);
+        }
+
         let ticks: [SocketTick; NUM_SOCKETS] = std::array::from_fn(|i| {
             let socket = SocketId::new(i as u8).expect("socket in range");
             // Rail is a small Copy value: snapshot it instead of cloning
             // through an allocation-visible path.
             let rail = *self.vrm.rail(socket);
-            let t = self.chips[i].tick(&rail, self.mode, WINDOW);
-            // Telemetry mirrors what AMESTER would record.
-            self.amesters[i]
-                .record(self.time, t.cpm_sample, t.cpm_sticky)
-                .expect("window cadence respects the 32 ms limit");
+            // The supervisor may have degraded this socket to static.
+            let mode = self.effective_mode(i);
+            let droop_scale = fault_windows.as_ref().and_then(|w| {
+                let fw = &w[i];
+                (fw.droop_typical_scale != 1.0 || fw.droop_worst_scale != 1.0)
+                    .then_some((fw.droop_typical_scale, fw.droop_worst_scale))
+            });
+            let t = self.chips[i].tick_scaled(&rail, mode, WINDOW, droop_scale);
+            // Telemetry mirrors what AMESTER would record; a lost window
+            // simply never arrives.
+            let lost = fault_windows.as_ref().is_some_and(|w| w[i].telemetry_lost);
+            if !lost {
+                self.amesters[i]
+                    .record(self.time, t.cpm_sample, t.cpm_sticky)
+                    .expect("window cadence respects the 32 ms limit");
+            }
             t
         });
 
         // Firmware: in undervolting mode each socket's rail chases its
         // slowest powered-on core; rails of fully gated sockets park at
-        // the floor.
-        if self.mode == GuardbandMode::Undervolt {
-            for socket in SocketId::all() {
-                let current_set = self.vrm.rail(socket).set_point();
-                // The firmware is conservative: it servoes the worst
-                // momentary frequency of the window (droops plus the
-                // rail's load-transient reserve) to the target.
-                let next = match ticks[socket.index()].sticky_min_freq {
-                    Some(freq) => {
-                        self.firmware
-                            .adjust_voltage(current_set, freq, &self.config.curve)
-                    }
-                    None => self.firmware.voltage_floor(&self.config.curve),
-                };
-                self.vrm.rail_mut(socket).set_set_point(next);
+        // the floor. A missed 32 ms window holds the set point instead.
+        for socket in SocketId::all() {
+            let i = socket.index();
+            if self.effective_mode(i) != GuardbandMode::Undervolt {
+                continue;
             }
+            if fault_windows.as_ref().is_some_and(|w| w[i].firmware_missed) {
+                continue;
+            }
+            let current_set = self.vrm.rail(socket).set_point();
+            // The firmware is conservative: it servoes the worst
+            // momentary frequency of the window (droops plus the
+            // rail's load-transient reserve) to the target.
+            let next = match ticks[i].sticky_min_freq {
+                Some(freq) => self
+                    .firmware
+                    .adjust_voltage(current_set, freq, &self.config.curve),
+                None => self.firmware.voltage_floor(&self.config.curve),
+            };
+            self.vrm.rail_mut(socket).set_set_point(next);
+        }
+
+        // Safety monitoring runs only when faults or supervisors are in
+        // play, keeping the plain hot path check-free.
+        if self.faults.is_some() || self.supervisors.is_some() {
+            let telemetry_lost: [bool; NUM_SOCKETS] = std::array::from_fn(|i| {
+                fault_windows.as_ref().is_some_and(|w| w[i].telemetry_lost)
+            });
+            self.monitor_window(tick_index, &ticks, telemetry_lost);
         }
 
         self.time += WINDOW;
+        self.tick_index += 1;
         ticks
     }
 
@@ -223,6 +540,9 @@ impl Simulation {
             history.push(tick_index, time, &ticks);
             tick_index += 1;
             acc.add(&ticks);
+        }
+        for event in self.take_events() {
+            history.push_event(event);
         }
         (
             acc.finish().expect("measure > 0 windows were accumulated"),

@@ -28,8 +28,9 @@ use crate::error::SimError;
 use crate::experiment::{Experiment, Outcome};
 use crate::server::Simulation;
 use p7_control::GuardbandMode;
+use p7_faults::FaultPlan;
 use p7_workloads::{Catalog, ExecutionModel, WorkloadProfile};
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -118,7 +119,7 @@ impl Placement {
 /// assert_eq!(report.results.len(), 4);
 /// # Ok::<(), p7_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepSpec {
     /// Catalog names of the workloads to sweep.
     pub workloads: Vec<String>,
@@ -134,6 +135,35 @@ pub struct SweepSpec {
     pub measure_ticks: usize,
     /// Warm-up windows discarded before measuring.
     pub warmup_ticks: usize,
+    /// Fault plan every grid point runs under (`None` = healthy sweep).
+    pub faults: Option<FaultPlan>,
+}
+
+// Hand-written so spec files from before the `faults` dimension still
+// parse: a missing "faults" key reads as a healthy sweep. The derived
+// impl would reject the old files outright.
+impl Deserialize for SweepSpec {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        fn req<T: Deserialize>(v: &Value, name: &str) -> Result<T, de::Error> {
+            T::from_value(v.field(name)?).map_err(|e| e.in_context(name))
+        }
+        let faults = match v.field("faults") {
+            Ok(value) => {
+                Option::<FaultPlan>::from_value(value).map_err(|e| e.in_context("faults"))?
+            }
+            Err(_) => None,
+        };
+        Ok(SweepSpec {
+            workloads: req(v, "workloads")?,
+            cores: req(v, "cores")?,
+            modes: req(v, "modes")?,
+            placements: req(v, "placements")?,
+            seed: req(v, "seed")?,
+            measure_ticks: req(v, "measure_ticks")?,
+            warmup_ticks: req(v, "warmup_ticks")?,
+            faults,
+        })
+    }
 }
 
 /// The default sweep seed (the figure binaries' master seed).
@@ -153,6 +183,7 @@ impl SweepSpec {
             seed: DEFAULT_SWEEP_SEED,
             measure_ticks: 30,
             warmup_ticks: 15,
+            faults: None,
         }
     }
 
@@ -182,6 +213,15 @@ impl SweepSpec {
     pub fn with_ticks(mut self, measure: usize, warmup: usize) -> Self {
         self.measure_ticks = measure.max(1);
         self.warmup_ticks = warmup;
+        self
+    }
+
+    /// Runs every grid point under `plan` — the fault-campaign sweep
+    /// dimension. The plan's fingerprint joins the solve-cache key, so
+    /// faulted solves never collide with healthy ones.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -281,6 +321,10 @@ impl SweepSpec {
                 });
             }
         }
+        if let Some(plan) = &self.faults {
+            plan.validate()
+                .map_err(|reason| SimError::Resilience { reason })?;
+        }
         Ok(())
     }
 }
@@ -342,6 +386,10 @@ struct SolveKey {
     mode: GuardbandMode,
     measure_ticks: usize,
     warmup_ticks: usize,
+    /// [`Experiment::fault_fingerprint`]: 0 for healthy solves, the
+    /// installed plan's fingerprint otherwise. Keeps faulted trajectories
+    /// out of healthy lookups and vice versa.
+    fault_fingerprint: u64,
 }
 
 /// Memoization table for steady-state solves, shared across threads.
@@ -416,20 +464,24 @@ impl SolveCache {
             mode,
             experiment.measure_ticks(),
             experiment.warmup_ticks(),
+            experiment.fault_fingerprint(),
             || experiment.run(assignment, mode),
         )
     }
 
-    /// The core memoized solve: the caller supplies both fingerprints and
+    /// The core memoized solve: the caller supplies the fingerprints and
     /// a closure that computes the outcome on a miss. This is the warm
     /// fast path — a hit is one hash lookup, no serialization at all.
     /// `assignment_fp` MUST be the [`fingerprint`]-style hash of the
-    /// assignment the closure runs, or equivalent solves will not share
-    /// entries.
+    /// assignment the closure runs, and `fault_fp` MUST be the
+    /// [`Experiment::fault_fingerprint`] of the experiment (0 when
+    /// healthy), or equivalent solves will not share entries — and
+    /// faulted solves would poison healthy ones.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] when the miss closure fails.
+    #[allow(clippy::too_many_arguments)]
     pub fn solve_with<F>(
         &self,
         experiment_fp: u64,
@@ -437,6 +489,7 @@ impl SolveCache {
         mode: GuardbandMode,
         measure_ticks: usize,
         warmup_ticks: usize,
+        fault_fp: u64,
         solve: F,
     ) -> Result<Arc<Outcome>, SimError>
     where
@@ -448,6 +501,7 @@ impl SolveCache {
             mode,
             measure_ticks,
             warmup_ticks,
+            fault_fingerprint: fault_fp,
         };
         if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -737,9 +791,13 @@ impl SweepEngine {
         for chunk in points.chunks(modes_per_block.max(1)) {
             let point = &chunk[0];
             let profile = &profiles[point.index / block];
-            let experiment = Experiment::power7plus(spec.point_seed(point))
+            let mut experiment = Experiment::power7plus(spec.point_seed(point))
                 .with_ticks(spec.measure_ticks, spec.warmup_ticks);
+            if let Some(plan) = &spec.faults {
+                experiment = experiment.with_faults(plan.clone());
+            }
             let experiment_fp = fingerprint(experiment.config()) ^ exec_fp;
+            let fault_fp = experiment.fault_fingerprint();
             let assignment = point.placement.assignment(profile, point.cores)?;
             let assignment_fp = fingerprint(&assignment);
             blocks.push(BlockContext {
@@ -747,6 +805,7 @@ impl SweepEngine {
                 experiment_fp,
                 assignment,
                 assignment_fp,
+                fault_fp,
             });
         }
 
@@ -793,6 +852,7 @@ impl SweepEngine {
             point.mode,
             ctx.experiment.measure_ticks(),
             ctx.experiment.warmup_ticks(),
+            ctx.fault_fp,
             || {
                 // Build the worker's scratch simulation only when it was
                 // last used for a different assignment block; `run_with`
@@ -824,6 +884,7 @@ struct BlockContext {
     experiment_fp: u64,
     assignment: Assignment,
     assignment_fp: u64,
+    fault_fp: u64,
 }
 
 /// Resolves a `--jobs` value: 0 means available parallelism.
@@ -1001,6 +1062,59 @@ mod tests {
         let json = serde::json::to_string(&spec);
         let back: SweepSpec = serde::json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+
+        let faulted = tiny_spec().with_faults(p7_faults::FaultPlan::named("dead-cpm").unwrap());
+        let back: SweepSpec = serde::json::from_str(&faulted.to_json()).unwrap();
+        assert_eq!(back, faulted);
+    }
+
+    #[test]
+    fn spec_files_without_a_faults_key_still_parse() {
+        // Spec files written before the fault dimension existed have no
+        // "faults" key; they must read back as healthy sweeps.
+        let spec = tiny_spec();
+        let json = spec.to_json();
+        let legacy = json.replace(",\"faults\":null", "");
+        assert_ne!(legacy, json, "fixture must actually drop the key");
+        let back = SweepSpec::from_json(&legacy).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.faults.is_none());
+    }
+
+    #[test]
+    fn faulted_sweep_never_answers_from_healthy_cache_entries() {
+        // Same engine, same cache, same grid — with and without a fault
+        // plan. The faulted sweep must re-solve every point (distinct
+        // cache keys) and produce different numbers: a dead CPM reads
+        // tap 0, which engages the fail-safe on its core.
+        let spec = SweepSpec::new(vec!["raytrace".into()], vec![2])
+            .with_modes(vec![GuardbandMode::Undervolt])
+            .with_ticks(20, 10);
+        let cache = Arc::new(SolveCache::new());
+        let engine = SweepEngine::with_cache(1, cache.clone());
+        let healthy = engine.run(&spec).unwrap();
+        let cold = cache.stats();
+        assert_eq!(cold.misses as usize, spec.len());
+
+        let faulted_spec = spec
+            .clone()
+            .with_faults(p7_faults::FaultPlan::named("dead-cpm").unwrap());
+        let faulted = engine.run(&faulted_spec).unwrap();
+        let after = cache.stats();
+        assert_eq!(
+            after.misses as usize,
+            spec.len() + faulted_spec.len(),
+            "faulted points must miss, not hit healthy entries"
+        );
+        assert_ne!(
+            healthy.results_json(),
+            faulted.results_json(),
+            "a dead CPM must change the undervolt trajectory"
+        );
+
+        // And the faulted entries answer repeat faulted sweeps.
+        engine.run(&faulted_spec).unwrap();
+        assert_eq!(cache.stats().misses, after.misses);
     }
 
     #[test]

@@ -42,6 +42,31 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
+/// Splits known bare switches (flags that take no value, like
+/// `--smoke`) out of an argument tail. Returns the switches present and
+/// the remaining arguments, which stay in `--flag value` form for
+/// [`parse_flags`].
+///
+/// # Examples
+///
+/// ```
+/// let args: Vec<String> = vec!["--smoke".into(), "--jobs".into(), "2".into()];
+/// let (switches, rest) = ags::cli::split_switches(&args, &["smoke"]);
+/// assert_eq!(switches, ["smoke"]);
+/// assert_eq!(rest, ["--jobs", "2"]);
+/// ```
+pub fn split_switches(args: &[String], switches: &[&str]) -> (Vec<String>, Vec<String>) {
+    let mut present = Vec::new();
+    let mut rest = Vec::new();
+    for arg in args {
+        match arg.strip_prefix("--") {
+            Some(name) if switches.contains(&name) => present.push(name.to_owned()),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    (present, rest)
+}
+
 /// Reads an integer flag with a default.
 ///
 /// # Errors
@@ -153,6 +178,23 @@ mod tests {
     fn parse_flags_rejects_positional_and_dangling() {
         assert!(parse_flags(&["radix".into()]).is_err());
         assert!(parse_flags(&["--workload".into()]).is_err());
+    }
+
+    #[test]
+    fn switches_are_split_before_strict_parsing() {
+        let args: Vec<String> = ["--smoke", "--jobs", "4", "--seed", "7"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (switches, rest) = split_switches(&args, &["smoke"]);
+        assert_eq!(switches, ["smoke"]);
+        let f = parse_flags(&rest).unwrap();
+        assert_eq!(f["jobs"], "4");
+        assert_eq!(f["seed"], "7");
+        // Unknown bare flags still fail strict parsing downstream.
+        let (none, rest) = split_switches(&args, &[]);
+        assert!(none.is_empty());
+        assert!(parse_flags(&rest).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod cli;
 
 pub use ags_core as scheduling;
 pub use p7_control as control;
+pub use p7_faults as faults;
 pub use p7_pdn as pdn;
 pub use p7_power as power;
 pub use p7_sensors as sensors;

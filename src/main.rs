@@ -11,11 +11,11 @@
 
 use ags::cli::{
     flag_jobs, flag_mode, flag_placement, flag_seed, flag_usize, parse_flags, required_workload,
-    Flags,
+    split_switches, Flags,
 };
 use ags::control::GuardbandMode;
 use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
-use ags::sim::{CachedExperiment, Experiment, SweepEngine, SweepReport, SweepSpec};
+use ags::sim::{CachedExperiment, Experiment, ResilienceSpec, SweepEngine, SweepReport, SweepSpec};
 use ags::workloads::Catalog;
 use std::process::ExitCode;
 
@@ -25,7 +25,14 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `resilience` takes bare switches; everything else is strict
+    // `--flag value` pairs.
+    let switch_names: &[&str] = match command {
+        "resilience" => &["smoke"],
+        _ => &[],
+    };
+    let (switches, tail) = split_switches(&args[1..], switch_names);
+    let flags = match parse_flags(&tail) {
         Ok(flags) => flags,
         Err(message) => {
             eprintln!("error: {message}");
@@ -36,6 +43,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "run" => cmd_run(&flags),
         "sweep" => cmd_sweep(&flags),
+        "resilience" => cmd_resilience(&flags, switches.iter().any(|s| s == "smoke")),
         "borrow" => cmd_borrow(&flags),
         "cluster" => cmd_cluster(&flags),
         "help" | "--help" | "-h" => {
@@ -69,6 +77,12 @@ USAGE:
       Run a full sweep grid from a JSON spec (or the built-in fig10 grid)
       on N parallel workers. Results are identical at any worker count;
       throughput/cache stats go to stderr.
+  ags resilience [--smoke] [--jobs N] [--seed S]
+      Run the fault-injection campaign: every shipped fault scenario
+      against the supervised undervolting stack. Reports savings
+      retained, margin violations with and without the supervisor, and
+      floor compliance; exits non-zero if any cell is unsafe.
+      --smoke runs the shortened CI variant.
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
@@ -230,6 +244,38 @@ fn print_stats(report: &SweepReport) {
         s.cache.hits,
         s.cache.misses
     );
+}
+
+fn cmd_resilience(flags: &Flags, smoke: bool) -> Result<(), String> {
+    let mut spec = if smoke {
+        ResilienceSpec::smoke()
+    } else {
+        ResilienceSpec::power7plus()
+    };
+    spec.seed = flag_seed(flags)?;
+    let report = spec.run(flag_jobs(flags)?).map_err(|e| e.to_string())?;
+    print!("{}", report.table());
+    let safe = report.all_safe();
+    println!(
+        "campaign: {} cells, {} — supervised margin violations: {}, unsupervised: {}",
+        report.results.len(),
+        if safe { "all safe" } else { "UNSAFE" },
+        report
+            .results
+            .iter()
+            .map(|r| r.margin_violations)
+            .sum::<u64>(),
+        report
+            .results
+            .iter()
+            .map(|r| r.unsupervised_violations)
+            .sum::<u64>()
+    );
+    if safe {
+        Ok(())
+    } else {
+        Err("campaign unsafe: a supervised cell violated the margin or breached the floor".into())
+    }
 }
 
 fn cmd_borrow(flags: &Flags) -> Result<(), String> {

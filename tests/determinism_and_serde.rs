@@ -60,6 +60,32 @@ fn public_types_are_serializable() {
     assert_serde::<ags::scheduling::QuantumReport>();
     assert_serde::<ags::pdn::DropBreakdown>();
     assert_serde::<ags::control::GuardbandPolicy>();
+    assert_serde::<ags::control::SupervisorConfig>();
+    assert_serde::<ags::faults::FaultPlan>();
+    assert_serde::<ags::sim::ResilienceSpec>();
+    assert_serde::<ags::sim::ScenarioResult>();
+}
+
+#[test]
+fn fault_plans_round_trip_through_json() {
+    let scenarios = ags::faults::FaultPlan::scenarios();
+    assert!(!scenarios.is_empty());
+    for plan in &scenarios {
+        let reparsed = ags::faults::FaultPlan::from_json(&plan.to_json())
+            .unwrap_or_else(|e| panic!("scenario `{}` failed round trip: {e}", plan.name));
+        assert_eq!(plan, &reparsed, "scenario `{}` drifted", plan.name);
+        assert_eq!(plan.fingerprint(), reparsed.fingerprint());
+    }
+    // Fingerprints are the cache-key discriminator: all distinct, and
+    // never the fault-free sentinel 0.
+    let mut prints: Vec<u64> = scenarios
+        .iter()
+        .map(ags::faults::FaultPlan::fingerprint)
+        .collect();
+    prints.sort_unstable();
+    prints.dedup();
+    assert_eq!(prints.len(), scenarios.len());
+    assert!(!prints.contains(&0));
 }
 
 #[test]

@@ -1,13 +1,71 @@
 //! Property-based tests of the core invariants, across randomized
 //! configurations and workloads.
 
-use ags::control::{FirmwareController, GuardbandMode, GuardbandPolicy, VoltFreqCurve};
+use ags::control::{
+    FirmwareController, GuardbandMode, GuardbandPolicy, SupervisorConfig, VoltFreqCurve,
+};
+use ags::faults::{
+    AmesterLoss, BankDropout, DeadCpm, DriftingCpm, DroopStorm, FaultKind, FaultPlan,
+    MissedFirmware, SensorBias, SensorNoise, StuckCpm,
+};
 use ags::pdn::{DidtConfig, DidtModel, PdnConfig, PdnGrid, Rail};
 use ags::sensors::CpmBank;
 use ags::sim::{Assignment, Experiment, ServerConfig};
 use ags::types::{Amps, MegaHertz, Ohms, Seconds, Volts};
 use ags::workloads::{Catalog, ExecutionModel, PlacementShape, Suite, WorkloadProfile};
 use proptest::prelude::*;
+
+/// One packed fault event: `(kind selector, socket, core, slot,
+/// magnitude byte, onset, duration)`. Decoded by [`decode_fault`].
+type PackedFault = (u8, usize, usize, usize, u8, usize, usize);
+
+/// Decodes a packed tuple into a valid [`FaultKind`], spreading the
+/// magnitude byte across whichever parameters the kind has.
+fn decode_fault(sel: u8, socket: usize, core: usize, slot: usize, mag: u8) -> FaultKind {
+    match sel % 9 {
+        0 => FaultKind::StuckCpm(StuckCpm {
+            socket,
+            core,
+            slot,
+            reading: mag % 12,
+        }),
+        1 => FaultKind::DeadCpm(DeadCpm { socket, core, slot }),
+        2 => FaultKind::DriftingCpm(DriftingCpm {
+            socket,
+            core,
+            slot,
+            start: mag % 12,
+            taps_per_window: (f64::from(mag % 9) - 4.0) * 0.5,
+        }),
+        3 => FaultKind::BankDropout(BankDropout { socket }),
+        4 => FaultKind::AmesterLoss(AmesterLoss { socket }),
+        5 => FaultKind::SensorBias(SensorBias {
+            socket,
+            amps: f64::from(mag) - 128.0,
+        }),
+        6 => FaultKind::SensorNoise(SensorNoise {
+            socket,
+            amps_std: f64::from(mag) * 0.2,
+        }),
+        7 => FaultKind::MissedFirmware(MissedFirmware { socket }),
+        _ => FaultKind::DroopStorm(DroopStorm {
+            socket,
+            typical_scale: 1.0 + f64::from(mag % 20) * 0.05,
+            worst_scale: 1.0 + f64::from(mag) * 0.01,
+            ramp_windows: usize::from(mag % 8),
+        }),
+    }
+}
+
+/// Assembles a validated plan from packed events.
+fn decode_plan(seed: u64, events: &[PackedFault]) -> FaultPlan {
+    let mut plan = FaultPlan::new("prop", seed);
+    for &(sel, socket, core, slot, mag, onset, duration) in events {
+        plan = plan.event(onset, duration, decode_fault(sel, socket, core, slot, mag));
+    }
+    plan.validate().expect("generated plans are always valid");
+    plan
+}
 
 proptest! {
     #[test]
@@ -167,6 +225,53 @@ proptest! {
         prop_assert!(
             oc.summary.avg_running_freq.0 >= st.summary.avg_running_freq.0 - 1.0
         );
+    }
+
+    #[test]
+    fn arbitrary_fault_plans_never_pull_the_rail_below_the_floor(
+        events in prop::collection::vec(
+            (0u8..9, 0usize..2, 0usize..8, 0usize..5, 0u8..=255, 0usize..25, 1usize..12),
+            1..6,
+        ),
+        plan_seed in 0u64..1_000_000,
+        seed in 0u64..100,
+        threads in 1usize..=8,
+    ) {
+        // No combination of lying sensors, lost telemetry, frozen
+        // firmware and droop storms may drag the rail set point below
+        // the residual-guardband floor — supervised or not.
+        let plan = decode_plan(plan_seed, &events);
+        let cfg = ServerConfig::power7plus(seed);
+        let fw = FirmwareController::new(cfg.target_frequency, cfg.policy.clone()).unwrap();
+        let floor = fw.voltage_floor(&cfg.curve);
+        let nominal = cfg.nominal_voltage();
+        let w = Catalog::power7plus().get("raytrace").unwrap().clone();
+        let a = Assignment::single_socket(&w, threads).unwrap();
+        let exp = Experiment::with_config(cfg, ExecutionModel::power7plus())
+            .with_ticks(20, 5)
+            .with_faults(plan);
+        for supervise in [false, true] {
+            let mut sim = exp.build_simulation(&a, GuardbandMode::Undervolt).unwrap();
+            if supervise {
+                sim.enable_supervisor(SupervisorConfig::power7plus()).unwrap();
+            }
+            let (_, history) = sim.run_with_history(20, 5);
+            for rec in history.records() {
+                for s in &rec.sockets {
+                    prop_assert!(
+                        s.set_point >= floor - Volts(1e-9),
+                        "set point {} below floor {} (supervised: {supervise})",
+                        s.set_point,
+                        floor
+                    );
+                    prop_assert!(
+                        s.set_point <= nominal + Volts(1e-9),
+                        "set point {} above nominal (supervised: {supervise})",
+                        s.set_point
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Acceptance tests for the fault-injection campaign: under every
+//! shipped fault scenario the safety supervisor must keep the rail out
+//! of the danger zone — zero margin violations, never below the
+//! residual-guardband floor — while degrading gracefully instead of
+//! giving up all savings.
+
+use ags::control::GuardbandMode;
+use ags::sim::{ResilienceSpec, SimEventKind};
+use ags::workloads::Catalog;
+
+/// One shared campaign run: the engine is deterministic, so every
+/// assertion below reads from the same report a production
+/// `ags resilience` invocation would print.
+fn campaign() -> ags::sim::ResilienceReport {
+    ResilienceSpec::power7plus()
+        .run(2)
+        .expect("default campaign must run")
+}
+
+#[test]
+fn every_shipped_scenario_is_safe_under_supervision() {
+    let report = campaign();
+    assert_eq!(
+        report.results.len(),
+        report.spec.len(),
+        "campaign must cover the full scenario × mode grid"
+    );
+    for cell in &report.results {
+        assert_eq!(
+            cell.margin_violations, 0,
+            "supervised run of `{}` violated the droop margin {} times",
+            cell.scenario, cell.margin_violations
+        );
+        assert!(
+            cell.floor_respected(),
+            "`{}` pulled the rail to {:.1} mV, below the {:.1} mV floor",
+            cell.scenario,
+            cell.min_set_point.millivolts(),
+            cell.floor.millivolts()
+        );
+    }
+    assert!(report.all_safe());
+}
+
+#[test]
+fn supervisor_eliminates_droop_storm_violations() {
+    let report = campaign();
+    let storm = report
+        .get("droop-storm", GuardbandMode::Undervolt)
+        .expect("droop-storm cell present");
+    // Without the supervisor the frozen-firmware storm burst drives the
+    // margin negative; with it the socket is parked at nominal in time.
+    assert!(
+        storm.unsupervised_violations > 0,
+        "scenario no longer exposes any danger — tighten the storm"
+    );
+    assert_eq!(storm.margin_violations, 0);
+    assert!(storm.trips >= 1, "supervisor never tripped");
+    assert!(storm.rearms >= 1, "supervisor never re-armed");
+    assert!(storm.degraded_windows > 0);
+}
+
+#[test]
+fn graceful_degradation_retains_savings_where_faults_allow() {
+    let report = campaign();
+    for cell in &report.results {
+        assert!(
+            (0.0..=100.0 + 1e-6).contains(&cell.savings_retained_percent),
+            "`{}` retained {:.1}% — outside [0, 100]",
+            cell.scenario,
+            cell.savings_retained_percent
+        );
+    }
+    // A storm confined to the VRM's telemetry sensor never touches the
+    // control loop, so nothing is sacrificed; a dead CPM quarantines
+    // the socket for most of the run and gives up nearly everything.
+    let sensor = report
+        .get("vrm-sensor-storm", GuardbandMode::Undervolt)
+        .unwrap();
+    let dead = report.get("dead-cpm", GuardbandMode::Undervolt).unwrap();
+    assert!(sensor.savings_retained_percent > 95.0);
+    assert!(dead.savings_retained_percent < sensor.savings_retained_percent);
+}
+
+#[test]
+fn campaign_records_the_fault_and_supervisor_timeline() {
+    let report = campaign();
+    let storm = report.get("droop-storm", GuardbandMode::Undervolt).unwrap();
+    let has = |pred: fn(&SimEventKind) -> bool| storm.events.iter().any(|e| pred(&e.kind));
+    assert!(has(|k| matches!(k, SimEventKind::FaultStarted(_))));
+    assert!(has(|k| matches!(k, SimEventKind::FaultEnded(_))));
+    assert!(has(|k| matches!(k, SimEventKind::Degraded(_))));
+    assert!(has(|k| matches!(k, SimEventKind::Rearmed)));
+}
+
+#[test]
+fn smoke_campaign_is_a_strict_subset_sized_for_ci() {
+    let spec = ResilienceSpec::smoke();
+    spec.validate(&Catalog::power7plus()).unwrap();
+    assert_eq!(spec.scenarios, ResilienceSpec::power7plus().scenarios);
+    assert!(spec.measure_ticks < ResilienceSpec::power7plus().measure_ticks);
+    let report = spec.run(2).expect("smoke campaign must run");
+    assert!(report.all_safe(), "{}", report.table());
+}

@@ -7,6 +7,7 @@
 //! a property test over randomly-shaped specs.
 
 use ags::control::GuardbandMode;
+use ags::faults::FaultPlan;
 use ags::sim::{Placement, SolveCache, SweepEngine, SweepSpec};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -153,6 +154,35 @@ proptest! {
         let parallel = engine(5).run(&spec).expect("parallel sweep");
         prop_assert_eq!(serial.results.len(), spec.len());
         prop_assert_eq!(serial.stats.cache.misses, spec.len() as u64);
+        prop_assert_eq!(serial.results_json(), parallel.results_json());
+    }
+
+    #[test]
+    fn faulted_sweeps_are_worker_count_invariant(
+        scenario_idx in 0usize..32,
+        plan_seed in 0u64..1_000_000,
+        workload_mask in 1u32..64,
+        core_mask in 1u32..256,
+        seed in 0u64..1_000_000,
+    ) {
+        // Fault effects are pure functions of (plan, tick, socket), so a
+        // faulted grid must stay bitwise identical at any worker count —
+        // including plans whose stochastic effects draw from their seed.
+        let scenarios = FaultPlan::scenarios();
+        let mut plan = scenarios[scenario_idx % scenarios.len()].clone();
+        plan.seed = plan_seed;
+        let spec = SweepSpec::new(
+            pick(&POOL.map(str::to_owned), workload_mask),
+            (1..=8).filter(|c| core_mask & (1 << (c - 1)) != 0).collect(),
+        )
+        .with_modes(vec![GuardbandMode::StaticGuardband, GuardbandMode::Undervolt])
+        .with_seed(seed)
+        .with_ticks(5, 2)
+        .with_faults(plan);
+
+        let serial = engine(1).run(&spec).expect("serial faulted sweep");
+        let parallel = engine(6).run(&spec).expect("parallel faulted sweep");
+        prop_assert_eq!(serial.results.len(), spec.len());
         prop_assert_eq!(serial.results_json(), parallel.results_json());
     }
 }
