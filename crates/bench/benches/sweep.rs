@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use p7_control::GuardbandMode;
 use p7_sim::sweep::SolveCache;
-use p7_sim::{Assignment, Experiment, SweepEngine, SweepSpec};
+use p7_sim::{Assignment, DurableOptions, Experiment, SweepEngine, SweepRunOptions, SweepSpec};
 use p7_workloads::Catalog;
 
 const WORKLOADS: [&str; 3] = ["raytrace", "lu_cb", "mcf"];
@@ -74,9 +74,96 @@ fn engine_warm(c: &mut Criterion) {
     });
 }
 
+/// The campaign-scale grid the journal-overhead pair runs on: large
+/// enough (1152 points) that the journal's fixed cost — one fsynced
+/// manifest write per run — amortizes the way it does on a real
+/// campaign, instead of dominating a micro sweep.
+fn campaign_spec() -> SweepSpec {
+    use p7_sim::Placement;
+    SweepSpec::new(
+        [
+            "raytrace",
+            "lu_cb",
+            "mcf",
+            "gcc",
+            "bwaves",
+            "namd",
+            "ferret",
+            "freqmine",
+            "swaptions",
+            "radix",
+            "barnes",
+            "fft",
+            "hmmer",
+            "sjeng",
+            "milc",
+            "povray",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect(),
+        vec![1, 2, 3, 4, 5, 6, 7, 8],
+    )
+    .with_placements(vec![
+        Placement::SingleSocket,
+        Placement::Consolidated,
+        Placement::Borrowed,
+    ])
+    .with_modes(vec![
+        GuardbandMode::StaticGuardband,
+        GuardbandMode::Undervolt,
+        GuardbandMode::Overclock,
+    ])
+    .with_ticks(10, 5)
+}
+
+fn engine_campaign_warm(c: &mut Criterion) {
+    let spec = campaign_spec();
+    let engine = SweepEngine::with_cache(1, Arc::new(SolveCache::new()));
+    engine.run(&spec).unwrap();
+    c.bench_function("sweep_campaign_warm", |b| {
+        b.iter(|| black_box(engine.run(&spec).unwrap().stats.cache.hits));
+    });
+}
+
+fn engine_campaign_warm_journaled(c: &mut Criterion) {
+    // The campaign-scale warm sweep with a fresh crash-consistent journal
+    // per run: the delta against `sweep_campaign_warm` is the checkpoint
+    // overhead EXPERIMENTS.md quotes. Memoization hits are not journaled
+    // (they cost nothing to reproduce on resume), so a fully warm run
+    // pays only the fixed manifest write.
+    let spec = campaign_spec();
+    let engine = SweepEngine::with_cache(1, Arc::new(SolveCache::new()));
+    engine.run(&spec).unwrap();
+    let base = std::env::temp_dir().join(format!("ags-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&base).ok();
+    let mut run = 0u64;
+    c.bench_function("sweep_campaign_warm_journaled", |b| {
+        b.iter(|| {
+            // Each run needs a fresh journal directory; cleanup happens
+            // once at the end so only journal writes land in the timing.
+            run += 1;
+            let dir = base.join(run.to_string());
+            let options = SweepRunOptions {
+                durable: DurableOptions::journaled(&dir),
+                panic_injector: None,
+            };
+            let hits = engine
+                .run_durable(&spec, &options)
+                .unwrap()
+                .stats
+                .cache
+                .hits;
+            black_box(hits)
+        });
+    });
+    std::fs::remove_dir_all(&base).ok();
+}
+
 criterion_group!(
     name = sweep;
     config = Criterion::default().sample_size(10);
-    targets = seed_serial_path, engine_cold, engine_warm
+    targets = seed_serial_path, engine_cold, engine_warm,
+        engine_campaign_warm, engine_campaign_warm_journaled
 );
 criterion_main!(sweep);

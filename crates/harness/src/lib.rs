@@ -1,0 +1,79 @@
+//! Process-level harness for long guardband campaigns.
+//!
+//! The simulator crate is `#![forbid(unsafe_code)]`, but turning SIGINT
+//! and SIGTERM into a cooperative [`CancelToken`] cancellation needs one
+//! `unsafe` FFI call to POSIX `signal(2)`. That single call lives here,
+//! behind an async-signal-safe handler that does nothing but an atomic
+//! store: durable campaign runs observe the token between grid points,
+//! flush their journal, and return `SimError::Interrupted` so the CLI
+//! can exit with the distinct "interrupted, resumable" status code.
+
+#![warn(missing_docs)]
+
+use p7_sim::CancelToken;
+use std::sync::OnceLock;
+
+/// POSIX SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX SIGTERM (default `kill`).
+pub const SIGTERM: i32 = 15;
+
+/// The token the signal handler trips. Installed once per process: the
+/// handler may run at any instant on any thread, so it must never
+/// observe a half-updated target.
+static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+/// Async-signal-safe: `OnceLock::get` is a lock-free read once set, and
+/// [`CancelToken::cancel`] is a single atomic store.
+extern "C" fn handle_cancel_signal(_signum: i32) {
+    if let Some(token) = TOKEN.get() {
+        token.cancel();
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    /// POSIX `signal(2)`. The return value (previous disposition or
+    /// `SIG_ERR`) is pointer-sized on every supported target.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs SIGINT/SIGTERM handlers that cancel `token` cooperatively.
+///
+/// Returns `false` (and installs nothing) if handlers were already
+/// installed for another token in this process — the first caller wins,
+/// matching the one-campaign-per-process CLI model. On non-Unix targets
+/// the token is registered but no handler is installed, so runs are
+/// simply not signal-cancellable there.
+pub fn install_cancel_on_signals(token: &CancelToken) -> bool {
+    if TOKEN.set(token.clone()).is_err() {
+        return false;
+    }
+    #[cfg(unix)]
+    // SAFETY: `handle_cancel_signal` is async-signal-safe (atomic load +
+    // atomic store, no allocation, no locks) and stays valid for the
+    // process lifetime; `signal` itself cannot violate memory safety for
+    // these two catchable signal numbers.
+    unsafe {
+        signal(SIGINT, handle_cancel_signal);
+        signal(SIGTERM, handle_cancel_signal);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_install_wins_and_wires_the_token() {
+        let token = CancelToken::new();
+        assert!(install_cancel_on_signals(&token));
+        // A second token is refused; the first stays wired.
+        let other = CancelToken::new();
+        assert!(!install_cancel_on_signals(&other));
+        handle_cancel_signal(SIGINT);
+        assert!(token.is_cancelled());
+        assert!(!other.is_cancelled());
+    }
+}

@@ -1,0 +1,22 @@
+//! End-to-end check that the real POSIX handler is installed: raise(2)
+//! the signal and observe the token trip instead of process death.
+
+use ags_harness::{install_cancel_on_signals, SIGTERM};
+use p7_sim::CancelToken;
+
+#[cfg(unix)]
+extern "C" {
+    fn raise(signum: i32) -> i32;
+}
+
+#[cfg(unix)]
+#[test]
+fn raised_sigterm_trips_the_token_instead_of_killing() {
+    let token = CancelToken::new();
+    assert!(install_cancel_on_signals(&token));
+    // SAFETY: raising a signal we just installed a handler for.
+    unsafe {
+        raise(SIGTERM);
+    }
+    assert!(token.is_cancelled());
+}

@@ -37,6 +37,25 @@ pub enum SimError {
         /// What was wrong.
         reason: String,
     },
+    /// A malformed sweep or campaign spec (bad JSON or wrong shape).
+    Spec {
+        /// What was wrong with the text.
+        reason: String,
+    },
+    /// A campaign-journal problem: an unreadable directory, a corrupt
+    /// manifest or segment, or a manifest that does not match the spec
+    /// being resumed.
+    Journal {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A campaign was cancelled cooperatively (SIGINT/SIGTERM) after
+    /// flushing its journal; re-running with `--resume` continues it.
+    Interrupted {
+        /// The journal directory holding the completed points, if the
+        /// run was journaled.
+        journal: Option<String>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +69,14 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { reason } => write!(f, "invalid server config: {reason}"),
             SimError::InvalidAssignment { reason } => write!(f, "invalid assignment: {reason}"),
             SimError::Resilience { reason } => write!(f, "resilience: {reason}"),
+            SimError::Spec { reason } => write!(f, "invalid spec: {reason}"),
+            SimError::Journal { reason } => write!(f, "journal: {reason}"),
+            SimError::Interrupted { journal: Some(dir) } => {
+                write!(f, "interrupted; resume with --resume {dir}")
+            }
+            SimError::Interrupted { journal: None } => {
+                write!(f, "interrupted (no journal to resume from)")
+            }
         }
     }
 }

@@ -1,0 +1,1077 @@
+//! Durability layer for long-running campaigns: crash-consistent
+//! journals, panic-isolated workers and cooperative cancellation.
+//!
+//! Real guardband characterization runs on machines that crash *by
+//! design* — margin sweeps hang or reboot the target — so a campaign
+//! that loses hours of completed grid points to one panic or a Ctrl-C is
+//! unusable at production scale. This module gives the sweep and
+//! resilience engines three ingredients:
+//!
+//! * [`Journal`] — a checksummed on-disk log of completed point results.
+//!   Every checkpoint is one *segment* file written
+//!   write-temp-then-rename and fsynced, so a crash at any instant
+//!   leaves only whole, verifiable segments behind. A
+//!   [`CampaignManifest`] written at creation pins the exact spec
+//!   (canonical JSON + fingerprint + seed), and a resume refuses a
+//!   journal whose manifest does not match.
+//! * [`run_durable_indexed`] — the worker loop shared by both engines:
+//!   per-point `catch_unwind` isolation with bounded backoff retries
+//!   (a persistently panicking point is quarantined as a
+//!   [`FailedPoint`] instead of killing the run), incremental journal
+//!   checkpoints, and cooperative cancellation.
+//! * [`CancelToken`] — a clonable flag the CLI wires to SIGINT/SIGTERM;
+//!   workers observe it between points, the coordinator flushes the
+//!   journal and the run returns [`SimError::Interrupted`].
+//!
+//! Determinism: the journal stores each completed point's serialized
+//! result, and the JSON float form is Rust's shortest round-trip, so a
+//! resumed campaign reconstructs bit-identical values and produces
+//! byte-identical reports to an uninterrupted run at any worker count.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// On-disk journal format version; bumped on incompatible layout change.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// File name of the manifest inside a journal directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Magic tag on the first line of every segment file.
+const SEGMENT_MAGIC: &str = "p7-journal-segment";
+
+/// A clonable cooperative cancellation flag.
+///
+/// The CLI installs SIGINT/SIGTERM handlers that call
+/// [`CancelToken::cancel`]; durable runs observe the token between
+/// points, flush their journal and return [`SimError::Interrupted`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Only stores an atomic flag, so it is safe
+    /// to call from a signal handler.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Bounded-retry policy for panicking points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per point (>= 1) before it is quarantined.
+    pub max_attempts: usize,
+    /// Base backoff before retry `k`, slept as `backoff_ms << (k - 1)`.
+    pub backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The default campaign policy: three attempts, 10 ms base backoff.
+    #[must_use]
+    pub fn power7plus() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 10,
+        }
+    }
+
+    /// A single attempt, no backoff — quarantine on the first panic.
+    #[must_use]
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_ms: 0,
+        }
+    }
+
+    /// The sleep before retry attempt `attempt` (1-based failed tries).
+    #[must_use]
+    pub fn backoff_before(&self, attempt: usize) -> Duration {
+        let shift = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
+        Duration::from_millis(self.backoff_ms.checked_shl(shift).unwrap_or(u64::MAX))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::power7plus()
+    }
+}
+
+/// A grid point (or campaign cell) that kept panicking after bounded
+/// retries and was quarantined instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailedPoint {
+    /// Grid/cell index in the spec's deterministic expansion order.
+    pub index: usize,
+    /// How many attempts were made before quarantining.
+    pub attempts: usize,
+    /// The panic payload of the final attempt.
+    pub reason: String,
+}
+
+/// The identity of a campaign, written once at journal creation.
+///
+/// A resume compares the on-disk manifest against the manifest derived
+/// from the spec being run; any mismatch (different spec JSON, seed or
+/// campaign kind) refuses the journal, so stale results can never leak
+/// into a different campaign's report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Campaign family: `"sweep"` or `"resilience"`.
+    pub kind: String,
+    /// On-disk format version ([`JOURNAL_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// The spec's master seed, duplicated out of the JSON for cheap
+    /// mismatch messages.
+    pub seed: u64,
+    /// FNV-1a fingerprint of `spec_json`.
+    pub fingerprint: u64,
+    /// The canonical JSON of the full spec, so `--resume` can rebuild
+    /// the campaign without re-supplying flags.
+    pub spec_json: String,
+}
+
+impl CampaignManifest {
+    /// Builds the manifest of a campaign from its canonical spec JSON.
+    #[must_use]
+    pub fn new(kind: &str, seed: u64, spec_json: String) -> Self {
+        CampaignManifest {
+            kind: kind.to_owned(),
+            format_version: JOURNAL_FORMAT_VERSION,
+            seed,
+            fingerprint: fnv64(spec_json.as_bytes()),
+            spec_json,
+        }
+    }
+
+    /// Checks that `on_disk` describes the same campaign as `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] naming the first mismatching field.
+    pub fn ensure_matches(&self, on_disk: &CampaignManifest) -> Result<(), SimError> {
+        let refuse = |reason: String| Err(SimError::Journal { reason });
+        if on_disk.format_version != self.format_version {
+            return refuse(format!(
+                "journal format v{} does not match this binary's v{}",
+                on_disk.format_version, self.format_version
+            ));
+        }
+        if on_disk.kind != self.kind {
+            return refuse(format!(
+                "journal belongs to a `{}` campaign, not `{}`",
+                on_disk.kind, self.kind
+            ));
+        }
+        if on_disk.seed != self.seed {
+            return refuse(format!(
+                "journal seed {} does not match spec seed {}",
+                on_disk.seed, self.seed
+            ));
+        }
+        if on_disk.fingerprint != self.fingerprint || on_disk.spec_json != self.spec_json {
+            return refuse(format!(
+                "journal spec fingerprint {:016x} does not match this spec's {:016x}; \
+                 resuming a different spec would corrupt the report",
+                on_disk.fingerprint, self.fingerprint
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How a durable run uses its on-disk journal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum JournalMode {
+    /// No journal: the run is all-or-nothing (the pre-durability
+    /// behavior, and the allocation-free hot path).
+    #[default]
+    Off,
+    /// Create a fresh journal at the directory; refuses a directory that
+    /// already holds a manifest.
+    Start(PathBuf),
+    /// Resume from an existing journal after verifying its manifest,
+    /// then keep appending to it.
+    Resume(PathBuf),
+}
+
+/// Shared knobs of a durable run (journal, cancellation, retries).
+#[derive(Debug, Clone, Default)]
+pub struct DurableOptions {
+    /// Where completed points are checkpointed, if anywhere.
+    pub journal: JournalMode,
+    /// Cooperative cancellation flag (wire to SIGINT/SIGTERM).
+    pub cancel: CancelToken,
+    /// Panic retry/quarantine policy.
+    pub retry: RetryPolicy,
+    /// Completed points per checkpoint segment; 0 means
+    /// [`DEFAULT_CHECKPOINT_EVERY`].
+    pub checkpoint_every: usize,
+}
+
+/// Default number of completed points per journal segment.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 16;
+
+impl DurableOptions {
+    /// Options that journal into `dir` (fresh run).
+    #[must_use]
+    pub fn journaled(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            journal: JournalMode::Start(dir.into()),
+            ..DurableOptions::default()
+        }
+    }
+
+    /// Options that resume from the journal at `dir`.
+    #[must_use]
+    pub fn resumed(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            journal: JournalMode::Resume(dir.into()),
+            ..DurableOptions::default()
+        }
+    }
+
+    /// The effective checkpoint interval.
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> usize {
+        if self.checkpoint_every == 0 {
+            DEFAULT_CHECKPOINT_EVERY
+        } else {
+            self.checkpoint_every
+        }
+    }
+}
+
+/// A crash-consistent, checksummed on-disk journal of `(index, result)`
+/// entries.
+///
+/// Layout: a directory holding `manifest.json` plus numbered segment
+/// files `seg-00000000.json`, each written atomically
+/// (write-temp-then-rename, fsynced file and directory). A segment's
+/// first line carries an FNV-1a checksum of its JSON payload, so a
+/// half-written or bit-rotted segment is detected and skipped on load —
+/// its points simply re-run.
+#[derive(Debug)]
+pub struct Journal<T> {
+    dir: PathBuf,
+    next_segment: u64,
+    _entries: PhantomData<fn() -> T>,
+}
+
+impl<T: Serialize + Deserialize> Journal<T> {
+    /// Creates a fresh journal directory and durably writes `manifest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] when the directory already holds a
+    /// manifest (use [`Journal::resume`]) or on any I/O failure.
+    pub fn create(dir: &Path, manifest: &CampaignManifest) -> Result<Self, SimError> {
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(SimError::Journal {
+                reason: format!(
+                    "`{}` already holds a journal; pass it to --resume instead",
+                    dir.display()
+                ),
+            });
+        }
+        fs::create_dir_all(dir).map_err(|e| io_error(dir, "create journal directory", &e))?;
+        let text = serde::json::to_string(manifest);
+        write_atomic(&dir.join(MANIFEST_FILE), text.as_bytes())?;
+        Ok(Journal {
+            dir: dir.to_owned(),
+            next_segment: 0,
+            _entries: PhantomData,
+        })
+    }
+
+    /// Opens an existing journal, verifies its manifest against
+    /// `expected`, and loads every intact segment's entries.
+    ///
+    /// Corrupt or truncated segments (a crash mid-checkpoint) are
+    /// skipped — their points re-run — and reported in
+    /// [`ResumedJournal::skipped_segments`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] when the directory holds no
+    /// readable manifest or the manifest mismatches `expected`.
+    pub fn resume(dir: &Path, expected: &CampaignManifest) -> Result<ResumedJournal<T>, SimError> {
+        let on_disk = read_manifest(dir)?;
+        expected.ensure_matches(&on_disk)?;
+        let mut names: Vec<String> = Vec::new();
+        let listing = fs::read_dir(dir).map_err(|e| io_error(dir, "list journal", &e))?;
+        for entry in listing {
+            let entry = entry.map_err(|e| io_error(dir, "list journal", &e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("seg-") && name.ends_with(".json") {
+                names.push(name);
+            }
+        }
+        names.sort_unstable();
+        let mut entries = Vec::new();
+        let mut skipped = 0usize;
+        let mut max_segment = None::<u64>;
+        for name in &names {
+            if let Some(number) = segment_number(name) {
+                max_segment = Some(max_segment.map_or(number, |m| m.max(number)));
+            }
+            match read_segment::<T>(&dir.join(name)) {
+                Ok(mut batch) => entries.append(&mut batch),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok(ResumedJournal {
+            journal: Journal {
+                dir: dir.to_owned(),
+                next_segment: max_segment.map_or(0, |m| m + 1),
+                _entries: PhantomData,
+            },
+            entries,
+            skipped_segments: skipped,
+        })
+    }
+
+    /// Durably appends one segment holding `entries`. A no-op for an
+    /// empty batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] on any I/O failure.
+    pub fn append(&mut self, entries: &[(usize, T)]) -> Result<(), SimError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let body = serde::json::to_string(&entries);
+        let content = format!(
+            "{SEGMENT_MAGIC} v{JOURNAL_FORMAT_VERSION} crc={:016x} entries={}\n{body}",
+            fnv64(body.as_bytes()),
+            entries.len()
+        );
+        let name = format!("seg-{:08}.json", self.next_segment);
+        write_atomic(&self.dir.join(name), content.as_bytes())?;
+        self.next_segment += 1;
+        Ok(())
+    }
+
+    /// The journal directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl JournalMode {
+    /// Opens the journal this mode describes: [`JournalMode::Off`]
+    /// yields none, [`JournalMode::Start`] creates a fresh journal
+    /// stamped with `manifest`, [`JournalMode::Resume`] verifies the
+    /// on-disk manifest and recovers every intact segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] as [`Journal::create`] /
+    /// [`Journal::resume`] do.
+    pub fn open<T: Serialize + Deserialize>(
+        &self,
+        manifest: &CampaignManifest,
+    ) -> Result<OpenedJournal<T>, SimError> {
+        match self {
+            JournalMode::Off => Ok(OpenedJournal {
+                journal: None,
+                entries: Vec::new(),
+                skipped_segments: 0,
+            }),
+            JournalMode::Start(dir) => Ok(OpenedJournal {
+                journal: Some(Journal::create(dir, manifest)?),
+                entries: Vec::new(),
+                skipped_segments: 0,
+            }),
+            JournalMode::Resume(dir) => {
+                let resumed = Journal::resume(dir, manifest)?;
+                Ok(OpenedJournal {
+                    journal: Some(resumed.journal),
+                    entries: resumed.entries,
+                    skipped_segments: resumed.skipped_segments,
+                })
+            }
+        }
+    }
+}
+
+/// The journal handle and recovered state produced by
+/// [`JournalMode::open`].
+#[derive(Debug)]
+pub struct OpenedJournal<T> {
+    /// The journal to append checkpoints to, if journaling is on.
+    pub journal: Option<Journal<T>>,
+    /// Entries recovered on resume (empty for `Off`/`Start`).
+    pub entries: Vec<(usize, T)>,
+    /// Segments skipped as corrupt on resume.
+    pub skipped_segments: usize,
+}
+
+/// A [`Journal`] reopened for resume, with its recovered entries.
+#[derive(Debug)]
+pub struct ResumedJournal<T> {
+    /// The journal, positioned to append after the last intact segment.
+    pub journal: Journal<T>,
+    /// Every `(index, result)` recovered from intact segments.
+    pub entries: Vec<(usize, T)>,
+    /// Segments dropped for a checksum/parse failure (crash tails).
+    pub skipped_segments: usize,
+}
+
+/// Reads and parses a journal directory's manifest.
+///
+/// # Errors
+///
+/// Returns [`SimError::Journal`] when the directory holds no readable,
+/// well-formed manifest.
+pub fn read_manifest(dir: &Path) -> Result<CampaignManifest, SimError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = fs::read_to_string(&path).map_err(|e| io_error(&path, "read manifest", &e))?;
+    serde::json::from_str(&text).map_err(|e| SimError::Journal {
+        reason: format!("corrupt manifest `{}`: {e}", path.display()),
+    })
+}
+
+fn segment_number(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+fn read_segment<T: Deserialize>(path: &Path) -> Result<Vec<(usize, T)>, SimError> {
+    let text = fs::read_to_string(path).map_err(|e| io_error(path, "read segment", &e))?;
+    let corrupt = |what: &str| SimError::Journal {
+        reason: format!("corrupt segment `{}`: {what}", path.display()),
+    };
+    let (header, body) = text.split_once('\n').ok_or_else(|| corrupt("no header"))?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(SEGMENT_MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    let crc = fields
+        .find_map(|f| f.strip_prefix("crc="))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| corrupt("no checksum"))?;
+    if fnv64(body.as_bytes()) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    serde::json::from_str(body).map_err(|e| corrupt(&e.to_string()))
+}
+
+fn io_error(path: &Path, action: &str, e: &std::io::Error) -> SimError {
+    SimError::Journal {
+        reason: format!("cannot {action} `{}`: {e}", path.display()),
+    }
+}
+
+/// Atomic durable write: temp file in the same directory, fsync, rename
+/// over the final name, fsync the directory.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SimError> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut file = File::create(&tmp).map_err(|e| io_error(&tmp, "create", &e))?;
+    file.write_all(bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_error(&tmp, "write", &e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_error(path, "rename into", &e))?;
+    // Make the rename itself durable. Directories open read-only on
+    // Unix; elsewhere this is best-effort.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// FNV-1a, the workspace's standard cheap fingerprint (same constants as
+/// the sweep module's seed derivation).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The merged output of one durable run.
+#[derive(Debug)]
+pub(crate) struct DurableOutcome<T> {
+    /// Per-index results; `None` marks a quarantined point (its
+    /// [`FailedPoint`] is in `failed`).
+    pub results: Vec<Option<T>>,
+    /// Quarantined points, ordered by index.
+    pub failed: Vec<FailedPoint>,
+}
+
+/// What one point's isolated attempt loop produced. `Done`'s flag is
+/// the solver's journal-worthiness verdict: `false` marks a result that
+/// is free to reproduce (a memoization hit), so checkpointing it would
+/// cost I/O and buy no durability.
+enum Solved<T> {
+    Done(T, bool),
+    Hard(SimError),
+    Quarantined(FailedPoint),
+}
+
+/// Runs `f` over `0..n` like `sweep::run_indexed_with`, adding the
+/// durability contract: per-point panic isolation with retries and
+/// quarantine, resume (indices in `completed` are not re-run),
+/// incremental journal checkpoints and cooperative cancellation. `f`
+/// returns its result plus a journal-worthiness flag; results flagged
+/// `false` (memoization hits, free to reproduce) merge into the report
+/// but are never checkpointed.
+///
+/// Results are merged by index regardless of scheduling, so — given the
+/// same spec — the outcome is identical at any worker count and across
+/// any interrupt/resume split.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed hard [`SimError`] raised by `f`, a
+/// [`SimError::Journal`] if checkpointing fails, or
+/// [`SimError::Interrupted`] when `opts.cancel` fired; in every error
+/// case all completed results have already been flushed to the journal.
+pub(crate) fn run_durable_indexed<S, T, I, F>(
+    jobs: usize,
+    n: usize,
+    chunk: usize,
+    init: I,
+    f: F,
+    opened: OpenedJournal<T>,
+    opts: &DurableOptions,
+) -> Result<DurableOutcome<T>, SimError>
+where
+    T: Send + Sync + Clone + Serialize + Deserialize,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<(T, bool), SimError> + Sync,
+{
+    let OpenedJournal {
+        journal: mut journal_store,
+        entries: completed,
+        ..
+    } = opened;
+    let mut journal = journal_store.as_mut();
+    let chunk = chunk.max(1);
+    let jobs = crate::sweep::resolve_jobs(jobs).min(n.max(1));
+    let checkpoint_every = opts.checkpoint_interval();
+    let done: HashMap<usize, &T> = completed
+        .iter()
+        .filter(|(idx, _)| *idx < n)
+        .map(|(idx, value)| (*idx, value))
+        .collect();
+
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut failed: Vec<FailedPoint> = Vec::new();
+    let mut first_error: Option<(usize, SimError)> = None;
+    let mut pending: Vec<(usize, T)> = Vec::new();
+    let mut journal_error: Option<SimError> = None;
+
+    // One place handles every solved point, serial or parallel: merge
+    // into the index slot, stage journal entries, flush full segments.
+    let mut absorb = |idx: usize,
+                      solved: Solved<T>,
+                      results: &mut Vec<Option<T>>,
+                      failed: &mut Vec<FailedPoint>,
+                      first_error: &mut Option<(usize, SimError)>,
+                      pending: &mut Vec<(usize, T)>,
+                      journal_error: &mut Option<SimError>| {
+        match solved {
+            Solved::Done(value, journal_worthy) => {
+                if journal_worthy && journal.is_some() && journal_error.is_none() {
+                    pending.push((idx, value.clone()));
+                }
+                results[idx] = Some(value);
+            }
+            Solved::Hard(e) => {
+                if first_error.as_ref().is_none_or(|(lowest, _)| idx < *lowest) {
+                    *first_error = Some((idx, e));
+                }
+            }
+            Solved::Quarantined(point) => failed.push(point),
+        }
+        if pending.len() >= checkpoint_every {
+            if let Some(j) = journal.as_deref_mut() {
+                if let Err(e) = j.append(pending) {
+                    // Stop staging (and cancel workers): results keep
+                    // merging, but the run reports the I/O failure.
+                    *journal_error = Some(e);
+                    opts.cancel.cancel();
+                }
+            }
+            pending.clear();
+        }
+    };
+
+    if jobs <= 1 {
+        let mut state = init();
+        for idx in 0..n {
+            if opts.cancel.is_cancelled() {
+                break;
+            }
+            if done.contains_key(&idx) {
+                continue;
+            }
+            let solved = attempt_point(&f, &mut state, idx, &opts.retry, &init);
+            absorb(
+                idx,
+                solved,
+                &mut results,
+                &mut failed,
+                &mut first_error,
+                &mut pending,
+                &mut journal_error,
+            );
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Solved<T>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let (f, init, done, next, cancel) = (&f, &init, &done, &next, &opts.cancel);
+                let retry = &opts.retry;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        if cancel.is_cancelled() {
+                            return;
+                        }
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            return;
+                        }
+                        for idx in start..(start + chunk).min(n) {
+                            if cancel.is_cancelled() {
+                                return;
+                            }
+                            if done.contains_key(&idx) {
+                                continue;
+                            }
+                            let solved = attempt_point(f, &mut state, idx, retry, init);
+                            if tx.send((idx, solved)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // The coordinator drains while workers run, so checkpoints
+            // land as points complete, not at the end.
+            for (idx, solved) in rx {
+                absorb(
+                    idx,
+                    solved,
+                    &mut results,
+                    &mut failed,
+                    &mut first_error,
+                    &mut pending,
+                    &mut journal_error,
+                );
+            }
+        });
+    }
+
+    // Final flush: whatever completed since the last full segment.
+    if journal_error.is_none() {
+        if let Some(j) = journal.as_deref_mut() {
+            if let Err(e) = j.append(&pending) {
+                journal_error = Some(e);
+            }
+        }
+    }
+    if let Some(e) = journal_error {
+        return Err(e);
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    if opts.cancel.is_cancelled() {
+        return Err(SimError::Interrupted {
+            journal: journal.map(|j| j.dir().display().to_string()),
+        });
+    }
+
+    // Resumed entries fill their slots last, so a fresh solve of the
+    // same index (impossible, but harmless) would not be overwritten.
+    for (idx, value) in completed {
+        if idx < n && results[idx].is_none() {
+            results[idx] = Some(value);
+        }
+    }
+    failed.sort_unstable_by_key(|p| p.index);
+    Ok(DurableOutcome { results, failed })
+}
+
+/// One point's isolated attempt loop: `catch_unwind` around `f`, bounded
+/// backoff retries, quarantine after the final panic. A hard `SimError`
+/// is returned immediately — the solve is deterministic, so config
+/// errors do not benefit from retries. The worker's scratch state is
+/// rebuilt after every caught panic, since the unwound solve may have
+/// left it mid-tick.
+fn attempt_point<S, T, I, F>(
+    f: &F,
+    state: &mut S,
+    idx: usize,
+    retry: &RetryPolicy,
+    init: &I,
+) -> Solved<T>
+where
+    I: Fn() -> S,
+    F: Fn(&mut S, usize) -> Result<(T, bool), SimError>,
+{
+    let attempts = retry.max_attempts.max(1);
+    let mut reason = String::new();
+    for attempt in 1..=attempts {
+        match catch_unwind(AssertUnwindSafe(|| f(state, idx))) {
+            Ok(Ok((value, journal_worthy))) => return Solved::Done(value, journal_worthy),
+            Ok(Err(e)) => return Solved::Hard(e),
+            Err(payload) => {
+                reason = panic_message(payload.as_ref());
+                *state = init();
+                if attempt < attempts {
+                    std::thread::sleep(retry.backoff_before(attempt));
+                }
+            }
+        }
+    }
+    Solved::Quarantined(FailedPoint {
+        index: idx,
+        attempts,
+        reason,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("p7-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> CampaignManifest {
+        CampaignManifest::new("sweep", 42, "{\"spec\":true}".to_owned())
+    }
+
+    /// An [`OpenedJournal`] with no backing journal, as `JournalMode::Off`
+    /// (or a resume whose journal handle the test does not need) yields.
+    fn recovered<T>(entries: Vec<(usize, T)>) -> OpenedJournal<T> {
+        OpenedJournal {
+            journal: None,
+            entries,
+            skipped_segments: 0,
+        }
+    }
+
+    /// An [`OpenedJournal`] appending to `journal`, as `JournalMode::Start`
+    /// yields.
+    fn journaling<T>(journal: Journal<T>) -> OpenedJournal<T> {
+        OpenedJournal {
+            journal: Some(journal),
+            entries: Vec::new(),
+            skipped_segments: 0,
+        }
+    }
+
+    #[test]
+    fn cancel_token_round_trip() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn retry_backoff_doubles() {
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_ms: 10,
+        };
+        assert_eq!(retry.backoff_before(1), Duration::from_millis(10));
+        assert_eq!(retry.backoff_before(3), Duration::from_millis(40));
+        assert_eq!(RetryPolicy::no_retry().backoff_before(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn manifest_matching_refuses_every_mismatch() {
+        let m = manifest();
+        assert!(m.ensure_matches(&m.clone()).is_ok());
+        let mut other = m.clone();
+        other.kind = "resilience".to_owned();
+        assert!(matches!(
+            m.ensure_matches(&other),
+            Err(SimError::Journal { .. })
+        ));
+        let mut other = m.clone();
+        other.seed = 7;
+        assert!(m.ensure_matches(&other).is_err());
+        let other = CampaignManifest::new("sweep", 42, "{\"spec\":false}".to_owned());
+        assert!(m.ensure_matches(&other).is_err());
+        let mut other = m.clone();
+        other.format_version += 1;
+        assert!(m.ensure_matches(&other).is_err());
+    }
+
+    #[test]
+    fn journal_round_trips_segments() {
+        let dir = tmp_dir("round-trip");
+        let m = manifest();
+        let mut journal: Journal<(usize, f64)> = Journal::create(&dir, &m).unwrap();
+        journal.append(&[(0, (0, 1.5)), (2, (2, -0.25))]).unwrap();
+        journal.append(&[]).unwrap(); // no-op, no file
+        journal.append(&[(1, (1, 0.1))]).unwrap();
+
+        // A second create on the same directory must refuse.
+        assert!(matches!(
+            Journal::<(usize, f64)>::create(&dir, &m),
+            Err(SimError::Journal { .. })
+        ));
+
+        let resumed = Journal::<(usize, f64)>::resume(&dir, &m).unwrap();
+        assert_eq!(resumed.skipped_segments, 0);
+        assert_eq!(
+            resumed.entries,
+            vec![(0, (0, 1.5)), (2, (2, -0.25)), (1, (1, 0.1))]
+        );
+        // New segments continue after the recovered ones.
+        assert_eq!(resumed.journal.next_segment, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segments_are_skipped_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let m = manifest();
+        let mut journal: Journal<usize> = Journal::create(&dir, &m).unwrap();
+        journal.append(&[(0, 10)]).unwrap();
+        journal.append(&[(1, 11)]).unwrap();
+        // Flip a byte in the second segment's payload.
+        let seg = dir.join("seg-00000001.json");
+        let mut text = fs::read_to_string(&seg).unwrap();
+        text.push_str("garbage");
+        fs::write(&seg, text).unwrap();
+        // And drop a truncated crash-tail with no newline at all.
+        fs::write(dir.join("seg-00000002.json"), "p7-journal-seg").unwrap();
+
+        let resumed = Journal::<usize>::resume(&dir, &m).unwrap();
+        assert_eq!(resumed.entries, vec![(0, 10)]);
+        assert_eq!(resumed.skipped_segments, 2);
+        // Appending never reuses a recovered (even corrupt) segment name.
+        assert_eq!(resumed.journal.next_segment, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_wrong_manifest_and_missing_journal() {
+        let dir = tmp_dir("mismatch");
+        let m = manifest();
+        let _journal: Journal<usize> = Journal::create(&dir, &m).unwrap();
+        let other = CampaignManifest::new("sweep", 43, "{\"spec\":true}".to_owned());
+        let err = Journal::<usize>::resume(&dir, &other).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        assert!(Journal::<usize>::resume(&tmp_dir("absent"), &m).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_run_quarantines_and_resumes() {
+        let opts = DurableOptions {
+            retry: RetryPolicy::no_retry(),
+            ..DurableOptions::default()
+        };
+        // Index 3 always panics; indices 0 and 5 were already completed.
+        let completed = vec![(0usize, 100usize), (5, 105)];
+        let ran = std::sync::Mutex::new(Vec::new());
+        let out = run_durable_indexed(
+            2,
+            8,
+            2,
+            || (),
+            |(), idx| {
+                ran.lock().unwrap().push(idx);
+                assert!(idx != 3, "injected panic at index 3");
+                Ok((idx + 100, true))
+            },
+            recovered(completed),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!(out.failed[0].index, 3);
+        assert_eq!(out.failed[0].attempts, 1);
+        assert!(out.failed[0].reason.contains("injected panic"));
+        for idx in 0..8 {
+            if idx == 3 {
+                assert!(out.results[idx].is_none());
+            } else {
+                assert_eq!(out.results[idx], Some(idx + 100));
+            }
+        }
+        let ran = ran.into_inner().unwrap();
+        assert!(!ran.contains(&0) && !ran.contains(&5), "resumed re-ran");
+    }
+
+    #[test]
+    fn durable_run_reports_lowest_indexed_hard_error() {
+        let opts = DurableOptions::default();
+        let err = run_durable_indexed::<_, usize, _, _>(
+            3,
+            6,
+            1,
+            || (),
+            |(), idx| {
+                if idx % 2 == 1 {
+                    Err(SimError::InvalidAssignment {
+                        reason: format!("boom {idx}"),
+                    })
+                } else {
+                    Ok((idx, true))
+                }
+            },
+            recovered(Vec::new()),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("boom 1"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_run_flushes_journal_and_reports_interrupted() {
+        let dir = tmp_dir("cancelled");
+        let m = manifest();
+        let journal: Journal<usize> = Journal::create(&dir, &m).unwrap();
+        let opts = DurableOptions {
+            checkpoint_every: 1,
+            ..DurableOptions::default()
+        };
+        let cancel = opts.cancel.clone();
+        let err = run_durable_indexed(
+            1,
+            10,
+            1,
+            || (),
+            |(), idx| {
+                if idx == 4 {
+                    cancel.cancel();
+                }
+                Ok((idx * 2, true))
+            },
+            journaling(journal),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Interrupted { journal: Some(_) }));
+        let resumed = Journal::<usize>::resume(&dir, &m).unwrap();
+        // Points 0..=4 completed (the cancelling point included) and
+        // were flushed before the run returned.
+        assert_eq!(
+            resumed.entries,
+            (0..5).map(|i| (i, i * 2)).collect::<Vec<_>>()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unworthy_results_merge_but_are_not_checkpointed() {
+        let dir = tmp_dir("hits");
+        let m = manifest();
+        let journal: Journal<usize> = Journal::create(&dir, &m).unwrap();
+        let opts = DurableOptions {
+            checkpoint_every: 1,
+            ..DurableOptions::default()
+        };
+        // Odd indices are "memoization hits": free to reproduce, so the
+        // journal must skip them while the report still includes them.
+        let out = run_durable_indexed(
+            1,
+            6,
+            1,
+            || (),
+            |(), idx| Ok((idx, idx % 2 == 0)),
+            journaling(journal),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.results.iter().flatten().count(), 6);
+        let resumed = Journal::<usize>::resume(&dir, &m).unwrap();
+        assert_eq!(resumed.entries, vec![(0, 0), (2, 2), (4, 4)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_retries_rebuild_worker_state() {
+        // The first attempt poisons its scratch state then panics; the
+        // retry must see freshly-initialized state.
+        let opts = DurableOptions {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff_ms: 0,
+            },
+            ..DurableOptions::default()
+        };
+        let out = run_durable_indexed(
+            1,
+            1,
+            1,
+            || true, // state: "clean"
+            |clean, idx| {
+                if *clean {
+                    *clean = false;
+                    panic!("first attempt fails");
+                }
+                // Retry: state was rebuilt, so `clean` is true again —
+                // reaching here means the rebuild did NOT happen.
+                Ok((idx, true))
+            },
+            recovered(Vec::new()),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.failed.len(), 1, "retry saw stale state");
+        assert_eq!(out.failed[0].attempts, 2);
+    }
+}

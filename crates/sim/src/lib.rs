@@ -39,6 +39,7 @@ pub mod config;
 pub mod error;
 pub mod experiment;
 pub mod history;
+pub mod journal;
 pub mod measure;
 pub mod resilience;
 pub mod server;
@@ -49,10 +50,13 @@ pub use config::ServerConfig;
 pub use error::SimError;
 pub use experiment::{Experiment, Outcome, DEFAULT_MEASURE_TICKS, DEFAULT_WARMUP_TICKS};
 pub use history::{History, SimEvent, SimEventKind, TickRecord};
+pub use journal::{
+    CampaignManifest, CancelToken, DurableOptions, FailedPoint, Journal, JournalMode, RetryPolicy,
+};
 pub use measure::{RunSummary, SocketMetrics};
 pub use resilience::{ResilienceReport, ResilienceSpec, ScenarioResult};
 pub use server::Simulation;
 pub use sweep::{
-    CachedExperiment, GridPoint, Placement, PointResult, SolveCache, SweepEngine, SweepReport,
-    SweepSpec,
+    CachedExperiment, GridPoint, PanicInjector, Placement, PointResult, SolveCache, SweepEngine,
+    SweepReport, SweepRunOptions, SweepSpec, DEFAULT_CACHE_CAPACITY,
 };

@@ -25,7 +25,7 @@ use crate::assignment::Assignment;
 use crate::error::SimError;
 use crate::experiment::Experiment;
 use crate::history::SimEvent;
-use crate::sweep::run_indexed;
+use crate::journal::{run_durable_indexed, CampaignManifest, DurableOptions, FailedPoint};
 use p7_control::{FirmwareController, GuardbandMode, SupervisorConfig};
 use p7_faults::FaultPlan;
 use p7_types::{SocketId, Volts};
@@ -147,6 +147,32 @@ impl ResilienceSpec {
     /// Returns [`SimError`] when the spec is invalid or a solve fails;
     /// with several failures the lowest-indexed cell's error is reported.
     pub fn run(&self, jobs: usize) -> Result<ResilienceReport, SimError> {
+        self.run_durable(jobs, &DurableOptions::default())
+    }
+
+    /// The campaign identity a journal of this spec is stamped with.
+    #[must_use]
+    pub fn manifest(&self) -> CampaignManifest {
+        CampaignManifest::new("resilience", self.seed, serde::json::to_string(self))
+    }
+
+    /// [`ResilienceSpec::run`] with the durability contract: an optional
+    /// crash-consistent journal of completed cells (resumable after a
+    /// crash or SIGKILL), per-cell panic isolation with bounded retries
+    /// and quarantine into [`ResilienceReport::failed_cells`], and
+    /// cooperative cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ResilienceSpec::run`] reports, plus
+    /// [`SimError::Journal`] for journal I/O or manifest mismatch and
+    /// [`SimError::Interrupted`] when the cancel token fired (the
+    /// journal, if any, is flushed first).
+    pub fn run_durable(
+        &self,
+        jobs: usize,
+        durable: &DurableOptions,
+    ) -> Result<ResilienceReport, SimError> {
         let catalog = Catalog::power7plus();
         self.validate(&catalog)?;
         let profile = catalog.require(&self.workload)?.clone();
@@ -154,17 +180,39 @@ impl ResilienceSpec {
         let cells: Vec<(usize, usize)> = (0..self.scenarios.len())
             .flat_map(|s| (0..self.modes.len()).map(move |m| (s, m)))
             .collect();
-        let solved = run_indexed(jobs, cells.len(), |idx| {
-            let (s, m) = cells[idx];
-            self.run_cell(&assignment, &self.scenarios[s], self.modes[m])
-        });
-        let mut results = Vec::with_capacity(solved.len());
-        for cell in solved {
-            results.push(cell?);
+
+        let manifest = self.manifest();
+        let opened = durable.journal.open::<ScenarioResult>(&manifest)?;
+        for (idx, cell) in &opened.entries {
+            let matches_grid = cells.get(*idx).is_some_and(|&(s, m)| {
+                cell.scenario == self.scenarios[s].name && cell.mode == self.modes[m]
+            });
+            if !matches_grid {
+                return Err(SimError::Journal {
+                    reason: format!("recovered entry {idx} does not match the campaign's cells"),
+                });
+            }
         }
+
+        let solved = run_durable_indexed(
+            jobs,
+            cells.len(),
+            1,
+            || (),
+            |(), idx| {
+                let (s, m) = cells[idx];
+                // Cells are never memoized, so every one is journal-worthy.
+                self.run_cell(&assignment, &self.scenarios[s], self.modes[m])
+                    .map(|cell| (cell, true))
+            },
+            opened,
+            durable,
+        )?;
+
         Ok(ResilienceReport {
             spec: self.clone(),
-            results,
+            results: solved.results.into_iter().flatten().collect(),
+            failed_cells: solved.failed,
         })
     }
 
@@ -288,7 +336,12 @@ pub struct ResilienceReport {
     /// The spec that was run.
     pub spec: ResilienceSpec,
     /// One result per (scenario, mode) cell, scenario-major.
+    /// Quarantined cells are absent here and listed in
+    /// [`ResilienceReport::failed_cells`] instead.
     pub results: Vec<ScenarioResult>,
+    /// Cells quarantined after bounded panic retries, ordered by index.
+    /// Empty on a healthy campaign.
+    pub failed_cells: Vec<FailedPoint>,
 }
 
 impl ResilienceReport {
@@ -300,14 +353,16 @@ impl ResilienceReport {
             .find(|r| r.scenario == scenario && r.mode == mode)
     }
 
-    /// True when no supervised cell violated the margin and every rail
-    /// stayed at or above the firmware floor — the campaign's safety
-    /// acceptance gate.
+    /// True when every cell actually ran (none quarantined), no
+    /// supervised cell violated the margin and every rail stayed at or
+    /// above the firmware floor — the campaign's safety acceptance gate.
     #[must_use]
     pub fn all_safe(&self) -> bool {
-        self.results
-            .iter()
-            .all(|r| r.margin_violations == 0 && r.floor_respected())
+        self.failed_cells.is_empty()
+            && self
+                .results
+                .iter()
+                .all(|r| r.margin_violations == 0 && r.floor_respected())
     }
 
     /// The deterministic payload: the results serialized as JSON.

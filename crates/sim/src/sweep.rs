@@ -26,12 +26,14 @@
 use crate::assignment::Assignment;
 use crate::error::SimError;
 use crate::experiment::{Experiment, Outcome};
+use crate::journal::{fnv64, run_durable_indexed, CampaignManifest, DurableOptions, FailedPoint};
 use crate::server::Simulation;
 use p7_control::GuardbandMode;
 use p7_faults::FaultPlan;
 use p7_workloads::{Catalog, ExecutionModel, WorkloadProfile};
 use serde::{de, Deserialize, Serialize, Value};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -293,10 +295,20 @@ impl SweepSpec {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message when the text is not valid JSON
-    /// or does not describe a sweep spec.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        serde::json::from_str(text).map_err(|e| format!("invalid sweep spec: {e}"))
+    /// Returns [`SimError::Spec`] when the text is not valid JSON or
+    /// does not describe a sweep spec — the same error type the CLI and
+    /// journal-manifest validation report, so every spec-shaped failure
+    /// carries one kind of context.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        serde::json::from_str(text).map_err(|e| SimError::Spec {
+            reason: format!("sweep spec: {e}"),
+        })
+    }
+
+    /// The campaign identity a journal of this spec is stamped with.
+    #[must_use]
+    pub fn manifest(&self) -> CampaignManifest {
+        CampaignManifest::new("sweep", self.seed, self.to_json())
     }
 
     /// Checks that every dimension is non-empty, every workload exists
@@ -362,6 +374,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct entries currently stored.
     pub entries: usize,
+    /// Entries dropped by capacity eviction over the cache's lifetime.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -392,6 +406,11 @@ struct SolveKey {
     fault_fingerprint: u64,
 }
 
+/// Default capacity of a [`SolveCache`] (entries). An entry holds one
+/// `Outcome` (~1 KiB), so the default bounds the cache to tens of MiB —
+/// week-long campaigns stop growing the process without bound.
+pub const DEFAULT_CACHE_CAPACITY: usize = 16_384;
+
 /// Memoization table for steady-state solves, shared across threads.
 ///
 /// The key fingerprints everything a solve depends on: the full server
@@ -399,18 +418,48 @@ struct SolveKey {
 /// profiles, active-core set), the guardband mode and the tick counts.
 /// Two racing workers may both miss on the same key; the solve is
 /// deterministic, so whichever insert lands last stores the same bytes.
-#[derive(Debug, Default)]
+///
+/// Capacity is bounded (see [`DEFAULT_CACHE_CAPACITY`]): when an insert
+/// would exceed it, roughly half the entries are evicted in one coarse
+/// pass. Eviction only ever costs re-solves — results are unaffected.
+#[derive(Debug)]
 pub struct SolveCache {
     map: Mutex<HashMap<SolveKey, Arc<Outcome>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        SolveCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl SolveCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     #[must_use]
     pub fn new() -> Self {
         SolveCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SolveCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum number of entries kept before coarse eviction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The process-wide shared cache. Figure binaries, the CLI and the
@@ -495,6 +544,41 @@ impl SolveCache {
     where
         F: FnOnce() -> Result<Outcome, SimError>,
     {
+        self.solve_with_status(
+            experiment_fp,
+            assignment_fp,
+            mode,
+            measure_ticks,
+            warmup_ticks,
+            fault_fp,
+            solve,
+        )
+        .map(|(outcome, _)| outcome)
+    }
+
+    /// [`SolveCache::solve_with`], also reporting whether the outcome
+    /// was computed by the closure (`true`, a miss) or served from the
+    /// cache (`false`, a hit). Durable sweeps journal only computed
+    /// points: a hit costs nothing to reproduce after a crash, so
+    /// checkpointing it would buy no durability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the miss closure fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_status<F>(
+        &self,
+        experiment_fp: u64,
+        assignment_fp: u64,
+        mode: GuardbandMode,
+        measure_ticks: usize,
+        warmup_ticks: usize,
+        fault_fp: u64,
+        solve: F,
+    ) -> Result<(Arc<Outcome>, bool), SimError>
+    where
+        F: FnOnce() -> Result<Outcome, SimError>,
+    {
         let key = SolveKey {
             config_fingerprint: experiment_fp,
             assignment_fingerprint: assignment_fp,
@@ -505,15 +589,26 @@ impl SolveCache {
         };
         if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+            return Ok((hit.clone(), false));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let outcome = Arc::new(solve()?);
-        self.map
-            .lock()
-            .expect("cache lock")
-            .insert(key, outcome.clone());
-        Ok(outcome)
+        let mut map = self.map.lock().expect("cache lock");
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // Coarse eviction: drop about half the entries in one pass.
+            // Arbitrary victims are fine — the cache only buys speed,
+            // never correctness — and halving amortizes the sweep cost.
+            let drop_n = (map.len() / 2).max(1);
+            let victims: Vec<SolveKey> = map.keys().take(drop_n).cloned().collect();
+            for victim in &victims {
+                map.remove(victim);
+            }
+            self.evictions
+                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        }
+        map.insert(key, outcome.clone());
+        drop(map);
+        Ok((outcome, true))
     }
 
     /// Current counters.
@@ -523,6 +618,7 @@ impl SolveCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().expect("cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -636,8 +732,13 @@ impl SweepStats {
 pub struct SweepReport {
     /// The spec that was run.
     pub spec: SweepSpec,
-    /// One result per grid point, ordered by grid index.
+    /// One result per solved grid point, ordered by grid index.
+    /// Quarantined points are absent here and listed in
+    /// [`SweepReport::failed_points`] instead.
     pub results: Vec<PointResult>,
+    /// Grid points quarantined after bounded panic retries, ordered by
+    /// index. Empty on a healthy run.
+    pub failed_points: Vec<FailedPoint>,
     /// Throughput and cache counters (not part of the deterministic
     /// payload — see [`SweepReport::results_json`]).
     pub stats: SweepStats,
@@ -717,6 +818,29 @@ impl SweepReport {
     }
 }
 
+/// A test hook deciding whether solving a grid point should panic.
+/// Exercises the quarantine path without touching the solver.
+pub type PanicInjector = Arc<dyn Fn(&GridPoint) -> bool + Send + Sync>;
+
+/// Options for [`SweepEngine::run_durable`]: journaling, cancellation,
+/// retry policy, and the panic-injection test hook.
+#[derive(Default)]
+pub struct SweepRunOptions {
+    /// Journal, cancellation and retry settings.
+    pub durable: DurableOptions,
+    /// When set, points the injector selects panic instead of solving.
+    pub panic_injector: Option<PanicInjector>,
+}
+
+impl fmt::Debug for SweepRunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepRunOptions")
+            .field("durable", &self.durable)
+            .field("panic_injector", &self.panic_injector.is_some())
+            .finish()
+    }
+}
+
 /// The parallel sweep runner.
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
@@ -762,6 +886,30 @@ impl SweepEngine {
     /// several failures the lowest-indexed one is reported, so errors
     /// are deterministic too.
     pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, SimError> {
+        self.run_durable(spec, &SweepRunOptions::default())
+    }
+
+    /// [`SweepEngine::run`] with the durability contract: an optional
+    /// crash-consistent journal of completed points (resumable after a
+    /// crash or SIGKILL), per-point panic isolation with bounded retries
+    /// and quarantine, and cooperative cancellation.
+    ///
+    /// An interrupted-then-resumed run produces byte-identical reports
+    /// to an uninterrupted run at any worker count: results merge by
+    /// grid index and the journal round-trips every float in Rust's
+    /// shortest round-trip form.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SweepEngine::run`] reports, plus
+    /// [`SimError::Journal`] for journal I/O or manifest mismatch and
+    /// [`SimError::Interrupted`] when the cancel token fired (the
+    /// journal, if any, is flushed first).
+    pub fn run_durable(
+        &self,
+        spec: &SweepSpec,
+        options: &SweepRunOptions,
+    ) -> Result<SweepReport, SimError> {
         let catalog = Catalog::power7plus();
         spec.validate(&catalog)?;
         let profiles: Vec<WorkloadProfile> = spec
@@ -809,27 +957,44 @@ impl SweepEngine {
             });
         }
 
+        let manifest = spec.manifest();
+        let opened = options.durable.journal.open::<PointResult>(&manifest)?;
+        // The manifest fingerprint already pins the spec, so a recovered
+        // entry that disagrees with the grid means on-disk corruption
+        // that slipped past the segment checksums — refuse it.
+        for (idx, result) in &opened.entries {
+            if *idx >= points.len() || result.point != points[*idx] {
+                return Err(SimError::Journal {
+                    reason: format!("recovered entry {idx} does not match the spec's grid"),
+                });
+            }
+        }
+
         // Chunked claiming hands all modes of one assignment block to the
         // same worker, so its scratch simulation is reset — not rebuilt —
         // between modes.
-        let solved = run_indexed_with(
+        let solved = run_durable_indexed(
             self.jobs,
             points.len(),
             modes_per_block,
             || None,
             |scratch, idx| {
+                if let Some(inject) = &options.panic_injector {
+                    if inject(&points[idx]) {
+                        panic!("injected panic at grid point {idx}");
+                    }
+                }
                 let block_idx = idx / modes_per_block.max(1);
                 self.solve_point(&blocks[block_idx], &points[idx], block_idx, scratch)
             },
-        );
+            opened,
+            &options.durable,
+        )?;
 
-        let mut results = Vec::with_capacity(solved.len());
-        for solved_point in solved {
-            results.push(solved_point?);
-        }
         Ok(SweepReport {
             spec: spec.clone(),
-            results,
+            results: solved.results.into_iter().flatten().collect(),
+            failed_points: solved.failed,
             stats: SweepStats {
                 points: points.len(),
                 jobs: self.jobs,
@@ -839,14 +1004,16 @@ impl SweepEngine {
         })
     }
 
+    /// Solves one point, reporting whether it was freshly computed
+    /// (journal-worthy) or a cache hit (free to reproduce on resume).
     fn solve_point(
         &self,
         ctx: &BlockContext,
         point: &GridPoint,
         block_idx: usize,
         scratch: &mut Option<(usize, Simulation)>,
-    ) -> Result<PointResult, SimError> {
-        let outcome = self.cache.solve_with(
+    ) -> Result<(PointResult, bool), SimError> {
+        let (outcome, computed) = self.cache.solve_with_status(
             ctx.experiment_fp,
             ctx.assignment_fp,
             point.mode,
@@ -868,10 +1035,13 @@ impl SweepEngine {
                 ctx.experiment.run_with(sim, point.mode)
             },
         )?;
-        Ok(PointResult {
-            point: point.clone(),
-            outcome: (*outcome).clone(),
-        })
+        Ok((
+            PointResult {
+                point: point.clone(),
+                outcome: (*outcome).clone(),
+            },
+            computed,
+        ))
     }
 }
 
@@ -976,15 +1146,6 @@ pub fn experiment_fingerprint(experiment: &Experiment) -> u64 {
 
 fn fingerprint<T: Serialize + ?Sized>(value: &T) -> u64 {
     fnv64(serde::json::to_string(value).as_bytes())
-}
-
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 fn splitmix(mut z: u64) -> u64 {

@@ -3,9 +3,10 @@
 //! dispatches).
 
 use crate::control::GuardbandMode;
-use crate::sim::Placement;
+use crate::sim::{JournalMode, Placement};
 use crate::workloads::{Catalog, WorkloadProfile};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Parsed `--flag value` pairs.
 pub type Flags = HashMap<String, String>;
@@ -134,6 +135,33 @@ pub fn flag_mode(flags: &Flags) -> Result<GuardbandMode, String> {
     }
 }
 
+/// Reads the journal flags: `--journal DIR` starts a fresh journal,
+/// `--resume DIR` continues an existing one.
+///
+/// # Errors
+///
+/// Returns a message when both flags are given at once.
+pub fn flag_journal_mode(flags: &Flags) -> Result<JournalMode, String> {
+    match (flags.get("journal"), flags.get("resume")) {
+        (Some(_), Some(_)) => {
+            Err("--journal starts a fresh journal and --resume continues one; pass only one".into())
+        }
+        (Some(dir), None) => Ok(JournalMode::Start(PathBuf::from(dir))),
+        (None, Some(dir)) => Ok(JournalMode::Resume(PathBuf::from(dir))),
+        (None, None) => Ok(JournalMode::Off),
+    }
+}
+
+/// Reads the `--checkpoint` flag: completed points per journal segment
+/// (default 0 = the engine's default interval).
+///
+/// # Errors
+///
+/// Returns a message when the value does not parse.
+pub fn flag_checkpoint(flags: &Flags) -> Result<usize, String> {
+    flag_usize(flags, "checkpoint", 0)
+}
+
 /// Resolves the required `--workload` flag against the catalog.
 ///
 /// # Errors
@@ -235,6 +263,23 @@ mod tests {
             Placement::Borrowed
         );
         assert!(flag_placement(&flags(&[("placement", "spread")])).is_err());
+    }
+
+    #[test]
+    fn journal_flags_resolve_to_modes() {
+        assert_eq!(flag_journal_mode(&Flags::new()).unwrap(), JournalMode::Off);
+        assert_eq!(
+            flag_journal_mode(&flags(&[("journal", "j")])).unwrap(),
+            JournalMode::Start(PathBuf::from("j"))
+        );
+        assert_eq!(
+            flag_journal_mode(&flags(&[("resume", "j")])).unwrap(),
+            JournalMode::Resume(PathBuf::from("j"))
+        );
+        assert!(flag_journal_mode(&flags(&[("journal", "a"), ("resume", "b")])).is_err());
+        assert_eq!(flag_checkpoint(&Flags::new()).unwrap(), 0);
+        assert_eq!(flag_checkpoint(&flags(&[("checkpoint", "2")])).unwrap(), 2);
+        assert!(flag_checkpoint(&flags(&[("checkpoint", "x")])).is_err());
     }
 
     #[test]

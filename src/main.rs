@@ -10,14 +10,59 @@
 //! ```
 
 use ags::cli::{
-    flag_jobs, flag_mode, flag_placement, flag_seed, flag_usize, parse_flags, required_workload,
-    split_switches, Flags,
+    flag_checkpoint, flag_jobs, flag_journal_mode, flag_mode, flag_placement, flag_seed,
+    flag_usize, parse_flags, required_workload, split_switches, Flags,
 };
 use ags::control::GuardbandMode;
+use ags::harness::install_cancel_on_signals;
 use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
-use ags::sim::{CachedExperiment, Experiment, ResilienceSpec, SweepEngine, SweepReport, SweepSpec};
+use ags::sim::journal::read_manifest;
+use ags::sim::{
+    CachedExperiment, DurableOptions, Experiment, FailedPoint, JournalMode, ResilienceSpec,
+    SimError, SweepEngine, SweepReport, SweepRunOptions, SweepSpec,
+};
 use ags::workloads::Catalog;
+use std::io::Write as _;
 use std::process::ExitCode;
+
+/// Exit code of a cooperatively cancelled (SIGINT/SIGTERM) campaign
+/// whose journal was flushed: BSD `EX_TEMPFAIL`, "try again later" —
+/// re-run with `--resume` to continue.
+const EXIT_INTERRUPTED: u8 = 75;
+
+/// A command failure with its exit status.
+enum CliError {
+    /// Plain failure: message on stderr, exit 1.
+    Message(String),
+    /// Cancelled cooperatively after flushing the journal; exit
+    /// [`EXIT_INTERRUPTED`] so scripts can distinguish "resume me" from
+    /// "broken".
+    Interrupted {
+        /// The resumable journal directory, if the run was journaled.
+        journal: Option<String>,
+    },
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Message(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Message(message.to_owned())
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Interrupted { journal } => CliError::Interrupted { journal },
+            other => CliError::Message(other.to_string()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,24 +84,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command {
-        "list" => cmd_list(),
-        "run" => cmd_run(&flags),
+    let result: Result<(), CliError> = match command {
+        "list" => cmd_list().map_err(CliError::from),
+        "run" => cmd_run(&flags).map_err(CliError::from),
         "sweep" => cmd_sweep(&flags),
         "resilience" => cmd_resilience(&flags, switches.iter().any(|s| s == "smoke")),
-        "borrow" => cmd_borrow(&flags),
-        "cluster" => cmd_cluster(&flags),
+        "borrow" => cmd_borrow(&flags).map_err(CliError::from),
+        "cluster" => cmd_cluster(&flags).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `ags help`)")),
+        other => Err(CliError::Message(format!(
+            "unknown command `{other}` (try `ags help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Message(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Interrupted { journal }) => {
+            match journal {
+                Some(dir) => eprintln!("interrupted; resume with --resume {dir}"),
+                None => eprintln!("interrupted (no journal to resume from)"),
+            }
+            ExitCode::from(EXIT_INTERRUPTED)
         }
     }
 }
@@ -73,16 +127,24 @@ USAGE:
       P: single|consolidated|borrowed (default single). N: 1..8 (default 4).
   ags sweep --workload <name> [--mode M] [--seed S] [--jobs N]
       Sweep 1..8 active cores and print improvement over static guardband.
-  ags sweep --spec <file|fig10> [--jobs N] [--seed S]
+  ags sweep --spec <file|fig10> [--jobs N] [--seed S] [--csv FILE]
+            [--journal DIR | --resume DIR] [--checkpoint N]
       Run a full sweep grid from a JSON spec (or the built-in fig10 grid)
       on N parallel workers. Results are identical at any worker count;
-      throughput/cache stats go to stderr.
+      throughput/cache stats go to stderr. --journal checkpoints
+      completed points into DIR (crash-consistent, resumable); --resume
+      continues an interrupted journal — with no --spec the campaign is
+      rebuilt from the journal's manifest. SIGINT/SIGTERM flush the
+      journal and exit 75 (resumable). --csv also writes the grid as
+      CSV; resumed output is byte-identical to an uninterrupted run.
   ags resilience [--smoke] [--jobs N] [--seed S]
+                 [--journal DIR | --resume DIR] [--checkpoint N]
       Run the fault-injection campaign: every shipped fault scenario
       against the supervised undervolting stack. Reports savings
       retained, margin violations with and without the supervisor, and
       floor compliance; exits non-zero if any cell is unsafe.
-      --smoke runs the shortened CI variant.
+      --smoke runs the shortened CI variant. Journal flags behave as in
+      `ags sweep` (resume with the same --smoke/--seed flags).
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
@@ -143,14 +205,31 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+fn cmd_sweep(flags: &Flags) -> Result<(), CliError> {
     let engine = SweepEngine::new(flag_jobs(flags)?);
-    if let Some(spec_arg) = flags.get("spec") {
-        let spec = load_spec(spec_arg)?.with_seed(flag_seed(flags)?);
-        let report = engine.run(&spec).map_err(|e| e.to_string())?;
+    let journal_mode = flag_journal_mode(flags)?;
+    if flags.contains_key("spec") || matches!(journal_mode, JournalMode::Resume(_)) {
+        let spec = resolve_sweep_spec(flags, &journal_mode)?;
+        let options = SweepRunOptions {
+            durable: DurableOptions {
+                journal: journal_mode,
+                checkpoint_every: flag_checkpoint(flags)?,
+                ..DurableOptions::default()
+            },
+            panic_injector: None,
+        };
+        install_cancel_on_signals(&options.durable.cancel);
+        let report = engine.run_durable(&spec, &options)?;
         print_report(&report);
+        print_failed(&report.failed_points, "grid points");
+        if let Some(csv_path) = flags.get("csv") {
+            write_csv(&report, csv_path)?;
+        }
         print_stats(&report);
         return Ok(());
+    }
+    if journal_mode != JournalMode::Off || flags.contains_key("csv") {
+        return Err("--journal/--csv need a grid campaign: pass --spec <file|fig10>".into());
     }
 
     // Legacy single-workload sweep: 1..8 cores, adaptive mode vs static.
@@ -205,7 +284,90 @@ fn load_spec(arg: &str) -> Result<SweepSpec, String> {
     }
     let text =
         std::fs::read_to_string(arg).map_err(|e| format!("cannot read sweep spec `{arg}`: {e}"))?;
-    SweepSpec::from_json(&text)
+    SweepSpec::from_json(&text).map_err(|e| e.to_string())
+}
+
+/// The sweep campaign being run: from `--spec` when given (the journal
+/// manifest then cross-checks it), otherwise — on `--resume` — rebuilt
+/// from the journal's own manifest so a resume needs no flags beyond
+/// the directory. An explicit `--seed` must agree with the manifest.
+fn resolve_sweep_spec(flags: &Flags, journal_mode: &JournalMode) -> Result<SweepSpec, CliError> {
+    if let Some(spec_arg) = flags.get("spec") {
+        return Ok(load_spec(spec_arg)?.with_seed(flag_seed(flags)?));
+    }
+    let JournalMode::Resume(dir) = journal_mode else {
+        return Err("missing --spec <file|fig10>".into());
+    };
+    let manifest = read_manifest(dir)?;
+    if manifest.kind != "sweep" {
+        return Err(CliError::Message(format!(
+            "journal `{}` holds a `{}` campaign, not a sweep; use `ags {}`",
+            dir.display(),
+            manifest.kind,
+            manifest.kind
+        )));
+    }
+    let spec = SweepSpec::from_json(&manifest.spec_json)?;
+    if flags.contains_key("seed") && flag_seed(flags)? != spec.seed {
+        return Err(CliError::Message(format!(
+            "--seed {} does not match the journal's seed {}; drop the flag or pass --spec",
+            flag_seed(flags)?,
+            spec.seed
+        )));
+    }
+    Ok(spec)
+}
+
+/// Prints the quarantine section: points that kept panicking and were
+/// isolated instead of aborting the campaign. Silent when empty, so
+/// healthy runs keep their exact historical stdout.
+fn print_failed(failed: &[FailedPoint], what: &str) {
+    if failed.is_empty() {
+        return;
+    }
+    println!("quarantined {what} ({}):", failed.len());
+    for f in failed {
+        println!(
+            "{:>5}  after {} attempt{}: {}",
+            f.index,
+            f.attempts,
+            if f.attempts == 1 { "" } else { "s" },
+            f.reason
+        );
+    }
+}
+
+/// Writes the grid as CSV. Floats are formatted in Rust's shortest
+/// round-trip form (`{:?}`), so an interrupted-then-resumed campaign
+/// reproduces the reference file byte for byte.
+fn write_csv(report: &SweepReport, path: &str) -> Result<(), CliError> {
+    let mut out = String::from(
+        "index,workload,cores,placement,mode,chip_w,total_w,avg_mhz,undervolt_mv,exec_s,energy_j,edp\n",
+    );
+    for r in &report.results {
+        let o = &r.outcome;
+        out.push_str(&format!(
+            "{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?}\n",
+            r.point.index,
+            r.point.workload,
+            r.point.cores,
+            r.point.placement.label(),
+            r.point.mode,
+            o.chip_power().0,
+            o.total_power().0,
+            o.summary.avg_running_freq.0,
+            o.summary.socket0().undervolt.millivolts(),
+            o.exec_time.0,
+            o.energy.0,
+            o.edp
+        ));
+    }
+    let mut file =
+        std::fs::File::create(path).map_err(|e| format!("cannot create csv `{path}`: {e}"))?;
+    file.write_all(out.as_bytes())
+        .and_then(|()| file.sync_all())
+        .map_err(|e| format!("cannot write csv `{path}`: {e}"))?;
+    Ok(())
 }
 
 /// Prints every grid point of a sweep report, in grid order (stdout is
@@ -236,25 +398,34 @@ fn print_report(report: &SweepReport) {
 fn print_stats(report: &SweepReport) {
     let s = &report.stats;
     eprintln!(
-        "[sweep: {} points in {:.2} s with {} jobs — {:.1} points/s, cache {} hits / {} misses]",
+        "[sweep: {} points in {:.2} s with {} jobs — {:.1} points/s, \
+         cache {} hits / {} misses / {} evictions]",
         s.points,
         s.elapsed_secs,
         s.jobs,
         s.points_per_sec(),
         s.cache.hits,
-        s.cache.misses
+        s.cache.misses,
+        s.cache.evictions
     );
 }
 
-fn cmd_resilience(flags: &Flags, smoke: bool) -> Result<(), String> {
+fn cmd_resilience(flags: &Flags, smoke: bool) -> Result<(), CliError> {
     let mut spec = if smoke {
         ResilienceSpec::smoke()
     } else {
         ResilienceSpec::power7plus()
     };
     spec.seed = flag_seed(flags)?;
-    let report = spec.run(flag_jobs(flags)?).map_err(|e| e.to_string())?;
+    let durable = DurableOptions {
+        journal: flag_journal_mode(flags)?,
+        checkpoint_every: flag_checkpoint(flags)?,
+        ..DurableOptions::default()
+    };
+    install_cancel_on_signals(&durable.cancel);
+    let report = spec.run_durable(flag_jobs(flags)?, &durable)?;
     print!("{}", report.table());
+    print_failed(&report.failed_cells, "cells");
     let safe = report.all_safe();
     println!(
         "campaign: {} cells, {} — supervised margin violations: {}, unsupervised: {}",
@@ -274,7 +445,11 @@ fn cmd_resilience(flags: &Flags, smoke: bool) -> Result<(), String> {
     if safe {
         Ok(())
     } else {
-        Err("campaign unsafe: a supervised cell violated the margin or breached the floor".into())
+        Err(
+            "campaign unsafe: a supervised cell violated the margin, breached the floor, \
+             or was quarantined"
+                .into(),
+        )
     }
 }
 
