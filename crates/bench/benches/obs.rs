@@ -1,0 +1,92 @@
+//! The telemetry layer's overhead contract, measured: the warm
+//! simulation tick with observability disabled (the default), with the
+//! metrics registry enabled, and with metrics plus span tracing enabled.
+//!
+//! The disabled number is the one the repo's performance budget holds to
+//! the PR 2 baseline (every instrumented site must cost one predicted
+//! branch); the enabled numbers quantify what `--metrics`/`--trace`
+//! actually buy into the hot path. Raw registry operation costs are
+//! benched alongside for attribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p7_control::GuardbandMode;
+use p7_sim::{Assignment, ServerConfig, Simulation};
+use p7_workloads::Catalog;
+
+fn warm_sim() -> Simulation {
+    let catalog = Catalog::power7plus();
+    let raytrace = catalog.get("raytrace").unwrap().clone();
+    let assignment = Assignment::single_socket(&raytrace, 8).unwrap();
+    let mut sim = Simulation::new(
+        ServerConfig::power7plus(1),
+        assignment,
+        GuardbandMode::Undervolt,
+    )
+    .unwrap();
+    // Warm the solve seed and telemetry reservations out of the loop.
+    for _ in 0..4 {
+        let _ = sim.tick();
+    }
+    sim
+}
+
+fn bench_tick_disabled(c: &mut Criterion) {
+    p7_obs::metrics::global().set_enabled(false);
+    p7_obs::trace::disable();
+    let mut sim = warm_sim();
+    c.bench_function("obs_tick_disabled", |b| {
+        b.iter(|| black_box(sim.tick()));
+    });
+}
+
+fn bench_tick_metrics(c: &mut Criterion) {
+    p7_obs::metrics::global().set_enabled(true);
+    p7_sim::telemetry::register_all();
+    p7_obs::trace::disable();
+    let mut sim = warm_sim();
+    c.bench_function("obs_tick_metrics_enabled", |b| {
+        b.iter(|| black_box(sim.tick()));
+    });
+    p7_obs::metrics::global().set_enabled(false);
+}
+
+fn bench_tick_metrics_and_trace(c: &mut Criterion) {
+    p7_obs::metrics::global().set_enabled(true);
+    p7_sim::telemetry::register_all();
+    p7_obs::trace::enable();
+    let mut sim = warm_sim();
+    c.bench_function("obs_tick_metrics_and_trace", |b| {
+        b.iter(|| black_box(sim.tick()));
+    });
+    p7_obs::trace::disable();
+    p7_obs::metrics::global().set_enabled(false);
+    let _ = p7_obs::trace::collect();
+}
+
+fn bench_registry_primitives(c: &mut Criterion) {
+    let registry = p7_obs::metrics::Registry::new();
+    let counter = registry.counter("bench_ops_total", "bench counter");
+    static BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0];
+    let histogram = registry.histogram("bench_obs", "bench histogram", BOUNDS);
+    c.bench_function("obs_counter_inc", |b| {
+        b.iter(|| counter.inc());
+    });
+    c.bench_function("obs_histogram_observe", |b| {
+        b.iter(|| histogram.observe(black_box(3.0)));
+    });
+    registry.set_enabled(false);
+    c.bench_function("obs_counter_inc_disabled", |b| {
+        b.iter(|| counter.inc());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tick_disabled,
+    bench_tick_metrics,
+    bench_tick_metrics_and_trace,
+    bench_registry_primitives
+);
+criterion_main!(benches);

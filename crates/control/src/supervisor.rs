@@ -16,8 +16,25 @@
 //! below its critical-path requirement.
 
 use crate::modes::GuardbandMode;
+use p7_obs::{metrics, trace};
 use p7_types::{CORES_PER_SOCKET, CPMS_PER_CORE, CPMS_PER_SOCKET};
 use serde::{Deserialize, Serialize};
+
+/// Prometheus label value for a socket index, without allocating.
+fn socket_label(socket: u8) -> &'static str {
+    const LABELS: [&str; 8] = ["0", "1", "2", "3", "4", "5", "6", "7"];
+    LABELS.get(socket as usize).copied().unwrap_or("other")
+}
+
+/// Prometheus label value for a [`HealthIssue`].
+fn issue_label(issue: HealthIssue) -> &'static str {
+    match issue {
+        HealthIssue::StaleTelemetry => "stale_telemetry",
+        HealthIssue::CpmDisagreement => "cpm_disagreement",
+        HealthIssue::FailSafe => "fail_safe",
+        HealthIssue::MarginExhausted => "margin_exhausted",
+    }
+}
 
 /// Tunable thresholds of the [`SafetySupervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -130,6 +147,8 @@ enum State {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SafetySupervisor {
     config: SupervisorConfig,
+    /// Socket index used as the metric label (see [`Self::with_socket`]).
+    socket: u8,
     state: State,
     quarantine_left: u32,
     trips: u32,
@@ -141,11 +160,20 @@ pub struct SafetySupervisor {
 }
 
 impl SafetySupervisor {
-    /// A freshly armed supervisor.
+    /// A freshly armed supervisor attributing metrics to socket 0.
     #[must_use]
     pub fn new(config: SupervisorConfig) -> Self {
+        SafetySupervisor::with_socket(config, 0)
+    }
+
+    /// A freshly armed supervisor whose degradations, re-arms, and
+    /// plausibility-vote failures are labelled `socket="<socket>"` in the
+    /// global [`p7_obs`] registry.
+    #[must_use]
+    pub fn with_socket(config: SupervisorConfig, socket: u8) -> Self {
         SafetySupervisor {
             config,
+            socket,
             state: State::Armed,
             quarantine_left: 0,
             trips: 0,
@@ -157,9 +185,10 @@ impl SafetySupervisor {
         }
     }
 
-    /// Restores the just-constructed state (used by simulation reset).
+    /// Restores the just-constructed state (used by simulation reset),
+    /// keeping the socket label.
     pub fn reset(&mut self) {
-        *self = SafetySupervisor::new(self.config);
+        *self = SafetySupervisor::with_socket(self.config, self.socket);
     }
 
     /// The configured thresholds.
@@ -221,6 +250,7 @@ impl SafetySupervisor {
         match self.state {
             State::Armed => issue.map(|i| {
                 self.trip();
+                self.record_degrade(i);
                 SupervisorEvent::Degraded(i)
             }),
             State::Quarantined => {
@@ -236,18 +266,70 @@ impl SafetySupervisor {
                 self.degraded_windows += 1;
                 if let Some(i) = issue {
                     self.trip();
+                    self.record_degrade(i);
                     return Some(SupervisorEvent::Degraded(i));
                 }
                 self.healthy_streak += 1;
                 if self.healthy_streak >= self.config.rearm_windows {
                     self.state = State::Armed;
                     self.rearms += 1;
+                    self.record_rearm();
                     Some(SupervisorEvent::Rearmed)
                 } else {
                     None
                 }
             }
         }
+    }
+
+    /// Publishes one degradation to the registry and trace. Degradations
+    /// are rare (each opens a multi-window quarantine), so the labelled
+    /// registry lookup is off every hot path.
+    fn record_degrade(&self, issue: HealthIssue) {
+        if !metrics::global().is_enabled() && !trace::is_enabled() {
+            return;
+        }
+        metrics::global()
+            .counter_with(
+                "ags_supervisor_degrades_total",
+                "Sockets degraded to the static guardband, by socket and health issue",
+                &[
+                    ("socket", socket_label(self.socket)),
+                    ("issue", issue_label(issue)),
+                ],
+            )
+            .inc();
+        trace::instant("supervisor_degrade", u64::from(self.socket));
+    }
+
+    /// Publishes one re-arm to the registry and trace.
+    fn record_rearm(&self) {
+        if !metrics::global().is_enabled() && !trace::is_enabled() {
+            return;
+        }
+        metrics::global()
+            .counter_with(
+                "ags_supervisor_rearms_total",
+                "Adaptive operation re-armed after healthy probation, by socket",
+                &[("socket", socket_label(self.socket))],
+            )
+            .inc();
+        trace::instant("supervisor_rearm", u64::from(self.socket));
+    }
+
+    /// Publishes one plausibility-vote failure (a core whose CPM slots
+    /// disagree beyond the configured spread).
+    fn record_vote_failure(&self) {
+        if !metrics::global().is_enabled() {
+            return;
+        }
+        metrics::global()
+            .counter_with(
+                "ags_supervisor_vote_failures_total",
+                "Windows in which a core's CPM slots disagreed beyond the plausible spread, by socket",
+                &[("socket", socket_label(self.socket))],
+            )
+            .inc();
     }
 
     /// Opens (or re-opens) a quarantine with exponential backoff.
@@ -290,6 +372,7 @@ impl SafetySupervisor {
                 return Some(HealthIssue::FailSafe);
             }
             if max - min > self.config.vote_spread_taps {
+                self.record_vote_failure();
                 return Some(HealthIssue::CpmDisagreement);
             }
             if obs.ran_adaptive {

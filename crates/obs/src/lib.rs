@@ -1,0 +1,51 @@
+//! `p7-obs`: zero-overhead observability for the guardband-scheduling stack.
+//!
+//! The paper's methodology is built on *instrumentation* — AMESTER power
+//! telemetry, CPM margin counters, and VRM current sensors are what let the
+//! authors decompose the voltage-drop budget in the first place. This crate
+//! gives the reproduction the same courtesy: first-class visibility into the
+//! simulator's own machinery (fixed-point solve behaviour, memoization cache
+//! traffic, journal durability latency, supervisor state transitions) without
+//! perturbing the hot path it observes.
+//!
+//! Two subsystems, both designed around the repo's standing invariants
+//! (allocation-free warm ticks, bitwise-deterministic output at any `--jobs`):
+//!
+//! * [`metrics`] — a lock-free registry of counters, gauges, and fixed-bucket
+//!   histograms. Handles are plain `Arc`s over atomics: updating a metric is
+//!   a couple of relaxed atomic operations and never allocates or takes a
+//!   lock. Registration (naming a metric) takes a mutex and may allocate,
+//!   which is why hot call sites resolve their handle once through a
+//!   `OnceLock` and reuse it forever. The global registry starts *disabled*:
+//!   every update first checks one relaxed `AtomicBool`, so an uninstrumented
+//!   run pays a branch per site and nothing else.
+//! * [`trace`] — per-worker ring-buffered span events with a deterministic
+//!   export order. Spans record wall-clock timestamps (which naturally vary
+//!   run to run) but carry a caller-supplied *logical key* (tick index, grid
+//!   index, segment index…), and the exporter sorts by `(name, key)` so the
+//!   event sequence — and in particular the per-name span counts — is
+//!   identical for the same seed/spec at any worker count.
+//!
+//! Exporters live next to the data they serialize: Prometheus text
+//! exposition on [`metrics::Registry::render_prometheus`], Chrome
+//! `trace_event` JSON on [`trace::render_chrome_trace`].
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry, Sample, SampleValue};
+pub use trace::{Span, TraceEvent};
+
+/// Enable the global metrics registry and the tracer in one call: the shape
+/// used by the CLI when `--metrics`/`--trace` are passed.
+pub fn enable() {
+    metrics::global().set_enabled(true);
+    trace::enable();
+}
+
+/// Disable both subsystems (updates become no-ops again). Buffered trace
+/// events and accumulated metric values are retained until reset/collect.
+pub fn disable() {
+    metrics::global().set_enabled(false);
+    trace::disable();
+}

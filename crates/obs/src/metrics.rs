@@ -1,0 +1,729 @@
+//! Lock-free metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Design constraints, in order of priority:
+//!
+//! 1. **Updates never allocate and never lock.** A counter bump is one
+//!    relaxed load (the enabled flag) plus one relaxed `fetch_add`. A
+//!    histogram observation is the same plus a short linear scan over its
+//!    (fixed, `'static`) bucket bounds and a CAS loop for the running sum.
+//!    This is what lets the warm-tick zero-allocation test hold with metrics
+//!    enabled.
+//! 2. **Disabled means free.** Every handle shares the registry's enabled
+//!    flag; when it is false the update returns after the first branch. The
+//!    global registry starts disabled, so code paths that never opt in pay
+//!    a predictable, branch-predictor-friendly cost of one load per site.
+//! 3. **Registration is rare and may be slow.** Naming a metric takes the
+//!    registry mutex, validates the name, and allocates the entry. Hot sites
+//!    cache the returned `Arc` handle (typically in a `OnceLock`), so the
+//!    mutex is touched once per site per process.
+//!
+//! Snapshots and the Prometheus exporter sort samples by
+//! `(family, labels)`, making rendered output deterministic regardless of
+//! registration order or worker interleaving.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Counter {
+            enabled,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one. No-op while the owning registry is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. No-op while the owning registry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (readable even while disabled).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Gauge {
+            enabled,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the gauge. No-op while the owning registry is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add (possibly negative) `delta`. No-op while disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (readable even while disabled).
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Maximum number of finite bucket bounds a histogram may declare. Bounds
+/// are fixed at registration; the implicit `+Inf` bucket is always present.
+pub const MAX_HISTOGRAM_BUCKETS: usize = 24;
+
+/// A fixed-bucket histogram. Bucket bounds are `'static` (no allocation per
+/// instance beyond the atomics themselves) and cumulative counts follow
+/// Prometheus semantics: `buckets[i]` counts observations `<= bounds[i]`,
+/// with a final implicit `+Inf` bucket equal to the total count.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    bounds: &'static [f64],
+    /// Per-bucket (non-cumulative) hit counts; `buckets[bounds.len()]` is
+    /// the overflow (`+Inf`) bucket. Cumulated at snapshot time.
+    buckets: [AtomicU64; MAX_HISTOGRAM_BUCKETS + 1],
+    count: AtomicU64,
+    /// Running sum, stored as f64 bits and updated with a CAS loop; the
+    /// loop is contention-rare in practice (one writer per worker).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(enabled: Arc<AtomicBool>, bounds: &'static [f64]) -> Self {
+        assert!(
+            bounds.len() <= MAX_HISTOGRAM_BUCKETS,
+            "histogram declares {} buckets; max is {}",
+            bounds.len(),
+            MAX_HISTOGRAM_BUCKETS
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            enabled,
+            bounds,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation. Allocation-free and lock-free; no-op while
+    /// the owning registry is disabled.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Declared finite bucket bounds.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Cumulative bucket counts, one per finite bound plus the `+Inf`
+    /// bucket (always equal to [`Histogram::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        (0..=self.bounds.len())
+            .map(|i| {
+                acc += self.buckets[i].load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// What kind of metric a registry entry is — mirrors the Prometheus
+/// `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    family: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// The value part of a [`Sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram {
+        /// `(upper_bound, cumulative_count)` per finite bound; the `+Inf`
+        /// bucket is implied by `count`.
+        buckets: Vec<(f64, u64)>,
+        count: u64,
+        sum: f64,
+    },
+}
+
+/// A point-in-time reading of one metric, as produced by
+/// [`Registry::snapshot`]. Snapshots are sorted by `(family, labels)` so
+/// they compare deterministically across runs and worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub family: String,
+    pub labels: Vec<(String, String)>,
+    pub kind: MetricKind,
+    pub value: SampleValue,
+}
+
+/// A metrics registry. Instantiable for tests; production code uses the
+/// process-wide [`global`] registry, which starts disabled.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, *enabled* registry (handy in tests; the global one starts
+    /// disabled instead).
+    pub fn new() -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Turn updates on or off for every handle this registry has issued.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether updates are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Get-or-register an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-register a counter with labels. Panics if `name` is already
+    /// registered with a different metric kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let enabled = Arc::clone(&self.enabled);
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new(enabled)))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Get-or-register an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-register a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let enabled = Arc::clone(&self.enabled);
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Gauge(Arc::new(Gauge::new(enabled)))
+        }) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Get-or-register an unlabelled fixed-bucket histogram. `bounds` must
+    /// be strictly increasing and is fixed for the life of the metric; a
+    /// re-registration with different bounds panics.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &'static [f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Get-or-register a labelled fixed-bucket histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &'static [f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let enabled = Arc::clone(&self.enabled);
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new(enabled, bounds)))
+        }) {
+            Metric::Histogram(h) => {
+                assert!(
+                    std::ptr::eq(h.bounds.as_ptr(), bounds.as_ptr()) || h.bounds == bounds,
+                    "histogram `{name}` re-registered with different bucket bounds"
+                );
+                h
+            }
+            other => panic!("metric `{name}` already registered as {:?}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        validate_name(name);
+        for (k, _) in labels {
+            validate_label_key(k);
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries.iter().find(|e| {
+            e.family == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((ek, ev), (k, v))| ek == k && ev == v)
+        }) {
+            return clone_metric(&e.metric);
+        }
+        let metric = make();
+        let cloned = clone_metric(&metric);
+        entries.push(Entry {
+            family: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            metric,
+        });
+        cloned
+    }
+
+    /// Deterministic point-in-time reading of every registered metric,
+    /// sorted by `(family, labels)`.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<Sample> = entries
+            .iter()
+            .map(|e| Sample {
+                family: e.family.clone(),
+                labels: e.labels.clone(),
+                kind: e.metric.kind(),
+                value: match &e.metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => {
+                        let cum = h.cumulative_buckets();
+                        SampleValue::Histogram {
+                            buckets: h.bounds.iter().copied().zip(cum.iter().copied()).collect(),
+                            count: h.count(),
+                            sum: h.sum(),
+                        }
+                    }
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.family, &a.labels).cmp(&(&b.family, &b.labels)));
+        out
+    }
+
+    /// Zero every registered metric (registrations are kept — handles stay
+    /// valid). Used between deterministic-comparison runs.
+    pub fn reset(&self) {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for e in entries.iter() {
+            match &e.metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` per family, samples sorted by
+    /// `(family, labels)`, histograms expanded to
+    /// `_bucket{le=…}` / `_sum` / `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let samples = self.snapshot();
+        // HELP text per family: first registration wins.
+        let helps: Vec<(String, String, MetricKind)> = {
+            let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            let mut seen: Vec<(String, String, MetricKind)> = Vec::new();
+            for e in entries.iter() {
+                if !seen.iter().any(|(f, _, _)| *f == e.family) {
+                    seen.push((e.family.clone(), e.help.clone(), e.metric.kind()));
+                }
+            }
+            seen
+        };
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for s in &samples {
+            if last_family != Some(s.family.as_str()) {
+                let (help, kind) = helps
+                    .iter()
+                    .find(|(f, _, _)| *f == s.family)
+                    .map(|(_, h, k)| (h.as_str(), *k))
+                    .unwrap_or(("", s.kind));
+                out.push_str(&format!("# HELP {} {}\n", s.family, escape_help(help)));
+                out.push_str(&format!("# TYPE {} {}\n", s.family, kind.as_str()));
+                last_family = Some(s.family.as_str());
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        s.family,
+                        render_labels(&s.labels, None),
+                        v
+                    ));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        s.family,
+                        render_labels(&s.labels, None),
+                        v
+                    ));
+                }
+                SampleValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    for (bound, cum) in buckets {
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            s.family,
+                            render_labels(&s.labels, Some(&format_bound(*bound))),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        s.family,
+                        render_labels(&s.labels, Some("+Inf")),
+                        count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        s.family,
+                        render_labels(&s.labels, None),
+                        format_float(*sum)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        s.family,
+                        render_labels(&s.labels, None),
+                        count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+        Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+        Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+    }
+}
+
+/// The process-wide registry used by the instrumented crates. Starts
+/// disabled; the CLI flips it on when `--metrics`/`--trace` are passed.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r
+    })
+}
+
+fn validate_name(name: &str) {
+    let mut chars = name.chars();
+    let ok_first =
+        matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':');
+    let ok_rest = chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    assert!(
+        ok_first && ok_rest && !name.is_empty(),
+        "invalid metric name `{name}` (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+    );
+}
+
+fn validate_label_key(key: &str) {
+    let mut chars = key.chars();
+    let ok_first = matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_');
+    let ok_rest = chars.all(|c| c.is_ascii_alphanumeric() || c == '_');
+    assert!(
+        ok_first && ok_rest,
+        "invalid label key `{key}` (want [a-zA-Z_][a-zA-Z0-9_]*)"
+    );
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    if let Some(bound) = le {
+        parts.push(format!("le=\"{bound}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn format_bound(b: f64) -> String {
+    // Integral bounds print without a trailing `.0` to match common
+    // Prometheus client conventions (`le="8"`, not `le="8.0"`).
+    if b.fract() == 0.0 && b.abs() < 1e15 {
+        format!("{}", b as i64)
+    } else {
+        format!("{b}")
+    }
+}
+
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("test_total", "a counter");
+        let g = r.gauge("test_gauge", "a gauge");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        let c = r.counter("test_total", "a counter");
+        let h = r.histogram("test_hist", "a histogram", &[1.0, 2.0]);
+        r.set_enabled(false);
+        c.inc();
+        h.observe(1.5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        h.observe(1.5);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "latency", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.7, 3.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative_buckets(), vec![1, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 16.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("dup_total", "first");
+        let b = r.counter("dup_total", "second registration reuses first");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let la = r.counter_with("dup_total", "labelled", &[("socket", "0")]);
+        la.add(3);
+        assert_eq!(a.get(), 1, "labelled series is a distinct cell");
+        assert_eq!(la.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("kind_clash", "counter first");
+        let _ = r.gauge("kind_clash", "gauge second");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        let r = Registry::new();
+        let _ = r.counter("9starts_with_digit", "bad");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("reset_total", "c");
+        let h = r.histogram("reset_hist", "h", &[1.0]);
+        c.add(9);
+        h.observe(0.5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1, "handle still live after reset");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let r = Registry::new();
+        r.counter("zzz_total", "late alphabetically").inc();
+        r.counter("aaa_total", "early alphabetically").inc();
+        r.counter_with("mid_total", "labelled", &[("socket", "1")])
+            .inc();
+        r.counter_with("mid_total", "labelled", &[("socket", "0")])
+            .inc();
+        let snap = r.snapshot();
+        let names: Vec<_> = snap
+            .iter()
+            .map(|s| (s.family.as_str(), s.labels.clone()))
+            .collect();
+        assert_eq!(names[0].0, "aaa_total");
+        assert_eq!(names[1].0, "mid_total");
+        assert_eq!(names[1].1, vec![("socket".into(), "0".into())]);
+        assert_eq!(names[2].1, vec![("socket".into(), "1".into())]);
+        assert_eq!(names[3].0, "zzz_total");
+    }
+}

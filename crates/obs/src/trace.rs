@@ -1,0 +1,459 @@
+//! Structured tracing: per-worker ring-buffered span events with a
+//! deterministic export order.
+//!
+//! Every instrumented site opens a [`Span`] (or emits an [`instant`] marker)
+//! carrying a `'static` name and a caller-supplied *logical key* — the tick
+//! index, sweep grid index, journal segment index, whatever identifies the
+//! unit of work independently of which worker happened to execute it. Wall
+//! clock timestamps are recorded too (they are what a trace viewer renders),
+//! but ordering and identity never depend on them: [`collect`] sorts by
+//! `(name, key)`, so for the same seed/spec the exported event sequence and
+//! the per-name span counts are identical at any `--jobs`.
+//!
+//! Buffering is per-thread: each worker owns a fixed-capacity ring (no locks
+//! on the record path, no allocation after the ring's one-time warmup
+//! allocation). Worker threads call [`flush`] before their closure returns
+//! to drain the ring into the global collector — scoped joins can return
+//! before TLS destructors run, so the `Drop`-based flush alone is not
+//! reliable (it remains as a backstop for plain `spawn`/`join` threads).
+//! [`collect`] also drains the calling thread's ring, so the usual flow —
+//! scoped workers flush, join, then export from the coordinating thread —
+//! loses nothing. If a ring wraps, the oldest events are overwritten and
+//! counted in [`dropped`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (events). 64Ki events × 40 B ≈ 2.5 MiB
+/// per worker at the default — plenty for smoke runs, bounded for long ones.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// One completed span or instant marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static site name, e.g. `"tick"`, `"solve"`, `"sweep_point"`.
+    pub name: &'static str,
+    /// Deterministic logical key (tick index, grid index, …).
+    pub key: u64,
+    /// Worker ordinal of the recording thread (arrival order, not
+    /// deterministic — carried for trace-viewer lanes only).
+    pub worker: u32,
+    /// Start timestamp, microseconds since the tracer was enabled.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// True for zero-duration instant markers (supervisor degrade/re-arm).
+    pub instant: bool,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_WORKER: AtomicU32 = AtomicU32::new(0);
+
+fn collected() -> &'static Mutex<Vec<TraceEvent>> {
+    static COLLECTED: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    COLLECTED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the tracer's epoch (first use).
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Enable span recording with the default ring capacity.
+pub fn enable() {
+    enable_with_capacity(DEFAULT_RING_CAPACITY);
+}
+
+/// Enable span recording; new per-thread rings allocate `capacity` slots.
+pub fn enable_with_capacity(capacity: usize) {
+    CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+    let _ = epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop recording. Buffered events stay put until [`collect`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recorded.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of events lost to ring wrap-around since the last [`collect`].
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    oldest: usize,
+    worker: u32,
+}
+
+impl Ring {
+    fn push(&mut self, e: TraceEvent) {
+        let cap = self.events.capacity();
+        if self.events.len() < cap {
+            self.events.push(e);
+        } else {
+            self.events[self.oldest] = e;
+            self.oldest = (self.oldest + 1) % cap;
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.extend(self.events.drain(self.oldest..));
+        out.append(&mut self.events);
+        self.oldest = 0;
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        if !self.events.is_empty() {
+            let mut out = collected().lock().unwrap_or_else(|e| e.into_inner());
+            let mut buf = std::mem::take(&mut *out);
+            self.drain_into(&mut buf);
+            *out = buf;
+        }
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = RefCell::new(Ring {
+        events: Vec::new(),
+        oldest: 0,
+        worker: NEXT_WORKER.fetch_add(1, Ordering::Relaxed),
+    });
+}
+
+fn record(name: &'static str, key: u64, start_us: u64, dur_us: u64, instant: bool) {
+    let _ = RING.try_with(|cell| {
+        let mut ring = cell.borrow_mut();
+        if ring.events.capacity() == 0 {
+            let cap = CAPACITY.load(Ordering::Relaxed);
+            ring.events.reserve_exact(cap);
+        }
+        let worker = ring.worker;
+        ring.push(TraceEvent {
+            name,
+            key,
+            worker,
+            start_us,
+            dur_us,
+            instant,
+        });
+    });
+}
+
+/// An open span; records its event when dropped. When tracing is disabled
+/// this is an inert zero-cost guard.
+#[must_use = "a span records on drop; binding it to `_span` keeps it open for the scope"]
+pub struct Span {
+    name: &'static str,
+    key: u64,
+    start_us: u64,
+    armed: bool,
+}
+
+impl Span {
+    /// Mutate the logical key after opening (useful when the key is only
+    /// known once work completes, e.g. an iteration count).
+    pub fn set_key(&mut self, key: u64) {
+        self.key = key;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed && is_enabled() {
+            let end = now_us();
+            record(
+                self.name,
+                self.key,
+                self.start_us,
+                end.saturating_sub(self.start_us),
+                false,
+            );
+        }
+    }
+}
+
+/// Open a span. `key` is the deterministic logical identity of this unit of
+/// work (tick index, grid index, segment index, …).
+#[inline]
+pub fn span(name: &'static str, key: u64) -> Span {
+    if !is_enabled() {
+        return Span {
+            name,
+            key,
+            start_us: 0,
+            armed: false,
+        };
+    }
+    Span {
+        name,
+        key,
+        start_us: now_us(),
+        armed: true,
+    }
+}
+
+/// Emit a zero-duration instant marker (e.g. supervisor degrade/re-arm).
+#[inline]
+pub fn instant(name: &'static str, key: u64) {
+    if is_enabled() {
+        let t = now_us();
+        record(name, key, t, 0, true);
+    }
+}
+
+/// Drains the calling thread's ring into the global collector.
+///
+/// Worker threads MUST call this as the last thing their closure does:
+/// `std::thread::scope` can return to the spawner before a finished
+/// thread's TLS destructors have run, so the `Drop`-based flush races
+/// with a [`collect`] performed right after the scope — events would be
+/// silently (and nondeterministically) lost. The `Drop` flush remains as
+/// a backstop for plain spawned threads, whose `join` waits for full
+/// thread exit.
+pub fn flush() {
+    let _ = RING.try_with(|cell| {
+        let mut ring = cell.borrow_mut();
+        if !ring.events.is_empty() {
+            let mut out = collected().lock().unwrap_or_else(|e| e.into_inner());
+            let mut buf = std::mem::take(&mut *out);
+            ring.drain_into(&mut buf);
+            *out = buf;
+        }
+    });
+}
+
+/// Drain every buffered event (the calling thread's ring plus everything
+/// flushed by exited worker threads) sorted by `(name, key, start, worker)`.
+/// The primary `(name, key)` ordering is what makes traces comparable
+/// across `--jobs`; the trailing wall-clock/worker components only break
+/// ties between genuinely concurrent duplicates.
+pub fn collect() -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = {
+        let mut locked = collected().lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *locked)
+    };
+    let _ = RING.try_with(|cell| cell.borrow_mut().drain_into(&mut out));
+    DROPPED.store(0, Ordering::Relaxed);
+    out.sort_by(|a, b| {
+        (a.name, a.key, a.start_us, a.worker).cmp(&(b.name, b.key, b.start_us, b.worker))
+    });
+    out
+}
+
+/// Render events as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form understood by `chrome://tracing`
+/// and Perfetto). Spans become complete (`"ph":"X"`) events; instants
+/// become `"ph":"i"` with thread scope.
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if e.instant {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"ags\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"key\":{}}}}}",
+                escape_json(e.name),
+                e.start_us,
+                e.worker,
+                e.key
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"ags\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"key\":{}}}}}",
+                escape_json(e.name),
+                e.start_us,
+                e.dur_us,
+                e.worker,
+                e.key
+            ));
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tracer is process-global; tests that enable it serialize here.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_record_and_collect_sorted() {
+        let _g = lock();
+        let _ = collect();
+        enable();
+        {
+            let _b = span("beta", 2);
+            let _a = span("alpha", 7);
+        }
+        instant("alpha", 1);
+        disable();
+        let events = collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| (e.name, e.key)).collect::<Vec<_>>(),
+            vec![("alpha", 1), ("alpha", 7), ("beta", 2)],
+            "collect orders by (name, key), not record order"
+        );
+        assert!(events[0].instant);
+        assert!(!events[1].instant);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock();
+        let _ = collect();
+        disable();
+        {
+            let _s = span("quiet", 0);
+        }
+        instant("quiet", 1);
+        assert!(collect().is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let _g = lock();
+        let _ = collect();
+        enable_with_capacity(4);
+        for k in 0..10u64 {
+            instant("wrap", k);
+        }
+        disable();
+        assert_eq!(dropped(), 6);
+        let events = collect();
+        assert_eq!(
+            events.len(),
+            4,
+            "ring keeps only the newest capacity events"
+        );
+        assert_eq!(
+            events.iter().map(|e| e.key).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest events are the ones overwritten"
+        );
+        assert_eq!(dropped(), 0, "collect resets the dropped counter");
+        // Restore the default so later tests in this binary are unaffected.
+        CAPACITY.store(DEFAULT_RING_CAPACITY, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_join() {
+        let _g = lock();
+        let _ = collect();
+        enable();
+        // Plain spawned threads: `join` waits for full thread exit, so the
+        // Drop-based backstop flush is reliable here.
+        let handles: Vec<_> = (0..3u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let _sp = span("worker_span", t);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        disable();
+        let events = collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.key).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn scoped_workers_flush_explicitly() {
+        let _g = lock();
+        let _ = collect();
+        enable();
+        // Scoped threads can outlive the scope's join as far as TLS
+        // destructors are concerned, so workers flush before returning;
+        // every event must be visible to the collect right after.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..16u64 {
+                        instant("scoped", t * 100 + i);
+                    }
+                    flush();
+                });
+            }
+        });
+        disable();
+        let events = collect();
+        assert_eq!(events.len(), 64, "no scoped worker's events may be lost");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let events = vec![
+            TraceEvent {
+                name: "tick",
+                key: 3,
+                worker: 1,
+                start_us: 10,
+                dur_us: 4,
+                instant: false,
+            },
+            TraceEvent {
+                name: "degrade",
+                key: 0,
+                worker: 0,
+                start_us: 11,
+                dur_us: 0,
+                instant: true,
+            },
+        ];
+        let json = render_chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"dur\":4"));
+        assert!(json.contains("\"args\":{\"key\":3}"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Exporter contract tests: the Prometheus text rendering is compared
+//! against a golden file and checked line-by-line for exposition-format
+//! validity; the Chrome trace rendering is parsed back as JSON and
+//! checked against the `trace_event` schema.
+//!
+//! Both tests run against a local [`Registry`] / hand-built events, so
+//! they touch no process-global state and can run in parallel.
+
+use p7_obs::metrics::Registry;
+use p7_obs::trace::{render_chrome_trace, TraceEvent};
+use serde::Value;
+
+/// Bounds used by the golden histogram (must be `'static`).
+static GOLDEN_BOUNDS: &[f64] = &[0.5, 2.0, 8.0];
+
+/// A registry with one of everything, at known values.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    let requests = r.counter("test_requests_total", "Requests handled");
+    requests.add(3);
+    let errors = r.counter_with(
+        "test_errors_total",
+        "Errors by kind and socket",
+        &[("kind", "io"), ("socket", "0")],
+    );
+    errors.inc();
+    let depth = r.gauge("test_queue_depth", "Entries currently queued");
+    depth.add(5);
+    depth.add(-2);
+    let latency = r.histogram("test_latency_seconds", "Request latency", GOLDEN_BOUNDS);
+    latency.observe(0.25);
+    latency.observe(1.0);
+    latency.observe(9.5);
+    r
+}
+
+#[test]
+fn prometheus_rendering_matches_golden_file() {
+    let actual = golden_registry().render_prometheus();
+    let expected = include_str!("golden/metrics.prom");
+    assert_eq!(
+        actual, expected,
+        "Prometheus rendering drifted from tests/golden/metrics.prom; \
+         if the change is intentional, update the golden file"
+    );
+}
+
+/// Is `name` a valid Prometheus metric/label identifier?
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Splits a sample line into (family, labels, value-text), where family
+/// strips the `_bucket`/`_sum`/`_count` histogram suffixes.
+fn parse_sample(line: &str) -> (String, Option<String>, String) {
+    let (name_and_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+    let (name, labels) = match name_and_labels.split_once('{') {
+        Some((n, rest)) => {
+            let labels = rest.strip_suffix('}').expect("labels close with }");
+            (n.to_owned(), Some(labels.to_owned()))
+        }
+        None => (name_and_labels.to_owned(), None),
+    };
+    (name, labels, value.to_owned())
+}
+
+#[test]
+fn prometheus_rendering_is_format_valid() {
+    let text = golden_registry().render_prometheus();
+    assert!(text.ends_with('\n'), "exposition ends with a newline");
+    let mut typed: Vec<(String, String)> = Vec::new(); // (family, type)
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (family, help) = rest.split_once(' ').expect("HELP has text");
+            assert!(valid_name(family), "bad family name `{family}`");
+            assert!(!help.is_empty());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest.split_once(' ').expect("TYPE has a kind");
+            assert!(valid_name(family), "bad family name `{family}`");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown metric type `{kind}`"
+            );
+            typed.push((family.to_owned(), kind.to_owned()));
+        } else {
+            let (name, labels, value) = parse_sample(line);
+            // Every sample belongs to a declared family (histograms via
+            // their _bucket/_sum/_count series).
+            let family = typed
+                .iter()
+                .find(|(f, kind)| {
+                    if kind == "histogram" {
+                        name == format!("{f}_bucket")
+                            || name == format!("{f}_sum")
+                            || name == format!("{f}_count")
+                    } else {
+                        &name == f
+                    }
+                })
+                .unwrap_or_else(|| panic!("sample `{name}` precedes its # TYPE line"));
+            assert!(valid_name(&name));
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable value `{value}`"));
+            if let Some(labels) = labels {
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label is k=\"v\"");
+                    assert!(valid_name(k), "bad label name `{k}`");
+                    assert!(v.starts_with('"') && v.ends_with('"') && v.len() >= 2);
+                }
+            }
+            // Counters never go negative.
+            if family.1 == "counter" {
+                assert!(value.parse::<f64>().unwrap() >= 0.0);
+            }
+        }
+    }
+    // Histogram series are complete: +Inf bucket present and equal to _count.
+    let buckets: Vec<_> = text
+        .lines()
+        .filter(|l| l.starts_with("test_latency_seconds_bucket"))
+        .collect();
+    let inf = buckets
+        .iter()
+        .find(|l| l.contains("le=\"+Inf\""))
+        .expect("+Inf bucket present");
+    let inf_count = inf.rsplit_once(' ').unwrap().1;
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("test_latency_seconds_count"))
+        .expect("_count series present");
+    assert_eq!(count_line.rsplit_once(' ').unwrap().1, inf_count);
+    // Cumulative buckets are monotonically non-decreasing.
+    let counts: Vec<u64> = buckets
+        .iter()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn chrome_trace_rendering_is_schema_valid_json() {
+    let events = vec![
+        TraceEvent {
+            name: "tick",
+            key: 7,
+            worker: 2,
+            start_us: 100,
+            dur_us: 35,
+            instant: false,
+        },
+        TraceEvent {
+            name: "supervisor_degrade",
+            key: 1,
+            worker: 0,
+            start_us: 140,
+            dur_us: 0,
+            instant: true,
+        },
+        TraceEvent {
+            name: "weird\"name\n",
+            key: 0,
+            worker: 1,
+            start_us: 150,
+            dur_us: 1,
+            instant: false,
+        },
+    ];
+    let json = render_chrome_trace(&events);
+    let root = Value::parse_json(&json).expect("rendered trace is valid JSON");
+
+    let trace_events = root.field("traceEvents").unwrap().as_seq().unwrap();
+    assert_eq!(trace_events.len(), events.len());
+    for (event, rendered) in events.iter().zip(trace_events) {
+        let name = match rendered.field("name").unwrap() {
+            Value::Str(s) => s.clone(),
+            other => panic!("name must be a string, got {}", other.kind()),
+        };
+        assert_eq!(name, event.name, "names round-trip through escaping");
+        let ph = match rendered.field("ph").unwrap() {
+            Value::Str(s) => s.clone(),
+            other => panic!("ph must be a string, got {}", other.kind()),
+        };
+        if event.instant {
+            assert_eq!(ph, "i");
+            // Instant events carry a scope and no duration.
+            assert!(rendered.field("s").is_ok());
+            assert!(rendered.field("dur").is_err());
+        } else {
+            assert_eq!(ph, "X");
+            assert_eq!(
+                rendered.field("dur").unwrap().as_int().unwrap(),
+                i128::from(event.dur_us)
+            );
+        }
+        assert_eq!(
+            rendered.field("ts").unwrap().as_int().unwrap(),
+            i128::from(event.start_us)
+        );
+        assert_eq!(
+            rendered.field("tid").unwrap().as_int().unwrap(),
+            i128::from(event.worker)
+        );
+        assert_eq!(
+            rendered
+                .field("args")
+                .unwrap()
+                .field("key")
+                .unwrap()
+                .as_int()
+                .unwrap(),
+            i128::from(event.key)
+        );
+    }
+    match root.field("displayTimeUnit").unwrap() {
+        Value::Str(s) => assert_eq!(s, "ms"),
+        other => panic!("displayTimeUnit must be a string, got {}", other.kind()),
+    }
+}

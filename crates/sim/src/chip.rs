@@ -291,7 +291,10 @@ impl ChipSim {
         let mut core_currents = [Amps::ZERO; CORES_PER_SOCKET];
         let mut uncore_current = Amps::ZERO;
         let mut total_power = Watts::ZERO;
+        let mut solve_span = p7_obs::trace::span("solve", 0);
+        let mut solve_iterations = 0u32;
         for _ in 0..MAX_SOLVE_ITERATIONS {
+            solve_iterations += 1;
             total_power = Watts::ZERO;
             for i in 0..CORES_PER_SOCKET {
                 let p = self.power_model.core_power(
@@ -323,6 +326,11 @@ impl ChipSim {
                 break;
             }
         }
+        // The span's logical key is the converged iteration count — a
+        // deterministic property of the solve, unlike wall-clock time.
+        solve_span.set_key(u64::from(solve_iterations));
+        drop(solve_span);
+        crate::telemetry::solve_iterations().observe(f64::from(solve_iterations));
         self.solve_seed = Some(SolveSeed {
             chip_input,
             core_voltages,

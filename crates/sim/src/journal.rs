@@ -29,6 +29,8 @@
 //! byte-identical reports to an uninterrupted run at any worker count.
 
 use crate::error::SimError;
+use crate::telemetry;
+use p7_obs::trace;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{self, File};
@@ -38,7 +40,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// On-disk journal format version; bumped on incompatible layout change.
 pub const JOURNAL_FORMAT_VERSION: u32 = 1;
@@ -370,7 +372,11 @@ impl<T: Serialize + Deserialize> Journal<T> {
             entries.len()
         );
         let name = format!("seg-{:08}.json", self.next_segment);
+        let _span = trace::span("journal_segment", self.next_segment);
+        let started = Instant::now();
         write_atomic(&self.dir.join(name), content.as_bytes())?;
+        telemetry::journal_segment_write().observe(started.elapsed().as_secs_f64());
+        telemetry::journal_segments().inc();
         self.next_segment += 1;
         Ok(())
     }
@@ -640,7 +646,11 @@ where
             if done.contains_key(&idx) {
                 continue;
             }
-            let solved = attempt_point(&f, &mut state, idx, &opts.retry, &init);
+            telemetry::sweep_points_claimed().inc();
+            let solved = {
+                let _span = trace::span("sweep_point", idx as u64);
+                attempt_point(&f, &mut state, idx, &opts.retry, &init)
+            };
             absorb(
                 idx,
                 solved,
@@ -661,7 +671,8 @@ where
                 let retry = &opts.retry;
                 scope.spawn(move || {
                     let mut state = init();
-                    loop {
+                    let mut ready_at = Instant::now();
+                    let mut work = || loop {
                         if cancel.is_cancelled() {
                             return;
                         }
@@ -669,6 +680,7 @@ where
                         if start >= n {
                             return;
                         }
+                        telemetry::sweep_chunk_wait().observe(ready_at.elapsed().as_secs_f64());
                         for idx in start..(start + chunk).min(n) {
                             if cancel.is_cancelled() {
                                 return;
@@ -676,12 +688,22 @@ where
                             if done.contains_key(&idx) {
                                 continue;
                             }
-                            let solved = attempt_point(f, &mut state, idx, retry, init);
+                            telemetry::sweep_points_claimed().inc();
+                            let solved = {
+                                let _span = trace::span("sweep_point", idx as u64);
+                                attempt_point(f, &mut state, idx, retry, init)
+                            };
                             if tx.send((idx, solved)).is_err() {
                                 return;
                             }
                         }
-                    }
+                        ready_at = Instant::now();
+                    };
+                    work();
+                    // Scoped joins may return before TLS destructors run;
+                    // flush the span ring here or the coordinator's
+                    // collect can miss this worker's events.
+                    trace::flush();
                 });
             }
             drop(tx);
@@ -759,11 +781,13 @@ where
                 reason = panic_message(payload.as_ref());
                 *state = init();
                 if attempt < attempts {
+                    telemetry::point_retries().inc();
                     std::thread::sleep(retry.backoff_before(attempt));
                 }
             }
         }
     }
+    telemetry::point_quarantines().inc();
     Solved::Quarantined(FailedPoint {
         index: idx,
         attempts,

@@ -44,6 +44,7 @@ pub mod measure;
 pub mod resilience;
 pub mod server;
 pub mod sweep;
+pub mod telemetry;
 
 pub use assignment::{Assignment, Thread};
 pub use config::ServerConfig;

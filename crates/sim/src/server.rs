@@ -6,11 +6,13 @@ use crate::config::ServerConfig;
 use crate::error::SimError;
 use crate::history::{History, SimEvent, SimEventKind};
 use crate::measure::{Accumulator, RunSummary};
+use crate::telemetry;
 use p7_control::{
     FirmwareController, GuardbandMode, SafetySupervisor, SupervisorConfig, SupervisorEvent,
     WindowObservation,
 };
 use p7_faults::{DeadCpm, FaultKind, FaultPlan, SensorBias, SocketWindow, StuckCpm, FOREVER};
+use p7_obs::trace;
 use p7_pdn::Vrm;
 use p7_sensors::{Amester, CpmReading};
 use p7_types::{
@@ -264,7 +266,7 @@ impl Simulation {
             .map_err(|reason| SimError::Resilience { reason })?;
         self.supervisors = Some(
             (0..NUM_SOCKETS)
-                .map(|_| SafetySupervisor::new(config))
+                .map(|i| SafetySupervisor::with_socket(config, i as u8))
                 .collect(),
         );
         Ok(())
@@ -288,8 +290,21 @@ impl Simulation {
 
     /// Drains the fault/supervisor events accumulated since the last
     /// drain (or reset), in occurrence order.
+    ///
+    /// Allocation-conscious callers that harvest every window should use
+    /// [`Simulation::take_events_into`] instead: this convenience form
+    /// hands the internal buffer itself to the caller, so the *next*
+    /// event pushed must grow a fresh one from zero capacity.
     pub fn take_events(&mut self) -> Vec<SimEvent> {
         std::mem::take(&mut self.pending_events)
+    }
+
+    /// Drains the accumulated fault/supervisor events into `buf`,
+    /// appending in occurrence order. The internal buffer keeps its
+    /// capacity, so harvesting once per window on an instrumented run
+    /// performs zero allocations once both buffers are warm.
+    pub fn take_events_into(&mut self, buf: &mut Vec<SimEvent>) {
+        buf.append(&mut self.pending_events);
     }
 
     /// The guardband mode socket `i` actually runs this window, after
@@ -395,6 +410,7 @@ impl Simulation {
                 }
             }
             self.margin_violations += violations;
+            telemetry::margin_violations().add(violations);
 
             let Some(sups) = self.supervisors.as_mut() else {
                 continue;
@@ -444,6 +460,8 @@ impl Simulation {
     /// fixed-size values.
     pub fn tick(&mut self) -> [SocketTick; NUM_SOCKETS] {
         let tick_index = self.tick_index;
+        let _span = trace::span("tick", tick_index as u64);
+        telemetry::sim_ticks().inc();
         // Fault effects for this window, resolved purely from the plan
         // and the window index so resets and reruns replay them bitwise.
         let fault_windows: Option<[SocketWindow; NUM_SOCKETS]> = self
@@ -541,7 +559,7 @@ impl Simulation {
             tick_index += 1;
             acc.add(&ticks);
         }
-        for event in self.take_events() {
+        for event in self.pending_events.drain(..) {
             history.push_event(event);
         }
         (
@@ -750,6 +768,33 @@ mod tests {
             let mut fresh = Simulation::new(cfg.clone(), a.clone(), mode).unwrap();
             assert_eq!(summary, fresh.run(12, 6), "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn take_events_into_drains_in_place() {
+        let cfg = ServerConfig::power7plus(42);
+        let a = Assignment::single_socket(&workload("vips"), 2).unwrap();
+        let mut sim = Simulation::new(cfg, a, GuardbandMode::StaticGuardband).unwrap();
+        let plan = FaultPlan::new("adhoc", 0).event(
+            1,
+            FOREVER,
+            FaultKind::DeadCpm(DeadCpm {
+                socket: 0,
+                core: 1,
+                slot: 0,
+            }),
+        );
+        sim.set_fault_plan(plan).unwrap();
+        sim.run(4, 0);
+        let mut buf = Vec::with_capacity(4);
+        sim.take_events_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(matches!(buf[0].kind, SimEventKind::FaultStarted(_)));
+        // The queue was drained in place: a second harvest appends
+        // nothing, and the convenience accessor agrees it is empty.
+        sim.take_events_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(sim.take_events().is_empty());
     }
 
     #[test]

@@ -28,8 +28,10 @@ use crate::error::SimError;
 use crate::experiment::{Experiment, Outcome};
 use crate::journal::{fnv64, run_durable_indexed, CampaignManifest, DurableOptions, FailedPoint};
 use crate::server::Simulation;
+use crate::telemetry;
 use p7_control::GuardbandMode;
 use p7_faults::FaultPlan;
+use p7_obs::trace;
 use p7_workloads::{Catalog, ExecutionModel, WorkloadProfile};
 use serde::{de, Deserialize, Serialize, Value};
 use std::collections::HashMap;
@@ -237,6 +239,15 @@ impl SweepSpec {
             .map(|w| w.name().to_owned())
             .collect();
         SweepSpec::new(names, vec![8])
+    }
+
+    /// The shortened CI grid behind `ags sweep --smoke`: two contrasting
+    /// workloads at two core counts with trimmed windows — enough to
+    /// exercise the parallel engine, the solve cache, and both telemetry
+    /// exporters in a couple of seconds.
+    #[must_use]
+    pub fn smoke_grid() -> Self {
+        SweepSpec::new(vec!["lu_cb".to_owned(), "radix".to_owned()], vec![2, 4]).with_ticks(10, 5)
     }
 
     /// Number of grid points.
@@ -589,9 +600,11 @@ impl SolveCache {
         };
         if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::solve_cache_hits().inc();
             return Ok((hit.clone(), false));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::solve_cache_misses().inc();
         let outcome = Arc::new(solve()?);
         let mut map = self.map.lock().expect("cache lock");
         if map.len() >= self.capacity && !map.contains_key(&key) {
@@ -605,13 +618,29 @@ impl SolveCache {
             }
             self.evictions
                 .fetch_add(victims.len() as u64, Ordering::Relaxed);
+            telemetry::solve_cache_evictions().add(victims.len() as u64);
+            telemetry::solve_cache_entries().add(-(victims.len() as i64));
         }
-        map.insert(key, outcome.clone());
+        if map.insert(key, outcome.clone()).is_none() {
+            telemetry::solve_cache_entries().add(1);
+        }
         drop(map);
         Ok((outcome, true))
     }
 
     /// Current counters.
+    ///
+    /// These are the *per-instance* counters of this cache. Aggregate
+    /// counters across every cache in the process are published through
+    /// the [`crate::telemetry`] registry families
+    /// `ags_solve_cache_{hits,misses,evictions}_total` and
+    /// `ags_solve_cache_entries`, which is the one supported way to read
+    /// cache stats going forward (exported by `ags … --metrics`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the ags_solve_cache_* families from the p7-obs registry \
+                (p7_obs::metrics::global().snapshot() or `ags … --metrics`)"
+    )]
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -999,6 +1028,9 @@ impl SweepEngine {
                 points: points.len(),
                 jobs: self.jobs,
                 elapsed_secs: started.elapsed().as_secs_f64(),
+                // The per-sweep report keeps this cache's own counters;
+                // the registry families aggregate across the process.
+                #[allow(deprecated)]
                 cache: self.cache.stats(),
             },
         })
@@ -1099,7 +1131,13 @@ where
     let jobs = resolve_jobs(jobs).min(n.max(1));
     if jobs <= 1 {
         let mut state = init();
-        return (0..n).map(|idx| f(&mut state, idx)).collect();
+        return (0..n)
+            .map(|idx| {
+                telemetry::sweep_points_claimed().inc();
+                let _span = trace::span("sweep_point", idx as u64);
+                f(&mut state, idx)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
@@ -1108,14 +1146,23 @@ where
                 scope.spawn(|| {
                     let mut state = init();
                     let mut local = Vec::new();
+                    let mut ready_at = Instant::now();
                     loop {
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
+                            // Scoped joins may return before TLS
+                            // destructors run; flush the span ring here
+                            // or the coordinator's collect can miss it.
+                            trace::flush();
                             return local;
                         }
+                        telemetry::sweep_chunk_wait().observe(ready_at.elapsed().as_secs_f64());
                         for idx in start..(start + chunk).min(n) {
+                            telemetry::sweep_points_claimed().inc();
+                            let _span = trace::span("sweep_point", idx as u64);
                             local.push((idx, f(&mut state, idx)));
                         }
+                        ready_at = Instant::now();
                     }
                 })
             })
@@ -1243,6 +1290,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // asserts the per-instance counters directly
     fn faulted_sweep_never_answers_from_healthy_cache_entries() {
         // Same engine, same cache, same grid — with and without a fault
         // plan. The faulted sweep must re-solve every point (distinct
@@ -1355,6 +1403,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // asserts the per-instance counters directly
     fn cache_answers_repeat_solves() {
         let cache = Arc::new(SolveCache::new());
         let engine = SweepEngine::with_cache(2, cache.clone());
@@ -1410,6 +1459,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // asserts the per-instance counters directly
     fn cached_experiment_matches_plain_runs() {
         let exp = Experiment::power7plus(42).with_ticks(4, 2);
         let cached = CachedExperiment::with_cache(exp.clone(), Arc::new(SolveCache::new()));

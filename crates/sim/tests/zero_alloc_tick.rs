@@ -1,9 +1,17 @@
-//! Proves the warm tick path performs zero heap allocations.
+//! Proves the warm tick path performs zero heap allocations — with the
+//! telemetry layer fully enabled.
 //!
 //! A counting wrapper around the system allocator is installed as the
 //! global allocator, armed only around the measured ticks. The file holds
 //! exactly one test so no sibling test thread can allocate while the
 //! counter is armed.
+//!
+//! Metrics and tracing are switched on *before* warmup: metric handles
+//! resolve their `OnceLock`s and the tracer's per-thread ring takes its
+//! one-time allocation during the warmup ticks, after which every
+//! `inc`/`observe` is a plain atomic op and every span a ring write. The
+//! ring is sized to hold all measured events so wrap-around (which is
+//! also allocation-free) is not what's being measured.
 
 use p7_control::GuardbandMode;
 use p7_sim::{Assignment, ServerConfig, Simulation};
@@ -48,7 +56,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 #[test]
-fn warm_ticks_allocate_nothing() {
+fn warm_ticks_allocate_nothing_with_telemetry_enabled() {
+    // Full observability on: the registry records every counter bump and
+    // histogram observation, the tracer records tick and solve spans.
+    p7_obs::metrics::global().set_enabled(true);
+    p7_sim::telemetry::register_all();
+    p7_obs::trace::enable();
+
     let w = Catalog::power7plus().get("raytrace").unwrap().clone();
     let mut sim = Simulation::new(
         ServerConfig::power7plus(42),
@@ -70,12 +84,26 @@ fn warm_ticks_allocate_nothing() {
     }
     ARMED.store(false, Ordering::SeqCst);
 
+    p7_obs::trace::disable();
+    p7_obs::metrics::global().set_enabled(false);
+
     let allocs = ALLOCS.load(Ordering::SeqCst);
     let reallocs = REALLOCS.load(Ordering::SeqCst);
     assert_eq!(
         (allocs, reallocs),
         (0, 0),
-        "warm tick path must not touch the heap: {allocs} allocs, {reallocs} reallocs \
-         over {MEASURED} windows"
+        "warm tick path must not touch the heap even with metrics and tracing \
+         enabled: {allocs} allocs, {reallocs} reallocs over {MEASURED} windows"
     );
+
+    // The instrumentation itself must have fired: every measured window
+    // records one tick span and bumps the tick counter.
+    let ticks = p7_sim::telemetry::sim_ticks().get();
+    assert!(
+        ticks >= (WARMUP + MEASURED) as u64,
+        "metrics were enabled but the tick counter read {ticks}"
+    );
+    let events = p7_obs::trace::collect();
+    let tick_spans = events.iter().filter(|e| e.name == "tick").count();
+    assert_eq!(tick_spans, WARMUP + MEASURED, "one tick span per window");
 }

@@ -162,6 +162,38 @@ pub fn flag_checkpoint(flags: &Flags) -> Result<usize, String> {
     flag_usize(flags, "checkpoint", 0)
 }
 
+/// Exporter destinations parsed from `--metrics` / `--trace`.
+///
+/// Either flag turns the corresponding collector on for the whole
+/// command; at exit the registry is rendered in Prometheus text format
+/// to `metrics` and the span buffer as Chrome `trace_event` JSON to
+/// `trace`. With neither flag the telemetry layer stays disabled and
+/// every instrumented site costs one predicted branch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsOptions {
+    /// Prometheus text-format destination, from `--metrics PATH`.
+    pub metrics: Option<PathBuf>,
+    /// Chrome `trace_event` JSON destination, from `--trace PATH`.
+    pub trace: Option<PathBuf>,
+}
+
+impl ObsOptions {
+    /// Whether any exporter was requested.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some()
+    }
+}
+
+/// Reads the `--metrics` / `--trace` exporter flags.
+#[must_use]
+pub fn flag_obs(flags: &Flags) -> ObsOptions {
+    ObsOptions {
+        metrics: flags.get("metrics").map(PathBuf::from),
+        trace: flags.get("trace").map(PathBuf::from),
+    }
+}
+
 /// Resolves the required `--workload` flag against the catalog.
 ///
 /// # Errors
@@ -181,6 +213,7 @@ pub fn required_workload<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn flags(pairs: &[(&str, &str)]) -> Flags {
         pairs
@@ -280,6 +313,18 @@ mod tests {
         assert_eq!(flag_checkpoint(&Flags::new()).unwrap(), 0);
         assert_eq!(flag_checkpoint(&flags(&[("checkpoint", "2")])).unwrap(), 2);
         assert!(flag_checkpoint(&flags(&[("checkpoint", "x")])).is_err());
+    }
+
+    #[test]
+    fn obs_flags_resolve_to_paths() {
+        let none = flag_obs(&Flags::new());
+        assert_eq!(none, ObsOptions::default());
+        assert!(!none.any());
+        let both = flag_obs(&flags(&[("metrics", "m.prom"), ("trace", "t.json")]));
+        assert_eq!(both.metrics.as_deref(), Some(Path::new("m.prom")));
+        assert_eq!(both.trace.as_deref(), Some(Path::new("t.json")));
+        assert!(both.any());
+        assert!(flag_obs(&flags(&[("trace", "t.json")])).any());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! ```
 
 use ags::cli::{
-    flag_checkpoint, flag_jobs, flag_journal_mode, flag_mode, flag_placement, flag_seed,
-    flag_usize, parse_flags, required_workload, split_switches, Flags,
+    flag_checkpoint, flag_jobs, flag_journal_mode, flag_mode, flag_obs, flag_placement, flag_seed,
+    flag_usize, parse_flags, required_workload, split_switches, Flags, ObsOptions,
 };
 use ags::control::GuardbandMode;
 use ags::harness::install_cancel_on_signals;
@@ -70,10 +70,10 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
-    // `resilience` takes bare switches; everything else is strict
-    // `--flag value` pairs.
+    // `sweep` and `resilience` take bare switches; everything else is
+    // strict `--flag value` pairs.
     let switch_names: &[&str] = match command {
-        "resilience" => &["smoke"],
+        "sweep" | "resilience" => &["smoke"],
         _ => &[],
     };
     let (switches, tail) = split_switches(&args[1..], switch_names);
@@ -84,11 +84,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let smoke = switches.iter().any(|s| s == "smoke");
+    let obs = flag_obs(&flags);
+    if obs.metrics.is_some() {
+        ags::obs::metrics::global().set_enabled(true);
+        // Register every family up front: exports list all of them even
+        // when a run never exercises some site.
+        ags::sim::telemetry::register_all();
+    }
+    if obs.trace.is_some() {
+        ags::obs::trace::enable();
+    }
     let result: Result<(), CliError> = match command {
         "list" => cmd_list().map_err(CliError::from),
         "run" => cmd_run(&flags).map_err(CliError::from),
-        "sweep" => cmd_sweep(&flags),
-        "resilience" => cmd_resilience(&flags, switches.iter().any(|s| s == "smoke")),
+        "sweep" => cmd_sweep(&flags, smoke),
+        "resilience" => cmd_resilience(&flags, smoke),
         "borrow" => cmd_borrow(&flags).map_err(CliError::from),
         "cluster" => cmd_cluster(&flags).map_err(CliError::from),
         "help" | "--help" | "-h" => {
@@ -98,6 +109,16 @@ fn main() -> ExitCode {
         other => Err(CliError::Message(format!(
             "unknown command `{other}` (try `ags help`)"
         ))),
+    };
+    // Exporters run even for a failed command: a crashed or unsafe
+    // campaign still leaves its telemetry behind for diagnosis.
+    let result = match (result, export_observability(&obs)) {
+        (Ok(()), Err(message)) => Err(CliError::Message(message)),
+        (Err(e), Err(message)) => {
+            eprintln!("error: {message}");
+            Err(e)
+        }
+        (result, Ok(())) => result,
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -115,6 +136,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// Writes the exports requested by `--metrics` / `--trace`: the global
+/// registry in Prometheus text format, and the collected spans as Chrome
+/// `trace_event` JSON (load in `chrome://tracing` or Perfetto).
+fn export_observability(obs: &ObsOptions) -> Result<(), String> {
+    if let Some(path) = &obs.metrics {
+        let text = ags::obs::metrics::global().render_prometheus();
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write metrics `{}`: {e}", path.display()))?;
+    }
+    if let Some(path) = &obs.trace {
+        let events = ags::obs::trace::collect();
+        let json = ags::obs::trace::render_chrome_trace(&events);
+        std::fs::write(path, json)
+            .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
 fn print_usage() {
     println!(
         "ags — POWER7+ adaptive guardband scheduling simulator
@@ -127,7 +166,7 @@ USAGE:
       P: single|consolidated|borrowed (default single). N: 1..8 (default 4).
   ags sweep --workload <name> [--mode M] [--seed S] [--jobs N]
       Sweep 1..8 active cores and print improvement over static guardband.
-  ags sweep --spec <file|fig10> [--jobs N] [--seed S] [--csv FILE]
+  ags sweep (--spec <file|fig10> | --smoke) [--jobs N] [--seed S] [--csv FILE]
             [--journal DIR | --resume DIR] [--checkpoint N]
       Run a full sweep grid from a JSON spec (or the built-in fig10 grid)
       on N parallel workers. Results are identical at any worker count;
@@ -137,6 +176,7 @@ USAGE:
       rebuilt from the journal's manifest. SIGINT/SIGTERM flush the
       journal and exit 75 (resumable). --csv also writes the grid as
       CSV; resumed output is byte-identical to an uninterrupted run.
+      --smoke runs the shortened built-in CI grid.
   ags resilience [--smoke] [--jobs N] [--seed S]
                  [--journal DIR | --resume DIR] [--checkpoint N]
       Run the fault-injection campaign: every shipped fault scenario
@@ -148,7 +188,17 @@ USAGE:
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
-      Two-level scheduling: consolidate across servers, borrow within."
+      Two-level scheduling: consolidate across servers, borrow within.
+
+OBSERVABILITY (any command):
+  --metrics PATH   Enable the metrics registry; write it as Prometheus
+                   text format on exit.
+  --trace PATH     Enable span tracing; write Chrome trace_event JSON
+                   (chrome://tracing, Perfetto) on exit.
+      Without these flags the telemetry layer is disabled and costs one
+      predicted branch per instrumented site. Exported totals for the
+      deterministic families are identical at any --jobs; only the
+      *_seconds histograms are wall-clock dependent."
     );
 }
 
@@ -205,11 +255,11 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(flags: &Flags) -> Result<(), CliError> {
+fn cmd_sweep(flags: &Flags, smoke: bool) -> Result<(), CliError> {
     let engine = SweepEngine::new(flag_jobs(flags)?);
     let journal_mode = flag_journal_mode(flags)?;
-    if flags.contains_key("spec") || matches!(journal_mode, JournalMode::Resume(_)) {
-        let spec = resolve_sweep_spec(flags, &journal_mode)?;
+    if smoke || flags.contains_key("spec") || matches!(journal_mode, JournalMode::Resume(_)) {
+        let spec = resolve_sweep_spec(flags, smoke, &journal_mode)?;
         let options = SweepRunOptions {
             durable: DurableOptions {
                 journal: journal_mode,
@@ -287,11 +337,22 @@ fn load_spec(arg: &str) -> Result<SweepSpec, String> {
     SweepSpec::from_json(&text).map_err(|e| e.to_string())
 }
 
-/// The sweep campaign being run: from `--spec` when given (the journal
-/// manifest then cross-checks it), otherwise — on `--resume` — rebuilt
-/// from the journal's own manifest so a resume needs no flags beyond
-/// the directory. An explicit `--seed` must agree with the manifest.
-fn resolve_sweep_spec(flags: &Flags, journal_mode: &JournalMode) -> Result<SweepSpec, CliError> {
+/// The sweep campaign being run: the built-in smoke grid under
+/// `--smoke`, from `--spec` when given (the journal manifest then
+/// cross-checks it), otherwise — on `--resume` — rebuilt from the
+/// journal's own manifest so a resume needs no flags beyond the
+/// directory. An explicit `--seed` must agree with the manifest.
+fn resolve_sweep_spec(
+    flags: &Flags,
+    smoke: bool,
+    journal_mode: &JournalMode,
+) -> Result<SweepSpec, CliError> {
+    if smoke {
+        if flags.contains_key("spec") {
+            return Err("--smoke selects the built-in smoke grid; drop --spec".into());
+        }
+        return Ok(SweepSpec::smoke_grid().with_seed(flag_seed(flags)?));
+    }
     if let Some(spec_arg) = flags.get("spec") {
         return Ok(load_spec(spec_arg)?.with_seed(flag_seed(flags)?));
     }

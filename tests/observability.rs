@@ -1,0 +1,146 @@
+//! End-to-end telemetry invariance: for the same seed and spec, the
+//! deterministic metric families and the per-(name, key) span counts are
+//! identical at any `--jobs` count. The wall-clock `*_seconds` histogram
+//! families are the one documented exception (their bucket counts depend
+//! on machine speed) and are filtered out of the comparison.
+//!
+//! The registry and tracer are process-global, so every test here takes
+//! the same lock and resets both before running.
+
+use ags::obs::{metrics, trace};
+use ags::sim::{SolveCache, SweepEngine, SweepSpec};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The snapshot restricted to deterministic families.
+fn deterministic_samples() -> Vec<metrics::Sample> {
+    metrics::global()
+        .snapshot()
+        .into_iter()
+        .filter(|s| !s.family.contains("_seconds"))
+        .collect()
+}
+
+/// Span counts per `(name, key)`, sorted.
+fn span_counts(events: &[trace::TraceEvent]) -> Vec<(&'static str, u64, usize)> {
+    let mut counts: Vec<(&'static str, u64, usize)> = Vec::new();
+    for e in events {
+        match counts
+            .iter_mut()
+            .find(|(n, k, _)| *n == e.name && *k == e.key)
+        {
+            Some(c) => c.2 += 1,
+            None => counts.push((e.name, e.key, 1)),
+        }
+    }
+    counts.sort_unstable();
+    counts
+}
+
+/// Runs `spec` on `jobs` workers against a cold cache with telemetry on,
+/// returning the deterministic samples and the span counts.
+fn run_with_jobs(
+    spec: &SweepSpec,
+    jobs: usize,
+) -> (Vec<metrics::Sample>, Vec<(&'static str, u64, usize)>) {
+    metrics::global().reset();
+    let _ = trace::collect();
+    metrics::global().set_enabled(true);
+    ags::sim::telemetry::register_all();
+    trace::enable();
+    let engine = SweepEngine::with_cache(jobs, Arc::new(SolveCache::new()));
+    let report = engine.run(spec).expect("sweep runs");
+    assert_eq!(report.results.len(), spec.len());
+    trace::disable();
+    metrics::global().set_enabled(false);
+    let samples = deterministic_samples();
+    let events = trace::collect();
+    (samples, span_counts(&events))
+}
+
+/// Looks up one counter's value in a sample list.
+fn counter(samples: &[metrics::Sample], family: &str) -> u64 {
+    match samples.iter().find(|s| s.family == family) {
+        Some(metrics::Sample {
+            value: metrics::SampleValue::Counter(v),
+            ..
+        }) => *v,
+        other => panic!("expected counter `{family}`, found {other:?}"),
+    }
+}
+
+#[test]
+fn fixed_spec_metrics_and_spans_are_jobs_invariant() {
+    let _g = lock();
+    let spec = SweepSpec::smoke_grid().with_seed(7);
+    let (s1, t1) = run_with_jobs(&spec, 1);
+    let (s2, t2) = run_with_jobs(&spec, 2);
+    let (s8, t8) = run_with_jobs(&spec, 8);
+    assert_eq!(s1, s2, "metric totals differ between --jobs 1 and 2");
+    assert_eq!(s1, s8, "metric totals differ between --jobs 1 and 8");
+    assert_eq!(t1, t2, "span counts differ between --jobs 1 and 2");
+    assert_eq!(t1, t8, "span counts differ between --jobs 1 and 8");
+
+    // The instrumentation measured what it claims to measure.
+    assert_eq!(
+        counter(&s1, "ags_sweep_points_claimed_total"),
+        spec.len() as u64
+    );
+    assert_eq!(
+        counter(&s1, "ags_solve_cache_hits_total") + counter(&s1, "ags_solve_cache_misses_total"),
+        spec.len() as u64,
+        "every point is exactly one cache hit or miss on a cold cache"
+    );
+    let point_spans: usize = t1
+        .iter()
+        .filter(|(n, _, _)| *n == "sweep_point")
+        .map(|(_, _, c)| c)
+        .sum();
+    assert_eq!(point_spans, spec.len(), "one sweep_point span per point");
+    assert!(
+        t1.iter().any(|(n, _, _)| *n == "tick"),
+        "tick spans recorded"
+    );
+}
+
+/// Workload subsets the generator draws from (all in the calibrated
+/// catalog).
+const WORKLOAD_PICKS: [&[&str]; 3] = [&["lu_cb"], &["radix", "raytrace"], &["lu_cb", "radix"]];
+const CORE_PICKS: [&[usize]; 3] = [&[2], &[1, 4], &[2, 4]];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized specs: whatever the grid shape and seed, totals and
+    /// span counts match across worker counts.
+    #[test]
+    fn random_spec_metrics_are_jobs_invariant(
+        seed in 0u64..1_000_000,
+        wl_pick in 0usize..WORKLOAD_PICKS.len(),
+        core_pick in 0usize..CORE_PICKS.len(),
+    ) {
+        let _g = lock();
+        let spec = SweepSpec::new(
+            WORKLOAD_PICKS[wl_pick].iter().map(|s| (*s).to_owned()).collect(),
+            CORE_PICKS[core_pick].to_vec(),
+        )
+        .with_seed(seed)
+        .with_ticks(4, 2);
+        let (s1, t1) = run_with_jobs(&spec, 1);
+        let (s2, t2) = run_with_jobs(&spec, 2);
+        let (s8, t8) = run_with_jobs(&spec, 8);
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_eq!(&s1, &s8);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(&t1, &t8);
+        prop_assert_eq!(
+            counter(&s1, "ags_sweep_points_claimed_total"),
+            spec.len() as u64
+        );
+    }
+}
