@@ -96,6 +96,38 @@ impl CpmBank {
         out
     }
 
+    /// One firmware window's complete readout in a single pass over the
+    /// bank: sample-mode and sticky-mode readings for every monitor plus
+    /// each core's worst sample reading.
+    ///
+    /// Equivalent to two [`CpmBank::read_all`] calls and one
+    /// [`CpmBank::core_min_readings`] call (bit for bit), but each
+    /// monitor's frequency-dependent sensitivity is evaluated once
+    /// instead of three times — this is the tick hot path's entry point.
+    #[must_use]
+    pub fn read_window(
+        &self,
+        sample_margins: &[Volts; 8],
+        sticky_margins: &[Volts; 8],
+        core_freqs: &[MegaHertz; 8],
+    ) -> WindowReadout {
+        let mut out = WindowReadout {
+            sample: [CpmReading::MAX; CPMS_PER_SOCKET],
+            sticky: [CpmReading::MAX; CPMS_PER_SOCKET],
+            core_min: [CpmReading::MAX; 8],
+        };
+        for (i, m) in self.monitors.iter().enumerate() {
+            let c = m.id().core().index();
+            let (sample, sticky) = m.read_pair(sample_margins[c], sticky_margins[c], core_freqs[c]);
+            out.sample[i] = sample;
+            out.sticky[i] = sticky;
+            if sample < out.core_min[c] {
+                out.core_min[c] = sample;
+            }
+        }
+        out
+    }
+
     /// The worst (lowest) reading in each core — the value the per-core
     /// DPLL compares against the calibration point every cycle (Sec. 2.2).
     #[must_use]
@@ -138,6 +170,19 @@ impl CpmBank {
     }
 }
 
+/// One firmware window's complete CPM readout, produced by
+/// [`CpmBank::read_window`]. Fixed arrays throughout: building one never
+/// touches the heap.
+#[derive(Debug, Clone)]
+pub struct WindowReadout {
+    /// Sample-mode readings (40, flat-indexed).
+    pub sample: [CpmReading; CPMS_PER_SOCKET],
+    /// Sticky-mode readings (40, flat-indexed).
+    pub sticky: [CpmReading; CPMS_PER_SOCKET],
+    /// The worst sample-mode reading of each core.
+    pub core_min: [CpmReading; 8],
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +218,30 @@ mod tests {
         // The bank mean should stay near the nominal 21 mV/tap.
         let mean = bank.mean_sensitivity(f).millivolts();
         assert!((18.0..24.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn read_window_matches_the_three_separate_passes() {
+        // The fused single-pass readout must be bit-identical to the
+        // separate sample/sticky/core-min reads it replaces — including
+        // through a stuck-at fault, which must show up in all three
+        // views.
+        let mut bank = CpmBank::with_seed(13);
+        let stuck = CpmId::new(CoreId::new(3).unwrap(), 1).unwrap();
+        bank.monitor_mut(stuck).set_stuck_at(CpmReading::new(0));
+        let sample_margins: [Volts; 8] =
+            std::array::from_fn(|i| Volts::from_millivolts(40.0 + 7.0 * i as f64));
+        let sticky_margins: [Volts; 8] =
+            std::array::from_fn(|i| sample_margins[i] - Volts::from_millivolts(15.0));
+        let freqs: [MegaHertz; 8] = std::array::from_fn(|i| MegaHertz(3600.0 + 80.0 * i as f64));
+
+        let fused = bank.read_window(&sample_margins, &sticky_margins, &freqs);
+        assert_eq!(fused.sample, bank.read_all(&sample_margins, &freqs));
+        assert_eq!(fused.sticky, bank.read_all(&sticky_margins, &freqs));
+        assert_eq!(
+            fused.core_min,
+            bank.core_min_readings(&sample_margins, &freqs)
+        );
     }
 
     #[test]

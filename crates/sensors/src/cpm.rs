@@ -155,6 +155,32 @@ impl CriticalPathMonitor {
         CpmReading::saturating(taps)
     }
 
+    /// Reads the detector at two margins sharing one frequency — the
+    /// sample-mode and sticky-mode readouts of a firmware window.
+    ///
+    /// One sensitivity evaluation serves both reads, so this is the tick
+    /// hot path's form; each component is bit-identical to
+    /// [`CriticalPathMonitor::read`] at the same inputs (a stuck detector
+    /// returns its stuck value for both).
+    #[must_use]
+    pub fn read_pair(
+        &self,
+        sample_margin: Volts,
+        sticky_margin: Volts,
+        f: MegaHertz,
+    ) -> (CpmReading, CpmReading) {
+        if let Some(stuck) = self.stuck_at {
+            return (stuck, stuck);
+        }
+        let sensitivity = self.sensitivity_at(f);
+        let sample = self.zero_margin_tap + (sample_margin - self.path_skew) / sensitivity;
+        let sticky = self.zero_margin_tap + (sticky_margin - self.path_skew) / sensitivity;
+        (
+            CpmReading::saturating(sample),
+            CpmReading::saturating(sticky),
+        )
+    }
+
     /// Shifts the zero-margin tap so that `margin` reads `target` at `f`
     /// (guardband calibration, Sec. 2.2).
     pub fn calibrate(&mut self, margin: Volts, f: MegaHertz, target: CpmReading) {

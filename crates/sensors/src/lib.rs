@@ -27,7 +27,7 @@ pub mod cpm;
 pub mod error;
 
 pub use amester::{Amester, CpmWindow};
-pub use bank::CpmBank;
+pub use bank::{CpmBank, WindowReadout};
 pub use calibration::CalibrationReport;
 pub use cpm::{CpmReading, CriticalPathMonitor};
 pub use error::SensorError;

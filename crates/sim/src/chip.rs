@@ -3,6 +3,9 @@
 use crate::assignment::Assignment;
 use crate::config::ServerConfig;
 use crate::error::SimError;
+use crate::solve::{LaneSolution, LaneSpec, SolveBatch};
+#[cfg(feature = "scalar-oracle")]
+use crate::solve::{MAX_SOLVE_ITERATIONS, SOLVE_TOLERANCE};
 use p7_control::{Dpll, GuardbandMode, VoltFreqCurve};
 use p7_pdn::{DidtModel, DropBreakdown, PdnGrid, Rail};
 use p7_power::{ChipPowerModel, CorePowerState, ThermalModel};
@@ -83,18 +86,19 @@ pub struct ChipSim {
     target: MegaHertz,
     chip_seed: u64,
     solve_seed: Option<SolveSeed>,
+    /// Routes this chip's solves through the retained scalar loop instead
+    /// of the batched SoA kernel — the differential harness's oracle.
+    #[cfg(feature = "scalar-oracle")]
+    use_scalar_oracle: bool,
 }
 
-/// Convergence tolerance of the fixed-point voltage↔power solve: iteration
-/// stops once no voltage moved by 0.05 mV, far below every physical effect
-/// in the model.
-const SOLVE_TOLERANCE: Volts = Volts(5.0e-5);
-
-/// Safety cap on solve iterations. The loop contracts quickly (the drop is
-/// a few percent of Vdd), so a cold start converges in a handful of rounds
-/// and a warm start usually in one or two; the cap only guards pathological
-/// configurations such as extreme loadlines.
-const MAX_SOLVE_ITERATIONS: usize = 16;
+/// The window state computed before the electrical solve: this tick's
+/// workload activities and the (possibly re-pinned) DPLL frequencies.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TickPrelude {
+    activities: [f64; CORES_PER_SOCKET],
+    freqs: [MegaHertz; CORES_PER_SOCKET],
+}
 
 impl ChipSim {
     /// Builds one socket's chip from the server config and the assignment.
@@ -151,7 +155,19 @@ impl ChipSim {
             target: config.target_frequency,
             chip_seed,
             solve_seed: None,
+            #[cfg(feature = "scalar-oracle")]
+            use_scalar_oracle: false,
         })
+    }
+
+    /// Routes this chip through the retained scalar solve loop (the
+    /// differential-test oracle) instead of the batched SoA kernel.
+    ///
+    /// Deliberately untouched by [`ChipSim::reset`], so an oracle chip can
+    /// be reused across runs like any other.
+    #[cfg(feature = "scalar-oracle")]
+    pub fn set_scalar_oracle(&mut self, enabled: bool) {
+        self.use_scalar_oracle = enabled;
     }
 
     /// Rewinds this chip to its exactly-as-constructed state so one
@@ -263,6 +279,23 @@ impl ChipSim {
         window: Seconds,
         droop_scale: Option<(f64, f64)>,
     ) -> SocketTick {
+        let prelude = self.begin_window(mode);
+        #[cfg(feature = "scalar-oracle")]
+        if self.use_scalar_oracle {
+            let solution = self.solve_scalar(rail, &prelude);
+            return self.finish_window(rail, mode, window, droop_scale, &prelude, &solution);
+        }
+        let mut batch = SolveBatch::<1>::new();
+        batch.load(0, &self.lane_spec(rail, &prelude));
+        batch.solve();
+        let solution = batch.lane(0);
+        self.finish_window(rail, mode, window, droop_scale, &prelude, &solution)
+    }
+
+    /// Steps 1–2 of a window: draw this window's workload activity from
+    /// the traces and settle the DPLL frequencies (pinned to the DVFS
+    /// target in static mode).
+    pub(crate) fn begin_window(&mut self, mode: GuardbandMode) -> TickPrelude {
         // 1. Workload activity for this window.
         let mut activities = [0.0f64; CORES_PER_SOCKET];
         for (i, trace) in self.traces.iter_mut().enumerate() {
@@ -279,10 +312,39 @@ impl ChipSim {
         }
         let freqs: [MegaHertz; CORES_PER_SOCKET] =
             std::array::from_fn(|i| self.dplls[i].frequency());
+        TickPrelude { activities, freqs }
+    }
 
-        // 3. Fixed-point electrical solve: power ↔ current ↔ voltage.
-        // Seeded from the previous window's converged voltages when
-        // available; iterates until no voltage moves by SOLVE_TOLERANCE.
+    /// Step 3's inputs, packaged for one [`SolveBatch`] lane: the
+    /// electrical substrates plus this window's activity and frequencies,
+    /// warm-started from the previous window's converged solve.
+    pub(crate) fn lane_spec<'a>(
+        &'a self,
+        rail: &'a Rail,
+        prelude: &'a TickPrelude,
+    ) -> LaneSpec<'a> {
+        LaneSpec {
+            rail,
+            power: &self.power_model,
+            grid: &self.grid,
+            temperature: self.thermal.temperature(),
+            states: &self.states,
+            ceffs: &self.ceffs,
+            activities: &prelude.activities,
+            freqs: &prelude.freqs,
+            warm_start: self
+                .solve_seed
+                .map(|seed| (seed.chip_input, seed.core_voltages)),
+        }
+    }
+
+    /// The original array-of-structs fixed-point solve, retained verbatim
+    /// as the differential-test oracle. The batched SoA kernel in
+    /// [`crate::solve`] must reproduce this loop bit for bit.
+    #[cfg(feature = "scalar-oracle")]
+    fn solve_scalar(&self, rail: &Rail, prelude: &TickPrelude) -> LaneSolution {
+        let activities = &prelude.activities;
+        let freqs = &prelude.freqs;
         let temp = self.thermal.temperature();
         let (mut chip_input, mut core_voltages) = match self.solve_seed {
             Some(seed) => (seed.chip_input, seed.core_voltages),
@@ -331,11 +393,40 @@ impl ChipSim {
         solve_span.set_key(u64::from(solve_iterations));
         drop(solve_span);
         crate::telemetry::solve_iterations().observe(f64::from(solve_iterations));
-        self.solve_seed = Some(SolveSeed {
+        let total_current = self.grid.total_current(&core_currents, uncore_current);
+        LaneSolution {
             chip_input,
             core_voltages,
+            core_currents,
+            uncore_current,
+            total_current,
+            total_power,
+            iterations: solve_iterations,
+        }
+    }
+
+    /// Steps 4–8 of a window, from a converged electrical solution: di/dt
+    /// noise, CPM readings, adaptive control, drop decomposition and
+    /// thermal integration. Stores the solution as the next window's
+    /// warm-start seed.
+    pub(crate) fn finish_window(
+        &mut self,
+        rail: &Rail,
+        mode: GuardbandMode,
+        window: Seconds,
+        droop_scale: Option<(f64, f64)>,
+        prelude: &TickPrelude,
+        solution: &LaneSolution,
+    ) -> SocketTick {
+        let freqs = prelude.freqs;
+        let core_voltages = solution.core_voltages;
+        let core_currents = solution.core_currents;
+        let total_power = solution.total_power;
+        let total_current = solution.total_current;
+        self.solve_seed = Some(SolveSeed {
+            chip_input: solution.chip_input,
+            core_voltages,
         });
-        let total_current = self.grid.total_current(&core_currents, uncore_current);
 
         // 4. di/dt noise for this window.
         let running = self.running_core_count();
@@ -353,13 +444,19 @@ impl ChipSim {
         });
         let sticky_margins: [Volts; CORES_PER_SOCKET] =
             std::array::from_fn(|i| sample_margins[i] - (noise.worst - noise.typical));
-        let cpm_sample = self.bank.read_all(&sample_margins, &freqs);
-        let cpm_sticky = self.bank.read_all(&sticky_margins, &freqs);
+        // One fused pass over the bank: sample readings, sticky readings
+        // and each core's worst monitor, with every CPM's sensitivity
+        // evaluated once (bit-identical to three separate passes).
+        let readout = self
+            .bank
+            .read_window(&sample_margins, &sticky_margins, &freqs);
+        let cpm_sample = readout.sample;
+        let cpm_sticky = readout.sticky;
         // The per-core control input is the worst CPM of the core. A core
         // whose worst monitor reads zero reports *no measurable margin* —
         // the hardware's fail-safe is to slow that core down and let the
         // firmware raise the rail, whatever the analytic margin says.
-        let core_min_cpm = self.bank.core_min_readings(&sample_margins, &freqs);
+        let core_min_cpm = readout.core_min;
         let cpm_fail_safe = |i: usize| core_min_cpm[i] == CpmReading::MIN && self.states[i].is_on();
 
         // 6. Control: adaptive modes let each DPLL chase its usable margin.
@@ -461,6 +558,7 @@ impl ChipSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve::SOLVE_TOLERANCE;
     use p7_types::Ohms;
     use p7_workloads::Catalog;
 
@@ -676,6 +774,110 @@ mod tests {
             assert_eq!(tr.core_voltages, tf.core_voltages, "tick {tick}");
             assert_eq!(tr.cpm_sample, tf.cpm_sample, "tick {tick}");
             assert_eq!(tr.cpm_sticky, tf.cpm_sticky, "tick {tick}");
+        }
+    }
+
+    /// Builds a chip with its own workload/core-count so multi-lane
+    /// batches hold genuinely different electrical states per lane.
+    fn chip_for(name: &str, k: usize, seed: u64) -> (ChipSim, Rail) {
+        let cfg = ServerConfig::power7plus(seed);
+        let w = Catalog::power7plus().get(name).unwrap().clone();
+        let a = Assignment::single_socket(&w, k).unwrap();
+        let chip = ChipSim::new(&cfg, &a, SocketId::new(0).unwrap()).unwrap();
+        let rail = Rail::new(cfg.nominal_voltage(), cfg.pdn.vrm_loadline);
+        (chip, rail)
+    }
+
+    #[test]
+    fn partial_batch_matches_individual_lane_solves() {
+        // Remainder masking: a LANES=4 batch with only three occupied
+        // lanes must produce, lane for lane, the bit-identical solutions
+        // of three independent LANES=1 solves. Covers both the cold
+        // first window and warm-seeded later windows.
+        let mode = GuardbandMode::Undervolt;
+        let mut chips = [
+            chip_for("raytrace", 4, 7),
+            chip_for("lu_cb", 8, 11),
+            chip_for("mcf", 2, 13),
+        ];
+        for w in 0..6 {
+            let preludes: Vec<TickPrelude> = chips
+                .iter_mut()
+                .map(|(chip, _)| chip.begin_window(mode))
+                .collect();
+
+            let mut wide = SolveBatch::<4>::new();
+            for (lane, ((chip, rail), prelude)) in chips.iter().zip(&preludes).enumerate() {
+                wide.load(lane, &chip.lane_spec(rail, prelude));
+            }
+            assert_eq!(wide.occupancy(), 3, "lane 3 must stay vacant");
+            wide.solve();
+
+            let mut solutions = Vec::new();
+            for (lane, ((chip, rail), prelude)) in chips.iter().zip(&preludes).enumerate() {
+                let mut narrow = SolveBatch::<1>::new();
+                narrow.load(0, &chip.lane_spec(rail, prelude));
+                narrow.solve();
+                assert_eq!(
+                    wide.lane(lane),
+                    narrow.lane(0),
+                    "window {w} lane {lane}: partial batch diverged from scalar-width batch"
+                );
+                solutions.push(narrow.lane(0));
+            }
+
+            // Advance all chips so the next window exercises warm seeds.
+            for (((chip, rail), prelude), solution) in
+                chips.iter_mut().zip(&preludes).zip(&solutions)
+            {
+                chip.finish_window(rail, mode, window(), None, prelude, solution);
+            }
+        }
+    }
+
+    #[cfg(feature = "scalar-oracle")]
+    #[test]
+    fn lanes_one_batch_is_bit_identical_to_scalar_solve() {
+        // The degenerate LANES=1 batch is the scalar solver: same seeds,
+        // same association order, same iteration count — so the whole
+        // LaneSolution must match the retained scalar loop *exactly*,
+        // not merely within tolerance.
+        for mode in [GuardbandMode::Undervolt, GuardbandMode::Overclock] {
+            let (mut chip, rail) = chip_for("raytrace", 6, 7);
+            for w in 0..12 {
+                let prelude = chip.begin_window(mode);
+                let scalar = chip.solve_scalar(&rail, &prelude);
+                let mut batch = SolveBatch::<1>::new();
+                batch.load(0, &chip.lane_spec(&rail, &prelude));
+                batch.solve();
+                assert_eq!(
+                    batch.lane(0),
+                    scalar,
+                    "window {w} mode {mode}: batch diverged from scalar oracle"
+                );
+                chip.finish_window(&rail, mode, window(), None, &prelude, &scalar);
+            }
+        }
+    }
+
+    #[cfg(feature = "scalar-oracle")]
+    #[test]
+    fn oracle_chip_ticks_bitwise_identical_to_batched() {
+        // End-to-end over the full tick (traces, DPLLs, CPMs, droop):
+        // flipping a chip onto the scalar-oracle path must not change a
+        // single observable bit relative to the batched path.
+        let (mut batched, rail) = chip_for("vips", 5, 9);
+        let (mut oracle, rail2) = chip_for("vips", 5, 9);
+        oracle.set_scalar_oracle(true);
+        for tick in 0..15 {
+            let tb = batched.tick(&rail, GuardbandMode::Undervolt, window());
+            let to = oracle.tick(&rail2, GuardbandMode::Undervolt, window());
+            assert_eq!(tb.power.0, to.power.0, "tick {tick}");
+            assert_eq!(tb.set_point, to.set_point, "tick {tick}");
+            assert_eq!(tb.core_voltages, to.core_voltages, "tick {tick}");
+            assert_eq!(tb.core_freqs, to.core_freqs, "tick {tick}");
+            assert_eq!(tb.cpm_sample, to.cpm_sample, "tick {tick}");
+            assert_eq!(tb.cpm_sticky, to.cpm_sticky, "tick {tick}");
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod journal;
 pub mod measure;
 pub mod resilience;
 pub mod server;
+pub mod solve;
 pub mod sweep;
 pub mod telemetry;
 
@@ -57,6 +58,7 @@ pub use journal::{
 pub use measure::{RunSummary, SocketMetrics};
 pub use resilience::{ResilienceReport, ResilienceSpec, ScenarioResult};
 pub use server::Simulation;
+pub use solve::{LaneSolution, LaneSpec, SolveBatch, MAX_SOLVE_ITERATIONS, SOLVE_TOLERANCE};
 pub use sweep::{
     CachedExperiment, GridPoint, PanicInjector, Placement, PointResult, SolveCache, SweepEngine,
     SweepReport, SweepRunOptions, SweepSpec, DEFAULT_CACHE_CAPACITY,

@@ -173,8 +173,8 @@ impl ResilienceSpec {
         jobs: usize,
         durable: &DurableOptions,
     ) -> Result<ResilienceReport, SimError> {
-        let catalog = Catalog::power7plus();
-        self.validate(&catalog)?;
+        let catalog = Catalog::shared();
+        self.validate(catalog)?;
         let profile = catalog.require(&self.workload)?.clone();
         let assignment = Assignment::single_socket(&profile, self.cores)?;
         let cells: Vec<(usize, usize)> = (0..self.scenarios.len())

@@ -1,11 +1,12 @@
 //! The two-socket server and the simulation engine.
 
 use crate::assignment::Assignment;
-use crate::chip::{ChipSim, SocketTick};
+use crate::chip::{ChipSim, SocketTick, TickPrelude};
 use crate::config::ServerConfig;
 use crate::error::SimError;
 use crate::history::{History, SimEvent, SimEventKind};
 use crate::measure::{Accumulator, RunSummary};
+use crate::solve::SolveBatch;
 use crate::telemetry;
 use p7_control::{
     FirmwareController, GuardbandMode, SafetySupervisor, SupervisorConfig, SupervisorEvent,
@@ -13,7 +14,7 @@ use p7_control::{
 };
 use p7_faults::{DeadCpm, FaultKind, FaultPlan, SensorBias, SocketWindow, StuckCpm, FOREVER};
 use p7_obs::trace;
-use p7_pdn::Vrm;
+use p7_pdn::{Rail, Vrm};
 use p7_sensors::{Amester, CpmReading};
 use p7_types::{
     Amps, CoreId, CpmId, Seconds, SocketId, Volts, CORES_PER_SOCKET, CPMS_PER_CORE,
@@ -64,6 +65,10 @@ pub struct Simulation {
     margin_violations: u64,
     /// Fault/supervisor events not yet drained into a [`History`].
     pending_events: Vec<SimEvent>,
+    /// Routes every solve through the retained scalar loop — the
+    /// differential harness's oracle path.
+    #[cfg(feature = "scalar-oracle")]
+    use_scalar_oracle: bool,
 }
 
 impl Simulation {
@@ -99,7 +104,23 @@ impl Simulation {
             supervisors: None,
             margin_violations: 0,
             pending_events: Vec::new(),
+            #[cfg(feature = "scalar-oracle")]
+            use_scalar_oracle: false,
         })
+    }
+
+    /// Routes every solve in this simulation through the retained scalar
+    /// loop instead of the batched SoA kernel — the oracle side of the
+    /// differential equivalence harness.
+    ///
+    /// Deliberately survives [`Simulation::reset`], so an oracle
+    /// simulation can be reused across runs like any other.
+    #[cfg(feature = "scalar-oracle")]
+    pub fn set_scalar_oracle(&mut self, enabled: bool) {
+        self.use_scalar_oracle = enabled;
+        for chip in &mut self.chips {
+            chip.set_scalar_oracle(enabled);
+        }
     }
 
     /// Rewinds the simulation to its exactly-as-constructed state under a
@@ -472,29 +493,32 @@ impl Simulation {
             self.apply_fault_windows(tick_index, windows);
         }
 
-        let ticks: [SocketTick; NUM_SOCKETS] = std::array::from_fn(|i| {
+        let rails: [Rail; NUM_SOCKETS] = std::array::from_fn(|i| {
             let socket = SocketId::new(i as u8).expect("socket in range");
             // Rail is a small Copy value: snapshot it instead of cloning
             // through an allocation-visible path.
-            let rail = *self.vrm.rail(socket);
-            // The supervisor may have degraded this socket to static.
-            let mode = self.effective_mode(i);
-            let droop_scale = fault_windows.as_ref().and_then(|w| {
+            *self.vrm.rail(socket)
+        });
+        // The supervisor may have degraded a socket to static.
+        let modes: [GuardbandMode; NUM_SOCKETS] = std::array::from_fn(|i| self.effective_mode(i));
+        let droop_scales: [Option<(f64, f64)>; NUM_SOCKETS] = std::array::from_fn(|i| {
+            fault_windows.as_ref().and_then(|w| {
                 let fw = &w[i];
                 (fw.droop_typical_scale != 1.0 || fw.droop_worst_scale != 1.0)
                     .then_some((fw.droop_typical_scale, fw.droop_worst_scale))
-            });
-            let t = self.chips[i].tick_scaled(&rail, mode, WINDOW, droop_scale);
+            })
+        });
+        let ticks = self.solve_sockets(&rails, modes, droop_scales);
+        for i in 0..NUM_SOCKETS {
             // Telemetry mirrors what AMESTER would record; a lost window
             // simply never arrives.
             let lost = fault_windows.as_ref().is_some_and(|w| w[i].telemetry_lost);
             if !lost {
                 self.amesters[i]
-                    .record(self.time, t.cpm_sample, t.cpm_sticky)
+                    .record(self.time, ticks[i].cpm_sample, ticks[i].cpm_sticky)
                     .expect("window cadence respects the 32 ms limit");
             }
-            t
-        });
+        }
 
         // Firmware: in undervolting mode each socket's rail chases its
         // slowest powered-on core; rails of fully gated sockets park at
@@ -532,6 +556,42 @@ impl Simulation {
         self.time += WINDOW;
         self.tick_index += 1;
         ticks
+    }
+
+    /// Solves every socket's window as one [`SolveBatch`]: both sockets'
+    /// electrical fixed points advance in lock-step lanes of the SoA
+    /// kernel, then each chip finishes its window (noise, CPMs, control,
+    /// thermal) from its lane's solution. Lanes are independent, so this
+    /// is bitwise identical to ticking the sockets one at a time.
+    fn solve_sockets(
+        &mut self,
+        rails: &[Rail; NUM_SOCKETS],
+        modes: [GuardbandMode; NUM_SOCKETS],
+        droop_scales: [Option<(f64, f64)>; NUM_SOCKETS],
+    ) -> [SocketTick; NUM_SOCKETS] {
+        #[cfg(feature = "scalar-oracle")]
+        if self.use_scalar_oracle {
+            return std::array::from_fn(|i| {
+                self.chips[i].tick_scaled(&rails[i], modes[i], WINDOW, droop_scales[i])
+            });
+        }
+        let preludes: [TickPrelude; NUM_SOCKETS] =
+            std::array::from_fn(|i| self.chips[i].begin_window(modes[i]));
+        let mut batch = SolveBatch::<NUM_SOCKETS>::new();
+        for i in 0..NUM_SOCKETS {
+            batch.load(i, &self.chips[i].lane_spec(&rails[i], &preludes[i]));
+        }
+        batch.solve();
+        std::array::from_fn(|i| {
+            self.chips[i].finish_window(
+                &rails[i],
+                modes[i],
+                WINDOW,
+                droop_scales[i],
+                &preludes[i],
+                &batch.lane(i),
+            )
+        })
     }
 
     /// Like [`Simulation::run`] but also records the full per-window time

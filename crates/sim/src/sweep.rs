@@ -26,7 +26,10 @@
 use crate::assignment::Assignment;
 use crate::error::SimError;
 use crate::experiment::{Experiment, Outcome};
-use crate::journal::{fnv64, run_durable_indexed, CampaignManifest, DurableOptions, FailedPoint};
+use crate::journal::{
+    fnv64, run_durable_indexed, CampaignManifest, DurableOptions, FailedPoint, JournalMode,
+    OpenedJournal,
+};
 use crate::server::Simulation;
 use crate::telemetry;
 use p7_control::GuardbandMode;
@@ -628,27 +631,78 @@ impl SolveCache {
         Ok((outcome, true))
     }
 
-    /// Current counters.
+    /// Probes a whole lane block — every guardband mode of one
+    /// `(experiment, assignment)` — under **one** lock acquisition,
+    /// filling `out` with `Some(outcome)` per present lane and `None` per
+    /// absent one.
     ///
-    /// These are the *per-instance* counters of this cache. Aggregate
-    /// counters across every cache in the process are published through
-    /// the [`crate::telemetry`] registry families
-    /// `ags_solve_cache_{hits,misses,evictions}_total` and
-    /// `ags_solve_cache_entries`, which is the one supported way to read
-    /// cache stats going forward (exported by `ags … --metrics`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the ags_solve_cache_* families from the p7-obs registry \
-                (p7_obs::metrics::global().snapshot() or `ags … --metrics`)"
-    )]
+    /// Counting stays per lane, never per batch: each present lane bumps
+    /// the hit counter exactly once here, and each absent lane is expected
+    /// to go through [`SolveCache::solve_with_status`] individually, which
+    /// records its miss. A point therefore counts exactly once whichever
+    /// path answers it.
+    ///
+    /// The fingerprint arguments carry the same contracts as
+    /// [`SolveCache::solve_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_lanes(
+        &self,
+        experiment_fp: u64,
+        assignment_fp: u64,
+        modes: &[GuardbandMode],
+        measure_ticks: usize,
+        warmup_ticks: usize,
+        fault_fp: u64,
+        out: &mut Vec<Option<Arc<Outcome>>>,
+    ) {
+        out.clear();
+        out.reserve(modes.len());
+        let map = self.map.lock().expect("cache lock");
+        for &mode in modes {
+            let key = SolveKey {
+                config_fingerprint: experiment_fp,
+                assignment_fingerprint: assignment_fp,
+                mode,
+                measure_ticks,
+                warmup_ticks,
+                fault_fingerprint: fault_fp,
+            };
+            match map.get(&key) {
+                Some(hit) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry::solve_cache_hits().inc();
+                    out.push(Some(hit.clone()));
+                }
+                None => out.push(None),
+            }
+        }
+    }
+
+    /// Current counters of this cache instance (what a sweep report
+    /// embeds as `stats.cache`). Aggregates across every cache in the
+    /// process are published through the [`crate::telemetry`] registry
+    /// families `ags_solve_cache_{hits,misses,evictions}_total` and
+    /// `ags_solve_cache_entries` (exported by `ags … --metrics`).
     #[must_use]
-    pub fn stats(&self) -> CacheStats {
+    pub fn counters(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().expect("cache lock").len(),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current counters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SolveCache::counters() for per-instance numbers, or read the \
+                ags_solve_cache_* families from the p7-obs registry \
+                (p7_obs::metrics::global().snapshot() or `ags … --metrics`)"
+    )]
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.counters()
     }
 }
 
@@ -870,11 +924,19 @@ impl fmt::Debug for SweepRunOptions {
     }
 }
 
+/// Entries kept in an engine's compiled-spec memo before it is cleared
+/// wholesale. A spec compiles in well under a millisecond, so eviction
+/// only ever costs a recompile.
+const COMPILED_SPEC_MEMO_CAPACITY: usize = 64;
+
 /// The parallel sweep runner.
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
     jobs: usize,
     cache: Arc<SolveCache>,
+    /// Compiled-spec memo, keyed by the spec's canonical JSON hash and
+    /// shared by clones of this engine.
+    compiled: Arc<Mutex<HashMap<u64, Arc<CompiledSpec>>>>,
 }
 
 impl SweepEngine {
@@ -891,6 +953,7 @@ impl SweepEngine {
         SweepEngine {
             jobs: resolve_jobs(jobs),
             cache,
+            compiled: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -939,12 +1002,95 @@ impl SweepEngine {
         spec: &SweepSpec,
         options: &SweepRunOptions,
     ) -> Result<SweepReport, SimError> {
-        let catalog = Catalog::power7plus();
-        spec.validate(&catalog)?;
-        let profiles: Vec<WorkloadProfile> = spec
+        let started = Instant::now();
+        let spec_json = spec.to_json();
+        let compiled = self.compile(spec, &spec_json)?;
+        let points = &compiled.points;
+        let modes_per_block = compiled.modes.len().max(1);
+
+        // Journals are the exception: the common in-memory path skips the
+        // manifest serialization and the filesystem open entirely.
+        let opened = if matches!(options.durable.journal, JournalMode::Off) {
+            OpenedJournal {
+                journal: None,
+                entries: Vec::new(),
+                skipped_segments: 0,
+            }
+        } else {
+            options
+                .durable
+                .journal
+                .open::<PointResult>(&spec.manifest())?
+        };
+        // The manifest fingerprint already pins the spec, so a recovered
+        // entry that disagrees with the grid means on-disk corruption
+        // that slipped past the segment checksums — refuse it.
+        for (idx, result) in &opened.entries {
+            if *idx >= points.len() || result.point != points[*idx] {
+                return Err(SimError::Journal {
+                    reason: format!("recovered entry {idx} does not match the spec's grid"),
+                });
+            }
+        }
+
+        // Chunked claiming hands all modes of one assignment block — one
+        // cache lane block — to the same worker, so its scratch simulation
+        // is reset (not rebuilt) between modes and the whole block is
+        // probed from the cache in one lock acquisition.
+        let solved = run_durable_indexed(
+            self.jobs,
+            points.len(),
+            modes_per_block,
+            SweepScratch::new,
+            |scratch, idx| {
+                if let Some(inject) = &options.panic_injector {
+                    if inject(&points[idx]) {
+                        panic!("injected panic at grid point {idx}");
+                    }
+                }
+                self.solve_point(&compiled, idx, scratch)
+            },
+            opened,
+            &options.durable,
+        )?;
+
+        Ok(SweepReport {
+            spec: spec.clone(),
+            results: solved.results.into_iter().flatten().collect(),
+            failed_points: solved.failed,
+            stats: SweepStats {
+                points: points.len(),
+                jobs: self.jobs,
+                elapsed_secs: started.elapsed().as_secs_f64(),
+                // The per-sweep report keeps this cache's own counters;
+                // the registry families aggregate across the process.
+                cache: self.cache.counters(),
+            },
+        })
+    }
+
+    /// Expands and fingerprints a spec, memoized on the spec's canonical
+    /// JSON. A warm rerun of the same spec — the steady state of bench
+    /// loops and repeated campaigns — skips validation, catalog lookup,
+    /// assignment construction and, dominant on that path, the serde
+    /// fingerprinting of every block.
+    fn compile(&self, spec: &SweepSpec, spec_json: &str) -> Result<Arc<CompiledSpec>, SimError> {
+        let memo_key = fnv64(spec_json.as_bytes());
+        if let Some(hit) = self
+            .compiled
+            .lock()
+            .expect("compiled-spec memo lock")
+            .get(&memo_key)
+        {
+            return Ok(Arc::clone(hit));
+        }
+
+        let catalog = Catalog::shared();
+        spec.validate(catalog)?;
+        let profiles: Vec<&WorkloadProfile> = spec
             .workloads
             .iter()
-            .map(|name| catalog.require(name).cloned())
+            .map(|name| catalog.require(name))
             .collect::<Result<_, _>>()?;
         let points = spec.grid_points();
         // Points are expanded workload-major, so a point's profile is
@@ -954,8 +1100,6 @@ impl SweepEngine {
         // Every point shares the execution model; only the per-point
         // config (seed) varies. Fingerprint the model once, not per solve.
         let exec_fp = fingerprint(&ExecutionModel::power7plus()).rotate_left(17);
-
-        let started = Instant::now();
 
         // Modes are the innermost grid dimension, so every run of
         // `modes.len()` consecutive points shares one (workload, cores,
@@ -967,7 +1111,7 @@ impl SweepEngine {
         let mut blocks = Vec::with_capacity(points.len() / modes_per_block.max(1));
         for chunk in points.chunks(modes_per_block.max(1)) {
             let point = &chunk[0];
-            let profile = &profiles[point.index / block];
+            let profile = profiles[point.index / block];
             let mut experiment = Experiment::power7plus(spec.point_seed(point))
                 .with_ticks(spec.measure_ticks, spec.warmup_ticks);
             if let Some(plan) = &spec.faults {
@@ -986,65 +1130,67 @@ impl SweepEngine {
             });
         }
 
-        let manifest = spec.manifest();
-        let opened = options.durable.journal.open::<PointResult>(&manifest)?;
-        // The manifest fingerprint already pins the spec, so a recovered
-        // entry that disagrees with the grid means on-disk corruption
-        // that slipped past the segment checksums — refuse it.
-        for (idx, result) in &opened.entries {
-            if *idx >= points.len() || result.point != points[*idx] {
-                return Err(SimError::Journal {
-                    reason: format!("recovered entry {idx} does not match the spec's grid"),
-                });
-            }
+        let compiled = Arc::new(CompiledSpec {
+            points,
+            blocks,
+            modes: spec.modes.clone(),
+        });
+        let mut memo = self.compiled.lock().expect("compiled-spec memo lock");
+        if memo.len() >= COMPILED_SPEC_MEMO_CAPACITY {
+            // Coarse eviction, like the solve cache: recompiling is cheap,
+            // unbounded growth is not.
+            memo.clear();
         }
-
-        // Chunked claiming hands all modes of one assignment block to the
-        // same worker, so its scratch simulation is reset — not rebuilt —
-        // between modes.
-        let solved = run_durable_indexed(
-            self.jobs,
-            points.len(),
-            modes_per_block,
-            || None,
-            |scratch, idx| {
-                if let Some(inject) = &options.panic_injector {
-                    if inject(&points[idx]) {
-                        panic!("injected panic at grid point {idx}");
-                    }
-                }
-                let block_idx = idx / modes_per_block.max(1);
-                self.solve_point(&blocks[block_idx], &points[idx], block_idx, scratch)
-            },
-            opened,
-            &options.durable,
-        )?;
-
-        Ok(SweepReport {
-            spec: spec.clone(),
-            results: solved.results.into_iter().flatten().collect(),
-            failed_points: solved.failed,
-            stats: SweepStats {
-                points: points.len(),
-                jobs: self.jobs,
-                elapsed_secs: started.elapsed().as_secs_f64(),
-                // The per-sweep report keeps this cache's own counters;
-                // the registry families aggregate across the process.
-                #[allow(deprecated)]
-                cache: self.cache.stats(),
-            },
-        })
+        memo.insert(memo_key, Arc::clone(&compiled));
+        Ok(compiled)
     }
 
     /// Solves one point, reporting whether it was freshly computed
     /// (journal-worthy) or a cache hit (free to reproduce on resume).
+    ///
+    /// The first point a worker sees of an assignment block probes the
+    /// block's whole cache lane block — every guardband mode — in one
+    /// lock acquisition; lanes the probe found are answered from the
+    /// prefetch, and lanes it missed fall through to the memoized solve,
+    /// which reuses the worker's scratch simulation across the block.
     fn solve_point(
         &self,
-        ctx: &BlockContext,
-        point: &GridPoint,
-        block_idx: usize,
-        scratch: &mut Option<(usize, Simulation)>,
+        compiled: &CompiledSpec,
+        idx: usize,
+        scratch: &mut SweepScratch,
     ) -> Result<(PointResult, bool), SimError> {
+        let modes_per_block = compiled.modes.len().max(1);
+        let block_idx = idx / modes_per_block;
+        let lane = idx % modes_per_block;
+        let ctx = &compiled.blocks[block_idx];
+        let point = &compiled.points[idx];
+
+        if scratch.prefetched_block != Some(block_idx) {
+            scratch.prefetched_block = Some(block_idx);
+            self.cache.probe_lanes(
+                ctx.experiment_fp,
+                ctx.assignment_fp,
+                &compiled.modes,
+                ctx.experiment.measure_ticks(),
+                ctx.experiment.warmup_ticks(),
+                ctx.fault_fp,
+                &mut scratch.prefetched,
+            );
+        }
+        if let Some(outcome) = scratch
+            .prefetched
+            .get_mut(lane)
+            .and_then(|slot| slot.take())
+        {
+            return Ok((
+                PointResult {
+                    point: point.clone(),
+                    outcome: (*outcome).clone(),
+                },
+                false,
+            ));
+        }
+
         let (outcome, computed) = self.cache.solve_with_status(
             ctx.experiment_fp,
             ctx.assignment_fp,
@@ -1056,14 +1202,14 @@ impl SweepEngine {
                 // Build the worker's scratch simulation only when it was
                 // last used for a different assignment block; `run_with`
                 // resets it bitwise before every run.
-                let stale = !matches!(scratch, Some((idx, _)) if *idx == block_idx);
+                let stale = !matches!(&scratch.sim, Some((idx, _)) if *idx == block_idx);
                 if stale {
                     let sim = ctx
                         .experiment
                         .build_simulation(&ctx.assignment, point.mode)?;
-                    *scratch = Some((block_idx, sim));
+                    scratch.sim = Some((block_idx, sim));
                 }
-                let (_, sim) = scratch.as_mut().expect("scratch populated above");
+                let (_, sim) = scratch.sim.as_mut().expect("scratch populated above");
                 ctx.experiment.run_with(sim, point.mode)
             },
         )?;
@@ -1074,6 +1220,35 @@ impl SweepEngine {
             },
             computed,
         ))
+    }
+}
+
+/// A spec compiled to its solve plan: the expanded grid, the per-block
+/// solve contexts and the mode (lane) dimension. Memoized per engine —
+/// see [`SweepEngine::compile`].
+#[derive(Debug)]
+struct CompiledSpec {
+    points: Vec<GridPoint>,
+    blocks: Vec<BlockContext>,
+    modes: Vec<GuardbandMode>,
+}
+
+/// Per-worker scratch carried across a sweep: the reusable simulation
+/// (tagged with the assignment block it was built for) and the current
+/// block's prefetched cache lanes.
+struct SweepScratch {
+    sim: Option<(usize, Simulation)>,
+    prefetched_block: Option<usize>,
+    prefetched: Vec<Option<Arc<Outcome>>>,
+}
+
+impl SweepScratch {
+    fn new() -> Self {
+        SweepScratch {
+            sim: None,
+            prefetched_block: None,
+            prefetched: Vec::new(),
+        }
     }
 }
 
@@ -1290,7 +1465,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // asserts the per-instance counters directly
     fn faulted_sweep_never_answers_from_healthy_cache_entries() {
         // Same engine, same cache, same grid — with and without a fault
         // plan. The faulted sweep must re-solve every point (distinct
@@ -1302,14 +1476,14 @@ mod tests {
         let cache = Arc::new(SolveCache::new());
         let engine = SweepEngine::with_cache(1, cache.clone());
         let healthy = engine.run(&spec).unwrap();
-        let cold = cache.stats();
+        let cold = cache.counters();
         assert_eq!(cold.misses as usize, spec.len());
 
         let faulted_spec = spec
             .clone()
             .with_faults(p7_faults::FaultPlan::named("dead-cpm").unwrap());
         let faulted = engine.run(&faulted_spec).unwrap();
-        let after = cache.stats();
+        let after = cache.counters();
         assert_eq!(
             after.misses as usize,
             spec.len() + faulted_spec.len(),
@@ -1323,7 +1497,71 @@ mod tests {
 
         // And the faulted entries answer repeat faulted sweeps.
         engine.run(&faulted_spec).unwrap();
-        assert_eq!(cache.stats().misses, after.misses);
+        assert_eq!(cache.counters().misses, after.misses);
+    }
+
+    #[test]
+    fn probe_lanes_counts_hits_per_present_lane() {
+        // A block probe is one lock acquisition but N lane lookups: the
+        // hit counter must advance once per *present* lane, and absent
+        // lanes must come back `None` without touching any counter
+        // (their miss is charged by the solve that follows).
+        let cache = SolveCache::new();
+        let exp = Experiment::power7plus(3).with_ticks(3, 1);
+        let w = Catalog::power7plus().get("radix").unwrap().clone();
+        let a = Assignment::single_socket(&w, 2).unwrap();
+        let (exp_fp, a_fp) = (fingerprint(exp.config()), fingerprint(&a));
+        let modes = GuardbandMode::all();
+
+        // Populate exactly one of the three mode lanes.
+        cache
+            .solve_with(exp_fp, a_fp, modes[1], 3, 1, 0, || exp.run(&a, modes[1]))
+            .unwrap();
+        let seeded = cache.counters();
+        assert_eq!((seeded.hits, seeded.misses), (0, 1));
+
+        let mut lanes = Vec::new();
+        cache.probe_lanes(exp_fp, a_fp, &modes, 3, 1, 0, &mut lanes);
+        assert_eq!(lanes.len(), 3);
+        assert!(lanes[0].is_none() && lanes[2].is_none());
+        assert!(lanes[1].is_some(), "the seeded lane must be prefetched");
+        let probed = cache.counters();
+        assert_eq!(probed.hits, 1, "one present lane = one hit");
+        assert_eq!(probed.misses, 1, "absent lanes charge nothing here");
+
+        // A different fault fingerprint vacates every lane.
+        cache.probe_lanes(exp_fp, a_fp, &modes, 3, 1, 0xdead, &mut lanes);
+        assert!(lanes.iter().all(Option::is_none));
+        assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn mixed_warm_sweep_counts_hits_and_misses_per_lane() {
+        // Pre-populate one mode lane of every assignment block via a
+        // single-mode sweep, then run the full three-mode grid: each
+        // block must report exactly one hit (the warm lane) and two
+        // misses — per-lane accounting, not per-batch.
+        let full = SweepSpec::new(vec!["raytrace".into(), "radix".into()], vec![1, 4])
+            .with_modes(GuardbandMode::all().to_vec())
+            .with_ticks(4, 2);
+        let subset = full.clone().with_modes(vec![GuardbandMode::Undervolt]);
+        let blocks = subset.len();
+
+        let cache = Arc::new(SolveCache::new());
+        let engine = SweepEngine::with_cache(2, cache.clone());
+        engine.run(&subset).unwrap();
+        assert_eq!(cache.counters().misses as usize, blocks);
+
+        let report = engine.run(&full).unwrap();
+        assert_eq!(
+            report.stats.cache.hits as usize, blocks,
+            "one warm lane per block"
+        );
+        assert_eq!(
+            report.stats.cache.misses as usize,
+            full.len(),
+            "the two cold lanes of each block miss"
+        );
     }
 
     #[test]
@@ -1403,18 +1641,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // asserts the per-instance counters directly
     fn cache_answers_repeat_solves() {
         let cache = Arc::new(SolveCache::new());
         let engine = SweepEngine::with_cache(2, cache.clone());
         let spec = tiny_spec();
         let first = engine.run(&spec).unwrap();
-        let after_cold = cache.stats();
+        let after_cold = cache.counters();
         // Every grid cell is a distinct (assignment, mode) key, so the
         // cold sweep misses once per point…
         assert_eq!(after_cold.misses as usize, first.results.len());
         let second = engine.run(&spec).unwrap();
-        let after_warm = cache.stats();
+        let after_warm = cache.counters();
         // …and the warm sweep answers every point from the cache.
         assert_eq!(after_warm.misses, after_cold.misses, "warm run re-solved");
         assert_eq!(after_warm.hits, after_cold.hits + spec.len() as u64);
@@ -1459,7 +1696,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // asserts the per-instance counters directly
     fn cached_experiment_matches_plain_runs() {
         let exp = Experiment::power7plus(42).with_ticks(4, 2);
         let cached = CachedExperiment::with_cache(exp.clone(), Arc::new(SolveCache::new()));
@@ -1469,7 +1705,7 @@ mod tests {
         let memo = cached.run(&a, GuardbandMode::Undervolt).unwrap();
         assert_eq!(*memo, plain);
         let again = cached.run(&a, GuardbandMode::Undervolt).unwrap();
-        assert_eq!(cached.cache().stats().hits, 1);
+        assert_eq!(cached.cache().counters().hits, 1);
         assert_eq!(*again, plain);
     }
 

@@ -17,8 +17,8 @@ use p7_obs::metrics::{global, Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
 
 /// Bucket bounds for the fixed-point solve iteration histogram. The loop
-/// is capped at 16 iterations ([`crate::chip`]); warm-started solves
-/// normally converge in 1–3.
+/// is capped at 16 iterations ([`crate::solve::MAX_SOLVE_ITERATIONS`]);
+/// warm-started solves normally converge in 1–3.
 pub const SOLVE_ITERATION_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0];
 
 /// Bucket bounds for durable-journal segment writes (seconds). Covers
@@ -33,6 +33,15 @@ pub const SEGMENT_WRITE_BOUNDS: &[f64] = &[
 /// `fetch_add`, so anything above a few µs means allocator or scheduler
 /// interference.
 pub const CHUNK_WAIT_BOUNDS: &[f64] = &[1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Bucket bounds for solve-batch occupancy (lanes loaded per batched
+/// solve). A server tick batches its two sockets; sweep-scale batching can
+/// fill wider batches.
+pub const BATCH_OCCUPANCY_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Bucket bounds for lanes converging per batch iteration. Zero is a real
+/// observation (an iteration where every active lane kept moving).
+pub const LANES_CONVERGED_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 
 macro_rules! counter_accessor {
     ($(#[$doc:meta])* $fn_name:ident, $name:literal, $help:literal) => {
@@ -84,6 +93,22 @@ histogram_accessor!(
     "ags_solve_iterations",
     "Fixed-point solve iterations per socket window (warm starts converge in 1-3)",
     SOLVE_ITERATION_BOUNDS
+);
+
+histogram_accessor!(
+    /// Lanes loaded into each batched solve ([`crate::solve::SolveBatch`]).
+    solve_batch_occupancy,
+    "ags_solve_batch_occupancy",
+    "Occupied lanes per batched steady-state solve",
+    BATCH_OCCUPANCY_BOUNDS
+);
+
+histogram_accessor!(
+    /// Lanes whose residual dropped below tolerance in one batch iteration.
+    solve_lanes_converged,
+    "ags_solve_lanes_converged",
+    "Lanes converging per batched solve iteration",
+    LANES_CONVERGED_BOUNDS
 );
 
 counter_accessor!(
@@ -165,6 +190,8 @@ pub fn register_all() {
     sim_ticks();
     margin_violations();
     solve_iterations();
+    solve_batch_occupancy();
+    solve_lanes_converged();
     solve_cache_hits();
     solve_cache_misses();
     solve_cache_evictions();
@@ -199,6 +226,8 @@ mod tests {
             SOLVE_ITERATION_BOUNDS,
             SEGMENT_WRITE_BOUNDS,
             CHUNK_WAIT_BOUNDS,
+            BATCH_OCCUPANCY_BOUNDS,
+            LANES_CONVERGED_BOUNDS,
         ] {
             assert!(bounds.windows(2).all(|w| w[0] < w[1]));
         }

@@ -200,6 +200,17 @@ impl Catalog {
         Catalog { profiles }
     }
 
+    /// The process-wide calibrated catalog, built once.
+    ///
+    /// [`Catalog::power7plus`] re-validates the whole calibration table on
+    /// every call; hot callers (the sweep engine compiles specs per run)
+    /// share this instance instead.
+    #[must_use]
+    pub fn shared() -> &'static Catalog {
+        static SHARED: std::sync::OnceLock<Catalog> = std::sync::OnceLock::new();
+        SHARED.get_or_init(Catalog::power7plus)
+    }
+
     /// Looks a benchmark up by its paper name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&WorkloadProfile> {

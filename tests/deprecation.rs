@@ -1,0 +1,68 @@
+//! Deprecation firewall for retired APIs.
+//!
+//! `SolveCache::stats()` is deprecated in favour of
+//! `SolveCache::counters()`; the shim is kept for downstream callers
+//! but the workspace itself must not grow new call sites. A source
+//! scan is crude but effective: unlike `#[deny(deprecated)]`, it also
+//! catches call sites that would silence the lint with an `#[allow]`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under `dir`, skipping vendored and build
+/// trees (the vendored crates are third-party surface, not ours).
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_internal_callers_of_deprecated_cache_stats() {
+    // Built dynamically so this test doesn't flag itself.
+    let needle = format!(".{}()", "stats");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for top in ["src", "crates", "tests", "benches"] {
+        rust_sources(&root.join(top), &mut sources);
+    }
+    assert!(
+        sources.len() > 20,
+        "source walk looks broken: found only {} files",
+        sources.len()
+    );
+
+    let mut offenders = Vec::new();
+    for path in sources {
+        let text = fs::read_to_string(&path).expect("readable source file");
+        for (lineno, line) in text.lines().enumerate() {
+            if line.contains(&needle) {
+                offenders.push(format!(
+                    "{}:{}: {}",
+                    path.display(),
+                    lineno + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "deprecated SolveCache::{}() called; use SolveCache::counters() instead:\n{}",
+        "stats",
+        offenders.join("\n")
+    );
+}

@@ -95,6 +95,65 @@ fn droop_storm_shrinks_but_never_inverts_the_guardband() {
 }
 
 #[test]
+fn faulted_lanes_never_reuse_healthy_cache_entries() {
+    // The sweep engine prefetches whole cache-lane blocks (one lane per
+    // guardband mode) in a single probe. The fault fingerprint is part
+    // of every lane key, so a faulted sweep over the same grid must not
+    // be answered from healthy entries — per lane, not per batch.
+    use ags::faults::FaultPlan;
+    use ags::sim::{SolveCache, SweepEngine, SweepSpec};
+    use std::sync::Arc;
+
+    let spec = SweepSpec::new(vec!["raytrace".into(), "gcc".into()], vec![2, 6])
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+            GuardbandMode::Overclock,
+        ])
+        // 16 windows: the named scenarios strike from window 10 onward.
+        .with_ticks(12, 4);
+    let cache = Arc::new(SolveCache::new());
+    let engine = SweepEngine::with_cache(2, cache.clone());
+
+    let healthy = engine.run(&spec).unwrap();
+    engine.run(&spec).unwrap();
+    let warm = cache.counters();
+    assert_eq!(warm.misses as usize, spec.len(), "cold pass solves all");
+    assert_eq!(warm.hits as usize, spec.len(), "warm pass hits every lane");
+
+    let faulted_spec = spec
+        .clone()
+        .with_faults(FaultPlan::named("dead-cpm").unwrap());
+    let faulted = engine.run(&faulted_spec).unwrap();
+    let after = cache.counters();
+    assert_eq!(
+        after.hits, warm.hits,
+        "faulted lanes were answered from healthy entries"
+    );
+    assert_eq!(
+        after.misses as usize,
+        spec.len() + faulted_spec.len(),
+        "every faulted lane must re-solve"
+    );
+    assert_ne!(
+        healthy.results_json(),
+        faulted.results_json(),
+        "the fault plan must change at least one outcome"
+    );
+
+    // The faulted entries now answer a repeat faulted sweep, again
+    // counted per lane.
+    engine.run(&faulted_spec).unwrap();
+    let repeat = cache.counters();
+    assert_eq!(repeat.misses, after.misses);
+    assert_eq!(
+        repeat.hits as usize,
+        spec.len() + faulted_spec.len(),
+        "repeat faulted pass hits every faulted lane"
+    );
+}
+
+#[test]
 fn faulted_runs_remain_deterministic() {
     let build = || {
         let cfg = ServerConfig::power7plus(9);

@@ -13,6 +13,12 @@
 //! * anything else (e.g. `cargo test` smoke-running a
 //!   `harness = false` target): each benchmark body executes exactly
 //!   once, so the target stays a fast compile-and-smoke check.
+//!
+//! Like real criterion, the first non-flag argument is a substring
+//! filter: `cargo bench --bench sweep -- sweep_engine_warm` runs only
+//! benchmarks whose name contains `sweep_engine_warm`. Filtered-out
+//! benchmarks are skipped entirely (their setup closures still run;
+//! their routines do not).
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +30,7 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     sample_size: usize,
     timed: bool,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -31,6 +38,9 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             timed: std::env::args().any(|a| a == "--bench"),
+            // The first non-flag argument (after the binary path) is a
+            // name filter, matching real criterion's CLI.
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
         }
     }
 }
@@ -49,11 +59,16 @@ impl Criterion {
         self
     }
 
-    /// Runs one named benchmark.
+    /// Runs one named benchmark, unless a CLI filter excludes it.
     pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
         let mut bencher = Bencher {
             samples: Vec::new(),
             timed: self.timed,
@@ -158,6 +173,7 @@ mod tests {
         let mut c = Criterion {
             sample_size: 5,
             timed: false,
+            filter: None,
         };
         let mut runs = 0;
         c.bench_function("t", |b| b.iter(|| runs += 1));
@@ -169,11 +185,26 @@ mod tests {
         let mut c = Criterion {
             sample_size: 4,
             timed: true,
+            filter: None,
         };
         let mut runs = 0u64;
         c.bench_function("t", |b| b.iter(|| runs += 1));
         // 4 samples × (1 warm-up + 3 timed iterations).
         assert_eq!(runs, 16);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            sample_size: 5,
+            timed: false,
+            filter: Some("warm".to_owned()),
+        };
+        let mut runs = Vec::new();
+        c.bench_function("sweep_engine_cold", |b| b.iter(|| runs.push("cold")))
+            .bench_function("sweep_engine_warm", |b| b.iter(|| runs.push("warm")))
+            .bench_function("campaign_warm_journal", |b| b.iter(|| runs.push("journal")));
+        assert_eq!(runs, ["warm", "journal"], "substring match, like criterion");
     }
 
     #[test]
