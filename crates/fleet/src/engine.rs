@@ -1,0 +1,1046 @@
+//! The fleet engine: thousands of simulated servers sharded across
+//! workers, advanced through wide solver lanes, with deterministic
+//! work-stealing.
+//!
+//! # Sharding
+//!
+//! The fleet is cut into contiguous *shards* of [`FleetSpec::shard_servers`]
+//! servers. A shard is the unit of everything: worker scheduling, panic
+//! quarantine, journal checkpoints, and — because its default size packs a
+//! 16-lane [`SolveBatch`](p7_sim::SolveBatch) exactly — one wide-lane
+//! kernel pass per epoch. Each shard's result is a pure function of
+//! `(spec, shard index)`: demand is open-loop, per-server seeds and
+//! tenants derive from the spec, and the memoized solve cache only ever
+//! short-circuits work whose value is already determined. Workers
+//! therefore share **no mutable state on the tick path**, and the merged
+//! report is byte-identical at any `--jobs` and across any
+//! interrupt/resume split.
+//!
+//! # Work stealing
+//!
+//! Shards are pre-partitioned into one contiguous range per worker, each
+//! with its own atomic cursor. A worker drains its own range first —
+//! preserving the sweep engine's cache-friendly contiguous claiming — and
+//! only then walks the other ranges in a fixed rotation, `fetch_add`-ing
+//! on their cursors. A steal moves *where* a shard is computed, never
+//! *what* it computes, so load imbalance (a flash crowd concentrated in a
+//! few epochs, a drained rack finishing instantly) costs idle time on one
+//! worker instead of wall-clock on the campaign.
+
+use crate::spec::FleetSpec;
+use crate::telemetry;
+use crate::traffic::CORES_PER_SERVER;
+use ags_core::cluster::ClusterConfig;
+use p7_control::GuardbandMode;
+use p7_obs::trace;
+use p7_sim::journal::{fnv64, OpenedJournal};
+use p7_sim::sweep::{experiment_fingerprint, resolve_jobs, CacheStats};
+use p7_sim::{
+    run_group, Assignment, DurableOptions, Experiment, FailedPoint, JournalMode, Outcome,
+    RetryPolicy, ServerConfig, SimError, Simulation, SolveCache,
+};
+use p7_types::{CORES_PER_SOCKET, NUM_SOCKETS};
+use p7_workloads::{Catalog, ExecutionModel, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Solver lanes per fleet group solve: the widest batch the SoA kernel
+/// ships, fitting [`crate::spec::DEFAULT_SHARD_SERVERS`] two-socket
+/// servers exactly.
+pub const FLEET_GROUP_LANES: usize = 16;
+
+/// The guardband mode every fleet server runs: the paper's adaptive
+/// guardband (undervolted, CPM-protected) — the configuration whose
+/// system-level efficiency the campaign is measuring.
+pub const FLEET_MODE: GuardbandMode = GuardbandMode::Undervolt;
+
+/// Decides which shards panic, for resilience tests (mirrors
+/// `p7_sim::sweep::PanicInjector`).
+pub type ShardPanicInjector = Arc<dyn Fn(usize) -> bool + Send + Sync>;
+
+/// What the shard executor hands back: per-shard results in shard order
+/// (`None` only for quarantined shards), the quarantine list, and the
+/// steal count.
+type ExecutorOutcome = (Vec<Option<ShardResult>>, Vec<FailedPoint>, u64);
+
+/// One server's settled operating point for one epoch.
+///
+/// `threads == 0` marks a standby epoch (idle or draining): the server is
+/// suspended, burns only standby power, and every simulated figure is
+/// zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochOutcome {
+    /// Threads the mapper placed on this server (0 = suspended).
+    pub threads: usize,
+    /// Mean Vdd power of both chips, watts (0 when suspended).
+    pub chip_power_w: f64,
+    /// Workload execution time at the settled frequency, seconds.
+    pub exec_time_s: f64,
+    /// Chip energy over the execution, joules.
+    pub energy_j: f64,
+    /// Energy-delay product, joule-seconds.
+    pub edp: f64,
+}
+
+impl EpochOutcome {
+    /// A suspended (idle or draining) epoch.
+    #[must_use]
+    pub fn standby() -> Self {
+        EpochOutcome {
+            threads: 0,
+            chip_power_w: 0.0,
+            exec_time_s: 0.0,
+            energy_j: 0.0,
+            edp: 0.0,
+        }
+    }
+
+    /// Whether the server ran load this epoch.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.threads > 0
+    }
+
+    fn from_outcome(outcome: &Outcome, threads: usize) -> Self {
+        EpochOutcome {
+            threads,
+            chip_power_w: outcome.total_power().0,
+            exec_time_s: outcome.exec_time.0,
+            energy_j: outcome.energy.0,
+            edp: outcome.edp,
+        }
+    }
+}
+
+/// One server's full trajectory through the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerResult {
+    /// Global server index.
+    pub server: usize,
+    /// The tenant workload pinned to this server.
+    pub workload: String,
+    /// One outcome per epoch, in epoch order.
+    pub epochs: Vec<EpochOutcome>,
+}
+
+/// One shard's servers — the journal checkpoint unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    /// Shard index in `0..spec.shards()`.
+    pub shard: usize,
+    /// The shard's servers, in global index order.
+    pub servers: Vec<ServerResult>,
+}
+
+/// Run accounting: everything here is diagnostic (stderr), never part of
+/// the deterministic report payload — steal counts and elapsed time
+/// legitimately vary with worker count and machine.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Shards in the campaign.
+    pub shards: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Shards claimed from another worker's range.
+    pub steals: u64,
+    /// Server-epochs that ran load.
+    pub active_server_epochs: usize,
+    /// Server-epochs spent suspended.
+    pub standby_server_epochs: usize,
+    /// Wall-clock of the whole run.
+    pub elapsed_secs: f64,
+    /// Solve-cache counters (hits across epochs are the fleet's main
+    /// memoization win: traffic revisits operating points).
+    pub cache: CacheStats,
+}
+
+/// Per-epoch fleet aggregates for the report table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRollup {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Cluster thread demand offered by the traffic model.
+    pub demand: usize,
+    /// Servers running load.
+    pub active_servers: usize,
+    /// Reported servers suspended (idle or draining).
+    pub standby_servers: usize,
+    /// Threads actually placed (equals demand unless shards failed).
+    pub threads: usize,
+    /// Fleet wall power: chips + platform for active servers, standby
+    /// power for suspended ones, watts.
+    pub fleet_power_w: f64,
+    /// Mean energy-delay product over active servers (0 if none).
+    pub mean_edp: f64,
+}
+
+/// The merged outcome of a fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The spec that produced it.
+    pub spec: FleetSpec,
+    /// Every completed server, in global index order (servers of
+    /// quarantined shards are absent).
+    pub servers: Vec<ServerResult>,
+    /// Shards quarantined after repeated panics.
+    pub failed_shards: Vec<FailedPoint>,
+    /// Diagnostic accounting (not part of the deterministic payload).
+    pub stats: FleetStats,
+}
+
+/// The deterministic slice of a report, serialized by
+/// [`FleetReport::results_json`].
+#[derive(Serialize)]
+struct ReportPayload {
+    spec: FleetSpec,
+    servers: Vec<ServerResult>,
+    failed_shards: Vec<FailedPoint>,
+}
+
+impl FleetReport {
+    /// Canonical JSON of the deterministic payload: spec, per-server
+    /// trajectories and quarantined shards — everything except
+    /// [`FleetStats`]. Byte-identical at any `--jobs` and across any
+    /// interrupt/resume split; the jobs-invariance tests diff exactly
+    /// this string.
+    #[must_use]
+    pub fn results_json(&self) -> String {
+        serde::json::to_string(&ReportPayload {
+            spec: self.spec.clone(),
+            servers: self.servers.clone(),
+            failed_shards: self.failed_shards.clone(),
+        })
+    }
+
+    /// Per-epoch fleet aggregates, in epoch order.
+    #[must_use]
+    pub fn epoch_rollup(&self) -> Vec<EpochRollup> {
+        let cluster = ClusterConfig::rack(self.spec.servers);
+        (0..self.spec.epochs)
+            .map(|epoch| {
+                let mut active = 0usize;
+                let mut standby = 0usize;
+                let mut threads = 0usize;
+                let mut power = 0.0f64;
+                let mut edp_sum = 0.0f64;
+                for server in &self.servers {
+                    let e = &server.epochs[epoch];
+                    if e.is_active() {
+                        active += 1;
+                        threads += e.threads;
+                        power += e.chip_power_w + cluster.platform_power.0;
+                        edp_sum += e.edp;
+                    } else {
+                        standby += 1;
+                        power += cluster.standby_power.0;
+                    }
+                }
+                EpochRollup {
+                    epoch,
+                    demand: self.spec.traffic.demand(self.spec.servers, epoch),
+                    active_servers: active,
+                    standby_servers: standby,
+                    threads,
+                    fleet_power_w: power,
+                    mean_edp: if active > 0 {
+                        edp_sum / active as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// The human-readable per-epoch table (deterministic — safe for
+    /// stdout diffing across worker counts).
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet: {} servers x {} epochs, traffic {}, seed {}\n",
+            self.spec.servers,
+            self.spec.epochs,
+            self.spec.traffic.label(),
+            self.spec.seed,
+        ));
+        out.push_str("epoch  demand  active  standby  threads  fleet_kw  mean_edp\n");
+        for r in self.epoch_rollup() {
+            out.push_str(&format!(
+                "{:>5}  {:>6}  {:>6}  {:>7}  {:>7}  {:>8.3}  {:>8.4}\n",
+                r.epoch,
+                r.demand,
+                r.active_servers,
+                r.standby_servers,
+                r.threads,
+                r.fleet_power_w / 1000.0,
+                r.mean_edp,
+            ));
+        }
+        if !self.failed_shards.is_empty() {
+            out.push_str(&format!(
+                "quarantined shards: {}\n",
+                self.failed_shards.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Options for [`FleetEngine::run_durable`].
+#[derive(Default)]
+pub struct FleetRunOptions {
+    /// Journal, cancellation and retry knobs (shared with sweeps).
+    pub durable: DurableOptions,
+    /// Panic injection for resilience tests.
+    pub panic_injector: Option<ShardPanicInjector>,
+}
+
+/// One server's compiled identity: tenant workload, experiment runner and
+/// cache fingerprint, all pure functions of `(spec.seed, server index)`.
+struct Tenant {
+    workload: WorkloadProfile,
+    experiment: Experiment,
+    experiment_fp: u64,
+}
+
+/// The compiled campaign: per-server tenants plus the spec.
+struct FleetContext {
+    spec: FleetSpec,
+    tenants: Vec<Tenant>,
+}
+
+/// Per-worker scratch. Rebuilt from `Default` after a caught panic, since
+/// the unwound solve may have left it mid-use.
+#[derive(Default)]
+struct FleetScratch {
+    probe: Vec<Option<Arc<Outcome>>>,
+}
+
+/// What one shard's isolated attempt loop produced (mirrors the sweep
+/// executor's verdicts).
+enum ShardSolved {
+    /// Solved; the flag is journal-worthiness (`false` = every epoch was
+    /// a cache hit, free to reproduce, so checkpointing buys nothing).
+    Done(ShardResult, bool),
+    /// A hard configuration error — retries cannot help.
+    Hard(SimError),
+    /// Quarantined after the retry budget.
+    Quarantined(FailedPoint),
+}
+
+/// The fleet campaign runner: shards servers across `jobs` workers and
+/// advances each shard through [`FLEET_GROUP_LANES`]-wide solver batches.
+pub struct FleetEngine {
+    jobs: usize,
+    cache: Arc<SolveCache>,
+}
+
+impl FleetEngine {
+    /// An engine sharing the process-wide solve cache. `jobs == 0` means
+    /// one worker per available core.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        FleetEngine::with_cache(jobs, SolveCache::global())
+    }
+
+    /// An engine with an explicit cache (tests, isolation).
+    #[must_use]
+    pub fn with_cache(jobs: usize, cache: Arc<SolveCache>) -> Self {
+        FleetEngine {
+            jobs: resolve_jobs(jobs),
+            cache,
+        }
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs a campaign in memory (no journal).
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetEngine::run_durable`].
+    pub fn run(&self, spec: &FleetSpec) -> Result<FleetReport, SimError> {
+        self.run_durable(spec, &FleetRunOptions::default())
+    }
+
+    /// Runs a campaign with the durability contract: per-shard panic
+    /// isolation with retries and quarantine, resume (journaled shards
+    /// are not re-run), incremental checkpoints and cooperative
+    /// cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate spec, the
+    /// lowest-indexed hard error a shard raised, [`SimError::Journal`]
+    /// when checkpointing fails, or [`SimError::Interrupted`] when the
+    /// cancel token fired (completed shards are already flushed).
+    pub fn run_durable(
+        &self,
+        spec: &FleetSpec,
+        options: &FleetRunOptions,
+    ) -> Result<FleetReport, SimError> {
+        let started = Instant::now();
+        let ctx = self.compile(spec)?;
+        let shards = spec.shards();
+
+        let opened = if matches!(options.durable.journal, JournalMode::Off) {
+            OpenedJournal {
+                journal: None,
+                entries: Vec::new(),
+                skipped_segments: 0,
+            }
+        } else {
+            options
+                .durable
+                .journal
+                .open::<ShardResult>(&spec.manifest())?
+        };
+        // The manifest fingerprint pins the spec, so a recovered shard
+        // that disagrees with the spec's geometry means on-disk
+        // corruption that slipped past the segment checksums.
+        for (idx, result) in &opened.entries {
+            if *idx >= shards
+                || result.shard != *idx
+                || result.servers.len() != spec.shard_range(*idx).len()
+            {
+                return Err(SimError::Journal {
+                    reason: format!("recovered shard {idx} does not match the spec's fleet"),
+                });
+            }
+        }
+
+        let (results, failed, steals) = self.run_shards(&ctx, opened, options)?;
+
+        let mut servers = Vec::with_capacity(spec.servers);
+        for shard in results.into_iter().flatten() {
+            servers.extend(shard.servers);
+        }
+        let (active, standby) = servers
+            .iter()
+            .flat_map(|s| &s.epochs)
+            .fold((0, 0), |(a, i), e| {
+                if e.is_active() {
+                    (a + 1, i)
+                } else {
+                    (a, i + 1)
+                }
+            });
+
+        Ok(FleetReport {
+            spec: spec.clone(),
+            servers,
+            failed_shards: failed,
+            stats: FleetStats {
+                shards,
+                jobs: self.jobs.min(shards.max(1)),
+                steals,
+                active_server_epochs: active,
+                standby_server_epochs: standby,
+                elapsed_secs: started.elapsed().as_secs_f64(),
+                cache: self.cache.counters(),
+            },
+        })
+    }
+
+    /// Expands the spec into per-server tenants. Seeds and tenant
+    /// workloads derive from `spec.seed` with the same splitmix chain the
+    /// sweep module uses for seed derivation, so every server gets
+    /// distinct silicon and a stable tenant.
+    fn compile(&self, spec: &FleetSpec) -> Result<FleetContext, SimError> {
+        let catalog = Catalog::shared();
+        spec.validate(catalog)?;
+        let profiles: Vec<&WorkloadProfile> = catalog.iter().collect();
+        let exec_model = ExecutionModel::power7plus();
+        let tenants = (0..spec.servers)
+            .map(|server| {
+                let silicon = splitmix(spec.seed ^ server as u64);
+                #[allow(clippy::cast_possible_truncation)]
+                let slot = (splitmix(silicon) % profiles.len() as u64) as usize;
+                let workload = profiles[slot].clone();
+                let experiment =
+                    Experiment::with_config(ServerConfig::power7plus(silicon), exec_model.clone())
+                        .with_ticks(spec.measure_ticks, spec.warmup_ticks);
+                let experiment_fp = experiment_fingerprint(&experiment);
+                Tenant {
+                    workload,
+                    experiment,
+                    experiment_fp,
+                }
+            })
+            .collect();
+        Ok(FleetContext {
+            spec: spec.clone(),
+            tenants,
+        })
+    }
+
+    /// Solves one shard: every server's trajectory through every epoch.
+    /// Cache misses of one epoch are batched through a single
+    /// [`FLEET_GROUP_LANES`]-wide group solve. Returns the result plus
+    /// its journal-worthiness (any epoch actually computed).
+    fn solve_shard(
+        &self,
+        ctx: &FleetContext,
+        shard: usize,
+        scratch: &mut FleetScratch,
+    ) -> Result<(ShardResult, bool), SimError> {
+        let spec = &ctx.spec;
+        let range = spec.shard_range(shard);
+        let base = range.start;
+        let mut servers: Vec<ServerResult> = range
+            .clone()
+            .map(|server| ServerResult {
+                server,
+                workload: ctx.tenants[server].workload.name().to_owned(),
+                epochs: Vec::with_capacity(spec.epochs),
+            })
+            .collect();
+        let mut journal_worthy = false;
+
+        // (local index, threads, assignment, assignment fingerprint) of
+        // the epoch's cache misses, group-solved below.
+        let mut missing: Vec<(usize, usize, Assignment, u64)> = Vec::new();
+        let mut sims: Vec<Simulation> = Vec::new();
+        for epoch in 0..spec.epochs {
+            missing.clear();
+            for server in range.clone() {
+                let local = server - base;
+                let threads = offered_threads(spec, server, epoch);
+                if threads == 0 {
+                    telemetry::idle_server_epochs().inc();
+                    servers[local].epochs.push(EpochOutcome::standby());
+                    continue;
+                }
+                telemetry::server_epochs().inc();
+                let tenant = &ctx.tenants[server];
+                let assignment = place(&tenant.workload, threads)?;
+                let assignment_fp = fnv64(serde::json::to_string(&assignment).as_bytes());
+                self.cache.probe_lanes(
+                    tenant.experiment_fp,
+                    assignment_fp,
+                    &[FLEET_MODE],
+                    spec.measure_ticks,
+                    spec.warmup_ticks,
+                    0,
+                    &mut scratch.probe,
+                );
+                match scratch.probe[0].take() {
+                    Some(hit) => servers[local]
+                        .epochs
+                        .push(EpochOutcome::from_outcome(&hit, threads)),
+                    None => {
+                        // Placeholder, replaced after the group solve.
+                        servers[local].epochs.push(EpochOutcome::standby());
+                        missing.push((local, threads, assignment, assignment_fp));
+                    }
+                }
+            }
+            if missing.is_empty() {
+                continue;
+            }
+
+            sims.clear();
+            for (local, _, assignment, _) in &missing {
+                sims.push(
+                    ctx.tenants[base + local]
+                        .experiment
+                        .build_simulation(assignment, FLEET_MODE)?,
+                );
+            }
+            let lanes_per_group = FLEET_GROUP_LANES / NUM_SOCKETS;
+            for group in sims.chunks(lanes_per_group) {
+                #[allow(clippy::cast_precision_loss)]
+                telemetry::group_lanes().observe((group.len() * NUM_SOCKETS) as f64);
+            }
+            let mut refs: Vec<&mut Simulation> = sims.iter_mut().collect();
+            let summaries =
+                run_group::<FLEET_GROUP_LANES>(&mut refs, spec.measure_ticks, spec.warmup_ticks);
+
+            for ((local, threads, assignment, assignment_fp), summary) in
+                missing.drain(..).zip(summaries)
+            {
+                let tenant = &ctx.tenants[base + local];
+                let outcome = tenant.experiment.outcome_from_summary(&assignment, summary);
+                let (solved, computed) = self.cache.solve_with_status(
+                    tenant.experiment_fp,
+                    assignment_fp,
+                    FLEET_MODE,
+                    spec.measure_ticks,
+                    spec.warmup_ticks,
+                    0,
+                    || Ok(outcome),
+                )?;
+                journal_worthy |= computed;
+                servers[local].epochs[epoch] = EpochOutcome::from_outcome(&solved, threads);
+            }
+        }
+
+        Ok((ShardResult { shard, servers }, journal_worthy))
+    }
+
+    /// The durable shard executor: per-worker contiguous ranges with
+    /// deterministic work stealing, panic isolation, journal checkpoints
+    /// and cooperative cancellation. Results merge by shard index, so the
+    /// outcome is identical at any worker count.
+    #[allow(clippy::too_many_lines)]
+    fn run_shards(
+        &self,
+        ctx: &FleetContext,
+        opened: OpenedJournal<ShardResult>,
+        options: &FleetRunOptions,
+    ) -> Result<ExecutorOutcome, SimError> {
+        let n = ctx.spec.shards();
+        let jobs = self.jobs.min(n.max(1));
+        let opts = &options.durable;
+        let OpenedJournal {
+            journal: mut journal_store,
+            entries: completed,
+            ..
+        } = opened;
+        let mut journal = journal_store.as_mut();
+        let checkpoint_every = opts.checkpoint_interval();
+        let done: HashSet<usize> = completed.iter().map(|(idx, _)| *idx).collect();
+
+        let mut results: Vec<Option<ShardResult>> = (0..n).map(|_| None).collect();
+        let mut failed: Vec<FailedPoint> = Vec::new();
+        let mut first_error: Option<(usize, SimError)> = None;
+        let mut pending: Vec<(usize, ShardResult)> = Vec::new();
+        let mut journal_error: Option<SimError> = None;
+        let steals = AtomicU64::new(0);
+
+        // One place handles every solved shard, serial or parallel:
+        // merge into the index slot, stage journal entries, flush full
+        // segments (the sweep executor's absorb contract).
+        let mut absorb = |idx: usize,
+                          solved: ShardSolved,
+                          results: &mut Vec<Option<ShardResult>>,
+                          failed: &mut Vec<FailedPoint>,
+                          first_error: &mut Option<(usize, SimError)>,
+                          pending: &mut Vec<(usize, ShardResult)>,
+                          journal_error: &mut Option<SimError>| {
+            match solved {
+                ShardSolved::Done(value, journal_worthy) => {
+                    if journal_worthy && journal.is_some() && journal_error.is_none() {
+                        pending.push((idx, value.clone()));
+                    }
+                    results[idx] = Some(value);
+                }
+                ShardSolved::Hard(e) => {
+                    if first_error.as_ref().is_none_or(|(lowest, _)| idx < *lowest) {
+                        *first_error = Some((idx, e));
+                    }
+                }
+                ShardSolved::Quarantined(point) => failed.push(point),
+            }
+            if pending.len() >= checkpoint_every {
+                if let Some(j) = journal.as_deref_mut() {
+                    if let Err(e) = j.append(pending) {
+                        *journal_error = Some(e);
+                        opts.cancel.cancel();
+                    }
+                }
+                pending.clear();
+            }
+        };
+
+        let solve_one = |scratch: &mut FleetScratch, shard: usize| {
+            if let Some(inject) = &options.panic_injector {
+                assert!(!inject(shard), "injected panic at fleet shard {shard}");
+            }
+            self.solve_shard(ctx, shard, scratch)
+        };
+
+        if jobs <= 1 {
+            let mut scratch = FleetScratch::default();
+            for shard in 0..n {
+                if opts.cancel.is_cancelled() {
+                    break;
+                }
+                if done.contains(&shard) {
+                    continue;
+                }
+                telemetry::shards_claimed().inc();
+                let solved = {
+                    let _span = trace::span("fleet_shard", shard as u64);
+                    attempt_shard(&solve_one, &mut scratch, shard, &opts.retry)
+                };
+                absorb(
+                    shard,
+                    solved,
+                    &mut results,
+                    &mut failed,
+                    &mut first_error,
+                    &mut pending,
+                    &mut journal_error,
+                );
+            }
+        } else {
+            // Contiguous pre-partition: worker w owns shards
+            // [w*n/jobs, (w+1)*n/jobs). Each range has its own cursor;
+            // stealing is a fetch_add on someone else's.
+            let cursors: Vec<AtomicUsize> =
+                (0..jobs).map(|w| AtomicUsize::new(w * n / jobs)).collect();
+            let ends: Vec<usize> = (0..jobs).map(|w| (w + 1) * n / jobs).collect();
+            let (tx, rx) = mpsc::channel::<(usize, ShardSolved)>();
+            std::thread::scope(|scope| {
+                for w in 0..jobs {
+                    let tx = tx.clone();
+                    let (cursors, ends, done) = (&cursors, &ends, &done);
+                    let (solve_one, steals, cancel) = (&solve_one, &steals, &opts.cancel);
+                    let retry = &opts.retry;
+                    scope.spawn(move || {
+                        let mut scratch = FleetScratch::default();
+                        let mut work = || {
+                            // Own range first (delta 0), then the other
+                            // ranges in a fixed rotation.
+                            for delta in 0..jobs {
+                                let victim = (w + delta) % jobs;
+                                loop {
+                                    if cancel.is_cancelled() {
+                                        return;
+                                    }
+                                    let shard = cursors[victim].fetch_add(1, Ordering::Relaxed);
+                                    if shard >= ends[victim] {
+                                        break;
+                                    }
+                                    if done.contains(&shard) {
+                                        continue;
+                                    }
+                                    telemetry::shards_claimed().inc();
+                                    if delta != 0 {
+                                        telemetry::shards_stolen().inc();
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    let solved = {
+                                        let _span = trace::span("fleet_shard", shard as u64);
+                                        attempt_shard(solve_one, &mut scratch, shard, retry)
+                                    };
+                                    if tx.send((shard, solved)).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        };
+                        work();
+                        // Scoped joins may return before TLS destructors
+                        // run; flush the span ring here or the
+                        // coordinator's collect can miss this worker.
+                        trace::flush();
+                    });
+                }
+                drop(tx);
+                // The coordinator drains while workers run, so
+                // checkpoints land as shards complete, not at the end.
+                for (shard, solved) in rx {
+                    absorb(
+                        shard,
+                        solved,
+                        &mut results,
+                        &mut failed,
+                        &mut first_error,
+                        &mut pending,
+                        &mut journal_error,
+                    );
+                }
+            });
+        }
+
+        // Final flush: whatever completed since the last full segment.
+        if journal_error.is_none() {
+            if let Some(j) = journal.as_deref_mut() {
+                if let Err(e) = j.append(&pending) {
+                    journal_error = Some(e);
+                }
+            }
+        }
+        if let Some(e) = journal_error {
+            return Err(e);
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        if opts.cancel.is_cancelled() {
+            return Err(SimError::Interrupted {
+                journal: journal.map(|j| j.dir().display().to_string()),
+            });
+        }
+
+        // Resumed entries fill their slots last, so a fresh solve of the
+        // same index (impossible, but harmless) is not overwritten.
+        for (idx, value) in completed {
+            if idx < n && results[idx].is_none() {
+                results[idx] = Some(value);
+            }
+        }
+        failed.sort_unstable_by_key(|p| p.index);
+        Ok((results, failed, steals.load(Ordering::Relaxed)))
+    }
+}
+
+/// Threads the consolidation-first mapper places on `server` at `epoch`:
+/// non-draining servers fill up in index order, 16 threads each, until
+/// the epoch's demand is exhausted. Draining servers take nothing.
+#[must_use]
+pub fn offered_threads(spec: &FleetSpec, server: usize, epoch: usize) -> usize {
+    let traffic = spec.traffic;
+    let wave = traffic.drain_wave(spec.servers, epoch);
+    if wave.contains(&server) {
+        return 0;
+    }
+    // Consolidation rank among non-draining servers: the drain wave is
+    // contiguous, so ranks need one subtraction, not a scan.
+    let drained_below = server.min(wave.end).saturating_sub(wave.start.min(server));
+    let rank = server - drained_below;
+    traffic
+        .demand(spec.servers, epoch)
+        .saturating_sub(rank * CORES_PER_SERVER)
+        .min(CORES_PER_SERVER)
+}
+
+/// Places `threads` on one server: consolidated onto socket 0 (socket 1
+/// power-gated) while they fit, balanced across both sockets beyond.
+fn place(workload: &WorkloadProfile, threads: usize) -> Result<Assignment, SimError> {
+    if threads <= CORES_PER_SOCKET {
+        Assignment::consolidated(workload, threads)
+    } else {
+        Assignment::balanced_server(workload, threads)
+    }
+}
+
+/// One shard's isolated attempt loop: `catch_unwind` around the solve,
+/// bounded backoff retries with scratch rebuilt after each caught panic,
+/// quarantine after the final one (mirrors the sweep executor).
+fn attempt_shard<F>(
+    f: &F,
+    scratch: &mut FleetScratch,
+    shard: usize,
+    retry: &RetryPolicy,
+) -> ShardSolved
+where
+    F: Fn(&mut FleetScratch, usize) -> Result<(ShardResult, bool), SimError>,
+{
+    let attempts = retry.max_attempts.max(1);
+    let mut reason = String::new();
+    for attempt in 1..=attempts {
+        match catch_unwind(AssertUnwindSafe(|| f(scratch, shard))) {
+            Ok(Ok((value, journal_worthy))) => return ShardSolved::Done(value, journal_worthy),
+            Ok(Err(e)) => return ShardSolved::Hard(e),
+            Err(payload) => {
+                reason = panic_message(payload.as_ref());
+                *scratch = FleetScratch::default();
+                if attempt < attempts {
+                    std::thread::sleep(retry.backoff_before(attempt));
+                }
+            }
+        }
+    }
+    ShardSolved::Quarantined(FailedPoint {
+        index: shard,
+        attempts,
+        reason,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// SplitMix64 — the same mixer the sweep module derives seeds with, so
+/// fleet server seeds are as decorrelated as sweep point seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficModel;
+    use p7_sim::DEFAULT_CACHE_CAPACITY;
+    use std::path::PathBuf;
+
+    fn tiny_spec() -> FleetSpec {
+        let mut spec = FleetSpec::smoke().with_scale(12, 4);
+        spec.measure_ticks = 3;
+        spec.warmup_ticks = 2;
+        spec.shard_servers = 2;
+        spec
+    }
+
+    fn fresh_engine(jobs: usize) -> FleetEngine {
+        FleetEngine::with_cache(
+            jobs,
+            Arc::new(SolveCache::with_capacity(DEFAULT_CACHE_CAPACITY)),
+        )
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p7-fleet-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn mapper_consolidates_demand_first() {
+        for traffic in TrafficModel::all() {
+            let spec = FleetSpec::smoke().with_scale(40, 20).with_traffic(traffic);
+            for epoch in 0..spec.epochs {
+                let offered: Vec<usize> = (0..spec.servers)
+                    .map(|s| offered_threads(&spec, s, epoch))
+                    .collect();
+                // Placed threads equal demand exactly.
+                let demand = traffic.demand(spec.servers, epoch);
+                assert_eq!(offered.iter().sum::<usize>(), demand, "{traffic:?}@{epoch}");
+                // Draining servers take nothing.
+                for (s, &t) in offered.iter().enumerate() {
+                    assert!(t <= CORES_PER_SERVER);
+                    if traffic.draining(spec.servers, s, epoch) {
+                        assert_eq!(t, 0, "drained server {s} got load");
+                    }
+                }
+                // Consolidation-first: among non-draining servers, full
+                // servers strictly precede empty ones.
+                let active: Vec<usize> = (0..spec.servers)
+                    .filter(|&s| !traffic.draining(spec.servers, s, epoch))
+                    .map(|s| offered[s])
+                    .collect();
+                let first_gap = active.iter().position(|&t| t < CORES_PER_SERVER);
+                if let Some(gap) = first_gap {
+                    assert!(active[gap + 1..].iter().all(|&t| t == 0));
+                }
+                // The closed-form rank matches a brute-force scan.
+                for (s, &got) in offered.iter().enumerate() {
+                    if traffic.draining(spec.servers, s, epoch) {
+                        continue;
+                    }
+                    let rank = (0..s)
+                        .filter(|&p| !traffic.draining(spec.servers, p, epoch))
+                        .count();
+                    let expect = demand
+                        .saturating_sub(rank * CORES_PER_SERVER)
+                        .min(CORES_PER_SERVER);
+                    assert_eq!(got, expect, "{traffic:?} s={s} e={epoch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_jobs_with_stealing() {
+        let spec = tiny_spec();
+        let solo = fresh_engine(1).run(&spec).unwrap().results_json();
+        for jobs in [2, 5] {
+            let report = fresh_engine(jobs).run(&spec).unwrap();
+            assert_eq!(report.results_json(), solo, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn traffic_shapes_the_fleet_rollup() {
+        let mut spec = tiny_spec().with_traffic(TrafficModel::RollingDeploy);
+        spec.servers = 16;
+        let report = fresh_engine(1).run(&spec).unwrap();
+        let rollup = report.epoch_rollup();
+        let cluster = ClusterConfig::rack(spec.servers);
+        for r in &rollup {
+            assert_eq!(r.active_servers + r.standby_servers, spec.servers);
+            assert_eq!(r.threads, r.demand, "all demand placed");
+            // Wall power bounds: every server at least standby, actives
+            // add at least the platform overhead.
+            let floor = r.active_servers as f64 * cluster.platform_power.0
+                + r.standby_servers as f64 * cluster.standby_power.0;
+            assert!(r.fleet_power_w > floor, "chips draw real power");
+            assert!(r.mean_edp > 0.0);
+        }
+        // 60 % demand on 16 servers = 154 threads -> 10 active servers.
+        assert_eq!(rollup[0].active_servers, 10);
+        // The table renders one line per epoch.
+        assert_eq!(report.table().lines().count(), 2 + spec.epochs);
+    }
+
+    #[test]
+    fn cache_reuse_kicks_in_when_traffic_revisits_operating_points() {
+        // Flash crowd: epochs 0, 1 and the late tail all sit at the
+        // baseline demand, so each server revisits its baseline operating
+        // point and the solve cache answers the repeats.
+        let mut spec = tiny_spec().with_traffic(TrafficModel::FlashCrowd);
+        spec.epochs = 8;
+        let report = fresh_engine(1).run(&spec).unwrap();
+        assert!(
+            report.stats.cache.hits > 0,
+            "repeated operating points should hit: {:?}",
+            report.stats.cache
+        );
+        assert!(report.stats.standby_server_epochs > 0);
+    }
+
+    #[test]
+    fn durable_fleet_resumes_without_recompute() {
+        let spec = tiny_spec();
+        let dir = tmp_dir("resume");
+        let baseline = {
+            let options = FleetRunOptions {
+                durable: DurableOptions::journaled(&dir),
+                ..FleetRunOptions::default()
+            };
+            fresh_engine(2).run_durable(&spec, &options).unwrap()
+        };
+        // Fresh engine, cold cache: every shard comes off the journal.
+        let options = FleetRunOptions {
+            durable: DurableOptions::resumed(&dir),
+            ..FleetRunOptions::default()
+        };
+        let resumed = fresh_engine(2).run_durable(&spec, &options).unwrap();
+        assert_eq!(resumed.results_json(), baseline.results_json());
+        assert_eq!(
+            resumed.stats.cache.misses, 0,
+            "journaled shards must not re-simulate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_run_reports_interrupted() {
+        let spec = tiny_spec();
+        let options = FleetRunOptions::default();
+        options.durable.cancel.cancel();
+        let err = fresh_engine(2).run_durable(&spec, &options).unwrap_err();
+        assert!(matches!(err, SimError::Interrupted { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn panicking_shard_is_quarantined_not_fatal() {
+        let spec = tiny_spec();
+        let mut options = FleetRunOptions {
+            panic_injector: Some(Arc::new(|shard| shard == 1)),
+            ..FleetRunOptions::default()
+        };
+        options.durable.retry = RetryPolicy::no_retry();
+        let report = fresh_engine(1).run_durable(&spec, &options).unwrap();
+        assert_eq!(report.failed_shards.len(), 1);
+        assert_eq!(report.failed_shards[0].index, 1);
+        // Shard 1's two servers are absent; everything else reported.
+        assert_eq!(report.servers.len(), spec.servers - spec.shard_servers);
+        assert!(report
+            .servers
+            .iter()
+            .all(|s| s.server != 2 && s.server != 3));
+    }
+}

@@ -1,0 +1,216 @@
+//! Open-loop cluster traffic models.
+//!
+//! A fleet campaign advances the whole cluster through discrete *epochs*
+//! (think: one control-plane planning interval each). The traffic model
+//! is open-loop — demand is a pure function of the epoch index, never of
+//! simulated outcomes — so every server's trajectory is a pure function
+//! of `(spec, server)` and shards can be simulated in any order, on any
+//! worker, with byte-identical results.
+//!
+//! All three models are integer arithmetic only: no floating-point trig,
+//! no RNG on the demand path, nothing whose rounding could differ
+//! between builds.
+
+use serde::{Deserialize, Serialize};
+
+/// Cores (threads) one two-socket server can absorb.
+pub use ags_core::cluster::CORES_PER_SERVER;
+
+/// The shape of cluster demand over a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Day/night load: a triangle wave over a 24-epoch period between
+    /// ~20 % and ~90 % of cluster capacity.
+    Diurnal,
+    /// Quiet baseline (~15 %) with a sudden spike to ~95 % one third of
+    /// the way in, decaying geometrically back to the baseline.
+    FlashCrowd,
+    /// Steady ~60 % demand while servers drain in rolling waves for
+    /// maintenance; drained servers take no load, so the survivors
+    /// absorb it.
+    RollingDeploy,
+}
+
+/// Epochs per diurnal period (one "day").
+const DIURNAL_PERIOD: usize = 24;
+/// How many consecutive epochs one rolling-deploy wave keeps a server
+/// drained.
+const DRAIN_EPOCHS: usize = 2;
+/// Fraction of the fleet drained per rolling-deploy wave (1/8).
+const DRAIN_SHARE: usize = 8;
+
+impl TrafficModel {
+    /// Stable CLI/config label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficModel::Diurnal => "diurnal",
+            TrafficModel::FlashCrowd => "flash-crowd",
+            TrafficModel::RollingDeploy => "rolling-deploy",
+        }
+    }
+
+    /// Parses a CLI label.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "diurnal" => Some(TrafficModel::Diurnal),
+            "flash-crowd" | "flash" => Some(TrafficModel::FlashCrowd),
+            "rolling-deploy" | "deploy" => Some(TrafficModel::RollingDeploy),
+            _ => None,
+        }
+    }
+
+    /// Every model, in presentation order.
+    #[must_use]
+    pub fn all() -> [TrafficModel; 3] {
+        [
+            TrafficModel::Diurnal,
+            TrafficModel::FlashCrowd,
+            TrafficModel::RollingDeploy,
+        ]
+    }
+
+    /// Cluster-wide thread demand at `epoch` for a fleet of `servers`
+    /// machines. Always within the non-draining capacity, so the
+    /// consolidation-first mapper can place every thread.
+    #[must_use]
+    pub fn demand(&self, servers: usize, epoch: usize) -> usize {
+        let capacity = servers * CORES_PER_SERVER;
+        let percent = match self {
+            TrafficModel::Diurnal => {
+                // Triangle wave: 20 % at epoch 0, peaking at 90 % half a
+                // period in, back to 20 %.
+                let phase = epoch % DIURNAL_PERIOD;
+                let half = DIURNAL_PERIOD / 2;
+                let rise = if phase <= half {
+                    phase
+                } else {
+                    DIURNAL_PERIOD - phase
+                };
+                20 + (90 - 20) * rise / half
+            }
+            TrafficModel::FlashCrowd => {
+                // Baseline 15 %, spike to 95 %, geometric decay: each
+                // epoch after the spike halves the excess over baseline.
+                let spike = self.flash_crowd_spike_epoch();
+                if epoch < spike {
+                    15
+                } else {
+                    let age = epoch - spike;
+                    let excess = (95 - 15) >> age.min(63);
+                    15 + excess
+                }
+            }
+            TrafficModel::RollingDeploy => 60,
+        };
+        // Demand never exceeds what the non-draining servers can hold.
+        let available = (0..servers)
+            .filter(|&s| !self.draining(servers, s, epoch))
+            .count()
+            * CORES_PER_SERVER;
+        (capacity * percent / 100).min(available)
+    }
+
+    /// The contiguous range of servers drained at `epoch`, if any. Only
+    /// the rolling-deploy model drains anything: wave `w` (epochs
+    /// `w * DRAIN_EPOCHS ..`) drains the `w`-th eighth of the fleet,
+    /// wrapping so long campaigns keep cycling maintenance. Contiguity is
+    /// load-bearing for the mapper: a server's consolidation rank among
+    /// non-draining peers is then a constant-time subtraction.
+    #[must_use]
+    pub fn drain_wave(&self, servers: usize, epoch: usize) -> std::ops::Range<usize> {
+        if *self != TrafficModel::RollingDeploy || servers == 0 {
+            return 0..0;
+        }
+        let wave = (epoch / DRAIN_EPOCHS) % DRAIN_SHARE;
+        let wave_size = servers.div_ceil(DRAIN_SHARE);
+        let start = (wave * wave_size).min(servers);
+        start..(start + wave_size).min(servers)
+    }
+
+    /// Whether `server` is drained (taking no load) at `epoch`.
+    #[must_use]
+    pub fn draining(&self, servers: usize, server: usize, epoch: usize) -> bool {
+        self.drain_wave(servers, epoch).contains(&server)
+    }
+
+    /// The epoch a flash crowd arrives at, for an `epochs`-long campaign
+    /// rendered useful even when very short.
+    fn flash_crowd_spike_epoch(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for model in TrafficModel::all() {
+            assert_eq!(TrafficModel::parse(model.label()), Some(model));
+        }
+        assert_eq!(TrafficModel::parse("flash"), Some(TrafficModel::FlashCrowd));
+        assert_eq!(TrafficModel::parse("tsunami"), None);
+    }
+
+    #[test]
+    fn demand_stays_within_capacity() {
+        for model in TrafficModel::all() {
+            for servers in [1, 7, 64] {
+                for epoch in 0..50 {
+                    let available = (0..servers)
+                        .filter(|&s| !model.draining(servers, s, epoch))
+                        .count()
+                        * CORES_PER_SERVER;
+                    let d = model.demand(servers, epoch);
+                    assert!(d <= available, "{model:?} s={servers} e={epoch}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_rises_then_falls() {
+        let m = TrafficModel::Diurnal;
+        let at = |e| m.demand(100, e);
+        assert!(at(6) > at(0), "morning ramp");
+        assert_eq!(at(12), 100 * CORES_PER_SERVER * 90 / 100, "peak at 90 %");
+        assert!(at(12) > at(18), "evening decline");
+        assert_eq!(at(0), at(24), "periodic");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_and_decays() {
+        let m = TrafficModel::FlashCrowd;
+        let at = |e| m.demand(100, e);
+        assert_eq!(at(0), at(1), "flat baseline");
+        assert!(at(2) > 4 * at(1), "spike");
+        assert!(at(3) < at(2) && at(4) < at(3), "decay");
+        assert_eq!(at(20), at(0), "back to baseline");
+    }
+
+    #[test]
+    fn rolling_deploy_drains_in_disjoint_waves() {
+        let m = TrafficModel::RollingDeploy;
+        let servers = 64;
+        // Every epoch drains exactly one eighth of the fleet.
+        for epoch in 0..20 {
+            let drained = (0..servers)
+                .filter(|&s| m.draining(servers, s, epoch))
+                .count();
+            assert_eq!(drained, servers / 8, "epoch {epoch}");
+        }
+        // Across one full cycle, every server gets drained.
+        let mut ever = vec![false; servers];
+        for epoch in 0..16 {
+            for (s, flag) in ever.iter_mut().enumerate() {
+                *flag |= m.draining(servers, s, epoch);
+            }
+        }
+        assert!(ever.iter().all(|&f| f));
+        // Other models never drain.
+        assert!(!TrafficModel::Diurnal.draining(servers, 0, 0));
+    }
+}

@@ -340,9 +340,11 @@ impl ChipSim {
 
     /// The original array-of-structs fixed-point solve, retained verbatim
     /// as the differential-test oracle. The batched SoA kernel in
-    /// [`crate::solve`] must reproduce this loop bit for bit.
+    /// [`crate::solve`] must reproduce this loop bit for bit. Crate-visible
+    /// so the group ticker can keep oracle simulations on the scalar path
+    /// while batching their neighbours.
     #[cfg(feature = "scalar-oracle")]
-    fn solve_scalar(&self, rail: &Rail, prelude: &TickPrelude) -> LaneSolution {
+    pub(crate) fn solve_scalar(&self, rail: &Rail, prelude: &TickPrelude) -> LaneSolution {
         let activities = &prelude.activities;
         let freqs = &prelude.freqs;
         let temp = self.thermal.temperature();

@@ -38,6 +38,7 @@ pub mod chip;
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub mod group;
 pub mod history;
 pub mod journal;
 pub mod measure;
@@ -51,6 +52,7 @@ pub use assignment::{Assignment, Thread};
 pub use config::ServerConfig;
 pub use error::SimError;
 pub use experiment::{Experiment, Outcome, DEFAULT_MEASURE_TICKS, DEFAULT_WARMUP_TICKS};
+pub use group::{run_group, GroupTicker};
 pub use history::{History, SimEvent, SimEventKind, TickRecord};
 pub use journal::{
     CampaignManifest, CancelToken, DurableOptions, FailedPoint, Journal, JournalMode, RetryPolicy,
@@ -60,6 +62,7 @@ pub use resilience::{ResilienceReport, ResilienceSpec, ScenarioResult};
 pub use server::Simulation;
 pub use solve::{LaneSolution, LaneSpec, SolveBatch, MAX_SOLVE_ITERATIONS, SOLVE_TOLERANCE};
 pub use sweep::{
-    CachedExperiment, GridPoint, PanicInjector, Placement, PointResult, SolveCache, SweepEngine,
-    SweepReport, SweepRunOptions, SweepSpec, DEFAULT_CACHE_CAPACITY,
+    experiment_fingerprint, CacheStats, CachedExperiment, GridPoint, PanicInjector, Placement,
+    PointResult, SolveCache, SweepEngine, SweepReport, SweepRunOptions, SweepSpec,
+    DEFAULT_CACHE_CAPACITY, GROUP_SOLVE_LANES,
 };

@@ -26,6 +26,7 @@
 use crate::assignment::Assignment;
 use crate::error::SimError;
 use crate::experiment::{Experiment, Outcome};
+use crate::group::run_group;
 use crate::journal::{
     fnv64, run_durable_indexed, CampaignManifest, DurableOptions, FailedPoint, JournalMode,
     OpenedJournal,
@@ -380,16 +381,42 @@ pub struct PointResult {
 }
 
 /// Hit/miss counters of a [`SolveCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
     /// Solves answered from the cache.
     pub hits: u64,
     /// Solves that had to run the simulator.
     pub misses: u64,
-    /// Distinct entries currently stored.
+    /// Distinct entries currently stored, summed across shards.
     pub entries: usize,
     /// Entries dropped by capacity eviction over the cache's lifetime.
     pub evictions: u64,
+    /// Lock acquisitions that found their shard already held by another
+    /// thread (each waited instead of failing). A fleet-scale probe storm
+    /// shows up here long before it shows up in wall-clock time.
+    pub contended: u64,
+}
+
+// Hand-written so reports serialized before the cache was sharded still
+// parse: a missing "contended" key reads as an uncontended cache. The
+// derived impl would reject the old files outright.
+impl Deserialize for CacheStats {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        fn req<T: Deserialize>(v: &Value, name: &str) -> Result<T, de::Error> {
+            T::from_value(v.field(name)?).map_err(|e| e.in_context(name))
+        }
+        let contended = match v.field("contended") {
+            Ok(value) => u64::from_value(value).map_err(|e| e.in_context("contended"))?,
+            Err(_) => 0,
+        };
+        Ok(CacheStats {
+            hits: req(v, "hits")?,
+            misses: req(v, "misses")?,
+            entries: req(v, "entries")?,
+            evictions: req(v, "evictions")?,
+            contended,
+        })
+    }
 }
 
 impl CacheStats {
@@ -425,6 +452,12 @@ struct SolveKey {
 /// week-long campaigns stop growing the process without bound.
 pub const DEFAULT_CACHE_CAPACITY: usize = 16_384;
 
+/// Number of independently locked shards in a [`SolveCache`]. Keys are
+/// spread by a splitmix of their fingerprints, so concurrent probes from
+/// a fleet's worth of workers land on different locks with high
+/// probability instead of serializing on one.
+const CACHE_SHARDS: usize = 16;
+
 /// Memoization table for steady-state solves, shared across threads.
 ///
 /// The key fingerprints everything a solve depends on: the full server
@@ -433,15 +466,22 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 16_384;
 /// Two racing workers may both miss on the same key; the solve is
 /// deterministic, so whichever insert lands last stores the same bytes.
 ///
-/// Capacity is bounded (see [`DEFAULT_CACHE_CAPACITY`]): when an insert
-/// would exceed it, roughly half the entries are evicted in one coarse
-/// pass. Eviction only ever costs re-solves — results are unaffected.
+/// The table is split into [`CACHE_SHARDS`] independently locked shards
+/// (keyed by a mix of the fingerprints) so fleet-scale concurrent probes
+/// don't contend on a single lock; the `contended` counter in
+/// [`CacheStats`] reports how often a thread still had to wait.
+///
+/// Capacity is bounded (see [`DEFAULT_CACHE_CAPACITY`], split evenly
+/// across shards): when an insert would exceed a shard's share, roughly
+/// half that shard's entries are evicted in one coarse pass. Eviction
+/// only ever costs re-solves — results are unaffected.
 #[derive(Debug)]
 pub struct SolveCache {
-    map: Mutex<HashMap<SolveKey, Arc<Outcome>>>,
+    shards: [Mutex<HashMap<SolveKey, Arc<Outcome>>>; CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    contended: AtomicU64,
     capacity: usize,
 }
 
@@ -458,14 +498,16 @@ impl SolveCache {
         SolveCache::default()
     }
 
-    /// An empty cache holding at most `capacity` entries (minimum 1).
+    /// An empty cache holding at most `capacity` entries (minimum 1 per
+    /// shard).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         SolveCache {
-            map: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
             capacity: capacity.max(1),
         }
     }
@@ -474,6 +516,45 @@ impl SolveCache {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// One shard's share of the capacity bound.
+    fn shard_capacity(&self) -> usize {
+        (self.capacity / CACHE_SHARDS).max(1)
+    }
+
+    /// The shard a key lives in: a splitmix chain over every fingerprint
+    /// component, so near-identical keys (same block, different mode)
+    /// still spread across locks.
+    fn shard_index(key: &SolveKey) -> usize {
+        let mode_tag = match key.mode {
+            GuardbandMode::StaticGuardband => 1u64,
+            GuardbandMode::Overclock => 2,
+            GuardbandMode::Undervolt => 3,
+        };
+        let mut h = splitmix(key.config_fingerprint);
+        h = splitmix(h ^ key.assignment_fingerprint);
+        h = splitmix(h ^ key.fault_fingerprint);
+        h = splitmix(h ^ (key.measure_ticks as u64) ^ ((key.warmup_ticks as u64) << 24) ^ mode_tag);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (h % CACHE_SHARDS as u64) as usize
+        }
+    }
+
+    /// Locks one shard, counting the acquisition as contended when the
+    /// lock was already held by another thread.
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, HashMap<SolveKey, Arc<Outcome>>> {
+        match self.shards[idx].try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].lock().expect("cache shard lock")
+            }
+            Err(std::sync::TryLockError::Poisoned(poison)) => {
+                panic!("cache shard lock poisoned: {poison}")
+            }
+        }
     }
 
     /// The process-wide shared cache. Figure binaries, the CLI and the
@@ -601,7 +682,8 @@ impl SolveCache {
             warmup_ticks,
             fault_fingerprint: fault_fp,
         };
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+        let shard = Self::shard_index(&key);
+        if let Some(hit) = self.lock_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             telemetry::solve_cache_hits().inc();
             return Ok((hit.clone(), false));
@@ -609,9 +691,9 @@ impl SolveCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         telemetry::solve_cache_misses().inc();
         let outcome = Arc::new(solve()?);
-        let mut map = self.map.lock().expect("cache lock");
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            // Coarse eviction: drop about half the entries in one pass.
+        let mut map = self.lock_shard(shard);
+        if map.len() >= self.shard_capacity() && !map.contains_key(&key) {
+            // Coarse eviction: drop about half the shard in one pass.
             // Arbitrary victims are fine — the cache only buys speed,
             // never correctness — and halving amortizes the sweep cost.
             let drop_n = (map.len() / 2).max(1);
@@ -632,9 +714,10 @@ impl SolveCache {
     }
 
     /// Probes a whole lane block — every guardband mode of one
-    /// `(experiment, assignment)` — under **one** lock acquisition,
-    /// filling `out` with `Some(outcome)` per present lane and `None` per
-    /// absent one.
+    /// `(experiment, assignment)` — with **one** lock acquisition per
+    /// distinct shard touched (modes of one block deliberately spread
+    /// across shards, so this is one short lock per lane), filling `out`
+    /// with `Some(outcome)` per present lane and `None` per absent one.
     ///
     /// Counting stays per lane, never per batch: each present lane bumps
     /// the hit counter exactly once here, and each absent lane is expected
@@ -657,7 +740,6 @@ impl SolveCache {
     ) {
         out.clear();
         out.reserve(modes.len());
-        let map = self.map.lock().expect("cache lock");
         for &mode in modes {
             let key = SolveKey {
                 config_fingerprint: experiment_fp,
@@ -667,11 +749,12 @@ impl SolveCache {
                 warmup_ticks,
                 fault_fingerprint: fault_fp,
             };
-            match map.get(&key) {
+            let hit = self.lock_shard(Self::shard_index(&key)).get(&key).cloned();
+            match hit {
                 Some(hit) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     telemetry::solve_cache_hits().inc();
-                    out.push(Some(hit.clone()));
+                    out.push(Some(hit));
                 }
                 None => out.push(None),
             }
@@ -688,8 +771,13 @@ impl SolveCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").len(),
+            entries: self
+                .shards
+                .iter()
+                .map(|shard| shard.lock().expect("cache shard lock").len())
+                .sum(),
             evictions: self.evictions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
         }
     }
 
@@ -1149,10 +1237,13 @@ impl SweepEngine {
     /// (journal-worthy) or a cache hit (free to reproduce on resume).
     ///
     /// The first point a worker sees of an assignment block probes the
-    /// block's whole cache lane block — every guardband mode — in one
-    /// lock acquisition; lanes the probe found are answered from the
-    /// prefetch, and lanes it missed fall through to the memoized solve,
-    /// which reuses the worker's scratch simulation across the block.
+    /// block's whole cache lane block — every guardband mode — then
+    /// solves every lane the probe missed as *one wide-lane group*
+    /// ([`run_group`]): one scratch simulation per missing mode, all of
+    /// their sockets converging as lanes of a single
+    /// `SolveBatch<`[`GROUP_SOLVE_LANES`]`>`. Subsequent points of the
+    /// block are answered from the staged lanes without touching the
+    /// cache again.
     fn solve_point(
         &self,
         compiled: &CompiledSpec,
@@ -1176,7 +1267,13 @@ impl SweepEngine {
                 ctx.fault_fp,
                 &mut scratch.prefetched,
             );
+            scratch.computed.clear();
+            scratch.computed.resize(scratch.prefetched.len(), false);
+            if scratch.prefetched.iter().any(Option::is_none) {
+                self.solve_block_group(compiled, block_idx, scratch)?;
+            }
         }
+        let computed = scratch.computed.get(lane).copied().unwrap_or(false);
         if let Some(outcome) = scratch
             .prefetched
             .get_mut(lane)
@@ -1187,10 +1284,13 @@ impl SweepEngine {
                     point: point.clone(),
                     outcome: (*outcome).clone(),
                 },
-                false,
+                computed,
             ));
         }
 
+        // A lane can still be empty here when an earlier attempt at this
+        // block panicked mid-group (the retry re-enters with the block
+        // already marked prefetched). Solve it solo, memoized as before.
         let (outcome, computed) = self.cache.solve_with_status(
             ctx.experiment_fp,
             ctx.assignment_fp,
@@ -1199,17 +1299,18 @@ impl SweepEngine {
             ctx.experiment.warmup_ticks(),
             ctx.fault_fp,
             || {
-                // Build the worker's scratch simulation only when it was
-                // last used for a different assignment block; `run_with`
-                // resets it bitwise before every run.
-                let stale = !matches!(&scratch.sim, Some((idx, _)) if *idx == block_idx);
-                if stale {
-                    let sim = ctx
-                        .experiment
-                        .build_simulation(&ctx.assignment, point.mode)?;
-                    scratch.sim = Some((block_idx, sim));
-                }
-                let (_, sim) = scratch.sim.as_mut().expect("scratch populated above");
+                let sim = match scratch.sims.first_mut() {
+                    Some(sim) if scratch.sims_block == Some(block_idx) => sim,
+                    _ => {
+                        let sim = ctx
+                            .experiment
+                            .build_simulation(&ctx.assignment, point.mode)?;
+                        scratch.sims.clear();
+                        scratch.sims.push(sim);
+                        scratch.sims_block = Some(block_idx);
+                        &mut scratch.sims[0]
+                    }
+                };
                 ctx.experiment.run_with(sim, point.mode)
             },
         )?;
@@ -1220,6 +1321,79 @@ impl SweepEngine {
             },
             computed,
         ))
+    }
+
+    /// Solves every lane the block probe missed, batching all of their
+    /// sockets through one wide solve group. Cold blocks — the dominant
+    /// case on a fresh campaign — thus converge `modes.len()` runs in a
+    /// single kernel pass per tick instead of one pass per mode.
+    ///
+    /// Each group member is inserted into the cache through the same
+    /// memoized path a solo solve uses, so hit/miss accounting, journal
+    /// `computed` flags and cross-worker sharing are unchanged.
+    fn solve_block_group(
+        &self,
+        compiled: &CompiledSpec,
+        block_idx: usize,
+        scratch: &mut SweepScratch,
+    ) -> Result<(), SimError> {
+        let ctx = &compiled.blocks[block_idx];
+        let missing: Vec<usize> = scratch
+            .prefetched
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, slot)| slot.is_none().then_some(lane))
+            .collect();
+
+        // One simulation per missing lane: the first is built (or reused
+        // from the previous block's group when the assignment matches),
+        // the rest are clones. `reset` reproduces fresh construction
+        // bitwise, so a clone's history is irrelevant.
+        if scratch.sims_block != Some(block_idx) {
+            scratch.sims.clear();
+            scratch.sims_block = Some(block_idx);
+        }
+        if scratch.sims.is_empty() {
+            scratch.sims.push(
+                ctx.experiment
+                    .build_simulation(&ctx.assignment, compiled.modes[missing[0]])?,
+            );
+        }
+        while scratch.sims.len() < missing.len() {
+            let clone = scratch.sims[0].clone();
+            scratch.sims.push(clone);
+        }
+        for (slot, &lane) in missing.iter().enumerate() {
+            scratch.sims[slot].reset(compiled.modes[lane])?;
+        }
+
+        let mut refs: Vec<&mut Simulation> = scratch.sims[..missing.len()].iter_mut().collect();
+        let summaries = run_group::<GROUP_SOLVE_LANES>(
+            &mut refs,
+            ctx.experiment.measure_ticks(),
+            ctx.experiment.warmup_ticks(),
+        );
+
+        for (&lane, summary) in missing.iter().zip(summaries) {
+            let outcome = ctx
+                .experiment
+                .outcome_from_summary(&ctx.assignment, summary);
+            // Registers the miss and publishes the entry; a duplicate
+            // mode in the spec degrades to a hit on its second lane,
+            // exactly as the solo path would.
+            let (outcome, computed) = self.cache.solve_with_status(
+                ctx.experiment_fp,
+                ctx.assignment_fp,
+                compiled.modes[lane],
+                ctx.experiment.measure_ticks(),
+                ctx.experiment.warmup_ticks(),
+                ctx.fault_fp,
+                || Ok(outcome),
+            )?;
+            scratch.prefetched[lane] = Some(outcome);
+            scratch.computed[lane] = computed;
+        }
+        Ok(())
     }
 }
 
@@ -1233,21 +1407,33 @@ struct CompiledSpec {
     modes: Vec<GuardbandMode>,
 }
 
-/// Per-worker scratch carried across a sweep: the reusable simulation
-/// (tagged with the assignment block it was built for) and the current
-/// block's prefetched cache lanes.
+/// Lane width of the sweep workers' group solves: four two-socket
+/// servers per [`crate::solve::SolveBatch`] pass. Wide enough to converge
+/// a whole three-mode assignment block (6 lanes) in one kernel pass,
+/// measured profitable over 2-, 4- and 16-lane batches in
+/// `benches/solve.rs`.
+pub const GROUP_SOLVE_LANES: usize = 8;
+
+/// Per-worker scratch carried across a sweep: the reusable simulations
+/// (tagged with the assignment block they were built for, one per
+/// group-solved mode) and the current block's staged cache lanes with
+/// their journal `computed` flags.
 struct SweepScratch {
-    sim: Option<(usize, Simulation)>,
+    sims: Vec<Simulation>,
+    sims_block: Option<usize>,
     prefetched_block: Option<usize>,
     prefetched: Vec<Option<Arc<Outcome>>>,
+    computed: Vec<bool>,
 }
 
 impl SweepScratch {
     fn new() -> Self {
         SweepScratch {
-            sim: None,
+            sims: Vec::new(),
+            sims_block: None,
             prefetched_block: None,
             prefetched: Vec::new(),
+            computed: Vec::new(),
         }
     }
 }
@@ -1715,5 +1901,89 @@ mod tests {
             assert_eq!(Placement::parse(p.label()), Some(p));
         }
         assert_eq!(Placement::parse("turbo"), None);
+    }
+
+    #[test]
+    fn cache_stats_without_a_contended_key_still_parse() {
+        // Reports serialized before the cache was sharded have no
+        // "contended" key; they must read back as uncontended.
+        let stats = CacheStats {
+            hits: 3,
+            misses: 2,
+            entries: 1,
+            evictions: 4,
+            contended: 7,
+        };
+        let json = serde::json::to_string(&stats);
+        let back: CacheStats = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+
+        let legacy = json.replace(",\"contended\":7", "");
+        assert_ne!(legacy, json, "fixture must actually drop the key");
+        let back: CacheStats = serde::json::from_str(&legacy).unwrap();
+        assert_eq!((back.hits, back.evictions, back.contended), (3, 4, 0));
+    }
+
+    #[test]
+    fn shard_capacity_bounds_entries_and_counts_evictions() {
+        // 32 entries over 16 shards = 2 per shard: inserting 200
+        // distinct keys must keep the table bounded, with the overflow
+        // visible in the eviction counter — entries + evictions always
+        // accounts for every insert.
+        let cache = SolveCache::with_capacity(32);
+        let exp = Experiment::power7plus(11).with_ticks(2, 1);
+        let w = Catalog::power7plus().get("radix").unwrap().clone();
+        let a = Assignment::single_socket(&w, 1).unwrap();
+        let seed = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        for key in 0..200u64 {
+            cache
+                .solve_with(key, key, GuardbandMode::Undervolt, 2, 1, 0, || {
+                    Ok(seed.clone())
+                })
+                .unwrap();
+        }
+        let stats = cache.counters();
+        assert!(
+            stats.entries <= 32,
+            "entries {} exceed capacity",
+            stats.entries
+        );
+        assert!(stats.evictions > 0, "200 inserts into 32 slots must evict");
+        assert_eq!(stats.entries as u64 + stats.evictions, 200);
+        assert_eq!(stats.misses, 200);
+    }
+
+    #[test]
+    fn sharded_cache_accounting_is_exact_under_concurrent_probes() {
+        // Four threads hammer overlapping blocks: every solve_with call
+        // counts exactly one hit or one miss whatever the interleaving,
+        // so the totals must come out exact — lock waits surface only in
+        // the `contended` counter, never in results or accounting.
+        let cache = Arc::new(SolveCache::new());
+        let exp = Experiment::power7plus(13).with_ticks(2, 1);
+        let w = Catalog::power7plus().get("radix").unwrap().clone();
+        let a = Assignment::single_socket(&w, 1).unwrap();
+        let seed = exp.run(&a, GuardbandMode::Undervolt).unwrap();
+        const THREADS: u64 = 4;
+        const CALLS: u64 = 400;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..CALLS {
+                        let key = i % 32;
+                        cache
+                            .solve_with(key, key, GuardbandMode::Undervolt, 2, 1, 0, || {
+                                Ok(seed.clone())
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.counters();
+        assert_eq!(stats.hits + stats.misses, THREADS * CALLS);
+        assert_eq!(stats.entries, 32);
+        // 32 distinct keys, each missed by at least its first solver.
+        assert!((32..=32 * THREADS).contains(&stats.misses));
     }
 }

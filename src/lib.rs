@@ -11,6 +11,7 @@ pub use ags_core as scheduling;
 pub use ags_harness as harness;
 pub use p7_control as control;
 pub use p7_faults as faults;
+pub use p7_fleet as fleet;
 pub use p7_obs as obs;
 pub use p7_pdn as pdn;
 pub use p7_power as power;

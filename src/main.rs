@@ -14,6 +14,7 @@ use ags::cli::{
     flag_usize, parse_flags, required_workload, split_switches, Flags, ObsOptions,
 };
 use ags::control::GuardbandMode;
+use ags::fleet::{FleetEngine, FleetReport, FleetRunOptions, FleetSpec, TrafficModel};
 use ags::harness::install_cancel_on_signals;
 use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
 use ags::sim::journal::read_manifest;
@@ -73,7 +74,7 @@ fn main() -> ExitCode {
     // `sweep` and `resilience` take bare switches; everything else is
     // strict `--flag value` pairs.
     let switch_names: &[&str] = match command {
-        "sweep" | "resilience" => &["smoke"],
+        "sweep" | "resilience" | "fleet" => &["smoke"],
         _ => &[],
     };
     let (switches, tail) = split_switches(&args[1..], switch_names);
@@ -91,6 +92,7 @@ fn main() -> ExitCode {
         // Register every family up front: exports list all of them even
         // when a run never exercises some site.
         ags::sim::telemetry::register_all();
+        ags::fleet::telemetry::register_all();
     }
     if obs.trace.is_some() {
         ags::obs::trace::enable();
@@ -100,6 +102,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags).map_err(CliError::from),
         "sweep" => cmd_sweep(&flags, smoke),
         "resilience" => cmd_resilience(&flags, smoke),
+        "fleet" => cmd_fleet(&flags, smoke),
         "borrow" => cmd_borrow(&flags).map_err(CliError::from),
         "cluster" => cmd_cluster(&flags).map_err(CliError::from),
         "help" | "--help" | "-h" => {
@@ -185,6 +188,17 @@ USAGE:
       floor compliance; exits non-zero if any cell is unsafe.
       --smoke runs the shortened CI variant. Journal flags behave as in
       `ags sweep` (resume with the same --smoke/--seed flags).
+  ags fleet [--smoke] [--servers N] [--epochs N] [--traffic T] [--seed S]
+            [--shard-servers N] [--jobs N]
+            [--journal DIR | --resume DIR] [--checkpoint N]
+      Fleet-scale campaign: simulate N two-socket servers (default 1000)
+      through an open-loop traffic shape. T: diurnal|flash-crowd|
+      rolling-deploy (default diurnal). Servers are sharded across
+      workers and advanced through 16-lane solver batches; idle workers
+      steal whole shards, and stdout is byte-identical at any --jobs.
+      Steal/cache/throughput stats go to stderr. Journal flags behave as
+      in `ags sweep`; a resume rebuilds the campaign from the journal's
+      manifest. --smoke runs the shortened CI fleet.
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
@@ -512,6 +526,103 @@ fn cmd_resilience(flags: &Flags, smoke: bool) -> Result<(), CliError> {
                 .into(),
         )
     }
+}
+
+fn cmd_fleet(flags: &Flags, smoke: bool) -> Result<(), CliError> {
+    let engine = FleetEngine::new(flag_jobs(flags)?);
+    let journal_mode = flag_journal_mode(flags)?;
+    let spec = resolve_fleet_spec(flags, smoke, &journal_mode)?;
+    let options = FleetRunOptions {
+        durable: DurableOptions {
+            journal: journal_mode,
+            checkpoint_every: flag_checkpoint(flags)?,
+            ..DurableOptions::default()
+        },
+        panic_injector: None,
+    };
+    install_cancel_on_signals(&options.durable.cancel);
+    let report = engine.run_durable(&spec, &options)?;
+    print!("{}", report.table());
+    print_failed(&report.failed_shards, "shards");
+    print_fleet_stats(&report);
+    Ok(())
+}
+
+/// The fleet campaign being run: the built-in smoke fleet under
+/// `--smoke`, flags over the full-scale defaults otherwise — except on
+/// `--resume`, where the campaign is rebuilt from the journal's own
+/// manifest and conflicting shape flags are refused.
+fn resolve_fleet_spec(
+    flags: &Flags,
+    smoke: bool,
+    journal_mode: &JournalMode,
+) -> Result<FleetSpec, CliError> {
+    if let JournalMode::Resume(dir) = journal_mode {
+        for key in ["servers", "epochs", "traffic", "shard-servers"] {
+            if flags.contains_key(key) {
+                return Err(CliError::Message(format!(
+                    "--{key} conflicts with --resume; the campaign is rebuilt from the \
+                     journal's manifest"
+                )));
+            }
+        }
+        let manifest = read_manifest(dir)?;
+        if manifest.kind != "fleet" {
+            return Err(CliError::Message(format!(
+                "journal `{}` holds a `{}` campaign, not a fleet; use `ags {}`",
+                dir.display(),
+                manifest.kind,
+                manifest.kind
+            )));
+        }
+        let spec = FleetSpec::from_json(&manifest.spec_json)?;
+        if flags.contains_key("seed") && flag_seed(flags)? != spec.seed {
+            return Err(CliError::Message(format!(
+                "--seed {} does not match the journal's seed {}; drop the flag",
+                flag_seed(flags)?,
+                spec.seed
+            )));
+        }
+        return Ok(spec);
+    }
+    let mut spec = if smoke {
+        FleetSpec::smoke()
+    } else {
+        FleetSpec::power7plus()
+    };
+    spec.seed = flag_seed(flags)?;
+    spec.servers = flag_usize(flags, "servers", spec.servers)?;
+    spec.epochs = flag_usize(flags, "epochs", spec.epochs)?;
+    spec.shard_servers = flag_usize(flags, "shard-servers", spec.shard_servers)?;
+    if let Some(label) = flags.get("traffic") {
+        spec.traffic = TrafficModel::parse(label).ok_or_else(|| {
+            CliError::Message(format!(
+                "unknown traffic model `{label}` (expected diurnal|flash-crowd|rolling-deploy)"
+            ))
+        })?;
+    }
+    Ok(spec)
+}
+
+/// Prints the fleet throughput/stealing/cache footer to stderr, keeping
+/// stdout reproducible across worker counts.
+fn print_fleet_stats(report: &FleetReport) {
+    let s = &report.stats;
+    eprintln!(
+        "[fleet: {} shards in {:.2} s with {} jobs — {} stolen, \
+         {} active / {} standby server-epochs, \
+         cache {} hits / {} misses / {} evictions / {} contended]",
+        s.shards,
+        s.elapsed_secs,
+        s.jobs,
+        s.steals,
+        s.active_server_epochs,
+        s.standby_server_epochs,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.evictions,
+        s.cache.contended
+    );
 }
 
 fn cmd_borrow(flags: &Flags) -> Result<(), String> {
