@@ -3,14 +3,22 @@
 //! The simulator crate is `#![forbid(unsafe_code)]`, but turning SIGINT
 //! and SIGTERM into a cooperative [`CancelToken`] cancellation needs one
 //! `unsafe` FFI call to POSIX `signal(2)`. That single call lives here,
-//! behind an async-signal-safe handler that does nothing but an atomic
-//! store: durable campaign runs observe the token between grid points,
-//! flush their journal, and return `SimError::Interrupted` so the CLI
-//! can exit with the distinct "interrupted, resumable" status code.
+//! behind an async-signal-safe handler that does nothing but atomic
+//! loads and one atomic store: durable campaign runs observe the token
+//! between grid points, flush their journal, and return
+//! `SimError::Interrupted` so the CLI can exit with the distinct
+//! "interrupted, resumable" status code ([`EXIT_INTERRUPTED`]).
+//!
+//! Long-running processes can *re-arm*: once `ags serve` begins its
+//! graceful drain it registers a second token via
+//! [`rearm_cancel_on_signals`], so a second SIGINT/SIGTERM cancels the
+//! new token (forcing immediate shutdown) instead of re-tripping the
+//! already-cancelled drain token.
 
 #![warn(missing_docs)]
 
 use p7_sim::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// POSIX SIGINT (Ctrl-C).
@@ -18,15 +26,40 @@ pub const SIGINT: i32 = 2;
 /// POSIX SIGTERM (default `kill`).
 pub const SIGTERM: i32 = 15;
 
-/// The token the signal handler trips. Installed once per process: the
-/// handler may run at any instant on any thread, so it must never
-/// observe a half-updated target.
-static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+/// Exit code of a cooperatively cancelled (SIGINT/SIGTERM) campaign or
+/// daemon whose journal was flushed: BSD `EX_TEMPFAIL`, "try again
+/// later" — re-run with `--resume` (or restart `ags serve` against the
+/// same `--journal`) to continue.
+pub const EXIT_INTERRUPTED: u8 = 75;
 
-/// Async-signal-safe: `OnceLock::get` is a lock-free read once set, and
-/// [`CancelToken::cancel`] is a single atomic store.
+/// How many signal-token registrations one process supports: the
+/// initial [`install_cancel_on_signals`] plus re-arms. A campaign uses
+/// one; the daemon uses two (drain, then force); the rest is headroom
+/// for supervisors layered on top.
+pub const MAX_SIGNAL_REGISTRATIONS: usize = 8;
+
+/// The registered tokens, in registration order. Each slot is written
+/// at most once (`OnceLock`), so the handler — which may run at any
+/// instant on any thread — can never observe a half-updated target.
+static SLOTS: [OnceLock<CancelToken>; MAX_SIGNAL_REGISTRATIONS] =
+    [const { OnceLock::new() }; MAX_SIGNAL_REGISTRATIONS];
+
+/// Index of the slot the handler currently trips. `usize::MAX` until
+/// the first registration. Stored with `Release` only after the slot's
+/// token is set, so an `Acquire` load in the handler sees a fully
+/// initialized token.
+static ACTIVE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Next free slot; claimed by compare-exchange so concurrent
+/// registrations cannot share one.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+/// Async-signal-safe: two atomic loads (`ACTIVE`, then the lock-free
+/// read of a set `OnceLock`) and [`CancelToken::cancel`]'s single
+/// atomic store.
 extern "C" fn handle_cancel_signal(_signum: i32) {
-    if let Some(token) = TOKEN.get() {
+    let active = ACTIVE.load(Ordering::Acquire);
+    if let Some(token) = SLOTS.get(active).and_then(OnceLock::get) {
         token.cancel();
     }
 }
@@ -38,25 +71,77 @@ extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
 }
 
+/// Points SIGINT/SIGTERM at [`handle_cancel_signal`]. Idempotent.
+fn install_handlers() {
+    #[cfg(unix)]
+    // SAFETY: `handle_cancel_signal` is async-signal-safe (atomic loads
+    // + atomic store, no allocation, no locks) and stays valid for the
+    // process lifetime; `signal` itself cannot violate memory safety
+    // for these two catchable signal numbers.
+    unsafe {
+        signal(SIGINT, handle_cancel_signal);
+        signal(SIGTERM, handle_cancel_signal);
+    }
+}
+
+/// Claims the next free slot for `token` and makes it the handler's
+/// target. Returns the claimed index, or `None` when every slot is
+/// taken.
+fn claim_slot(token: &CancelToken) -> Option<usize> {
+    let idx = loop {
+        let idx = NEXT_SLOT.load(Ordering::Acquire);
+        if idx >= MAX_SIGNAL_REGISTRATIONS {
+            return None;
+        }
+        if NEXT_SLOT
+            .compare_exchange(idx, idx + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            break idx;
+        }
+    };
+    // The compare-exchange makes this thread the slot's only owner, so
+    // the set cannot fail.
+    let _ = SLOTS[idx].set(token.clone());
+    ACTIVE.store(idx, Ordering::Release);
+    Some(idx)
+}
+
 /// Installs SIGINT/SIGTERM handlers that cancel `token` cooperatively.
 ///
 /// Returns `false` (and installs nothing) if handlers were already
 /// installed for another token in this process — the first caller wins,
-/// matching the one-campaign-per-process CLI model. On non-Unix targets
-/// the token is registered but no handler is installed, so runs are
-/// simply not signal-cancellable there.
+/// matching the one-campaign-per-process CLI model. A long-running
+/// process that wants a *successor* token (e.g. a draining daemon
+/// arming a force-shutdown token) re-arms with
+/// [`rearm_cancel_on_signals`] instead. On non-Unix targets the token
+/// is registered but no handler is installed, so runs are simply not
+/// signal-cancellable there.
 pub fn install_cancel_on_signals(token: &CancelToken) -> bool {
-    if TOKEN.set(token.clone()).is_err() {
+    if NEXT_SLOT.load(Ordering::Acquire) != 0 || claim_slot(token) != Some(0) {
         return false;
     }
-    #[cfg(unix)]
-    // SAFETY: `handle_cancel_signal` is async-signal-safe (atomic load +
-    // atomic store, no allocation, no locks) and stays valid for the
-    // process lifetime; `signal` itself cannot violate memory safety for
-    // these two catchable signal numbers.
-    unsafe {
-        signal(SIGINT, handle_cancel_signal);
-        signal(SIGTERM, handle_cancel_signal);
+    install_handlers();
+    true
+}
+
+/// Retargets the already-installed SIGINT/SIGTERM handlers at `token`:
+/// the next signal cancels `token`, and previously registered tokens
+/// are left exactly as they are.
+///
+/// This is the drain-then-force idiom: `ags serve` installs its drain
+/// token at startup; once a first signal begins the graceful drain, the
+/// daemon re-arms with a force token so a second signal means
+/// "shut down immediately" instead of being swallowed by the
+/// already-cancelled drain token. If no handlers were installed yet
+/// this acts as the first installation. Returns `false` (and changes
+/// nothing) only when all [`MAX_SIGNAL_REGISTRATIONS`] slots are spent.
+pub fn rearm_cancel_on_signals(token: &CancelToken) -> bool {
+    let Some(idx) = claim_slot(token) else {
+        return false;
+    };
+    if idx == 0 {
+        install_handlers();
     }
     true
 }
@@ -65,15 +150,46 @@ pub fn install_cancel_on_signals(token: &CancelToken) -> bool {
 mod tests {
     use super::*;
 
+    /// One test drives the whole registration lifecycle: the slot
+    /// statics are process-global, so splitting these assertions into
+    /// separate `#[test]`s would race under the parallel test runner.
     #[test]
-    fn first_install_wins_and_wires_the_token() {
-        let token = CancelToken::new();
-        assert!(install_cancel_on_signals(&token));
-        // A second token is refused; the first stays wired.
+    fn install_rearm_and_exhaustion_lifecycle() {
+        // First install wins and wires the token.
+        let drain = CancelToken::new();
+        assert!(install_cancel_on_signals(&drain));
+        // A second *install* is refused; the first stays wired.
         let other = CancelToken::new();
         assert!(!install_cancel_on_signals(&other));
         handle_cancel_signal(SIGINT);
-        assert!(token.is_cancelled());
+        assert!(drain.is_cancelled());
         assert!(!other.is_cancelled());
+
+        // Re-arming retargets the handler at the new token without
+        // touching earlier registrations.
+        let force = CancelToken::new();
+        assert!(rearm_cancel_on_signals(&force));
+        assert!(!force.is_cancelled());
+        handle_cancel_signal(SIGTERM);
+        assert!(force.is_cancelled());
+        assert!(!other.is_cancelled(), "refused token must stay inert");
+
+        // Slots are finite: after MAX registrations, re-arm refuses and
+        // the last armed token keeps receiving signals.
+        let mut last = force.clone();
+        for _ in 2..MAX_SIGNAL_REGISTRATIONS {
+            last = CancelToken::new();
+            assert!(rearm_cancel_on_signals(&last));
+        }
+        let overflow = CancelToken::new();
+        assert!(!rearm_cancel_on_signals(&overflow));
+        handle_cancel_signal(SIGINT);
+        assert!(last.is_cancelled());
+        assert!(!overflow.is_cancelled());
+    }
+
+    #[test]
+    fn exit_code_is_bsd_ex_tempfail() {
+        assert_eq!(EXIT_INTERRUPTED, 75);
     }
 }

@@ -1,7 +1,8 @@
 //! End-to-end check that the real POSIX handler is installed: raise(2)
-//! the signal and observe the token trip instead of process death.
+//! the signal and observe the token trip instead of process death, then
+//! re-arm and observe the second signal land on the successor token.
 
-use ags_harness::{install_cancel_on_signals, SIGTERM};
+use ags_harness::{install_cancel_on_signals, rearm_cancel_on_signals, SIGINT, SIGTERM};
 use p7_sim::CancelToken;
 
 #[cfg(unix)]
@@ -11,12 +12,23 @@ extern "C" {
 
 #[cfg(unix)]
 #[test]
-fn raised_sigterm_trips_the_token_instead_of_killing() {
-    let token = CancelToken::new();
-    assert!(install_cancel_on_signals(&token));
+fn raised_signals_trip_the_armed_token_instead_of_killing() {
+    let drain = CancelToken::new();
+    assert!(install_cancel_on_signals(&drain));
     // SAFETY: raising a signal we just installed a handler for.
     unsafe {
         raise(SIGTERM);
     }
-    assert!(token.is_cancelled());
+    assert!(drain.is_cancelled());
+
+    // The daemon's drain-then-force idiom: after the first signal the
+    // process re-arms, and the next signal cancels the new token.
+    let force = CancelToken::new();
+    assert!(rearm_cancel_on_signals(&force));
+    assert!(!force.is_cancelled());
+    // SAFETY: as above — the handler stays installed across re-arms.
+    unsafe {
+        raise(SIGINT);
+    }
+    assert!(force.is_cancelled());
 }

@@ -1,0 +1,1068 @@
+//! The daemon: a durable task queue in front of the campaign engines.
+//!
+//! Two long-lived threads share the [`TaskStore`]:
+//!
+//! * the **accept loop** (the caller's thread) parses HTTP requests,
+//!   journals submissions before acknowledging them, and answers
+//!   status/result/metrics queries;
+//! * the **scheduler** claims every ready task, merges compatible
+//!   sweeps into one engine pass ([`crate::batch`]), runs it over the
+//!   shared `SolveCache`, and journals each member's terminal state —
+//!   retrying failed tasks under the [`RetryPolicy`] with exponential
+//!   backoff until they quarantine into `failed`.
+//!
+//! Graceful drain: when [`ServeConfig::drain`] fires (the CLI wires it
+//! to SIGINT/SIGTERM) the accept loop stops taking connections, the
+//! engine pass in flight is cooperatively interrupted, its member
+//! tasks are durably re-enqueued (the in-flight checkpoint), and
+//! [`serve`] returns so the CLI can exit 75. The daemon then re-arms
+//! the signal handlers at [`ServeConfig::force`]: a second signal
+//! exits immediately instead of waiting for the drain.
+
+use crate::batch::{build_batches, split_report, QueuedSweep, SweepBatch};
+use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
+use crate::task::{Task, TaskKind, TaskState, TaskStore, TaskUpdate};
+use crate::telemetry;
+use ags_harness::{rearm_cancel_on_signals, EXIT_INTERRUPTED};
+use p7_fleet::{FleetEngine, FleetRunOptions, FleetSpec};
+use p7_sim::journal::render_failed;
+use p7_sim::sweep::render_results_table;
+use p7_sim::{
+    CancelToken, DurableOptions, FailedPoint, ResilienceSpec, RetryPolicy, SimError, SweepEngine,
+    SweepRunOptions, SweepSpec,
+};
+use p7_workloads::Catalog;
+use serde::{Deserialize, Value};
+use std::collections::HashMap;
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending, and
+/// therefore the worst-case latency to notice a drain request.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// The scheduler's idle wait between queue scans (it is also woken
+/// eagerly on every submit and on drain).
+const SCHEDULER_POLL: Duration = Duration::from_millis(100);
+
+/// How long a draining daemon waits for in-flight connections to
+/// finish before returning anyway.
+const CONNECTION_DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// Everything [`serve`] needs. Construct with [`ServeConfig::new`] and
+/// override fields as needed.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7075` (`:0` picks a free port).
+    pub addr: String,
+    /// The durable task-queue journal directory (created on first run,
+    /// recovered on restart).
+    pub journal: PathBuf,
+    /// Engine worker threads per pass (0 = available parallelism).
+    pub jobs: usize,
+    /// Task-level retry/backoff policy (also passed into each engine
+    /// pass for point-level panic retries).
+    pub retry: RetryPolicy,
+    /// Listener hardening knobs.
+    pub limits: HttpLimits,
+    /// Graceful-drain token; the CLI wires SIGINT/SIGTERM to it.
+    pub drain: CancelToken,
+    /// Force-shutdown token, re-armed onto the signal handlers once the
+    /// drain begins; a second signal then exits immediately.
+    pub force: CancelToken,
+    /// Whether to re-arm process signal handlers at drain time (true
+    /// for the CLI; false for in-process tests).
+    pub handle_signals: bool,
+    /// Receives the actually-bound address once the listener is up
+    /// (read it when binding port 0).
+    pub bound_addr: Arc<OnceLock<SocketAddr>>,
+}
+
+impl ServeConfig {
+    /// A config with default limits and retry policy.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, journal: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: addr.into(),
+            journal: journal.into(),
+            jobs: 0,
+            retry: RetryPolicy::power7plus(),
+            limits: HttpLimits::default(),
+            drain: CancelToken::new(),
+            force: CancelToken::new(),
+            handle_signals: true,
+            bound_addr: Arc::new(OnceLock::new()),
+        }
+    }
+}
+
+/// Why the daemon could not run (distinct from a graceful drain, which
+/// is [`serve`] returning `Ok`).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The queue journal failed: open, recovery, or a durable append.
+    Journal(SimError),
+    /// The listener could not bind the requested address.
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The OS error.
+        reason: String,
+    },
+    /// Listener or scheduler plumbing failed.
+    Runtime(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Journal(e) => write!(f, "task queue journal: {e}"),
+            ServeError::Bind { addr, reason } => write!(f, "cannot bind `{addr}`: {reason}"),
+            ServeError::Runtime(what) => write!(f, "serve runtime: {what}"),
+        }
+    }
+}
+
+/// State shared between the accept loop, handler threads and the
+/// scheduler.
+struct Shared {
+    queue: Mutex<TaskStore>,
+    /// Paired with `queue`: submits and drain requests wake the
+    /// scheduler's idle wait.
+    wake: Condvar,
+    drain: CancelToken,
+    retry: RetryPolicy,
+    jobs: usize,
+}
+
+impl Shared {
+    /// Locks the queue, surviving a poisoned mutex (a handler panic
+    /// must not wedge the whole daemon).
+    fn lock_queue(&self) -> MutexGuard<'_, TaskStore> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Refreshes the queue-depth gauge from the store.
+    fn refresh_depth(&self) {
+        let depth = self.lock_queue().open_tasks();
+        telemetry::queue_depth().set(i64::try_from(depth).unwrap_or(i64::MAX));
+    }
+}
+
+/// Runs the daemon until its drain token fires (returns `Ok`) or a
+/// non-recoverable error occurs. The caller decides the process exit
+/// code; the CLI maps a drain to exit 75 ([`EXIT_INTERRUPTED`]).
+///
+/// # Errors
+///
+/// [`ServeError::Journal`] when the queue journal cannot be opened or
+/// written, [`ServeError::Bind`] when the address is taken,
+/// [`ServeError::Runtime`] for listener/scheduler plumbing failures.
+pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
+    let (store, recovered) = TaskStore::open(&config.journal).map_err(ServeError::Journal)?;
+    telemetry::recovered_tasks().add(recovered as u64);
+    let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
+        addr: config.addr.clone(),
+        reason: e.to_string(),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Runtime(format!("cannot set listener non-blocking: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServeError::Runtime(format!("cannot read bound address: {e}")))?;
+    let _ = config.bound_addr.set(addr);
+    // The startup line is the machine-readable handshake (CI and the
+    // recovery tests parse the port out of it); flush so a piped stdout
+    // delivers it before the first long engine pass.
+    {
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(stdout, "serve: listening on http://{addr}");
+        let _ = stdout.flush();
+    }
+    eprintln!(
+        "[serve: queue `{}` — {} tasks known, {} re-enqueued from a previous run]",
+        config.journal.display(),
+        store.tasks().len(),
+        recovered
+    );
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(store),
+        wake: Condvar::new(),
+        drain: config.drain.clone(),
+        retry: config.retry,
+        jobs: config.jobs,
+    });
+    shared.refresh_depth();
+
+    let scheduler = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("ags-serve-scheduler".to_owned())
+            .spawn(move || scheduler_loop(&shared))
+            .map_err(|e| ServeError::Runtime(format!("cannot spawn scheduler: {e}")))?
+    };
+
+    let active = Arc::new(AtomicUsize::new(0));
+    while !config.drain.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                telemetry::http_requests().inc();
+                if active.load(Ordering::Acquire) >= config.limits.max_connections {
+                    shed(stream, &config.limits);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::AcqRel);
+                telemetry::connections()
+                    .set(i64::try_from(active.load(Ordering::Acquire)).unwrap_or(i64::MAX));
+                let shared = Arc::clone(&shared);
+                let conn_count = Arc::clone(&active);
+                let limits = config.limits.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("ags-serve-conn".to_owned())
+                    .spawn(move || {
+                        handle_connection(stream, &shared, &limits);
+                        let now = conn_count.fetch_sub(1, Ordering::AcqRel) - 1;
+                        telemetry::connections().set(i64::try_from(now).unwrap_or(i64::MAX));
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: count the connection back out
+                    // and shed it.
+                    let now = active.fetch_sub(1, Ordering::AcqRel) - 1;
+                    telemetry::connections().set(i64::try_from(now).unwrap_or(i64::MAX));
+                    telemetry::sheds().inc();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+
+    // Drain begun: stop accepting (the listener drops below), re-arm
+    // the signal handlers so a second signal forces immediate exit,
+    // and let the scheduler checkpoint whatever is in flight.
+    drop(listener);
+    if config.handle_signals {
+        rearm_cancel_on_signals(&config.force);
+        let force = config.force.clone();
+        std::thread::Builder::new()
+            .name("ags-serve-force".to_owned())
+            .spawn(move || loop {
+                if force.is_cancelled() {
+                    eprintln!("serve: second signal — forcing immediate shutdown");
+                    std::process::exit(i32::from(EXIT_INTERRUPTED));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+            .ok();
+    }
+    shared.wake.notify_all();
+    match scheduler.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(ServeError::Journal(e)),
+        Err(_) => return Err(ServeError::Runtime("scheduler thread panicked".to_owned())),
+    }
+    let grace_deadline = Instant::now() + CONNECTION_DRAIN_GRACE;
+    while active.load(Ordering::Acquire) > 0 && Instant::now() < grace_deadline {
+        std::thread::sleep(ACCEPT_POLL);
+    }
+    let open = shared.lock_queue().open_tasks();
+    eprintln!(
+        "[serve: drained — {} open tasks checkpointed in `{}`]",
+        open,
+        config.journal.display()
+    );
+    Ok(())
+}
+
+/// Best-effort `503` for a connection over the cap.
+fn shed(mut stream: TcpStream, limits: &HttpLimits) {
+    telemetry::sheds().inc();
+    let _ = stream.set_write_timeout(Some(limits.io_timeout));
+    let _ = Response::error(503, "connection cap reached, retry later").write_to(&mut stream);
+}
+
+/// Parses one request off the connection and answers it.
+fn handle_connection(stream: TcpStream, shared: &Shared, limits: &HttpLimits) {
+    let _ = stream.set_read_timeout(Some(limits.io_timeout));
+    let _ = stream.set_write_timeout(Some(limits.io_timeout));
+    let Ok(peer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer);
+    let response = match read_request(&mut reader, limits) {
+        Ok(request) => route(&request, shared),
+        Err(HttpError::BodyTooLarge) => Response::error(413, "request body over limit"),
+        Err(HttpError::Malformed(what)) => Response::error(400, &what),
+        Err(HttpError::Io(_)) => return, // Peer vanished or timed out.
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+/// Routes one parsed request.
+fn route(request: &Request, shared: &Shared) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => Response::text(200, p7_obs::metrics::global().render_prometheus()),
+        ("POST", ["tasks"]) => submit(request, shared),
+        ("GET", ["tasks"]) => list_tasks(shared),
+        ("GET", ["tasks", id]) => with_task(shared, id, |task| {
+            Response::json(200, task_value(task).to_json())
+        }),
+        ("GET", ["tasks", id, "result"]) => with_task(shared, id, |task| {
+            if task.state == TaskState::Succeeded {
+                Response::text(200, task.output.clone())
+            } else {
+                Response::error(
+                    409,
+                    &format!("task is {}, not succeeded", task.state.label()),
+                )
+            }
+        }),
+        ("POST", ["tasks", id, "cancel"]) => cancel_task(shared, id),
+        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// The status JSON of one task (without the result payload, which has
+/// its own endpoint).
+fn task_value(task: &Task) -> Value {
+    Value::Map(vec![
+        ("task".to_owned(), Value::Int(i128::from(task.id))),
+        ("kind".to_owned(), Value::Str(task.kind.label().to_owned())),
+        (
+            "state".to_owned(),
+            Value::Str(task.state.label().to_owned()),
+        ),
+        ("attempts".to_owned(), Value::Int(task.attempts as i128)),
+        ("reason".to_owned(), Value::Str(task.reason.clone())),
+    ])
+}
+
+/// Looks up `<id>` and applies `f`, with uniform 400/404 handling.
+fn with_task(shared: &Shared, id: &str, f: impl FnOnce(&Task) -> Response) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "task id must be an integer");
+    };
+    let queue = shared.lock_queue();
+    match queue.get(id) {
+        Some(task) => f(task),
+        None => Response::error(404, &format!("no task {id}")),
+    }
+}
+
+/// `GET /tasks`: every task's status, in submit order.
+fn list_tasks(shared: &Shared) -> Response {
+    let queue = shared.lock_queue();
+    let items: Vec<Value> = queue.tasks().iter().map(task_value).collect();
+    Response::json(200, Value::Seq(items).to_json())
+}
+
+/// `POST /tasks/<id>/cancel`: only a task still waiting in `enqueued`
+/// can be canceled; anything claimed by the scheduler (or already
+/// terminal) conflicts.
+fn cancel_task(shared: &Shared, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "task id must be an integer");
+    };
+    let mut queue = shared.lock_queue();
+    let Some(task) = queue.get(id) else {
+        return Response::error(404, &format!("no task {id}"));
+    };
+    if task.state != TaskState::Enqueued {
+        return Response::error(
+            409,
+            &format!("task is {}, cannot cancel", task.state.label()),
+        );
+    }
+    let attempts = task.attempts;
+    if let Err(e) = queue.transition(&[TaskUpdate::to_state(id, TaskState::Canceled, attempts)]) {
+        return Response::error(503, &format!("journal append failed: {e}"));
+    }
+    telemetry::tasks_canceled().inc();
+    let canceled = queue.get(id).expect("task present").clone();
+    drop(queue);
+    shared.refresh_depth();
+    Response::json(200, task_value(&canceled).to_json())
+}
+
+/// `POST /tasks`: validate, canonicalize, journal, acknowledge.
+///
+/// The body is `{"kind": "sweep" | "resilience" | "fleet", "spec":
+/// {…}}`, or `{"kind": …, "smoke": true}` for the built-in CI-sized
+/// campaign. Invalid submissions are refused with `400` and never
+/// journaled; a `202` means the task is durable.
+fn submit(request: &Request, shared: &Shared) -> Response {
+    let (kind, spec_json) = match canonicalize_submission(&request.body) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::error(400, &message),
+    };
+    let mut queue = shared.lock_queue();
+    let id = match queue.submit(kind, spec_json) {
+        Ok(id) => id,
+        Err(e) => return Response::error(503, &format!("journal append failed: {e}")),
+    };
+    let task = queue.get(id).expect("just submitted").clone();
+    drop(queue);
+    telemetry::tasks_submitted().inc();
+    shared.refresh_depth();
+    shared.wake.notify_all();
+    Response::json(202, task_value(&task).to_json())
+}
+
+/// Parses and validates a submission body into `(kind, canonical spec
+/// JSON)`. Canonical means "the spec's own `to_json`", so equal specs
+/// submitted with different field orderings batch together.
+fn canonicalize_submission(body: &[u8]) -> Result<(TaskKind, String), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body must be UTF-8 JSON".to_owned())?;
+    let value = Value::parse_json(text).map_err(|e| format!("bad JSON body: {e}"))?;
+    let kind_label = match value.field("kind") {
+        Ok(Value::Str(s)) => s.clone(),
+        _ => return Err("missing or non-string `kind`".to_owned()),
+    };
+    let kind = TaskKind::parse(&kind_label)
+        .ok_or_else(|| format!("unknown kind `{kind_label}` (expected sweep|resilience|fleet)"))?;
+    let smoke = matches!(value.field("smoke"), Ok(Value::Bool(true)));
+    let spec_value = match value.field("spec") {
+        Ok(v) if !smoke => Some(v),
+        _ if smoke => None,
+        _ => return Err("missing `spec` (or pass \"smoke\": true)".to_owned()),
+    };
+    let catalog = Catalog::shared();
+    let spec_json = match kind {
+        TaskKind::Sweep => {
+            let spec = match spec_value {
+                Some(v) => SweepSpec::from_value(v).map_err(|e| format!("bad sweep spec: {e}"))?,
+                None => SweepSpec::smoke_grid(),
+            };
+            spec.validate(catalog).map_err(|e| e.to_string())?;
+            spec.to_json()
+        }
+        TaskKind::Resilience => {
+            let spec = match spec_value {
+                Some(v) => ResilienceSpec::from_value(v)
+                    .map_err(|e| format!("bad resilience spec: {e}"))?,
+                None => ResilienceSpec::smoke(),
+            };
+            spec.validate(catalog).map_err(|e| e.to_string())?;
+            serde::json::to_string(&spec)
+        }
+        TaskKind::Fleet => {
+            let spec = match spec_value {
+                Some(v) => FleetSpec::from_value(v).map_err(|e| format!("bad fleet spec: {e}"))?,
+                None => FleetSpec::smoke(),
+            };
+            spec.validate(catalog).map_err(|e| e.to_string())?;
+            spec.to_json()
+        }
+    };
+    Ok((kind, spec_json))
+}
+
+/// Whether an engine pass ran to completion or was interrupted by the
+/// drain token (its tasks were re-enqueued as the checkpoint).
+enum Pass {
+    Completed,
+    Interrupted,
+}
+
+/// The scheduler: claim → batch → run → record, until drained.
+fn scheduler_loop(shared: &Shared) -> Result<(), SimError> {
+    let engine = SweepEngine::new(shared.jobs);
+    // In-memory retry deadlines: a re-enqueued task is not ready until
+    // its backoff elapses. Deliberately not journaled — after a crash
+    // the retry simply happens immediately.
+    let mut not_before: HashMap<u64, Instant> = HashMap::new();
+    loop {
+        let claimed: Vec<Task> = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if shared.drain.is_cancelled() {
+                    return Ok(());
+                }
+                let now = Instant::now();
+                let ready: Vec<Task> = queue
+                    .tasks()
+                    .iter()
+                    .filter(|t| t.state == TaskState::Enqueued)
+                    .filter(|t| not_before.get(&t.id).is_none_or(|&at| at <= now))
+                    .cloned()
+                    .collect();
+                if !ready.is_empty() {
+                    let updates: Vec<TaskUpdate> = ready
+                        .iter()
+                        .map(|t| TaskUpdate::to_state(t.id, TaskState::Batched, t.attempts))
+                        .collect();
+                    queue.transition(&updates)?;
+                    break ready;
+                }
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(queue, SCHEDULER_POLL)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        for task in &claimed {
+            not_before.remove(&task.id);
+        }
+
+        let mut sweeps: Vec<QueuedSweep> = Vec::new();
+        let mut singles: Vec<Task> = Vec::new();
+        let mut parse_failures: Vec<TaskUpdate> = Vec::new();
+        for task in claimed {
+            match task.kind {
+                TaskKind::Sweep => match SweepSpec::from_json(&task.spec_json) {
+                    Ok(spec) => sweeps.push(QueuedSweep {
+                        task: task.id,
+                        spec,
+                    }),
+                    // Specs are validated at submit; a parse failure
+                    // here means journal-era skew — quarantine it.
+                    Err(e) => parse_failures.push(TaskUpdate {
+                        id: task.id,
+                        state: TaskState::Failed,
+                        attempts: task.attempts + 1,
+                        reason: format!("stored spec no longer parses: {e}"),
+                        output: String::new(),
+                    }),
+                },
+                TaskKind::Resilience | TaskKind::Fleet => singles.push(task),
+            }
+        }
+        if !parse_failures.is_empty() {
+            for _ in &parse_failures {
+                telemetry::tasks_failed().inc();
+            }
+            shared.lock_queue().transition(&parse_failures)?;
+        }
+
+        let mut interrupted = false;
+        let batches = build_batches(&sweeps);
+        let mut pending: Vec<SweepBatch> = Vec::new();
+        for batch in batches {
+            if interrupted || shared.drain.is_cancelled() {
+                pending.push(batch);
+                continue;
+            }
+            match run_sweep_batch(shared, &engine, &batch, &mut not_before)? {
+                Pass::Completed => {}
+                Pass::Interrupted => interrupted = true,
+            }
+        }
+        let mut pending_singles: Vec<Task> = Vec::new();
+        for task in singles {
+            if interrupted || shared.drain.is_cancelled() {
+                pending_singles.push(task);
+                continue;
+            }
+            match run_single(shared, &task, &mut not_before)? {
+                Pass::Completed => {}
+                Pass::Interrupted => interrupted = true,
+            }
+        }
+        // Checkpoint claimed-but-unrun work back to `enqueued` so a
+        // restart (or this drain's own exit message) sees it waiting.
+        let requeue: Vec<TaskUpdate> = pending
+            .iter()
+            .flat_map(|b| b.members.iter())
+            .map(|m| m.task)
+            .chain(pending_singles.iter().map(|t| t.id))
+            .map(|id| {
+                let queue = shared.lock_queue();
+                let attempts = queue.get(id).map_or(0, |t| t.attempts);
+                TaskUpdate::to_state(id, TaskState::Enqueued, attempts)
+            })
+            .collect();
+        if !requeue.is_empty() {
+            shared.lock_queue().transition(&requeue)?;
+        }
+        shared.refresh_depth();
+        if shared.drain.is_cancelled() {
+            return Ok(());
+        }
+    }
+}
+
+/// Runs one merged sweep batch and records every member's outcome.
+fn run_sweep_batch(
+    shared: &Shared,
+    engine: &SweepEngine,
+    batch: &SweepBatch,
+    not_before: &mut HashMap<u64, Instant>,
+) -> Result<Pass, SimError> {
+    let processing: Vec<TaskUpdate> = {
+        let queue = shared.lock_queue();
+        batch
+            .members
+            .iter()
+            .map(|m| {
+                let attempts = queue.get(m.task).map_or(0, |t| t.attempts);
+                TaskUpdate::to_state(m.task, TaskState::Processing, attempts)
+            })
+            .collect()
+    };
+    shared.lock_queue().transition(&processing)?;
+    telemetry::batches().inc();
+    #[allow(clippy::cast_precision_loss)]
+    telemetry::batch_width().observe(batch.members.len() as f64);
+
+    let options = SweepRunOptions {
+        durable: DurableOptions {
+            cancel: shared.drain.clone(),
+            retry: shared.retry,
+            ..DurableOptions::default()
+        },
+        panic_injector: None,
+    };
+    match engine.run_durable(&batch.merged, &options) {
+        Ok(report) => {
+            let splits = split_report(batch, &report);
+            let mut updates = Vec::new();
+            {
+                let queue = shared.lock_queue();
+                for split in splits {
+                    let attempts = queue.get(split.task).map_or(0, |t| t.attempts) + 1;
+                    let output = render_results_table(&split.results)
+                        + &render_failed(&split.failed, "grid points");
+                    updates.push(terminal_update(
+                        split.task,
+                        attempts,
+                        output,
+                        &split.failed,
+                        None,
+                        shared.retry,
+                        not_before,
+                    ));
+                }
+            }
+            shared.lock_queue().transition(&updates)?;
+            shared.refresh_depth();
+            Ok(Pass::Completed)
+        }
+        Err(SimError::Interrupted { .. }) => {
+            requeue_tasks(shared, batch.members.iter().map(|m| m.task))?;
+            Ok(Pass::Interrupted)
+        }
+        Err(e) => {
+            // A hard engine error is deterministic (bad config); retry
+            // cannot help, so every member quarantines with the reason.
+            let updates: Vec<TaskUpdate> = {
+                let queue = shared.lock_queue();
+                batch
+                    .members
+                    .iter()
+                    .map(|m| {
+                        telemetry::tasks_failed().inc();
+                        TaskUpdate {
+                            id: m.task,
+                            state: TaskState::Failed,
+                            attempts: queue.get(m.task).map_or(0, |t| t.attempts) + 1,
+                            reason: e.to_string(),
+                            output: String::new(),
+                        }
+                    })
+                    .collect()
+            };
+            shared.lock_queue().transition(&updates)?;
+            shared.refresh_depth();
+            Ok(Pass::Completed)
+        }
+    }
+}
+
+/// Runs one resilience/fleet task and records its outcome.
+fn run_single(
+    shared: &Shared,
+    task: &Task,
+    not_before: &mut HashMap<u64, Instant>,
+) -> Result<Pass, SimError> {
+    let attempts_before = shared
+        .lock_queue()
+        .get(task.id)
+        .map_or(task.attempts, |t| t.attempts);
+    shared.lock_queue().transition(&[TaskUpdate::to_state(
+        task.id,
+        TaskState::Processing,
+        attempts_before,
+    )])?;
+    telemetry::batches().inc();
+    telemetry::batch_width().observe(1.0);
+
+    let durable = DurableOptions {
+        cancel: shared.drain.clone(),
+        retry: shared.retry,
+        ..DurableOptions::default()
+    };
+    let ran: Result<(String, Vec<FailedPoint>, Option<String>), SimError> = match task.kind {
+        TaskKind::Resilience => serde::json::from_str::<ResilienceSpec>(&task.spec_json)
+            .map_err(|e| SimError::Journal {
+                reason: format!("stored resilience spec no longer parses: {e}"),
+            })
+            .and_then(|spec| {
+                let report = spec.run_durable(shared.jobs, &durable)?;
+                let output = report.table()
+                    + &render_failed(&report.failed_cells, "cells")
+                    + &report.summary_line();
+                let unsafe_reason =
+                    (!report.all_safe() && report.failed_cells.is_empty()).then(|| {
+                        "campaign unsafe: a supervised cell violated the margin or breached \
+                         the floor"
+                            .to_owned()
+                    });
+                Ok((output, report.failed_cells, unsafe_reason))
+            }),
+        TaskKind::Fleet => FleetSpec::from_json(&task.spec_json).and_then(|spec| {
+            let report = FleetEngine::new(shared.jobs).run_durable(
+                &spec,
+                &FleetRunOptions {
+                    durable: durable.clone(),
+                    panic_injector: None,
+                },
+            )?;
+            let output = report.table() + &render_failed(&report.failed_shards, "shards");
+            Ok((output, report.failed_shards, None))
+        }),
+        TaskKind::Sweep => unreachable!("sweeps go through run_sweep_batch"),
+    };
+
+    match ran {
+        Ok((output, failed, unsafe_reason)) => {
+            let attempts = attempts_before + 1;
+            let update = terminal_update(
+                task.id,
+                attempts,
+                output,
+                &failed,
+                unsafe_reason,
+                shared.retry,
+                not_before,
+            );
+            shared.lock_queue().transition(&[update])?;
+            shared.refresh_depth();
+            Ok(Pass::Completed)
+        }
+        Err(SimError::Interrupted { .. }) => {
+            requeue_tasks(shared, std::iter::once(task.id))?;
+            Ok(Pass::Interrupted)
+        }
+        Err(e) => {
+            telemetry::tasks_failed().inc();
+            shared.lock_queue().transition(&[TaskUpdate {
+                id: task.id,
+                state: TaskState::Failed,
+                attempts: attempts_before + 1,
+                reason: e.to_string(),
+                output: String::new(),
+            }])?;
+            shared.refresh_depth();
+            Ok(Pass::Completed)
+        }
+    }
+}
+
+/// Decides a completed pass's terminal (or retry) update for one task:
+/// clean → `succeeded` with the rendered output; quarantined points (or
+/// an unsafe verdict) → retry with exponential backoff while attempts
+/// remain, else `failed` carrying the first quarantine reason and the
+/// partial output.
+fn terminal_update(
+    id: u64,
+    attempts: usize,
+    output: String,
+    failed: &[FailedPoint],
+    unsafe_reason: Option<String>,
+    retry: RetryPolicy,
+    not_before: &mut HashMap<u64, Instant>,
+) -> TaskUpdate {
+    if failed.is_empty() && unsafe_reason.is_none() {
+        telemetry::tasks_succeeded().inc();
+        return TaskUpdate {
+            id,
+            state: TaskState::Succeeded,
+            attempts,
+            reason: String::new(),
+            output,
+        };
+    }
+    let reason = unsafe_reason.unwrap_or_else(|| {
+        let first = &failed[0];
+        format!(
+            "{} point(s) quarantined; first: {}",
+            failed.len(),
+            first.reason
+        )
+    });
+    if attempts < retry.max_attempts.max(1) {
+        telemetry::task_retries().inc();
+        not_before.insert(id, Instant::now() + retry.backoff_before(attempts));
+        return TaskUpdate {
+            id,
+            state: TaskState::Enqueued,
+            attempts,
+            reason,
+            output: String::new(),
+        };
+    }
+    telemetry::tasks_failed().inc();
+    TaskUpdate {
+        id,
+        state: TaskState::Failed,
+        attempts,
+        reason,
+        output,
+    }
+}
+
+/// Durably re-enqueues tasks at their current attempt count — the
+/// drain-time checkpoint of an interrupted batch.
+fn requeue_tasks(shared: &Shared, ids: impl Iterator<Item = u64>) -> Result<(), SimError> {
+    let updates: Vec<TaskUpdate> = {
+        let queue = shared.lock_queue();
+        ids.map(|id| {
+            let attempts = queue.get(id).map_or(0, |t| t.attempts);
+            TaskUpdate::to_state(id, TaskState::Enqueued, attempts)
+        })
+        .collect()
+    };
+    shared.lock_queue().transition(&updates)?;
+    shared.refresh_depth();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p7_control::GuardbandMode;
+    use std::io::Read as _;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::AtomicU32;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ags-serve-daemon-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new(vec!["lu_cb".to_owned()], vec![1, 2])
+            .with_modes(vec![GuardbandMode::StaticGuardband])
+            .with_seed(42)
+            .with_ticks(4, 2)
+    }
+
+    /// One round-trip against a live daemon; returns (status, body).
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("recv");
+        let status: u16 = raw
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map_or(String::new(), |(_, b)| b.to_owned());
+        (status, body)
+    }
+
+    /// Spawns a daemon on a free port; returns its address, drain
+    /// token, and join handle.
+    fn start(
+        journal: &Path,
+    ) -> (
+        SocketAddr,
+        CancelToken,
+        std::thread::JoinHandle<Result<(), ServeError>>,
+    ) {
+        let mut config = ServeConfig::new("127.0.0.1:0", journal);
+        config.handle_signals = false;
+        config.jobs = 2;
+        let drain = config.drain.clone();
+        let bound = Arc::clone(&config.bound_addr);
+        let handle = std::thread::spawn(move || serve(config));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            if let Some(addr) = bound.get() {
+                break *addr;
+            }
+            assert!(Instant::now() < deadline, "daemon never bound");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        (addr, drain, handle)
+    }
+
+    fn wait_for_state(addr: SocketAddr, id: u64, want: &str) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (status, body) = http(addr, "GET", &format!("/tasks/{id}"), "");
+            assert_eq!(status, 200, "status body: {body}");
+            if body.contains(&format!("\"state\":\"{want}\"")) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "task {id} never reached {want}: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn daemon_end_to_end_with_restart() {
+        p7_obs::metrics::global().set_enabled(true);
+        telemetry::register_all();
+        let dir = tmpdir("e2e");
+        let spec = tiny_spec();
+        let expected = SweepEngine::new(2)
+            .run(&spec)
+            .expect("standalone run")
+            .render_table();
+
+        let (addr, drain, handle) = start(&dir);
+        let (status, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(http(addr, "GET", "/nope", "").0, 404);
+        assert_eq!(http(addr, "DELETE", "/healthz", "").0, 405);
+        assert_eq!(http(addr, "POST", "/tasks", "not json").0, 400);
+        assert_eq!(
+            http(addr, "POST", "/tasks", "{\"kind\":\"warp\",\"smoke\":true}").0,
+            400
+        );
+        assert_eq!(http(addr, "POST", "/tasks", "{\"kind\":\"sweep\"}").0, 400);
+
+        let submission = format!("{{\"kind\":\"sweep\",\"spec\":{}}}", spec.to_json());
+        let (status, body) = http(addr, "POST", "/tasks", &submission);
+        assert_eq!(status, 202, "submit body: {body}");
+        assert!(body.contains("\"task\":1"), "{body}");
+        assert!(body.contains("\"state\":\"enqueued\""), "{body}");
+
+        wait_for_state(addr, 1, "succeeded");
+        let (status, result) = http(addr, "GET", "/tasks/1/result", "");
+        assert_eq!(status, 200);
+        assert_eq!(result, expected, "daemon result must match standalone run");
+        // Terminal tasks cannot be canceled.
+        assert_eq!(http(addr, "POST", "/tasks/1/cancel", "").0, 409);
+        let (status, listing) = http(addr, "GET", "/tasks", "");
+        assert_eq!(status, 200);
+        assert!(listing.contains("\"task\":1"), "{listing}");
+        let (status, metrics) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("ags_serve_queue_depth"), "{metrics}");
+
+        drain.cancel();
+        handle.join().expect("serve thread").expect("clean drain");
+
+        // A restarted daemon recovers the journal: task 1's result is
+        // still there, byte-identical, and new ids continue after it.
+        let (addr, drain, handle) = start(&dir);
+        let (status, result) = http(addr, "GET", "/tasks/1/result", "");
+        assert_eq!(status, 200);
+        assert_eq!(result, expected, "recovered result must be byte-identical");
+        let (status, body) = http(addr, "POST", "/tasks", &submission);
+        assert_eq!(status, 202);
+        assert!(body.contains("\"task\":2"), "{body}");
+        wait_for_state(addr, 2, "succeeded");
+        let (_, second) = http(addr, "GET", "/tasks/2/result", "");
+        assert_eq!(second, expected, "resubmission must reproduce the result");
+        drain.cancel();
+        handle.join().expect("serve thread").expect("clean drain");
+    }
+
+    #[test]
+    fn cancel_and_error_semantics_via_routes() {
+        // Routing semantics without a live scheduler: build the shared
+        // state directly so no task ever leaves `enqueued`.
+        let dir = tmpdir("routes");
+        let (store, recovered) = TaskStore::open(&dir).expect("open store");
+        assert_eq!(recovered, 0);
+        let shared = Shared {
+            queue: Mutex::new(store),
+            wake: Condvar::new(),
+            drain: CancelToken::new(),
+            retry: RetryPolicy::no_retry(),
+            jobs: 1,
+        };
+        let post = |path: &str, body: &str| {
+            route(
+                &Request {
+                    method: "POST".to_owned(),
+                    path: path.to_owned(),
+                    body: body.as_bytes().to_vec(),
+                },
+                &shared,
+            )
+        };
+        let get = |path: &str| {
+            route(
+                &Request {
+                    method: "GET".to_owned(),
+                    path: path.to_owned(),
+                    body: Vec::new(),
+                },
+                &shared,
+            )
+        };
+
+        // Smoke submissions for all three kinds need no spec.
+        assert_eq!(
+            post("/tasks", "{\"kind\":\"sweep\",\"smoke\":true}").status,
+            202
+        );
+        assert_eq!(
+            post("/tasks", "{\"kind\":\"resilience\",\"smoke\":true}").status,
+            202
+        );
+        assert_eq!(
+            post("/tasks", "{\"kind\":\"fleet\",\"smoke\":true}").status,
+            202
+        );
+        // A spec that fails validation is refused and never journaled.
+        let bogus = SweepSpec::new(vec!["no_such_workload".to_owned()], vec![1]);
+        let refused = post(
+            "/tasks",
+            &format!("{{\"kind\":\"sweep\",\"spec\":{}}}", bogus.to_json()),
+        );
+        assert_eq!(refused.status, 400);
+
+        // Cancel an enqueued task: 200 and durably canceled.
+        assert_eq!(post("/tasks/1/cancel", "").status, 200);
+        let body = String::from_utf8(get("/tasks/1").body).unwrap();
+        assert!(body.contains("\"state\":\"canceled\""), "{body}");
+        // Cancel of a canceled task conflicts; result unavailable.
+        assert_eq!(post("/tasks/1/cancel", "").status, 409);
+        assert_eq!(get("/tasks/1/result").status, 409);
+        // Unknown and malformed ids.
+        assert_eq!(get("/tasks/99").status, 404);
+        assert_eq!(get("/tasks/banana").status, 400);
+
+        // The journal kept the cancel: reopening shows it terminal.
+        drop(shared);
+        let (store, recovered) = TaskStore::open(&dir).expect("reopen");
+        assert_eq!(recovered, 0, "canceled tasks are not re-enqueued");
+        assert_eq!(store.get(1).expect("task 1").state, TaskState::Canceled);
+    }
+}

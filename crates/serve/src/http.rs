@@ -1,0 +1,332 @@
+//! A minimal, hardened HTTP/1.1 server layer on std I/O alone.
+//!
+//! The daemon's wire format is deliberately tiny — request line, a
+//! handful of headers, an optional JSON body — so rather than pull in a
+//! server stack, this module parses exactly that subset and hardens the
+//! edges a long-lived listener actually gets attacked on:
+//!
+//! * the request line and headers are capped at [`MAX_HEADER_BYTES`],
+//! * the body is capped at [`HttpLimits::max_body`] (`413` beyond it),
+//! * reads and writes carry per-connection timeouts, and
+//! * the accept loop sheds load with `503` above
+//!   [`HttpLimits::max_connections`] (enforced in the daemon).
+//!
+//! Every response closes the connection (`Connection: close`): tasks
+//! are minutes long and clients poll, so keep-alive buys nothing and
+//! connection state is one less thing to drain.
+
+use std::io::{BufRead, Read, Write};
+use std::time::Duration;
+
+/// Cap on the request line plus all headers, in bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Default cap on a request body, in bytes. Sweep specs are a few
+/// hundred bytes; a megabyte leaves room for very wide grids.
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
+
+/// Default per-connection read/write timeout.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 5_000;
+
+/// Default concurrent-connection cap before `503` load shedding.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// The listener's hardening knobs.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Largest accepted request body, bytes (`413` beyond it).
+    pub max_body: usize,
+    /// Per-connection read and write timeout.
+    pub io_timeout: Duration,
+    /// Concurrent connections before the accept loop sheds with `503`.
+    pub max_connections: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_body: DEFAULT_MAX_BODY,
+            io_timeout: Duration::from_millis(DEFAULT_IO_TIMEOUT_MS),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        }
+    }
+}
+
+/// One parsed request: method, path, raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/tasks/3/result`.
+    pub path: String,
+    /// The raw body (`Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request violated the HTTP/1.1 subset we speak (`400`).
+    Malformed(String),
+    /// The declared body exceeded [`HttpLimits::max_body`] (`413`).
+    BodyTooLarge,
+    /// The socket failed or timed out mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge => write!(f, "request body over limit"),
+            HttpError::Io(e) => write!(f, "request I/O failed: {e}"),
+        }
+    }
+}
+
+/// Reads one line (up to CRLF or LF), enforcing the shared header
+/// budget. `budget` is decremented by the bytes consumed.
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    let cap = (*budget).min(MAX_HEADER_BYTES) as u64;
+    reader
+        .by_ref()
+        .take(cap)
+        .read_until(b'\n', &mut raw)
+        .map_err(HttpError::Io)?;
+    if !raw.ends_with(b"\n") {
+        // Either the peer closed mid-line or the line blew the budget.
+        return Err(HttpError::Malformed(
+            "header line unterminated or over budget".to_owned(),
+        ));
+    }
+    *budget = budget.saturating_sub(raw.len());
+    while raw.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header".to_owned()))
+}
+
+/// Parses one HTTP/1.1 request from `reader` under `limits`.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for anything outside the accepted subset,
+/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds the body
+/// cap, [`HttpError::Io`] on socket failure or timeout.
+pub fn read_request<R: BufRead>(reader: &mut R, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length `{value}`")))?;
+        }
+    }
+    if content_length > limits.max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+/// One response, written with `Content-Length` and `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error":"…"}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let value = serde::Value::Map(vec![(
+            "error".to_owned(),
+            serde::Value::Str(message.to_owned()),
+        )]);
+        Response::json(status, value.to_json())
+    }
+
+    /// The standard reason phrase for the status codes the daemon uses.
+    #[must_use]
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response onto `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's I/O error (the peer may have vanished;
+    /// callers log and drop the connection).
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_get_and_post_with_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+
+        let req = parse(
+            "POST /tasks HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 10\r\n\r\n{\"k\":true}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"k\":true}");
+    }
+
+    #[test]
+    fn bare_lf_lines_are_accepted() {
+        let req = parse("GET /metrics HTTP/1.0\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse("BROKEN\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET nopath HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn body_over_limit_is_413_not_read() {
+        let limits = HttpLimits {
+            max_body: 8,
+            ..HttpLimits::default()
+        };
+        let text = "POST /tasks HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let err = read_request(&mut Cursor::new(text.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn unbounded_header_stream_is_cut_off() {
+        // A header section that never ends must fail once it exceeds
+        // the budget instead of buffering forever.
+        let mut text = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..4096 {
+            text.push_str(&format!("X-{i}: spam\r\n"));
+        }
+        assert!(matches!(parse(&text), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let text = "POST /tasks HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(parse(text), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: 3\r\nConnection: close\r\n\r\nok\n"
+        );
+        let mut out = Vec::new();
+        Response::error(503, "draining").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.ends_with("{\"error\":\"draining\"}"));
+    }
+}

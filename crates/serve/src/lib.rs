@@ -1,0 +1,43 @@
+//! `ags serve` — a persistent campaign daemon in front of the sweep,
+//! resilience and fleet engines.
+//!
+//! The batch CLI runs one campaign per process; this crate turns the
+//! same engines into a long-running service in the meilisearch
+//! `index-scheduler` mold:
+//!
+//! * [`http`] — a hand-rolled, dependency-free HTTP/1.1 + JSON wire on
+//!   std [`std::net::TcpListener`] alone, hardened against abusive
+//!   clients (bounded bodies, per-connection timeouts, connection cap
+//!   with `503` load shedding).
+//! * [`task`] — the durable task queue: every submitted task is
+//!   journaled (the `p7_sim::journal` manifest + checksummed-segment
+//!   substrate) *before* it is acknowledged, and every state transition
+//!   (`enqueued → batched → processing → succeeded | failed |
+//!   canceled`) is an appended event, so a restarted daemon rebuilds
+//!   the whole queue from the journal alone.
+//! * [`batch`] — the auto-batcher: compatible queued sweeps (same
+//!   workloads / modes / placements / seed / ticks / faults) merge into
+//!   one engine pass over a shared `SolveCache`, and the merged report
+//!   is split back per task, byte-identical to standalone runs.
+//! * [`daemon`] — the scheduler loop and listener, with task-level
+//!   retry under the engines' `RetryPolicy` (exponential backoff,
+//!   quarantined terminal state carrying the panic payload) and
+//!   graceful drain: a first SIGINT/SIGTERM stops intake, checkpoints
+//!   the in-flight batch and exits 75 (`EX_TEMPFAIL`, "restart me"); a
+//!   second signal — re-armed via `ags_harness` — forces immediate
+//!   shutdown.
+//! * [`telemetry`] — the daemon's `ags_serve_*` Prometheus families
+//!   (queue depth, batch width, retries, sheds), exported on
+//!   `GET /metrics`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod daemon;
+pub mod http;
+pub mod task;
+pub mod telemetry;
+
+pub use daemon::{serve, ServeConfig, ServeError};
+pub use task::{Task, TaskKind, TaskState, TaskStore};

@@ -1,0 +1,488 @@
+//! The durable task queue: a `p7_sim::journal` of task events.
+//!
+//! Every submitted task and every state transition is one [`TaskEvent`]
+//! appended to a checksummed journal segment *before* the daemon
+//! acknowledges or acts on it, so the on-disk log is always ahead of
+//! the in-memory queue. A restarted daemon replays the log in sequence
+//! order and recovers the exact queue: terminal tasks keep their
+//! rendered output (served byte-identically after a restart), and
+//! tasks caught mid-batch (`batched` / `processing` at the crash) are
+//! re-enqueued — the engines are deterministic, so re-running them
+//! reproduces the uninterrupted results byte for byte.
+//!
+//! The lifecycle is `enqueued → batched → processing → succeeded |
+//! failed | canceled`, with a retry edge `processing → enqueued` for
+//! tasks whose batch quarantined or was interrupted.
+
+use p7_sim::journal::{CampaignManifest, Journal, MANIFEST_FILE};
+use p7_sim::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Campaign kind stamped into the queue journal's manifest.
+pub const QUEUE_JOURNAL_KIND: &str = "serve";
+
+/// Where a task is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Accepted and durably recorded; waiting to be batched.
+    Enqueued,
+    /// Claimed into a batch the scheduler is about to run.
+    Batched,
+    /// Its batch is running in the engine right now.
+    Processing,
+    /// Terminal: finished with a rendered result payload.
+    Succeeded,
+    /// Terminal: quarantined after exhausting retries (or a hard
+    /// engine error); the reason carries the panic payload.
+    Failed,
+    /// Terminal: canceled by a client before processing began.
+    Canceled,
+}
+
+impl TaskState {
+    /// The wire/journal label, lowercase.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskState::Enqueued => "enqueued",
+            TaskState::Batched => "batched",
+            TaskState::Processing => "processing",
+            TaskState::Succeeded => "succeeded",
+            TaskState::Failed => "failed",
+            TaskState::Canceled => "canceled",
+        }
+    }
+
+    /// Parses a journal/wire label.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<TaskState> {
+        [
+            TaskState::Enqueued,
+            TaskState::Batched,
+            TaskState::Processing,
+            TaskState::Succeeded,
+            TaskState::Failed,
+            TaskState::Canceled,
+        ]
+        .into_iter()
+        .find(|s| s.label() == label)
+    }
+
+    /// True for `succeeded` / `failed` / `canceled`.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskState::Succeeded | TaskState::Failed | TaskState::Canceled
+        )
+    }
+}
+
+/// Which engine a task runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A `SweepSpec` grid (batchable).
+    Sweep,
+    /// A `ResilienceSpec` campaign.
+    Resilience,
+    /// A `FleetSpec` campaign.
+    Fleet,
+}
+
+impl TaskKind {
+    /// The wire/journal label, lowercase.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Sweep => "sweep",
+            TaskKind::Resilience => "resilience",
+            TaskKind::Fleet => "fleet",
+        }
+    }
+
+    /// Parses a journal/wire label.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<TaskKind> {
+        [TaskKind::Sweep, TaskKind::Resilience, TaskKind::Fleet]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+}
+
+/// One journaled event. Flat strings/ints only, so the vendored serde
+/// derive round-trips it and the JSON stays human-greppable.
+///
+/// `event` is `"submit"` (carries `kind` + `spec_json`, opens the task
+/// in `enqueued`) or `"state"` (moves the task to `state`, updating
+/// `attempts`, `reason` and `output` wholesale).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskEvent {
+    /// The task this event belongs to.
+    pub id: u64,
+    /// `"submit"` or `"state"`.
+    pub event: String,
+    /// Engine kind label (submit events; empty otherwise).
+    pub kind: String,
+    /// Canonical spec JSON (submit events; empty otherwise).
+    pub spec_json: String,
+    /// The task's state after this event.
+    pub state: String,
+    /// Processing attempts consumed so far.
+    pub attempts: usize,
+    /// Failure reason (panic payload / engine error), if any.
+    pub reason: String,
+    /// Rendered result payload once succeeded.
+    pub output: String,
+}
+
+/// One task's current state, replayed from the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Queue-assigned id, dense from 1.
+    pub id: u64,
+    /// Which engine runs it.
+    pub kind: TaskKind,
+    /// The canonical spec JSON recorded at submit.
+    pub spec_json: String,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// Processing attempts consumed.
+    pub attempts: usize,
+    /// Failure reason, if failed.
+    pub reason: String,
+    /// Rendered result, if succeeded.
+    pub output: String,
+}
+
+/// A state transition to record durably via [`TaskStore::transition`].
+#[derive(Debug, Clone)]
+pub struct TaskUpdate {
+    /// The task to move.
+    pub id: u64,
+    /// Its new state.
+    pub state: TaskState,
+    /// New attempts count.
+    pub attempts: usize,
+    /// New failure reason (empty to clear).
+    pub reason: String,
+    /// New rendered output (empty to clear).
+    pub output: String,
+}
+
+impl TaskUpdate {
+    /// A transition that only moves `id` to `state`, keeping `attempts`
+    /// and clearing reason/output.
+    #[must_use]
+    pub fn to_state(id: u64, state: TaskState, attempts: usize) -> Self {
+        TaskUpdate {
+            id,
+            state,
+            attempts,
+            reason: String::new(),
+            output: String::new(),
+        }
+    }
+}
+
+/// The manifest every queue journal is stamped with. The spec field
+/// names the substrate, not a campaign: the queue's contents are the
+/// events themselves.
+fn queue_manifest() -> CampaignManifest {
+    CampaignManifest::new(
+        QUEUE_JOURNAL_KIND,
+        0,
+        "{\"queue\":\"ags-serve\"}".to_owned(),
+    )
+}
+
+/// The durable queue: an append-only [`Journal`] of [`TaskEvent`]s plus
+/// the replayed in-memory view.
+#[derive(Debug)]
+pub struct TaskStore {
+    journal: Journal<TaskEvent>,
+    dir: PathBuf,
+    /// Next journal sequence index (global over all events).
+    seq: usize,
+    tasks: Vec<Task>,
+    index: HashMap<u64, usize>,
+    next_id: u64,
+}
+
+impl TaskStore {
+    /// Opens the queue at `dir`: resumes an existing journal (replaying
+    /// every intact event) or creates a fresh one. Tasks found
+    /// `batched`/`processing` — i.e. mid-batch at a crash — are durably
+    /// re-enqueued; the second element of the return is how many.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] when the directory holds a journal
+    /// of a different campaign kind or on I/O failure.
+    pub fn open(dir: &Path) -> Result<(TaskStore, usize), SimError> {
+        let manifest = queue_manifest();
+        let mut store = if dir.join(MANIFEST_FILE).exists() {
+            let resumed = Journal::resume(dir, &manifest)?;
+            let mut entries = resumed.entries;
+            entries.sort_by_key(|(idx, _)| *idx);
+            let seq = entries.last().map_or(0, |(idx, _)| idx + 1);
+            let mut store = TaskStore {
+                journal: resumed.journal,
+                dir: dir.to_owned(),
+                seq,
+                tasks: Vec::new(),
+                index: HashMap::new(),
+                next_id: 1,
+            };
+            for (_, event) in &entries {
+                store.apply(event);
+            }
+            store
+        } else {
+            TaskStore {
+                journal: Journal::create(dir, &manifest)?,
+                dir: dir.to_owned(),
+                seq: 0,
+                tasks: Vec::new(),
+                index: HashMap::new(),
+                next_id: 1,
+            }
+        };
+        let stuck: Vec<TaskUpdate> = store
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.state, TaskState::Batched | TaskState::Processing))
+            .map(|t| TaskUpdate::to_state(t.id, TaskState::Enqueued, t.attempts))
+            .collect();
+        let recovered = stuck.len();
+        store.transition(&stuck)?;
+        Ok((store, recovered))
+    }
+
+    /// The journal directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Replays one event into the in-memory view.
+    fn apply(&mut self, event: &TaskEvent) {
+        if event.event == "submit" {
+            let Some(kind) = TaskKind::parse(&event.kind) else {
+                return; // Unknown kind from a future version: skip.
+            };
+            let task = Task {
+                id: event.id,
+                kind,
+                spec_json: event.spec_json.clone(),
+                state: TaskState::parse(&event.state).unwrap_or(TaskState::Enqueued),
+                attempts: event.attempts,
+                reason: event.reason.clone(),
+                output: event.output.clone(),
+            };
+            self.next_id = self.next_id.max(event.id + 1);
+            match self.index.get(&event.id) {
+                Some(&slot) => self.tasks[slot] = task,
+                None => {
+                    self.index.insert(event.id, self.tasks.len());
+                    self.tasks.push(task);
+                }
+            }
+        } else if let Some(&slot) = self.index.get(&event.id) {
+            let task = &mut self.tasks[slot];
+            task.state = TaskState::parse(&event.state).unwrap_or(task.state);
+            task.attempts = event.attempts;
+            task.reason = event.reason.clone();
+            task.output = event.output.clone();
+        }
+    }
+
+    /// Durably records a new task and returns its id. The journal
+    /// append happens *before* the task becomes visible, so an
+    /// acknowledged submit survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] if the append fails (the task is
+    /// then neither recorded nor acknowledged).
+    pub fn submit(&mut self, kind: TaskKind, spec_json: String) -> Result<u64, SimError> {
+        let id = self.next_id;
+        let event = TaskEvent {
+            id,
+            event: "submit".to_owned(),
+            kind: kind.label().to_owned(),
+            spec_json,
+            state: TaskState::Enqueued.label().to_owned(),
+            attempts: 0,
+            reason: String::new(),
+            output: String::new(),
+        };
+        self.journal.append(&[(self.seq, event.clone())])?;
+        self.seq += 1;
+        self.apply(&event);
+        Ok(id)
+    }
+
+    /// Durably records a batch of state transitions as one segment,
+    /// then applies them in memory. A no-op for an empty batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] if the append fails; the in-memory
+    /// view is then left unchanged.
+    pub fn transition(&mut self, updates: &[TaskUpdate]) -> Result<(), SimError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let events: Vec<(usize, TaskEvent)> = updates
+            .iter()
+            .enumerate()
+            .map(|(offset, u)| {
+                (
+                    self.seq + offset,
+                    TaskEvent {
+                        id: u.id,
+                        event: "state".to_owned(),
+                        kind: String::new(),
+                        spec_json: String::new(),
+                        state: u.state.label().to_owned(),
+                        attempts: u.attempts,
+                        reason: u.reason.clone(),
+                        output: u.output.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.journal.append(&events)?;
+        self.seq += events.len();
+        for (_, event) in &events {
+            self.apply(event);
+        }
+        Ok(())
+    }
+
+    /// The task with this id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&Task> {
+        self.index.get(&id).map(|&slot| &self.tasks[slot])
+    }
+
+    /// Every task, in submit order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Tasks not yet in a terminal state (the `/metrics` queue depth).
+    #[must_use]
+    pub fn open_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.state.is_terminal()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ags-serve-task-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn state_and_kind_labels_round_trip() {
+        for state in [
+            TaskState::Enqueued,
+            TaskState::Batched,
+            TaskState::Processing,
+            TaskState::Succeeded,
+            TaskState::Failed,
+            TaskState::Canceled,
+        ] {
+            assert_eq!(TaskState::parse(state.label()), Some(state));
+        }
+        assert!(TaskState::parse("nope").is_none());
+        for kind in [TaskKind::Sweep, TaskKind::Resilience, TaskKind::Fleet] {
+            assert_eq!(TaskKind::parse(kind.label()), Some(kind));
+        }
+        assert!(!TaskState::Processing.is_terminal());
+        assert!(TaskState::Canceled.is_terminal());
+    }
+
+    #[test]
+    fn submits_and_transitions_survive_reopen() {
+        let dir = scratch("reopen");
+        {
+            let (mut store, recovered) = TaskStore::open(&dir).unwrap();
+            assert_eq!(recovered, 0);
+            let a = store
+                .submit(TaskKind::Sweep, "{\"a\":1}".to_owned())
+                .unwrap();
+            let b = store
+                .submit(TaskKind::Fleet, "{\"b\":2}".to_owned())
+                .unwrap();
+            assert_eq!((a, b), (1, 2));
+            store
+                .transition(&[
+                    TaskUpdate {
+                        id: a,
+                        state: TaskState::Succeeded,
+                        attempts: 1,
+                        reason: String::new(),
+                        output: "table\n".to_owned(),
+                    },
+                    TaskUpdate::to_state(b, TaskState::Batched, 0),
+                ])
+                .unwrap();
+            assert_eq!(store.open_tasks(), 1);
+        }
+        // Reopen: the succeeded task keeps its output; the batched one
+        // (mid-batch at "crash") is re-enqueued.
+        let (store, recovered) = TaskStore::open(&dir).unwrap();
+        assert_eq!(recovered, 1);
+        let a = store.get(1).unwrap();
+        assert_eq!(a.state, TaskState::Succeeded);
+        assert_eq!(a.output, "table\n");
+        assert_eq!(a.kind, TaskKind::Sweep);
+        let b = store.get(2).unwrap();
+        assert_eq!(b.state, TaskState::Enqueued);
+        assert_eq!(b.spec_json, "{\"b\":2}");
+        // Ids keep counting after the recovered ones.
+        let (mut store, _) = TaskStore::open(&dir).unwrap();
+        assert_eq!(store.submit(TaskKind::Sweep, "{}".to_owned()).unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_is_idempotent_after_recovery_appends() {
+        let dir = scratch("idempotent");
+        {
+            let (mut store, _) = TaskStore::open(&dir).unwrap();
+            let id = store.submit(TaskKind::Sweep, "{}".to_owned()).unwrap();
+            store
+                .transition(&[TaskUpdate::to_state(id, TaskState::Processing, 1)])
+                .unwrap();
+        }
+        let (_store, recovered) = TaskStore::open(&dir).unwrap();
+        assert_eq!(recovered, 1);
+        // The recovery wrote re-enqueue events; a third open finds a
+        // clean queue and recovers nothing.
+        let (store, recovered) = TaskStore::open(&dir).unwrap();
+        assert_eq!(recovered, 0);
+        assert_eq!(store.get(1).unwrap().state, TaskState::Enqueued);
+        assert_eq!(store.get(1).unwrap().attempts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_a_foreign_journal() {
+        let dir = scratch("foreign");
+        let manifest = CampaignManifest::new("sweep", 7, "{}".to_owned());
+        let _journal: Journal<TaskEvent> = Journal::create(&dir, &manifest).unwrap();
+        assert!(TaskStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

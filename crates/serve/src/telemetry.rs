@@ -1,0 +1,158 @@
+//! The daemon's metric families, as cached handles into the global
+//! [`p7_obs`] registry (same accessor idiom as `p7_sim::telemetry`).
+//!
+//! Naming follows Prometheus conventions with the `ags_serve_` prefix.
+//! The daemon enables the registry at startup and serves these on
+//! `GET /metrics`.
+
+use p7_obs::metrics::{global, Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Bucket bounds for batch width (member tasks merged into one engine
+/// pass). One is the un-batched baseline; wide buckets capture bursts
+/// of compatible what-if requests.
+pub const BATCH_WIDTH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+macro_rules! counter_accessor {
+    ($(#[$doc:meta])* $fn_name:ident, $name:literal, $help:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Arc<Counter> {
+            static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+            HANDLE.get_or_init(|| global().counter($name, $help))
+        }
+    };
+}
+
+macro_rules! gauge_accessor {
+    ($(#[$doc:meta])* $fn_name:ident, $name:literal, $help:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Arc<Gauge> {
+            static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+            HANDLE.get_or_init(|| global().gauge($name, $help))
+        }
+    };
+}
+
+macro_rules! histogram_accessor {
+    ($(#[$doc:meta])* $fn_name:ident, $name:literal, $help:literal, $bounds:expr) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Arc<Histogram> {
+            static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+            HANDLE.get_or_init(|| global().histogram($name, $help, $bounds))
+        }
+    };
+}
+
+gauge_accessor!(
+    /// Tasks not yet in a terminal state.
+    queue_depth,
+    "ags_serve_queue_depth",
+    "Tasks enqueued, batched or processing (not yet terminal)"
+);
+
+counter_accessor!(
+    /// Tasks durably accepted over the wire.
+    tasks_submitted,
+    "ags_serve_tasks_submitted_total",
+    "Tasks durably journaled and acknowledged"
+);
+
+counter_accessor!(
+    /// Tasks that reached `succeeded`.
+    tasks_succeeded,
+    "ags_serve_tasks_succeeded_total",
+    "Tasks finished with a rendered result"
+);
+
+counter_accessor!(
+    /// Tasks that reached `failed` (quarantined).
+    tasks_failed,
+    "ags_serve_tasks_failed_total",
+    "Tasks quarantined after exhausting retries or a hard engine error"
+);
+
+counter_accessor!(
+    /// Tasks canceled by a client before processing.
+    tasks_canceled,
+    "ags_serve_tasks_canceled_total",
+    "Tasks canceled before processing began"
+);
+
+counter_accessor!(
+    /// Engine passes run by the scheduler.
+    batches,
+    "ags_serve_batches_total",
+    "Merged engine passes run by the scheduler"
+);
+
+histogram_accessor!(
+    /// Member tasks merged into each engine pass.
+    batch_width,
+    "ags_serve_batch_width",
+    "Tasks merged into one engine pass",
+    BATCH_WIDTH_BOUNDS
+);
+
+counter_accessor!(
+    /// Task-level retries (re-enqueued with backoff after a failure).
+    task_retries,
+    "ags_serve_task_retries_total",
+    "Tasks re-enqueued with backoff after a failed or interrupted batch"
+);
+
+counter_accessor!(
+    /// Connections shed with `503` at the connection cap.
+    sheds,
+    "ags_serve_sheds_total",
+    "Connections shed with 503 at the concurrent-connection cap"
+);
+
+counter_accessor!(
+    /// HTTP requests parsed (any method/path, before routing).
+    http_requests,
+    "ags_serve_http_requests_total",
+    "HTTP requests parsed by the listener"
+);
+
+gauge_accessor!(
+    /// Connections currently being served.
+    connections,
+    "ags_serve_connections",
+    "Connections currently held open by handler threads"
+);
+
+counter_accessor!(
+    /// Mid-batch tasks re-enqueued during journal recovery.
+    recovered_tasks,
+    "ags_serve_recovered_tasks_total",
+    "Tasks found mid-batch in the journal at startup and re-enqueued"
+);
+
+/// Resolves every accessor once, so an export lists every family even
+/// before the daemon exercises some site (scrapers then see a stable
+/// schema; a zero is information, an absent family is not).
+pub fn register_all() {
+    queue_depth();
+    tasks_submitted();
+    tasks_succeeded();
+    tasks_failed();
+    tasks_canceled();
+    batches();
+    batch_width();
+    task_retries();
+    sheds();
+    http_requests();
+    connections();
+    recovered_tasks();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_register_and_bounds_increase() {
+        register_all();
+        assert!(BATCH_WIDTH_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

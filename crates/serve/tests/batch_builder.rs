@@ -1,0 +1,143 @@
+//! Property tests for the daemon's sweep auto-batcher.
+//!
+//! The batching contract: merging compatible queued sweeps into one
+//! engine pass is invisible to each task. Batches only ever group specs
+//! that differ in their core lists alone, and each member's rows split
+//! out of the merged report are bitwise identical to a standalone run
+//! of the member's own spec.
+
+use ags_serve::batch::{build_batches, compat_fingerprint, split_report, QueuedSweep};
+use p7_control::GuardbandMode;
+use p7_sim::{SolveCache, SweepEngine, SweepSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const WORKLOADS: [&str; 2] = ["lu_cb", "radix"];
+const MODES: [GuardbandMode; 3] = [
+    GuardbandMode::StaticGuardband,
+    GuardbandMode::Overclock,
+    GuardbandMode::Undervolt,
+];
+
+/// Builds one small spec from packed masks, so proptest explores the
+/// compatibility space (shape × seed) and the core-list space cheaply.
+fn spec_from(workload_mask: u32, core_mask: u32, mode_mask: u32, seed: u64) -> SweepSpec {
+    let workloads: Vec<String> = WORKLOADS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| workload_mask & (1 << i) != 0)
+        .map(|(_, w)| (*w).to_owned())
+        .collect();
+    let cores: Vec<usize> = (1..=4)
+        .filter(|c| core_mask & (1 << (c - 1)) != 0)
+        .collect();
+    let modes: Vec<GuardbandMode> = MODES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mode_mask & (1 << i) != 0)
+        .map(|(_, m)| *m)
+        .collect();
+    SweepSpec::new(workloads, cores)
+        .with_modes(modes)
+        .with_seed(seed)
+        .with_ticks(4, 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural invariants of [`build_batches`]: every queued task
+    /// lands in exactly one batch, members of a batch share the
+    /// compatibility fingerprint (distinct batches never do), and the
+    /// merged core list is exactly the sorted union of its members'.
+    #[test]
+    fn batches_group_only_compatible_specs(
+        shapes in prop::collection::vec(
+            (1u32..4, 1u32..16, 1u32..8, 41u64..43),
+            1..8,
+        ),
+    ) {
+        let queue: Vec<QueuedSweep> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, c, m, s))| QueuedSweep {
+                task: i as u64 + 1,
+                spec: spec_from(w, c, m, s),
+            })
+            .collect();
+        let batches = build_batches(&queue);
+
+        let mut seen: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.members.iter().map(|m| m.task))
+            .collect();
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = queue.iter().map(|q| q.task).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected, "every task in exactly one batch");
+
+        let mut keys: Vec<u64> = Vec::new();
+        for b in &batches {
+            for member in &b.members {
+                prop_assert_eq!(
+                    compat_fingerprint(&member.spec),
+                    compat_fingerprint(&b.merged),
+                    "batch mixed incompatible specs"
+                );
+            }
+            keys.push(compat_fingerprint(&b.merged));
+        }
+        let mut deduped = keys.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        prop_assert_eq!(deduped.len(), keys.len(), "two batches share a fingerprint");
+
+        for batch in &batches {
+            let mut union: Vec<usize> = batch
+                .members
+                .iter()
+                .flat_map(|m| m.spec.cores.iter().copied())
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            prop_assert_eq!(&batch.merged.cores, &union);
+        }
+    }
+
+    /// End-to-end exactness: run each merged batch through a real
+    /// engine and split; every member's extracted rows must serialize
+    /// identically to a standalone run of that member's spec.
+    #[test]
+    fn split_rows_equal_standalone_runs(
+        shapes in prop::collection::vec(
+            (1u32..4, 1u32..16, 1u32..8, 41u64..43),
+            1..5,
+        ),
+    ) {
+        let queue: Vec<QueuedSweep> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, c, m, s))| QueuedSweep {
+                task: i as u64 + 1,
+                spec: spec_from(w, c, m, s),
+            })
+            .collect();
+        let engine = SweepEngine::with_cache(2, Arc::new(SolveCache::new()));
+        for batch in build_batches(&queue) {
+            let report = engine.run(&batch.merged).expect("merged run");
+            let splits = split_report(&batch, &report);
+            prop_assert_eq!(splits.len(), batch.members.len());
+            for (split, member) in splits.iter().zip(&batch.members) {
+                prop_assert_eq!(split.task, member.task);
+                prop_assert!(split.failed.is_empty(), "clean run must not quarantine");
+                let standalone = engine.run(&member.spec).expect("standalone run");
+                prop_assert_eq!(
+                    serde::json::to_string(&split.results),
+                    standalone.results_json(),
+                    "split rows diverged from a standalone run of task {}",
+                    member.task
+                );
+            }
+        }
+    }
+}

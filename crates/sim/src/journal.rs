@@ -133,6 +133,30 @@ pub struct FailedPoint {
     pub reason: String,
 }
 
+/// Renders the quarantine section (`quarantined <what> (N):` plus one
+/// line per point), exactly as the CLI prints it after a report table.
+/// Empty when nothing failed, so healthy runs keep their exact
+/// historical stdout. Shared by `ags` and the `ags serve` daemon.
+#[must_use]
+pub fn render_failed(failed: &[FailedPoint], what: &str) -> String {
+    use std::fmt::Write as _;
+    if failed.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("quarantined {what} ({}):\n", failed.len());
+    for f in failed {
+        let _ = writeln!(
+            out,
+            "{:>5}  after {} attempt{}: {}",
+            f.index,
+            f.attempts,
+            if f.attempts == 1 { "" } else { "s" },
+            f.reason
+        );
+    }
+    out
+}
+
 /// The identity of a campaign, written once at journal creation.
 ///
 /// A resume compares the on-disk manifest against the manifest derived

@@ -372,6 +372,30 @@ impl ResilienceReport {
         serde::json::to_string(&self.results)
     }
 
+    /// The one-line campaign verdict `ags resilience` prints after the
+    /// table (and the quarantine section, if any): cell count, safety
+    /// verdict, and the supervised/unsupervised violation totals.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "campaign: {} cells, {} — supervised margin violations: {}, unsupervised: {}\n",
+            self.results.len(),
+            if self.all_safe() {
+                "all safe"
+            } else {
+                "UNSAFE"
+            },
+            self.results
+                .iter()
+                .map(|r| r.margin_violations)
+                .sum::<u64>(),
+            self.results
+                .iter()
+                .map(|r| r.unsupervised_violations)
+                .sum::<u64>()
+        )
+    }
+
     /// A human-readable fixed-width table, one row per cell.
     #[must_use]
     pub fn table(&self) -> String {

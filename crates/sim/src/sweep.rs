@@ -987,6 +987,77 @@ impl SweepReport {
     pub fn results_json(&self) -> String {
         serde::json::to_string(&self.results)
     }
+
+    /// The fixed-width grid table, exactly as `ags sweep` prints it.
+    /// Shared by the CLI and the `ags serve` daemon so a served task's
+    /// result is byte-identical to the standalone command's stdout.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        render_results_table(&self.results)
+    }
+
+    /// The grid as CSV, exactly as `ags sweep --csv` writes it. Floats
+    /// are formatted in Rust's shortest round-trip form (`{:?}`), so an
+    /// interrupted-then-resumed campaign reproduces the reference file
+    /// byte for byte.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "index,workload,cores,placement,mode,chip_w,total_w,avg_mhz,undervolt_mv,exec_s,energy_j,edp\n",
+        );
+        for r in &self.results {
+            let o = &r.outcome;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+                r.point.index,
+                r.point.workload,
+                r.point.cores,
+                r.point.placement.label(),
+                r.point.mode,
+                o.chip_power().0,
+                o.total_power().0,
+                o.summary.avg_running_freq.0,
+                o.summary.socket0().undervolt.millivolts(),
+                o.exec_time.0,
+                o.energy.0,
+                o.edp
+            );
+        }
+        out
+    }
+}
+
+/// Renders sweep results as the fixed-width grid table (header plus one
+/// row per point, in the order given). Free function so callers holding
+/// a per-task slice of a merged batch report can render it without
+/// rebuilding a [`SweepReport`].
+#[must_use]
+pub fn render_results_table(results: &[PointResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5}  {:<16} {:>5}  {:<12} {:<10} {:>8} {:>9} {:>8} {:>8}",
+        "point", "workload", "cores", "placement", "mode", "chip W", "total W", "MHz", "UV mV"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:>5}  {:<16} {:>5}  {:<12} {:<10} {:>8.1} {:>9.1} {:>8.0} {:>8.1}",
+            r.point.index,
+            r.point.workload,
+            r.point.cores,
+            r.point.placement.label(),
+            r.point.mode.to_string(),
+            r.outcome.chip_power().0,
+            r.outcome.total_power().0,
+            r.outcome.summary.avg_running_freq.0,
+            r.outcome.summary.socket0().undervolt.millivolts()
+        );
+    }
+    out
 }
 
 /// A test hook deciding whether solving a grid point should panic.

@@ -9,6 +9,7 @@ pub mod cli;
 
 pub use ags_core as scheduling;
 pub use ags_harness as harness;
+pub use ags_serve as serve;
 pub use p7_control as control;
 pub use p7_faults as faults;
 pub use p7_fleet as fleet;

@@ -15,9 +15,10 @@ use ags::cli::{
 };
 use ags::control::GuardbandMode;
 use ags::fleet::{FleetEngine, FleetReport, FleetRunOptions, FleetSpec, TrafficModel};
-use ags::harness::install_cancel_on_signals;
+use ags::harness::{install_cancel_on_signals, EXIT_INTERRUPTED};
 use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
-use ags::sim::journal::read_manifest;
+use ags::serve::{serve, ServeConfig};
+use ags::sim::journal::{read_manifest, render_failed};
 use ags::sim::{
     CachedExperiment, DurableOptions, Experiment, FailedPoint, JournalMode, ResilienceSpec,
     SimError, SweepEngine, SweepReport, SweepRunOptions, SweepSpec,
@@ -25,11 +26,7 @@ use ags::sim::{
 use ags::workloads::Catalog;
 use std::io::Write as _;
 use std::process::ExitCode;
-
-/// Exit code of a cooperatively cancelled (SIGINT/SIGTERM) campaign
-/// whose journal was flushed: BSD `EX_TEMPFAIL`, "try again later" —
-/// re-run with `--resume` to continue.
-const EXIT_INTERRUPTED: u8 = 75;
+use std::time::Duration;
 
 /// A command failure with its exit status.
 enum CliError {
@@ -41,6 +38,13 @@ enum CliError {
     Interrupted {
         /// The resumable journal directory, if the run was journaled.
         journal: Option<String>,
+    },
+    /// The serve daemon drained gracefully after a signal; exit
+    /// [`EXIT_INTERRUPTED`] so supervisors restart it to resume the
+    /// queue.
+    Drained {
+        /// The task-queue journal directory holding the checkpoint.
+        journal: String,
     },
 }
 
@@ -103,6 +107,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags, smoke),
         "resilience" => cmd_resilience(&flags, smoke),
         "fleet" => cmd_fleet(&flags, smoke),
+        "serve" => cmd_serve(&flags),
         "borrow" => cmd_borrow(&flags).map_err(CliError::from),
         "cluster" => cmd_cluster(&flags).map_err(CliError::from),
         "help" | "--help" | "-h" => {
@@ -134,6 +139,10 @@ fn main() -> ExitCode {
                 Some(dir) => eprintln!("interrupted; resume with --resume {dir}"),
                 None => eprintln!("interrupted (no journal to resume from)"),
             }
+            ExitCode::from(EXIT_INTERRUPTED)
+        }
+        Err(CliError::Drained { journal }) => {
+            eprintln!("drained; restart with `ags serve --journal {journal}` to resume the queue");
             ExitCode::from(EXIT_INTERRUPTED)
         }
     }
@@ -199,6 +208,17 @@ USAGE:
       Steal/cache/throughput stats go to stderr. Journal flags behave as
       in `ags sweep`; a resume rebuilds the campaign from the journal's
       manifest. --smoke runs the shortened CI fleet.
+  ags serve --journal DIR [--addr HOST:PORT] [--jobs N] [--max-body BYTES]
+            [--max-connections N] [--timeout-ms MS]
+      Run the campaign daemon: accept sweep/resilience/fleet requests
+      over HTTP (default 127.0.0.1:7075), journal every task into DIR
+      before acknowledging it, batch compatible sweeps into shared
+      engine passes, and retry failed tasks with backoff. Endpoints:
+      POST /tasks, GET /tasks[/ID[/result]], POST /tasks/ID/cancel,
+      GET /healthz, GET /metrics. SIGINT/SIGTERM drain gracefully —
+      in-flight work is checkpointed and the daemon exits 75; restart
+      with the same --journal to resume the queue (a second signal
+      forces immediate exit).
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
@@ -395,48 +415,17 @@ fn resolve_sweep_spec(
 
 /// Prints the quarantine section: points that kept panicking and were
 /// isolated instead of aborting the campaign. Silent when empty, so
-/// healthy runs keep their exact historical stdout.
+/// healthy runs keep their exact historical stdout. Rendering lives in
+/// `p7_sim::journal` so the serve daemon produces identical bytes.
 fn print_failed(failed: &[FailedPoint], what: &str) {
-    if failed.is_empty() {
-        return;
-    }
-    println!("quarantined {what} ({}):", failed.len());
-    for f in failed {
-        println!(
-            "{:>5}  after {} attempt{}: {}",
-            f.index,
-            f.attempts,
-            if f.attempts == 1 { "" } else { "s" },
-            f.reason
-        );
-    }
+    print!("{}", render_failed(failed, what));
 }
 
 /// Writes the grid as CSV. Floats are formatted in Rust's shortest
 /// round-trip form (`{:?}`), so an interrupted-then-resumed campaign
 /// reproduces the reference file byte for byte.
 fn write_csv(report: &SweepReport, path: &str) -> Result<(), CliError> {
-    let mut out = String::from(
-        "index,workload,cores,placement,mode,chip_w,total_w,avg_mhz,undervolt_mv,exec_s,energy_j,edp\n",
-    );
-    for r in &report.results {
-        let o = &r.outcome;
-        out.push_str(&format!(
-            "{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?}\n",
-            r.point.index,
-            r.point.workload,
-            r.point.cores,
-            r.point.placement.label(),
-            r.point.mode,
-            o.chip_power().0,
-            o.total_power().0,
-            o.summary.avg_running_freq.0,
-            o.summary.socket0().undervolt.millivolts(),
-            o.exec_time.0,
-            o.energy.0,
-            o.edp
-        ));
-    }
+    let out = report.render_csv();
     let mut file =
         std::fs::File::create(path).map_err(|e| format!("cannot create csv `{path}`: {e}"))?;
     file.write_all(out.as_bytes())
@@ -446,26 +435,10 @@ fn write_csv(report: &SweepReport, path: &str) -> Result<(), CliError> {
 }
 
 /// Prints every grid point of a sweep report, in grid order (stdout is
-/// byte-identical at any `--jobs` count).
+/// byte-identical at any `--jobs` count). Rendering lives in
+/// `p7_sim::sweep` so the serve daemon produces identical bytes.
 fn print_report(report: &SweepReport) {
-    println!(
-        "{:>5}  {:<16} {:>5}  {:<12} {:<10} {:>8} {:>9} {:>8} {:>8}",
-        "point", "workload", "cores", "placement", "mode", "chip W", "total W", "MHz", "UV mV"
-    );
-    for r in &report.results {
-        println!(
-            "{:>5}  {:<16} {:>5}  {:<12} {:<10} {:>8.1} {:>9.1} {:>8.0} {:>8.1}",
-            r.point.index,
-            r.point.workload,
-            r.point.cores,
-            r.point.placement.label(),
-            r.point.mode.to_string(),
-            r.outcome.chip_power().0,
-            r.outcome.total_power().0,
-            r.outcome.summary.avg_running_freq.0,
-            r.outcome.summary.socket0().undervolt.millivolts()
-        );
-    }
+    print!("{}", report.render_table());
 }
 
 /// Prints the throughput/cache footer to stderr, keeping stdout
@@ -502,21 +475,7 @@ fn cmd_resilience(flags: &Flags, smoke: bool) -> Result<(), CliError> {
     print!("{}", report.table());
     print_failed(&report.failed_cells, "cells");
     let safe = report.all_safe();
-    println!(
-        "campaign: {} cells, {} — supervised margin violations: {}, unsupervised: {}",
-        report.results.len(),
-        if safe { "all safe" } else { "UNSAFE" },
-        report
-            .results
-            .iter()
-            .map(|r| r.margin_violations)
-            .sum::<u64>(),
-        report
-            .results
-            .iter()
-            .map(|r| r.unsupervised_violations)
-            .sum::<u64>()
-    );
+    print!("{}", report.summary_line());
     if safe {
         Ok(())
     } else {
@@ -623,6 +582,43 @@ fn print_fleet_stats(report: &FleetReport) {
         s.cache.evictions,
         s.cache.contended
     );
+}
+
+/// Runs the campaign daemon until it drains. A clean drain maps to
+/// [`CliError::Drained`] (exit [`EXIT_INTERRUPTED`]) so supervisors
+/// distinguish "restart me to resume the queue" from a hard failure.
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let journal = flags
+        .get("journal")
+        .ok_or("serve needs --journal DIR (the durable task-queue directory)")?;
+    let mut config = ServeConfig::new(
+        flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7075".to_owned()),
+        journal,
+    );
+    config.jobs = flag_jobs(flags)?;
+    config.limits.max_body = flag_usize(flags, "max-body", config.limits.max_body)?;
+    config.limits.max_connections =
+        flag_usize(flags, "max-connections", config.limits.max_connections)?;
+    let timeout_ms = flag_usize(
+        flags,
+        "timeout-ms",
+        usize::try_from(config.limits.io_timeout.as_millis()).unwrap_or(usize::MAX),
+    )?;
+    config.limits.io_timeout = Duration::from_millis(timeout_ms as u64);
+    // The daemon always serves /metrics, so the registry is live even
+    // without --metrics (which additionally exports a file on exit).
+    ags::obs::metrics::global().set_enabled(true);
+    ags::sim::telemetry::register_all();
+    ags::fleet::telemetry::register_all();
+    ags::serve::telemetry::register_all();
+    install_cancel_on_signals(&config.drain);
+    serve(config).map_err(|e| CliError::Message(e.to_string()))?;
+    Err(CliError::Drained {
+        journal: journal.clone(),
+    })
 }
 
 fn cmd_borrow(flags: &Flags) -> Result<(), String> {

@@ -1,0 +1,269 @@
+//! Crash-recovery and graceful-drain contract of `ags serve`, end to
+//! end against the real binary.
+//!
+//! The headline guarantees, mirroring `tests/durability.rs` for the
+//! daemon: a daemon killed outright (SIGKILL — no handler, no cleanup)
+//! mid-batch restarts from its task-queue journal alone, re-runs every
+//! acknowledged task to a terminal state, and serves results
+//! byte-identical to standalone `ags sweep` runs; and SIGTERM drains
+//! gracefully — the in-flight batch is checkpointed, the process exits
+//! 75 ([`EXIT_TEMPFAIL`]), and no acknowledged task is lost.
+
+use ags::control::GuardbandMode;
+use ags::sim::SweepSpec;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// BSD `EX_TEMPFAIL`: the drained-resumable exit status.
+const EXIT_TEMPFAIL: i32 = 75;
+
+/// A fresh scratch directory, unique per test so parallel test binaries
+/// never collide.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ags-serve-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs the real `ags` binary and returns (exit code, stdout bytes).
+fn run_ags(args: &[&str]) -> (Option<i32>, Vec<u8>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ags"))
+        .args(args)
+        .output()
+        .expect("spawn ags");
+    (out.status.code(), out.stdout)
+}
+
+/// A live `ags serve` child plus the address it actually bound.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns `ags serve` on a free port and parses the bound address out
+/// of the startup handshake line on stdout.
+fn start_daemon(journal: &Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ags"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--journal",
+            journal.to_str().expect("utf-8 path"),
+            "--jobs",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ags serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read handshake line");
+    let addr = line
+        .trim()
+        .strip_prefix("serve: listening on http://")
+        .unwrap_or_else(|| panic!("unexpected handshake line `{line}`"))
+        .to_owned();
+    Daemon { child, addr }
+}
+
+/// One HTTP round-trip against the daemon; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in `{raw}`"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map_or(String::new(), |(_, b)| b.to_owned());
+    (status, body)
+}
+
+/// Submits a sweep spec; returns the acknowledged task id.
+fn submit_sweep(addr: &str, spec: &SweepSpec) -> u64 {
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/tasks",
+        &format!("{{\"kind\":\"sweep\",\"spec\":{}}}", spec.to_json()),
+    );
+    assert_eq!(status, 202, "submit refused: {body}");
+    // The ack is `{"task":N,...}`; N is the first integer in the body.
+    body.split(':')
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no task id in ack `{body}`"))
+}
+
+/// Polls `GET /tasks/<id>` until the task reports `want`.
+fn wait_for_state(addr: &str, id: u64, want: &str, deadline: Duration) {
+    let until = Instant::now() + deadline;
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/tasks/{id}"), "");
+        assert_eq!(status, 200, "task {id} vanished: {body}");
+        if body.contains(&format!("\"state\":\"{want}\"")) {
+            return;
+        }
+        assert!(
+            !body.contains("\"state\":\"failed\""),
+            "task {id} quarantined instead of reaching {want}: {body}"
+        );
+        assert!(
+            Instant::now() < until,
+            "task {id} never reached `{want}`: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Waits until *any* submitted task reports `processing` — the window
+/// where a kill lands mid-batch.
+fn wait_for_any_processing(addr: &str, deadline: Duration) {
+    let until = Instant::now() + deadline;
+    loop {
+        let (status, body) = http(addr, "GET", "/tasks", "");
+        assert_eq!(status, 200);
+        if body.contains("\"state\":\"processing\"") {
+            return;
+        }
+        assert!(Instant::now() < until, "no task ever started processing");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Sends SIGTERM and reaps the child, returning its exit code.
+fn terminate(mut child: Child) -> Option<i32> {
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill -TERM failed");
+    child.wait().expect("reap daemon").code()
+}
+
+/// A grid slow enough (in a debug build) that SIGKILL/SIGTERM land
+/// while its batch is still solving, yet quick enough for CI.
+fn slow_spec(cores: Vec<usize>) -> SweepSpec {
+    SweepSpec::new(vec!["raytrace".into(), "mcf".into()], cores)
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+        ])
+        .with_ticks(800, 200)
+}
+
+/// Standalone `ags sweep --spec` stdout for `spec` — the byte-exact
+/// reference a served task's result must reproduce.
+fn standalone_stdout(dir: &Path, tag: &str, spec: &SweepSpec) -> Vec<u8> {
+    let spec_path = dir.join(format!("{tag}.json"));
+    std::fs::write(&spec_path, spec.to_json()).expect("write spec");
+    let (code, stdout) = run_ags(&[
+        "sweep",
+        "--spec",
+        spec_path.to_str().expect("utf-8 path"),
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(code, Some(0), "standalone reference run failed");
+    stdout
+}
+
+#[test]
+fn sigkilled_daemon_recovers_queue_and_results_byte_identical() {
+    let dir = scratch("kill");
+    let journal = dir.join("queue");
+
+    // Two compatible tasks (shared shape, disjoint core lists) so the
+    // scheduler may merge them into one batch — the kill then lands in
+    // shared in-flight state, the hardest recovery case.
+    let spec_a = slow_spec(vec![1, 2, 3]);
+    let spec_b = slow_spec(vec![4, 5, 6]);
+    let reference_a = standalone_stdout(&dir, "a", &spec_a);
+    let reference_b = standalone_stdout(&dir, "b", &spec_b);
+
+    let daemon = start_daemon(&journal);
+    let id_a = submit_sweep(&daemon.addr, &spec_a);
+    let id_b = submit_sweep(&daemon.addr, &spec_b);
+    assert_eq!((id_a, id_b), (1, 2));
+
+    // SIGKILL the daemon as soon as a batch is in flight: no handler
+    // runs, no state is flushed beyond what the journal already holds.
+    wait_for_any_processing(&daemon.addr, Duration::from_secs(120));
+    let mut child = daemon.child;
+    child.kill().expect("SIGKILL daemon");
+    child.wait().expect("reap killed daemon");
+
+    // A restarted daemon recovers from the journal alone: both
+    // acknowledged tasks reach a terminal state and their results are
+    // byte-identical to standalone runs.
+    let daemon = start_daemon(&journal);
+    wait_for_state(&daemon.addr, id_a, "succeeded", Duration::from_secs(600));
+    wait_for_state(&daemon.addr, id_b, "succeeded", Duration::from_secs(600));
+    let (status, result_a) = http(&daemon.addr, "GET", &format!("/tasks/{id_a}/result"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        result_a.as_bytes(),
+        &reference_a[..],
+        "task {id_a} result diverged from the standalone run after recovery"
+    );
+    let (status, result_b) = http(&daemon.addr, "GET", &format!("/tasks/{id_b}/result"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        result_b.as_bytes(),
+        &reference_b[..],
+        "task {id_b} result diverged from the standalone run after recovery"
+    );
+
+    assert_eq!(terminate(daemon.child), Some(EXIT_TEMPFAIL));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_drains_checkpoints_in_flight_work_and_exits_75() {
+    let dir = scratch("drain");
+    let journal = dir.join("queue");
+    let spec = slow_spec(vec![1, 2, 3, 4, 5, 6]);
+    let reference = standalone_stdout(&dir, "ref", &spec);
+
+    // Drain mid-batch: the engine pass is interrupted cooperatively,
+    // the task is re-enqueued in the journal, and the exit code is the
+    // resumable EX_TEMPFAIL — not success, not failure.
+    let daemon = start_daemon(&journal);
+    let id = submit_sweep(&daemon.addr, &spec);
+    wait_for_any_processing(&daemon.addr, Duration::from_secs(120));
+    assert_eq!(terminate(daemon.child), Some(EXIT_TEMPFAIL));
+
+    // Nothing acknowledged was lost: the restarted daemon re-runs the
+    // checkpointed task and its result matches the standalone run.
+    let daemon = start_daemon(&journal);
+    wait_for_state(&daemon.addr, id, "succeeded", Duration::from_secs(600));
+    let (status, result) = http(&daemon.addr, "GET", &format!("/tasks/{id}/result"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        result.as_bytes(),
+        &reference[..],
+        "result after drain-and-restart diverged from the standalone run"
+    );
+
+    // An idle drain is immediate and still exits 75.
+    assert_eq!(terminate(daemon.child), Some(EXIT_TEMPFAIL));
+    let _ = std::fs::remove_dir_all(&dir);
+}
