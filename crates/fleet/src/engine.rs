@@ -402,7 +402,7 @@ impl FleetEngine {
             options
                 .durable
                 .journal
-                .open::<ShardResult>(&spec.manifest())?
+                .open_with::<ShardResult>(&spec.manifest(), options.durable.fs.clone())?
         };
         // The manifest fingerprint pins the spec, so a recovered shard
         // that disagrees with the spec's geometry means on-disk

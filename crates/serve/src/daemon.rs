@@ -9,7 +9,8 @@
 //!   sweeps into one engine pass ([`crate::batch`]), runs it over the
 //!   shared `SolveCache`, and journals each member's terminal state —
 //!   retrying failed tasks under the [`RetryPolicy`] with exponential
-//!   backoff until they quarantine into `failed`.
+//!   backoff until they quarantine into `failed`. Backoff deadlines are
+//!   journaled with the task, so a restart does not reset them.
 //!
 //! Graceful drain: when [`ServeConfig::drain`] fires (the CLI wires it
 //! to SIGINT/SIGTERM) the accept loop stops taking connections, the
@@ -18,26 +19,40 @@
 //! [`serve`] returns so the CLI can exit 75. The daemon then re-arms
 //! the signal handlers at [`ServeConfig::force`]: a second signal
 //! exits immediately instead of waiting for the drain.
+//!
+//! Degraded read-only mode: when a journal append fails (disk full,
+//! permissions yanked, device error) the daemon does not crash — it
+//! latches a degraded flag, sheds every write with `503` and a
+//! `Retry-After` hint, and keeps serving reads (`/healthz`, `/tasks`,
+//! results, `/metrics`). The scheduler probes the journal directory
+//! every poll; once a probe write round-trips, tasks stranded
+//! mid-claim are re-enqueued and normal service resumes. `/healthz`
+//! reports the real state: `200` only while the scheduler thread is
+//! live *and* the journal is accepting writes.
+//!
+//! Stuck-task watchdog: with [`ServeConfig::batch_deadline`] set, a
+//! sidecar thread cancels any engine pass that outlives the deadline
+//! and its member tasks quarantine as `failed` with a `stuck:` reason
+//! (a task that blows its deadline would blow it again on retry).
 
 use crate::batch::{build_batches, split_report, QueuedSweep, SweepBatch};
 use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
-use crate::task::{Task, TaskKind, TaskState, TaskStore, TaskUpdate};
+use crate::task::{now_ms, Task, TaskKind, TaskState, TaskStore, TaskUpdate};
 use crate::telemetry;
 use ags_harness::{rearm_cancel_on_signals, EXIT_INTERRUPTED};
 use p7_fleet::{FleetEngine, FleetRunOptions, FleetSpec};
 use p7_sim::journal::render_failed;
 use p7_sim::sweep::render_results_table;
 use p7_sim::{
-    CancelToken, DurableOptions, FailedPoint, ResilienceSpec, RetryPolicy, SimError, SweepEngine,
-    SweepRunOptions, SweepSpec,
+    std_fs, CancelToken, DurableOptions, DynFs, FailedPoint, ResilienceSpec, RetryPolicy, SimError,
+    SweepEngine, SweepRunOptions, SweepSpec,
 };
 use p7_workloads::Catalog;
 use serde::{Deserialize, Value};
-use std::collections::HashMap;
 use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -46,12 +61,22 @@ use std::time::{Duration, Instant};
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// The scheduler's idle wait between queue scans (it is also woken
-/// eagerly on every submit and on drain).
+/// eagerly on every submit and on drain). While degraded, this is also
+/// the journal-recovery probe cadence.
 const SCHEDULER_POLL: Duration = Duration::from_millis(100);
+
+/// The watchdog sidecar's poll interval while a batch deadline is
+/// armed, and therefore the enforcement slack on the deadline.
+const WATCHDOG_POLL: Duration = Duration::from_millis(10);
 
 /// How long a draining daemon waits for in-flight connections to
 /// finish before returning anyway.
 const CONNECTION_DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// `Retry-After` seconds on degraded-mode `503`s. The scheduler probes
+/// for recovery every [`SCHEDULER_POLL`], so one second is an honest
+/// earliest-useful-retry hint.
+const RETRY_AFTER_SECS: u32 = 1;
 
 /// Everything [`serve`] needs. Construct with [`ServeConfig::new`] and
 /// override fields as needed.
@@ -80,6 +105,13 @@ pub struct ServeConfig {
     /// Receives the actually-bound address once the listener is up
     /// (read it when binding port 0).
     pub bound_addr: Arc<OnceLock<SocketAddr>>,
+    /// Filesystem backend for the queue journal ([`p7_sim::std_fs`] in
+    /// production; tests inject a fault-scripted backend).
+    pub fs: DynFs,
+    /// Per-batch watchdog deadline: an engine pass running longer is
+    /// canceled and its member tasks quarantined as stuck. `None`
+    /// disables the watchdog.
+    pub batch_deadline: Option<Duration>,
 }
 
 impl ServeConfig {
@@ -96,6 +128,8 @@ impl ServeConfig {
             force: CancelToken::new(),
             handle_signals: true,
             bound_addr: Arc::new(OnceLock::new()),
+            fs: std_fs(),
+            batch_deadline: None,
         }
     }
 }
@@ -127,6 +161,16 @@ impl std::fmt::Display for ServeError {
     }
 }
 
+/// Liveness and writability state surfaced on `/healthz`.
+struct Health {
+    /// True while the scheduler thread is running; cleared on any exit,
+    /// a panic included, by its drop guard.
+    scheduler_live: AtomicBool,
+    /// `Some(reason)` while the daemon sheds writes because the queue
+    /// journal stopped accepting appends.
+    degraded: Mutex<Option<String>>,
+}
+
 /// State shared between the accept loop, handler threads and the
 /// scheduler.
 struct Shared {
@@ -137,6 +181,9 @@ struct Shared {
     drain: CancelToken,
     retry: RetryPolicy,
     jobs: usize,
+    /// Optional per-batch watchdog deadline.
+    deadline: Option<Duration>,
+    health: Health,
 }
 
 impl Shared {
@@ -153,19 +200,60 @@ impl Shared {
         let depth = self.lock_queue().open_tasks();
         telemetry::queue_depth().set(i64::try_from(depth).unwrap_or(i64::MAX));
     }
+
+    fn lock_degraded(&self) -> MutexGuard<'_, Option<String>> {
+        self.health
+            .degraded
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The degraded reason, if the daemon is currently shedding writes.
+    fn degraded_reason(&self) -> Option<String> {
+        self.lock_degraded().clone()
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.lock_degraded().is_some()
+    }
+
+    /// Latches degraded read-only mode (idempotent: the first reason
+    /// wins until recovery clears it).
+    fn enter_degraded(&self, reason: String) {
+        let mut slot = self.lock_degraded();
+        if slot.is_none() {
+            eprintln!("serve: journal unwritable — entering degraded read-only mode ({reason})");
+            telemetry::serve_degraded().set(1);
+            *slot = Some(reason);
+        }
+    }
+
+    /// Leaves degraded mode (idempotent).
+    fn clear_degraded(&self) {
+        let mut slot = self.lock_degraded();
+        if slot.take().is_some() {
+            eprintln!("serve: journal writable again — resuming normal service");
+            telemetry::serve_degraded().set(0);
+        }
+    }
 }
 
 /// Runs the daemon until its drain token fires (returns `Ok`) or a
 /// non-recoverable error occurs. The caller decides the process exit
 /// code; the CLI maps a drain to exit 75 ([`EXIT_INTERRUPTED`]).
 ///
+/// Journal write failures *after* startup are not fatal: the daemon
+/// enters degraded read-only mode and recovers in place once the
+/// journal accepts writes again.
+///
 /// # Errors
 ///
 /// [`ServeError::Journal`] when the queue journal cannot be opened or
-/// written, [`ServeError::Bind`] when the address is taken,
+/// recovered, [`ServeError::Bind`] when the address is taken,
 /// [`ServeError::Runtime`] for listener/scheduler plumbing failures.
 pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
-    let (store, recovered) = TaskStore::open(&config.journal).map_err(ServeError::Journal)?;
+    let (store, recovered) =
+        TaskStore::open_with(&config.journal, config.fs.clone()).map_err(ServeError::Journal)?;
     telemetry::recovered_tasks().add(recovered as u64);
     let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
         addr: config.addr.clone(),
@@ -199,6 +287,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
         drain: config.drain.clone(),
         retry: config.retry,
         jobs: config.jobs,
+        deadline: config.batch_deadline,
+        health: Health {
+            // True before the spawn below, so a fast client never sees
+            // a flickering 503 between bind and thread start.
+            scheduler_live: AtomicBool::new(true),
+            degraded: Mutex::new(None),
+        },
     });
     shared.refresh_depth();
 
@@ -266,10 +361,8 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
             .ok();
     }
     shared.wake.notify_all();
-    match scheduler.join() {
-        Ok(Ok(())) => {}
-        Ok(Err(e)) => return Err(ServeError::Journal(e)),
-        Err(_) => return Err(ServeError::Runtime("scheduler thread panicked".to_owned())),
+    if scheduler.join().is_err() {
+        return Err(ServeError::Runtime("scheduler thread panicked".to_owned()));
     }
     let grace_deadline = Instant::now() + CONNECTION_DRAIN_GRACE;
     while active.load(Ordering::Acquire) > 0 && Instant::now() < grace_deadline {
@@ -313,7 +406,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, limits: &HttpLimits) {
 fn route(request: &Request, shared: &Shared) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["healthz"]) => health_response(shared),
         ("GET", ["metrics"]) => Response::text(200, p7_obs::metrics::global().render_prometheus()),
         ("POST", ["tasks"]) => submit(request, shared),
         ("GET", ["tasks"]) => list_tasks(shared),
@@ -334,6 +427,38 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// `GET /healthz`: `200 ok` only when the scheduler thread is live
+/// *and* the journal is accepting writes; otherwise `503` with a JSON
+/// reason a probe can alert on.
+fn health_response(shared: &Shared) -> Response {
+    if let Some(reason) = shared.degraded_reason() {
+        let body = Value::Map(vec![
+            ("status".to_owned(), Value::Str("degraded".to_owned())),
+            ("reason".to_owned(), Value::Str(reason)),
+        ]);
+        return Response::json(503, body.to_json()).with_retry_after(RETRY_AFTER_SECS);
+    }
+    if !shared.health.scheduler_live.load(Ordering::Acquire) {
+        let body = Value::Map(vec![
+            ("status".to_owned(), Value::Str("down".to_owned())),
+            (
+                "reason".to_owned(),
+                Value::Str("scheduler thread is not running".to_owned()),
+            ),
+        ]);
+        return Response::json(503, body.to_json());
+    }
+    Response::text(200, "ok\n")
+}
+
+/// The uniform write-shed response while the journal is unwritable:
+/// `503` with a `Retry-After` hint (the scheduler probes for recovery
+/// every poll, so the outage can clear without a restart).
+fn degraded_response(reason: &str) -> Response {
+    Response::error(503, &format!("degraded read-only mode: {reason}"))
+        .with_retry_after(RETRY_AFTER_SECS)
 }
 
 /// The status JSON of one task (without the result payload, which has
@@ -372,11 +497,15 @@ fn list_tasks(shared: &Shared) -> Response {
 
 /// `POST /tasks/<id>/cancel`: only a task still waiting in `enqueued`
 /// can be canceled; anything claimed by the scheduler (or already
-/// terminal) conflicts.
+/// terminal) conflicts. A cancel is a journal write, so it sheds while
+/// degraded.
 fn cancel_task(shared: &Shared, id: &str) -> Response {
     let Ok(id) = id.parse::<u64>() else {
         return Response::error(400, "task id must be an integer");
     };
+    if let Some(reason) = shared.degraded_reason() {
+        return degraded_response(&reason);
+    }
     let mut queue = shared.lock_queue();
     let Some(task) = queue.get(id) else {
         return Response::error(404, &format!("no task {id}"));
@@ -389,7 +518,10 @@ fn cancel_task(shared: &Shared, id: &str) -> Response {
     }
     let attempts = task.attempts;
     if let Err(e) = queue.transition(&[TaskUpdate::to_state(id, TaskState::Canceled, attempts)]) {
-        return Response::error(503, &format!("journal append failed: {e}"));
+        drop(queue);
+        let reason = format!("journal append failed: {e}");
+        shared.enter_degraded(reason.clone());
+        return degraded_response(&reason);
     }
     telemetry::tasks_canceled().inc();
     let canceled = queue.get(id).expect("task present").clone();
@@ -403,8 +535,12 @@ fn cancel_task(shared: &Shared, id: &str) -> Response {
 /// The body is `{"kind": "sweep" | "resilience" | "fleet", "spec":
 /// {…}}`, or `{"kind": …, "smoke": true}` for the built-in CI-sized
 /// campaign. Invalid submissions are refused with `400` and never
-/// journaled; a `202` means the task is durable.
+/// journaled; a `202` means the task is durable. A failed journal
+/// append latches degraded mode and sheds with `503`.
 fn submit(request: &Request, shared: &Shared) -> Response {
+    if let Some(reason) = shared.degraded_reason() {
+        return degraded_response(&reason);
+    }
     let (kind, spec_json) = match canonicalize_submission(&request.body) {
         Ok(parsed) => parsed,
         Err(message) => return Response::error(400, &message),
@@ -412,7 +548,12 @@ fn submit(request: &Request, shared: &Shared) -> Response {
     let mut queue = shared.lock_queue();
     let id = match queue.submit(kind, spec_json) {
         Ok(id) => id,
-        Err(e) => return Response::error(503, &format!("journal append failed: {e}")),
+        Err(e) => {
+            drop(queue);
+            let reason = format!("journal append failed: {e}");
+            shared.enter_degraded(reason.clone());
+            return degraded_response(&reason);
+        }
     };
     let task = queue.get(id).expect("just submitted").clone();
     drop(queue);
@@ -478,26 +619,76 @@ enum Pass {
     Interrupted,
 }
 
-/// The scheduler: claim → batch → run → record, until drained.
-fn scheduler_loop(shared: &Shared) -> Result<(), SimError> {
+/// What one scheduler pass decided about the loop.
+enum Flow {
+    /// Keep scheduling.
+    Continue,
+    /// The drain token fired; exit the loop.
+    Drained,
+}
+
+/// The scheduler thread: claim → batch → run → record, until drained.
+///
+/// Journal errors do not kill the thread — they latch degraded mode
+/// and the claim loop turns into a recovery probe until the journal
+/// accepts writes again. The drop guard keeps `/healthz` honest even
+/// if this thread panics.
+fn scheduler_loop(shared: &Shared) {
+    struct LiveGuard<'a>(&'a Shared);
+    impl Drop for LiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.health.scheduler_live.store(false, Ordering::Release);
+        }
+    }
+    let _live = LiveGuard(shared);
     let engine = SweepEngine::new(shared.jobs);
-    // In-memory retry deadlines: a re-enqueued task is not ready until
-    // its backoff elapses. Deliberately not journaled — after a crash
-    // the retry simply happens immediately.
-    let mut not_before: HashMap<u64, Instant> = HashMap::new();
     loop {
-        let claimed: Vec<Task> = {
-            let mut queue = shared.lock_queue();
-            loop {
-                if shared.drain.is_cancelled() {
-                    return Ok(());
-                }
-                let now = Instant::now();
+        match scheduler_pass(shared, &engine) {
+            Ok(Flow::Drained) => return,
+            Ok(Flow::Continue) => {}
+            Err(e) => shared.enter_degraded(format!("journal append failed: {e}")),
+        }
+    }
+}
+
+/// While degraded, each poll probes the journal directory; once a
+/// probe write round-trips, tasks stranded mid-claim (`batched` or
+/// `processing` with no pass running) are re-enqueued at their current
+/// attempt count and the daemon leaves degraded mode.
+fn recover_if_writable(shared: &Shared, queue: &mut TaskStore) {
+    if queue.probe_writable().is_err() {
+        return;
+    }
+    let stuck: Vec<TaskUpdate> = queue
+        .tasks()
+        .iter()
+        .filter(|t| matches!(t.state, TaskState::Batched | TaskState::Processing))
+        .map(|t| TaskUpdate::to_state(t.id, TaskState::Enqueued, t.attempts))
+        .collect();
+    if queue.transition(&stuck).is_ok() {
+        shared.clear_degraded();
+    }
+}
+
+/// One claim → batch → run → record pass of the scheduler.
+fn scheduler_pass(shared: &Shared, engine: &SweepEngine) -> Result<Flow, SimError> {
+    let claimed: Vec<Task> = {
+        let mut queue = shared.lock_queue();
+        loop {
+            if shared.drain.is_cancelled() {
+                return Ok(Flow::Drained);
+            }
+            if shared.is_degraded() {
+                recover_if_writable(shared, &mut queue);
+            } else {
+                // A journaled backoff deadline gates readiness, so a
+                // restarted daemon keeps waiting instead of retrying hot.
+                let now = now_ms();
                 let ready: Vec<Task> = queue
                     .tasks()
                     .iter()
                     .filter(|t| t.state == TaskState::Enqueued)
-                    .filter(|t| not_before.get(&t.id).is_none_or(|&at| at <= now))
+                    .filter(|t| t.retry_at_ms == 0 || t.retry_at_ms <= now)
                     .cloned()
                     .collect();
                 if !ready.is_empty() {
@@ -508,92 +699,189 @@ fn scheduler_loop(shared: &Shared) -> Result<(), SimError> {
                     queue.transition(&updates)?;
                     break ready;
                 }
-                let (guard, _timeout) = shared
-                    .wake
-                    .wait_timeout(queue, SCHEDULER_POLL)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                queue = guard;
             }
-        };
-        for task in &claimed {
-            not_before.remove(&task.id);
+            let (guard, _timeout) = shared
+                .wake
+                .wait_timeout(queue, SCHEDULER_POLL)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            queue = guard;
         }
+    };
 
-        let mut sweeps: Vec<QueuedSweep> = Vec::new();
-        let mut singles: Vec<Task> = Vec::new();
-        let mut parse_failures: Vec<TaskUpdate> = Vec::new();
-        for task in claimed {
-            match task.kind {
-                TaskKind::Sweep => match SweepSpec::from_json(&task.spec_json) {
-                    Ok(spec) => sweeps.push(QueuedSweep {
-                        task: task.id,
-                        spec,
-                    }),
-                    // Specs are validated at submit; a parse failure
-                    // here means journal-era skew — quarantine it.
-                    Err(e) => parse_failures.push(TaskUpdate {
-                        id: task.id,
-                        state: TaskState::Failed,
-                        attempts: task.attempts + 1,
-                        reason: format!("stored spec no longer parses: {e}"),
-                        output: String::new(),
-                    }),
-                },
-                TaskKind::Resilience | TaskKind::Fleet => singles.push(task),
-            }
-        }
-        if !parse_failures.is_empty() {
-            for _ in &parse_failures {
-                telemetry::tasks_failed().inc();
-            }
-            shared.lock_queue().transition(&parse_failures)?;
-        }
-
-        let mut interrupted = false;
-        let batches = build_batches(&sweeps);
-        let mut pending: Vec<SweepBatch> = Vec::new();
-        for batch in batches {
-            if interrupted || shared.drain.is_cancelled() {
-                pending.push(batch);
-                continue;
-            }
-            match run_sweep_batch(shared, &engine, &batch, &mut not_before)? {
-                Pass::Completed => {}
-                Pass::Interrupted => interrupted = true,
-            }
-        }
-        let mut pending_singles: Vec<Task> = Vec::new();
-        for task in singles {
-            if interrupted || shared.drain.is_cancelled() {
-                pending_singles.push(task);
-                continue;
-            }
-            match run_single(shared, &task, &mut not_before)? {
-                Pass::Completed => {}
-                Pass::Interrupted => interrupted = true,
-            }
-        }
-        // Checkpoint claimed-but-unrun work back to `enqueued` so a
-        // restart (or this drain's own exit message) sees it waiting.
-        let requeue: Vec<TaskUpdate> = pending
-            .iter()
-            .flat_map(|b| b.members.iter())
-            .map(|m| m.task)
-            .chain(pending_singles.iter().map(|t| t.id))
-            .map(|id| {
-                let queue = shared.lock_queue();
-                let attempts = queue.get(id).map_or(0, |t| t.attempts);
-                TaskUpdate::to_state(id, TaskState::Enqueued, attempts)
-            })
-            .collect();
-        if !requeue.is_empty() {
-            shared.lock_queue().transition(&requeue)?;
-        }
-        shared.refresh_depth();
-        if shared.drain.is_cancelled() {
-            return Ok(());
+    let mut sweeps: Vec<QueuedSweep> = Vec::new();
+    let mut singles: Vec<Task> = Vec::new();
+    let mut parse_failures: Vec<TaskUpdate> = Vec::new();
+    for task in claimed {
+        match task.kind {
+            TaskKind::Sweep => match SweepSpec::from_json(&task.spec_json) {
+                Ok(spec) => sweeps.push(QueuedSweep {
+                    task: task.id,
+                    spec,
+                }),
+                // Specs are validated at submit; a parse failure
+                // here means journal-era skew — quarantine it.
+                Err(e) => parse_failures.push(TaskUpdate {
+                    id: task.id,
+                    state: TaskState::Failed,
+                    attempts: task.attempts + 1,
+                    reason: format!("stored spec no longer parses: {e}"),
+                    output: String::new(),
+                    retry_at_ms: 0,
+                }),
+            },
+            TaskKind::Resilience | TaskKind::Fleet => singles.push(task),
         }
     }
+    if !parse_failures.is_empty() {
+        for _ in &parse_failures {
+            telemetry::tasks_failed().inc();
+        }
+        shared.lock_queue().transition(&parse_failures)?;
+    }
+
+    let mut interrupted = false;
+    let batches = build_batches(&sweeps);
+    let mut pending: Vec<SweepBatch> = Vec::new();
+    for batch in batches {
+        if interrupted || shared.drain.is_cancelled() {
+            pending.push(batch);
+            continue;
+        }
+        match run_sweep_batch(shared, engine, &batch)? {
+            Pass::Completed => {}
+            Pass::Interrupted => interrupted = true,
+        }
+    }
+    let mut pending_singles: Vec<Task> = Vec::new();
+    for task in singles {
+        if interrupted || shared.drain.is_cancelled() {
+            pending_singles.push(task);
+            continue;
+        }
+        match run_single(shared, &task)? {
+            Pass::Completed => {}
+            Pass::Interrupted => interrupted = true,
+        }
+    }
+    // Checkpoint claimed-but-unrun work back to `enqueued` so a
+    // restart (or this drain's own exit message) sees it waiting.
+    let requeue: Vec<TaskUpdate> = pending
+        .iter()
+        .flat_map(|b| b.members.iter())
+        .map(|m| m.task)
+        .chain(pending_singles.iter().map(|t| t.id))
+        .map(|id| {
+            let queue = shared.lock_queue();
+            let attempts = queue.get(id).map_or(0, |t| t.attempts);
+            TaskUpdate::to_state(id, TaskState::Enqueued, attempts)
+        })
+        .collect();
+    if !requeue.is_empty() {
+        shared.lock_queue().transition(&requeue)?;
+    }
+    shared.refresh_depth();
+    if shared.drain.is_cancelled() {
+        return Ok(Flow::Drained);
+    }
+    Ok(Flow::Continue)
+}
+
+/// A per-batch deadline enforcer: a sidecar thread that cancels the
+/// engine pass when the deadline (or the daemon's drain) fires.
+/// [`Watchdog::disarm`] joins the sidecar before reporting expiry, so
+/// a disarmed watchdog can never cancel a later pass.
+struct Watchdog {
+    expired: Arc<AtomicBool>,
+    disarm: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Watchdog {
+    /// Stops the sidecar and reports whether the deadline fired.
+    fn disarm(self) -> bool {
+        self.disarm.store(true, Ordering::Release);
+        let _ = self.handle.join();
+        self.expired.load(Ordering::Acquire)
+    }
+}
+
+/// The cancel token an engine pass should honor: the drain token
+/// directly when no deadline is configured, else a child token the
+/// watchdog cancels on drain *or* deadline expiry.
+fn arm_watchdog(shared: &Shared) -> (CancelToken, Option<Watchdog>) {
+    let Some(deadline) = shared.deadline else {
+        return (shared.drain.clone(), None);
+    };
+    let token = CancelToken::new();
+    let expired = Arc::new(AtomicBool::new(false));
+    let disarm = Arc::new(AtomicBool::new(false));
+    let sidecar = {
+        let token = token.clone();
+        let drain = shared.drain.clone();
+        let expired = Arc::clone(&expired);
+        let disarm = Arc::clone(&disarm);
+        std::thread::Builder::new()
+            .name("ags-serve-watchdog".to_owned())
+            .spawn(move || {
+                let start = Instant::now();
+                loop {
+                    if disarm.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if drain.is_cancelled() {
+                        token.cancel();
+                        return;
+                    }
+                    if start.elapsed() >= deadline {
+                        expired.store(true, Ordering::Release);
+                        token.cancel();
+                        return;
+                    }
+                    std::thread::sleep(WATCHDOG_POLL);
+                }
+            })
+    };
+    match sidecar {
+        Ok(handle) => (
+            token,
+            Some(Watchdog {
+                expired,
+                disarm,
+                handle,
+            }),
+        ),
+        // Thread exhaustion: run undeadlined rather than not at all.
+        Err(_) => (shared.drain.clone(), None),
+    }
+}
+
+/// Durably fails every member of a batch the watchdog expired. Stuck
+/// tasks quarantine instead of retrying: a pass that blows the
+/// deadline would blow it again.
+fn quarantine_stuck(shared: &Shared, ids: impl Iterator<Item = u64>) -> Result<(), SimError> {
+    let deadline = shared.deadline.unwrap_or_default();
+    let updates: Vec<TaskUpdate> = {
+        let queue = shared.lock_queue();
+        ids.map(|id| {
+            telemetry::tasks_failed().inc();
+            telemetry::tasks_stuck().inc();
+            TaskUpdate {
+                id,
+                state: TaskState::Failed,
+                attempts: queue.get(id).map_or(0, |t| t.attempts) + 1,
+                reason: format!(
+                    "stuck: batch exceeded the {}ms deadline and was canceled",
+                    deadline.as_millis()
+                ),
+                output: String::new(),
+                retry_at_ms: 0,
+            }
+        })
+        .collect()
+    };
+    shared.lock_queue().transition(&updates)?;
+    shared.refresh_depth();
+    Ok(())
 }
 
 /// Runs one merged sweep batch and records every member's outcome.
@@ -601,7 +889,6 @@ fn run_sweep_batch(
     shared: &Shared,
     engine: &SweepEngine,
     batch: &SweepBatch,
-    not_before: &mut HashMap<u64, Instant>,
 ) -> Result<Pass, SimError> {
     let processing: Vec<TaskUpdate> = {
         let queue = shared.lock_queue();
@@ -619,15 +906,18 @@ fn run_sweep_batch(
     #[allow(clippy::cast_precision_loss)]
     telemetry::batch_width().observe(batch.members.len() as f64);
 
+    let (cancel, watchdog) = arm_watchdog(shared);
     let options = SweepRunOptions {
         durable: DurableOptions {
-            cancel: shared.drain.clone(),
+            cancel,
             retry: shared.retry,
             ..DurableOptions::default()
         },
         panic_injector: None,
     };
-    match engine.run_durable(&batch.merged, &options) {
+    let ran = engine.run_durable(&batch.merged, &options);
+    let expired = watchdog.is_some_and(Watchdog::disarm);
+    match ran {
         Ok(report) => {
             let splits = split_report(batch, &report);
             let mut updates = Vec::new();
@@ -644,7 +934,6 @@ fn run_sweep_batch(
                         &split.failed,
                         None,
                         shared.retry,
-                        not_before,
                     ));
                 }
             }
@@ -653,8 +942,13 @@ fn run_sweep_batch(
             Ok(Pass::Completed)
         }
         Err(SimError::Interrupted { .. }) => {
-            requeue_tasks(shared, batch.members.iter().map(|m| m.task))?;
-            Ok(Pass::Interrupted)
+            if expired && !shared.drain.is_cancelled() {
+                quarantine_stuck(shared, batch.members.iter().map(|m| m.task))?;
+                Ok(Pass::Completed)
+            } else {
+                requeue_tasks(shared, batch.members.iter().map(|m| m.task))?;
+                Ok(Pass::Interrupted)
+            }
         }
         Err(e) => {
             // A hard engine error is deterministic (bad config); retry
@@ -672,6 +966,7 @@ fn run_sweep_batch(
                             attempts: queue.get(m.task).map_or(0, |t| t.attempts) + 1,
                             reason: e.to_string(),
                             output: String::new(),
+                            retry_at_ms: 0,
                         }
                     })
                     .collect()
@@ -684,11 +979,7 @@ fn run_sweep_batch(
 }
 
 /// Runs one resilience/fleet task and records its outcome.
-fn run_single(
-    shared: &Shared,
-    task: &Task,
-    not_before: &mut HashMap<u64, Instant>,
-) -> Result<Pass, SimError> {
+fn run_single(shared: &Shared, task: &Task) -> Result<Pass, SimError> {
     let attempts_before = shared
         .lock_queue()
         .get(task.id)
@@ -701,8 +992,9 @@ fn run_single(
     telemetry::batches().inc();
     telemetry::batch_width().observe(1.0);
 
+    let (cancel, watchdog) = arm_watchdog(shared);
     let durable = DurableOptions {
-        cancel: shared.drain.clone(),
+        cancel,
         retry: shared.retry,
         ..DurableOptions::default()
     };
@@ -737,6 +1029,7 @@ fn run_single(
         }),
         TaskKind::Sweep => unreachable!("sweeps go through run_sweep_batch"),
     };
+    let expired = watchdog.is_some_and(Watchdog::disarm);
 
     match ran {
         Ok((output, failed, unsafe_reason)) => {
@@ -748,15 +1041,19 @@ fn run_single(
                 &failed,
                 unsafe_reason,
                 shared.retry,
-                not_before,
             );
             shared.lock_queue().transition(&[update])?;
             shared.refresh_depth();
             Ok(Pass::Completed)
         }
         Err(SimError::Interrupted { .. }) => {
-            requeue_tasks(shared, std::iter::once(task.id))?;
-            Ok(Pass::Interrupted)
+            if expired && !shared.drain.is_cancelled() {
+                quarantine_stuck(shared, std::iter::once(task.id))?;
+                Ok(Pass::Completed)
+            } else {
+                requeue_tasks(shared, std::iter::once(task.id))?;
+                Ok(Pass::Interrupted)
+            }
         }
         Err(e) => {
             telemetry::tasks_failed().inc();
@@ -766,6 +1063,7 @@ fn run_single(
                 attempts: attempts_before + 1,
                 reason: e.to_string(),
                 output: String::new(),
+                retry_at_ms: 0,
             }])?;
             shared.refresh_depth();
             Ok(Pass::Completed)
@@ -777,7 +1075,8 @@ fn run_single(
 /// clean → `succeeded` with the rendered output; quarantined points (or
 /// an unsafe verdict) → retry with exponential backoff while attempts
 /// remain, else `failed` carrying the first quarantine reason and the
-/// partial output.
+/// partial output. The backoff deadline rides in the update and is
+/// journaled, so a restart resumes the wait instead of retrying hot.
 fn terminal_update(
     id: u64,
     attempts: usize,
@@ -785,7 +1084,6 @@ fn terminal_update(
     failed: &[FailedPoint],
     unsafe_reason: Option<String>,
     retry: RetryPolicy,
-    not_before: &mut HashMap<u64, Instant>,
 ) -> TaskUpdate {
     if failed.is_empty() && unsafe_reason.is_none() {
         telemetry::tasks_succeeded().inc();
@@ -795,6 +1093,7 @@ fn terminal_update(
             attempts,
             reason: String::new(),
             output,
+            retry_at_ms: 0,
         };
     }
     let reason = unsafe_reason.unwrap_or_else(|| {
@@ -807,13 +1106,15 @@ fn terminal_update(
     });
     if attempts < retry.max_attempts.max(1) {
         telemetry::task_retries().inc();
-        not_before.insert(id, Instant::now() + retry.backoff_before(attempts));
+        let backoff = retry.backoff_before(attempts);
         return TaskUpdate {
             id,
             state: TaskState::Enqueued,
             attempts,
             reason,
             output: String::new(),
+            retry_at_ms: now_ms()
+                .saturating_add(u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX)),
         };
     }
     telemetry::tasks_failed().inc();
@@ -823,6 +1124,7 @@ fn terminal_update(
         attempts,
         reason,
         output,
+        retry_at_ms: 0,
     }
 }
 
@@ -846,6 +1148,7 @@ fn requeue_tasks(shared: &Shared, ids: impl Iterator<Item = u64>) -> Result<(), 
 mod tests {
     use super::*;
     use p7_control::GuardbandMode;
+    use p7_sim::vfs::FaultyFs;
     use std::io::Read as _;
     use std::path::{Path, PathBuf};
     use std::sync::atomic::AtomicU32;
@@ -868,8 +1171,10 @@ mod tests {
             .with_ticks(4, 2)
     }
 
-    /// One round-trip against a live daemon; returns (status, body).
-    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    /// One raw round-trip against a live daemon; returns the full
+    /// response text (status line, headers and body) so tests can
+    /// assert on headers.
+    fn http_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         let request = format!(
             "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
@@ -878,6 +1183,12 @@ mod tests {
         stream.write_all(request.as_bytes()).expect("send");
         let mut raw = String::new();
         stream.read_to_string(&mut raw).expect("recv");
+        raw
+    }
+
+    /// One round-trip against a live daemon; returns (status, body).
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let raw = http_raw(addr, method, path, body);
         let status: u16 = raw
             .split(' ')
             .nth(1)
@@ -889,10 +1200,11 @@ mod tests {
         (status, body)
     }
 
-    /// Spawns a daemon on a free port; returns its address, drain
-    /// token, and join handle.
-    fn start(
+    /// Spawns a daemon on a free port with `tweak` applied to its
+    /// config; returns its address, drain token, and join handle.
+    fn start_with(
         journal: &Path,
+        tweak: impl FnOnce(&mut ServeConfig),
     ) -> (
         SocketAddr,
         CancelToken,
@@ -901,6 +1213,7 @@ mod tests {
         let mut config = ServeConfig::new("127.0.0.1:0", journal);
         config.handle_signals = false;
         config.jobs = 2;
+        tweak(&mut config);
         let drain = config.drain.clone();
         let bound = Arc::clone(&config.bound_addr);
         let handle = std::thread::spawn(move || serve(config));
@@ -913,6 +1226,17 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         };
         (addr, drain, handle)
+    }
+
+    /// Spawns a daemon with the default test config.
+    fn start(
+        journal: &Path,
+    ) -> (
+        SocketAddr,
+        CancelToken,
+        std::thread::JoinHandle<Result<(), ServeError>>,
+    ) {
+        start_with(journal, |_| {})
     }
 
     fn wait_for_state(addr: SocketAddr, id: u64, want: &str) {
@@ -972,6 +1296,9 @@ mod tests {
         let (status, metrics) = http(addr, "GET", "/metrics", "");
         assert_eq!(status, 200);
         assert!(metrics.contains("ags_serve_queue_depth"), "{metrics}");
+        // Value unasserted: other tests in this process may hold the
+        // global gauge at 1 while this one runs.
+        assert!(metrics.contains("ags_serve_degraded"), "{metrics}");
 
         drain.cancel();
         handle.join().expect("serve thread").expect("clean drain");
@@ -993,6 +1320,125 @@ mod tests {
     }
 
     #[test]
+    fn degraded_mode_sheds_writes_and_recovers_in_place() {
+        p7_obs::metrics::global().set_enabled(true);
+        telemetry::register_all();
+        let dir = tmpdir("degraded");
+        let faulty = FaultyFs::new(7, vec![]);
+        let fs: DynFs = faulty.clone();
+        let (addr, drain, handle) = start_with(&dir, |c| c.fs = fs);
+        let (status, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        // Yank the disk: the next journal append fails, the daemon
+        // latches degraded mode and sheds the write with a retry hint.
+        faulty.set_sticky_write_failures(true);
+        let raw = http_raw(
+            addr,
+            "POST",
+            "/tasks",
+            "{\"kind\":\"sweep\",\"smoke\":true}",
+        );
+        assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+        assert!(raw.contains("\r\nRetry-After: 1\r\n"), "{raw}");
+        assert!(raw.contains("journal append failed"), "{raw}");
+        // Degraded is latched: healthz reports it with the reason,
+        // reads keep working, and writes shed without touching disk.
+        let (status, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert_eq!(http(addr, "GET", "/tasks", "").0, 200);
+        let (status, metrics) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        // Value unasserted: other tests share the global gauge.
+        assert!(metrics.contains("ags_serve_degraded"), "{metrics}");
+        assert_eq!(
+            http(
+                addr,
+                "POST",
+                "/tasks",
+                "{\"kind\":\"sweep\",\"smoke\":true}"
+            )
+            .0,
+            503
+        );
+
+        // Heal the disk: the scheduler's probe clears degraded mode
+        // and full service resumes without a restart.
+        faulty.set_sticky_write_failures(false);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while http(addr, "GET", "/healthz", "").0 != 200 {
+            assert!(Instant::now() < deadline, "degraded mode never cleared");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let submission = format!("{{\"kind\":\"sweep\",\"spec\":{}}}", tiny_spec().to_json());
+        let (status, body) = http(addr, "POST", "/tasks", &submission);
+        assert_eq!(status, 202, "{body}");
+        assert!(
+            body.contains("\"task\":1"),
+            "failed submit must not burn an id: {body}"
+        );
+        wait_for_state(addr, 1, "succeeded");
+        drain.cancel();
+        handle.join().expect("serve thread").expect("clean drain");
+    }
+
+    #[test]
+    fn watchdog_quarantines_stuck_batches() {
+        let dir = tmpdir("watchdog");
+        // A zero deadline expires before any engine pass can finish,
+        // so every batch is deterministically "stuck" (the engine
+        // reports Interrupted whenever the token fired mid-run).
+        let (addr, drain, handle) = start_with(&dir, |c| {
+            c.batch_deadline = Some(Duration::ZERO);
+        });
+        let spec = SweepSpec::new(vec!["lu_cb".to_owned()], vec![1, 2])
+            .with_modes(vec![GuardbandMode::StaticGuardband])
+            .with_seed(42)
+            .with_ticks(400, 100);
+        let submission = format!("{{\"kind\":\"sweep\",\"spec\":{}}}", spec.to_json());
+        let (status, body) = http(addr, "POST", "/tasks", &submission);
+        assert_eq!(status, 202, "{body}");
+        wait_for_state(addr, 1, "failed");
+        let (_, body) = http(addr, "GET", "/tasks/1", "");
+        assert!(
+            body.contains("stuck: batch exceeded the 0ms deadline"),
+            "{body}"
+        );
+        drain.cancel();
+        handle.join().expect("serve thread").expect("clean drain");
+    }
+
+    #[test]
+    fn retry_backoff_rides_in_the_terminal_update() {
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 60_000,
+        };
+        let failed = vec![FailedPoint {
+            index: 0,
+            attempts: 1,
+            reason: "injected".to_owned(),
+        }];
+        // Attempts remain: re-enqueued with a journaled future deadline.
+        let update = terminal_update(7, 1, String::new(), &failed, None, retry);
+        assert_eq!(update.state, TaskState::Enqueued);
+        assert!(
+            update.retry_at_ms >= now_ms() + 30_000,
+            "backoff deadline must be far in the future: {}",
+            update.retry_at_ms
+        );
+        // Budget exhausted: quarantined with no deadline.
+        let update = terminal_update(7, 3, String::new(), &failed, None, retry);
+        assert_eq!(update.state, TaskState::Failed);
+        assert_eq!(update.retry_at_ms, 0);
+        // Clean pass: succeeded with no deadline.
+        let update = terminal_update(7, 1, "out".to_owned(), &[], None, retry);
+        assert_eq!(update.state, TaskState::Succeeded);
+        assert_eq!(update.retry_at_ms, 0);
+    }
+
+    #[test]
     fn cancel_and_error_semantics_via_routes() {
         // Routing semantics without a live scheduler: build the shared
         // state directly so no task ever leaves `enqueued`.
@@ -1005,6 +1451,11 @@ mod tests {
             drain: CancelToken::new(),
             retry: RetryPolicy::no_retry(),
             jobs: 1,
+            deadline: None,
+            health: Health {
+                scheduler_live: AtomicBool::new(true),
+                degraded: Mutex::new(None),
+            },
         };
         let post = |path: &str, body: &str| {
             route(
@@ -1026,6 +1477,28 @@ mod tests {
                 &shared,
             )
         };
+
+        // Healthz is green while "live" and not degraded …
+        assert_eq!(get("/healthz").status, 200);
+        // … names the journal failure while degraded (writes shed) …
+        shared.enter_degraded("journal append failed: disk gone".to_owned());
+        let unhealthy = get("/healthz");
+        assert_eq!(unhealthy.status, 503);
+        let body = String::from_utf8(unhealthy.body).unwrap();
+        assert!(body.contains("disk gone"), "{body}");
+        assert_eq!(unhealthy.retry_after, Some(1));
+        assert_eq!(
+            post("/tasks", "{\"kind\":\"sweep\",\"smoke\":true}").status,
+            503
+        );
+        shared.clear_degraded();
+        // … and reports a dead scheduler once the liveness flag drops.
+        shared.health.scheduler_live.store(false, Ordering::Release);
+        let down = get("/healthz");
+        assert_eq!(down.status, 503);
+        let body = String::from_utf8(down.body).unwrap();
+        assert!(body.contains("scheduler"), "{body}");
+        shared.health.scheduler_live.store(true, Ordering::Release);
 
         // Smoke submissions for all three kinds need no spec.
         assert_eq!(

@@ -166,6 +166,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// The response body.
     pub body: Vec<u8>,
+    /// Optional `Retry-After` header, seconds (degraded-mode 503s tell
+    /// clients when to try again).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -176,6 +179,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -186,7 +190,15 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
+    }
+
+    /// Adds a `Retry-After: secs` header.
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u32) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 
     /// A JSON error envelope: `{"error":"…"}`.
@@ -222,12 +234,16 @@ impl Response {
     /// Propagates the socket's I/O error (the peer may have vanished;
     /// callers log and drop the connection).
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        let retry_after = self
+            .retry_after
+            .map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
             self.status,
             Response::reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            retry_after
         );
         writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
@@ -328,5 +344,15 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.ends_with("{\"error\":\"draining\"}"));
+        assert!(!text.contains("Retry-After"), "absent unless requested");
+
+        let mut out = Vec::new();
+        Response::error(503, "degraded")
+            .with_retry_after(2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nRetry-After: 2\r\n"), "{text}");
+        assert!(text.contains("\r\nConnection: close\r\n\r\n"), "{text}");
     }
 }

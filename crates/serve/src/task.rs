@@ -15,10 +15,20 @@
 //! tasks whose batch quarantined or was interrupted.
 
 use p7_sim::journal::{CampaignManifest, Journal, MANIFEST_FILE};
+use p7_sim::vfs::{std_fs, DynFs};
 use p7_sim::SimError;
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+
+/// Milliseconds since the Unix epoch, the clock retry deadlines are
+/// journaled in (wall clock, so a deadline survives a daemon restart).
+#[must_use]
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
 
 /// Campaign kind stamped into the queue journal's manifest.
 pub const QUEUE_JOURNAL_KIND: &str = "serve";
@@ -111,13 +121,13 @@ impl TaskKind {
     }
 }
 
-/// One journaled event. Flat strings/ints only, so the vendored serde
-/// derive round-trips it and the JSON stays human-greppable.
+/// One journaled event. Flat strings/ints only, so the JSON stays
+/// human-greppable.
 ///
 /// `event` is `"submit"` (carries `kind` + `spec_json`, opens the task
 /// in `enqueued`) or `"state"` (moves the task to `state`, updating
-/// `attempts`, `reason` and `output` wholesale).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// `attempts`, `reason`, `output` and `retry_at_ms` wholesale).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskEvent {
     /// The task this event belongs to.
     pub id: u64,
@@ -135,6 +145,51 @@ pub struct TaskEvent {
     pub reason: String,
     /// Rendered result payload once succeeded.
     pub output: String,
+    /// Earliest wall-clock instant (epoch ms) the task may be claimed
+    /// again; 0 means "ready now". Journaled so a restart does not
+    /// reset exponential backoff.
+    pub retry_at_ms: u64,
+}
+
+// Hand-written (de)serialization instead of the derive: `retry_at_ms`
+// was added after PR 8 shipped journals without it, and the derive
+// would refuse those events (missing field), silently discarding the
+// whole segment as corrupt on resume. Reading treats a missing
+// `retry_at_ms` as 0, so old journals replay losslessly with no
+// format-version bump.
+impl Serialize for TaskEvent {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("event".to_owned(), self.event.to_value()),
+            ("kind".to_owned(), self.kind.to_value()),
+            ("spec_json".to_owned(), self.spec_json.to_value()),
+            ("state".to_owned(), self.state.to_value()),
+            ("attempts".to_owned(), self.attempts.to_value()),
+            ("reason".to_owned(), self.reason.to_value()),
+            ("output".to_owned(), self.output.to_value()),
+            ("retry_at_ms".to_owned(), self.retry_at_ms.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TaskEvent {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(TaskEvent {
+            id: u64::from_value(v.field("id")?)?,
+            event: String::from_value(v.field("event")?)?,
+            kind: String::from_value(v.field("kind")?)?,
+            spec_json: String::from_value(v.field("spec_json")?)?,
+            state: String::from_value(v.field("state")?)?,
+            attempts: usize::from_value(v.field("attempts")?)?,
+            reason: String::from_value(v.field("reason")?)?,
+            output: String::from_value(v.field("output")?)?,
+            retry_at_ms: match v.field("retry_at_ms") {
+                Ok(value) => u64::from_value(value)?,
+                Err(_) => 0, // Pre-PR 9 journals predate this field.
+            },
+        })
+    }
 }
 
 /// One task's current state, replayed from the journal.
@@ -154,6 +209,9 @@ pub struct Task {
     pub reason: String,
     /// Rendered result, if succeeded.
     pub output: String,
+    /// Earliest epoch-ms instant the task may be claimed again (its
+    /// journaled retry backoff deadline); 0 means "ready now".
+    pub retry_at_ms: u64,
 }
 
 /// A state transition to record durably via [`TaskStore::transition`].
@@ -169,11 +227,13 @@ pub struct TaskUpdate {
     pub reason: String,
     /// New rendered output (empty to clear).
     pub output: String,
+    /// New retry backoff deadline, epoch ms (0 to clear).
+    pub retry_at_ms: u64,
 }
 
 impl TaskUpdate {
     /// A transition that only moves `id` to `state`, keeping `attempts`
-    /// and clearing reason/output.
+    /// and clearing reason/output/backoff.
     #[must_use]
     pub fn to_state(id: u64, state: TaskState, attempts: usize) -> Self {
         TaskUpdate {
@@ -182,6 +242,7 @@ impl TaskUpdate {
             attempts,
             reason: String::new(),
             output: String::new(),
+            retry_at_ms: 0,
         }
     }
 }
@@ -203,6 +264,7 @@ fn queue_manifest() -> CampaignManifest {
 pub struct TaskStore {
     journal: Journal<TaskEvent>,
     dir: PathBuf,
+    fs: DynFs,
     /// Next journal sequence index (global over all events).
     seq: usize,
     tasks: Vec<Task>,
@@ -211,25 +273,36 @@ pub struct TaskStore {
 }
 
 impl TaskStore {
-    /// Opens the queue at `dir`: resumes an existing journal (replaying
-    /// every intact event) or creates a fresh one. Tasks found
-    /// `batched`/`processing` — i.e. mid-batch at a crash — are durably
-    /// re-enqueued; the second element of the return is how many.
+    /// Opens the queue at `dir` through the real filesystem: resumes an
+    /// existing journal (replaying every intact event) or creates a
+    /// fresh one. Tasks found `batched`/`processing` — i.e. mid-batch
+    /// at a crash — are durably re-enqueued; the second element of the
+    /// return is how many.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Journal`] when the directory holds a journal
     /// of a different campaign kind or on I/O failure.
     pub fn open(dir: &Path) -> Result<(TaskStore, usize), SimError> {
+        TaskStore::open_with(dir, std_fs())
+    }
+
+    /// [`TaskStore::open`] through an explicit filesystem backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskStore::open`].
+    pub fn open_with(dir: &Path, fs: DynFs) -> Result<(TaskStore, usize), SimError> {
         let manifest = queue_manifest();
-        let mut store = if dir.join(MANIFEST_FILE).exists() {
-            let resumed = Journal::resume(dir, &manifest)?;
+        let mut store = if fs.exists(&dir.join(MANIFEST_FILE)) {
+            let resumed = Journal::resume_with(dir, &manifest, fs.clone())?;
             let mut entries = resumed.entries;
             entries.sort_by_key(|(idx, _)| *idx);
             let seq = entries.last().map_or(0, |(idx, _)| idx + 1);
             let mut store = TaskStore {
                 journal: resumed.journal,
                 dir: dir.to_owned(),
+                fs,
                 seq,
                 tasks: Vec::new(),
                 index: HashMap::new(),
@@ -241,8 +314,9 @@ impl TaskStore {
             store
         } else {
             TaskStore {
-                journal: Journal::create(dir, &manifest)?,
+                journal: Journal::create_with(dir, &manifest, fs.clone())?,
                 dir: dir.to_owned(),
+                fs,
                 seq: 0,
                 tasks: Vec::new(),
                 index: HashMap::new(),
@@ -266,6 +340,26 @@ impl TaskStore {
         &self.dir
     }
 
+    /// Probes whether the journal directory is writable again: writes,
+    /// fsyncs and removes a small probe file. The degraded daemon calls
+    /// this each scheduler poll to decide when to leave read-only mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] carrying the first failing step.
+    pub fn probe_writable(&self) -> Result<(), SimError> {
+        let probe = self.dir.join("writable-probe.tmp");
+        let fail = |action: &str, e: std::io::Error| SimError::Journal {
+            reason: format!("cannot {action} `{}`: {e}", probe.display()),
+        };
+        self.fs
+            .write(&probe, b"probe")
+            .map_err(|e| fail("write", e))?;
+        self.fs.fsync(&probe).map_err(|e| fail("fsync", e))?;
+        self.fs.remove_file(&probe).map_err(|e| fail("remove", e))?;
+        Ok(())
+    }
+
     /// Replays one event into the in-memory view.
     fn apply(&mut self, event: &TaskEvent) {
         if event.event == "submit" {
@@ -280,6 +374,7 @@ impl TaskStore {
                 attempts: event.attempts,
                 reason: event.reason.clone(),
                 output: event.output.clone(),
+                retry_at_ms: event.retry_at_ms,
             };
             self.next_id = self.next_id.max(event.id + 1);
             match self.index.get(&event.id) {
@@ -295,6 +390,7 @@ impl TaskStore {
             task.attempts = event.attempts;
             task.reason = event.reason.clone();
             task.output = event.output.clone();
+            task.retry_at_ms = event.retry_at_ms;
         }
     }
 
@@ -317,6 +413,7 @@ impl TaskStore {
             attempts: 0,
             reason: String::new(),
             output: String::new(),
+            retry_at_ms: 0,
         };
         self.journal.append(&[(self.seq, event.clone())])?;
         self.seq += 1;
@@ -350,6 +447,7 @@ impl TaskStore {
                         attempts: u.attempts,
                         reason: u.reason.clone(),
                         output: u.output.clone(),
+                        retry_at_ms: u.retry_at_ms,
                     },
                 )
             })
@@ -433,6 +531,7 @@ mod tests {
                         attempts: 1,
                         reason: String::new(),
                         output: "table\n".to_owned(),
+                        retry_at_ms: 0,
                     },
                     TaskUpdate::to_state(b, TaskState::Batched, 0),
                 ])
@@ -474,6 +573,66 @@ mod tests {
         assert_eq!(recovered, 0);
         assert_eq!(store.get(1).unwrap().state, TaskState::Enqueued);
         assert_eq!(store.get(1).unwrap().attempts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_deadlines_survive_reopen() {
+        let dir = scratch("backoff");
+        let deadline = now_ms() + 3_600_000; // far future
+        {
+            let (mut store, _) = TaskStore::open(&dir).unwrap();
+            let id = store.submit(TaskKind::Sweep, "{}".to_owned()).unwrap();
+            store
+                .transition(&[TaskUpdate {
+                    id,
+                    state: TaskState::Enqueued,
+                    attempts: 2,
+                    reason: "flaky".to_owned(),
+                    output: String::new(),
+                    retry_at_ms: deadline,
+                }])
+                .unwrap();
+        }
+        // A restart keeps both the attempt count and the backoff
+        // deadline: the task does not retry hot.
+        let (store, recovered) = TaskStore::open(&dir).unwrap();
+        assert_eq!(recovered, 0, "enqueued tasks are not mid-batch");
+        let task = store.get(1).unwrap();
+        assert_eq!(task.attempts, 2);
+        assert_eq!(task.retry_at_ms, deadline);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_pr9_events_without_retry_field_still_parse() {
+        // A PR 8-era journal event has no `retry_at_ms` key; it must
+        // deserialize (as deadline 0), not poison its whole segment.
+        let old = "{\"id\":3,\"event\":\"submit\",\"kind\":\"sweep\",\"spec_json\":\"{}\",\
+                   \"state\":\"enqueued\",\"attempts\":1,\"reason\":\"\",\"output\":\"\"}";
+        let event: TaskEvent = serde::json::from_str(old).unwrap();
+        assert_eq!(event.id, 3);
+        assert_eq!(event.retry_at_ms, 0);
+        // And the new form round-trips.
+        let mut new = event.clone();
+        new.retry_at_ms = 99;
+        let back: TaskEvent = serde::json::from_str(&serde::json::to_string(&new)).unwrap();
+        assert_eq!(back, new);
+    }
+
+    #[test]
+    fn probe_writable_round_trips_and_leaves_no_residue() {
+        let dir = scratch("probe");
+        let (store, _) = TaskStore::open(&dir).unwrap();
+        store.probe_writable().unwrap();
+        store.probe_writable().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("probe"))
+            .collect();
+        assert!(leftovers.is_empty(), "probe residue: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

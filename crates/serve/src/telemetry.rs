@@ -128,6 +128,20 @@ counter_accessor!(
     "Tasks found mid-batch in the journal at startup and re-enqueued"
 );
 
+gauge_accessor!(
+    /// 1 while the daemon sheds writes in degraded read-only mode.
+    serve_degraded,
+    "ags_serve_degraded",
+    "1 while the daemon is in degraded read-only mode (journal unwritable), else 0"
+);
+
+counter_accessor!(
+    /// Tasks quarantined by the stuck-task watchdog.
+    tasks_stuck,
+    "ags_serve_tasks_stuck_total",
+    "Tasks quarantined because their batch exceeded the per-batch deadline"
+);
+
 /// Resolves every accessor once, so an export lists every family even
 /// before the daemon exercises some site (scrapers then see a stable
 /// schema; a zero is information, an absent family is not).
@@ -144,6 +158,8 @@ pub fn register_all() {
     http_requests();
     connections();
     recovered_tasks();
+    serve_degraded();
+    tasks_stuck();
 }
 
 #[cfg(test)]

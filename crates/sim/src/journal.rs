@@ -30,11 +30,10 @@
 
 use crate::error::SimError;
 use crate::telemetry;
+use crate::vfs::{self, DynFs, Fs};
 use p7_obs::trace;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::fs::{self, File};
-use std::io::Write as _;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -244,7 +243,7 @@ pub enum JournalMode {
 }
 
 /// Shared knobs of a durable run (journal, cancellation, retries).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DurableOptions {
     /// Where completed points are checkpointed, if anywhere.
     pub journal: JournalMode,
@@ -255,6 +254,22 @@ pub struct DurableOptions {
     /// Completed points per checkpoint segment; 0 means
     /// [`DEFAULT_CHECKPOINT_EVERY`].
     pub checkpoint_every: usize,
+    /// The filesystem backend the journal writes through. Defaults to
+    /// the real [`crate::vfs::StdFs`]; the crash matrix substitutes a
+    /// fault-injecting one.
+    pub fs: DynFs,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            journal: JournalMode::default(),
+            cancel: CancelToken::default(),
+            retry: RetryPolicy::default(),
+            checkpoint_every: 0,
+            fs: vfs::std_fs(),
+        }
+    }
 }
 
 /// Default number of completed points per journal segment.
@@ -303,18 +318,33 @@ impl DurableOptions {
 pub struct Journal<T> {
     dir: PathBuf,
     next_segment: u64,
+    fs: DynFs,
     _entries: PhantomData<fn() -> T>,
 }
 
 impl<T: Serialize + Deserialize> Journal<T> {
-    /// Creates a fresh journal directory and durably writes `manifest`.
+    /// Creates a fresh journal directory and durably writes `manifest`,
+    /// through the real filesystem.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Journal`] when the directory already holds a
     /// manifest (use [`Journal::resume`]) or on any I/O failure.
     pub fn create(dir: &Path, manifest: &CampaignManifest) -> Result<Self, SimError> {
-        if dir.join(MANIFEST_FILE).exists() {
+        Journal::create_with(dir, manifest, vfs::std_fs())
+    }
+
+    /// [`Journal::create`] through an explicit filesystem backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::create`].
+    pub fn create_with(
+        dir: &Path,
+        manifest: &CampaignManifest,
+        fs: DynFs,
+    ) -> Result<Self, SimError> {
+        if fs.exists(&dir.join(MANIFEST_FILE)) {
             return Err(SimError::Journal {
                 reason: format!(
                     "`{}` already holds a journal; pass it to --resume instead",
@@ -322,18 +352,21 @@ impl<T: Serialize + Deserialize> Journal<T> {
                 ),
             });
         }
-        fs::create_dir_all(dir).map_err(|e| io_error(dir, "create journal directory", &e))?;
+        fs.create_dir_all(dir)
+            .map_err(|e| io_error(dir, "create journal directory", &e))?;
         let text = serde::json::to_string(manifest);
-        write_atomic(&dir.join(MANIFEST_FILE), text.as_bytes())?;
+        write_atomic(&*fs, &dir.join(MANIFEST_FILE), text.as_bytes())?;
         Ok(Journal {
             dir: dir.to_owned(),
             next_segment: 0,
+            fs,
             _entries: PhantomData,
         })
     }
 
-    /// Opens an existing journal, verifies its manifest against
-    /// `expected`, and loads every intact segment's entries.
+    /// Opens an existing journal through the real filesystem, verifies
+    /// its manifest against `expected`, and loads every intact
+    /// segment's entries.
     ///
     /// Corrupt or truncated segments (a crash mid-checkpoint) are
     /// skipped — their points re-run — and reported in
@@ -344,17 +377,27 @@ impl<T: Serialize + Deserialize> Journal<T> {
     /// Returns [`SimError::Journal`] when the directory holds no
     /// readable manifest or the manifest mismatches `expected`.
     pub fn resume(dir: &Path, expected: &CampaignManifest) -> Result<ResumedJournal<T>, SimError> {
-        let on_disk = read_manifest(dir)?;
+        Journal::resume_with(dir, expected, vfs::std_fs())
+    }
+
+    /// [`Journal::resume`] through an explicit filesystem backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::resume`].
+    pub fn resume_with(
+        dir: &Path,
+        expected: &CampaignManifest,
+        fs: DynFs,
+    ) -> Result<ResumedJournal<T>, SimError> {
+        let on_disk = read_manifest_with(dir, &*fs)?;
         expected.ensure_matches(&on_disk)?;
-        let mut names: Vec<String> = Vec::new();
-        let listing = fs::read_dir(dir).map_err(|e| io_error(dir, "list journal", &e))?;
-        for entry in listing {
-            let entry = entry.map_err(|e| io_error(dir, "list journal", &e))?;
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if name.starts_with("seg-") && name.ends_with(".json") {
-                names.push(name);
-            }
-        }
+        let mut names: Vec<String> = fs
+            .read_dir(dir)
+            .map_err(|e| io_error(dir, "list journal", &e))?
+            .into_iter()
+            .filter(|name| name.starts_with("seg-") && name.ends_with(".json"))
+            .collect();
         names.sort_unstable();
         let mut entries = Vec::new();
         let mut skipped = 0usize;
@@ -363,7 +406,7 @@ impl<T: Serialize + Deserialize> Journal<T> {
             if let Some(number) = segment_number(name) {
                 max_segment = Some(max_segment.map_or(number, |m| m.max(number)));
             }
-            match read_segment::<T>(&dir.join(name)) {
+            match read_segment::<T>(&*fs, &dir.join(name)) {
                 Ok(mut batch) => entries.append(&mut batch),
                 Err(_) => skipped += 1,
             }
@@ -372,6 +415,7 @@ impl<T: Serialize + Deserialize> Journal<T> {
             journal: Journal {
                 dir: dir.to_owned(),
                 next_segment: max_segment.map_or(0, |m| m + 1),
+                fs,
                 _entries: PhantomData,
             },
             entries,
@@ -398,7 +442,7 @@ impl<T: Serialize + Deserialize> Journal<T> {
         let name = format!("seg-{:08}.json", self.next_segment);
         let _span = trace::span("journal_segment", self.next_segment);
         let started = Instant::now();
-        write_atomic(&self.dir.join(name), content.as_bytes())?;
+        write_atomic(&*self.fs, &self.dir.join(name), content.as_bytes())?;
         telemetry::journal_segment_write().observe(started.elapsed().as_secs_f64());
         telemetry::journal_segments().inc();
         self.next_segment += 1;
@@ -426,6 +470,19 @@ impl JournalMode {
         &self,
         manifest: &CampaignManifest,
     ) -> Result<OpenedJournal<T>, SimError> {
+        self.open_with(manifest, vfs::std_fs())
+    }
+
+    /// [`JournalMode::open`] through an explicit filesystem backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`JournalMode::open`].
+    pub fn open_with<T: Serialize + Deserialize>(
+        &self,
+        manifest: &CampaignManifest,
+        fs: DynFs,
+    ) -> Result<OpenedJournal<T>, SimError> {
         match self {
             JournalMode::Off => Ok(OpenedJournal {
                 journal: None,
@@ -433,12 +490,12 @@ impl JournalMode {
                 skipped_segments: 0,
             }),
             JournalMode::Start(dir) => Ok(OpenedJournal {
-                journal: Some(Journal::create(dir, manifest)?),
+                journal: Some(Journal::create_with(dir, manifest, fs)?),
                 entries: Vec::new(),
                 skipped_segments: 0,
             }),
             JournalMode::Resume(dir) => {
-                let resumed = Journal::resume(dir, manifest)?;
+                let resumed = Journal::resume_with(dir, manifest, fs)?;
                 Ok(OpenedJournal {
                     journal: Some(resumed.journal),
                     entries: resumed.entries,
@@ -479,8 +536,17 @@ pub struct ResumedJournal<T> {
 /// Returns [`SimError::Journal`] when the directory holds no readable,
 /// well-formed manifest.
 pub fn read_manifest(dir: &Path) -> Result<CampaignManifest, SimError> {
+    read_manifest_with(dir, &*vfs::std_fs())
+}
+
+/// [`read_manifest`] through an explicit filesystem backend.
+///
+/// # Errors
+///
+/// As [`read_manifest`].
+pub fn read_manifest_with(dir: &Path, fs: &dyn Fs) -> Result<CampaignManifest, SimError> {
     let path = dir.join(MANIFEST_FILE);
-    let text = fs::read_to_string(&path).map_err(|e| io_error(&path, "read manifest", &e))?;
+    let text = vfs::read_to_string(fs, &path).map_err(|e| io_error(&path, "read manifest", &e))?;
     serde::json::from_str(&text).map_err(|e| SimError::Journal {
         reason: format!("corrupt manifest `{}`: {e}", path.display()),
     })
@@ -493,8 +559,8 @@ fn segment_number(name: &str) -> Option<u64> {
         .ok()
 }
 
-fn read_segment<T: Deserialize>(path: &Path) -> Result<Vec<(usize, T)>, SimError> {
-    let text = fs::read_to_string(path).map_err(|e| io_error(path, "read segment", &e))?;
+fn read_segment<T: Deserialize>(fs: &dyn Fs, path: &Path) -> Result<Vec<(usize, T)>, SimError> {
+    let text = vfs::read_to_string(fs, path).map_err(|e| io_error(path, "read segment", &e))?;
     let corrupt = |what: &str| SimError::Journal {
         reason: format!("corrupt segment `{}`: {what}", path.display()),
     };
@@ -521,22 +587,19 @@ fn io_error(path: &Path, action: &str, e: &std::io::Error) -> SimError {
 
 /// Atomic durable write: temp file in the same directory, fsync, rename
 /// over the final name, fsync the directory.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SimError> {
+pub(crate) fn write_atomic(fs: &dyn Fs, path: &Path, bytes: &[u8]) -> Result<(), SimError> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    let mut file = File::create(&tmp).map_err(|e| io_error(&tmp, "create", &e))?;
-    file.write_all(bytes)
-        .and_then(|()| file.sync_all())
+    fs.write(&tmp, bytes)
         .map_err(|e| io_error(&tmp, "write", &e))?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(|e| io_error(path, "rename into", &e))?;
+    fs.fsync(&tmp).map_err(|e| io_error(&tmp, "fsync", &e))?;
+    fs.rename(&tmp, path)
+        .map_err(|e| io_error(path, "rename into", &e))?;
     // Make the rename itself durable. Directories open read-only on
     // Unix; elsewhere this is best-effort.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = fs.fsync(dir);
     Ok(())
 }
 
@@ -832,6 +895,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =

@@ -38,6 +38,7 @@ pub mod chip;
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub mod fsck;
 pub mod group;
 pub mod history;
 pub mod journal;
@@ -47,11 +48,13 @@ pub mod server;
 pub mod solve;
 pub mod sweep;
 pub mod telemetry;
+pub mod vfs;
 
 pub use assignment::{Assignment, Thread};
 pub use config::ServerConfig;
 pub use error::SimError;
 pub use experiment::{Experiment, Outcome, DEFAULT_MEASURE_TICKS, DEFAULT_WARMUP_TICKS};
+pub use fsck::{FsckReport, ManifestStatus, SegmentVerdict};
 pub use group::{run_group, GroupTicker};
 pub use history::{History, SimEvent, SimEventKind, TickRecord};
 pub use journal::{
@@ -66,3 +69,4 @@ pub use sweep::{
     PointResult, SolveCache, SweepEngine, SweepReport, SweepRunOptions, SweepSpec,
     DEFAULT_CACHE_CAPACITY, GROUP_SOLVE_LANES,
 };
+pub use vfs::{std_fs, DynFs, Fs, StdFs};

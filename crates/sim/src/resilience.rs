@@ -182,7 +182,9 @@ impl ResilienceSpec {
             .collect();
 
         let manifest = self.manifest();
-        let opened = durable.journal.open::<ScenarioResult>(&manifest)?;
+        let opened = durable
+            .journal
+            .open_with::<ScenarioResult>(&manifest, durable.fs.clone())?;
         for (idx, cell) in &opened.entries {
             let matches_grid = cells.get(*idx).is_some_and(|&(s, m)| {
                 cell.scenario == self.scenarios[s].name && cell.mode == self.modes[m]

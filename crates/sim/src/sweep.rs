@@ -1179,7 +1179,7 @@ impl SweepEngine {
             options
                 .durable
                 .journal
-                .open::<PointResult>(&spec.manifest())?
+                .open_with::<PointResult>(&spec.manifest(), options.durable.fs.clone())?
         };
         // The manifest fingerprint already pins the spec, so a recovered
         // entry that disagrees with the grid means on-disk corruption

@@ -183,6 +183,28 @@ counter_accessor!(
     "Grid points quarantined after exhausting panic retries"
 );
 
+counter_accessor!(
+    /// Storage faults injected by the `fault-injection` test backend.
+    /// Always zero in production (the backend is not even compiled).
+    io_faults_injected,
+    "ags_io_faults_injected_total",
+    "Storage faults injected by the fault-injection filesystem backend"
+);
+
+counter_accessor!(
+    /// Journal segments examined by `ags fsck` scrubs.
+    fsck_segments_scanned,
+    "ags_fsck_segments_scanned_total",
+    "Journal segment files examined by fsck scrubs"
+);
+
+counter_accessor!(
+    /// Journal segments removed by `ags fsck --repair`.
+    fsck_segments_repaired,
+    "ags_fsck_segments_repaired_total",
+    "Journal segment files removed by fsck repairs (truncated to the consistent prefix)"
+);
+
 /// Resolves every accessor once, so an export lists every family even
 /// when the run never exercised some site (scrapers then see a stable
 /// schema; a zero is information, an absent family is not).
@@ -202,6 +224,9 @@ pub fn register_all() {
     journal_segment_write();
     point_retries();
     point_quarantines();
+    io_faults_injected();
+    fsck_segments_scanned();
+    fsck_segments_repaired();
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@ fn main() -> ExitCode {
     // strict `--flag value` pairs.
     let switch_names: &[&str] = match command {
         "sweep" | "resilience" | "fleet" => &["smoke"],
+        "fsck" => &["repair"],
         _ => &[],
     };
     let (switches, tail) = split_switches(&args[1..], switch_names);
@@ -108,6 +109,7 @@ fn main() -> ExitCode {
         "resilience" => cmd_resilience(&flags, smoke),
         "fleet" => cmd_fleet(&flags, smoke),
         "serve" => cmd_serve(&flags),
+        "fsck" => cmd_fsck(&flags, switches.iter().any(|s| s == "repair")),
         "borrow" => cmd_borrow(&flags).map_err(CliError::from),
         "cluster" => cmd_cluster(&flags).map_err(CliError::from),
         "help" | "--help" | "-h" => {
@@ -209,16 +211,30 @@ USAGE:
       in `ags sweep`; a resume rebuilds the campaign from the journal's
       manifest. --smoke runs the shortened CI fleet.
   ags serve --journal DIR [--addr HOST:PORT] [--jobs N] [--max-body BYTES]
-            [--max-connections N] [--timeout-ms MS]
+            [--max-connections N] [--timeout-ms MS] [--deadline-ms MS]
       Run the campaign daemon: accept sweep/resilience/fleet requests
       over HTTP (default 127.0.0.1:7075), journal every task into DIR
       before acknowledging it, batch compatible sweeps into shared
-      engine passes, and retry failed tasks with backoff. Endpoints:
-      POST /tasks, GET /tasks[/ID[/result]], POST /tasks/ID/cancel,
-      GET /healthz, GET /metrics. SIGINT/SIGTERM drain gracefully —
-      in-flight work is checkpointed and the daemon exits 75; restart
-      with the same --journal to resume the queue (a second signal
-      forces immediate exit).
+      engine passes, and retry failed tasks with backoff (deadlines
+      journaled, so restarts keep waiting). Endpoints: POST /tasks,
+      GET /tasks[/ID[/result]], POST /tasks/ID/cancel, GET /healthz,
+      GET /metrics. /healthz is 200 only while the scheduler thread is
+      live and the journal writable; when the journal stops accepting
+      writes the daemon serves reads in degraded mode (writes shed
+      with 503 + Retry-After) and recovers in place once a probe write
+      succeeds. --deadline-ms arms a per-batch watchdog: an engine
+      pass running longer is canceled and its tasks quarantined as
+      stuck (0 = off). SIGINT/SIGTERM drain gracefully — in-flight
+      work is checkpointed and the daemon exits 75; restart with the
+      same --journal to resume the queue (a second signal forces
+      immediate exit).
+  ags fsck --journal DIR [--repair]
+      Scrub a campaign or task-queue journal directory: verify the
+      manifest, every segment's checksum and shape, entry-index
+      uniqueness and segment numbering, and report torn, orphaned or
+      stray files. Exits non-zero if damage is found. --repair
+      truncates the journal to its last consistent prefix (resumable
+      afterwards) and removes temp-file residue.
   ags borrow --workload <name> [--threads N] [--seed S]
       Compare workload consolidation against loadline borrowing.
   ags cluster --workload <name> [--threads N] [--servers S] [--seed S]
@@ -608,6 +624,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         usize::try_from(config.limits.io_timeout.as_millis()).unwrap_or(usize::MAX),
     )?;
     config.limits.io_timeout = Duration::from_millis(timeout_ms as u64);
+    let deadline_ms = flag_usize(flags, "deadline-ms", 0)?;
+    config.batch_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms as u64));
     // The daemon always serves /metrics, so the registry is live even
     // without --metrics (which additionally exports a file on exit).
     ags::obs::metrics::global().set_enabled(true);
@@ -619,6 +637,45 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     Err(CliError::Drained {
         journal: journal.clone(),
     })
+}
+
+/// `ags fsck`: scrub a journal directory for torn, orphaned or
+/// checksum-failed segments; `--repair` truncates to the last
+/// consistent prefix and removes temp-file residue.
+fn cmd_fsck(flags: &Flags, repair: bool) -> Result<(), CliError> {
+    let dir = flags
+        .get("journal")
+        .ok_or("fsck needs --journal DIR (the journal directory to scrub)")?;
+    let dir = std::path::Path::new(dir);
+    let fs = ags::sim::std_fs();
+    if repair {
+        let report =
+            ags::sim::fsck::repair(dir, &*fs).map_err(|e| CliError::Message(e.to_string()))?;
+        print!("{}", report.render());
+        let after =
+            ags::sim::fsck::scan(dir, &*fs).map_err(|e| CliError::Message(e.to_string()))?;
+        if after.is_clean() {
+            Ok(())
+        } else {
+            Err(CliError::Message(
+                "damage remains after repair (unrecoverable manifest?) — see report above"
+                    .to_owned(),
+            ))
+        }
+    } else {
+        let report =
+            ags::sim::fsck::scan(dir, &*fs).map_err(|e| CliError::Message(e.to_string()))?;
+        print!("{}", report.render());
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(CliError::Message(
+                "journal needs repair (rerun with --repair to truncate to the last consistent \
+                 prefix)"
+                    .to_owned(),
+            ))
+        }
+    }
 }
 
 fn cmd_borrow(flags: &Flags) -> Result<(), String> {

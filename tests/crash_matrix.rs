@@ -1,0 +1,355 @@
+//! The crash matrix: every durable-write step of every journal kind,
+//! faulted one at a time, then recovered.
+//!
+//! A counting run first enumerates the mutating filesystem operations
+//! (directory creation, tmp-file writes, fsyncs, renames) a clean
+//! campaign performs. Then, for each operation index × fault kind
+//! (torn write, ENOSPC, fsync failure, rename failure, simulated
+//! SIGKILL), a fresh run executes with exactly that fault injected.
+//! The faulted run may finish or fail — both are legal. What the
+//! matrix asserts is the recovery contract: after an `ags fsck`-style
+//! repair, a restart produces output byte-identical to the clean
+//! baseline (campaign kinds), or loses/duplicates no acknowledged
+//! task (the serve queue).
+//!
+//! `AGS_CRASH_MATRIX_STRIDE` (default 1 = exhaustive) strides the
+//! operation indices so CI can run a bounded subset of the matrix.
+
+#![cfg(feature = "fault-injection")]
+
+use ags::control::{GuardbandMode, SupervisorConfig};
+use ags::faults::FaultPlan;
+use ags::fleet::{FleetEngine, FleetRunOptions, FleetSpec, TrafficModel};
+use ags::serve::task::TaskUpdate;
+use ags::serve::{TaskKind, TaskState, TaskStore};
+use ags::sim::vfs::{FaultyFs, ALL_FAULTS};
+use ags::sim::{
+    fsck, std_fs, DurableOptions, DynFs, JournalMode, ResilienceSpec, SimError, SolveCache,
+    SweepEngine, SweepRunOptions, SweepSpec,
+};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A fresh scratch directory, unique per call so cases never collide.
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ags-crash-matrix-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The operation-index stride (`AGS_CRASH_MATRIX_STRIDE`, default 1 =
+/// every durable write). CI sets a larger stride for a bounded smoke.
+fn stride() -> usize {
+    std::env::var("AGS_CRASH_MATRIX_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Runs the matrix for one campaign kind. `run` executes the campaign
+/// against a journal mode and filesystem backend, rendering its report
+/// — specs must be tiny, cold-cached and single-worker so the mutating
+/// operation sequence is identical on every clean run.
+fn crash_matrix(tag: &str, run: impl Fn(JournalMode, DynFs) -> Result<String, SimError>) {
+    let base = scratch(&format!("{tag}-base"));
+    let baseline =
+        run(JournalMode::Start(base.join("journal")), std_fs()).expect("baseline run failed");
+
+    // The counting run enumerates the durable-write steps to fault.
+    let count = scratch(&format!("{tag}-count"));
+    let counter = FaultyFs::new(0, vec![]);
+    let counted = run(
+        JournalMode::Start(count.join("journal")),
+        counter.clone() as DynFs,
+    )
+    .expect("counting run failed");
+    assert_eq!(counted, baseline, "fault-free backend changed the output");
+    let ops = counter.mutating_ops();
+    assert!(ops > 0, "campaign performed no durable writes");
+
+    let mut cases = 0usize;
+    for op in (0..ops).step_by(stride()) {
+        for fault in ALL_FAULTS {
+            cases += 1;
+            let dir = scratch(&format!("{tag}-{op}-{fault:?}"));
+            let journal = dir.join("journal");
+            let faulty = FaultyFs::new(op.wrapping_mul(31).wrapping_add(7), vec![(op, fault)]);
+            // The faulted run may succeed (a swallowed directory-fsync
+            // fault) or fail mid-campaign; either way the directory is
+            // whatever the fault left behind.
+            let _ = run(JournalMode::Start(journal.clone()), faulty as DynFs);
+
+            // Restart: scrub as `ags fsck --repair` would, resume if a
+            // manifest survived, start fresh otherwise. A fault on the
+            // very first operation can leave no directory at all.
+            if journal.exists() {
+                fsck::repair(&journal, &*std_fs())
+                    .unwrap_or_else(|e| panic!("[{tag} op {op} {fault:?}] repair failed: {e}"));
+            }
+            let mode = if journal.join("manifest.json").exists() {
+                JournalMode::Resume(journal.clone())
+            } else {
+                JournalMode::Start(journal.clone())
+            };
+            let recovered = run(mode, std_fs())
+                .unwrap_or_else(|e| panic!("[{tag} op {op} {fault:?}] recovery failed: {e}"));
+            assert_eq!(
+                recovered, baseline,
+                "[{tag} op {op} {fault:?}] recovered output diverged from the clean baseline"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    eprintln!(
+        "[crash matrix `{tag}`: {ops} durable ops × {} fault kinds, {cases} cases, stride {}]",
+        ALL_FAULTS.len(),
+        stride()
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&count);
+}
+
+/// Durable options for matrix runs: checkpoint after every completed
+/// unit so every segment boundary is a faultable step.
+fn durable(mode: JournalMode, fs: DynFs) -> DurableOptions {
+    DurableOptions {
+        journal: mode,
+        checkpoint_every: 1,
+        fs,
+        ..DurableOptions::default()
+    }
+}
+
+#[test]
+fn sweep_journal_survives_the_crash_matrix() {
+    crash_matrix("sweep", |mode, fs| {
+        let spec = SweepSpec::new(vec!["lu_cb".to_owned()], vec![1, 2])
+            .with_modes(vec![
+                GuardbandMode::StaticGuardband,
+                GuardbandMode::Undervolt,
+            ])
+            .with_seed(42)
+            .with_ticks(3, 1);
+        // Cold cache and one worker: memoization hits skip journal
+        // appends and would perturb the counted operation sequence.
+        let engine = SweepEngine::with_cache(1, Arc::new(SolveCache::new()));
+        let options = SweepRunOptions {
+            durable: durable(mode, fs),
+            panic_injector: None,
+        };
+        engine
+            .run_durable(&spec, &options)
+            .map(|r| r.render_table())
+    });
+}
+
+#[test]
+fn resilience_journal_survives_the_crash_matrix() {
+    crash_matrix("resilience", |mode, fs| {
+        let spec = ResilienceSpec {
+            scenarios: vec![FaultPlan::scenarios().remove(0)],
+            modes: vec![GuardbandMode::Undervolt],
+            workload: "lu_cb".to_owned(),
+            cores: 2,
+            seed: 42,
+            measure_ticks: 12,
+            warmup_ticks: 2,
+            supervisor: SupervisorConfig::power7plus(),
+        };
+        spec.run_durable(1, &durable(mode, fs))
+            .map(|r| r.table() + &r.summary_line())
+    });
+}
+
+#[test]
+fn fleet_journal_survives_the_crash_matrix() {
+    crash_matrix("fleet", |mode, fs| {
+        let spec = FleetSpec {
+            servers: 4,
+            epochs: 2,
+            traffic: TrafficModel::FlashCrowd,
+            seed: 42,
+            measure_ticks: 3,
+            warmup_ticks: 1,
+            shard_servers: 2,
+        };
+        let engine = FleetEngine::with_cache(1, Arc::new(SolveCache::new()));
+        let options = FleetRunOptions {
+            durable: durable(mode, fs),
+            panic_injector: None,
+        };
+        engine.run_durable(&spec, &options).map(|r| r.table())
+    });
+}
+
+/// A fact the serve queue acknowledged to a client — what a restart
+/// must still honor.
+#[derive(Debug)]
+enum Acked {
+    /// A `202`-acknowledged submission.
+    Submitted {
+        id: u64,
+        kind: TaskKind,
+        spec_json: String,
+    },
+    /// An acknowledged terminal transition (success with its rendered
+    /// output, or a cancel).
+    Terminal {
+        id: u64,
+        state: TaskState,
+        output: String,
+    },
+}
+
+/// Drives one queue session against `fs`: two submissions, a claim,
+/// one success, one cancel. Only operations whose journal append
+/// returned `Ok` count as acknowledged.
+fn drive_queue(dir: &Path, fs: DynFs) -> Vec<Acked> {
+    let mut acked = Vec::new();
+    let Ok((mut store, _recovered)) = TaskStore::open_with(dir, fs) else {
+        return acked;
+    };
+    let sweep_spec = "{\"grid\":\"tiny\"}".to_owned();
+    if let Ok(id) = store.submit(TaskKind::Sweep, sweep_spec.clone()) {
+        acked.push(Acked::Submitted {
+            id,
+            kind: TaskKind::Sweep,
+            spec_json: sweep_spec,
+        });
+        if store
+            .transition(&[TaskUpdate::to_state(id, TaskState::Batched, 0)])
+            .is_ok()
+            && store
+                .transition(&[TaskUpdate {
+                    id,
+                    state: TaskState::Succeeded,
+                    attempts: 1,
+                    reason: String::new(),
+                    output: "rendered table\n".to_owned(),
+                    retry_at_ms: 0,
+                }])
+                .is_ok()
+        {
+            acked.push(Acked::Terminal {
+                id,
+                state: TaskState::Succeeded,
+                output: "rendered table\n".to_owned(),
+            });
+        }
+    }
+    let fleet_spec = "{\"servers\":4}".to_owned();
+    if let Ok(id) = store.submit(TaskKind::Fleet, fleet_spec.clone()) {
+        acked.push(Acked::Submitted {
+            id,
+            kind: TaskKind::Fleet,
+            spec_json: fleet_spec,
+        });
+        if store
+            .transition(&[TaskUpdate::to_state(id, TaskState::Canceled, 0)])
+            .is_ok()
+        {
+            acked.push(Acked::Terminal {
+                id,
+                state: TaskState::Canceled,
+                output: String::new(),
+            });
+        }
+    }
+    acked
+}
+
+/// The queue's recovery invariants: no task lost, duplicated or
+/// conjured, and acknowledged terminal outcomes byte-preserved.
+fn check_queue_invariants(store: &TaskStore, acked: &[Acked], context: &str) {
+    let mut seen = HashSet::new();
+    for task in store.tasks() {
+        assert!(
+            seen.insert(task.id),
+            "[{context}] duplicate task id {} after recovery",
+            task.id
+        );
+        assert!(
+            acked
+                .iter()
+                .any(|f| matches!(f, Acked::Submitted { id, .. } if *id == task.id)),
+            "[{context}] phantom task {} was never acknowledged",
+            task.id
+        );
+    }
+    for fact in acked {
+        match fact {
+            Acked::Submitted {
+                id,
+                kind,
+                spec_json,
+            } => {
+                let task = store
+                    .get(*id)
+                    .unwrap_or_else(|| panic!("[{context}] acked task {id} lost"));
+                assert_eq!(task.kind, *kind, "[{context}] task {id} changed kind");
+                assert_eq!(
+                    &task.spec_json, spec_json,
+                    "[{context}] task {id} changed spec"
+                );
+            }
+            Acked::Terminal { id, state, output } => {
+                let task = store
+                    .get(*id)
+                    .unwrap_or_else(|| panic!("[{context}] acked task {id} lost"));
+                assert_eq!(
+                    task.state, *state,
+                    "[{context}] task {id} lost its acked terminal state"
+                );
+                assert_eq!(
+                    &task.output, output,
+                    "[{context}] task {id} result not byte-preserved"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_queue_survives_the_crash_matrix() {
+    // The counting session acknowledges everything.
+    let count = scratch("serve-count");
+    let counter = FaultyFs::new(0, vec![]);
+    let clean = drive_queue(&count, counter.clone() as DynFs);
+    assert_eq!(clean.len(), 4, "clean session must ack all four facts");
+    let ops = counter.mutating_ops();
+    assert!(ops > 0);
+
+    let mut cases = 0usize;
+    for op in (0..ops).step_by(stride()) {
+        for fault in ALL_FAULTS {
+            cases += 1;
+            let dir = scratch(&format!("serve-{op}-{fault:?}"));
+            let faulty = FaultyFs::new(op.rotate_left(7) ^ 0x9e37, vec![(op, fault)]);
+            let acked = drive_queue(&dir, faulty as DynFs);
+
+            let context = format!("serve op {op} {fault:?}");
+            if dir.exists() {
+                fsck::repair(&dir, &*std_fs())
+                    .unwrap_or_else(|e| panic!("[{context}] repair failed: {e}"));
+            }
+            let (store, _recovered) = TaskStore::open_with(&dir, std_fs())
+                .unwrap_or_else(|e| panic!("[{context}] reopen failed: {e}"));
+            check_queue_invariants(&store, &acked, &context);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    eprintln!(
+        "[crash matrix `serve`: {ops} durable ops × {} fault kinds, {cases} cases, stride {}]",
+        ALL_FAULTS.len(),
+        stride()
+    );
+    let _ = std::fs::remove_dir_all(&count);
+}

@@ -1,0 +1,259 @@
+//! Property tests for `ags fsck` over corrupted journal directories.
+//!
+//! A clean sweep journal is built once per process, then each proptest
+//! case copies it, injects damage — random byte flips in segment
+//! bodies, a truncated final segment, a duplicated segment index,
+//! stray temp files — and asserts that the scrub classifies the damage
+//! correctly and that a repair followed by a resume reproduces the
+//! clean campaign byte-for-byte.
+
+#![cfg(feature = "fault-injection")]
+
+use ags::control::GuardbandMode;
+use ags::sim::fsck::{self, SegmentVerdict};
+use ags::sim::{
+    std_fs, DurableOptions, JournalMode, SimError, SolveCache, SweepEngine, SweepRunOptions,
+    SweepSpec,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ags-fsck-prop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One durable sweep: tiny grid, cold cache, one worker, a segment per
+/// point — so the journal carries several independently faultable
+/// segments and every run renders identically.
+fn run_sweep(mode: JournalMode) -> Result<String, SimError> {
+    let spec = SweepSpec::new(vec!["lu_cb".to_owned()], vec![1, 2, 4])
+        .with_modes(vec![
+            GuardbandMode::StaticGuardband,
+            GuardbandMode::Undervolt,
+        ])
+        .with_seed(42)
+        .with_ticks(3, 1);
+    let engine = SweepEngine::with_cache(1, Arc::new(SolveCache::new()));
+    let options = SweepRunOptions {
+        durable: DurableOptions {
+            journal: mode,
+            checkpoint_every: 1,
+            ..DurableOptions::default()
+        },
+        panic_injector: None,
+    };
+    engine
+        .run_durable(&spec, &options)
+        .map(|r| r.render_table())
+}
+
+/// The pristine journal and its rendered output, built once.
+fn template() -> &'static (PathBuf, String) {
+    static TEMPLATE: OnceLock<(PathBuf, String)> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let journal = scratch("template").join("journal");
+        let rendered = run_sweep(JournalMode::Start(journal.clone())).expect("template sweep");
+        (journal, rendered)
+    })
+}
+
+/// Copies the template journal into a fresh directory for one case.
+fn fresh_copy(tag: &str) -> PathBuf {
+    let (template_dir, _) = template();
+    let dir = scratch(tag).join("journal");
+    std::fs::create_dir_all(&dir).expect("create case dir");
+    for entry in std::fs::read_dir(template_dir).expect("list template") {
+        let path = entry.expect("dir entry").path();
+        std::fs::copy(&path, dir.join(path.file_name().expect("file name")))
+            .expect("copy journal file");
+    }
+    dir
+}
+
+/// Sorted segment file paths inside a journal directory.
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("list journal")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .expect("file name")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// One kind of injected damage. Index-like fields are taken modulo the
+/// actual segment count / file length when applied.
+#[derive(Debug, Clone)]
+enum Damage {
+    /// XOR one byte of a segment's checksummed body.
+    FlipByte { seg: usize, offset: usize, mask: u8 },
+    /// Cut the final segment short, as a torn write would.
+    TruncateTail { keep: usize },
+    /// Re-file an existing segment's content under the next segment
+    /// number, duplicating its entry indices.
+    DuplicateSegment { seg: usize },
+    /// Drop an orphaned temp file, as a crash mid-`write_atomic` would.
+    StrayTemp { seed: u8 },
+}
+
+fn damage_strategy() -> impl Strategy<Value = Damage> {
+    prop_oneof![
+        (0usize..64, 0usize..1 << 16, 1u8..=255).prop_map(|(seg, offset, mask)| Damage::FlipByte {
+            seg,
+            offset,
+            mask
+        }),
+        (0usize..1 << 16).prop_map(|keep| Damage::TruncateTail { keep }),
+        (0usize..64).prop_map(|seg| Damage::DuplicateSegment { seg }),
+        (0u8..=255u8).prop_map(|seed| Damage::StrayTemp { seed }),
+    ]
+}
+
+/// Applies `damage` to the journal at `dir`, returning the name of the
+/// file it touched or created.
+fn apply(dir: &Path, damage: &Damage) -> String {
+    let segments = segment_files(dir);
+    assert!(!segments.is_empty(), "template journal has no segments");
+    match damage {
+        Damage::FlipByte { seg, offset, mask } => {
+            let path = &segments[seg % segments.len()];
+            let mut bytes = std::fs::read(path).expect("read segment");
+            // Flip only inside the checksummed body: the header line
+            // carries tokens (version, declared entry count) the
+            // verifier deliberately ignores, so a flip there may be
+            // benign. Body flips always break the checksum.
+            let body_start = bytes
+                .iter()
+                .position(|&b| b == b'\n')
+                .expect("segment has a header line")
+                + 1;
+            assert!(body_start < bytes.len(), "segment has an empty body");
+            let at = body_start + offset % (bytes.len() - body_start);
+            bytes[at] ^= mask;
+            std::fs::write(path, bytes).expect("write flipped segment");
+            file_name(path)
+        }
+        Damage::TruncateTail { keep } => {
+            let path = segments.last().expect("at least one segment");
+            let bytes = std::fs::read(path).expect("read segment");
+            std::fs::write(path, &bytes[..keep % bytes.len()]).expect("truncate segment");
+            file_name(path)
+        }
+        Damage::DuplicateSegment { seg } => {
+            let source = &segments[seg % segments.len()];
+            let last = file_name(segments.last().expect("at least one segment"));
+            let number: u64 = last
+                .trim_start_matches("seg-")
+                .trim_end_matches(".json")
+                .parse()
+                .expect("segment number");
+            let name = format!("seg-{:08}.json", number + 1);
+            std::fs::copy(source, dir.join(&name)).expect("duplicate segment");
+            name
+        }
+        Damage::StrayTemp { seed } => {
+            let name = format!("seg-{seed:08}.json.tmp");
+            std::fs::write(dir.join(&name), b"torn half-write").expect("write temp file");
+            name
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Single-damage classification: the scrub names the damaged file
+    /// with the right verdict, and repair + resume reproduces the
+    /// clean output byte-for-byte.
+    #[test]
+    fn fsck_classifies_each_damage_and_repair_recovers(d in damage_strategy()) {
+        let dir = fresh_copy("single");
+        let touched = apply(&dir, &d);
+
+        let report = fsck::scan(&dir, &*std_fs()).expect("scan");
+        prop_assert!(!report.is_clean(), "damage {d:?} went undetected");
+        match &d {
+            Damage::FlipByte { .. } | Damage::TruncateTail { .. } => {
+                let seg = report
+                    .segments
+                    .iter()
+                    .find(|s| s.name == touched)
+                    .expect("damaged segment scanned");
+                prop_assert!(
+                    matches!(seg.verdict, SegmentVerdict::Corrupt(_)),
+                    "expected Corrupt for {d:?}, got {:?}",
+                    seg.verdict
+                );
+                prop_assert!(report.truncate_from.is_some());
+            }
+            Damage::DuplicateSegment { .. } => {
+                let seg = report
+                    .segments
+                    .iter()
+                    .find(|s| s.name == touched)
+                    .expect("duplicated segment scanned");
+                prop_assert!(
+                    matches!(seg.verdict, SegmentVerdict::DuplicateEntries(_)),
+                    "expected DuplicateEntries, got {:?}",
+                    seg.verdict
+                );
+            }
+            Damage::StrayTemp { .. } => {
+                prop_assert!(report.temp_files.contains(&touched));
+            }
+        }
+
+        let repaired = fsck::repair(&dir, &*std_fs()).expect("repair");
+        prop_assert!(
+            repaired.removed.contains(&touched) || matches!(d, Damage::FlipByte { .. }),
+            "repair did not remove {touched} for {d:?}: removed {:?}",
+            repaired.removed
+        );
+        prop_assert!(fsck::scan(&dir, &*std_fs()).expect("rescan").is_clean());
+
+        let resumed = run_sweep(JournalMode::Resume(dir.clone())).expect("resume after repair");
+        prop_assert_eq!(&resumed, &template().1);
+        let _ = std::fs::remove_dir_all(dir.parent().expect("case dir"));
+    }
+
+    /// Compound damage: several overlapping corruptions at once still
+    /// leave a repairable journal whose resume is byte-identical.
+    #[test]
+    fn fsck_repair_survives_compound_damage(
+        a in damage_strategy(),
+        b in damage_strategy(),
+        c in damage_strategy(),
+    ) {
+        let dir = fresh_copy("compound");
+        for d in [&a, &b, &c] {
+            apply(&dir, d);
+        }
+
+        fsck::repair(&dir, &*std_fs()).expect("repair");
+        prop_assert!(fsck::scan(&dir, &*std_fs()).expect("rescan").is_clean());
+
+        let resumed = run_sweep(JournalMode::Resume(dir.clone())).expect("resume after repair");
+        prop_assert_eq!(&resumed, &template().1);
+        let _ = std::fs::remove_dir_all(dir.parent().expect("case dir"));
+    }
+}
