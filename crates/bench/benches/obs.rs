@@ -65,6 +65,57 @@ fn bench_tick_metrics_and_trace(c: &mut Criterion) {
     let _ = p7_obs::trace::collect();
 }
 
+fn bench_tick_full_observability(c: &mut Criterion) {
+    // Metrics + tracing + a live flight recorder: the recorder samples
+    // from another cadence entirely (a daemon thread in production), so
+    // its presence must not move the tick number — this bench holds the
+    // "with recorder" tick to the same 2% bar as metrics+trace.
+    p7_obs::metrics::global().set_enabled(true);
+    p7_sim::telemetry::register_all();
+    p7_obs::trace::enable();
+    let recorder = p7_obs::timeseries::Recorder::new(p7_obs::timeseries::DEFAULT_CAPACITY);
+    recorder.sample(p7_obs::metrics::global(), p7_obs::timeseries::wall_ms());
+    let mut sim = warm_sim();
+    c.bench_function("obs_tick_metrics_trace_recorder", |b| {
+        b.iter(|| black_box(sim.tick()));
+    });
+    p7_obs::trace::disable();
+    p7_obs::metrics::global().set_enabled(false);
+    let _ = p7_obs::trace::collect();
+}
+
+fn bench_recorder_and_logger(c: &mut Criterion) {
+    // Attribution for the flight recorder's own costs (off the tick
+    // path): one registry snapshot into the ring, and a windowed
+    // downsampled history query over a full ring.
+    p7_obs::metrics::global().set_enabled(true);
+    p7_sim::telemetry::register_all();
+    let recorder = p7_obs::timeseries::Recorder::new(p7_obs::timeseries::DEFAULT_CAPACITY);
+    let mut t_ms = 1_000_000u64;
+    c.bench_function("obs_recorder_sample", |b| {
+        b.iter(|| {
+            t_ms += 500;
+            black_box(recorder.sample(p7_obs::metrics::global(), t_ms));
+        });
+    });
+    c.bench_function("obs_recorder_history", |b| {
+        b.iter(|| {
+            black_box(recorder.history(black_box(Some("ags_sim_ticks_total")), 300_000, t_ms, 256));
+        });
+    });
+    p7_obs::metrics::global().set_enabled(false);
+
+    // The structured logger's primitive cost: a suppressed (below
+    // threshold) record and a formatted one against a sink writer.
+    p7_obs::log::set_format(p7_obs::log::Format::Logfmt);
+    p7_obs::log::set_max_level(p7_obs::log::Level::Warn);
+    c.bench_function("obs_log_suppressed", |b| {
+        b.iter(|| {
+            p7_obs::log_debug!("bench", iteration = black_box(1u64); "suppressed record");
+        });
+    });
+}
+
 fn bench_registry_primitives(c: &mut Criterion) {
     let registry = p7_obs::metrics::Registry::new();
     let counter = registry.counter("bench_ops_total", "bench counter");
@@ -87,6 +138,8 @@ criterion_group!(
     bench_tick_disabled,
     bench_tick_metrics,
     bench_tick_metrics_and_trace,
+    bench_tick_full_observability,
+    bench_recorder_and_logger,
     bench_registry_primitives
 );
 criterion_main!(benches);

@@ -670,7 +670,8 @@ impl FleetEngine {
                 }
                 telemetry::shards_claimed().inc();
                 let solved = {
-                    let _span = trace::span("fleet_shard", shard as u64);
+                    let span = trace::span("fleet_shard", shard as u64);
+                    let _ctx = span.push();
                     attempt_shard(&solve_one, &mut scratch, shard, &opts.retry)
                 };
                 absorb(
@@ -691,6 +692,10 @@ impl FleetEngine {
                 (0..jobs).map(|w| AtomicUsize::new(w * n / jobs)).collect();
             let ends: Vec<usize> = (0..jobs).map(|w| (w + 1) * n / jobs).collect();
             let (tx, rx) = mpsc::channel::<(usize, ShardSolved)>();
+            // Workers inherit the coordinator's trace context (the
+            // campaign root) so shard spans parent identically at any
+            // worker count.
+            let ctx = trace::current_context();
             std::thread::scope(|scope| {
                 for w in 0..jobs {
                     let tx = tx.clone();
@@ -698,6 +703,7 @@ impl FleetEngine {
                     let (solve_one, steals, cancel) = (&solve_one, &steals, &opts.cancel);
                     let retry = &opts.retry;
                     scope.spawn(move || {
+                        let _tctx = trace::push_context(ctx);
                         let mut scratch = FleetScratch::default();
                         let mut work = || {
                             // Own range first (delta 0), then the other
@@ -721,7 +727,8 @@ impl FleetEngine {
                                         steals.fetch_add(1, Ordering::Relaxed);
                                     }
                                     let solved = {
-                                        let _span = trace::span("fleet_shard", shard as u64);
+                                        let span = trace::span("fleet_shard", shard as u64);
+                                        let _ctx = span.push();
                                         attempt_shard(solve_one, &mut scratch, shard, retry)
                                     };
                                     if tx.send((shard, solved)).is_err() {

@@ -26,15 +26,35 @@
 //!   event sequence — and in particular the per-name span counts — is
 //!   identical for the same seed/spec at any worker count.
 //!
+//! Two newer subsystems extend the same contract to long-running
+//! processes:
+//!
+//! * [`timeseries`] — a flight recorder: a background [`timeseries::Sampler`]
+//!   takes periodic snapshots of the metrics registry into a bounded
+//!   in-memory ring ([`timeseries::Recorder`]), queryable by family over a
+//!   time window with downsampling. Idle sampling performs no allocation,
+//!   so the zero-alloc warm-tick test holds with a sampler live.
+//! * [`log`] — structured leveled logging (logfmt or JSON, stderr only,
+//!   rate-limited) via the [`log_error!`]/[`log_warn!`]/[`log_info!`]/
+//!   [`log_debug!`] macros, with `key = value` correlation fields.
+//!
+//! Spans additionally carry a *trace context* ([`trace::TraceContext`]):
+//! process-unique span ids with parent edges and a caller-chosen 64-bit
+//! tree id, propagated through a per-thread cell (and across thread
+//! spawns explicitly), so a collector can reassemble per-task span trees.
+//!
 //! Exporters live next to the data they serialize: Prometheus text
 //! exposition on [`metrics::Registry::render_prometheus`], Chrome
 //! `trace_event` JSON on [`trace::render_chrome_trace`].
 
+pub mod log;
 pub mod metrics;
+pub mod timeseries;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry, Sample, SampleValue};
-pub use trace::{Span, TraceEvent};
+pub use timeseries::{Frame, Recorder, Sampler, Series};
+pub use trace::{Span, TraceContext, TraceEvent};
 
 /// Enable the global metrics registry and the tracer in one call: the shape
 /// used by the CLI when `--metrics`/`--trace` are passed.

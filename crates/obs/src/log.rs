@@ -1,0 +1,461 @@
+//! Structured, leveled logging to stderr: logfmt by default, JSON on
+//! request, correlated by whatever fields the call site attaches (a task
+//! id, a trace id, a journal segment…).
+//!
+//! Design constraints, matching the rest of `p7-obs`:
+//!
+//! 1. **Disabled means one branch.** Every macro expands to a relaxed
+//!    load of the max-level byte before touching its arguments, so a
+//!    `log_debug!` in a hot path costs a predictable branch when the
+//!    level is `Info`.
+//! 2. **stderr only.** Campaign stdout is byte-compared across `--jobs`
+//!    in CI; diagnostics must never leak there. The writer locks stderr
+//!    per line, so concurrent workers interleave whole lines, never
+//!    fragments.
+//! 3. **Rate-limited.** A misbehaving loop cannot flood the terminal: at
+//!    most [`RATE_LIMIT_PER_SEC`] lines per wall-clock second are
+//!    emitted; the rest are counted and summarized in one line when the
+//!    window rolls over. `Error` lines bypass the limiter.
+//!
+//! Call sites use the exported macros; fields precede the message and a
+//! semicolon separates the two:
+//!
+//! ```
+//! let task = 42u64;
+//! p7_obs::log_info!("serve", task = task, state = "queued"; "accepted sweep");
+//! ```
+
+use std::fmt::{self, Write as _};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    /// Lowercase name as rendered in log lines.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse `"error" | "warn" | "info" | "debug"` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            3 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// Output encoding for emitted lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `ts=… level=… target=… k=v … msg="…"` — the default.
+    Logfmt,
+    /// One JSON object per line, all values as strings.
+    Json,
+}
+
+/// Maximum non-error lines emitted per wall-clock second; the overflow is
+/// counted and summarized when the window rolls.
+pub const RATE_LIMIT_PER_SEC: u64 = 200;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Logfmt, 1 = Json
+
+// Rate-limiter state: the current one-second window and its line count,
+// plus lines suppressed since the last summary.
+static WINDOW_SEC: AtomicU64 = AtomicU64::new(0);
+static WINDOW_COUNT: AtomicU64 = AtomicU64::new(0);
+static SUPPRESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Set the maximum level that is emitted (default [`Level::Info`]).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current maximum emitted level.
+#[must_use]
+pub fn max_level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Choose logfmt or JSON encoding (default logfmt).
+pub fn set_format(format: Format) {
+    FORMAT.store(matches!(format, Format::Json) as u8, Ordering::Relaxed);
+}
+
+/// The current output encoding.
+#[must_use]
+pub fn format() -> Format {
+    if FORMAT.load(Ordering::Relaxed) == 1 {
+        Format::Json
+    } else {
+        Format::Logfmt
+    }
+}
+
+/// Configure level and format from `AGS_LOG` (`error|warn|info|debug`)
+/// and `AGS_LOG_FORMAT` (`logfmt|json`). Unset or unparseable variables
+/// leave the current configuration untouched.
+pub fn init_from_env() {
+    if let Some(level) = std::env::var("AGS_LOG").ok().and_then(|v| Level::parse(&v)) {
+        set_max_level(level);
+    }
+    if let Ok(v) = std::env::var("AGS_LOG_FORMAT") {
+        match v.to_ascii_lowercase().as_str() {
+            "json" => set_format(Format::Json),
+            "logfmt" => set_format(Format::Logfmt),
+            _ => {}
+        }
+    }
+}
+
+/// Whether a line at `level` would currently be emitted. The macros check
+/// this before evaluating their arguments.
+#[inline]
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Lines dropped by the rate limiter since the last window summary.
+#[must_use]
+pub fn suppressed() -> u64 {
+    SUPPRESSED.load(Ordering::Relaxed)
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn wall_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Admit-or-suppress under the per-second budget. Returns the number of
+/// lines suppressed in the *previous* window when this call rolls it
+/// (the caller emits one summary line for them).
+fn admit(now_ms: u64, level: Level) -> Option<u64> {
+    if level == Level::Error {
+        return Some(0);
+    }
+    let sec = now_ms / 1000;
+    let prev = WINDOW_SEC.swap(sec, Ordering::Relaxed);
+    if prev != sec {
+        WINDOW_COUNT.store(0, Ordering::Relaxed);
+        let missed = SUPPRESSED.swap(0, Ordering::Relaxed);
+        if WINDOW_COUNT.fetch_add(1, Ordering::Relaxed) < RATE_LIMIT_PER_SEC {
+            return Some(missed);
+        }
+        SUPPRESSED.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    if WINDOW_COUNT.fetch_add(1, Ordering::Relaxed) < RATE_LIMIT_PER_SEC {
+        Some(0)
+    } else {
+        SUPPRESSED.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// Emit one structured line to stderr. Call sites normally go through the
+/// [`log_error!`](crate::log_error)/[`log_warn!`](crate::log_warn)/
+/// [`log_info!`](crate::log_info)/[`log_debug!`](crate::log_debug)
+/// macros, which gate on [`enabled`] before evaluating arguments.
+pub fn write(
+    level: Level,
+    target: &str,
+    fields: &[(&str, &dyn fmt::Display)],
+    msg: fmt::Arguments,
+) {
+    if !enabled(level) {
+        return;
+    }
+    let now = wall_ms();
+    let Some(missed) = admit(now, level) else {
+        return;
+    };
+    let mut out = String::with_capacity(96);
+    if missed > 0 {
+        render_line(
+            &mut out,
+            format(),
+            now,
+            Level::Warn,
+            "obs",
+            &[("suppressed", &missed)],
+            format_args!("rate limit: dropped {missed} log lines"),
+        );
+        out.push('\n');
+    }
+    render_line(&mut out, format(), now, level, target, fields, msg);
+    out.push('\n');
+    // One locked write per line group: concurrent threads interleave
+    // whole lines, never fragments.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(out.as_bytes());
+}
+
+/// Render one line (no trailing newline) into `out`. Public for tests and
+/// for exporters that want the encoding without the stderr side effect.
+pub fn render_line(
+    out: &mut String,
+    format: Format,
+    t_ms: u64,
+    level: Level,
+    target: &str,
+    fields: &[(&str, &dyn fmt::Display)],
+    msg: fmt::Arguments,
+) {
+    let ts = format_rfc3339_ms(t_ms);
+    match format {
+        Format::Logfmt => {
+            let _ = write!(out, "ts={ts} level={} target={target}", level.as_str());
+            for (k, v) in fields {
+                let _ = write!(out, " {k}={}", LogfmtValue(&format!("{v}")));
+            }
+            let _ = write!(out, " msg=\"{}\"", escape_quoted(&format!("{msg}")));
+        }
+        Format::Json => {
+            let _ = write!(
+                out,
+                "{{\"ts\":\"{ts}\",\"level\":\"{}\",\"target\":\"{}\"",
+                level.as_str(),
+                escape_quoted(target)
+            );
+            for (k, v) in fields {
+                let _ = write!(
+                    out,
+                    ",\"{}\":\"{}\"",
+                    escape_quoted(k),
+                    escape_quoted(&format!("{v}"))
+                );
+            }
+            let _ = write!(out, ",\"msg\":\"{}\"}}", escape_quoted(&format!("{msg}")));
+        }
+    }
+}
+
+/// A logfmt value: bare if it needs no quoting, quoted-and-escaped else.
+struct LogfmtValue<'a>(&'a str);
+
+impl fmt::Display for LogfmtValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bare = !self.0.is_empty()
+            && self
+                .0
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_-./:@".contains(c));
+        if bare {
+            f.write_str(self.0)
+        } else {
+            write!(f, "\"{}\"", escape_quoted(self.0))
+        }
+    }
+}
+
+fn escape_quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `2026-08-08T12:34:56.789Z` from Unix milliseconds (proleptic Gregorian,
+/// Howard Hinnant's civil-from-days).
+fn format_rfc3339_ms(t_ms: u64) -> String {
+    let secs = (t_ms / 1000) as i64;
+    let ms = t_ms % 1000;
+    let days = secs.div_euclid(86_400);
+    let sod = secs.rem_euclid(86_400);
+    let (h, m, s) = (sod / 3600, (sod % 3600) / 60, sod % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}.{ms:03}Z")
+}
+
+/// Log at an explicit [`Level`]; the leveled wrappers below are the
+/// usual entry points. Fields are `key = value` pairs (values render via
+/// `Display`), a `;` separates them from the `format!`-style message.
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $target:expr, $($k:ident = $v:expr),+ ; $($arg:tt)+) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write(
+                $level,
+                $target,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),+],
+                format_args!($($arg)+),
+            );
+        }
+    };
+    ($level:expr, $target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write($level, $target, &[], format_args!($($arg)+));
+        }
+    };
+}
+
+/// `log_error!(target, fields…; msg…)` — always emitted, bypasses the
+/// rate limiter.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::log_event!($crate::log::Level::Error, $target, $($rest)+)
+    };
+}
+
+/// `log_warn!(target, fields…; msg…)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::log_event!($crate::log::Level::Warn, $target, $($rest)+)
+    };
+}
+
+/// `log_info!(target, fields…; msg…)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::log_event!($crate::log::Level::Info, $target, $($rest)+)
+    };
+}
+
+/// `log_debug!(target, fields…; msg…)` — compiled in, filtered out by
+/// default (`AGS_LOG=debug` enables it).
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::log_event!($crate::log::Level::Debug, $target, $($rest)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(format: Format, fields: &[(&str, &dyn fmt::Display)], msg: &str) -> String {
+        let mut out = String::new();
+        render_line(
+            &mut out,
+            format,
+            1_754_650_000_123,
+            Level::Info,
+            "serve",
+            fields,
+            format_args!("{msg}"),
+        );
+        out
+    }
+
+    #[test]
+    fn logfmt_line_shape() {
+        let task = 42u64;
+        let out = line(Format::Logfmt, &[("task", &task)], "accepted sweep");
+        assert_eq!(
+            out,
+            "ts=2025-08-08T10:46:40.123Z level=info target=serve task=42 msg=\"accepted sweep\""
+        );
+    }
+
+    #[test]
+    fn logfmt_quotes_values_with_spaces_and_escapes() {
+        let v = "two words \"quoted\"";
+        let out = line(Format::Logfmt, &[("state", &v)], "x");
+        assert!(out.contains("state=\"two words \\\"quoted\\\"\""), "{out}");
+    }
+
+    #[test]
+    fn json_line_is_valid_json() {
+        let task = 7u64;
+        let out = line(Format::Json, &[("task", &task)], "msg with \"quotes\"");
+        let v = serde::Value::parse_json(&out).expect("log line parses as JSON");
+        assert_eq!(v.field("level").unwrap(), &serde::Value::Str("info".into()));
+        assert_eq!(v.field("task").unwrap(), &serde::Value::Str("7".into()));
+        assert_eq!(
+            v.field("msg").unwrap(),
+            &serde::Value::Str("msg with \"quotes\"".into())
+        );
+    }
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_max_level(Level::Info);
+    }
+
+    #[test]
+    fn rfc3339_epoch_and_leap_year() {
+        assert_eq!(format_rfc3339_ms(0), "1970-01-01T00:00:00.000Z");
+        // 2024-02-29 00:00:00 UTC
+        assert_eq!(
+            format_rfc3339_ms(1_709_164_800_000),
+            "2024-02-29T00:00:00.000Z"
+        );
+    }
+
+    #[test]
+    fn rate_limiter_admits_errors_unconditionally() {
+        // Drive the window directly rather than through wall time.
+        assert_eq!(admit(5_000, Level::Error), Some(0));
+        for _ in 0..RATE_LIMIT_PER_SEC + 10 {
+            let _ = admit(5_000, Level::Info);
+        }
+        assert_eq!(admit(5_000, Level::Info), None, "window budget exhausted");
+        assert_eq!(admit(5_000, Level::Error), Some(0), "errors bypass");
+        // Rolling the window reports what was suppressed.
+        let missed = admit(6_000, Level::Info).expect("fresh window admits");
+        assert!(missed > 0, "rollover surfaces the suppressed count");
+    }
+}

@@ -1,0 +1,429 @@
+//! Time-series flight recorder: periodic snapshots of a metrics registry
+//! kept in a bounded in-memory ring, queryable by family over a time
+//! window with downsampling.
+//!
+//! The paper's methodology samples AMESTER power telemetry and CPM margin
+//! counters *over time* — one exit snapshot cannot answer "what did queue
+//! depth look like during the flash crowd?". The [`Recorder`] holds the
+//! last `capacity` [`Frame`]s (one per sampler tick, each a flattened
+//! `(key, value)` reading of every registered metric); when the ring is
+//! full the oldest frame is overwritten and counted in
+//! [`Recorder::dropped`]. A [`Sampler`] drives it from a background
+//! thread.
+//!
+//! The recorder deliberately stores *levels*, not deltas: counters are
+//! monotone so consumers can difference adjacent frames themselves, and
+//! levels survive partial histories (a ring that wrapped, a log whose
+//! tail was truncated) without accumulating error.
+//!
+//! Persistence is not this module's job — `p7-sim` layers a checksummed
+//! on-disk log over the journal substrate and replays it back through
+//! [`Recorder::preload`] on restart.
+
+use crate::metrics::{Registry, SampleValue};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default ring capacity in frames. 512 frames at the daemon's default
+/// 500 ms sampling interval is a little over four minutes of history.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// One snapshot of every registered metric at a point in time.
+///
+/// Keys are the Prometheus-style series identity: the family name,
+/// followed by `{k="v",…}` when the series is labelled. Histograms
+/// flatten to two series, `<family>_count` and `<family>_sum`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub t_ms: u64,
+    /// `(series key, value)` readings, in registry snapshot order.
+    pub series: Vec<(String, f64)>,
+}
+
+/// One queried series: a key plus `(t_ms, value)` points in time order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub key: String,
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A bounded ring of [`Frame`]s.
+pub struct Recorder {
+    capacity: usize,
+    dropped: AtomicU64,
+    frames: Mutex<VecDeque<Frame>>,
+}
+
+impl Recorder {
+    /// A recorder holding at most `capacity` frames (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Recorder {
+        let capacity = capacity.max(1);
+        Recorder {
+            capacity,
+            dropped: AtomicU64::new(0),
+            frames: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Append one frame, evicting the oldest when full.
+    pub fn push(&self, frame: Frame) {
+        let mut frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        if frames.len() == self.capacity {
+            frames.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        frames.push_back(frame);
+    }
+
+    /// Snapshot `registry` into a frame stamped `t_ms`, push it, and
+    /// return a clone (persistence layers append the clone to disk).
+    pub fn sample(&self, registry: &Registry, t_ms: u64) -> Frame {
+        let frame = snapshot_frame(registry, t_ms);
+        self.push(frame.clone());
+        frame
+    }
+
+    /// Seed the ring with previously persisted frames (oldest first), as
+    /// on daemon restart. Keeps only the newest `capacity` frames.
+    pub fn preload(&self, frames: impl IntoIterator<Item = Frame>) {
+        for f in frames {
+            self.push(f);
+        }
+    }
+
+    /// Number of buffered frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the ring holds no frames yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Frames evicted by ring wrap since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every buffered frame, oldest first.
+    #[must_use]
+    pub fn frames(&self) -> Vec<Frame> {
+        self.frames
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Query buffered history: series whose key matches `family` (exact
+    /// family, any labelling of it, or a histogram `_count`/`_sum`
+    /// flattening; `None` matches everything), restricted to frames with
+    /// `t_ms >= now_ms - window_ms`, each downsampled to at most
+    /// `max_points` points. Series are returned sorted by key.
+    #[must_use]
+    pub fn history(
+        &self,
+        family: Option<&str>,
+        window_ms: u64,
+        now_ms: u64,
+        max_points: usize,
+    ) -> Vec<Series> {
+        let cutoff = now_ms.saturating_sub(window_ms);
+        let mut by_key: Vec<(String, Vec<(u64, f64)>)> = Vec::new();
+        {
+            let frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+            for frame in frames.iter().filter(|f| f.t_ms >= cutoff) {
+                for (key, value) in &frame.series {
+                    if !key_matches(key, family) {
+                        continue;
+                    }
+                    match by_key.iter_mut().find(|(k, _)| k == key) {
+                        Some((_, points)) => points.push((frame.t_ms, *value)),
+                        None => by_key.push((key.clone(), vec![(frame.t_ms, *value)])),
+                    }
+                }
+            }
+        }
+        by_key.sort_by(|a, b| a.0.cmp(&b.0));
+        by_key
+            .into_iter()
+            .map(|(key, points)| Series {
+                key,
+                points: downsample(&points, max_points),
+            })
+            .collect()
+    }
+}
+
+/// Does series `key` belong to `family`? Exact match, a labelled series
+/// of the family (`family{…}`), or a histogram flattening
+/// (`family_count` / `family_sum`, labelled or not).
+fn key_matches(key: &str, family: Option<&str>) -> bool {
+    let Some(family) = family else { return true };
+    if key == family {
+        return true;
+    }
+    let Some(rest) = key.strip_prefix(family) else {
+        return false;
+    };
+    rest.starts_with('{')
+        || rest == "_count"
+        || rest == "_sum"
+        || rest.starts_with("_count{")
+        || rest.starts_with("_sum{")
+}
+
+/// Flatten a registry snapshot into a frame. Counters and gauges become
+/// one series each; histograms become `_count` and `_sum`.
+#[must_use]
+pub fn snapshot_frame(registry: &Registry, t_ms: u64) -> Frame {
+    let snapshot = registry.snapshot();
+    let mut series = Vec::with_capacity(snapshot.len());
+    for s in snapshot {
+        let labels = render_label_suffix(&s.labels);
+        match s.value {
+            SampleValue::Counter(v) => series.push((format!("{}{labels}", s.family), v as f64)),
+            SampleValue::Gauge(v) => series.push((format!("{}{labels}", s.family), v as f64)),
+            SampleValue::Histogram { count, sum, .. } => {
+                series.push((format!("{}_count{labels}", s.family), count as f64));
+                series.push((format!("{}_sum{labels}", s.family), sum));
+            }
+        }
+    }
+    Frame { t_ms, series }
+}
+
+fn render_label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Reduce `points` to at most `max_points` by bucketing the index range
+/// evenly and keeping the *last* point of each bucket (so the newest
+/// reading always survives and counter levels stay exact at the points
+/// that remain). `max_points == 0` means no limit.
+#[must_use]
+pub fn downsample(points: &[(u64, f64)], max_points: usize) -> Vec<(u64, f64)> {
+    if max_points == 0 || points.len() <= max_points {
+        return points.to_vec();
+    }
+    let n = points.len();
+    let mut out = Vec::with_capacity(max_points);
+    for bucket in 0..max_points {
+        // Last index whose bucket assignment `i * max_points / n` equals
+        // `bucket`: the exclusive end of the bucket's index range.
+        let end = ((bucket + 1) * n).div_ceil(max_points);
+        out.push(points[end - 1]);
+    }
+    out
+}
+
+/// A background thread sampling `registry` into a [`Recorder`] at a
+/// fixed interval. The first sample is taken immediately on start; the
+/// thread then sleeps in short increments so [`Sampler::stop`] (and
+/// drop) return promptly, and so an idle sampler performs no allocation
+/// between samples — the warm-tick zero-allocation test runs with a
+/// sampler live.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `registry` into `recorder` every `interval`.
+    #[must_use]
+    pub fn start(
+        recorder: Arc<Recorder>,
+        registry: &'static Registry,
+        interval: Duration,
+    ) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ags-obs-sampler".into())
+            .spawn(move || {
+                recorder.sample(registry, wall_ms());
+                let chunk = Duration::from_millis(50).min(interval.max(Duration::from_millis(1)));
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(chunk);
+                    elapsed += chunk;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        recorder.sample(registry, wall_ms());
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Milliseconds since the Unix epoch.
+#[must_use]
+pub fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t_ms: u64, v: f64) -> Frame {
+        Frame {
+            t_ms,
+            series: vec![("depth".into(), v)],
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let r = Recorder::new(3);
+        for i in 0..5u64 {
+            r.push(frame(i, i as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let t: Vec<u64> = r.frames().iter().map(|f| f.t_ms).collect();
+        assert_eq!(t, vec![2, 3, 4], "oldest frames are the ones evicted");
+    }
+
+    #[test]
+    fn history_windows_and_filters() {
+        let r = Recorder::new(16);
+        for i in 0..10u64 {
+            r.push(Frame {
+                t_ms: i * 1000,
+                series: vec![
+                    ("depth".into(), i as f64),
+                    ("lat_count".into(), (i * 2) as f64),
+                    ("lat_sum".into(), 0.5 * i as f64),
+                    ("other{socket=\"0\"}".into(), 1.0),
+                ],
+            });
+        }
+        // Window cuts off old frames.
+        let all = r.history(Some("depth"), 4000, 9000, 0);
+        assert_eq!(all.len(), 1);
+        assert_eq!(
+            all[0].points,
+            vec![
+                (5000, 5.0),
+                (6000, 6.0),
+                (7000, 7.0),
+                (8000, 8.0),
+                (9000, 9.0)
+            ]
+        );
+        // Histogram flattenings match their family.
+        let lat = r.history(Some("lat"), u64::MAX, 9000, 0);
+        assert_eq!(
+            lat.iter().map(|s| s.key.as_str()).collect::<Vec<_>>(),
+            vec!["lat_count", "lat_sum"]
+        );
+        // Labelled series match their family; prefixes don't leak.
+        assert_eq!(r.history(Some("other"), u64::MAX, 9000, 0).len(), 1);
+        assert_eq!(r.history(Some("oth"), u64::MAX, 9000, 0).len(), 0);
+        assert_eq!(r.history(Some("dep"), u64::MAX, 9000, 0).len(), 0);
+        // None matches everything.
+        assert_eq!(r.history(None, u64::MAX, 9000, 0).len(), 4);
+    }
+
+    #[test]
+    fn downsample_keeps_newest_and_bounds_length() {
+        let points: Vec<(u64, f64)> = (0..100u64).map(|i| (i, i as f64)).collect();
+        let ds = downsample(&points, 10);
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.last(), Some(&(99, 99.0)), "newest point survives");
+        assert!(
+            ds.windows(2).all(|w| w[0].0 < w[1].0),
+            "downsampled points stay in time order: {ds:?}"
+        );
+        // No-ops.
+        assert_eq!(downsample(&points, 0).len(), 100);
+        assert_eq!(downsample(&points, 200).len(), 100);
+        assert_eq!(downsample(&[], 10), vec![]);
+        // Uneven split still covers the range.
+        let ds7 = downsample(&points, 7);
+        assert_eq!(ds7.len(), 7);
+        assert_eq!(ds7.last(), Some(&(99, 99.0)));
+    }
+
+    #[test]
+    fn snapshot_flattens_every_metric_kind() {
+        static BOUNDS: &[f64] = &[1.0, 2.0];
+        let reg = Registry::new();
+        reg.counter("c_total", "c").add(3);
+        reg.gauge("g", "g").set(-2);
+        let h = reg.histogram("h", "h", BOUNDS);
+        h.observe(0.5);
+        h.observe(5.0);
+        reg.counter_with("lbl_total", "l", &[("socket", "1")]).inc();
+        let f = snapshot_frame(&reg, 42);
+        assert_eq!(f.t_ms, 42);
+        let keys: Vec<&str> = f.series.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "c_total",
+                "g",
+                "h_count",
+                "h_sum",
+                "lbl_total{socket=\"1\"}"
+            ]
+        );
+        assert_eq!(f.series[0].1, 3.0);
+        assert_eq!(f.series[1].1, -2.0);
+        assert_eq!(f.series[2].1, 2.0);
+        assert!((f.series[3].1 - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preload_seeds_then_ring_still_bounds() {
+        let r = Recorder::new(4);
+        r.preload((0..6u64).map(|i| frame(i, 0.0)));
+        assert_eq!(r.len(), 4);
+        let t: Vec<u64> = r.frames().iter().map(|f| f.t_ms).collect();
+        assert_eq!(t, vec![2, 3, 4, 5]);
+    }
+}

@@ -20,8 +20,26 @@
 //! scoped workers flush, join, then export from the coordinating thread —
 //! loses nothing. If a ring wraps, the oldest events are overwritten and
 //! counted in [`dropped`].
+//!
+//! # Trace context
+//!
+//! Spans form a *tree*: every span gets a process-unique id, and opening a
+//! span while another's context is pushed records the parent edge. Context
+//! lives in a per-thread cell — a `(trace, parent span)` pair — that
+//! [`Span::push`] / [`push_context`] set and their guard restores on drop.
+//! Crossing a thread boundary is explicit: capture [`current_context`]
+//! before spawning and [`push_context`] it inside the worker closure, the
+//! same place the worker already calls [`flush`]. The `trace` component is
+//! a caller-chosen 64-bit id (the serve daemon derives one per task; CLI
+//! campaigns run under a single root span), letting one process carry many
+//! interleaved trees and a collector group events by tree afterwards.
+//!
+//! Span *ids* are allocated from a global counter, so they differ run to
+//! run — but the tree's shape doesn't: the multiset of
+//! `(child name, parent name)` edges is as jobs-invariant as the
+//! per-name span counts, and the determinism suite pins both.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -31,7 +49,7 @@ use std::time::Instant;
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
 /// One completed span or instant marker.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Static site name, e.g. `"tick"`, `"solve"`, `"sweep_point"`.
     pub name: &'static str,
@@ -46,12 +64,66 @@ pub struct TraceEvent {
     pub dur_us: u64,
     /// True for zero-duration instant markers (supervisor degrade/re-arm).
     pub instant: bool,
+    /// Tree this event belongs to (0 = unassigned). Caller-chosen; the
+    /// serve daemon derives one per task, CLI campaigns use one root.
+    pub trace: u64,
+    /// Process-unique span id (0 for instants and pre-context events).
+    pub span: u64,
+    /// Span id of the enclosing span when one was pushed (0 = root).
+    pub parent: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_WORKER: AtomicU32 = AtomicU32::new(0);
+/// Span ids start at 1 so 0 can mean "none" in `parent`/`span` fields.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The calling thread's `(trace, parent span id)` context.
+    static CONTEXT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// A `(trace, span)` pair that child spans opened under it inherit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Tree id (0 = unassigned).
+    pub trace: u64,
+    /// Span id new children record as their parent (0 = root).
+    pub span: u64,
+}
+
+/// The calling thread's current context — capture this before spawning
+/// workers and [`push_context`] it inside each worker closure.
+#[inline]
+#[must_use]
+pub fn current_context() -> TraceContext {
+    let (trace, span) = CONTEXT.try_with(Cell::get).unwrap_or((0, 0));
+    TraceContext { trace, span }
+}
+
+/// Make `ctx` the calling thread's context until the returned guard
+/// drops (which restores the previous context). Allocation-free.
+#[inline]
+#[must_use = "dropping the guard immediately restores the previous context"]
+pub fn push_context(ctx: TraceContext) -> ContextGuard {
+    let prev = CONTEXT
+        .try_with(|c| c.replace((ctx.trace, ctx.span)))
+        .unwrap_or((0, 0));
+    ContextGuard { prev }
+}
+
+/// Restores the previously pushed context on drop.
+pub struct ContextGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let _ = CONTEXT.try_with(|c| c.set(self.prev));
+    }
+}
 
 fn collected() -> &'static Mutex<Vec<TraceEvent>> {
     static COLLECTED: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
@@ -141,22 +213,15 @@ thread_local! {
     });
 }
 
-fn record(name: &'static str, key: u64, start_us: u64, dur_us: u64, instant: bool) {
+fn record(mut event: TraceEvent) {
     let _ = RING.try_with(|cell| {
         let mut ring = cell.borrow_mut();
         if ring.events.capacity() == 0 {
             let cap = CAPACITY.load(Ordering::Relaxed);
             ring.events.reserve_exact(cap);
         }
-        let worker = ring.worker;
-        ring.push(TraceEvent {
-            name,
-            key,
-            worker,
-            start_us,
-            dur_us,
-            instant,
-        });
+        event.worker = ring.worker;
+        ring.push(event);
     });
 }
 
@@ -168,6 +233,9 @@ pub struct Span {
     key: u64,
     start_us: u64,
     armed: bool,
+    id: u64,
+    trace: u64,
+    parent: u64,
 }
 
 impl Span {
@@ -176,25 +244,61 @@ impl Span {
     pub fn set_key(&mut self, key: u64) {
         self.key = key;
     }
+
+    /// Assign this span to tree `trace` (overriding whatever context it
+    /// inherited). Children pushed via [`Span::push`] inherit the new id.
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    /// Override the recorded parent span id — for edges that cross a
+    /// queue rather than a call stack (a scheduler linking its work back
+    /// to the accept span that enqueued it).
+    pub fn set_parent(&mut self, parent: u64) {
+        self.parent = parent;
+    }
+
+    /// This span's process-unique id (0 when tracing was disabled at
+    /// open).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Make this span the calling thread's context: spans opened while
+    /// the guard lives record it as their parent and inherit its trace.
+    #[inline]
+    #[must_use = "dropping the guard immediately restores the previous context"]
+    pub fn push(&self) -> ContextGuard {
+        push_context(TraceContext {
+            trace: self.trace,
+            span: self.id,
+        })
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if self.armed && is_enabled() {
             let end = now_us();
-            record(
-                self.name,
-                self.key,
-                self.start_us,
-                end.saturating_sub(self.start_us),
-                false,
-            );
+            record(TraceEvent {
+                name: self.name,
+                key: self.key,
+                worker: 0,
+                start_us: self.start_us,
+                dur_us: end.saturating_sub(self.start_us),
+                instant: false,
+                trace: self.trace,
+                span: self.id,
+                parent: self.parent,
+            });
         }
     }
 }
 
 /// Open a span. `key` is the deterministic logical identity of this unit of
-/// work (tick index, grid index, segment index, …).
+/// work (tick index, grid index, segment index, …). The span inherits the
+/// thread's current [`TraceContext`] as its tree and parent.
 #[inline]
 pub fn span(name: &'static str, key: u64) -> Span {
     if !is_enabled() {
@@ -203,22 +307,42 @@ pub fn span(name: &'static str, key: u64) -> Span {
             key,
             start_us: 0,
             armed: false,
+            id: 0,
+            trace: 0,
+            parent: 0,
         };
     }
+    let ctx = current_context();
     Span {
         name,
         key,
         start_us: now_us(),
         armed: true,
+        id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+        trace: ctx.trace,
+        parent: ctx.span,
     }
 }
 
 /// Emit a zero-duration instant marker (e.g. supervisor degrade/re-arm).
+/// Instants carry the thread's current context as their tree/parent but
+/// allocate no span id of their own.
 #[inline]
 pub fn instant(name: &'static str, key: u64) {
     if is_enabled() {
         let t = now_us();
-        record(name, key, t, 0, true);
+        let ctx = current_context();
+        record(TraceEvent {
+            name,
+            key,
+            worker: 0,
+            start_us: t,
+            dur_us: 0,
+            instant: true,
+            trace: ctx.trace,
+            span: 0,
+            parent: ctx.span,
+        });
     }
 }
 
@@ -264,7 +388,9 @@ pub fn collect() -> Vec<TraceEvent> {
 /// Render events as Chrome `trace_event` JSON (the
 /// `{"traceEvents": [...]}` object form understood by `chrome://tracing`
 /// and Perfetto). Spans become complete (`"ph":"X"`) events; instants
-/// become `"ph":"i"` with thread scope.
+/// become `"ph":"i"` with thread scope. Tree identity rides in `args`:
+/// `span`/`parent` ids as integers when assigned, the 64-bit trace id as
+/// a hex string (JSON numbers above 2^53 lose precision in JS viewers).
 pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(64 + events.len() * 96);
     out.push_str("{\"traceEvents\":[");
@@ -272,22 +398,30 @@ pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let mut args = format!("\"key\":{}", e.key);
+        if e.span != 0 {
+            args.push_str(&format!(",\"span\":{}", e.span));
+        }
+        if e.parent != 0 {
+            args.push_str(&format!(",\"parent\":{}", e.parent));
+        }
+        if e.trace != 0 {
+            args.push_str(&format!(",\"trace\":\"{:016x}\"", e.trace));
+        }
         if e.instant {
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"ags\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"key\":{}}}}}",
+                "{{\"name\":\"{}\",\"cat\":\"ags\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
                 escape_json(e.name),
                 e.start_us,
                 e.worker,
-                e.key
             ));
         } else {
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"ags\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"key\":{}}}}}",
+                "{{\"name\":\"{}\",\"cat\":\"ags\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
                 escape_json(e.name),
                 e.start_us,
                 e.dur_us,
                 e.worker,
-                e.key
             ));
         }
     }
@@ -439,6 +573,7 @@ mod tests {
                 start_us: 10,
                 dur_us: 4,
                 instant: false,
+                ..TraceEvent::default()
             },
             TraceEvent {
                 name: "degrade",
@@ -447,6 +582,7 @@ mod tests {
                 start_us: 11,
                 dur_us: 0,
                 instant: true,
+                ..TraceEvent::default()
             },
         ];
         let json = render_chrome_trace(&events);
@@ -455,5 +591,102 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"dur\":4"));
         assert!(json.contains("\"args\":{\"key\":3}"));
+    }
+
+    #[test]
+    fn chrome_trace_carries_tree_identity() {
+        let events = vec![TraceEvent {
+            name: "task_solve",
+            key: 1,
+            span: 12,
+            parent: 4,
+            trace: 0xdead_beef,
+            dur_us: 9,
+            ..TraceEvent::default()
+        }];
+        let json = render_chrome_trace(&events);
+        assert!(json.contains("\"span\":12"), "{json}");
+        assert!(json.contains("\"parent\":4"), "{json}");
+        assert!(json.contains("\"trace\":\"00000000deadbeef\""), "{json}");
+    }
+
+    #[test]
+    fn spans_inherit_pushed_context() {
+        let _g = lock();
+        let _ = collect();
+        enable();
+        let root_id;
+        {
+            let mut root = span("root", 0);
+            root.set_trace(0x77);
+            root_id = root.id();
+            assert_ne!(root_id, 0);
+            let _ctx = root.push();
+            {
+                let child = span("child", 1);
+                let _c2 = child.push();
+                let _grand = span("grand", 2);
+                instant("mark", 3);
+            }
+            let sibling = span("sibling", 4);
+            drop(sibling);
+        }
+        // Context restored after all guards dropped.
+        assert_eq!(current_context(), TraceContext::default());
+        disable();
+        let events = collect();
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap().clone();
+        let root = by_name("root");
+        let child = by_name("child");
+        let grand = by_name("grand");
+        let mark = by_name("mark");
+        let sibling = by_name("sibling");
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.trace, 0x77);
+        assert_eq!(child.parent, root.span);
+        assert_eq!(child.trace, 0x77, "children inherit the pushed trace");
+        assert_eq!(grand.parent, child.span);
+        assert_eq!(mark.parent, child.span);
+        assert_eq!(mark.span, 0, "instants allocate no span id");
+        assert_eq!(sibling.parent, root.span, "inner guard was restored");
+    }
+
+    #[test]
+    fn context_crosses_threads_explicitly() {
+        let _g = lock();
+        let _ = collect();
+        enable();
+        let parent = span("xthread_parent", 0);
+        let ctx = {
+            let _p = parent.push();
+            current_context()
+        };
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _c = push_context(ctx);
+                let _w = span("xthread_child", 1);
+                flush();
+            });
+        });
+        drop(parent);
+        disable();
+        let events = collect();
+        let p = events.iter().find(|e| e.name == "xthread_parent").unwrap();
+        let c = events.iter().find(|e| e.name == "xthread_child").unwrap();
+        assert_eq!(c.parent, p.span);
+    }
+
+    #[test]
+    fn disabled_spans_have_no_ids_and_push_is_inert() {
+        let _g = lock();
+        let _ = collect();
+        disable();
+        let s = span("quiet", 0);
+        assert_eq!(s.id(), 0);
+        {
+            let _c = s.push();
+            assert_eq!(current_context(), TraceContext::default());
+        }
+        assert!(collect().is_empty());
     }
 }

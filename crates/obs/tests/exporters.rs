@@ -151,6 +151,7 @@ fn chrome_trace_rendering_is_schema_valid_json() {
             start_us: 100,
             dur_us: 35,
             instant: false,
+            ..TraceEvent::default()
         },
         TraceEvent {
             name: "supervisor_degrade",
@@ -159,6 +160,7 @@ fn chrome_trace_rendering_is_schema_valid_json() {
             start_us: 140,
             dur_us: 0,
             instant: true,
+            ..TraceEvent::default()
         },
         TraceEvent {
             name: "weird\"name\n",
@@ -167,6 +169,7 @@ fn chrome_trace_rendering_is_schema_valid_json() {
             start_us: 150,
             dur_us: 1,
             instant: false,
+            ..TraceEvent::default()
         },
     ];
     let json = render_chrome_trace(&events);

@@ -1,0 +1,21 @@
+//! Stamps the daemon with a best-effort `git describe`, surfaced on
+//! `/healthz` next to the crate version. Builds outside a git checkout
+//! (vendored tarballs, CI caches) get `"unknown"` — the build never
+//! fails over provenance.
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=AGS_GIT_DESCRIBE={describe}");
+    // Re-stamp when HEAD moves; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -34,14 +34,33 @@
 //! sidecar thread cancels any engine pass that outlives the deadline
 //! and its member tasks quarantine as `failed` with a `stuck:` reason
 //! (a task that blows its deadline would blow it again on retry).
+//!
+//! Observability: every submission is assigned a trace id
+//! (`fnv64(journal dir) ^ task id`) at accept time, and the accept,
+//! journal-append, batch-formation, engine-solve and render stages each
+//! record a span into that trace — retrievable as Chrome-trace JSON
+//! from `GET /tasks/<id>/trace` even though the stages run on different
+//! threads on opposite sides of the queue. A sampler thread snapshots
+//! the whole metrics registry every [`ServeConfig::sample_interval`]
+//! into an in-memory ring served by `GET /metrics/history`, and
+//! persists the frames to a `flightrec/` journal inside the queue
+//! directory so history survives a restart. Diagnostics go through the
+//! structured `p7_obs::log` logger on stderr; stdout stays reserved for
+//! the machine-readable startup handshake.
 
 use crate::batch::{build_batches, split_report, QueuedSweep, SweepBatch};
-use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
+use crate::http::{
+    query_param, read_request, split_target, HttpError, HttpLimits, Request, Response,
+};
 use crate::task::{now_ms, Task, TaskKind, TaskState, TaskStore, TaskUpdate};
 use crate::telemetry;
+use crate::tracestore::{fnv64, TraceStore};
 use ags_harness::{rearm_cancel_on_signals, EXIT_INTERRUPTED};
 use p7_fleet::{FleetEngine, FleetRunOptions, FleetSpec};
+use p7_obs::timeseries::{wall_ms, Frame, Recorder};
+use p7_obs::{log_error, log_info, log_warn, trace};
 use p7_sim::journal::render_failed;
+use p7_sim::recorder::{FrameRecord, RecorderLog};
 use p7_sim::sweep::render_results_table;
 use p7_sim::{
     std_fs, CancelToken, DurableOptions, DynFs, FailedPoint, ResilienceSpec, RetryPolicy, SimError,
@@ -78,6 +97,20 @@ const CONNECTION_DRAIN_GRACE: Duration = Duration::from_secs(2);
 /// earliest-useful-retry hint.
 const RETRY_AFTER_SECS: u32 = 1;
 
+/// Subdirectory of the queue journal holding the flight-recorder log.
+/// Lives inside the journal dir so one `--journal` flag names all of a
+/// daemon's durable state; the queue's segment scan ignores it (only
+/// `seg-*.json` names are segments).
+const RECORDER_DIR: &str = "flightrec";
+
+/// Sampled frames buffered in memory before one durable append to the
+/// flight-recorder log (at the default interval: one segment every
+/// two seconds).
+const RECORDER_PERSIST_EVERY: usize = 4;
+
+/// The sampler's drain-poll granularity while sleeping between frames.
+const SAMPLER_NAP: Duration = Duration::from_millis(50);
+
 /// Everything [`serve`] needs. Construct with [`ServeConfig::new`] and
 /// override fields as needed.
 #[derive(Debug, Clone)]
@@ -112,6 +145,9 @@ pub struct ServeConfig {
     /// canceled and its member tasks quarantined as stuck. `None`
     /// disables the watchdog.
     pub batch_deadline: Option<Duration>,
+    /// Flight-recorder sampling interval: how often the metrics
+    /// registry is snapshotted into the `/metrics/history` ring.
+    pub sample_interval: Duration,
 }
 
 impl ServeConfig {
@@ -130,6 +166,7 @@ impl ServeConfig {
             bound_addr: Arc::new(OnceLock::new()),
             fs: std_fs(),
             batch_deadline: None,
+            sample_interval: Duration::from_millis(500),
         }
     }
 }
@@ -184,6 +221,15 @@ struct Shared {
     /// Optional per-batch watchdog deadline.
     deadline: Option<Duration>,
     health: Health,
+    /// This daemon's trace-id namespace: `fnv64` of its journal dir.
+    /// A task's trace id is `trace_ns ^ task id`, so ids stay stable
+    /// across a restart of the same queue and never collide between
+    /// daemons sharing one process (and one global [`TraceStore`]).
+    trace_ns: u64,
+    /// In-memory flight-recorder ring behind `GET /metrics/history`.
+    recorder: Arc<Recorder>,
+    /// When this daemon came up (the `/healthz` uptime base).
+    started: Instant,
 }
 
 impl Shared {
@@ -222,7 +268,8 @@ impl Shared {
     fn enter_degraded(&self, reason: String) {
         let mut slot = self.lock_degraded();
         if slot.is_none() {
-            eprintln!("serve: journal unwritable — entering degraded read-only mode ({reason})");
+            log_error!("serve", reason = reason;
+                "journal unwritable — entering degraded read-only mode");
             telemetry::serve_degraded().set(1);
             *slot = Some(reason);
         }
@@ -232,7 +279,7 @@ impl Shared {
     fn clear_degraded(&self) {
         let mut slot = self.lock_degraded();
         if slot.take().is_some() {
-            eprintln!("serve: journal writable again — resuming normal service");
+            log_info!("serve", "journal writable again — resuming normal service");
             telemetry::serve_degraded().set(0);
         }
     }
@@ -252,9 +299,38 @@ impl Shared {
 /// recovered, [`ServeError::Bind`] when the address is taken,
 /// [`ServeError::Runtime`] for listener/scheduler plumbing failures.
 pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
+    // A daemon is always observable: structured stderr logging, a live
+    // metrics registry (it serves /metrics), span recording (it serves
+    // /tasks/<id>/trace). All idempotent, so embedding tests and the
+    // CLI can have set these up already.
+    p7_obs::log::init_from_env();
+    p7_obs::metrics::global().set_enabled(true);
+    telemetry::register_all();
+    trace::enable();
+
     let (store, recovered) =
         TaskStore::open_with(&config.journal, config.fs.clone()).map_err(ServeError::Journal)?;
     telemetry::recovered_tasks().add(recovered as u64);
+
+    // The flight recorder: an in-memory ring preloaded from the on-disk
+    // log so /metrics/history spans the restart. An unusable log is
+    // telemetry lost, not an error — the daemon runs memory-only.
+    let recorder = Arc::new(Recorder::new(p7_obs::timeseries::DEFAULT_CAPACITY));
+    let recorder_log =
+        match RecorderLog::open_with(&config.journal.join(RECORDER_DIR), config.fs.clone()) {
+            Ok((log, frames)) => {
+                recorder.preload(frames.into_iter().map(|f| Frame {
+                    t_ms: f.t_ms,
+                    series: f.series,
+                }));
+                Some(log)
+            }
+            Err(e) => {
+                log_warn!("serve", error = e;
+                "flight-recorder log unavailable — metrics history will not survive restart");
+                None
+            }
+        };
     let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
         addr: config.addr.clone(),
         reason: e.to_string(),
@@ -274,12 +350,12 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
         let _ = writeln!(stdout, "serve: listening on http://{addr}");
         let _ = stdout.flush();
     }
-    eprintln!(
-        "[serve: queue `{}` — {} tasks known, {} re-enqueued from a previous run]",
-        config.journal.display(),
-        store.tasks().len(),
-        recovered
-    );
+    log_info!("serve",
+        queue = config.journal.display(),
+        known = store.tasks().len(),
+        recovered = recovered,
+        history_frames = recorder.len();
+        "task queue ready");
 
     let shared = Arc::new(Shared {
         queue: Mutex::new(store),
@@ -294,8 +370,21 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
             scheduler_live: AtomicBool::new(true),
             degraded: Mutex::new(None),
         },
+        trace_ns: fnv64(config.journal.to_string_lossy().as_bytes()),
+        recorder,
+        started: Instant::now(),
     });
     shared.refresh_depth();
+
+    let sampler = {
+        let shared = Arc::clone(&shared);
+        let drain = config.drain.clone();
+        let interval = config.sample_interval;
+        std::thread::Builder::new()
+            .name("ags-serve-sampler".to_owned())
+            .spawn(move || sampler_loop(&shared, recorder_log, interval, &drain))
+            .ok() // Thread exhaustion: run without history.
+    };
 
     let scheduler = {
         let shared = Arc::clone(&shared);
@@ -353,7 +442,7 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
             .name("ags-serve-force".to_owned())
             .spawn(move || loop {
                 if force.is_cancelled() {
-                    eprintln!("serve: second signal — forcing immediate shutdown");
+                    log_warn!("serve", "second signal — forcing immediate shutdown");
                     std::process::exit(i32::from(EXIT_INTERRUPTED));
                 }
                 std::thread::sleep(Duration::from_millis(50));
@@ -361,7 +450,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
             .ok();
     }
     shared.wake.notify_all();
-    if scheduler.join().is_err() {
+    let scheduler_ok = scheduler.join().is_ok();
+    // The sampler watches the same drain token; joining it flushes its
+    // buffered frames to the flight-recorder log.
+    if let Some(handle) = sampler {
+        let _ = handle.join();
+    }
+    if !scheduler_ok {
         return Err(ServeError::Runtime("scheduler thread panicked".to_owned()));
     }
     let grace_deadline = Instant::now() + CONNECTION_DRAIN_GRACE;
@@ -369,12 +464,63 @@ pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
         std::thread::sleep(ACCEPT_POLL);
     }
     let open = shared.lock_queue().open_tasks();
-    eprintln!(
-        "[serve: drained — {} open tasks checkpointed in `{}`]",
-        open,
-        config.journal.display()
-    );
+    log_info!("serve", open = open, queue = config.journal.display();
+        "drained — open tasks checkpointed");
     Ok(())
+}
+
+/// The sampler thread: snapshot the registry into the history ring
+/// every `interval`, persisting batches of frames to the recorder log.
+/// Also the refresh point for gauges derived from queue state (the
+/// oldest-open-task age), so every frame carries a fresh reading.
+fn sampler_loop(
+    shared: &Shared,
+    mut log: Option<RecorderLog>,
+    interval: Duration,
+    drain: &CancelToken,
+) {
+    let mut pending: Vec<FrameRecord> = Vec::new();
+    loop {
+        let age_ms = shared.lock_queue().oldest_open_age_ms(now_ms());
+        telemetry::queue_oldest_age().set(i64::try_from(age_ms / 1000).unwrap_or(i64::MAX));
+        let frame = shared.recorder.sample(p7_obs::metrics::global(), wall_ms());
+        pending.push(FrameRecord {
+            t_ms: frame.t_ms,
+            series: frame.series,
+        });
+        if pending.len() >= RECORDER_PERSIST_EVERY {
+            persist_frames(&mut log, &mut pending);
+        }
+        let deadline = Instant::now() + interval;
+        loop {
+            if drain.is_cancelled() {
+                persist_frames(&mut log, &mut pending);
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(SAMPLER_NAP));
+        }
+    }
+}
+
+/// One durable append of the sampler's buffered frames. Failure drops
+/// the batch with a warning: the recorder log is advisory telemetry,
+/// and the queue journal's own degraded-mode machinery handles real
+/// disk outages.
+fn persist_frames(log: &mut Option<RecorderLog>, pending: &mut Vec<FrameRecord>) {
+    if pending.is_empty() {
+        return;
+    }
+    if let Some(log) = log.as_mut() {
+        if let Err(e) = log.append(pending) {
+            log_warn!("serve", error = e, frames = pending.len();
+                "flight-recorder append failed — dropping buffered frames");
+        }
+    }
+    pending.clear();
 }
 
 /// Best-effort `503` for a connection over the cap.
@@ -384,30 +530,67 @@ fn shed(mut stream: TcpStream, limits: &HttpLimits) {
     let _ = Response::error(503, "connection cap reached, retry later").write_to(&mut stream);
 }
 
-/// Parses one request off the connection and answers it.
+/// Parses one request off the connection, answers it, and records the
+/// access log line plus the per-route latency observation.
 fn handle_connection(stream: TcpStream, shared: &Shared, limits: &HttpLimits) {
+    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(limits.io_timeout));
     let _ = stream.set_write_timeout(Some(limits.io_timeout));
     let Ok(peer) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(peer);
-    let response = match read_request(&mut reader, limits) {
-        Ok(request) => route(&request, shared),
-        Err(HttpError::BodyTooLarge) => Response::error(413, "request body over limit"),
-        Err(HttpError::Malformed(what)) => Response::error(400, &what),
+    let parsed = read_request(&mut reader, limits);
+    let (response, method, target) = match &parsed {
+        Ok(request) => (
+            route(request, shared),
+            request.method.as_str(),
+            request.path.as_str(),
+        ),
+        Err(HttpError::BodyTooLarge) => (Response::error(413, "request body over limit"), "-", "-"),
+        Err(HttpError::Malformed(what)) => (Response::error(400, what), "-", "-"),
         Err(HttpError::Io(_)) => return, // Peer vanished or timed out.
     };
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
+    let elapsed = started.elapsed();
+    telemetry::http_request_seconds(route_label(target)).observe(elapsed.as_secs_f64());
+    log_info!("http",
+        method = method,
+        path = target,
+        status = response.status,
+        duration_us = elapsed.as_micros(),
+        bytes = response.body.len();
+        "request");
+}
+
+/// Collapses a request target onto one of the fixed
+/// [`telemetry::ROUTES`] labels, so task ids do not explode the
+/// request-latency histogram's cardinality.
+fn route_label(target: &str) -> &'static str {
+    let (path, _) = split_target(target);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["metrics", "history"] => "/metrics/history",
+        ["tasks"] => "/tasks",
+        ["tasks", _] => "/tasks/:id",
+        ["tasks", _, "result"] => "/tasks/:id/result",
+        ["tasks", _, "trace"] => "/tasks/:id/trace",
+        ["tasks", _, "cancel"] => "/tasks/:id/cancel",
+        _ => "other",
+    }
 }
 
 /// Routes one parsed request.
 fn route(request: &Request, shared: &Shared) -> Response {
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (path, query) = split_target(&request.path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => health_response(shared),
         ("GET", ["metrics"]) => Response::text(200, p7_obs::metrics::global().render_prometheus()),
+        ("GET", ["metrics", "history"]) => metrics_history(shared, query),
         ("POST", ["tasks"]) => submit(request, shared),
         ("GET", ["tasks"]) => list_tasks(shared),
         ("GET", ["tasks", id]) => with_task(shared, id, |task| {
@@ -423,34 +606,141 @@ fn route(request: &Request, shared: &Shared) -> Response {
                 )
             }
         }),
+        ("GET", ["tasks", id, "trace"]) => task_trace(shared, id),
         ("POST", ["tasks", id, "cancel"]) => cancel_task(shared, id),
         ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "method not allowed"),
     }
 }
 
-/// `GET /healthz`: `200 ok` only when the scheduler thread is live
-/// *and* the journal is accepting writes; otherwise `503` with a JSON
-/// reason a probe can alert on.
+/// Drains every completed span from the global trace ring into the
+/// process-wide [`TraceStore`], grouped by trace id. Called after each
+/// accept and each scheduler pass, and once more on trace reads, so a
+/// `GET /tasks/<id>/trace` sees everything recorded so far.
+fn absorb_completed_spans() {
+    trace::flush();
+    TraceStore::global().absorb(trace::collect());
+}
+
+/// `GET /tasks/<id>/trace`: the task's span tree as Chrome-trace JSON.
+/// `404` for an unknown task, and for a known task with no recorded
+/// spans (traces live in memory only and do not survive a restart).
+fn task_trace(shared: &Shared, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "task id must be an integer");
+    };
+    if shared.lock_queue().get(id).is_none() {
+        return Response::error(404, &format!("no task {id}"));
+    }
+    absorb_completed_spans();
+    match TraceStore::global().events_for(shared.trace_ns ^ id) {
+        Some(events) => Response::json(200, trace::render_chrome_trace(&events)),
+        None => Response::error(
+            404,
+            &format!("no trace recorded for task {id} (traces do not survive a restart)"),
+        ),
+    }
+}
+
+/// `GET /metrics/history?family=&window_ms=&points=`: windowed,
+/// downsampled series from the flight-recorder ring as
+/// `{"now_ms":…,"series":[{"key":…,"points":[[t_ms,value],…]},…]}`.
+fn metrics_history(shared: &Shared, query: &str) -> Response {
+    let family = query_param(query, "family").filter(|f| !f.is_empty());
+    let window_ms = match query_param(query, "window_ms").map(str::parse::<u64>) {
+        None => 300_000,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return Response::error(400, "bad integer `window_ms`"),
+    };
+    let points = match query_param(query, "points").map(str::parse::<usize>) {
+        None => 256,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return Response::error(400, "bad integer `points`"),
+    };
+    let now = wall_ms();
+    let series = shared.recorder.history(family, window_ms, now, points);
+    let body = Value::Map(vec![
+        ("now_ms".to_owned(), Value::Int(i128::from(now))),
+        ("window_ms".to_owned(), Value::Int(i128::from(window_ms))),
+        (
+            "dropped_frames".to_owned(),
+            Value::Int(i128::from(shared.recorder.dropped())),
+        ),
+        (
+            "series".to_owned(),
+            Value::Seq(
+                series
+                    .into_iter()
+                    .map(|s| {
+                        Value::Map(vec![
+                            ("key".to_owned(), Value::Str(s.key)),
+                            (
+                                "points".to_owned(),
+                                Value::Seq(
+                                    s.points
+                                        .into_iter()
+                                        .map(|(t, v)| {
+                                            Value::Seq(vec![
+                                                Value::Int(i128::from(t)),
+                                                Value::Float(v),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, body.to_json())
+}
+
+/// The `/healthz` JSON body: status, optional reason, and build
+/// identity (crate version, `git describe` stamped at compile time,
+/// uptime) so a probe can tell *which* daemon answered.
+fn health_body(status: &str, reason: Option<String>, uptime_seconds: u64) -> String {
+    let mut fields = vec![("status".to_owned(), Value::Str(status.to_owned()))];
+    if let Some(reason) = reason {
+        fields.push(("reason".to_owned(), Value::Str(reason)));
+    }
+    fields.push((
+        "version".to_owned(),
+        Value::Str(env!("CARGO_PKG_VERSION").to_owned()),
+    ));
+    fields.push((
+        "git".to_owned(),
+        Value::Str(env!("AGS_GIT_DESCRIBE").to_owned()),
+    ));
+    fields.push((
+        "uptime_seconds".to_owned(),
+        Value::Int(i128::from(uptime_seconds)),
+    ));
+    Value::Map(fields).to_json()
+}
+
+/// `GET /healthz`: `200` with `"status":"ok"` only when the scheduler
+/// thread is live *and* the journal is accepting writes; otherwise
+/// `503` with a JSON reason a probe can alert on. Either way the body
+/// carries the build version, `git describe`, and uptime.
 fn health_response(shared: &Shared) -> Response {
+    let uptime = shared.started.elapsed().as_secs();
     if let Some(reason) = shared.degraded_reason() {
-        let body = Value::Map(vec![
-            ("status".to_owned(), Value::Str("degraded".to_owned())),
-            ("reason".to_owned(), Value::Str(reason)),
-        ]);
-        return Response::json(503, body.to_json()).with_retry_after(RETRY_AFTER_SECS);
+        return Response::json(503, health_body("degraded", Some(reason), uptime))
+            .with_retry_after(RETRY_AFTER_SECS);
     }
     if !shared.health.scheduler_live.load(Ordering::Acquire) {
-        let body = Value::Map(vec![
-            ("status".to_owned(), Value::Str("down".to_owned())),
-            (
-                "reason".to_owned(),
-                Value::Str("scheduler thread is not running".to_owned()),
+        return Response::json(
+            503,
+            health_body(
+                "down",
+                Some("scheduler thread is not running".to_owned()),
+                uptime,
             ),
-        ]);
-        return Response::json(503, body.to_json());
+        );
     }
-    Response::text(200, "ok\n")
+    Response::json(200, health_body("ok", None, uptime))
 }
 
 /// The uniform write-shed response while the journal is unwritable:
@@ -546,7 +836,22 @@ fn submit(request: &Request, shared: &Shared) -> Response {
         Err(message) => return Response::error(400, &message),
     };
     let mut queue = shared.lock_queue();
-    let id = match queue.submit(kind, spec_json) {
+    // The trace is rooted here: peek the id the submit will assign
+    // (we hold the queue lock, so it cannot move), derive the trace id
+    // from it, and register the accept span as the tree's root so the
+    // scheduler can parent its spans onto it from the other side of
+    // the queue.
+    let pending_id = queue.next_task_id();
+    let trace_id = shared.trace_ns ^ pending_id;
+    let mut accept = trace::span("task_accept", pending_id);
+    accept.set_trace(trace_id);
+    TraceStore::global().set_root(trace_id, accept.id());
+    let submitted = {
+        let _ctx = accept.push();
+        let _journal_span = trace::span("task_journal", pending_id);
+        queue.submit(kind, spec_json)
+    };
+    let id = match submitted {
         Ok(id) => id,
         Err(e) => {
             drop(queue);
@@ -557,6 +862,8 @@ fn submit(request: &Request, shared: &Shared) -> Response {
     };
     let task = queue.get(id).expect("just submitted").clone();
     drop(queue);
+    drop(accept);
+    absorb_completed_spans();
     telemetry::tasks_submitted().inc();
     shared.refresh_depth();
     shared.wake.notify_all();
@@ -780,6 +1087,9 @@ fn scheduler_pass(shared: &Shared, engine: &SweepEngine) -> Result<Flow, SimErro
         shared.lock_queue().transition(&requeue)?;
     }
     shared.refresh_depth();
+    // Everything this pass recorded (scheduler spans plus the engine
+    // workers' flushed spans) becomes retrievable per task.
+    absorb_completed_spans();
     if shared.drain.is_cancelled() {
         return Ok(Flow::Drained);
     }
@@ -884,24 +1194,47 @@ fn quarantine_stuck(shared: &Shared, ids: impl Iterator<Item = u64>) -> Result<(
     Ok(())
 }
 
+/// A scheduler-side span for `task`, stamped with the task's trace id
+/// and parented onto its accept root (when the root is still known —
+/// a task recovered from the journal after a restart has no root, and
+/// its spans then open a fresh tree under the same trace id).
+fn task_span(shared: &Shared, name: &'static str, task: u64) -> trace::Span {
+    let trace_id = shared.trace_ns ^ task;
+    let mut span = trace::span(name, task);
+    span.set_trace(trace_id);
+    if let Some(root) = TraceStore::global().root_of(trace_id) {
+        span.set_parent(root);
+    }
+    span
+}
+
 /// Runs one merged sweep batch and records every member's outcome.
 fn run_sweep_batch(
     shared: &Shared,
     engine: &SweepEngine,
     batch: &SweepBatch,
 ) -> Result<Pass, SimError> {
-    let processing: Vec<TaskUpdate> = {
-        let queue = shared.lock_queue();
-        batch
+    {
+        // Batch formation, recorded into every member's trace (the
+        // stage is shared; each task still sees it under its own root).
+        let _batch_spans: Vec<trace::Span> = batch
             .members
             .iter()
-            .map(|m| {
-                let attempts = queue.get(m.task).map_or(0, |t| t.attempts);
-                TaskUpdate::to_state(m.task, TaskState::Processing, attempts)
-            })
-            .collect()
-    };
-    shared.lock_queue().transition(&processing)?;
+            .map(|m| task_span(shared, "task_batch", m.task))
+            .collect();
+        let processing: Vec<TaskUpdate> = {
+            let queue = shared.lock_queue();
+            batch
+                .members
+                .iter()
+                .map(|m| {
+                    let attempts = queue.get(m.task).map_or(0, |t| t.attempts);
+                    TaskUpdate::to_state(m.task, TaskState::Processing, attempts)
+                })
+                .collect()
+        };
+        shared.lock_queue().transition(&processing)?;
+    }
     telemetry::batches().inc();
     #[allow(clippy::cast_precision_loss)]
     telemetry::batch_width().observe(batch.members.len() as f64);
@@ -915,7 +1248,19 @@ fn run_sweep_batch(
         },
         panic_injector: None,
     };
-    let ran = engine.run_durable(&batch.merged, &options);
+    let ran = {
+        // One solve span per member covers the shared engine pass; the
+        // engine's own spans (sweep points, solves, journal segments)
+        // nest under the first member's, pushed as the thread context
+        // the engine workers inherit.
+        let solve_spans: Vec<trace::Span> = batch
+            .members
+            .iter()
+            .map(|m| task_span(shared, "task_solve", m.task))
+            .collect();
+        let _engine_ctx = solve_spans.first().map(trace::Span::push);
+        engine.run_durable(&batch.merged, &options)
+    };
     let expired = watchdog.is_some_and(Watchdog::disarm);
     match ran {
         Ok(report) => {
@@ -924,6 +1269,7 @@ fn run_sweep_batch(
             {
                 let queue = shared.lock_queue();
                 for split in splits {
+                    let _render_span = task_span(shared, "task_render", split.task);
                     let attempts = queue.get(split.task).map_or(0, |t| t.attempts) + 1;
                     let output = render_results_table(&split.results)
                         + &render_failed(&split.failed, "grid points");
@@ -984,11 +1330,14 @@ fn run_single(shared: &Shared, task: &Task) -> Result<Pass, SimError> {
         .lock_queue()
         .get(task.id)
         .map_or(task.attempts, |t| t.attempts);
-    shared.lock_queue().transition(&[TaskUpdate::to_state(
-        task.id,
-        TaskState::Processing,
-        attempts_before,
-    )])?;
+    {
+        let _batch_span = task_span(shared, "task_batch", task.id);
+        shared.lock_queue().transition(&[TaskUpdate::to_state(
+            task.id,
+            TaskState::Processing,
+            attempts_before,
+        )])?;
+    }
     telemetry::batches().inc();
     telemetry::batch_width().observe(1.0);
 
@@ -998,6 +1347,8 @@ fn run_single(shared: &Shared, task: &Task) -> Result<Pass, SimError> {
         retry: shared.retry,
         ..DurableOptions::default()
     };
+    let solve_span = task_span(shared, "task_solve", task.id);
+    let engine_ctx = solve_span.push();
     let ran: Result<(String, Vec<FailedPoint>, Option<String>), SimError> = match task.kind {
         TaskKind::Resilience => serde::json::from_str::<ResilienceSpec>(&task.spec_json)
             .map_err(|e| SimError::Journal {
@@ -1029,10 +1380,13 @@ fn run_single(shared: &Shared, task: &Task) -> Result<Pass, SimError> {
         }),
         TaskKind::Sweep => unreachable!("sweeps go through run_sweep_batch"),
     };
+    drop(engine_ctx);
+    drop(solve_span);
     let expired = watchdog.is_some_and(Watchdog::disarm);
 
     match ran {
         Ok((output, failed, unsafe_reason)) => {
+            let _render_span = task_span(shared, "task_render", task.id);
             let attempts = attempts_before + 1;
             let update = terminal_update(
                 task.id,
@@ -1213,6 +1567,8 @@ mod tests {
         let mut config = ServeConfig::new("127.0.0.1:0", journal);
         config.handle_signals = false;
         config.jobs = 2;
+        // Sample fast so history assertions never wait on the clock.
+        config.sample_interval = Duration::from_millis(25);
         tweak(&mut config);
         let drain = config.drain.clone();
         let bound = Arc::clone(&config.bound_addr);
@@ -1268,7 +1624,11 @@ mod tests {
 
         let (addr, drain, handle) = start(&dir);
         let (status, body) = http(addr, "GET", "/healthz", "");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"version\":"), "{body}");
+        assert!(body.contains("\"git\":"), "{body}");
+        assert!(body.contains("\"uptime_seconds\":"), "{body}");
         assert_eq!(http(addr, "GET", "/nope", "").0, 404);
         assert_eq!(http(addr, "DELETE", "/healthz", "").0, 405);
         assert_eq!(http(addr, "POST", "/tasks", "not json").0, 400);
@@ -1288,6 +1648,51 @@ mod tests {
         let (status, result) = http(addr, "GET", "/tasks/1/result", "");
         assert_eq!(status, 200);
         assert_eq!(result, expected, "daemon result must match standalone run");
+        // The task's trace covers every stage, accept through render.
+        let (status, chrome) = http(addr, "GET", "/tasks/1/trace", "");
+        assert_eq!(status, 200, "{chrome}");
+        for stage in [
+            "task_accept",
+            "task_journal",
+            "task_batch",
+            "task_solve",
+            "task_render",
+        ] {
+            assert!(chrome.contains(stage), "missing {stage}: {chrome}");
+        }
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+        assert!(chrome.contains("\"trace\":\""), "{chrome}");
+        assert_eq!(http(addr, "GET", "/tasks/99/trace", "").0, 404);
+        assert_eq!(http(addr, "GET", "/tasks/banana/trace", "").0, 400);
+        // The flight recorder has been sampling: history is non-empty
+        // for the queue-depth gauge and the batch-width histogram.
+        let (status, history) = http(
+            addr,
+            "GET",
+            "/metrics/history?family=ags_serve_queue_depth",
+            "",
+        );
+        assert_eq!(status, 200, "{history}");
+        assert!(
+            history.contains("\"key\":\"ags_serve_queue_depth\""),
+            "{history}"
+        );
+        assert!(history.contains("\"points\":[["), "{history}");
+        let (status, history) = http(
+            addr,
+            "GET",
+            "/metrics/history?family=ags_serve_batch_width&window_ms=600000&points=8",
+            "",
+        );
+        assert_eq!(status, 200, "{history}");
+        assert!(
+            history.contains("\"key\":\"ags_serve_batch_width_count\""),
+            "{history}"
+        );
+        assert_eq!(
+            http(addr, "GET", "/metrics/history?window_ms=banana", "").0,
+            400
+        );
         // Terminal tasks cannot be canceled.
         assert_eq!(http(addr, "POST", "/tasks/1/cancel", "").0, 409);
         let (status, listing) = http(addr, "GET", "/tasks", "");
@@ -1299,6 +1704,14 @@ mod tests {
         // Value unasserted: other tests in this process may hold the
         // global gauge at 1 while this one runs.
         assert!(metrics.contains("ags_serve_degraded"), "{metrics}");
+        assert!(
+            metrics.contains("ags_serve_queue_oldest_age_seconds"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("ags_serve_http_request_seconds_bucket{route=\"/tasks\""),
+            "{metrics}"
+        );
 
         drain.cancel();
         handle.join().expect("serve thread").expect("clean drain");
@@ -1328,7 +1741,8 @@ mod tests {
         let fs: DynFs = faulty.clone();
         let (addr, drain, handle) = start_with(&dir, |c| c.fs = fs);
         let (status, body) = http(addr, "GET", "/healthz", "");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
 
         // Yank the disk: the next journal append fails, the daemon
         // latches degraded mode and sheds the write with a retry hint.
@@ -1439,6 +1853,88 @@ mod tests {
     }
 
     #[test]
+    fn route_labels_normalize_ids_and_queries() {
+        assert_eq!(route_label("/healthz"), "/healthz");
+        assert_eq!(route_label("/metrics"), "/metrics");
+        assert_eq!(route_label("/metrics/history?family=x"), "/metrics/history");
+        assert_eq!(route_label("/tasks"), "/tasks");
+        assert_eq!(route_label("/tasks/123"), "/tasks/:id");
+        assert_eq!(route_label("/tasks/123/result"), "/tasks/:id/result");
+        assert_eq!(route_label("/tasks/9/trace"), "/tasks/:id/trace");
+        assert_eq!(route_label("/tasks/9/cancel"), "/tasks/:id/cancel");
+        assert_eq!(route_label("/nope"), "other");
+        assert_eq!(route_label("-"), "other");
+    }
+
+    /// The on-disk flight-recorder log makes `/metrics/history` span a
+    /// restart: frames sampled by the first daemon are served by the
+    /// second. (Torn-tail/SIGKILL truncation of the log itself is
+    /// exercised in `p7_sim::recorder`; this proves the daemon wiring
+    /// recovers whatever the log yields.)
+    #[test]
+    fn metrics_history_survives_restart_via_recorder_log() {
+        p7_obs::metrics::global().set_enabled(true);
+        telemetry::register_all();
+        let dir = tmpdir("flightrec");
+
+        let (_addr, drain, handle) = start(&dir);
+        // Wait until at least one persisted batch is on disk (the log
+        // writes every RECORDER_PERSIST_EVERY frames, 25 ms apart).
+        let flightrec = dir.join(RECORDER_DIR);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let segments = std::fs::read_dir(&flightrec)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+                        .count()
+                })
+                .unwrap_or(0);
+            if segments >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "recorder log never persisted");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drain.cancel();
+        handle.join().expect("serve thread").expect("clean drain");
+        let cutoff = now_ms();
+
+        // The restarted daemon preloads the ring from disk: history
+        // contains frames sampled *before* the restart.
+        let (addr, drain, handle) = start(&dir);
+        let (status, history) = http(
+            addr,
+            "GET",
+            "/metrics/history?family=ags_serve_queue_depth&window_ms=600000",
+            "",
+        );
+        assert_eq!(status, 200, "{history}");
+        let parsed = Value::parse_json(&history).expect("history JSON");
+        let series = parsed.field("series").expect("series").as_seq().unwrap();
+        let preloaded = series.iter().any(|s| {
+            s.field("points")
+                .ok()
+                .and_then(|p| p.as_seq().ok())
+                .is_some_and(|points| {
+                    points.iter().any(|pt| {
+                        pt.as_seq()
+                            .ok()
+                            .and_then(|pair| pair.first().cloned())
+                            .is_some_and(|t| t.as_int().is_ok_and(|t| (t as u64) < cutoff))
+                    })
+                })
+        });
+        assert!(
+            preloaded,
+            "no pre-restart frame in recovered history: {history}"
+        );
+        drain.cancel();
+        handle.join().expect("serve thread").expect("clean drain");
+    }
+
+    #[test]
     fn cancel_and_error_semantics_via_routes() {
         // Routing semantics without a live scheduler: build the shared
         // state directly so no task ever leaves `enqueued`.
@@ -1456,6 +1952,9 @@ mod tests {
                 scheduler_live: AtomicBool::new(true),
                 degraded: Mutex::new(None),
             },
+            trace_ns: fnv64(dir.to_string_lossy().as_bytes()),
+            recorder: Arc::new(Recorder::new(16)),
+            started: Instant::now(),
         };
         let post = |path: &str, body: &str| {
             route(

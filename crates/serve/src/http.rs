@@ -157,6 +157,28 @@ pub fn read_request<R: BufRead>(reader: &mut R, limits: &HttpLimits) -> Result<R
     })
 }
 
+/// Splits a request target into `(path, query)`: `/a/b?x=1` becomes
+/// `("/a/b", "x=1")`; a target with no `?` has an empty query.
+#[must_use]
+pub fn split_target(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// The value of `key` in a `k=v&k2=v2` query string, if present. No
+/// percent-decoding: the daemon's parameters are metric family names
+/// and integers, which never need escaping.
+#[must_use]
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
 /// One response, written with `Content-Length` and `Connection: close`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -327,6 +349,21 @@ mod tests {
     fn truncated_body_is_an_io_error() {
         let text = "POST /tasks HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
         assert!(matches!(parse(text), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn target_splits_and_query_params_parse() {
+        assert_eq!(split_target("/metrics/history"), ("/metrics/history", ""));
+        assert_eq!(
+            split_target("/metrics/history?family=x&points=5"),
+            ("/metrics/history", "family=x&points=5")
+        );
+        let (_, query) = split_target("/h?family=ags_serve_queue_depth&window_ms=60000&bare");
+        assert_eq!(query_param(query, "family"), Some("ags_serve_queue_depth"));
+        assert_eq!(query_param(query, "window_ms"), Some("60000"));
+        assert_eq!(query_param(query, "bare"), None, "k without = is ignored");
+        assert_eq!(query_param(query, "missing"), None);
+        assert_eq!(query_param("", "family"), None);
     }
 
     #[test]

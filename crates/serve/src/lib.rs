@@ -27,8 +27,17 @@
 //!   second signal — re-armed via `ags_harness` — forces immediate
 //!   shutdown.
 //! * [`telemetry`] — the daemon's `ags_serve_*` Prometheus families
-//!   (queue depth, batch width, retries, sheds), exported on
-//!   `GET /metrics`.
+//!   (queue depth, batch width, per-route request latency, retries,
+//!   sheds), exported on `GET /metrics`.
+//! * [`tracestore`] — bounded per-task span retention behind
+//!   `GET /tasks/<id>/trace`: every submission gets a trace id at
+//!   accept, the scheduler parents its spans onto the accept root
+//!   across the queue boundary, and the completed tree renders as
+//!   Chrome-trace JSON.
+//! * [`top`] — the `ags top` client: a live terminal dashboard polling
+//!   `/healthz`, `/metrics` and `/metrics/history`, rendering queue
+//!   depth, batch width, per-route latency percentiles and
+//!   degraded/watchdog state as sparklines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +47,10 @@ pub mod daemon;
 pub mod http;
 pub mod task;
 pub mod telemetry;
+pub mod top;
+pub mod tracestore;
 
 pub use daemon::{serve, ServeConfig, ServeError};
 pub use task::{Task, TaskKind, TaskState, TaskStore};
+pub use top::{run_top, TopOptions};
+pub use tracestore::TraceStore;

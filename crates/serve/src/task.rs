@@ -270,6 +270,11 @@ pub struct TaskStore {
     tasks: Vec<Task>,
     index: HashMap<u64, usize>,
     next_id: u64,
+    /// When each still-open task was first seen by *this* process
+    /// (epoch ms). In-memory only — after a restart, ages restart from
+    /// recovery time, which is the honest reading: the gauge answers
+    /// "how long has this daemon been sitting on work".
+    open_since: HashMap<u64, u64>,
 }
 
 impl TaskStore {
@@ -307,6 +312,7 @@ impl TaskStore {
                 tasks: Vec::new(),
                 index: HashMap::new(),
                 next_id: 1,
+                open_since: HashMap::new(),
             };
             for (_, event) in &entries {
                 store.apply(event);
@@ -321,6 +327,7 @@ impl TaskStore {
                 tasks: Vec::new(),
                 index: HashMap::new(),
                 next_id: 1,
+                open_since: HashMap::new(),
             }
         };
         let stuck: Vec<TaskUpdate> = store
@@ -366,6 +373,7 @@ impl TaskStore {
             let Some(kind) = TaskKind::parse(&event.kind) else {
                 return; // Unknown kind from a future version: skip.
             };
+            self.open_since.entry(event.id).or_insert_with(now_ms);
             let task = Task {
                 id: event.id,
                 kind,
@@ -391,6 +399,9 @@ impl TaskStore {
             task.reason = event.reason.clone();
             task.output = event.output.clone();
             task.retry_at_ms = event.retry_at_ms;
+            if task.state.is_terminal() {
+                self.open_since.remove(&event.id);
+            }
         }
     }
 
@@ -476,6 +487,25 @@ impl TaskStore {
     #[must_use]
     pub fn open_tasks(&self) -> usize {
         self.tasks.iter().filter(|t| !t.state.is_terminal()).count()
+    }
+
+    /// The id the next [`TaskStore::submit`] will assign. The accept
+    /// path peeks this (under the queue lock) to stamp the submission's
+    /// trace id before the task exists.
+    #[must_use]
+    pub fn next_task_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Milliseconds the oldest still-open task has been waiting in this
+    /// process, or 0 with an empty queue (the
+    /// `ags_serve_queue_oldest_age_seconds` reading).
+    #[must_use]
+    pub fn oldest_open_age_ms(&self, now: u64) -> u64 {
+        self.open_since
+            .values()
+            .min()
+            .map_or(0, |&since| now.saturating_sub(since))
     }
 }
 
@@ -618,6 +648,24 @@ mod tests {
         new.retry_at_ms = 99;
         let back: TaskEvent = serde::json::from_str(&serde::json::to_string(&new)).unwrap();
         assert_eq!(back, new);
+    }
+
+    #[test]
+    fn next_id_peek_matches_submit_and_ages_track_open_tasks() {
+        let dir = scratch("age");
+        let (mut store, _) = TaskStore::open(&dir).unwrap();
+        assert_eq!(store.oldest_open_age_ms(now_ms()), 0, "empty queue");
+        let peek = store.next_task_id();
+        let id = store.submit(TaskKind::Sweep, "{}".to_owned()).unwrap();
+        assert_eq!(peek, id, "peek must predict the assigned id");
+        assert_eq!(store.next_task_id(), id + 1);
+        // An open task ages; a terminal one stops counting.
+        assert!(store.oldest_open_age_ms(now_ms() + 5_000) >= 5_000);
+        store
+            .transition(&[TaskUpdate::to_state(id, TaskState::Canceled, 0)])
+            .unwrap();
+        assert_eq!(store.oldest_open_age_ms(now_ms() + 5_000), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,28 @@ use std::sync::{Arc, OnceLock};
 /// of compatible what-if requests.
 pub const BATCH_WIDTH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 
+/// Bucket bounds for per-route HTTP request latency, seconds. Reads
+/// answer in microseconds-to-milliseconds; submits journal first, so
+/// the tail stretches to the fsync and scheduler-wake cost.
+pub const HTTP_LATENCY_BOUNDS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+];
+
+/// The normalized route labels the daemon serves, used to pre-register
+/// every labelling of the request histogram (a scraper sees the full
+/// schema before traffic arrives). `other` buckets every unknown path.
+pub const ROUTES: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/metrics/history",
+    "/tasks",
+    "/tasks/:id",
+    "/tasks/:id/result",
+    "/tasks/:id/trace",
+    "/tasks/:id/cancel",
+    "other",
+];
+
 macro_rules! counter_accessor {
     ($(#[$doc:meta])* $fn_name:ident, $name:literal, $help:literal) => {
         $(#[$doc])*
@@ -142,6 +164,24 @@ counter_accessor!(
     "Tasks quarantined because their batch exceeded the per-batch deadline"
 );
 
+gauge_accessor!(
+    /// Seconds the oldest still-open task has been waiting.
+    queue_oldest_age,
+    "ags_serve_queue_oldest_age_seconds",
+    "Age in seconds of the oldest task not yet in a terminal state (0 when idle)"
+);
+
+/// Per-route request latency histogram handle. `route` should be one of
+/// [`ROUTES`] (the daemon normalizes ids out of paths first).
+pub fn http_request_seconds(route: &str) -> Arc<Histogram> {
+    global().histogram_with(
+        "ags_serve_http_request_seconds",
+        "HTTP request latency by normalized route, seconds",
+        HTTP_LATENCY_BOUNDS,
+        &[("route", route)],
+    )
+}
+
 /// Resolves every accessor once, so an export lists every family even
 /// before the daemon exercises some site (scrapers then see a stable
 /// schema; a zero is information, an absent family is not).
@@ -160,6 +200,10 @@ pub fn register_all() {
     recovered_tasks();
     serve_degraded();
     tasks_stuck();
+    queue_oldest_age();
+    for route in ROUTES {
+        http_request_seconds(route);
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +214,16 @@ mod tests {
     fn families_register_and_bounds_increase() {
         register_all();
         assert!(BATCH_WIDTH_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+        assert!(HTTP_LATENCY_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn request_histogram_is_one_family_per_route() {
+        register_all();
+        let a = http_request_seconds("/healthz");
+        let b = http_request_seconds("/healthz");
+        assert!(Arc::ptr_eq(&a, &b), "same label set shares one handle");
+        let c = http_request_seconds("/tasks");
+        assert!(!Arc::ptr_eq(&a, &c), "routes are distinct series");
     }
 }

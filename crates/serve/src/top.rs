@@ -1,0 +1,539 @@
+//! `ags top` — a live terminal dashboard over a running daemon.
+//!
+//! A small HTTP client (std [`TcpStream`] only, mirroring the server
+//! side in [`crate::http`]) polls three read-only endpoints:
+//!
+//! * `GET /healthz` — status, build identity, uptime;
+//! * `GET /metrics/history` — the flight recorder's recent frames,
+//!   rendered as unicode sparklines (queue depth, oldest-task age,
+//!   batch traffic, solve-cache traffic, degraded flag);
+//! * `GET /metrics` — the per-route request-latency histogram, reduced
+//!   to p50/p95/p99 upper-bound estimates from the cumulative buckets.
+//!
+//! Everything between the fetch and the final string is pure and
+//! unit-tested; `run_top` only adds the poll loop and the ANSI
+//! clear-screen. `--once` renders a single frame without any escape
+//! codes, which is what the CI smoke drives.
+
+use serde::Value;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How `ags top` connects and refreshes.
+#[derive(Debug, Clone)]
+pub struct TopOptions {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Render one frame (no escape codes) and exit.
+    pub once: bool,
+    /// Refresh period for the live loop.
+    pub interval: Duration,
+}
+
+impl TopOptions {
+    /// Options for a live session against `addr` at a 1 s refresh.
+    #[must_use]
+    pub fn new(addr: &str) -> Self {
+        TopOptions {
+            addr: addr.to_owned(),
+            once: false,
+            interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What `/healthz` told us (all fields best-effort: a daemon that
+/// predates a field, or a 503 body, still renders).
+#[derive(Debug, Default, Clone)]
+struct HealthView {
+    status: String,
+    reason: Option<String>,
+    version: String,
+    git: String,
+    uptime_seconds: i64,
+}
+
+/// One series out of `/metrics/history`: a key plus `(t_ms, value)`
+/// points, oldest first.
+#[derive(Debug, Clone)]
+struct SeriesView {
+    key: String,
+    points: Vec<(u64, f64)>,
+}
+
+/// Per-route latency digest from the request histogram.
+#[derive(Debug, Clone)]
+struct RouteLatency {
+    route: String,
+    count: u64,
+    p50: Option<f64>,
+    p95: Option<f64>,
+    p99: Option<f64>,
+}
+
+/// Runs the dashboard until the daemon goes away (the error says why)
+/// or, with `once`, after a single frame.
+///
+/// # Errors
+///
+/// Returns a message when the daemon cannot be reached or answers
+/// with an unparseable frame.
+pub fn run_top(options: &TopOptions) -> Result<(), String> {
+    loop {
+        let frame = gather_frame(&options.addr)?;
+        if options.once {
+            print!("{frame}");
+            let _ = std::io::stdout().flush();
+            return Ok(());
+        }
+        // Clear + home, then the frame; plain enough for any terminal.
+        print!("\u{1b}[2J\u{1b}[H{frame}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(options.interval);
+    }
+}
+
+/// One full fetch-and-render cycle.
+fn gather_frame(addr: &str) -> Result<String, String> {
+    let (_, health_body) = fetch(addr, "/healthz")?;
+    let health = parse_health(&health_body);
+    let (history_status, history_body) =
+        fetch(addr, "/metrics/history?window_ms=120000&points=48")?;
+    let series = if history_status == 200 {
+        parse_history(&history_body).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let (metrics_status, metrics_body) = fetch(addr, "/metrics")?;
+    let routes = if metrics_status == 200 {
+        parse_route_latency(&metrics_body)
+    } else {
+        Vec::new()
+    };
+    Ok(render_dashboard(addr, &health, &series, &routes))
+}
+
+/// Minimal HTTP/1.1 GET: returns `(status, body)`.
+fn fetch(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let request = format!("GET {path} HTTP/1.1\r\nHost: ags\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write to `{addr}` failed: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read from `{addr}` failed: {e}"))?;
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed response from `{addr}`"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map_or(String::new(), |(_, b)| b.to_owned());
+    Ok((status, body))
+}
+
+/// Best-effort `/healthz` JSON parse; absent fields stay at defaults.
+fn parse_health(body: &str) -> HealthView {
+    let mut view = HealthView {
+        status: "unknown".to_owned(),
+        version: "?".to_owned(),
+        git: "?".to_owned(),
+        ..HealthView::default()
+    };
+    let Ok(value) = Value::parse_json(body) else {
+        return view;
+    };
+    if let Ok(Value::Str(s)) = value.field("status") {
+        view.status.clone_from(s);
+    }
+    if let Ok(Value::Str(s)) = value.field("reason") {
+        view.reason = Some(s.clone());
+    }
+    if let Ok(Value::Str(s)) = value.field("version") {
+        view.version.clone_from(s);
+    }
+    if let Ok(Value::Str(s)) = value.field("git") {
+        view.git.clone_from(s);
+    }
+    if let Ok(n) = value.field("uptime_seconds").and_then(Value::as_int) {
+        view.uptime_seconds = i64::try_from(n).unwrap_or(0);
+    }
+    view
+}
+
+/// Parses the `/metrics/history` JSON body into series views.
+fn parse_history(body: &str) -> Result<Vec<SeriesView>, String> {
+    let value = Value::parse_json(body).map_err(|e| format!("bad history JSON: {e}"))?;
+    let series = value
+        .field("series")
+        .and_then(Value::as_seq)
+        .map_err(|e| format!("bad history JSON: {e}"))?;
+    let mut out = Vec::with_capacity(series.len());
+    for entry in series {
+        let Ok(Value::Str(key)) = entry.field("key") else {
+            continue;
+        };
+        let Ok(raw_points) = entry.field("points").and_then(Value::as_seq) else {
+            continue;
+        };
+        let mut points = Vec::with_capacity(raw_points.len());
+        for point in raw_points {
+            let Ok(pair) = point.as_seq() else { continue };
+            if pair.len() != 2 {
+                continue;
+            }
+            let (Ok(t), Ok(v)) = (pair[0].as_int(), pair[1].as_float()) else {
+                continue;
+            };
+            points.push((u64::try_from(t).unwrap_or(0), v));
+        }
+        out.push(SeriesView {
+            key: key.clone(),
+            points,
+        });
+    }
+    Ok(out)
+}
+
+/// Extracts per-route `(le, cumulative)` buckets out of the Prometheus
+/// text exposition and reduces them to percentile estimates.
+fn parse_route_latency(metrics: &str) -> Vec<RouteLatency> {
+    const PREFIX: &str = "ags_serve_http_request_seconds_bucket{";
+    /// Accumulator per route: `(route, [(le, cumulative)], +Inf count)`.
+    type RouteBuckets = (String, Vec<(f64, u64)>, u64);
+    let mut routes: Vec<RouteBuckets> = Vec::new();
+    for line in metrics.lines() {
+        let Some(rest) = line.strip_prefix(PREFIX) else {
+            continue;
+        };
+        let Some((labels, value)) = rest.split_once("} ") else {
+            continue;
+        };
+        let Some(route) = label_value(labels, "route") else {
+            continue;
+        };
+        let Some(le) = label_value(labels, "le") else {
+            continue;
+        };
+        let Ok(cum) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        let slot = match routes.iter().position(|(r, _, _)| *r == route) {
+            Some(i) => &mut routes[i],
+            None => {
+                routes.push((route, Vec::new(), 0));
+                routes.last_mut().expect("just pushed")
+            }
+        };
+        if le == "+Inf" {
+            slot.2 = cum;
+        } else if let Ok(bound) = le.parse::<f64>() {
+            slot.1.push((bound, cum));
+        }
+    }
+    let mut out: Vec<RouteLatency> = routes
+        .into_iter()
+        .filter(|(_, _, count)| *count > 0)
+        .map(|(route, buckets, count)| RouteLatency {
+            route,
+            count,
+            p50: percentile(&buckets, count, 0.50),
+            p95: percentile(&buckets, count, 0.95),
+            p99: percentile(&buckets, count, 0.99),
+        })
+        .collect();
+    out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.route.cmp(&b.route)));
+    out
+}
+
+/// Pulls `key="…"` out of a Prometheus label string (labels never
+/// contain escaped quotes here — routes are a fixed set).
+fn label_value(labels: &str, key: &str) -> Option<String> {
+    let marker = format!("{key}=\"");
+    let start = labels.find(&marker)? + marker.len();
+    let end = labels[start..].find('"')? + start;
+    Some(labels[start..end].to_owned())
+}
+
+/// Upper-bound percentile estimate from cumulative buckets: the first
+/// finite bound covering `q` of the observations, `None` when the
+/// quantile lands in the `+Inf` overflow (or there is no data).
+fn percentile(buckets: &[(f64, u64)], count: u64, q: f64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let target = (q * count as f64).ceil().max(1.0) as u64;
+    buckets
+        .iter()
+        .find(|(_, cum)| *cum >= target)
+        .map(|(bound, _)| *bound)
+}
+
+/// Eight-level unicode sparkline, scaled to the slice's own min/max.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return "(no data)".to_owned();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max > min {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let idx = (((v - min) / (max - min)) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            } else {
+                BARS[0]
+            }
+        })
+        .collect()
+}
+
+/// Per-sample increments of a cumulative counter series (clamped at
+/// zero so a daemon restart does not render as a negative spike).
+fn deltas(values: &[f64]) -> Vec<f64> {
+    values.windows(2).map(|w| (w[1] - w[0]).max(0.0)).collect()
+}
+
+fn series_values<'a>(series: &'a [SeriesView], key: &str) -> Option<&'a [(u64, f64)]> {
+    series
+        .iter()
+        .find(|s| s.key == key)
+        .map(|s| s.points.as_slice())
+}
+
+/// One gauge row: sparkline plus the latest value.
+fn gauge_row(out: &mut String, label: &str, series: &[SeriesView], key: &str) {
+    let values: Vec<f64> = series_values(series, key)
+        .map(|pts| pts.iter().map(|(_, v)| *v).collect())
+        .unwrap_or_default();
+    let last = values.last().copied().unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "  {label:<18} {} {}",
+        sparkline(&values),
+        format_value(last)
+    );
+}
+
+/// One counter row: sparkline of per-sample increments plus the total.
+fn counter_row(out: &mut String, label: &str, series: &[SeriesView], key: &str) {
+    let values: Vec<f64> = series_values(series, key)
+        .map(|pts| pts.iter().map(|(_, v)| *v).collect())
+        .unwrap_or_default();
+    let total = values.last().copied().unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "  {label:<18} {} {} total",
+        sparkline(&deltas(&values)),
+        format_value(total)
+    );
+}
+
+/// Compact numbers: integers without the trailing `.0`, the rest with
+/// one decimal.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Milliseconds per latency display, with sub-millisecond precision.
+fn format_latency(bound: Option<f64>) -> String {
+    match bound {
+        Some(b) => format!("≤{:.1}ms", b * 1000.0),
+        None => ">2.5s".to_owned(),
+    }
+}
+
+/// Renders the whole dashboard frame. Pure — everything observable is
+/// in the arguments, so the tests drive it without a daemon.
+fn render_dashboard(
+    addr: &str,
+    health: &HealthView,
+    series: &[SeriesView],
+    routes: &[RouteLatency],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ags top — {addr} — status {} (v{}, git {}, up {}s)",
+        health.status, health.version, health.git, health.uptime_seconds
+    );
+    if let Some(reason) = &health.reason {
+        let _ = writeln!(out, "  !! {reason}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "queue");
+    gauge_row(&mut out, "depth", series, "ags_serve_queue_depth");
+    gauge_row(
+        &mut out,
+        "oldest age (s)",
+        series,
+        "ags_serve_queue_oldest_age_seconds",
+    );
+    gauge_row(&mut out, "degraded", series, "ags_serve_degraded");
+    counter_row(
+        &mut out,
+        "stuck tasks",
+        series,
+        "ags_serve_tasks_stuck_total",
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "scheduler");
+    counter_row(&mut out, "batches", series, "ags_serve_batches_total");
+    counter_row(
+        &mut out,
+        "batch width",
+        series,
+        "ags_serve_batch_width_count",
+    );
+    counter_row(
+        &mut out,
+        "task retries",
+        series,
+        "ags_serve_task_retries_total",
+    );
+    counter_row(&mut out, "cache hits", series, "ags_solve_cache_hits_total");
+    counter_row(
+        &mut out,
+        "cache misses",
+        series,
+        "ags_solve_cache_misses_total",
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "routes (latency upper bounds from histogram buckets)");
+    if routes.is_empty() {
+        let _ = writeln!(out, "  (no requests observed)");
+    }
+    for r in routes {
+        let _ = writeln!(
+            out,
+            "  {:<18} n={:<6} p50 {:<8} p95 {:<8} p99 {}",
+            r.route,
+            r.count,
+            format_latency(r.p50),
+            format_latency(r.p95),
+            format_latency(r.p99),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_and_handles_flats() {
+        assert_eq!(sparkline(&[]), "(no data)");
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0]), "▁▁▁");
+        let line = sparkline(&[0.0, 1.0, 2.0, 7.0]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+    }
+
+    #[test]
+    fn deltas_clamp_counter_resets() {
+        assert_eq!(deltas(&[1.0, 4.0, 4.0, 2.0]), vec![3.0, 0.0, 0.0]);
+        assert!(deltas(&[5.0]).is_empty());
+    }
+
+    #[test]
+    fn percentile_walks_cumulative_buckets() {
+        let buckets = [(0.001, 5), (0.01, 9), (0.1, 10)];
+        assert_eq!(percentile(&buckets, 10, 0.50), Some(0.001));
+        assert_eq!(percentile(&buckets, 10, 0.90), Some(0.01));
+        assert_eq!(percentile(&buckets, 10, 0.99), Some(0.1));
+        assert_eq!(percentile(&buckets, 0, 0.50), None);
+        // Quantile landing past every finite bound → overflow bucket.
+        assert_eq!(percentile(&[(0.001, 2)], 10, 0.99), None);
+    }
+
+    #[test]
+    fn route_latency_parses_prometheus_text() {
+        let text = "\
+# HELP ags_serve_http_request_seconds HTTP request latency\n\
+# TYPE ags_serve_http_request_seconds histogram\n\
+ags_serve_http_request_seconds_bucket{route=\"/tasks\",le=\"0.001\"} 2\n\
+ags_serve_http_request_seconds_bucket{route=\"/tasks\",le=\"0.01\"} 4\n\
+ags_serve_http_request_seconds_bucket{route=\"/tasks\",le=\"+Inf\"} 4\n\
+ags_serve_http_request_seconds_sum{route=\"/tasks\"} 0.01\n\
+ags_serve_http_request_seconds_count{route=\"/tasks\"} 4\n\
+ags_serve_http_request_seconds_bucket{route=\"/healthz\",le=\"0.001\"} 0\n\
+ags_serve_http_request_seconds_bucket{route=\"/healthz\",le=\"+Inf\"} 0\n\
+other_metric 7\n";
+        let routes = parse_route_latency(text);
+        assert_eq!(routes.len(), 1, "zero-count routes are hidden");
+        assert_eq!(routes[0].route, "/tasks");
+        assert_eq!(routes[0].count, 4);
+        assert_eq!(routes[0].p50, Some(0.001));
+        assert_eq!(routes[0].p99, Some(0.01));
+    }
+
+    #[test]
+    fn history_and_health_parse_and_render() {
+        let health = parse_health(
+            "{\"status\":\"ok\",\"version\":\"0.1.0\",\"git\":\"abc123\",\"uptime_seconds\":42}",
+        );
+        assert_eq!(health.status, "ok");
+        assert_eq!(health.uptime_seconds, 42);
+        assert!(health.reason.is_none());
+
+        let degraded = parse_health("{\"status\":\"degraded\",\"reason\":\"journal unwritable\"}");
+        assert_eq!(degraded.status, "degraded");
+        assert_eq!(degraded.reason.as_deref(), Some("journal unwritable"));
+
+        let history = "{\"now_ms\":1000,\"window_ms\":120000,\"dropped_frames\":0,\
+\"series\":[{\"key\":\"ags_serve_queue_depth\",\"points\":[[900,1.0],[950,3.0]]}]}";
+        let series = parse_history(history).expect("parses");
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points, vec![(900, 1.0), (950, 3.0)]);
+
+        let frame = render_dashboard(
+            "127.0.0.1:7075",
+            &health,
+            &series,
+            &[RouteLatency {
+                route: "/tasks".to_owned(),
+                count: 4,
+                p50: Some(0.001),
+                p95: Some(0.01),
+                p99: None,
+            }],
+        );
+        assert!(frame.contains("status ok"));
+        assert!(frame.contains("depth"));
+        assert!(frame.contains("/tasks"));
+        assert!(frame.contains("≤1.0ms"));
+        assert!(frame.contains(">2.5s"));
+        // The --once frame carries no escape codes.
+        assert!(!frame.contains('\u{1b}'));
+    }
+
+    #[test]
+    fn malformed_bodies_degrade_gracefully() {
+        let health = parse_health("not json at all");
+        assert_eq!(health.status, "unknown");
+        assert!(parse_history("not json").is_err());
+        assert!(parse_route_latency("garbage text\n").is_empty());
+        assert_eq!(
+            label_value("route=\"/tasks\",le=\"+Inf\"", "le").as_deref(),
+            Some("+Inf")
+        );
+        assert_eq!(label_value("route=\"/tasks\"", "le"), None);
+    }
+}

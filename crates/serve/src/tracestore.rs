@@ -1,0 +1,235 @@
+//! Per-task trace retention for the daemon.
+//!
+//! The `p7_obs::trace` ring is a process-global firehose: every span
+//! from every thread lands in one buffer, and `collect()` drains it.
+//! The daemon needs something narrower — "give me the span tree of
+//! task 7" long after the scheduler moved on — so this module keeps a
+//! bounded, process-global side table of completed events grouped by
+//! trace id.
+//!
+//! Why process-global rather than per-daemon: `trace::collect()` is
+//! destructive, and several daemons can share one test process. If
+//! each daemon kept its own table, whichever thread drained the ring
+//! first would steal the other daemon's events. Instead every drain
+//! feeds the same store, and each daemon namespaces its trace ids with
+//! [`fnv64`] over its journal directory, so ids never collide and
+//! lookups stay per-daemon.
+//!
+//! Retention is bounded: once more than [`TraceStore::DEFAULT_CAPACITY`]
+//! distinct traces are held, the oldest-started trace is evicted whole.
+//! A trace is telemetry, not task state — eviction loses nothing a
+//! restart would not.
+
+use p7_obs::trace::TraceEvent;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// FNV-1a over `bytes`: the daemon's trace-id namespace hash (the same
+/// checksum family the journal substrate uses, picked for determinism
+/// and zero dependencies, not for collision resistance).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+struct Inner {
+    /// Completed events per trace id.
+    traces: HashMap<u64, Vec<TraceEvent>>,
+    /// Trace ids in first-seen order, for whole-trace eviction.
+    order: VecDeque<u64>,
+    /// The accept-span id of each trace, so scheduler-side spans can
+    /// parent themselves onto the root across the queue boundary.
+    roots: HashMap<u64, u64>,
+    /// Tombstones of evicted trace ids: a straggler span from a
+    /// dropped trace must not resurrect a one-event tree. Bounded FIFO
+    /// (`dead_order`) so the set cannot grow without limit.
+    dead: HashSet<u64>,
+    dead_order: VecDeque<u64>,
+    /// Whole traces evicted since process start.
+    evicted: u64,
+}
+
+/// A bounded map `trace id → completed events`, shared by every daemon
+/// in the process.
+pub struct TraceStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TraceStore {
+    /// Distinct traces retained before the oldest is evicted whole.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A store retaining at most `capacity` distinct traces (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                traces: HashMap::new(),
+                order: VecDeque::new(),
+                roots: HashMap::new(),
+                dead: HashSet::new(),
+                dead_order: VecDeque::new(),
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// The process-wide store every daemon absorbs into.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(|| TraceStore::new(TraceStore::DEFAULT_CAPACITY))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admit `trace` into the bounded id set, evicting the oldest trace
+    /// whole when over capacity. Returns `false` for a tombstoned
+    /// (already-evicted) trace. Caller holds the lock.
+    fn admit(&self, inner: &mut Inner, trace: u64) -> bool {
+        if inner.traces.contains_key(&trace) || inner.roots.contains_key(&trace) {
+            return true;
+        }
+        if inner.dead.contains(&trace) {
+            return false;
+        }
+        inner.order.push_back(trace);
+        // The new trace sits at the back, so eviction (from the front)
+        // can never drop what was just admitted.
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.traces.remove(&old);
+                inner.roots.remove(&old);
+                inner.evicted += 1;
+                if inner.dead.insert(old) {
+                    inner.dead_order.push_back(old);
+                }
+                while inner.dead_order.len() > self.capacity * 4 {
+                    if let Some(expired) = inner.dead_order.pop_front() {
+                        inner.dead.remove(&expired);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Files a batch of drained events under their trace ids. Events
+    /// with no trace id (`trace == 0` — spans recorded outside any
+    /// task, e.g. another subsystem's instrumentation) are dropped.
+    pub fn absorb(&self, events: Vec<TraceEvent>) {
+        let mut inner = self.lock();
+        for event in events {
+            if event.trace == 0 {
+                continue;
+            }
+            // An evicted trace stays evicted: a straggler span from a
+            // dropped trace must not resurrect a one-event tree.
+            if !self.admit(&mut inner, event.trace) {
+                continue;
+            }
+            inner.traces.entry(event.trace).or_default().push(event);
+        }
+    }
+
+    /// Registers the root (accept) span of `trace`, so spans recorded
+    /// on the far side of the queue can parent onto it.
+    pub fn set_root(&self, trace: u64, span: u64) {
+        let mut inner = self.lock();
+        if self.admit(&mut inner, trace) {
+            inner.roots.insert(trace, span);
+        }
+    }
+
+    /// The root span id of `trace`, if registered and not evicted.
+    #[must_use]
+    pub fn root_of(&self, trace: u64) -> Option<u64> {
+        self.lock().roots.get(&trace).copied()
+    }
+
+    /// Every completed event of `trace`, if any were absorbed.
+    #[must_use]
+    pub fn events_for(&self, trace: u64) -> Option<Vec<TraceEvent>> {
+        let inner = self.lock();
+        inner.traces.get(&trace).cloned()
+    }
+
+    /// Whole traces evicted since process start.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.lock().evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(trace: u64, span: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            name,
+            trace,
+            span,
+            ..TraceEvent::default()
+        }
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_input_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"/tmp/a"), fnv64(b"/tmp/b"));
+        assert_eq!(fnv64(b"/tmp/a"), fnv64(b"/tmp/a"));
+    }
+
+    #[test]
+    fn absorb_groups_by_trace_and_drops_untraced() {
+        let store = TraceStore::new(8);
+        store.absorb(vec![
+            event(1, 10, "a"),
+            event(2, 20, "b"),
+            event(0, 30, "untraced"),
+            event(1, 11, "c"),
+        ]);
+        let one = store.events_for(1).unwrap();
+        assert_eq!(one.len(), 2);
+        assert_eq!(store.events_for(2).unwrap().len(), 1);
+        assert!(store.events_for(0).is_none());
+        assert!(store.events_for(99).is_none());
+    }
+
+    #[test]
+    fn eviction_drops_whole_oldest_trace_and_blocks_stragglers() {
+        let store = TraceStore::new(2);
+        store.set_root(1, 100);
+        store.absorb(vec![event(1, 100, "root")]);
+        store.absorb(vec![event(2, 200, "root")]);
+        store.absorb(vec![event(3, 300, "root")]); // evicts trace 1
+        assert!(store.events_for(1).is_none());
+        assert!(store.root_of(1).is_none());
+        assert_eq!(store.evicted(), 1);
+        // A straggler from the evicted trace must not resurrect it.
+        store.absorb(vec![event(1, 101, "late")]);
+        assert!(store.events_for(1).is_none());
+        // The survivors are intact.
+        assert!(store.events_for(2).is_some());
+        assert!(store.events_for(3).is_some());
+    }
+
+    #[test]
+    fn roots_cross_the_queue_boundary() {
+        let store = TraceStore::new(8);
+        store.set_root(7, 42);
+        assert_eq!(store.root_of(7), Some(42));
+        assert_eq!(store.root_of(8), None);
+    }
+}

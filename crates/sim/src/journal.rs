@@ -735,7 +735,8 @@ where
             }
             telemetry::sweep_points_claimed().inc();
             let solved = {
-                let _span = trace::span("sweep_point", idx as u64);
+                let span = trace::span("sweep_point", idx as u64);
+                let _ctx = span.push();
                 attempt_point(&f, &mut state, idx, &opts.retry, &init)
             };
             absorb(
@@ -751,12 +752,16 @@ where
     } else {
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Solved<T>)>();
+        // Workers inherit the coordinator's trace context (the campaign
+        // root) so span trees parent identically at any worker count.
+        let ctx = trace::current_context();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 let tx = tx.clone();
                 let (f, init, done, next, cancel) = (&f, &init, &done, &next, &opts.cancel);
                 let retry = &opts.retry;
                 scope.spawn(move || {
+                    let _tctx = trace::push_context(ctx);
                     let mut state = init();
                     let mut ready_at = Instant::now();
                     let mut work = || loop {
@@ -777,7 +782,8 @@ where
                             }
                             telemetry::sweep_points_claimed().inc();
                             let solved = {
-                                let _span = trace::span("sweep_point", idx as u64);
+                                let span = trace::span("sweep_point", idx as u64);
+                                let _ctx = span.push();
                                 attempt_point(f, &mut state, idx, retry, init)
                             };
                             if tx.send((idx, solved)).is_err() {

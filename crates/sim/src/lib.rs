@@ -43,6 +43,7 @@ pub mod group;
 pub mod history;
 pub mod journal;
 pub mod measure;
+pub mod recorder;
 pub mod resilience;
 pub mod server;
 pub mod solve;

@@ -1,0 +1,268 @@
+//! On-disk flight-recorder log: metric frames persisted on the journal
+//! segment substrate, so history survives a daemon restart with the same
+//! durability story as the task queue (checksummed segments, atomic
+//! writes, torn tails skipped — never trusted).
+//!
+//! The in-memory side lives in `p7_obs::timeseries`; this module only
+//! moves [`FrameRecord`]s between that ring and disk. Recovery is
+//! deliberately forgiving: a recorder log is advisory telemetry, not
+//! campaign state, so a corrupt manifest or unreadable directory wipes
+//! the log and starts fresh ("cleanly truncated") rather than refusing
+//! to serve.
+
+use crate::error::SimError;
+use crate::journal::{CampaignManifest, Journal, MANIFEST_FILE};
+use crate::vfs::DynFs;
+use serde::{de, Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// Campaign kind stamped into a recorder log's manifest.
+pub const RECORDER_JOURNAL_KIND: &str = "recorder";
+
+/// One persisted metrics frame: the on-disk twin of
+/// `p7_obs::timeseries::Frame`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub t_ms: u64,
+    /// `(series key, value)` readings.
+    pub series: Vec<(String, f64)>,
+}
+
+// Series ride as `[["key", value], …]` pairs: compact, order-preserving,
+// and human-greppable in the segment JSON.
+impl Serialize for FrameRecord {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("t_ms".to_owned(), self.t_ms.to_value()),
+            (
+                "series".to_owned(),
+                Value::Seq(
+                    self.series
+                        .iter()
+                        .map(|(k, v)| Value::Seq(vec![Value::Str(k.clone()), Value::Float(*v)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for FrameRecord {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let mut series = Vec::new();
+        for pair in v.field("series")?.as_seq()? {
+            let pair = pair.as_seq()?;
+            if pair.len() != 2 {
+                return Err(de::Error::new(format!(
+                    "series pair has {} elements; want 2",
+                    pair.len()
+                )));
+            }
+            let key = match &pair[0] {
+                Value::Str(s) => s.clone(),
+                other => {
+                    return Err(de::Error::new(format!(
+                        "series key must be a string, got {}",
+                        other.kind()
+                    )))
+                }
+            };
+            series.push((key, pair[1].as_float()?));
+        }
+        Ok(FrameRecord {
+            t_ms: u64::from_value(v.field("t_ms")?)?,
+            series,
+        })
+    }
+}
+
+/// The manifest every recorder log is stamped with.
+fn recorder_manifest() -> CampaignManifest {
+    CampaignManifest::new(
+        RECORDER_JOURNAL_KIND,
+        0,
+        "{\"log\":\"flight-recorder\"}".to_owned(),
+    )
+}
+
+/// A durable, append-only log of [`FrameRecord`]s.
+pub struct RecorderLog {
+    journal: Journal<FrameRecord>,
+    /// Next global frame sequence number (continues across restarts).
+    seq: usize,
+}
+
+impl RecorderLog {
+    /// Opens (or creates) the recorder log in `dir`, returning the log
+    /// plus every frame recovered from intact segments, oldest first.
+    ///
+    /// Recovery policy: torn or checksum-failed segments are silently
+    /// skipped (their frames are lost — telemetry, not state); a log
+    /// that cannot be resumed at all (corrupt manifest, mismatched
+    /// kind) is wiped and recreated empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] only when even a fresh log cannot
+    /// be created (directory unwritable).
+    pub fn open_with(dir: &Path, fs: DynFs) -> Result<(RecorderLog, Vec<FrameRecord>), SimError> {
+        if fs.exists(&dir.join(MANIFEST_FILE)) {
+            match Journal::resume_with(dir, &recorder_manifest(), DynFs::clone(&fs)) {
+                Ok(resumed) => {
+                    let mut entries = resumed.entries;
+                    entries.sort_by_key(|(seq, _)| *seq);
+                    let seq = entries.last().map_or(0, |(s, _)| s + 1);
+                    let frames = entries.into_iter().map(|(_, f)| f).collect();
+                    return Ok((
+                        RecorderLog {
+                            journal: resumed.journal,
+                            seq,
+                        },
+                        frames,
+                    ));
+                }
+                Err(_) => wipe_dir(dir, &fs),
+            }
+        }
+        let journal = Journal::create_with(dir, &recorder_manifest(), fs)?;
+        Ok((RecorderLog { journal, seq: 0 }, Vec::new()))
+    }
+
+    /// Durably appends `frames` as one segment. A no-op for an empty
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] on any I/O failure.
+    pub fn append(&mut self, frames: &[FrameRecord]) -> Result<(), SimError> {
+        let entries: Vec<(usize, FrameRecord)> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (self.seq + i, f.clone()))
+            .collect();
+        self.journal.append(&entries)?;
+        self.seq += frames.len();
+        Ok(())
+    }
+
+    /// The log directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        self.journal.dir()
+    }
+}
+
+/// Best-effort removal of every file in `dir` so a fresh log can be
+/// created. Telemetry-grade recovery: failures are ignored (create will
+/// report the directory as unusable if it truly is).
+fn wipe_dir(dir: &Path, fs: &DynFs) {
+    if let Ok(names) = fs.read_dir(dir) {
+        for name in names {
+            let _ = fs.remove_file(&dir.join(name));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::std_fs;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ags-recorder-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn frame(t_ms: u64) -> FrameRecord {
+        FrameRecord {
+            t_ms,
+            series: vec![
+                ("ags_serve_queue_depth".to_owned(), t_ms as f64),
+                ("ags_serve_batch_width_count".to_owned(), 2.5),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_frames_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let (mut log, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert!(recovered.is_empty());
+        log.append(&[frame(1), frame(2)]).unwrap();
+        log.append(&[frame(3)]).unwrap();
+        drop(log);
+        let (mut log, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert_eq!(recovered, vec![frame(1), frame(2), frame(3)]);
+        // Appends after a reopen extend, not overwrite.
+        log.append(&[frame(4)]).unwrap();
+        drop(log);
+        let (_, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert_eq!(recovered.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_segment_is_cleanly_truncated() {
+        let dir = tmpdir("torn");
+        let (mut log, _) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        log.append(&[frame(1)]).unwrap();
+        log.append(&[frame(2)]).unwrap();
+        drop(log);
+        // Corrupt the newest segment, as a SIGKILL mid-write would.
+        let mut segs: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                p.file_name()?.to_str()?.starts_with("seg-").then_some(p)
+            })
+            .collect();
+        segs.sort();
+        let tail = segs.last().unwrap();
+        let mut bytes = fs::read(tail).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(tail, bytes).unwrap();
+        let (mut log, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert_eq!(recovered, vec![frame(1)], "torn tail dropped, prefix kept");
+        // The reopened log keeps appending past the dead segment.
+        log.append(&[frame(5)]).unwrap();
+        drop(log);
+        let (_, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert_eq!(recovered, vec![frame(1), frame(5)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_wipes_and_recreates() {
+        let dir = tmpdir("manifest");
+        let (mut log, _) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        log.append(&[frame(1)]).unwrap();
+        drop(log);
+        fs::write(dir.join(MANIFEST_FILE), b"not json at all").unwrap();
+        let (mut log, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert!(recovered.is_empty(), "unrecoverable log restarts empty");
+        log.append(&[frame(9)]).unwrap();
+        drop(log);
+        let (_, recovered) = RecorderLog::open_with(&dir, std_fs()).unwrap();
+        assert_eq!(recovered, vec![frame(9)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_record_serde_round_trip() {
+        let f = frame(42);
+        let v = f.to_value();
+        let back = FrameRecord::from_value(&v).unwrap();
+        assert_eq!(back, f);
+        // Wire shape: series pairs are ["key", value] arrays.
+        let json = serde::json::to_string(&f);
+        assert!(json.contains("[\"ags_serve_queue_depth\",42.0]"), "{json}");
+    }
+}

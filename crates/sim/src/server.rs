@@ -496,7 +496,8 @@ impl Simulation {
     /// the returned ticks, the CPM readouts and the rail snapshot are all
     /// fixed-size values.
     pub fn tick(&mut self) -> [SocketTick; NUM_SOCKETS] {
-        let _span = trace::span("tick", self.tick_index as u64);
+        let span = trace::span("tick", self.tick_index as u64);
+        let _ctx = span.push();
         let setup = self.begin_tick();
         let ticks = self.solve_sockets(&setup.rails, setup.modes, setup.droop_scales);
         self.settle_tick(&setup, ticks)

@@ -1566,16 +1566,21 @@ where
         return (0..n)
             .map(|idx| {
                 telemetry::sweep_points_claimed().inc();
-                let _span = trace::span("sweep_point", idx as u64);
+                let span = trace::span("sweep_point", idx as u64);
+                let _ctx = span.push();
                 f(&mut state, idx)
             })
             .collect();
     }
     let next = AtomicUsize::new(0);
+    // Workers inherit the coordinator's trace context (the campaign root)
+    // so their sweep_point spans parent identically at any worker count.
+    let ctx = trace::current_context();
     let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    let _tctx = trace::push_context(ctx);
                     let mut state = init();
                     let mut local = Vec::new();
                     let mut ready_at = Instant::now();
@@ -1591,7 +1596,8 @@ where
                         telemetry::sweep_chunk_wait().observe(ready_at.elapsed().as_secs_f64());
                         for idx in start..(start + chunk).min(n) {
                             telemetry::sweep_points_claimed().inc();
-                            let _span = trace::span("sweep_point", idx as u64);
+                            let span = trace::span("sweep_point", idx as u64);
+                            let _ctx = span.push();
                             local.push((idx, f(&mut state, idx)));
                         }
                         ready_at = Instant::now();

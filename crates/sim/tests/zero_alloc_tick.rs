@@ -58,10 +58,15 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 #[test]
 fn warm_ticks_allocate_nothing_with_telemetry_enabled() {
     // Full observability on: the registry records every counter bump and
-    // histogram observation, the tracer records tick and solve spans.
+    // histogram observation, the tracer records tick and solve spans, and
+    // a live flight recorder holds registry snapshots. The recorder
+    // samples on its own schedule (a daemon thread in production) — its
+    // presence must not perturb the tick path, which never touches it.
     p7_obs::metrics::global().set_enabled(true);
     p7_sim::telemetry::register_all();
     p7_obs::trace::enable();
+    let recorder = p7_obs::timeseries::Recorder::new(p7_obs::timeseries::DEFAULT_CAPACITY);
+    recorder.sample(p7_obs::metrics::global(), p7_obs::timeseries::wall_ms());
 
     let w = Catalog::power7plus().get("raytrace").unwrap().clone();
     let mut sim = Simulation::new(
@@ -83,6 +88,11 @@ fn warm_ticks_allocate_nothing_with_telemetry_enabled() {
         std::hint::black_box(sim.tick());
     }
     ARMED.store(false, Ordering::SeqCst);
+
+    // The recorder still works after the measured window — the armed
+    // phase simply never needed it.
+    recorder.sample(p7_obs::metrics::global(), p7_obs::timeseries::wall_ms());
+    assert_eq!(recorder.len(), 2, "both samples landed in the ring");
 
     p7_obs::trace::disable();
     p7_obs::metrics::global().set_enabled(false);

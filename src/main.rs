@@ -17,7 +17,7 @@ use ags::control::GuardbandMode;
 use ags::fleet::{FleetEngine, FleetReport, FleetRunOptions, FleetSpec, TrafficModel};
 use ags::harness::{install_cancel_on_signals, EXIT_INTERRUPTED};
 use ags::scheduling::{ClusterConfig, ClusterScheduler, LoadlineBorrowing};
-use ags::serve::{serve, ServeConfig};
+use ags::serve::{run_top, serve, ServeConfig, TopOptions};
 use ags::sim::journal::{read_manifest, render_failed};
 use ags::sim::{
     CachedExperiment, DurableOptions, Experiment, FailedPoint, JournalMode, ResilienceSpec,
@@ -80,6 +80,7 @@ fn main() -> ExitCode {
     let switch_names: &[&str] = match command {
         "sweep" | "resilience" | "fleet" => &["smoke"],
         "fsck" => &["repair"],
+        "top" => &["once"],
         _ => &[],
     };
     let (switches, tail) = split_switches(&args[1..], switch_names);
@@ -102,23 +103,40 @@ fn main() -> ExitCode {
     if obs.trace.is_some() {
         ags::obs::trace::enable();
     }
-    let result: Result<(), CliError> = match command {
-        "list" => cmd_list().map_err(CliError::from),
-        "run" => cmd_run(&flags).map_err(CliError::from),
-        "sweep" => cmd_sweep(&flags, smoke),
-        "resilience" => cmd_resilience(&flags, smoke),
-        "fleet" => cmd_fleet(&flags, smoke),
-        "serve" => cmd_serve(&flags),
-        "fsck" => cmd_fsck(&flags, switches.iter().any(|s| s == "repair")),
-        "borrow" => cmd_borrow(&flags).map_err(CliError::from),
-        "cluster" => cmd_cluster(&flags).map_err(CliError::from),
-        "help" | "--help" | "-h" => {
-            print_usage();
-            Ok(())
+    let result: Result<(), CliError> = {
+        // With --trace, every span of the command hangs off one
+        // `campaign` root, so the exported tree has a single top-level
+        // node (and the span tree stays --jobs invariant: workers
+        // inherit the pushed context at spawn).
+        let campaign_root = obs.trace.as_ref().map(|_| {
+            let span = ags::obs::trace::span("campaign", 0);
+            let guard = span.push();
+            (span, guard)
+        });
+        let result = match command {
+            "list" => cmd_list().map_err(CliError::from),
+            "run" => cmd_run(&flags).map_err(CliError::from),
+            "sweep" => cmd_sweep(&flags, smoke),
+            "resilience" => cmd_resilience(&flags, smoke),
+            "fleet" => cmd_fleet(&flags, smoke),
+            "serve" => cmd_serve(&flags),
+            "top" => cmd_top(&flags, switches.iter().any(|s| s == "once")),
+            "fsck" => cmd_fsck(&flags, switches.iter().any(|s| s == "repair")),
+            "borrow" => cmd_borrow(&flags).map_err(CliError::from),
+            "cluster" => cmd_cluster(&flags).map_err(CliError::from),
+            "help" | "--help" | "-h" => {
+                print_usage();
+                Ok(())
+            }
+            other => Err(CliError::Message(format!(
+                "unknown command `{other}` (try `ags help`)"
+            ))),
+        };
+        if let Some((span, guard)) = campaign_root {
+            drop(guard);
+            drop(span);
         }
-        other => Err(CliError::Message(format!(
-            "unknown command `{other}` (try `ags help`)"
-        ))),
+        result
     };
     // Exporters run even for a failed command: a crashed or unsafe
     // campaign still leaves its telemetry behind for diagnosis.
@@ -212,6 +230,7 @@ USAGE:
       manifest. --smoke runs the shortened CI fleet.
   ags serve --journal DIR [--addr HOST:PORT] [--jobs N] [--max-body BYTES]
             [--max-connections N] [--timeout-ms MS] [--deadline-ms MS]
+            [--sample-ms MS]
       Run the campaign daemon: accept sweep/resilience/fleet requests
       over HTTP (default 127.0.0.1:7075), journal every task into DIR
       before acknowledging it, batch compatible sweeps into shared
@@ -227,7 +246,20 @@ USAGE:
       stuck (0 = off). SIGINT/SIGTERM drain gracefully — in-flight
       work is checkpointed and the daemon exits 75; restart with the
       same --journal to resume the queue (a second signal forces
-      immediate exit).
+      immediate exit). Every task gets a trace at accept: GET
+      /tasks/ID/trace returns the accept→journal→batch→solve→render
+      span tree as Chrome trace JSON. A flight recorder samples the
+      metrics registry every --sample-ms (default 500) into a bounded
+      in-memory ring persisted under DIR/flightrec (recovered on
+      restart); GET /metrics/history?family=NAME&window_ms=MS&points=N
+      serves the recent frames, downsampled.
+  ags top [--addr HOST:PORT] [--interval-ms MS] [--once]
+      Live terminal dashboard over a running daemon (default
+      127.0.0.1:7075): health/build/uptime, queue depth, oldest-task
+      age, batch and solve-cache traffic as sparklines from
+      /metrics/history, and per-route latency percentiles from the
+      request histogram. --once prints a single frame (no escape
+      codes) and exits.
   ags fsck --journal DIR [--repair]
       Scrub a campaign or task-queue journal directory: verify the
       manifest, every segment's checksum and shape, entry-index
@@ -626,6 +658,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     config.limits.io_timeout = Duration::from_millis(timeout_ms as u64);
     let deadline_ms = flag_usize(flags, "deadline-ms", 0)?;
     config.batch_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms as u64));
+    let sample_ms = flag_usize(
+        flags,
+        "sample-ms",
+        usize::try_from(config.sample_interval.as_millis()).unwrap_or(500),
+    )?;
+    config.sample_interval = Duration::from_millis(sample_ms.max(1) as u64);
     // The daemon always serves /metrics, so the registry is live even
     // without --metrics (which additionally exports a file on exit).
     ags::obs::metrics::global().set_enabled(true);
@@ -637,6 +675,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     Err(CliError::Drained {
         journal: journal.clone(),
     })
+}
+
+/// `ags top`: the live dashboard client against a running daemon.
+fn cmd_top(flags: &Flags, once: bool) -> Result<(), CliError> {
+    let mut options = TopOptions::new(flags.get("addr").map_or("127.0.0.1:7075", String::as_str));
+    options.once = once;
+    let interval_ms = flag_usize(flags, "interval-ms", 1000)?;
+    options.interval = Duration::from_millis(interval_ms.max(100) as u64);
+    run_top(&options).map_err(CliError::Message)
 }
 
 /// `ags fsck`: scrub a journal directory for torn, orphaned or

@@ -43,11 +43,17 @@ fn span_counts(events: &[trace::TraceEvent]) -> Vec<(&'static str, u64, usize)> 
 }
 
 /// Runs `spec` on `jobs` workers against a cold cache with telemetry on,
-/// returning the deterministic samples and the span counts.
+/// returning the deterministic samples, the span counts, and the
+/// parent-edge multiset.
+#[allow(clippy::type_complexity)]
 fn run_with_jobs(
     spec: &SweepSpec,
     jobs: usize,
-) -> (Vec<metrics::Sample>, Vec<(&'static str, u64, usize)>) {
+) -> (
+    Vec<metrics::Sample>,
+    Vec<(&'static str, u64, usize)>,
+    Vec<(&'static str, &'static str, usize)>,
+) {
     metrics::global().reset();
     let _ = trace::collect();
     metrics::global().set_enabled(true);
@@ -60,7 +66,7 @@ fn run_with_jobs(
     metrics::global().set_enabled(false);
     let samples = deterministic_samples();
     let events = trace::collect();
-    (samples, span_counts(&events))
+    (samples, span_counts(&events), parent_edges(&events))
 }
 
 /// Looks up one counter's value in a sample list.
@@ -78,9 +84,9 @@ fn counter(samples: &[metrics::Sample], family: &str) -> u64 {
 fn fixed_spec_metrics_and_spans_are_jobs_invariant() {
     let _g = lock();
     let spec = SweepSpec::smoke_grid().with_seed(7);
-    let (s1, t1) = run_with_jobs(&spec, 1);
-    let (s2, t2) = run_with_jobs(&spec, 2);
-    let (s8, t8) = run_with_jobs(&spec, 8);
+    let (s1, t1, _) = run_with_jobs(&spec, 1);
+    let (s2, t2, _) = run_with_jobs(&spec, 2);
+    let (s8, t8, _) = run_with_jobs(&spec, 8);
     assert_eq!(s1, s2, "metric totals differ between --jobs 1 and 2");
     assert_eq!(s1, s8, "metric totals differ between --jobs 1 and 8");
     assert_eq!(t1, t2, "span counts differ between --jobs 1 and 2");
@@ -108,6 +114,91 @@ fn fixed_spec_metrics_and_spans_are_jobs_invariant() {
     );
 }
 
+/// Parent edges as a sorted `(child name, parent name, count)` multiset.
+/// Span ids are allocation-order dependent and differ across worker
+/// counts; the *names* along each parent edge must not.
+fn parent_edges(events: &[trace::TraceEvent]) -> Vec<(&'static str, &'static str, usize)> {
+    let names: std::collections::HashMap<u64, &'static str> =
+        events.iter().map(|e| (e.span, e.name)).collect();
+    let mut edges: Vec<(&'static str, &'static str, usize)> = Vec::new();
+    for e in events {
+        let parent = if e.parent == 0 {
+            "(root)"
+        } else {
+            names.get(&e.parent).copied().unwrap_or("(external)")
+        };
+        match edges
+            .iter_mut()
+            .find(|(c, p, _)| *c == e.name && *p == parent)
+        {
+            Some(edge) => edge.2 += 1,
+            None => edges.push((e.name, parent, 1)),
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// Runs `spec` under a pushed `campaign` root span and returns the
+/// parent-edge multiset (what the `--trace` exporter of the CLI sees).
+fn run_edges_with_jobs(spec: &SweepSpec, jobs: usize) -> Vec<(&'static str, &'static str, usize)> {
+    metrics::global().reset();
+    let _ = trace::collect();
+    trace::enable();
+    {
+        let campaign = trace::span("campaign", 0);
+        let _ctx = campaign.push();
+        let engine = SweepEngine::with_cache(jobs, Arc::new(SolveCache::new()));
+        let report = engine.run(spec).expect("sweep runs");
+        assert_eq!(report.results.len(), spec.len());
+    }
+    trace::disable();
+    parent_edges(&trace::collect())
+}
+
+#[test]
+fn span_parent_edges_are_jobs_invariant() {
+    let _g = lock();
+    let spec = SweepSpec::smoke_grid().with_seed(11);
+    let e1 = run_edges_with_jobs(&spec, 1);
+    let e2 = run_edges_with_jobs(&spec, 2);
+    let e8 = run_edges_with_jobs(&spec, 8);
+    assert_eq!(e1, e2, "parent edges differ between --jobs 1 and 2");
+    assert_eq!(e1, e8, "parent edges differ between --jobs 1 and 8");
+
+    // The campaign root is the only top-level span, and the per-point
+    // spans hang off it even when workers ran them on other threads.
+    assert_eq!(
+        e1.iter()
+            .filter(|(_, p, _)| *p == "(root)")
+            .map(|(c, _, n)| (*c, *n))
+            .collect::<Vec<_>>(),
+        vec![("campaign", 1)],
+        "exactly one root span, the campaign"
+    );
+    let under_campaign: usize = e1
+        .iter()
+        .filter(|(c, p, _)| *c == "sweep_point" && *p == "campaign")
+        .map(|(_, _, n)| n)
+        .sum();
+    assert_eq!(
+        under_campaign,
+        spec.len(),
+        "every sweep_point parents onto the campaign root"
+    );
+    // Engine-internal spans never float: ticks and solves always hang
+    // off the sweep_point that owns them (the batched-lane solver opens
+    // them as siblings under the point, not nested in each other).
+    for name in ["tick", "solve"] {
+        assert!(
+            e1.iter()
+                .filter(|(c, _, _)| *c == name)
+                .all(|(_, p, _)| *p == "sweep_point"),
+            "every {name} span parents onto a sweep_point"
+        );
+    }
+}
+
 /// Workload subsets the generator draws from (all in the calibrated
 /// catalog).
 const WORKLOAD_PICKS: [&[&str]; 3] = [&["lu_cb"], &["radix", "raytrace"], &["lu_cb", "radix"]];
@@ -131,13 +222,15 @@ proptest! {
         )
         .with_seed(seed)
         .with_ticks(4, 2);
-        let (s1, t1) = run_with_jobs(&spec, 1);
-        let (s2, t2) = run_with_jobs(&spec, 2);
-        let (s8, t8) = run_with_jobs(&spec, 8);
+        let (s1, t1, e1) = run_with_jobs(&spec, 1);
+        let (s2, t2, e2) = run_with_jobs(&spec, 2);
+        let (s8, t8, e8) = run_with_jobs(&spec, 8);
         prop_assert_eq!(&s1, &s2);
         prop_assert_eq!(&s1, &s8);
         prop_assert_eq!(&t1, &t2);
         prop_assert_eq!(&t1, &t8);
+        prop_assert_eq!(&e1, &e2, "parent edges must be jobs-invariant");
+        prop_assert_eq!(&e1, &e8, "parent edges must be jobs-invariant");
         prop_assert_eq!(
             counter(&s1, "ags_sweep_points_claimed_total"),
             spec.len() as u64
